@@ -1,0 +1,40 @@
+//! Table 2 benchmark: code-generation time of the two synthesis
+//! approaches on the four-index transform.
+//!
+//! The uniform-sampling baseline runs with a capped ladder here so
+//! criterion's repeated sampling stays tractable; the `tables` binary
+//! performs the paper-faithful full-ladder run. Even capped, the gap to
+//! DCS is an order of magnitude — the full ladder widens it to three.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tce_bench::{synthesize, Approach, NODE_MEM, PAPER_SIZES};
+use tce_ir::fixtures::four_index_fused;
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_codegen");
+    group.sample_size(10);
+    for &(n, v) in &PAPER_SIZES {
+        let program = four_index_fused(n, v);
+        group.bench_with_input(
+            BenchmarkId::new("dcs", format!("{n}x{v}")),
+            &program,
+            |b, p| {
+                b.iter(|| black_box(synthesize(p, Approach::Dcs, NODE_MEM, false)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("uniform_sampling_capped", format!("{n}x{v}")),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    black_box(synthesize(p, Approach::UniformSampling, NODE_MEM, true))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

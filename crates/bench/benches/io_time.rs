@@ -1,0 +1,70 @@
+//! Table 3 / Table 4 benchmarks: executing the generated concrete plans
+//! (dry-run accounting on the simulated disks), sequentially and on 2/4
+//! simulated processors.
+//!
+//! The reported criterion numbers are the *harness* cost of replaying the
+//! plan; the simulated I/O seconds (the quantities of Tables 3 and 4) are
+//! printed once per plan at setup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tce_bench::{synthesize, Approach, NODE_MEM, PAPER_SIZES};
+use tce_exec::{execute, ExecOptions};
+use tce_ir::fixtures::four_index_fused;
+
+fn bench_sequential_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_sequential_io");
+    for &(n, v) in &PAPER_SIZES {
+        let program = four_index_fused(n, v);
+        for approach in [Approach::Dcs, Approach::UniformSampling] {
+            let fast = approach == Approach::UniformSampling;
+            let r = synthesize(&program, approach, NODE_MEM, fast);
+            let rep = execute(&r.plan, &ExecOptions::dry_run()).expect("dry run");
+            println!(
+                "[table3] {n}x{v} {:?}: measured {:.0}s predicted {:.0}s",
+                approach,
+                rep.elapsed_io_s,
+                r.predicted.total_s()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{approach:?}"), format!("{n}x{v}")),
+                &r.plan,
+                |b, plan| {
+                    b.iter(|| black_box(execute(plan, &ExecOptions::dry_run()).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_parallel_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_parallel_io");
+    let (n, v) = PAPER_SIZES[0];
+    let program = four_index_fused(n, v);
+    for nproc in [2usize, 4] {
+        let r = synthesize(&program, Approach::Dcs, nproc as u64 * NODE_MEM, false);
+        let rep =
+            execute(&r.plan, &ExecOptions::dry_run().with_nproc(nproc)).expect("dry run");
+        println!(
+            "[table4] {n}x{v} DCS P={nproc}: measured {:.0}s, {:.2} GB total",
+            rep.elapsed_io_s,
+            rep.total.total_bytes() as f64 / 1e9
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dcs_dry_run", format!("p{nproc}")),
+            &r.plan,
+            |b, plan| {
+                b.iter(|| {
+                    black_box(
+                        execute(plan, &ExecOptions::dry_run().with_nproc(nproc)).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential_io, bench_parallel_io);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Substrate microbenchmarks: the contraction kernel, GA section
+//! transfers and full out-of-core execution at test scale — the pieces
+//! whose constants sit under every table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tce_cost::TileAssignment;
+use tce_exec::{execute, ExecOptions};
+use tce_ga::{GlobalArray, Section};
+use tce_ir::fixtures::two_index_fused;
+use tce_tile::{enumerate_placements, tile_program};
+
+fn bench_global_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ga_sections");
+    for size in [64u64, 256] {
+        let a = GlobalArray::zeros(&[size, size]);
+        let sec = Section::new(vec![0, 0], vec![size, size]);
+        let mut buf = vec![0.0; (size * size) as usize];
+        group.throughput(Throughput::Bytes(size * size * 8));
+        group.bench_with_input(BenchmarkId::new("read_section", size), &a, |b, a| {
+            b.iter(|| {
+                a.read_section(&sec, &mut buf);
+                black_box(&buf);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("write_section", size), &a, |b, a| {
+            b.iter(|| a.write_section(&sec, black_box(&buf)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_execution");
+    group.sample_size(10);
+    let p = two_index_fused(96, 80);
+    let tiled = tile_program(&p);
+    let space = enumerate_placements(&tiled, 1 << 30).expect("space");
+    let sel = space.default_selection();
+    let tiles = TileAssignment::new()
+        .with("i", 24)
+        .with("j", 24)
+        .with("m", 20)
+        .with("n", 20);
+    let plan = tce_codegen::generate_plan(&tiled, &space, &sel, &tiles);
+    for nproc in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("two_index_96", nproc), &plan, |b, plan| {
+            b.iter(|| {
+                black_box(
+                    execute(plan, &ExecOptions::full_test().with_nproc(nproc)).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_global_array, bench_full_execution);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Out-of-core transposition benchmark: harness cost of the blocked
+//! algorithm across tile sizes (the simulated I/O seconds — the actual
+//! subject of ref. [37] — are printed once per block size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tce_disksim::{DiskProfile, SimDisk};
+use tce_trans::{transpose_out_of_core, BlockedLayout};
+
+fn bench_transposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ooc_transposition");
+    let n = 1u64 << 11; // 2048² doubles = 32 MB matrix, materialized
+    for b in [64u64, 256, 1024] {
+        let layout = BlockedLayout::new(n, b);
+        let disk = SimDisk::new(DiskProfile::unconstrained_test());
+        disk.create("A", layout.file_len(), true);
+        disk.create("At", layout.file_len(), true);
+        disk.fill_with("A", |k| k as f64).unwrap();
+        let rep = transpose_out_of_core(&disk, "A", "At", layout).unwrap();
+        println!(
+            "[trans] n={n} b={b}: {:.2}s simulated, seek share {:.1}%",
+            rep.time_s,
+            rep.seek_share * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("materialized", b), &layout, |bench, &l| {
+            bench.iter(|| black_box(transpose_out_of_core(&disk, "A", "At", l).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transposition);
+criterion_main!(benches);

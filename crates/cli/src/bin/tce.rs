@@ -1,0 +1,12 @@
+//! The `tce` binary — see `tce_cli` for the implementation.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match tce_cli::parse_args(&args).and_then(|cli| tce_cli::run_cli(&cli)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("tce: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! The `tce` command line: synthesize and run out-of-core code for
+//! abstract tensor-contraction programs written in the `tce-ir` DSL.
+//!
+//! ```text
+//! tce check <file.tce>                      parse, validate, pretty-print
+//! tce synthesize <file.tce> [options]       out-of-core synthesis
+//! tce run <file.tce> [options]              synthesize + execute
+//! ```
+//!
+//! Options:
+//!
+//! ```text
+//! --mem <bytes|K|M|G>     memory limit (default 2G)
+//! --baseline              uniform-sampling pipeline instead of DCS
+//! --samples <k>           cap the baseline ladder at k points per index
+//! --strategy <dlm|csa>    DCS solver strategy (default dlm)
+//! --objective <volume|time> solver objective (default volume, the paper's)
+//! --seed <n>              solver seed
+//! --test-scale            unconstrained disk profile, no block minima
+//! --print <what>          plan,placements,ampl,tiles,code (comma list;
+//!                         default plan,tiles)
+//! --nproc <p>             (run) simulated processes, default 1
+//! --full                  (run) move real data instead of a dry run
+//! --verify                (run) with --full: compare against the dense
+//!                         reference evaluator
+//! ```
+//!
+//! The binary is a thin wrapper around [`run_cli`], which is unit-tested
+//! directly.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use tce_core::prelude::*;
+use tce_exec::interp::default_input_gen;
+use tce_exec::{dense_reference, execute, ExecMode, ExecOptions};
+use tce_ir::Program;
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cli {
+    /// Subcommand.
+    pub command: Command,
+    /// Path to the `.tce` program.
+    pub file: String,
+    /// Memory limit in bytes.
+    pub mem: u64,
+    /// Use the uniform-sampling baseline.
+    pub baseline: bool,
+    /// Baseline ladder cap.
+    pub samples: Option<usize>,
+    /// DCS solver strategy.
+    pub strategy: Strategy,
+    /// Solver objective.
+    pub objective: tce_core::ObjectiveKind,
+    /// Solver seed.
+    pub seed: u64,
+    /// Test-scale profile (no block minima).
+    pub test_scale: bool,
+    /// What to print after synthesis.
+    pub print: Vec<PrintWhat>,
+    /// Simulated process count for `run`.
+    pub nproc: usize,
+    /// Real data instead of dry run.
+    pub full: bool,
+    /// Verify against the dense reference (`run --full` only).
+    pub verify: bool,
+}
+
+/// Subcommands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Parse and pretty-print.
+    Check,
+    /// Synthesize and print artifacts.
+    Synthesize,
+    /// Synthesize, execute, report.
+    Run,
+}
+
+/// Printable artifacts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrintWhat {
+    /// Concrete code (Fig. 4(b)).
+    Plan,
+    /// Candidate placements with the chosen ones marked (Fig. 4(a)).
+    Placements,
+    /// The solver model in AMPL syntax.
+    Ampl,
+    /// Chosen tile sizes and cost summary.
+    Tiles,
+    /// The abstract code back (validation echo).
+    Code,
+}
+
+/// Argument parsing failure (message is user-facing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses a size like `2048`, `64K`, `512M`, `2G`.
+pub fn parse_size(s: &str) -> Result<u64, CliError> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1u64 << 20),
+        Some('G') | Some('g') => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>()
+        .map(|n| n * mult)
+        .map_err(|_| CliError(format!("bad size `{s}` (use e.g. 2048, 64K, 512M, 2G)")))
+}
+
+/// Parses the argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        Some("check") => Command::Check,
+        Some("synthesize") | Some("synth") => Command::Synthesize,
+        Some("run") => Command::Run,
+        Some(other) => return Err(CliError(format!("unknown command `{other}`"))),
+        None => {
+            return Err(CliError(
+                "usage: tce <check|synthesize|run> <file.tce> [options]".into(),
+            ))
+        }
+    };
+    let file = it
+        .next()
+        .ok_or_else(|| CliError("missing <file.tce>".into()))?
+        .clone();
+
+    let mut cli = Cli {
+        command,
+        file,
+        mem: 2 << 30,
+        baseline: false,
+        samples: None,
+        strategy: Strategy::Dlm,
+        objective: tce_core::ObjectiveKind::Volume,
+        seed: 2004,
+        test_scale: false,
+        print: vec![PrintWhat::Tiles, PrintWhat::Plan],
+        nproc: 1,
+        full: false,
+        verify: false,
+    };
+
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--mem" => cli.mem = parse_size(&value("--mem")?)?,
+            "--baseline" => cli.baseline = true,
+            "--samples" => {
+                cli.samples = Some(
+                    value("--samples")?
+                        .parse()
+                        .map_err(|_| CliError("--samples needs an integer".into()))?,
+                )
+            }
+            "--strategy" => {
+                cli.strategy = match value("--strategy")?.as_str() {
+                    "dlm" => Strategy::Dlm,
+                    "csa" => Strategy::Csa,
+                    other => {
+                        return Err(CliError(format!("unknown strategy `{other}`")))
+                    }
+                }
+            }
+            "--objective" => {
+                cli.objective = match value("--objective")?.as_str() {
+                    "volume" => tce_core::ObjectiveKind::Volume,
+                    "time" => tce_core::ObjectiveKind::Time,
+                    other => {
+                        return Err(CliError(format!("unknown objective `{other}`")))
+                    }
+                }
+            }
+            "--seed" => {
+                cli.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| CliError("--seed needs an integer".into()))?
+            }
+            "--test-scale" => cli.test_scale = true,
+            "--print" => {
+                cli.print = value("--print")?
+                    .split(',')
+                    .map(|w| match w.trim() {
+                        "plan" => Ok(PrintWhat::Plan),
+                        "placements" => Ok(PrintWhat::Placements),
+                        "ampl" => Ok(PrintWhat::Ampl),
+                        "tiles" => Ok(PrintWhat::Tiles),
+                        "code" => Ok(PrintWhat::Code),
+                        other => Err(CliError(format!("unknown artifact `{other}`"))),
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "--nproc" => {
+                cli.nproc = value("--nproc")?
+                    .parse()
+                    .map_err(|_| CliError("--nproc needs an integer".into()))?;
+                if cli.nproc == 0 {
+                    return Err(CliError("--nproc must be at least 1".into()));
+                }
+            }
+            "--full" => cli.full = true,
+            "--verify" => cli.verify = true,
+            other => return Err(CliError(format!("unknown option `{other}`"))),
+        }
+    }
+    if cli.verify && !cli.full {
+        return Err(CliError("--verify requires --full".into()));
+    }
+    Ok(cli)
+}
+
+fn load_program(path: &str) -> Result<Program, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    parse_program(&src).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn synthesize(program: &Program, cli: &Cli) -> Result<SynthesisResult, CliError> {
+    let mut config = if cli.test_scale {
+        SynthesisConfig::test_scale(cli.mem)
+    } else {
+        SynthesisConfig::new(cli.mem)
+    };
+    config.strategy = cli.strategy;
+    config.objective = cli.objective;
+    config.seed = cli.seed;
+    let result = if cli.baseline {
+        synthesize_uniform_sampling(
+            program,
+            &BaselineOptions {
+                config,
+                samples_per_index: cli.samples,
+            },
+        )
+    } else {
+        synthesize_dcs(program, &config)
+    };
+    result.map_err(|e| CliError(format!("synthesis failed: {e}")))
+}
+
+/// Executes the parsed command line; returns the full textual output.
+pub fn run_cli(cli: &Cli) -> Result<String, CliError> {
+    let mut out = String::new();
+    let program = load_program(&cli.file)?;
+
+    match cli.command {
+        Command::Check => {
+            let _ = writeln!(out, "{}", print_code(&program));
+            let _ = writeln!(
+                out,
+                "ok: {} arrays, {} statements",
+                program.arrays().len(),
+                program.tree().statements().len()
+            );
+        }
+        Command::Synthesize => {
+            let r = synthesize(&program, cli)?;
+            print_artifacts(&mut out, &program, &r, &cli.print);
+        }
+        Command::Run => {
+            let r = synthesize(&program, cli)?;
+            print_artifacts(&mut out, &program, &r, &cli.print);
+            let opts = ExecOptions {
+                mode: if cli.full {
+                    ExecMode::Full
+                } else {
+                    ExecMode::DryRun
+                },
+                nproc: cli.nproc,
+                profile: if cli.test_scale {
+                    DiskProfile::unconstrained_test()
+                } else {
+                    DiskProfile::itanium2_osc()
+                },
+                input_gen: default_input_gen,
+                inject_fault: None,
+                cache_block: None,
+            };
+            let rep = execute(&r.plan, &opts)
+                .map_err(|e| CliError(format!("execution failed: {e}")))?;
+            let _ = writeln!(
+                out,
+                "executed on {} process(es): {:.3}s simulated I/O ({} ops, {:.3} MB), predicted {:.3}s",
+                cli.nproc,
+                rep.elapsed_io_s,
+                rep.total.total_ops(),
+                rep.total.total_bytes() as f64 / 1e6,
+                r.predicted.parallel_s(cli.nproc, &opts.profile),
+            );
+            if cli.verify {
+                let want = dense_reference(&program, default_input_gen);
+                let mut max_err = 0.0f64;
+                for (name, got) in &rep.outputs {
+                    for (g, w) in got.iter().zip(&want[name]) {
+                        max_err = max_err.max((g - w).abs());
+                    }
+                }
+                let _ = writeln!(out, "verification: max |ooc - dense| = {max_err:.3e}");
+                if max_err > 1e-6 {
+                    return Err(CliError(format!(
+                        "verification FAILED (max error {max_err:.3e})"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn print_artifacts(out: &mut String, program: &Program, r: &SynthesisResult, what: &[PrintWhat]) {
+    for w in what {
+        match w {
+            PrintWhat::Code => {
+                let _ = writeln!(out, "=== abstract code ===\n{}", print_code(program));
+            }
+            PrintWhat::Tiles => {
+                let _ = writeln!(out, "tiles: {}", r.tiles);
+                let _ = writeln!(
+                    out,
+                    "traffic: {:.3} MB | buffers: {:.3} MB | predicted sequential I/O: {:.3}s | codegen: {:?}",
+                    r.io_bytes / 1e6,
+                    r.memory_bytes / 1e6,
+                    r.predicted.total_s(),
+                    r.codegen_time
+                );
+            }
+            PrintWhat::Placements => {
+                let _ = writeln!(
+                    out,
+                    "=== placements ===\n{}",
+                    print_placements(program, &r.space, Some(&r.selection))
+                );
+            }
+            PrintWhat::Plan => {
+                let _ = writeln!(out, "=== concrete code ===\n{}", print_plan(&r.plan));
+            }
+            PrintWhat::Ampl => match r.ampl() {
+                Some(a) => {
+                    let _ = writeln!(out, "=== AMPL model ===\n{a}");
+                }
+                None => {
+                    let _ = writeln!(out, "(no AMPL model: baseline pipeline)");
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn write_fixture() -> String {
+        let dir = std::env::temp_dir().join(format!("tce-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("two_index.tce");
+        std::fs::write(
+            &path,
+            r#"
+            input  A[i, j]
+            input  C2[n, j]
+            input  C1[m, i]
+            intermediate T[n, i]
+            output B[m, n]
+            range i = 24, j = 24, m = 20, n = 20
+            for m, n { B[m, n] = 0 }
+            for i, n {
+                T[n, i] = 0
+                for j { T[n, i] += C2[n, j] * A[i, j] }
+                for m { B[m, n] += C1[m, i] * T[n, i] }
+            }
+            "#,
+        )
+        .unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parse_sizes() {
+        assert_eq!(parse_size("2048").unwrap(), 2048);
+        assert_eq!(parse_size("64K").unwrap(), 64 << 10);
+        assert_eq!(parse_size("512M").unwrap(), 512 << 20);
+        assert_eq!(parse_size("2G").unwrap(), 2 << 30);
+        assert!(parse_size("lots").is_err());
+    }
+
+    #[test]
+    fn parse_full_command_line() {
+        let cli = parse_args(&args(
+            "run file.tce --mem 64K --nproc 4 --full --verify --strategy csa --seed 7 --print plan,ampl --objective time",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Run);
+        assert_eq!(cli.mem, 64 << 10);
+        assert_eq!(cli.nproc, 4);
+        assert!(cli.full && cli.verify);
+        assert_eq!(cli.strategy, Strategy::Csa);
+        assert_eq!(cli.objective, tce_core::ObjectiveKind::Time);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.print, vec![PrintWhat::Plan, PrintWhat::Ampl]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_args(&args("explode file.tce")).is_err());
+        assert!(parse_args(&args("run")).is_err());
+        assert!(parse_args(&args("run f.tce --verify")).is_err()); // needs --full
+        assert!(parse_args(&args("run f.tce --nproc 0")).is_err());
+        assert!(parse_args(&args("run f.tce --print nonsense")).is_err());
+        assert!(parse_args(&args("run f.tce --mem")).is_err());
+    }
+
+    #[test]
+    fn check_command_prints_code() {
+        let file = write_fixture();
+        let cli = parse_args(&args(&format!("check {file}"))).unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("FOR i, n"), "{out}");
+        assert!(out.contains("ok: 5 arrays, 4 statements"), "{out}");
+    }
+
+    #[test]
+    fn synthesize_command_prints_plan_and_tiles() {
+        let file = write_fixture();
+        let cli = parse_args(&args(&format!(
+            "synthesize {file} --mem 8K --test-scale --print tiles,plan,placements,ampl"
+        )))
+        .unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("tiles: "), "{out}");
+        assert!(out.contains("Read ADisk"), "{out}");
+        assert!(out.contains("Input Arrays"), "{out}");
+        assert!(out.contains("minimize disk_io_cost"), "{out}");
+    }
+
+    #[test]
+    fn run_command_executes_and_verifies() {
+        let file = write_fixture();
+        let cli = parse_args(&args(&format!(
+            "run {file} --mem 8K --test-scale --full --verify --nproc 2 --print tiles"
+        )))
+        .unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("executed on 2 process(es)"), "{out}");
+        assert!(out.contains("verification: max"), "{out}");
+    }
+
+    #[test]
+    fn baseline_pipeline_reachable() {
+        let file = write_fixture();
+        let cli = parse_args(&args(&format!(
+            "synthesize {file} --mem 8K --test-scale --baseline --samples 3 --print tiles,ampl"
+        )))
+        .unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("no AMPL model"), "{out}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let cli = parse_args(&args("check /nonexistent/nowhere.tce")).unwrap();
+        let err = run_cli(&cli).unwrap_err();
+        assert!(err.0.contains("cannot read"), "{err}");
+    }
+}

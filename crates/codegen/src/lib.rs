@@ -1,0 +1,19 @@
+//! Concrete out-of-core code generation.
+//!
+//! Turns a tiled program plus a placement/tile-size solution into a
+//! *concrete plan*: the tree of tiling loops with explicit disk read/write
+//! statements, in-memory buffer declarations, buffer zeroing, zero-fill
+//! passes for read-modify-write outputs, and per-tile contraction kernels
+//! (Fig. 4(b) of the paper).
+//!
+//! The plan is both printable (paper-style pseudo code, [`print_plan`])
+//! and executable (interpreted by `tce-exec`, either with real data on a
+//! simulated disk or as an I/O-accounting dry run).
+
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod printer;
+
+pub use plan::{generate_plan, BufId, BufRef, BufferDecl, ComputeOp, ConcretePlan, Op};
+pub use printer::{print_plan, print_placements};

@@ -1,0 +1,542 @@
+//! Executable concrete plans.
+
+use std::collections::HashMap;
+use tce_cost::{BufferShape, TileAssignment};
+use tce_ir::{ArrayId, ArrayKind, Index, NodeId, NodeKind, Program, Stmt};
+use tce_tile::{
+    CandidateSet, IntermediateChoice, Placement, PlacementSelection, SynthesisSpace,
+    TiledProgram,
+};
+
+/// Identifies an in-memory buffer of a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufId(pub u32);
+
+impl BufId {
+    /// Index into [`ConcretePlan::buffers`].
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An in-memory buffer declaration.
+#[derive(Clone, Debug)]
+pub struct BufferDecl {
+    /// Buffer id (its position in the plan's buffer list).
+    pub id: BufId,
+    /// The array this buffer stages.
+    pub array: ArrayId,
+    /// Per-dimension extents (tile or full; `One` never occurs because
+    /// placements inside the intra-tile band are excluded).
+    pub shape: BufferShape,
+    /// Display name (`A_buf`, `T_buf`, ...).
+    pub name: String,
+}
+
+/// An operand of a contraction kernel: a buffer plus the loop indices that
+/// subscript it (in the array's storage order).
+#[derive(Clone, Debug)]
+pub struct BufRef {
+    /// The buffer.
+    pub buffer: BufId,
+    /// Subscript indices, matching the array reference in the statement.
+    pub subscripts: Vec<Index>,
+}
+
+/// One per-tile contraction kernel: `dst += lhs * rhs` over the element
+/// ranges of the current tiles of `band`.
+#[derive(Clone, Debug)]
+pub struct ComputeOp {
+    /// Element loops (intra-tile), outermost first.
+    pub band: Vec<Index>,
+    /// Destination operand (accumulated into).
+    pub dst: BufRef,
+    /// Left factor.
+    pub lhs: BufRef,
+    /// Right factor.
+    pub rhs: BufRef,
+}
+
+/// A node of the concrete plan.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// A tiling loop `i_T` over `⌈N_i / T_i⌉` tiles.
+    TilingLoop {
+        /// The original index.
+        index: Index,
+        /// Loop body.
+        body: Vec<Op>,
+    },
+    /// Read the current section of `array` from disk into `buffer`.
+    ReadBlock {
+        /// Disk-resident array.
+        array: ArrayId,
+        /// Destination buffer.
+        buffer: BufId,
+    },
+    /// Write `buffer` back to the current section of `array`.
+    WriteBlock {
+        /// Disk-resident array.
+        array: ArrayId,
+        /// Source buffer.
+        buffer: BufId,
+    },
+    /// Zero the buffer (fresh accumulation window).
+    ZeroBuffer {
+        /// Buffer to clear.
+        buffer: BufId,
+    },
+    /// Write zeros over the whole disk array in buffer-sized blocks
+    /// (the first loop nest of Fig. 4(b)); runs before the main loops.
+    ZeroFillPass {
+        /// Disk-resident array to clear.
+        array: ArrayId,
+        /// Staging buffer used for the zero blocks.
+        buffer: BufId,
+    },
+    /// A per-tile contraction kernel.
+    Compute(ComputeOp),
+}
+
+/// A complete concrete program: what the paper's generated Fortran+DRA
+/// code contains, in interpretable form.
+#[derive(Clone, Debug)]
+pub struct ConcretePlan {
+    /// The source abstract program (declarations and ranges).
+    pub program: Program,
+    /// Tile sizes chosen by the optimizer.
+    pub tiles: TileAssignment,
+    /// In-memory buffers.
+    pub buffers: Vec<BufferDecl>,
+    /// Top-level operations in execution order.
+    pub ops: Vec<Op>,
+    /// Arrays that live on disk in this plan (inputs, outputs, spilled
+    /// intermediates).
+    pub disk_arrays: Vec<ArrayId>,
+}
+
+impl ConcretePlan {
+    /// The buffer declaration for `id`.
+    pub fn buffer(&self, id: BufId) -> &BufferDecl {
+        &self.buffers[id.as_usize()]
+    }
+
+    /// True if `array` is disk-resident in this plan.
+    pub fn on_disk(&self, array: ArrayId) -> bool {
+        self.disk_arrays.contains(&array)
+    }
+
+    /// Total bytes of all in-memory buffers under the plan's tile sizes —
+    /// must be within the memory limit used at synthesis time.
+    pub fn buffer_bytes(&self) -> u64 {
+        self.buffers
+            .iter()
+            .map(|b| b.shape.bytes(self.program.ranges(), &self.tiles))
+            .sum()
+    }
+}
+
+/// Pending I/O insertions keyed by the tiled-tree node they attach to.
+#[derive(Default)]
+struct Insertions {
+    /// Ops to run immediately before the loop (reads, zeroing).
+    before: HashMap<NodeId, Vec<Op>>,
+    /// Ops to run immediately after the loop (writes).
+    after: HashMap<NodeId, Vec<Op>>,
+}
+
+impl Insertions {
+    fn before(&mut self, node: NodeId, op: Op) {
+        self.before.entry(node).or_default().push(op);
+    }
+    fn after(&mut self, node: NodeId, op: Op) {
+        self.after.entry(node).or_default().push(op);
+    }
+}
+
+struct PlanBuilder<'a> {
+    tiled: &'a TiledProgram,
+    buffers: Vec<BufferDecl>,
+    /// (array, tiled stmt) → buffer, so compute ops find their operands.
+    use_buffers: HashMap<(ArrayId, NodeId), BufId>,
+    inserts: Insertions,
+    prologue: Vec<Op>,
+    disk_arrays: Vec<ArrayId>,
+}
+
+impl<'a> PlanBuilder<'a> {
+    fn add_buffer(&mut self, array: ArrayId, shape: BufferShape) -> BufId {
+        let name = format!(
+            "{}_buf{}",
+            self.tiled.base().array(array).name(),
+            if self
+                .buffers
+                .iter()
+                .any(|b| b.array == array)
+            {
+                format!("_{}", self.buffers.len())
+            } else {
+                String::new()
+            }
+        );
+        let id = BufId(self.buffers.len() as u32);
+        self.buffers.push(BufferDecl {
+            id,
+            array,
+            shape,
+            name,
+        });
+        id
+    }
+
+    fn bind_use(&mut self, array: ArrayId, stmt: NodeId, buf: BufId) {
+        self.use_buffers.insert((array, stmt), buf);
+    }
+
+    /// Registers the I/O ops implied by a selected read placement.
+    fn place_read(&mut self, set: &CandidateSet, p: &Placement) -> BufId {
+        let buf = self.add_buffer(set.array, p.buffer.clone());
+        self.bind_use(set.array, set.stmt, buf);
+        self.inserts.before(
+            p.above,
+            Op::ReadBlock {
+                array: set.array,
+                buffer: buf,
+            },
+        );
+        buf
+    }
+
+    /// Registers the I/O ops implied by a selected write placement.
+    fn place_write(&mut self, set: &CandidateSet, p: &Placement) -> BufId {
+        let buf = self.add_buffer(set.array, p.buffer.clone());
+        self.bind_use(set.array, set.stmt, buf);
+        if p.needs_pre_read {
+            // read-modify-write: pre-read at the same position
+            self.inserts.before(
+                p.above,
+                Op::ReadBlock {
+                    array: set.array,
+                    buffer: buf,
+                },
+            );
+        } else {
+            self.inserts.before(p.above, Op::ZeroBuffer { buffer: buf });
+        }
+        if p.needs_zero_fill {
+            // zero the disk array once up front (Fig. 4(b) first nest);
+            // later producers accumulate onto initialized contents and
+            // skip this
+            self.prologue.push(Op::ZeroFillPass {
+                array: set.array,
+                buffer: buf,
+            });
+        }
+        self.inserts.after(
+            p.above,
+            Op::WriteBlock {
+                array: set.array,
+                buffer: buf,
+            },
+        );
+        buf
+    }
+}
+
+/// Generates the concrete plan for a solution over a synthesis space.
+///
+/// # Panics
+///
+/// Panics if the selection indexes candidates that do not exist in the
+/// space (a caller bug), or if the space does not belong to `tiled`.
+pub fn generate_plan(
+    tiled: &TiledProgram,
+    space: &SynthesisSpace,
+    sel: &PlacementSelection,
+    tiles: &TileAssignment,
+) -> ConcretePlan {
+    let base = tiled.base();
+    let mut b = PlanBuilder {
+        tiled,
+        buffers: Vec::new(),
+        use_buffers: HashMap::new(),
+        inserts: Insertions::default(),
+        prologue: Vec::new(),
+        disk_arrays: Vec::new(),
+    };
+
+    // all inputs and outputs are disk-resident by definition
+    for (k, decl) in base.arrays().iter().enumerate() {
+        if !matches!(decl.kind(), ArrayKind::Intermediate) {
+            b.disk_arrays.push(ArrayId(k as u32));
+        }
+    }
+
+    for (set, &k) in space.reads.iter().zip(&sel.reads) {
+        b.place_read(set, &set.candidates[k]);
+    }
+    for (set, &k) in space.writes.iter().zip(&sel.writes) {
+        b.place_write(set, &set.candidates[k]);
+    }
+    for (opt, choice) in space.intermediates.iter().zip(&sel.intermediates) {
+        match choice {
+            IntermediateChoice::InMemory => {
+                let buf = b.add_buffer(opt.array, opt.in_memory.clone());
+                b.bind_use(opt.array, opt.write.stmt, buf);
+                b.bind_use(opt.array, opt.read.stmt, buf);
+                // zero at each entry of the producer's sub-nest directly
+                // below the LCA (= start of each accumulation window)
+                let zero_above = producer_subnest_root(tiled, opt.write.stmt, opt.lca);
+                b.inserts.before(zero_above, Op::ZeroBuffer { buffer: buf });
+            }
+            IntermediateChoice::OnDisk { write, read } => {
+                b.disk_arrays.push(opt.array);
+                b.place_write(&opt.write, &opt.write.candidates[*write]);
+                b.place_read(&opt.read, &opt.read.candidates[*read]);
+            }
+        }
+    }
+
+    // walk the tiled tree, emitting loops / kernels with insertions
+    let body = emit_children(tiled, tiled.tree().root(), &mut b);
+    let mut ops = std::mem::take(&mut b.prologue);
+    ops.extend(body);
+
+    ConcretePlan {
+        program: base.clone(),
+        tiles: tiles.clamped(base.ranges()),
+        buffers: b.buffers,
+        ops,
+        disk_arrays: b.disk_arrays,
+    }
+}
+
+/// The loop on the producer's path immediately below `lca` (or the
+/// producer's outermost loop when `lca` is the root).
+fn producer_subnest_root(tiled: &TiledProgram, stmt: NodeId, lca: NodeId) -> NodeId {
+    let path = tiled.tree().enclosing_loops(stmt);
+    if lca == tiled.tree().root() {
+        return *path.first().expect("statement has enclosing loops");
+    }
+    let pos = path
+        .iter()
+        .position(|&n| n == lca)
+        .expect("LCA lies on the producer's path");
+    path.get(pos + 1)
+        .copied()
+        .unwrap_or_else(|| panic!("producer statement sits directly under the LCA"))
+}
+
+fn emit_children(tiled: &TiledProgram, node: NodeId, b: &mut PlanBuilder<'_>) -> Vec<Op> {
+    let mut out = Vec::new();
+    for &child in tiled.tree().children(node) {
+        emit_node(tiled, child, b, &mut out);
+    }
+    out
+}
+
+fn emit_node(tiled: &TiledProgram, node: NodeId, b: &mut PlanBuilder<'_>, out: &mut Vec<Op>) {
+    let tree = tiled.tree();
+    match tree.kind(node) {
+        NodeKind::Root => unreachable!("root handled by emit_children"),
+        NodeKind::Loop(_) => {
+            let class = tiled.class(node).expect("loop class").clone();
+            if class.is_tiling() {
+                if let Some(pre) = b.inserts.before.remove(&node) {
+                    out.extend(pre);
+                }
+                let body = emit_children(tiled, node, b);
+                out.push(Op::TilingLoop {
+                    index: class.index().clone(),
+                    body,
+                });
+                if let Some(post) = b.inserts.after.remove(&node) {
+                    out.extend(post);
+                }
+            } else {
+                // intra-tile band: fold into the kernel; insertions on
+                // the band's outermost loop attach around the kernel
+                let pre = b.inserts.before.remove(&node);
+                let post = b.inserts.after.remove(&node);
+                if let Some(pre) = pre {
+                    out.extend(pre);
+                }
+                let inner = emit_children(tiled, node, b);
+                out.extend(inner);
+                if let Some(post) = post {
+                    out.extend(post);
+                }
+            }
+        }
+        NodeKind::Stmt(s) => {
+            match s {
+                Stmt::Init { .. } => {
+                    // implicit: buffer zeroing / zero-fill passes replace
+                    // the abstract init nests
+                }
+                Stmt::Contract { dst, lhs, rhs } => {
+                    let stmt_node = node;
+                    let lookup = |array: ArrayId| -> BufId {
+                        *b.use_buffers
+                            .get(&(array, stmt_node))
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "no buffer bound for array {} at statement {:?}",
+                                    tiled.base().array(array).name(),
+                                    stmt_node
+                                )
+                            })
+                    };
+                    let band: Vec<Index> = tiled
+                        .enclosing(node)
+                        .iter()
+                        .filter(|(_, c)| !c.is_tiling())
+                        .map(|(_, c)| c.index().clone())
+                        .collect();
+                    out.push(Op::Compute(ComputeOp {
+                        band,
+                        dst: BufRef {
+                            buffer: lookup(dst.array),
+                            subscripts: dst.indices.clone(),
+                        },
+                        lhs: BufRef {
+                            buffer: lookup(lhs.array),
+                            subscripts: lhs.indices.clone(),
+                        },
+                        rhs: BufRef {
+                            buffer: lookup(rhs.array),
+                            subscripts: rhs.indices.clone(),
+                        },
+                    }));
+                }
+            }
+        }
+    }
+}
+
+/// Extent of one buffer dimension under concrete ranges/tiles, as used by
+/// the executor: `Tile` dims clamp to the array bound.
+pub fn dim_extent(
+    shape: &BufferShape,
+    dim: usize,
+    plan: &ConcretePlan,
+) -> u64 {
+    shape.extents(plan.program.ranges(), &plan.tiles)[dim]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_ir::fixtures::two_index_fused;
+    use tce_tile::{enumerate_placements, tile_program};
+
+    fn make_plan(mem: u64, choose_disk_t: bool) -> ConcretePlan {
+        let p = two_index_fused(400, 350);
+        let tiled = tile_program(&p);
+        let space = enumerate_placements(&tiled, mem).expect("space");
+        let mut sel = space.default_selection();
+        if choose_disk_t {
+            sel.intermediates[0] = IntermediateChoice::OnDisk { write: 0, read: 0 };
+        }
+        let tiles = TileAssignment::new()
+            .with("i", 100)
+            .with("j", 100)
+            .with("m", 70)
+            .with("n", 70);
+        generate_plan(&tiled, &space, &sel, &tiles)
+    }
+
+    fn count_ops(ops: &[Op], pred: &dyn Fn(&Op) -> bool) -> usize {
+        let mut n = 0;
+        for op in ops {
+            if pred(op) {
+                n += 1;
+            }
+            if let Op::TilingLoop { body, .. } = op {
+                n += count_ops(body, pred);
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn in_memory_t_plan_shape() {
+        let plan = make_plan(1 << 30, false);
+        // buffers: A, C2, C1 reads + B write + T in-memory = 5
+        assert_eq!(plan.buffers.len(), 5);
+        // T not on disk
+        let (tid, _) = plan.program.array_by_name("T").unwrap();
+        assert!(!plan.on_disk(tid));
+        // 2 kernels
+        assert_eq!(count_ops(&plan.ops, &|o| matches!(o, Op::Compute(_))), 2);
+        // B requires zero-fill pass (redundant iT above both write choices)
+        assert_eq!(
+            count_ops(&plan.ops, &|o| matches!(o, Op::ZeroFillPass { .. })),
+            1
+        );
+        // reads: A, C2, C1 + B pre-read
+        assert_eq!(
+            count_ops(&plan.ops, &|o| matches!(o, Op::ReadBlock { .. })),
+            4
+        );
+        // writes: B
+        assert_eq!(
+            count_ops(&plan.ops, &|o| matches!(o, Op::WriteBlock { .. })),
+            1
+        );
+        // T zeroed in-memory once per accumulation window
+        assert_eq!(
+            count_ops(&plan.ops, &|o| matches!(o, Op::ZeroBuffer { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn spilled_t_plan_shape() {
+        let plan = make_plan(1 << 30, true);
+        let (tid, _) = plan.program.array_by_name("T").unwrap();
+        assert!(plan.on_disk(tid));
+        // T gets separate producer/consumer buffers
+        assert_eq!(plan.buffers.len(), 6);
+        // writes: B + T
+        assert_eq!(
+            count_ops(&plan.ops, &|o| matches!(o, Op::WriteBlock { .. })),
+            2
+        );
+        // reads: A, C2, C1, B pre-read, T consumer read
+        assert_eq!(
+            count_ops(&plan.ops, &|o| matches!(o, Op::ReadBlock { .. })),
+            5
+        );
+    }
+
+    #[test]
+    fn buffer_bytes_respect_tiles() {
+        let plan = make_plan(1 << 30, false);
+        // every buffer is nonzero and total is bounded by full arrays
+        assert!(plan.buffer_bytes() > 0);
+        let full: u64 = plan
+            .program
+            .arrays()
+            .iter()
+            .map(|a| a.size_bytes(plan.program.ranges()))
+            .sum();
+        assert!(plan.buffer_bytes() <= full);
+    }
+
+    #[test]
+    fn tiles_are_clamped_into_ranges() {
+        let p = two_index_fused(40, 35);
+        let tiled = tile_program(&p);
+        let space = enumerate_placements(&tiled, 1 << 30).expect("space");
+        let sel = space.default_selection();
+        let tiles = TileAssignment::new()
+            .with("i", 10_000)
+            .with("j", 10_000)
+            .with("m", 10_000)
+            .with("n", 10_000);
+        let plan = generate_plan(&tiled, &space, &sel, &tiles);
+        assert_eq!(plan.tiles.get(&Index::new("i")), 40);
+        assert_eq!(plan.tiles.get(&Index::new("m")), 35);
+    }
+}

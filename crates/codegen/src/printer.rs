@@ -1,0 +1,267 @@
+//! Paper-style renderings: candidate placements (Fig. 4(a)) and concrete
+//! code (Fig. 4(b)).
+
+use crate::plan::{ConcretePlan, Op};
+use std::fmt::Write as _;
+use tce_cost::DimExtent;
+use tce_ir::{ArrayKind, Program};
+use tce_tile::{CandidateSet, IntermediateChoice, PlacementSelection, SynthesisSpace};
+
+/// Renders the candidate I/O placements of a synthesis space in the
+/// format of Fig. 4(a), marking the selected candidate when a selection
+/// is supplied.
+pub fn print_placements(
+    program: &Program,
+    space: &SynthesisSpace,
+    sel: Option<&PlacementSelection>,
+) -> String {
+    let mut out = String::new();
+    let name = |set: &CandidateSet| program.array(set.array).name().to_string();
+
+    let _ = writeln!(out, "Input Arrays: (Read Placements)");
+    for (k, set) in space.reads.iter().enumerate() {
+        let chosen = sel.map(|s| s.reads[k]);
+        let labels: Vec<String> = set
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if chosen == Some(i) {
+                    format!("[{}]", c.label)
+                } else {
+                    c.label.clone()
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "{}: {}", name(set), labels.join(", "));
+    }
+
+    let _ = writeln!(out, "\nOutput Arrays: (Write Placements)");
+    for (k, set) in space.writes.iter().enumerate() {
+        let chosen = sel.map(|s| s.writes[k]);
+        let labels: Vec<String> = set
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if chosen == Some(i) {
+                    format!("[{}]", c.label)
+                } else {
+                    c.label.clone()
+                }
+            })
+            .collect();
+        let reads: Vec<&str> = set
+            .candidates
+            .iter()
+            .map(|c| if c.needs_pre_read { "Yes" } else { "No" })
+            .collect();
+        let _ = writeln!(out, "{}:", name(set));
+        let _ = writeln!(out, "  Write Placement: {}", labels.join(", "));
+        let _ = writeln!(out, "  Read Required : {}", reads.join(", "));
+    }
+
+    let _ = writeln!(out, "\nIntermediates: (Write and Read Placements)");
+    for (k, opt) in space.intermediates.iter().enumerate() {
+        let aname = program.array(opt.array).name();
+        match sel.map(|s| &s.intermediates[k]) {
+            Some(IntermediateChoice::InMemory) => {
+                let _ = writeln!(out, "{aname}: In Memory");
+            }
+            Some(IntermediateChoice::OnDisk { write, read }) => {
+                let _ = writeln!(
+                    out,
+                    "{aname}: On Disk (write {}, read {})",
+                    opt.write.candidates[*write].label, opt.read.candidates[*read].label
+                );
+            }
+            None => {
+                let wl: Vec<&str> =
+                    opt.write.candidates.iter().map(|c| c.label.as_str()).collect();
+                let rl: Vec<&str> =
+                    opt.read.candidates.iter().map(|c| c.label.as_str()).collect();
+                let _ = writeln!(
+                    out,
+                    "{aname}: In Memory | write: {} / read: {}",
+                    wl.join(", "),
+                    rl.join(", ")
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a concrete plan as paper-style pseudo code (Fig. 4(b)).
+pub fn print_plan(plan: &ConcretePlan) -> String {
+    let mut out = String::new();
+    // buffer declarations
+    for b in &plan.buffers {
+        let dims: Vec<String> = b
+            .shape
+            .dims()
+            .iter()
+            .map(|(i, e)| match e {
+                DimExtent::One => "1".to_string(),
+                DimExtent::Tile => format!("T{i}"),
+                DimExtent::Full => format!("N{i}"),
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "double {}[{}]   // {} for {}",
+            b.name,
+            dims.join(","),
+            if dims.is_empty() { "scalar" } else { "block" },
+            plan.program.array(b.array).name()
+        );
+    }
+    let _ = writeln!(out);
+    print_ops(plan, &plan.ops, 0, &mut out);
+    out
+}
+
+fn print_ops(plan: &ConcretePlan, ops: &[Op], depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    for op in ops {
+        match op {
+            Op::TilingLoop { index, body } => {
+                let _ = writeln!(out, "{pad}FOR {}T", index);
+                print_ops(plan, body, depth + 1, out);
+                let _ = writeln!(out, "{pad}END FOR {}T", index);
+            }
+            Op::ReadBlock { array, buffer } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = Read {}Disk",
+                    plan.buffer(*buffer).name,
+                    plan.program.array(*array).name()
+                );
+            }
+            Op::WriteBlock { array, buffer } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Write {}Disk <- {}",
+                    plan.program.array(*array).name(),
+                    plan.buffer(*buffer).name
+                );
+            }
+            Op::ZeroBuffer { buffer } => {
+                let _ = writeln!(out, "{pad}{}[*] = 0", plan.buffer(*buffer).name);
+            }
+            Op::ZeroFillPass { array, buffer } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}ZeroFill {}Disk (via {})",
+                    plan.program.array(*array).name(),
+                    plan.buffer(*buffer).name
+                );
+            }
+            Op::Compute(c) => {
+                let band: Vec<String> =
+                    c.band.iter().map(|i| format!("{i}I")).collect();
+                let _ = writeln!(out, "{pad}FOR {}", band.join(", "));
+                let fmt_ref = |r: &crate::plan::BufRef| {
+                    let subs: Vec<String> =
+                        r.subscripts.iter().map(|i| format!("{i}I")).collect();
+                    format!("{}[{}]", plan.buffer(r.buffer).name, subs.join(","))
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}  {} += {} * {}",
+                    fmt_ref(&c.dst),
+                    fmt_ref(&c.lhs),
+                    fmt_ref(&c.rhs)
+                );
+                let _ = writeln!(out, "{pad}END FOR {}", band.join(", "));
+            }
+        }
+    }
+}
+
+/// One-line inventory of a plan: disk arrays, buffers, memory footprint.
+pub fn plan_summary(plan: &ConcretePlan) -> String {
+    let disk: Vec<&str> = plan
+        .disk_arrays
+        .iter()
+        .map(|&a| plan.program.array(a).name())
+        .collect();
+    let in_mem: Vec<&str> = plan
+        .program
+        .arrays()
+        .iter()
+        .enumerate()
+        .filter(|(k, a)| {
+            matches!(a.kind(), ArrayKind::Intermediate)
+                && !plan.on_disk(tce_ir::ArrayId(*k as u32))
+        })
+        .map(|(_, a)| a.name())
+        .collect();
+    format!(
+        "disk: {} | in-memory intermediates: {} | buffers: {} ({} bytes)",
+        disk.join(","),
+        if in_mem.is_empty() {
+            "-".to_string()
+        } else {
+            in_mem.join(",")
+        },
+        plan.buffers.len(),
+        plan.buffer_bytes()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_cost::TileAssignment;
+    use tce_ir::fixtures::two_index_fused;
+    use tce_tile::{enumerate_placements, tile_program};
+
+    fn setup() -> (ConcretePlan, SynthesisSpace, PlacementSelection) {
+        let p = two_index_fused(400, 350);
+        let tiled = tile_program(&p);
+        let space = enumerate_placements(&tiled, 1 << 30).expect("space");
+        let sel = space.default_selection();
+        let tiles = TileAssignment::new()
+            .with("i", 100)
+            .with("j", 100)
+            .with("m", 70)
+            .with("n", 70);
+        let plan = crate::plan::generate_plan(&tiled, &space, &sel, &tiles);
+        (plan, space, sel)
+    }
+
+    #[test]
+    fn placements_listing_has_fig4a_sections() {
+        let (plan, space, sel) = setup();
+        let text = print_placements(&plan.program, &space, Some(&sel));
+        assert!(text.contains("Input Arrays: (Read Placements)"), "{text}");
+        assert!(text.contains("Output Arrays: (Write Placements)"), "{text}");
+        assert!(text.contains("Read Required"), "{text}");
+        assert!(text.contains("T: In Memory"), "{text}");
+        // selected candidates are bracketed
+        assert!(text.contains("[above iI]"), "{text}");
+    }
+
+    #[test]
+    fn plan_prints_reads_writes_kernels() {
+        let (plan, _, _) = setup();
+        let text = print_plan(&plan);
+        assert!(text.contains("Read ADisk"), "{text}");
+        assert!(text.contains("Write BDisk"), "{text}");
+        assert!(text.contains("ZeroFill BDisk"), "{text}");
+        assert!(text.contains("FOR iT"), "{text}");
+        assert!(text.contains("+="), "{text}");
+        // buffer declarations with tile extents
+        assert!(text.contains("double"), "{text}");
+        assert!(text.contains("Ti") || text.contains("T_i") || text.contains("[T"), "{text}");
+    }
+
+    #[test]
+    fn summary_mentions_disk_and_memory() {
+        let (plan, _, _) = setup();
+        let s = plan_summary(&plan);
+        assert!(s.contains("disk: A,C2,C1,B"), "{s}");
+        assert!(s.contains("in-memory intermediates: T"), "{s}");
+    }
+}

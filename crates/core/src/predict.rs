@@ -1,0 +1,179 @@
+//! Predicted disk-access time (the "predicted" column of Table 3).
+//!
+//! The generated code performs one DRA call per I/O-statement execution,
+//! each moving one buffer-sized block, so the predicted time is
+//! `Σ execs·seek + volume/bandwidth` over all placed I/O statements —
+//! the same affine model the simulated disks charge, evaluated on the
+//! symbolic cost expressions instead of by running the plan.
+
+use tce_cost::TileAssignment;
+use tce_disksim::DiskProfile;
+use tce_ir::RangeMap;
+use tce_tile::{IntermediateChoice, Placement, PlacementSelection, SynthesisSpace, UseRole};
+
+/// Predicted I/O time, split by direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PredictedTime {
+    /// Seconds spent reading.
+    pub read_s: f64,
+    /// Seconds spent writing.
+    pub write_s: f64,
+    /// Bytes read.
+    pub read_bytes: f64,
+    /// Bytes written.
+    pub write_bytes: f64,
+    /// I/O operations (seeks) issued.
+    pub ops: f64,
+}
+
+impl PredictedTime {
+    /// Total predicted seconds.
+    pub fn total_s(&self) -> f64 {
+        self.read_s + self.write_s
+    }
+
+    /// Predicted elapsed seconds on `nproc` processes: every rank issues
+    /// one operation per collective transfer (seek cost stays), while the
+    /// bytes split evenly across the local disks.
+    pub fn parallel_s(&self, nproc: usize, profile: &DiskProfile) -> f64 {
+        let transfer = self.read_bytes / profile.read_bw + self.write_bytes / profile.write_bw;
+        self.ops * profile.seek_s + transfer / nproc as f64
+    }
+
+    fn add_read(&mut self, bytes: f64, ops: f64, profile: &DiskProfile) {
+        self.read_bytes += bytes;
+        self.ops += ops;
+        self.read_s += ops * profile.seek_s + bytes / profile.read_bw;
+    }
+
+    fn add_write(&mut self, bytes: f64, ops: f64, profile: &DiskProfile) {
+        self.write_bytes += bytes;
+        self.ops += ops;
+        self.write_s += ops * profile.seek_s + bytes / profile.write_bw;
+    }
+}
+
+fn charge(
+    t: &mut PredictedTime,
+    p: &Placement,
+    role: UseRole,
+    ranges: &RangeMap,
+    tiles: &TileAssignment,
+    profile: &DiskProfile,
+) {
+    let vol = p.volume.eval(ranges, tiles);
+    let execs = p.execs.eval(ranges, tiles);
+    match role {
+        UseRole::Read => t.add_read(vol, execs, profile),
+        UseRole::Write => {
+            t.add_write(vol, execs, profile);
+            // pre-read / zero-fill expressions are zero when not needed
+            t.add_read(
+                p.pre_read_volume.eval(ranges, tiles),
+                p.pre_read_execs.eval(ranges, tiles),
+                profile,
+            );
+            t.add_write(
+                p.zero_fill_volume.eval(ranges, tiles),
+                p.zero_fill_execs.eval(ranges, tiles),
+                profile,
+            );
+        }
+    }
+}
+
+/// Predicts the sequential disk time of a placement/tile solution.
+///
+/// For `nproc > 1` processes the collective transfers split evenly over
+/// the local disks, so divide [`PredictedTime::total_s`] by `nproc`
+/// (the aggregate memory effect is already in the solution, which must
+/// have been synthesized against the aggregate limit).
+pub fn predict_io_time(
+    space: &SynthesisSpace,
+    sel: &PlacementSelection,
+    ranges: &RangeMap,
+    tiles: &TileAssignment,
+    profile: &DiskProfile,
+) -> PredictedTime {
+    let mut t = PredictedTime::default();
+    for (set, &k) in space.reads.iter().zip(&sel.reads) {
+        charge(&mut t, &set.candidates[k], UseRole::Read, ranges, tiles, profile);
+    }
+    for (set, &k) in space.writes.iter().zip(&sel.writes) {
+        charge(&mut t, &set.candidates[k], UseRole::Write, ranges, tiles, profile);
+    }
+    for (opt, choice) in space.intermediates.iter().zip(&sel.intermediates) {
+        if let IntermediateChoice::OnDisk { write, read } = choice {
+            charge(
+                &mut t,
+                &opt.write.candidates[*write],
+                UseRole::Write,
+                ranges,
+                tiles,
+                profile,
+            );
+            charge(
+                &mut t,
+                &opt.read.candidates[*read],
+                UseRole::Read,
+                ranges,
+                tiles,
+                profile,
+            );
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_ir::fixtures::two_index_fused;
+    use tce_tile::{enumerate_placements, tile_program};
+
+    #[test]
+    fn prediction_accumulates_directions() {
+        let p = two_index_fused(400, 350);
+        let tiled = tile_program(&p);
+        let space = enumerate_placements(&tiled, 1 << 30).expect("space");
+        let sel = space.default_selection();
+        let tiles = TileAssignment::new()
+            .with("i", 50)
+            .with("j", 50)
+            .with("m", 50)
+            .with("n", 50);
+        let profile = DiskProfile::unconstrained_test();
+        let t = predict_io_time(&space, &sel, p.ranges(), &tiles, &profile);
+        assert!(t.read_s > 0.0);
+        assert!(t.write_s > 0.0);
+        assert!(t.ops > 0.0);
+        // volume accounting consistent with the symbolic total
+        let total_bytes = space.total_io(&sel).eval(p.ranges(), &tiles);
+        assert!(
+            (t.read_bytes + t.write_bytes - total_bytes).abs() <= 1e-6 * total_bytes,
+            "{} vs {}",
+            t.read_bytes + t.write_bytes,
+            total_bytes
+        );
+        assert!(t.total_s() > t.read_s.max(t.write_s));
+    }
+
+    #[test]
+    fn spilling_increases_predicted_time() {
+        let p = two_index_fused(400, 350);
+        let tiled = tile_program(&p);
+        let space = enumerate_placements(&tiled, 1 << 30).expect("space");
+        let tiles = TileAssignment::new()
+            .with("i", 50)
+            .with("j", 50)
+            .with("m", 50)
+            .with("n", 50);
+        let profile = DiskProfile::unconstrained_test();
+        let sel = space.default_selection();
+        let base = predict_io_time(&space, &sel, p.ranges(), &tiles, &profile);
+        let mut spilled = sel.clone();
+        spilled.intermediates[0] = IntermediateChoice::OnDisk { write: 0, read: 0 };
+        let spill = predict_io_time(&space, &spilled, p.ranges(), &tiles, &profile);
+        assert!(spill.total_s() > base.total_s());
+    }
+}

@@ -1,0 +1,484 @@
+//! Sums of products of extents, tile sizes and tile counts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use tce_ir::{Index, RangeMap};
+
+/// One multiplicative atom of a cost term.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Factor {
+    /// The full extent `N_k` of an index (a known parameter).
+    Extent(Index),
+    /// The tile size `T_k` of an index (a solver variable).
+    Tile(Index),
+    /// The tile count `⌈N_k / T_k⌉` (range of the tiling loop `k_T`).
+    NumTiles(Index),
+}
+
+impl Factor {
+    /// Evaluates the factor under concrete ranges and tile sizes.
+    pub fn eval(&self, ranges: &RangeMap, tiles: &TileAssignment) -> f64 {
+        match self {
+            Factor::Extent(i) => ranges.extent(i) as f64,
+            Factor::Tile(i) => tiles.get(i) as f64,
+            Factor::NumTiles(i) => {
+                let n = ranges.extent(i);
+                let t = tiles.get(i);
+                n.div_ceil(t) as f64
+            }
+        }
+    }
+
+    /// The index this factor refers to.
+    pub fn index(&self) -> &Index {
+        match self {
+            Factor::Extent(i) | Factor::Tile(i) | Factor::NumTiles(i) => i,
+        }
+    }
+}
+
+impl fmt::Display for Factor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Factor::Extent(i) => write!(f, "N_{i}"),
+            Factor::Tile(i) => write!(f, "T_{i}"),
+            Factor::NumTiles(i) => write!(f, "ceil(N_{i}/T_{i})"),
+        }
+    }
+}
+
+/// A product term `coeff · f_1 · f_2 · ...` with factors kept sorted so that
+/// structurally equal products compare equal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Term {
+    /// Constant coefficient.
+    pub coeff: f64,
+    /// Sorted multiplicative factors.
+    pub factors: Vec<Factor>,
+}
+
+impl Term {
+    /// A constant term.
+    pub fn constant(c: f64) -> Self {
+        Term {
+            coeff: c,
+            factors: vec![],
+        }
+    }
+
+    /// A term from a coefficient and factors (factors are sorted).
+    pub fn new(coeff: f64, mut factors: Vec<Factor>) -> Self {
+        factors.sort();
+        Term { coeff, factors }
+    }
+
+    /// Multiplies in another factor, keeping sort order.
+    pub fn mul_factor(&mut self, f: Factor) {
+        let pos = self.factors.partition_point(|g| *g <= f);
+        self.factors.insert(pos, f);
+    }
+
+    /// Evaluates the term.
+    pub fn eval(&self, ranges: &RangeMap, tiles: &TileAssignment) -> f64 {
+        self.coeff
+            * self
+                .factors
+                .iter()
+                .map(|f| f.eval(ranges, tiles))
+                .product::<f64>()
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return write!(f, "{}", self.coeff);
+        }
+        if (self.coeff - 1.0).abs() > f64::EPSILON {
+            write!(f, "{}*", self.coeff)?;
+        }
+        for (k, fac) in self.factors.iter().enumerate() {
+            if k > 0 {
+                write!(f, "*")?;
+            }
+            write!(f, "{fac}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A sum of [`Term`]s — the cost expressions of Sec. 4.2.
+///
+/// ```
+/// use tce_cost::{CostExpr, Factor, Term, TileAssignment};
+/// use tce_ir::{Index, RangeMap};
+///
+/// // (N_n / T_n) · N_i · N_j · 8  — the D1_A cost of the paper
+/// let cost = CostExpr::from_term(Term::new(8.0, vec![
+///     Factor::NumTiles(Index::new("n")),
+///     Factor::Extent(Index::new("i")),
+///     Factor::Extent(Index::new("j")),
+/// ]));
+/// let ranges = RangeMap::new().with("n", 100).with("i", 40).with("j", 40);
+/// let tiles = TileAssignment::new().with("n", 25);
+/// assert_eq!(cost.eval(&ranges, &tiles), 4.0 * 40.0 * 40.0 * 8.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct CostExpr {
+    /// The summed terms. Kept simplified (like terms merged, zeros dropped)
+    /// by the constructors and arithmetic operations.
+    pub terms: Vec<Term>,
+}
+
+impl CostExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        CostExpr { terms: vec![] }
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> Self {
+        CostExpr::from_term(Term::constant(c))
+    }
+
+    /// The expression `1` (multiplicative identity).
+    pub fn one() -> Self {
+        CostExpr::constant(1.0)
+    }
+
+    /// An expression that is a single factor.
+    pub fn factor(f: Factor) -> Self {
+        CostExpr::from_term(Term::new(1.0, vec![f]))
+    }
+
+    /// An expression that is a single term.
+    pub fn from_term(t: Term) -> Self {
+        let mut e = CostExpr { terms: vec![t] };
+        e.simplify();
+        e
+    }
+
+    /// True if the expression is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds another expression.
+    pub fn add(&self, other: &CostExpr) -> CostExpr {
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().cloned());
+        let mut e = CostExpr { terms };
+        e.simplify();
+        e
+    }
+
+    /// Multiplies by another expression (distributes over terms).
+    pub fn mul(&self, other: &CostExpr) -> CostExpr {
+        let mut terms = Vec::with_capacity(self.terms.len() * other.terms.len());
+        for a in &self.terms {
+            for b in &other.terms {
+                let mut fs = a.factors.clone();
+                fs.extend(b.factors.iter().cloned());
+                terms.push(Term::new(a.coeff * b.coeff, fs));
+            }
+        }
+        let mut e = CostExpr { terms };
+        e.simplify();
+        e
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, c: f64) -> CostExpr {
+        let mut e = CostExpr {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Term::new(t.coeff * c, t.factors.clone()))
+                .collect(),
+        };
+        e.simplify();
+        e
+    }
+
+    /// Multiplies in a single factor.
+    pub fn mul_factor(&self, f: Factor) -> CostExpr {
+        let mut e = self.clone();
+        for t in &mut e.terms {
+            t.mul_factor(f.clone());
+        }
+        e
+    }
+
+    /// Merges like terms and drops zero terms; canonicalizes term order.
+    pub fn simplify(&mut self) {
+        let mut merged: BTreeMap<Vec<Factor>, f64> = BTreeMap::new();
+        for t in self.terms.drain(..) {
+            *merged.entry(t.factors).or_insert(0.0) += t.coeff;
+        }
+        self.terms = merged
+            .into_iter()
+            .filter(|(_, c)| *c != 0.0)
+            .map(|(factors, coeff)| Term { coeff, factors })
+            .collect();
+    }
+
+    /// Evaluates the expression under concrete ranges and tile sizes.
+    pub fn eval(&self, ranges: &RangeMap, tiles: &TileAssignment) -> f64 {
+        self.terms.iter().map(|t| t.eval(ranges, tiles)).sum()
+    }
+
+    /// All distinct indices whose tile size the expression depends on
+    /// (i.e. appearing in `Tile` or `NumTiles` factors).
+    pub fn tile_indices(&self) -> Vec<Index> {
+        let mut out: Vec<Index> = Vec::new();
+        for t in &self.terms {
+            for f in &t.factors {
+                if matches!(f, Factor::Tile(_) | Factor::NumTiles(_))
+                    && !out.contains(f.index())
+                {
+                    out.push(f.index().clone());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+impl fmt::Display for CostExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("0");
+        }
+        for (k, t) in self.terms.iter().enumerate() {
+            if k > 0 {
+                f.write_str(" + ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::iter::Sum for CostExpr {
+    fn sum<I: Iterator<Item = CostExpr>>(iter: I) -> CostExpr {
+        let mut terms = Vec::new();
+        for e in iter {
+            terms.extend(e.terms);
+        }
+        let mut out = CostExpr { terms };
+        out.simplify();
+        out
+    }
+}
+
+/// Concrete tile sizes for a set of indices.
+///
+/// Looking up an index that has no explicit entry returns 1, matching the
+/// convention that an untiled loop has tile size 1 (pure element loop) —
+/// callers that mean "full range" should insert it explicitly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TileAssignment {
+    tiles: BTreeMap<Index, u64>,
+}
+
+impl TileAssignment {
+    /// An empty assignment (every tile size reads as 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All tile sizes equal to the full extent (no effective tiling).
+    pub fn full(ranges: &RangeMap) -> Self {
+        ranges
+            .iter()
+            .map(|(i, e)| (i.clone(), e))
+            .collect()
+    }
+
+    /// All tile sizes equal to 1.
+    pub fn ones(ranges: &RangeMap) -> Self {
+        ranges.iter().map(|(i, _)| (i.clone(), 1)).collect()
+    }
+
+    /// Sets a tile size (clamped to at least 1); chainable.
+    pub fn with(mut self, index: impl Into<Index>, tile: u64) -> Self {
+        self.set(index, tile);
+        self
+    }
+
+    /// Sets a tile size (clamped to at least 1).
+    pub fn set(&mut self, index: impl Into<Index>, tile: u64) {
+        self.tiles.insert(index.into(), tile.max(1));
+    }
+
+    /// The tile size of `index` (1 if unset).
+    pub fn get(&self, index: &Index) -> u64 {
+        self.tiles.get(index).copied().unwrap_or(1)
+    }
+
+    /// Iterates over explicit `(index, tile)` entries in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Index, u64)> {
+        self.tiles.iter().map(|(i, &t)| (i, t))
+    }
+
+    /// Number of explicit entries.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// True if no explicit entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// Clamps every entry into `[1, N_k]` given the ranges.
+    pub fn clamped(&self, ranges: &RangeMap) -> TileAssignment {
+        self.iter()
+            .map(|(i, t)| {
+                let n = ranges.get(i).unwrap_or(u64::MAX);
+                (i.clone(), t.clamp(1, n))
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<(Index, u64)> for TileAssignment {
+    fn from_iter<T: IntoIterator<Item = (Index, u64)>>(iter: T) -> Self {
+        let mut a = TileAssignment::new();
+        for (i, t) in iter {
+            a.set(i, t);
+        }
+        a
+    }
+}
+
+impl fmt::Display for TileAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.iter().map(|(i, t)| format!("T_{i}={t}")).collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(s: &str) -> Index {
+        Index::new(s)
+    }
+
+    fn env() -> (RangeMap, TileAssignment) {
+        let ranges = RangeMap::new().with("i", 100).with("j", 60).with("n", 40);
+        let tiles = TileAssignment::new()
+            .with("i", 10)
+            .with("j", 7)
+            .with("n", 40);
+        (ranges, tiles)
+    }
+
+    #[test]
+    fn factor_eval() {
+        let (r, t) = env();
+        assert_eq!(Factor::Extent(idx("i")).eval(&r, &t), 100.0);
+        assert_eq!(Factor::Tile(idx("j")).eval(&r, &t), 7.0);
+        // ceil(60/7) = 9
+        assert_eq!(Factor::NumTiles(idx("j")).eval(&r, &t), 9.0);
+        assert_eq!(Factor::NumTiles(idx("n")).eval(&r, &t), 1.0);
+    }
+
+    #[test]
+    fn term_eval_and_display() {
+        let (r, t) = env();
+        let term = Term::new(
+            8.0,
+            vec![Factor::Extent(idx("i")), Factor::NumTiles(idx("j"))],
+        );
+        assert_eq!(term.eval(&r, &t), 8.0 * 100.0 * 9.0);
+        assert_eq!(term.to_string(), "8*N_i*ceil(N_j/T_j)");
+    }
+
+    #[test]
+    fn like_terms_merge() {
+        let a = CostExpr::from_term(Term::new(2.0, vec![Factor::Tile(idx("i"))]));
+        let b = CostExpr::from_term(Term::new(
+            3.0,
+            vec![Factor::Tile(idx("i"))],
+        ));
+        let s = a.add(&b);
+        assert_eq!(s.terms.len(), 1);
+        assert_eq!(s.terms[0].coeff, 5.0);
+    }
+
+    #[test]
+    fn zero_terms_drop() {
+        let a = CostExpr::from_term(Term::new(2.0, vec![Factor::Tile(idx("i"))]));
+        let b = a.scale(-1.0);
+        assert!(a.add(&b).is_zero());
+        assert_eq!(a.add(&b).to_string(), "0");
+    }
+
+    #[test]
+    fn mul_distributes() {
+        let (r, t) = env();
+        let a = CostExpr::factor(Factor::Tile(idx("i")))
+            .add(&CostExpr::factor(Factor::Tile(idx("j"))));
+        let b = CostExpr::factor(Factor::Extent(idx("n"))).add(&CostExpr::constant(2.0));
+        let prod = a.mul(&b);
+        let lhs = prod.eval(&r, &t);
+        let rhs = a.eval(&r, &t) * b.eval(&r, &t);
+        assert!((lhs - rhs).abs() < 1e-9);
+        assert_eq!(prod.terms.len(), 4);
+    }
+
+    #[test]
+    fn factor_ordering_is_canonical() {
+        let t1 = Term::new(
+            1.0,
+            vec![Factor::Tile(idx("j")), Factor::Extent(idx("i"))],
+        );
+        let t2 = Term::new(
+            1.0,
+            vec![Factor::Extent(idx("i")), Factor::Tile(idx("j"))],
+        );
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn tile_indices_found() {
+        let e = CostExpr::from_term(Term::new(
+            1.0,
+            vec![
+                Factor::Extent(idx("a")),
+                Factor::Tile(idx("b")),
+                Factor::NumTiles(idx("c")),
+            ],
+        ));
+        let idxs = e.tile_indices();
+        assert_eq!(idxs, vec![idx("b"), idx("c")]);
+    }
+
+    #[test]
+    fn assignment_defaults_and_clamp() {
+        let r = RangeMap::new().with("i", 10);
+        let a = TileAssignment::new().with("i", 50);
+        assert_eq!(a.get(&idx("q")), 1);
+        assert_eq!(a.clamped(&r).get(&idx("i")), 10);
+        let f = TileAssignment::full(&r);
+        assert_eq!(f.get(&idx("i")), 10);
+        let o = TileAssignment::ones(&r);
+        assert_eq!(o.get(&idx("i")), 1);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let (r, t) = env();
+        let parts = vec![
+            CostExpr::constant(1.0),
+            CostExpr::factor(Factor::Tile(idx("i"))),
+            CostExpr::constant(2.0),
+        ];
+        let total: CostExpr = parts.into_iter().sum();
+        assert_eq!(total.eval(&r, &t), 3.0 + 10.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Symbolic disk-I/O and memory cost expressions over tile-size variables.
+//!
+//! The synthesis algorithm of the paper expresses the disk-I/O cost of a
+//! candidate placement and the memory cost of an in-memory buffer as
+//! products of three kinds of quantities (Sec. 4.2):
+//!
+//! * the known loop extents `N_k` (problem parameters),
+//! * the unknown tile sizes `T_k` (solver variables), and
+//! * tile counts `⌈N_k / T_k⌉` (the ranges of tiling loops).
+//!
+//! [`CostExpr`] represents sums of such products with constant
+//! coefficients. It supports exact evaluation under a [`TileAssignment`],
+//! canonical simplification (merging like terms), and display in the
+//! notation of the paper (`(N_n/T_n)·Size_A` etc.).
+//!
+//! [`BufferShape`] describes the in-memory buffer of an array for a given
+//! I/O placement — per dimension either a single element, a tile `T_k`, or
+//! the full extent `N_k` — and lowers to a [`CostExpr`] for the memory
+//! constraint.
+
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod shape;
+
+pub use expr::{CostExpr, Factor, Term, TileAssignment};
+pub use shape::{BufferShape, DimExtent};

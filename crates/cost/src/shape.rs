@@ -1,0 +1,184 @@
+//! In-memory buffer shapes induced by I/O placements.
+
+use crate::expr::{CostExpr, Factor, Term, TileAssignment};
+use std::fmt;
+use tce_ir::{Index, RangeMap, ELEMENT_BYTES};
+
+/// Extent of one buffer dimension for a given placement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DimExtent {
+    /// The dimension's index is fixed above the placement — one element.
+    One,
+    /// Only the intra-tile loop is below the placement — a tile, `T_k`.
+    Tile,
+    /// The tiling loop itself is below the placement — the full `N_k`.
+    Full,
+}
+
+/// The in-memory buffer of an array under a particular I/O placement:
+/// one `(index, extent)` pair per array dimension, in storage order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BufferShape {
+    dims: Vec<(Index, DimExtent)>,
+}
+
+impl BufferShape {
+    /// Builds a shape from per-dimension extents.
+    pub fn new(dims: Vec<(Index, DimExtent)>) -> Self {
+        BufferShape { dims }
+    }
+
+    /// A rank-0 (scalar) buffer.
+    pub fn scalar() -> Self {
+        BufferShape { dims: vec![] }
+    }
+
+    /// Per-dimension `(index, extent)` pairs in storage order.
+    pub fn dims(&self) -> &[(Index, DimExtent)] {
+        &self.dims
+    }
+
+    /// Number of dimensions that are larger than a single element
+    /// (i.e. `Tile` or `Full`). The paper requires at least two so the
+    /// in-memory operands stay matrices (Sec. 4.1, rule for inputs).
+    pub fn effective_rank(&self) -> usize {
+        self.dims
+            .iter()
+            .filter(|(_, e)| !matches!(e, DimExtent::One))
+            .count()
+    }
+
+    /// Symbolic element count of the buffer.
+    pub fn elements_expr(&self) -> CostExpr {
+        let mut factors = Vec::new();
+        for (i, e) in &self.dims {
+            match e {
+                DimExtent::One => {}
+                DimExtent::Tile => factors.push(Factor::Tile(i.clone())),
+                DimExtent::Full => factors.push(Factor::Extent(i.clone())),
+            }
+        }
+        CostExpr::from_term(Term::new(1.0, factors))
+    }
+
+    /// Symbolic byte size of the buffer (double-precision elements).
+    pub fn bytes_expr(&self) -> CostExpr {
+        self.elements_expr().scale(ELEMENT_BYTES as f64)
+    }
+
+    /// Concrete element count under given ranges and tile sizes.
+    pub fn elements(&self, ranges: &RangeMap, tiles: &TileAssignment) -> u64 {
+        self.dims
+            .iter()
+            .map(|(i, e)| match e {
+                DimExtent::One => 1,
+                DimExtent::Tile => tiles.get(i),
+                DimExtent::Full => ranges.extent(i),
+            })
+            .product()
+    }
+
+    /// Concrete byte size under given ranges and tile sizes.
+    pub fn bytes(&self, ranges: &RangeMap, tiles: &TileAssignment) -> u64 {
+        self.elements(ranges, tiles) * ELEMENT_BYTES
+    }
+
+    /// Byte size when every tile size is 1 — the smallest the buffer can
+    /// ever be. Used for the feasibility cut-off while walking placements
+    /// upward (Sec. 4.1: "assuming a tile size of one").
+    pub fn min_bytes(&self, ranges: &RangeMap) -> u64 {
+        let ones = TileAssignment::new();
+        self.bytes(ranges, &ones)
+    }
+
+    /// Concrete per-dimension extents (in elements), storage order.
+    pub fn extents(&self, ranges: &RangeMap, tiles: &TileAssignment) -> Vec<u64> {
+        self.dims
+            .iter()
+            .map(|(i, e)| match e {
+                DimExtent::One => 1,
+                DimExtent::Tile => tiles.get(i).min(ranges.extent(i)),
+                DimExtent::Full => ranges.extent(i),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for BufferShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (k, (i, e)) in self.dims.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            match e {
+                DimExtent::One => write!(f, "{i}:1")?,
+                DimExtent::Tile => write!(f, "T_{i}")?,
+                DimExtent::Full => write!(f, "N_{i}")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(s: &str) -> Index {
+        Index::new(s)
+    }
+
+    fn shape() -> BufferShape {
+        BufferShape::new(vec![
+            (idx("i"), DimExtent::Tile),
+            (idx("j"), DimExtent::Full),
+            (idx("k"), DimExtent::One),
+        ])
+    }
+
+    #[test]
+    fn effective_rank_ignores_fixed_dims() {
+        assert_eq!(shape().effective_rank(), 2);
+        assert_eq!(BufferShape::scalar().effective_rank(), 0);
+    }
+
+    #[test]
+    fn concrete_sizes() {
+        let ranges = RangeMap::new().with("i", 100).with("j", 50).with("k", 9);
+        let tiles = TileAssignment::new().with("i", 10);
+        let s = shape();
+        assert_eq!(s.elements(&ranges, &tiles), 10 * 50);
+        assert_eq!(s.bytes(&ranges, &tiles), 10 * 50 * 8);
+        assert_eq!(s.min_bytes(&ranges), 50 * 8); // T_i = 1
+    }
+
+    #[test]
+    fn symbolic_matches_concrete() {
+        let ranges = RangeMap::new().with("i", 100).with("j", 50).with("k", 9);
+        let tiles = TileAssignment::new().with("i", 7);
+        let s = shape();
+        let sym = s.bytes_expr().eval(&ranges, &tiles);
+        assert_eq!(sym as u64, s.bytes(&ranges, &tiles));
+    }
+
+    #[test]
+    fn extents_clamp_tiles_to_range() {
+        let ranges = RangeMap::new().with("i", 5).with("j", 50).with("k", 9);
+        let tiles = TileAssignment::new().with("i", 10);
+        assert_eq!(shape().extents(&ranges, &tiles), vec![5, 50, 1]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(shape().to_string(), "[T_i,N_j,k:1]");
+    }
+
+    #[test]
+    fn scalar_is_one_element() {
+        let ranges = RangeMap::new();
+        let tiles = TileAssignment::new();
+        assert_eq!(BufferShape::scalar().elements(&ranges, &tiles), 1);
+        assert_eq!(BufferShape::scalar().bytes(&ranges, &tiles), 8);
+    }
+}

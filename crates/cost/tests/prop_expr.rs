@@ -1,0 +1,118 @@
+//! Property tests: the cost-expression algebra is a faithful evaluation
+//! homomorphism (simplification, addition, multiplication and scaling
+//! never change values).
+
+use proptest::prelude::*;
+use tce_cost::{CostExpr, Factor, Term, TileAssignment};
+use tce_ir::{Index, RangeMap};
+
+const INDICES: [&str; 4] = ["i", "j", "m", "n"];
+
+fn env() -> (RangeMap, TileAssignment) {
+    let ranges = RangeMap::new()
+        .with("i", 40)
+        .with("j", 25)
+        .with("m", 17)
+        .with("n", 60);
+    let tiles = TileAssignment::new()
+        .with("i", 7)
+        .with("j", 25)
+        .with("m", 3)
+        .with("n", 16);
+    (ranges, tiles)
+}
+
+fn arb_factor() -> impl Strategy<Value = Factor> {
+    (0..INDICES.len(), 0..3u8).prop_map(|(i, k)| {
+        let idx = Index::new(INDICES[i]);
+        match k {
+            0 => Factor::Extent(idx),
+            1 => Factor::Tile(idx),
+            _ => Factor::NumTiles(idx),
+        }
+    })
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    (
+        -4.0f64..4.0,
+        proptest::collection::vec(arb_factor(), 0..4),
+    )
+        .prop_map(|(c, fs)| Term::new(c, fs))
+}
+
+fn arb_expr() -> impl Strategy<Value = CostExpr> {
+    proptest::collection::vec(arb_term(), 0..5).prop_map(|terms| {
+        let mut e = CostExpr { terms };
+        e.simplify();
+        e
+    })
+}
+
+proptest! {
+    #[test]
+    fn simplify_preserves_value(terms in proptest::collection::vec(arb_term(), 0..6)) {
+        let (ranges, tiles) = env();
+        let raw: f64 = terms.iter().map(|t| t.eval(&ranges, &tiles)).sum();
+        let mut e = CostExpr { terms };
+        e.simplify();
+        let simplified = e.eval(&ranges, &tiles);
+        prop_assert!((raw - simplified).abs() <= 1e-6 * raw.abs().max(1.0));
+    }
+
+    #[test]
+    fn add_is_pointwise(a in arb_expr(), b in arb_expr()) {
+        let (ranges, tiles) = env();
+        let lhs = a.add(&b).eval(&ranges, &tiles);
+        let rhs = a.eval(&ranges, &tiles) + b.eval(&ranges, &tiles);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn mul_is_pointwise(a in arb_expr(), b in arb_expr()) {
+        let (ranges, tiles) = env();
+        let lhs = a.mul(&b).eval(&ranges, &tiles);
+        let rhs = a.eval(&ranges, &tiles) * b.eval(&ranges, &tiles);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn add_commutes(a in arb_expr(), b in arb_expr()) {
+        // canonical form: commuted sums are structurally identical
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_expr(), b in arb_expr()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn scale_matches_constant_mul(a in arb_expr(), c in -3.0f64..3.0) {
+        let (ranges, tiles) = env();
+        let lhs = a.scale(c).eval(&ranges, &tiles);
+        let rhs = a.mul(&CostExpr::constant(c)).eval(&ranges, &tiles);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn mul_factor_matches_mul(a in arb_expr(), f in arb_factor()) {
+        let (ranges, tiles) = env();
+        let lhs = a.mul_factor(f.clone()).eval(&ranges, &tiles);
+        let rhs = a.mul(&CostExpr::factor(f)).eval(&ranges, &tiles);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn zero_is_additive_identity(a in arb_expr()) {
+        prop_assert_eq!(a.add(&CostExpr::zero()), a.clone());
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity(a in arb_expr()) {
+        let (ranges, tiles) = env();
+        let lhs = a.mul(&CostExpr::one()).eval(&ranges, &tiles);
+        let rhs = a.eval(&ranges, &tiles);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1.0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Disk performance profiles and I/O accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// A parametric disk model: seek latency + sustained bandwidth, plus the
+/// minimum I/O block sizes the synthesis constraints enforce (Sec. 4.2).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiskProfile {
+    /// Seconds of fixed cost per I/O operation (seek + rotation + call
+    /// overhead).
+    pub seek_s: f64,
+    /// Sustained read bandwidth, bytes per second.
+    pub read_bw: f64,
+    /// Sustained write bandwidth, bytes per second.
+    pub write_bw: f64,
+    /// Minimum read block for which transfer dominates seek (bytes).
+    pub min_read_block: u64,
+    /// Minimum write block (bytes).
+    pub min_write_block: u64,
+}
+
+impl DiskProfile {
+    /// The system of Table 1: dual Itanium-2 node of the OSC cluster with
+    /// local SCSI disk. Bandwidths are calibrated in EXPERIMENTS.md so
+    /// that predicted sequential I/O times land in the regime of Table 3;
+    /// the paper's own constraints (2 MB read / 1 MB write blocks) are
+    /// taken verbatim.
+    pub fn itanium2_osc() -> Self {
+        DiskProfile {
+            seek_s: 0.009,
+            read_bw: 55.0 * 1024.0 * 1024.0,
+            write_bw: 35.0 * 1024.0 * 1024.0,
+            min_read_block: 2 * 1024 * 1024,
+            min_write_block: 1024 * 1024,
+        }
+    }
+
+    /// A profile with no minimum-block constraints and tiny seek cost —
+    /// convenient for unit tests at small scale.
+    pub fn unconstrained_test() -> Self {
+        DiskProfile {
+            seek_s: 0.001,
+            read_bw: 100.0 * 1024.0 * 1024.0,
+            write_bw: 80.0 * 1024.0 * 1024.0,
+            min_read_block: 0,
+            min_write_block: 0,
+        }
+    }
+
+    /// Simulated seconds for one read operation of `bytes`.
+    pub fn read_time(&self, bytes: u64) -> f64 {
+        self.seek_s + bytes as f64 / self.read_bw
+    }
+
+    /// Simulated seconds for one write operation of `bytes`.
+    pub fn write_time(&self, bytes: u64) -> f64 {
+        self.seek_s + bytes as f64 / self.write_bw
+    }
+}
+
+/// Exact I/O accounting of a [`crate::SimDisk`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Read operations issued.
+    pub read_ops: u64,
+    /// Write operations issued.
+    pub write_ops: u64,
+    /// Simulated seconds spent reading.
+    pub read_time_s: f64,
+    /// Simulated seconds spent writing.
+    pub write_time_s: f64,
+}
+
+impl IoStats {
+    /// Total simulated I/O seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.read_time_s + self.write_time_s
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Total operations in either direction.
+    pub fn total_ops(&self) -> u64 {
+        self.read_ops + self.write_ops
+    }
+
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.read_ops += other.read_ops;
+        self.write_ops += other.write_ops;
+        self.read_time_s += other.read_time_s;
+        self.write_time_s += other.write_time_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_blocks() {
+        let p = DiskProfile::itanium2_osc();
+        assert_eq!(p.min_read_block, 2 * 1024 * 1024);
+        assert_eq!(p.min_write_block, 1024 * 1024);
+    }
+
+    #[test]
+    fn time_model_is_affine() {
+        let p = DiskProfile {
+            seek_s: 0.01,
+            read_bw: 100.0,
+            write_bw: 50.0,
+            min_read_block: 0,
+            min_write_block: 0,
+        };
+        assert!((p.read_time(200) - (0.01 + 2.0)).abs() < 1e-12);
+        assert!((p.write_time(100) - (0.01 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_size_amortizes_seek() {
+        // beyond the paper's 2 MB read block, seek is < 10% of transfer
+        let p = DiskProfile::itanium2_osc();
+        let block = p.min_read_block;
+        let transfer = block as f64 / p.read_bw;
+        assert!(p.seek_s < 0.3 * transfer, "seek {} transfer {}", p.seek_s, transfer);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = IoStats {
+            read_bytes: 10,
+            write_bytes: 1,
+            read_ops: 2,
+            write_ops: 1,
+            read_time_s: 0.5,
+            write_time_s: 0.25,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.read_bytes, 20);
+        assert_eq!(a.total_ops(), 6);
+        assert!((a.total_time_s() - 1.5).abs() < 1e-12);
+    }
+}

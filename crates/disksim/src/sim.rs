@@ -1,0 +1,440 @@
+//! The simulated block device.
+
+use crate::profile::{DiskProfile, IoStats};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What a write puts on disk.
+pub enum WriteSrc<'a> {
+    /// Real data (materialized files only).
+    Data(&'a [f64]),
+    /// `len` zero elements.
+    Zeros(u64),
+    /// Accounting-only transfer of `len` elements (dry files).
+    Dry(u64),
+}
+
+impl WriteSrc<'_> {
+    fn len(&self) -> u64 {
+        match self {
+            WriteSrc::Data(d) => d.len() as u64,
+            WriteSrc::Zeros(n) | WriteSrc::Dry(n) => *n,
+        }
+    }
+}
+
+/// Disk operation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiskError {
+    /// The named file does not exist.
+    NoSuchFile(String),
+    /// Offset/length outside the file.
+    OutOfBounds {
+        /// File name.
+        file: String,
+        /// Requested offset (elements).
+        offset: u64,
+        /// Requested length (elements).
+        len: u64,
+        /// Actual file length (elements).
+        file_len: u64,
+    },
+    /// Data access on a dry (accounting-only) file.
+    DryFile(String),
+    /// An injected fault fired (testing; see [`SimDisk::inject_failure_after`]).
+    Injected(String),
+    /// Destination slice length does not match the request.
+    LengthMismatch {
+        /// Requested element count.
+        expected: u64,
+        /// Slice length supplied.
+        found: u64,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::NoSuchFile(n) => write!(f, "no such disk file `{n}`"),
+            DiskError::OutOfBounds {
+                file,
+                offset,
+                len,
+                file_len,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) outside `{file}` of length {file_len}"
+            ),
+            DiskError::DryFile(n) => write!(f, "data access on dry file `{n}`"),
+            DiskError::Injected(op) => write!(f, "injected disk fault on {op}"),
+            DiskError::LengthMismatch { expected, found } => {
+                write!(f, "buffer length {found} does not match request {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+enum FileData {
+    /// Length-only: transfers are charged but no bytes are stored.
+    Dry { len: u64 },
+    /// Real storage (f64 elements).
+    Real(Vec<f64>),
+}
+
+impl FileData {
+    fn len(&self) -> u64 {
+        match self {
+            FileData::Dry { len } => *len,
+            FileData::Real(v) => v.len() as u64,
+        }
+    }
+}
+
+struct DiskInner {
+    stats: IoStats,
+    files: HashMap<String, FileData>,
+    /// Remaining successful operations before every further operation
+    /// fails (`None` = no fault injected).
+    fail_after: Option<u64>,
+}
+
+/// A simulated local disk: named files of `f64` elements, an I/O cost
+/// model, and exact accounting. Thread-safe; one instance per simulated
+/// processor in the parallel executor.
+pub struct SimDisk {
+    profile: DiskProfile,
+    inner: Mutex<DiskInner>,
+}
+
+/// Size of one element in bytes (double precision).
+pub const ELEM_BYTES: u64 = 8;
+
+impl SimDisk {
+    /// Creates an empty disk with the given performance profile.
+    pub fn new(profile: DiskProfile) -> Self {
+        SimDisk {
+            profile,
+            inner: Mutex::new(DiskInner {
+                stats: IoStats::default(),
+                files: HashMap::new(),
+                fail_after: None,
+            }),
+        }
+    }
+
+    /// The disk's performance profile.
+    pub fn profile(&self) -> &DiskProfile {
+        &self.profile
+    }
+
+    /// Fault injection: after `ops` more successful operations, every
+    /// read/write on this disk fails with [`DiskError::Injected`]. Used
+    /// by the failure-propagation tests of the parallel executor.
+    pub fn inject_failure_after(&self, ops: u64) {
+        self.inner.lock().fail_after = Some(ops);
+    }
+
+    /// Clears any injected fault.
+    pub fn clear_fault(&self) {
+        self.inner.lock().fail_after = None;
+    }
+
+    /// Creates (or replaces) a file of `len` elements. Materialized files
+    /// hold real zero-initialized data; dry files only track length.
+    pub fn create(&self, name: &str, len: u64, materialize: bool) {
+        let data = if materialize {
+            FileData::Real(vec![0.0; len as usize])
+        } else {
+            FileData::Dry { len }
+        };
+        self.inner.lock().files.insert(name.to_string(), data);
+    }
+
+    /// True if `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.lock().files.contains_key(name)
+    }
+
+    /// True if `name` exists and holds real data (not a dry file).
+    pub fn is_materialized(&self, name: &str) -> bool {
+        matches!(
+            self.inner.lock().files.get(name),
+            Some(FileData::Real(_))
+        )
+    }
+
+    /// Length (elements) of `name`.
+    pub fn file_len(&self, name: &str) -> Result<u64, DiskError> {
+        let inner = self.inner.lock();
+        inner
+            .files
+            .get(name)
+            .map(FileData::len)
+            .ok_or_else(|| DiskError::NoSuchFile(name.to_string()))
+    }
+
+    /// Fills a materialized file with values from a generator (used to
+    /// load synthetic input tensors without charging I/O time).
+    pub fn fill_with(
+        &self,
+        name: &str,
+        mut gen: impl FnMut(u64) -> f64,
+    ) -> Result<(), DiskError> {
+        let mut inner = self.inner.lock();
+        match inner.files.get_mut(name) {
+            None => Err(DiskError::NoSuchFile(name.to_string())),
+            Some(FileData::Dry { .. }) => Err(DiskError::DryFile(name.to_string())),
+            Some(FileData::Real(v)) => {
+                for (k, x) in v.iter_mut().enumerate() {
+                    *x = gen(k as u64);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads `len` elements at `offset` as one I/O operation. With a
+    /// destination slice the data is copied out (materialized files only);
+    /// with `None` only the transfer is charged.
+    pub fn read(
+        &self,
+        name: &str,
+        offset: u64,
+        len: u64,
+        dst: Option<&mut [f64]>,
+    ) -> Result<(), DiskError> {
+        let mut inner = self.inner.lock();
+        if let Some(left) = inner.fail_after.as_mut() {
+            if *left == 0 {
+                return Err(DiskError::Injected(format!("read `{name}`")));
+            }
+            *left -= 1;
+        }
+        let file = inner
+            .files
+            .get(name)
+            .ok_or_else(|| DiskError::NoSuchFile(name.to_string()))?;
+        let file_len = file.len();
+        if offset + len > file_len {
+            return Err(DiskError::OutOfBounds {
+                file: name.to_string(),
+                offset,
+                len,
+                file_len,
+            });
+        }
+        if let Some(dst) = dst {
+            if dst.len() as u64 != len {
+                return Err(DiskError::LengthMismatch {
+                    expected: len,
+                    found: dst.len() as u64,
+                });
+            }
+            match file {
+                FileData::Dry { .. } => return Err(DiskError::DryFile(name.to_string())),
+                FileData::Real(v) => {
+                    dst.copy_from_slice(&v[offset as usize..(offset + len) as usize]);
+                }
+            }
+        }
+        let bytes = len * ELEM_BYTES;
+        inner.stats.read_bytes += bytes;
+        inner.stats.read_ops += 1;
+        inner.stats.read_time_s += self.profile.read_time(bytes);
+        Ok(())
+    }
+
+    /// Writes elements at `offset` as one I/O operation.
+    pub fn write(&self, name: &str, offset: u64, src: WriteSrc<'_>) -> Result<(), DiskError> {
+        let len = src.len();
+        let mut inner = self.inner.lock();
+        if let Some(left) = inner.fail_after.as_mut() {
+            if *left == 0 {
+                return Err(DiskError::Injected(format!("write `{name}`")));
+            }
+            *left -= 1;
+        }
+        let file = inner
+            .files
+            .get_mut(name)
+            .ok_or_else(|| DiskError::NoSuchFile(name.to_string()))?;
+        let file_len = file.len();
+        if offset + len > file_len {
+            return Err(DiskError::OutOfBounds {
+                file: name.to_string(),
+                offset,
+                len,
+                file_len,
+            });
+        }
+        match (&mut *file, &src) {
+            (FileData::Real(v), WriteSrc::Data(d)) => {
+                v[offset as usize..(offset + len) as usize].copy_from_slice(d);
+            }
+            (FileData::Real(v), WriteSrc::Zeros(_)) => {
+                v[offset as usize..(offset + len) as usize].fill(0.0);
+            }
+            (FileData::Real(_), WriteSrc::Dry(_)) => {
+                // accounting-only write against a materialized file is a
+                // caller bug: data would silently diverge
+                return Err(DiskError::DryFile(name.to_string()));
+            }
+            (FileData::Dry { .. }, WriteSrc::Data(_)) => {
+                return Err(DiskError::DryFile(name.to_string()));
+            }
+            (FileData::Dry { .. }, _) => {}
+        }
+        let bytes = len * ELEM_BYTES;
+        inner.stats.write_bytes += bytes;
+        inner.stats.write_ops += 1;
+        inner.stats.write_time_s += self.profile.write_time(bytes);
+        Ok(())
+    }
+
+    /// Reads the full contents of a materialized file without charging
+    /// I/O (verification helper).
+    pub fn snapshot(&self, name: &str) -> Result<Vec<f64>, DiskError> {
+        let inner = self.inner.lock();
+        match inner.files.get(name) {
+            None => Err(DiskError::NoSuchFile(name.to_string())),
+            Some(FileData::Dry { .. }) => Err(DiskError::DryFile(name.to_string())),
+            Some(FileData::Real(v)) => Ok(v.clone()),
+        }
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Clears accounting (keeps files).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> SimDisk {
+        SimDisk::new(DiskProfile {
+            seek_s: 0.01,
+            read_bw: 800.0, // 100 elements/s
+            write_bw: 400.0,
+            min_read_block: 0,
+            min_write_block: 0,
+        })
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let d = disk();
+        d.create("A", 10, true);
+        d.write("A", 2, WriteSrc::Data(&[1.0, 2.0, 3.0])).unwrap();
+        let mut buf = [0.0; 3];
+        d.read("A", 2, 3, Some(&mut buf)).unwrap();
+        assert_eq!(buf, [1.0, 2.0, 3.0]);
+        let snap = d.snapshot("A").unwrap();
+        assert_eq!(snap[2], 1.0);
+        assert_eq!(snap[0], 0.0);
+    }
+
+    #[test]
+    fn accounting_matches_model() {
+        let d = disk();
+        d.create("A", 100, false);
+        d.read("A", 0, 50, None).unwrap();
+        d.write("A", 0, WriteSrc::Dry(25)).unwrap();
+        let s = d.stats();
+        assert_eq!(s.read_bytes, 400);
+        assert_eq!(s.write_bytes, 200);
+        assert_eq!(s.read_ops, 1);
+        assert_eq!(s.write_ops, 1);
+        assert!((s.read_time_s - (0.01 + 400.0 / 800.0)).abs() < 1e-12);
+        assert!((s.write_time_s - (0.01 + 200.0 / 400.0)).abs() < 1e-12);
+        d.reset_stats();
+        assert_eq!(d.stats().total_ops(), 0);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let d = disk();
+        d.create("A", 10, true);
+        let err = d.read("A", 8, 5, None).unwrap_err();
+        assert!(matches!(err, DiskError::OutOfBounds { .. }));
+        let err = d.write("A", 9, WriteSrc::Zeros(2)).unwrap_err();
+        assert!(matches!(err, DiskError::OutOfBounds { .. }));
+        assert!(matches!(
+            d.read("B", 0, 1, None).unwrap_err(),
+            DiskError::NoSuchFile(_)
+        ));
+    }
+
+    #[test]
+    fn dry_files_reject_data_access() {
+        let d = disk();
+        d.create("A", 10, false);
+        let mut buf = [0.0; 2];
+        assert!(matches!(
+            d.read("A", 0, 2, Some(&mut buf)).unwrap_err(),
+            DiskError::DryFile(_)
+        ));
+        assert!(matches!(
+            d.write("A", 0, WriteSrc::Data(&[1.0])).unwrap_err(),
+            DiskError::DryFile(_)
+        ));
+        // dry transfers are fine and charged
+        d.write("A", 0, WriteSrc::Dry(10)).unwrap();
+        assert_eq!(d.stats().write_bytes, 80);
+    }
+
+    #[test]
+    fn zero_write_clears_region() {
+        let d = disk();
+        d.create("A", 4, true);
+        d.write("A", 0, WriteSrc::Data(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        d.write("A", 1, WriteSrc::Zeros(2)).unwrap();
+        assert_eq!(d.snapshot("A").unwrap(), vec![1.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn fill_with_charges_nothing() {
+        let d = disk();
+        d.create("A", 5, true);
+        d.fill_with("A", |k| k as f64).unwrap();
+        assert_eq!(d.stats().total_bytes(), 0);
+        assert_eq!(d.snapshot("A").unwrap()[4], 4.0);
+    }
+
+    #[test]
+    fn fault_injection_fires_after_budget() {
+        let d = disk();
+        d.create("A", 10, false);
+        d.inject_failure_after(2);
+        d.read("A", 0, 1, None).unwrap();
+        d.write("A", 0, WriteSrc::Dry(1)).unwrap();
+        assert!(matches!(
+            d.read("A", 0, 1, None).unwrap_err(),
+            DiskError::Injected(_)
+        ));
+        // stays failed until cleared
+        assert!(d.write("A", 0, WriteSrc::Dry(1)).is_err());
+        d.clear_fault();
+        d.read("A", 0, 1, None).unwrap();
+        // failed ops are not charged
+        assert_eq!(d.stats().total_ops(), 3);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let d = disk();
+        d.create("A", 10, true);
+        let mut buf = [0.0; 3];
+        let err = d.read("A", 0, 2, Some(&mut buf)).unwrap_err();
+        assert!(matches!(err, DiskError::LengthMismatch { .. }));
+    }
+}

@@ -1,0 +1,703 @@
+//! The concrete-plan interpreter.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tce_codegen::{BufId, ComputeOp, ConcretePlan, Op};
+use tce_cost::DimExtent;
+use tce_disksim::{DiskProfile, IoStats};
+use tce_ga::{chunk, run_parallel, DraError, DraRuntime, GlobalArray, ProcCtx, Section, SectionSrc};
+use tce_ir::{ArrayKind, Index};
+
+/// How a plan is executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Real data: materialized disk arrays, kernels executed, outputs
+    /// available for verification. Use at test scale.
+    Full,
+    /// Accounting only: identical loop structure and DRA transfers, no
+    /// data movement or computation. Use at paper scale.
+    DryRun,
+}
+
+/// Execution options.
+#[derive(Clone, Debug)]
+pub struct ExecOptions {
+    /// Full or dry-run.
+    pub mode: ExecMode,
+    /// Number of simulated processes (each with a local disk).
+    pub nproc: usize,
+    /// Disk performance model.
+    pub profile: DiskProfile,
+    /// Generator for synthetic input-tensor values `(array name, flat
+    /// element index) → value`. Must match the generator handed to the
+    /// dense reference when verifying.
+    pub input_gen: fn(&str, u64) -> f64,
+    /// Fault injection for robustness tests: `(rank, ops)` makes rank's
+    /// local disk fail every operation after `ops` successful ones.
+    pub inject_fault: Option<(usize, u64)>,
+    /// Second-level (cache) tiling of the in-memory kernels: the band's
+    /// element loops are blocked into chunks of this many iterations, the
+    /// memory-to-cache blocking of the TCE's earlier locality work
+    /// (refs. \[9, 10\] of the paper). `None` runs the plain loops.
+    pub cache_block: Option<u64>,
+}
+
+/// Default synthetic input values: deterministic, bounded, array-specific.
+pub fn default_input_gen(name: &str, k: u64) -> f64 {
+    let h = name
+        .bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    let x = h.wrapping_add(k.wrapping_mul(2654435761));
+    ((x % 1000) as f64 / 500.0) - 1.0
+}
+
+impl ExecOptions {
+    /// Sequential full execution with the test disk profile.
+    pub fn full_test() -> Self {
+        ExecOptions {
+            mode: ExecMode::Full,
+            nproc: 1,
+            profile: DiskProfile::unconstrained_test(),
+            input_gen: default_input_gen,
+            inject_fault: None,
+            cache_block: None,
+        }
+    }
+
+    /// Sequential dry run with the paper's disk profile.
+    pub fn dry_run() -> Self {
+        ExecOptions {
+            mode: ExecMode::DryRun,
+            nproc: 1,
+            profile: DiskProfile::itanium2_osc(),
+            input_gen: default_input_gen,
+            inject_fault: None,
+            cache_block: None,
+        }
+    }
+
+    /// Same options on `n` simulated processes.
+    pub fn with_nproc(mut self, n: usize) -> Self {
+        self.nproc = n;
+        self
+    }
+}
+
+/// Execution result: exact I/O accounting plus (in full mode) the final
+/// output arrays.
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// Per-rank disk accounting.
+    pub per_rank: Vec<IoStats>,
+    /// Aggregate accounting.
+    pub total: IoStats,
+    /// Simulated elapsed I/O seconds (disks work concurrently: the
+    /// maximum per-disk time).
+    pub elapsed_io_s: f64,
+    /// Multiply-add operations executed (full mode).
+    pub flops: u64,
+    /// Final contents of output arrays by name (full mode only).
+    pub outputs: HashMap<String, Vec<f64>>,
+}
+
+/// Execution failure.
+#[derive(Clone, Debug)]
+pub enum ExecError {
+    /// A DRA transfer failed.
+    Dra(String),
+    /// A tiling-loop window was missing for an index (plan bug).
+    MissingWindow(String),
+    /// Another rank failed and aborted the process group.
+    Aborted,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Dra(m) => write!(f, "DRA failure: {m}"),
+            ExecError::MissingWindow(i) => write!(f, "no tile window for index `{i}`"),
+            ExecError::Aborted => f.write_str("aborted: another rank failed"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<DraError> for ExecError {
+    fn from(e: DraError) -> Self {
+        ExecError::Dra(e.to_string())
+    }
+}
+
+/// True if the op subtree performs any disk I/O (used to prune empty loop
+/// nests in dry runs).
+fn contains_io(ops: &[Op]) -> bool {
+    ops.iter().any(|op| match op {
+        Op::ReadBlock { .. } | Op::WriteBlock { .. } | Op::ZeroFillPass { .. } => true,
+        Op::TilingLoop { body, .. } => contains_io(body),
+        Op::ZeroBuffer { .. } | Op::Compute(_) => false,
+    })
+}
+
+struct Interp<'a> {
+    plan: &'a ConcretePlan,
+    dra: &'a DraRuntime,
+    buffers: &'a [GlobalArray],
+    mode: ExecMode,
+    rank: usize,
+    nproc: usize,
+    ctx: &'a ProcCtx<'a>,
+    flops: &'a AtomicU64,
+    cache_block: Option<u64>,
+    windows: HashMap<Index, (u64, u64)>,
+}
+
+impl Interp<'_> {
+    /// Collective barrier (full parallel mode only); surfaces aborts
+    /// raised by failing ranks.
+    fn sync(&self) -> Result<(), ExecError> {
+        if self.mode == ExecMode::Full && self.nproc > 1 && !self.ctx.barrier_or_abort() {
+            return Err(ExecError::Aborted);
+        }
+        Ok(())
+    }
+
+    /// Propagates a rank-local failure: abort the group so peers waiting
+    /// at barriers unwind instead of deadlocking.
+    fn fail<T>(&self, e: impl Into<ExecError>) -> Result<T, ExecError> {
+        if self.mode == ExecMode::Full && self.nproc > 1 {
+            self.ctx.abort();
+        }
+        Err(e.into())
+    }
+
+    fn window(&self, i: &Index) -> Result<(u64, u64), ExecError> {
+        self.windows
+            .get(i)
+            .copied()
+            .ok_or_else(|| ExecError::MissingWindow(i.name().to_string()))
+    }
+
+    /// The DRA section and matching buffer section for the current tile
+    /// state of `buffer`.
+    fn sections(&self, buffer: BufId) -> Result<(Section, Section), ExecError> {
+        let decl = self.plan.buffer(buffer);
+        let ranges = self.plan.program.ranges();
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        let mut blo = Vec::new();
+        let mut bhi = Vec::new();
+        for (idx, extent) in decl.shape.dims() {
+            let n = ranges.extent(idx);
+            match extent {
+                DimExtent::Full => {
+                    lo.push(0);
+                    hi.push(n);
+                    blo.push(0);
+                    bhi.push(n);
+                }
+                DimExtent::Tile => {
+                    let (base, len) = self.window(idx)?;
+                    lo.push(base);
+                    hi.push(base + len);
+                    blo.push(0);
+                    bhi.push(len);
+                }
+                DimExtent::One => {
+                    // excluded by placement enumeration; tolerate by
+                    // treating as a unit slab at the window base
+                    let (base, _) = self.window(idx)?;
+                    lo.push(base);
+                    hi.push(base + 1);
+                    blo.push(0);
+                    bhi.push(1);
+                }
+            }
+        }
+        Ok((Section::new(lo, hi), Section::new(blo, bhi)))
+    }
+
+    fn run_ops(&mut self, ops: &[Op]) -> Result<(), ExecError> {
+        for op in ops {
+            match op {
+                Op::TilingLoop { index, body } => {
+                    if self.mode == ExecMode::DryRun && !contains_io(body) {
+                        continue;
+                    }
+                    let n = self.plan.program.ranges().extent(index);
+                    let t = self.plan.tiles.get(index).min(n).max(1);
+                    let mut base = 0;
+                    while base < n {
+                        let len = t.min(n - base);
+                        self.windows.insert(index.clone(), (base, len));
+                        self.run_ops(body)?;
+                        base += t;
+                    }
+                    self.windows.remove(index);
+                }
+                Op::ReadBlock { array, buffer } => {
+                    let (sec, bufsec) = self.sections(*buffer)?;
+                    let name = self.plan.program.array(*array).name();
+                    self.sync()?;
+                    let dst = (self.mode == ExecMode::Full)
+                        .then(|| (&self.buffers[buffer.as_usize()], &bufsec));
+                    if let Err(e) = self.dra.read_section(self.rank, name, &sec, dst) {
+                        return self.fail(e);
+                    }
+                    self.sync()?;
+                }
+                Op::WriteBlock { array, buffer } => {
+                    let (sec, bufsec) = self.sections(*buffer)?;
+                    let name = self.plan.program.array(*array).name();
+                    self.sync()?;
+                    let src = if self.mode == ExecMode::Full {
+                        SectionSrc::From(&self.buffers[buffer.as_usize()], bufsec)
+                    } else {
+                        SectionSrc::Dry
+                    };
+                    if let Err(e) = self.dra.write_section(self.rank, name, &sec, src) {
+                        return self.fail(e);
+                    }
+                    self.sync()?;
+                }
+                Op::ZeroBuffer { buffer } => {
+                    if self.mode == ExecMode::Full {
+                        self.sync()?;
+                        let buf = &self.buffers[buffer.as_usize()];
+                        let (s, e) = chunk(buf.len() as u64, self.rank, self.nproc);
+                        buf.zero_range(s as usize, e as usize);
+                        self.sync()?;
+                    }
+                }
+                Op::ZeroFillPass { array, buffer } => {
+                    self.zero_fill(*array, *buffer)?;
+                }
+                Op::Compute(c) => {
+                    if self.mode == ExecMode::Full {
+                        self.sync()?;
+                        self.kernel(c)?;
+                        self.sync()?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes zeros over the whole disk array in buffer-shaped blocks.
+    fn zero_fill(&mut self, array: tce_ir::ArrayId, buffer: BufId) -> Result<(), ExecError> {
+        let decl = self.plan.buffer(buffer);
+        let ranges = self.plan.program.ranges();
+        let name = self.plan.program.array(array).name();
+        // per-dimension (extent, step): Tile dims iterate the tile grid,
+        // Full dims are covered in one step
+        let dims: Vec<(u64, u64)> = decl
+            .shape
+            .dims()
+            .iter()
+            .map(|(idx, extent)| {
+                let n = ranges.extent(idx);
+                match extent {
+                    DimExtent::Full => (n, n),
+                    DimExtent::Tile => (n, self.plan.tiles.get(idx).min(n).max(1)),
+                    DimExtent::One => (n, 1),
+                }
+            })
+            .collect();
+        let rank_count = dims.len();
+        let mut base = vec![0u64; rank_count];
+        loop {
+            let lo: Vec<u64> = base.clone();
+            let hi: Vec<u64> = base
+                .iter()
+                .zip(&dims)
+                .map(|(&b, &(n, step))| (b + step).min(n))
+                .collect();
+            let sec = Section::new(lo, hi);
+            self.sync()?;
+            let src = if self.mode == ExecMode::Full {
+                SectionSrc::Zeros
+            } else {
+                SectionSrc::Dry
+            };
+            if let Err(e) = self.dra.write_section(self.rank, name, &sec, src) {
+                return self.fail(e);
+            }
+            self.sync()?;
+            // advance the block odometer
+            let mut k = rank_count;
+            loop {
+                if k == 0 {
+                    return Ok(());
+                }
+                k -= 1;
+                base[k] += dims[k].1;
+                if base[k] < dims[k].0 {
+                    break;
+                }
+                base[k] = 0;
+            }
+        }
+    }
+
+    /// Executes one per-tile contraction kernel, partitioning the
+    /// outermost intra-tile loop across ranks.
+    fn kernel(&self, c: &ComputeOp) -> Result<(), ExecError> {
+        // element ranges of the band
+        let mut ranges_v: Vec<(Index, u64, u64)> = Vec::with_capacity(c.band.len());
+        for (k, idx) in c.band.iter().enumerate() {
+            let (base, len) = self.window(idx)?;
+            let (lo, hi) = if k == 0 {
+                // partition the outermost loop across ranks
+                let (s, e) = chunk(len, self.rank, self.nproc);
+                (base + s, base + e)
+            } else {
+                (base, base + len)
+            };
+            ranges_v.push((idx.clone(), lo, hi));
+        }
+
+        // per-operand: stride and base for each band index
+        let operand = |r: &tce_codegen::BufRef| -> OperandMap {
+            let buf = &self.buffers[r.buffer.buffer_usize()];
+            let decl = self.plan.buffer(r.buffer);
+            let dims = buf.dims().to_vec();
+            let strides = tce_ga::strides(&dims);
+            let mut per_band = vec![(0u64, 0u64); c.band.len()]; // (stride, base)
+            for (dim_k, sub) in r.subscripts.iter().enumerate() {
+                if let Some(band_k) = c.band.iter().position(|b| b == sub) {
+                    let base = match decl.shape.dims()[dim_k].1 {
+                        DimExtent::Full => 0,
+                        DimExtent::Tile | DimExtent::One => {
+                            self.windows.get(sub).map(|w| w.0).unwrap_or(0)
+                        }
+                    };
+                    per_band[band_k] = (strides[dim_k], base);
+                }
+            }
+            OperandMap {
+                buffer: r.buffer,
+                per_band,
+            }
+        };
+        let dst = operand(&c.dst);
+        let lhs = operand(&c.lhs);
+        let rhs = operand(&c.rhs);
+
+        let mut flops = 0u64;
+        match self.cache_block {
+            None => {
+                self.kernel_loop(&ranges_v, 0, 0, 0, 0, &dst, &lhs, &rhs, &mut flops);
+            }
+            Some(cb) => {
+                // second-level blocking: walk the band in cache-sized
+                // chunks; only the iteration order changes, so the
+                // accumulated results are identical
+                let cb = cb.max(1);
+                let mut sub: Vec<(Index, u64, u64)> = ranges_v.clone();
+                let mut base: Vec<u64> = ranges_v.iter().map(|(_, lo, _)| *lo).collect();
+                'grid: loop {
+                    for (k, (_, lo, hi)) in ranges_v.iter().enumerate() {
+                        let _ = lo;
+                        sub[k].1 = base[k];
+                        sub[k].2 = (base[k] + cb).min(*hi);
+                    }
+                    self.kernel_loop(&sub, 0, 0, 0, 0, &dst, &lhs, &rhs, &mut flops);
+                    // advance the block odometer
+                    let mut k = ranges_v.len();
+                    loop {
+                        if k == 0 {
+                            break 'grid;
+                        }
+                        k -= 1;
+                        base[k] += cb;
+                        if base[k] < ranges_v[k].2 {
+                            break;
+                        }
+                        base[k] = ranges_v[k].1;
+                    }
+                }
+            }
+        }
+        self.flops.fetch_add(flops, Ordering::Relaxed);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn kernel_loop(
+        &self,
+        ranges_v: &[(Index, u64, u64)],
+        depth: usize,
+        dst_off: u64,
+        lhs_off: u64,
+        rhs_off: u64,
+        dst: &OperandMap,
+        lhs: &OperandMap,
+        rhs: &OperandMap,
+        flops: &mut u64,
+    ) {
+        if depth == ranges_v.len() {
+            let l = self.buffers[lhs.buffer.buffer_usize()].get_flat(lhs_off as usize);
+            let r = self.buffers[rhs.buffer.buffer_usize()].get_flat(rhs_off as usize);
+            self.buffers[dst.buffer.buffer_usize()].add_flat(dst_off as usize, l * r);
+            *flops += 2;
+            return;
+        }
+        let (_, lo, hi) = &ranges_v[depth];
+        let (ds, db) = dst.per_band[depth];
+        let (ls, lb) = lhs.per_band[depth];
+        let (rs, rb) = rhs.per_band[depth];
+        let innermost = depth + 1 == ranges_v.len();
+        if innermost && ds == 0 {
+            // contraction over the innermost index: accumulate locally,
+            // one atomic add at the end
+            let mut acc = 0.0;
+            let lbuf = &self.buffers[lhs.buffer.buffer_usize()];
+            let rbuf = &self.buffers[rhs.buffer.buffer_usize()];
+            for v in *lo..*hi {
+                let lo_off = lhs_off + (v - lb) * ls;
+                let ro_off = rhs_off + (v - rb) * rs;
+                acc += lbuf.get_flat(lo_off as usize) * rbuf.get_flat(ro_off as usize);
+            }
+            self.buffers[dst.buffer.buffer_usize()].add_flat(dst_off as usize, acc);
+            *flops += 2 * (hi - lo);
+            return;
+        }
+        for v in *lo..*hi {
+            self.kernel_loop(
+                ranges_v,
+                depth + 1,
+                dst_off + (v - db) * ds,
+                lhs_off + (v - lb) * ls,
+                rhs_off + (v - rb) * rs,
+                dst,
+                lhs,
+                rhs,
+                flops,
+            );
+        }
+    }
+}
+
+struct OperandMap {
+    buffer: BufId,
+    /// `(stride, window base)` per band index; stride 0 when the operand
+    /// does not carry the index.
+    per_band: Vec<(u64, u64)>,
+}
+
+trait BufIdExt {
+    fn buffer_usize(&self) -> usize;
+}
+
+impl BufIdExt for BufId {
+    fn buffer_usize(&self) -> usize {
+        self.as_usize()
+    }
+}
+
+/// Executes a plan and returns the accounting (and outputs in full mode).
+pub fn execute(plan: &ConcretePlan, opts: &ExecOptions) -> Result<ExecReport, ExecError> {
+    let dra = DraRuntime::new(opts.nproc, opts.profile.clone());
+    if let Some((rank, ops)) = opts.inject_fault {
+        assert!(rank < opts.nproc, "fault rank out of range");
+        dra.disk(rank).inject_failure_after(ops);
+    }
+    let ranges = plan.program.ranges();
+    let materialize = opts.mode == ExecMode::Full;
+
+    for &aid in &plan.disk_arrays {
+        let decl = plan.program.array(aid);
+        let dims: Vec<u64> = decl.dims().iter().map(|d| ranges.extent(d)).collect();
+        dra.create(decl.name(), &dims, materialize);
+        if materialize && decl.kind() == ArrayKind::Input {
+            let gen = opts.input_gen;
+            let name = decl.name().to_string();
+            dra.fill(decl.name(), |k| gen(&name, k))?;
+        }
+    }
+
+    // shared in-memory buffers (global arrays). Dry runs never touch
+    // buffer contents — the paper-size plans would otherwise allocate
+    // gigabytes — so they get 1-element placeholders.
+    let buffers: Vec<GlobalArray> = plan
+        .buffers
+        .iter()
+        .map(|b| {
+            if materialize {
+                let dims = b.shape.extents(ranges, &plan.tiles);
+                GlobalArray::zeros(&dims)
+            } else {
+                GlobalArray::zeros(&[])
+            }
+        })
+        .collect();
+
+    let flops = AtomicU64::new(0);
+    let results = run_parallel(opts.nproc, |ctx| {
+        let mut interp = Interp {
+            plan,
+            dra: &dra,
+            buffers: &buffers,
+            mode: opts.mode,
+            rank: ctx.rank,
+            nproc: ctx.nproc,
+            ctx,
+            flops: &flops,
+            cache_block: opts.cache_block,
+            windows: HashMap::new(),
+        };
+        interp.run_ops(&plan.ops)
+    });
+    // report the root cause, not a secondary abort
+    let mut aborted = false;
+    for r in &results {
+        match r {
+            Err(ExecError::Aborted) => aborted = true,
+            Err(e) => return Err(e.clone()),
+            Ok(()) => {}
+        }
+    }
+    if aborted {
+        return Err(ExecError::Aborted);
+    }
+
+    let mut outputs = HashMap::new();
+    if materialize {
+        for &aid in &plan.disk_arrays {
+            let decl = plan.program.array(aid);
+            if decl.kind() == ArrayKind::Output {
+                outputs.insert(decl.name().to_string(), dra.snapshot(decl.name())?);
+            }
+        }
+    }
+
+    Ok(ExecReport {
+        per_rank: dra.stats_per_disk(),
+        total: dra.total_stats(),
+        elapsed_io_s: dra.elapsed_io_time_s(),
+        flops: flops.into_inner(),
+        outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::dense_reference;
+    use tce_cost::TileAssignment;
+    use tce_ir::fixtures::two_index_fused;
+    use tce_tile::{enumerate_placements, tile_program, IntermediateChoice};
+
+    fn build_plan(
+        n: u64,
+        v: u64,
+        tiles: &TileAssignment,
+        spill_t: bool,
+    ) -> ConcretePlan {
+        let p = two_index_fused(n, v);
+        let tiled = tile_program(&p);
+        let space = enumerate_placements(&tiled, 1 << 30).expect("space");
+        let mut sel = space.default_selection();
+        if spill_t {
+            sel.intermediates[0] = IntermediateChoice::OnDisk { write: 0, read: 0 };
+        }
+        tce_codegen::generate_plan(&tiled, &space, &sel, tiles)
+    }
+
+    fn verify(plan: &ConcretePlan, report: &ExecReport) {
+        let want = dense_reference(&plan.program, default_input_gen);
+        for (name, got) in &report.outputs {
+            let w = &want[name];
+            assert_eq!(got.len(), w.len());
+            for (k, (g, e)) in got.iter().zip(w).enumerate() {
+                assert!(
+                    (g - e).abs() < 1e-6 * (1.0 + e.abs()),
+                    "{name}[{k}]: got {g}, want {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_exec_matches_reference_even_tiles() {
+        let tiles = TileAssignment::new()
+            .with("i", 4)
+            .with("j", 4)
+            .with("m", 3)
+            .with("n", 3);
+        let plan = build_plan(8, 6, &tiles, false);
+        let report = execute(&plan, &ExecOptions::full_test()).expect("exec");
+        assert!(report.flops > 0);
+        verify(&plan, &report);
+    }
+
+    #[test]
+    fn full_exec_matches_reference_partial_tiles() {
+        // tile sizes that do not divide the ranges
+        let tiles = TileAssignment::new()
+            .with("i", 5)
+            .with("j", 3)
+            .with("m", 4)
+            .with("n", 5);
+        let plan = build_plan(8, 7, &tiles, false);
+        let report = execute(&plan, &ExecOptions::full_test()).expect("exec");
+        verify(&plan, &report);
+    }
+
+    #[test]
+    fn full_exec_with_spilled_intermediate() {
+        let tiles = TileAssignment::new()
+            .with("i", 3)
+            .with("j", 4)
+            .with("m", 3)
+            .with("n", 2);
+        let plan = build_plan(7, 6, &tiles, true);
+        let report = execute(&plan, &ExecOptions::full_test()).expect("exec");
+        verify(&plan, &report);
+        // T traffic must appear
+        let (tid, _) = plan.program.array_by_name("T").unwrap();
+        assert!(plan.on_disk(tid));
+    }
+
+    #[test]
+    fn parallel_exec_matches_sequential() {
+        let tiles = TileAssignment::new()
+            .with("i", 4)
+            .with("j", 4)
+            .with("m", 4)
+            .with("n", 4);
+        let plan = build_plan(8, 8, &tiles, false);
+        let seq = execute(&plan, &ExecOptions::full_test()).expect("seq");
+        let par = execute(&plan, &ExecOptions::full_test().with_nproc(4)).expect("par");
+        verify(&plan, &par);
+        assert_eq!(seq.outputs["B"].len(), par.outputs["B"].len());
+        for (a, b) in seq.outputs["B"].iter().zip(&par.outputs["B"]) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // parallel spreads the same bytes over more disks
+        assert_eq!(seq.total.total_bytes(), par.total.total_bytes());
+        assert!(par.elapsed_io_s < seq.elapsed_io_s);
+    }
+
+    #[test]
+    fn dry_run_matches_full_accounting() {
+        let tiles = TileAssignment::new()
+            .with("i", 4)
+            .with("j", 4)
+            .with("m", 3)
+            .with("n", 3);
+        let plan = build_plan(8, 6, &tiles, false);
+        let full = execute(&plan, &ExecOptions::full_test()).expect("full");
+        let mut dry_opts = ExecOptions::full_test();
+        dry_opts.mode = ExecMode::DryRun;
+        let dry = execute(&plan, &dry_opts).expect("dry");
+        assert_eq!(full.total.read_bytes, dry.total.read_bytes);
+        assert_eq!(full.total.write_bytes, dry.total.write_bytes);
+        assert_eq!(full.total.read_ops, dry.total.read_ops);
+        assert_eq!(full.total.write_ops, dry.total.write_ops);
+        assert_eq!(dry.flops, 0);
+        assert!(dry.outputs.is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Concrete-plan execution.
+//!
+//! Interprets the plans produced by `tce-codegen` against the GA/DRA
+//! substrate:
+//!
+//! * [`ExecMode::Full`] — real data: disk-resident arrays are
+//!   materialized, input tensors filled with synthetic values, kernels
+//!   executed, and the outputs can be compared against the dense
+//!   reference evaluator ([`mod@reference`]). Used at test scale.
+//! * [`ExecMode::DryRun`] — accounting only: the interpreter walks the
+//!   same loop structure and issues the same DRA transfers, but moves no
+//!   data and skips the kernels. This is how the paper-size experiments
+//!   (arrays of multiple GB) are "measured" on the simulated disks.
+//!
+//! Both modes run sequentially or on `P` simulated processes; in the
+//! parallel case every rank moves `1/P` of each collective transfer
+//! through its local disk (Table 4's setup) and kernels are partitioned
+//! over the outermost intra-tile loop with atomic accumulation.
+
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod reference;
+
+pub use interp::{execute, ExecError, ExecMode, ExecOptions, ExecReport};
+pub use reference::dense_reference;

@@ -1,0 +1,412 @@
+//! Disk Resident Arrays: named multi-dimensional arrays on simulated
+//! disks, striped uniformly across one local disk per process.
+//!
+//! `read_section` / `write_section` are *collective*: every rank calls
+//! them with the same arguments; each rank moves its `1/P` share of the
+//! bytes through its own local disk (charged on that disk's accounting),
+//! and rank 0 performs the actual data copy for materialized arrays.
+//! Callers must separate collective I/O from computation with barriers —
+//! the executor in `tce-exec` does.
+
+use crate::global::GlobalArray;
+use crate::group::chunk;
+use crate::section::Section;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use tce_disksim::{DiskError, DiskProfile, IoStats, SimDisk, WriteSrc};
+
+/// DRA operation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DraError {
+    /// Unknown array name.
+    NoSuchArray(String),
+    /// Section shape does not match the array rank or bounds.
+    BadSection(String),
+    /// Data access on a dry (accounting-only) array.
+    NotMaterialized(String),
+    /// Underlying simulated-disk failure.
+    Disk(String),
+}
+
+impl fmt::Display for DraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DraError::NoSuchArray(n) => write!(f, "no disk-resident array `{n}`"),
+            DraError::BadSection(m) => write!(f, "bad section: {m}"),
+            DraError::NotMaterialized(n) => {
+                write!(f, "array `{n}` is dry (accounting-only)")
+            }
+            DraError::Disk(m) => write!(f, "disk error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DraError {}
+
+impl From<DiskError> for DraError {
+    fn from(e: DiskError) -> Self {
+        DraError::Disk(e.to_string())
+    }
+}
+
+struct DraArray {
+    dims: Vec<u64>,
+    /// Real contents; `None` for dry (accounting-only) arrays.
+    data: Option<GlobalArray>,
+}
+
+/// What a collective section write transfers.
+pub enum SectionSrc<'a> {
+    /// Copy from a section of a global array (same element count).
+    From(&'a GlobalArray, Section),
+    /// Write zeros.
+    Zeros,
+    /// Accounting-only transfer.
+    Dry,
+}
+
+/// The disk-resident array runtime: one simulated local disk per process
+/// plus the array directory.
+pub struct DraRuntime {
+    disks: Vec<Arc<SimDisk>>,
+    arrays: RwLock<HashMap<String, Arc<DraArray>>>,
+}
+
+impl DraRuntime {
+    /// Creates a runtime with `nproc` local disks of the given profile.
+    pub fn new(nproc: usize, profile: DiskProfile) -> Self {
+        assert!(nproc >= 1);
+        DraRuntime {
+            disks: (0..nproc)
+                .map(|_| Arc::new(SimDisk::new(profile.clone())))
+                .collect(),
+            arrays: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Number of processes / local disks.
+    pub fn nproc(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// The local disk of `rank` (for direct accounting inspection).
+    pub fn disk(&self, rank: usize) -> &SimDisk {
+        &self.disks[rank]
+    }
+
+    /// Creates (or replaces) a disk-resident array.
+    pub fn create(&self, name: &str, dims: &[u64], materialize: bool) {
+        let len: u64 = dims.iter().product::<u64>().max(1);
+        let data = materialize.then(|| GlobalArray::zeros(dims));
+        self.arrays.write().insert(
+            name.to_string(),
+            Arc::new(DraArray {
+                dims: dims.to_vec(),
+                data,
+            }),
+        );
+        // per-disk accounting file sized to this disk's largest share
+        let share = len.div_ceil(self.disks.len() as u64).max(1);
+        for d in &self.disks {
+            d.create(name, share, false);
+        }
+    }
+
+    /// True if the array exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.arrays.read().contains_key(name)
+    }
+
+    /// Shape of the array.
+    pub fn dims(&self, name: &str) -> Result<Vec<u64>, DraError> {
+        self.get(name).map(|a| a.dims.clone())
+    }
+
+    fn get(&self, name: &str) -> Result<Arc<DraArray>, DraError> {
+        self.arrays
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DraError::NoSuchArray(name.to_string()))
+    }
+
+    /// Fills a materialized array by flat element index, without charging
+    /// I/O (synthetic input loading).
+    pub fn fill(&self, name: &str, mut gen: impl FnMut(u64) -> f64) -> Result<(), DraError> {
+        let a = self.get(name)?;
+        let data = a
+            .data
+            .as_ref()
+            .ok_or_else(|| DraError::NotMaterialized(name.to_string()))?;
+        for k in 0..data.len() {
+            data.set_flat(k, gen(k as u64));
+        }
+        Ok(())
+    }
+
+    fn check_section(a: &DraArray, name: &str, sec: &Section) -> Result<(), DraError> {
+        if sec.lo.len() != a.dims.len() {
+            return Err(DraError::BadSection(format!(
+                "rank {} section on rank-{} array `{name}`",
+                sec.lo.len(),
+                a.dims.len()
+            )));
+        }
+        if sec.hi.iter().zip(&a.dims).any(|(h, d)| h > d) {
+            return Err(DraError::BadSection(format!(
+                "section {:?}..{:?} exceeds `{name}` dims {:?}",
+                sec.lo, sec.hi, a.dims
+            )));
+        }
+        Ok(())
+    }
+
+    /// Collective section read. Every rank charges its share on its local
+    /// disk; rank 0 copies the data into `dst` for materialized arrays.
+    pub fn read_section(
+        &self,
+        rank: usize,
+        name: &str,
+        sec: &Section,
+        dst: Option<(&GlobalArray, &Section)>,
+    ) -> Result<(), DraError> {
+        let a = self.get(name)?;
+        Self::check_section(&a, name, sec)?;
+        let len = sec.len();
+        let (start, end) = chunk(len, rank, self.nproc());
+        if end > start {
+            self.disks[rank].read(name, 0, end - start, None)?;
+        }
+        if rank == 0 {
+            if let Some((buf, buf_sec)) = dst {
+                let data = a
+                    .data
+                    .as_ref()
+                    .ok_or_else(|| DraError::NotMaterialized(name.to_string()))?;
+                if buf_sec.len() != len {
+                    return Err(DraError::BadSection(format!(
+                        "destination section holds {} elements, source {}",
+                        buf_sec.len(),
+                        len
+                    )));
+                }
+                let mut tmp = vec![0.0; len as usize];
+                data.read_section(sec, &mut tmp);
+                buf.write_section(buf_sec, &tmp);
+            }
+        }
+        Ok(())
+    }
+
+    /// Collective section write (see [`SectionSrc`]).
+    pub fn write_section(
+        &self,
+        rank: usize,
+        name: &str,
+        sec: &Section,
+        src: SectionSrc<'_>,
+    ) -> Result<(), DraError> {
+        let a = self.get(name)?;
+        Self::check_section(&a, name, sec)?;
+        let len = sec.len();
+        let (start, end) = chunk(len, rank, self.nproc());
+        if end > start {
+            self.disks[rank].write(name, 0, WriteSrc::Dry(end - start))?;
+        }
+        if rank == 0 {
+            match src {
+                SectionSrc::Dry => {}
+                SectionSrc::Zeros => {
+                    if let Some(data) = a.data.as_ref() {
+                        let zeros = vec![0.0; len as usize];
+                        data.write_section(sec, &zeros);
+                    }
+                }
+                SectionSrc::From(buf, buf_sec) => {
+                    let data = a
+                        .data
+                        .as_ref()
+                        .ok_or_else(|| DraError::NotMaterialized(name.to_string()))?;
+                    if buf_sec.len() != len {
+                        return Err(DraError::BadSection(format!(
+                            "source section holds {} elements, destination {}",
+                            buf_sec.len(),
+                            len
+                        )));
+                    }
+                    let mut tmp = vec![0.0; len as usize];
+                    buf.read_section(&buf_sec, &mut tmp);
+                    data.write_section(sec, &tmp);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full contents of a materialized array (no I/O charged).
+    pub fn snapshot(&self, name: &str) -> Result<Vec<f64>, DraError> {
+        let a = self.get(name)?;
+        a.data
+            .as_ref()
+            .map(GlobalArray::to_vec)
+            .ok_or_else(|| DraError::NotMaterialized(name.to_string()))
+    }
+
+    /// Accounting per disk, rank order.
+    pub fn stats_per_disk(&self) -> Vec<IoStats> {
+        self.disks.iter().map(|d| d.stats()).collect()
+    }
+
+    /// Aggregate accounting across all disks.
+    pub fn total_stats(&self) -> IoStats {
+        let mut total = IoStats::default();
+        for d in &self.disks {
+            total.merge(&d.stats());
+        }
+        total
+    }
+
+    /// The parallel I/O time: disks work concurrently, so the simulated
+    /// elapsed time is the maximum over the per-disk times.
+    pub fn elapsed_io_time_s(&self) -> f64 {
+        self.disks
+            .iter()
+            .map(|d| d.stats().total_time_s())
+            .fold(0.0, f64::max)
+    }
+
+    /// Clears accounting on every disk.
+    pub fn reset_stats(&self) {
+        for d in &self.disks {
+            d.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::run_parallel;
+
+    fn rt(nproc: usize) -> DraRuntime {
+        DraRuntime::new(nproc, DiskProfile::unconstrained_test())
+    }
+
+    #[test]
+    fn create_and_fill() {
+        let d = rt(1);
+        d.create("A", &[2, 3], true);
+        d.fill("A", |k| k as f64).unwrap();
+        assert_eq!(d.snapshot("A").unwrap(), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(d.dims("A").unwrap(), vec![2, 3]);
+        assert!(d.exists("A"));
+        assert!(!d.exists("B"));
+    }
+
+    #[test]
+    fn sequential_section_roundtrip() {
+        let d = rt(1);
+        d.create("A", &[4, 4], true);
+        d.fill("A", |k| k as f64).unwrap();
+        let buf = GlobalArray::zeros(&[2, 2]);
+        let sec = Section::new(vec![1, 2], vec![3, 4]);
+        d.read_section(0, "A", &sec, Some((&buf, &Section::full(&[2, 2]))))
+            .unwrap();
+        assert_eq!(buf.to_vec(), vec![6.0, 7.0, 10.0, 11.0]);
+        // write back doubled values
+        let buf2 = GlobalArray::zeros(&[2, 2]);
+        buf2.write_section(&Section::full(&[2, 2]), &[60.0, 70.0, 100.0, 110.0]);
+        d.write_section(
+            0,
+            "A",
+            &sec,
+            SectionSrc::From(&buf2, Section::full(&[2, 2])),
+        )
+        .unwrap();
+        let snap = d.snapshot("A").unwrap();
+        assert_eq!(snap[6], 60.0);
+        assert_eq!(snap[11], 110.0);
+    }
+
+    #[test]
+    fn collective_read_charges_every_disk() {
+        let d = rt(4);
+        d.create("A", &[8, 8], false);
+        run_parallel(4, |ctx| {
+            d.read_section(ctx.rank, "A", &Section::full(&[8, 8]), None)
+                .unwrap();
+        });
+        let per = d.stats_per_disk();
+        assert_eq!(per.len(), 4);
+        // 64 elements over 4 ranks → 16 each → 128 bytes each
+        for s in &per {
+            assert_eq!(s.read_bytes, 128);
+            assert_eq!(s.read_ops, 1);
+        }
+        assert_eq!(d.total_stats().read_bytes, 512);
+        assert!(d.elapsed_io_time_s() > 0.0);
+        // elapsed = max over disks, not sum
+        assert!(d.elapsed_io_time_s() < d.total_stats().total_time_s());
+        d.reset_stats();
+        assert_eq!(d.total_stats().total_ops(), 0);
+    }
+
+    #[test]
+    fn zero_write_clears_section() {
+        let d = rt(1);
+        d.create("A", &[4], true);
+        d.fill("A", |_| 1.0).unwrap();
+        d.write_section(0, "A", &Section::new(vec![1], vec![3]), SectionSrc::Zeros)
+            .unwrap();
+        assert_eq!(d.snapshot("A").unwrap(), vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let d = rt(1);
+        assert!(matches!(
+            d.read_section(0, "X", &Section::full(&[1]), None).unwrap_err(),
+            DraError::NoSuchArray(_)
+        ));
+        d.create("A", &[2, 2], false);
+        assert!(matches!(
+            d.read_section(0, "A", &Section::full(&[4]), None).unwrap_err(),
+            DraError::BadSection(_)
+        ));
+        assert!(matches!(
+            d.snapshot("A").unwrap_err(),
+            DraError::NotMaterialized(_)
+        ));
+        let buf = GlobalArray::zeros(&[2, 2]);
+        assert!(matches!(
+            d.read_section(
+                0,
+                "A",
+                &Section::full(&[2, 2]),
+                Some((&buf, &Section::full(&[2, 2])))
+            )
+            .unwrap_err(),
+            DraError::NotMaterialized(_)
+        ));
+        // oversized section
+        d.create("B", &[2, 2], true);
+        assert!(matches!(
+            d.read_section(0, "B", &Section::new(vec![0, 0], vec![3, 2]), None)
+                .unwrap_err(),
+            DraError::BadSection(_)
+        ));
+    }
+
+    #[test]
+    fn dry_transfers_charge_without_data() {
+        let d = rt(2);
+        d.create("A", &[10], false);
+        run_parallel(2, |ctx| {
+            d.write_section(ctx.rank, "A", &Section::full(&[10]), SectionSrc::Dry)
+                .unwrap();
+        });
+        assert_eq!(d.total_stats().write_bytes, 80);
+    }
+}

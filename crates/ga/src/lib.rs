@@ -1,0 +1,32 @@
+//! Global-Arrays / Disk-Resident-Arrays substrate.
+//!
+//! The paper's generated parallel code targets the GA/DRA libraries
+//! (Nieplocha et al.): *global arrays* give a shared-memory view of
+//! distributed in-memory data, and *disk resident arrays* extend the model
+//! to secondary storage, with collective `read/write section` operations.
+//! This crate provides the same abstractions over simulated hardware:
+//!
+//! * [`GlobalArray`] — a dense multi-dimensional `f64` array with
+//!   lock-free atomic accumulation, shared by all simulated processes
+//!   (standing in for GA's distributed shared memory; the aggregate-memory
+//!   accounting lives in the executor).
+//! * [`DraRuntime`] — named disk-resident arrays striped uniformly across
+//!   one [`tce_disksim::SimDisk`] per process; `read_section` /
+//!   `write_section` are collective: every rank moves `1/P` of the bytes
+//!   through its local disk, which is exactly why Table 4's I/O time
+//!   scales superlinearly when doubling the processor count doubles both
+//!   the disks and the aggregate memory.
+//! * [`run_parallel`] / [`ProcCtx`] — scoped worker threads with barrier
+//!   synchronization standing in for the cluster processes.
+
+#![warn(missing_docs)]
+
+pub mod dra;
+pub mod global;
+pub mod group;
+pub mod section;
+
+pub use dra::{DraError, DraRuntime, SectionSrc};
+pub use global::GlobalArray;
+pub use group::{chunk, run_parallel, ProcCtx};
+pub use section::{section_len, section_runs, strides, Section};

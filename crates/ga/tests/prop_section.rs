@@ -1,0 +1,84 @@
+//! Property tests for section decomposition and global-array transfers.
+
+use proptest::prelude::*;
+use tce_ga::{section_runs, strides, GlobalArray, Section};
+
+fn arb_dims() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..7, 0..4)
+}
+
+fn arb_section(dims: Vec<u64>) -> impl Strategy<Value = (Vec<u64>, Section)> {
+    let ranges: Vec<_> = dims
+        .iter()
+        .map(|&d| (0..d).prop_flat_map(move |lo| (Just(lo), lo..=d)))
+        .collect();
+    (Just(dims), ranges).prop_map(|(dims, bounds)| {
+        let lo: Vec<u64> = bounds.iter().map(|(l, _)| *l).collect();
+        let hi: Vec<u64> = bounds.iter().map(|(_, h)| *h).collect();
+        (dims, Section::new(lo, hi))
+    })
+}
+
+proptest! {
+    /// Runs cover exactly the section's elements: right count, disjoint,
+    /// ascending, in bounds, and each covered flat offset decodes to a
+    /// multi-index inside the section.
+    #[test]
+    fn runs_cover_section_exactly(
+        (dims, sec) in arb_dims().prop_flat_map(arb_section)
+    ) {
+        let runs = section_runs(&dims, &sec);
+        let total: u64 = runs.iter().map(|(_, l)| l).sum();
+        prop_assert_eq!(total, sec.len());
+        let array_len: u64 = dims.iter().product::<u64>().max(1);
+        let mut prev_end = 0u64;
+        let st = strides(&dims);
+        for &(off, len) in &runs {
+            prop_assert!(off >= prev_end, "overlapping/unordered runs");
+            prop_assert!(off + len <= array_len, "run out of bounds");
+            prev_end = off + len;
+            // decode first and last offsets of the run and check membership
+            for probe in [off, off + len - 1] {
+                let mut rem = probe;
+                for (k, &s) in st.iter().enumerate() {
+                    let v = rem / s;
+                    rem %= s;
+                    prop_assert!(
+                        v >= sec.lo[k] && v < sec.hi[k],
+                        "offset {probe} decodes outside the section at dim {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// write_section then read_section of the same section round-trips.
+    #[test]
+    fn global_array_section_roundtrip(
+        (dims, sec) in arb_dims().prop_flat_map(arb_section),
+        seed in 0u64..1000
+    ) {
+        prop_assume!(!sec.is_empty());
+        let a = GlobalArray::zeros(&dims);
+        let n = sec.len() as usize;
+        let data: Vec<f64> = (0..n).map(|k| (seed + k as u64) as f64).collect();
+        a.write_section(&sec, &data);
+        let mut out = vec![0.0; n];
+        a.read_section(&sec, &mut out);
+        prop_assert_eq!(out, data);
+    }
+
+    /// Elements outside the written section stay zero.
+    #[test]
+    fn writes_stay_inside_the_section(
+        (dims, sec) in arb_dims().prop_flat_map(arb_section)
+    ) {
+        prop_assume!(!sec.is_empty());
+        let a = GlobalArray::zeros(&dims);
+        let n = sec.len() as usize;
+        a.write_section(&sec, &vec![1.0; n]);
+        let snapshot = a.to_vec();
+        let ones = snapshot.iter().filter(|&&x| x == 1.0).count();
+        prop_assert_eq!(ones as u64, sec.len());
+    }
+}

@@ -1,0 +1,201 @@
+//! Array (tensor) declarations and references.
+
+use crate::index::{Index, RangeMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a declared array within a [`crate::Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    /// The position of this array in the program's declaration list.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Storage class of an array in the out-of-core model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArrayKind {
+    /// Initially resides on disk; is only read by the computation.
+    Input,
+    /// Must reside on disk when the computation completes.
+    Output,
+    /// Produced and consumed inside the computation; not needed afterwards.
+    /// May live entirely in memory or be spilled to disk.
+    Intermediate,
+}
+
+impl ArrayKind {
+    /// Short lowercase label (`input` / `output` / `intermediate`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ArrayKind::Input => "input",
+            ArrayKind::Output => "output",
+            ArrayKind::Intermediate => "intermediate",
+        }
+    }
+}
+
+impl fmt::Display for ArrayKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A declared array: name, dimension indices (in storage order) and kind.
+///
+/// The paper's tensors are dense, rectangular and indexed directly by loop
+/// indices, so a dimension is identified with the loop index that scans it.
+/// Every element is a double (8 bytes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayDecl {
+    name: Arc<str>,
+    dims: Vec<Index>,
+    kind: ArrayKind,
+}
+
+/// Size of one array element in bytes (double precision, as in the paper).
+pub const ELEMENT_BYTES: u64 = 8;
+
+impl ArrayDecl {
+    /// Creates a declaration. `dims` lists the loop indices of each
+    /// dimension in storage order; a scalar has no dims.
+    pub fn new(name: impl AsRef<str>, dims: Vec<Index>, kind: ArrayKind) -> Self {
+        ArrayDecl {
+            name: Arc::from(name.as_ref()),
+            dims,
+            kind,
+        }
+    }
+
+    /// Array name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dimension indices in storage order.
+    pub fn dims(&self) -> &[Index] {
+        &self.dims
+    }
+
+    /// Number of dimensions (0 for a scalar).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Storage class.
+    pub fn kind(&self) -> ArrayKind {
+        self.kind
+    }
+
+    /// True if the array has no dimensions.
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// True if `index` scans one of this array's dimensions.
+    pub fn indexed_by(&self, index: &Index) -> bool {
+        self.dims.contains(index)
+    }
+
+    /// Total number of elements given the index ranges.
+    pub fn num_elements(&self, ranges: &RangeMap) -> u64 {
+        self.dims.iter().map(|d| ranges.extent(d)).product()
+    }
+
+    /// Total size in bytes given the index ranges.
+    pub fn size_bytes(&self, ranges: &RangeMap) -> u64 {
+        self.num_elements(ranges) * ELEMENT_BYTES
+    }
+}
+
+impl fmt::Display for ArrayDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}[", self.kind.label(), self.name)?;
+        for (k, d) in self.dims.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A use of an array inside a statement: `A[i, j]` or the scalar `T2`.
+///
+/// The subscripts are loop indices; repeated or permuted subscripts are
+/// allowed in general statements but the paper's contractions always use
+/// each index at most once per reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// Which declared array is referenced.
+    pub array: ArrayId,
+    /// Subscript indices, one per dimension of the declaration.
+    pub indices: Vec<Index>,
+}
+
+impl ArrayRef {
+    /// Creates a reference to `array` with the given subscripts.
+    pub fn new(array: ArrayId, indices: Vec<Index>) -> Self {
+        ArrayRef { array, indices }
+    }
+
+    /// True if `index` appears among the subscripts.
+    pub fn uses_index(&self, index: &Index) -> bool {
+        self.indices.contains(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(s: &str) -> Index {
+        Index::new(s)
+    }
+
+    #[test]
+    fn decl_accessors() {
+        let a = ArrayDecl::new("A", vec![idx("i"), idx("j")], ArrayKind::Input);
+        assert_eq!(a.name(), "A");
+        assert_eq!(a.rank(), 2);
+        assert!(a.indexed_by(&idx("i")));
+        assert!(!a.indexed_by(&idx("k")));
+        assert!(!a.is_scalar());
+        assert_eq!(a.kind(), ArrayKind::Input);
+    }
+
+    #[test]
+    fn decl_sizes() {
+        let ranges = RangeMap::new().with("i", 10).with("j", 20);
+        let a = ArrayDecl::new("A", vec![idx("i"), idx("j")], ArrayKind::Input);
+        assert_eq!(a.num_elements(&ranges), 200);
+        assert_eq!(a.size_bytes(&ranges), 1600);
+    }
+
+    #[test]
+    fn scalar_decl() {
+        let ranges = RangeMap::new();
+        let t = ArrayDecl::new("T2", vec![], ArrayKind::Intermediate);
+        assert!(t.is_scalar());
+        assert_eq!(t.num_elements(&ranges), 1);
+        assert_eq!(t.size_bytes(&ranges), 8);
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = ArrayDecl::new("B", vec![idx("m"), idx("n")], ArrayKind::Output);
+        assert_eq!(a.to_string(), "output B[m,n]");
+        assert_eq!(ArrayKind::Intermediate.to_string(), "intermediate");
+    }
+
+    #[test]
+    fn array_ref_uses_index() {
+        let r = ArrayRef::new(ArrayId(0), vec![idx("i"), idx("j")]);
+        assert!(r.uses_index(&idx("j")));
+        assert!(!r.uses_index(&idx("m")));
+    }
+}

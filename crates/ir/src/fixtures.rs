@@ -1,0 +1,209 @@
+//! Canonical abstract programs from the paper, used by examples, tests and
+//! the benchmark harness.
+
+use crate::index::RangeMap;
+use crate::parser::parse_program;
+use crate::program::Program;
+
+/// Two-index transform, unfused (Fig. 1(a)): two separate loop nests with a
+/// full `T(V, N)` intermediate between them.
+///
+/// Index naming follows Sec. 2: `i, j` range over `N` (orbitals), `m, n`
+/// over `V` (virtuals). `B(m,n) = Σ_{i,j} C1(m,i)·C2(n,j)·A(i,j)` computed
+/// via `T(n,i) = Σ_j C2(n,j)·A(i,j)`.
+pub fn two_index_unfused(n: u64, v: u64) -> Program {
+    let src = format!(
+        r#"
+        input  A[i, j]
+        input  C2[n, j]
+        input  C1[m, i]
+        intermediate T[n, i]
+        output B[m, n]
+        range i = {n}, j = {n}
+        range m = {v}, n = {v}
+
+        for i, n {{
+            T[n, i] = 0
+            for j {{ T[n, i] += C2[n, j] * A[i, j] }}
+        }}
+        for m, n {{ B[m, n] = 0 }}
+        for i, n, m {{
+            B[m, n] += C1[m, i] * T[n, i]
+        }}
+        "#
+    );
+    parse_program(&src).expect("two_index_unfused fixture must parse")
+}
+
+/// Two-index transform, fused (the abstract code of Fig. 2(a)): loops `i`
+/// and `n` are fused between the producer and consumer of `T`, so after
+/// tiling `T` only needs a tile-sized in-memory buffer.
+pub fn two_index_fused(n: u64, v: u64) -> Program {
+    let src = format!(
+        r#"
+        input  A[i, j]
+        input  C2[n, j]
+        input  C1[m, i]
+        intermediate T[n, i]
+        output B[m, n]
+        range i = {n}, j = {n}
+        range m = {v}, n = {v}
+
+        for m, n {{ B[m, n] = 0 }}
+        for i, n {{
+            T[n, i] = 0
+            for j {{ T[n, i] += C2[n, j] * A[i, j] }}
+            for m {{ B[m, n] += C1[m, i] * T[n, i] }}
+        }}
+        "#
+    );
+    parse_program(&src).expect("two_index_fused fixture must parse")
+}
+
+/// The paper's Fig. 4 instance of the fused two-index transform:
+/// `N_m = N_n = 35000`, `N_i = N_j = 40000` (1 GB memory limit is supplied
+/// separately to the synthesizer).
+pub fn two_index_paper() -> Program {
+    two_index_fused(40000, 35000)
+}
+
+/// Four-index (AO-to-MO) transform, fused abstract code of Fig. 5.
+///
+/// `p, q, r, s` range over `n` (= O + V orbitals); `a, b, c, d` over `v`.
+/// The operation-minimal form uses intermediates `T1(a,q,r,s)` (full-size,
+/// between the two top-level nests), `T2` and `T3`.
+///
+/// Fig. 5 prints `T2` as a scalar and `T3` as `T3(c,s)` because loop fusion
+/// elides the dimensions scanned by the fused `a, b` (and `r, s`) loops. In
+/// this IR intermediates keep their *full* index sets (`T2[a,b,r,s]`,
+/// `T3[a,b,c,s]`); the fused display form is recovered by `tce-opmin`, and
+/// the tiling/placement machinery independently shrinks the fused
+/// dimensions to tile extents — which is exactly what makes the printed
+/// scalar form valid in the first place.
+pub fn four_index_fused(n: u64, v: u64) -> Program {
+    let src = format!(
+        r#"
+        input  A[p, q, r, s]
+        input  C4[p, a]
+        input  C3[q, b]
+        input  C2[r, c]
+        input  C1[s, d]
+        intermediate T1[a, q, r, s]
+        intermediate T2[a, b, r, s]
+        intermediate T3[a, b, c, s]
+        output B[a, b, c, d]
+        range p = {n}, q = {n}, r = {n}, s = {n}
+        range a = {v}, b = {v}, c = {v}, d = {v}
+
+        for a, q, r, s {{ T1[a, q, r, s] = 0 }}
+        for a, p, q, r, s {{
+            T1[a, q, r, s] += C4[p, a] * A[p, q, r, s]
+        }}
+        for a, b, c, d {{ B[a, b, c, d] = 0 }}
+        for a, b {{
+            for c, s {{ T3[a, b, c, s] = 0 }}
+            for r, s {{
+                T2[a, b, r, s] = 0
+                for q {{ T2[a, b, r, s] += C3[q, b] * T1[a, q, r, s] }}
+                for c {{ T3[a, b, c, s] += C2[r, c] * T2[a, b, r, s] }}
+            }}
+            for c, d, s {{
+                B[a, b, c, d] += C1[s, d] * T3[a, b, c, s]
+            }}
+        }}
+        "#
+    );
+    parse_program(&src).expect("four_index_fused fixture must parse")
+}
+
+/// Table 2/3 small instance: `N_p..N_s = 140`, `N_a..N_d = 120`.
+pub fn four_index_paper_small() -> Program {
+    four_index_fused(140, 120)
+}
+
+/// Table 2/3 large instance: `N_p..N_s = 190`, `N_a..N_d = 180`.
+pub fn four_index_paper_large() -> Program {
+    four_index_fused(190, 180)
+}
+
+/// Ranges helper: uniform extents for the four-index transform.
+pub fn four_index_ranges(n: u64, v: u64) -> RangeMap {
+    RangeMap::new()
+        .with("p", n)
+        .with("q", n)
+        .with("r", n)
+        .with("s", n)
+        .with("a", v)
+        .with("b", v)
+        .with("c", v)
+        .with("d", v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayKind;
+    use crate::index::Index;
+
+    #[test]
+    fn unfused_two_index_shape() {
+        let p = two_index_unfused(40, 35);
+        assert_eq!(p.tree().statements().len(), 4);
+        // producer and consumer of T live in different top-level nests
+        let (tid, _) = p.array_by_name("T").unwrap();
+        let prod = p.producers(tid);
+        let cons = p.consumers(tid);
+        let lca = p.tree().lca(*prod.last().unwrap(), cons[0]);
+        assert_eq!(lca, p.tree().root());
+    }
+
+    #[test]
+    fn fused_two_index_shape() {
+        let p = two_index_fused(40, 35);
+        let (tid, _) = p.array_by_name("T").unwrap();
+        let prod = p.producers(tid);
+        let cons = p.consumers(tid);
+        // LCA is the fused n loop
+        let lca = p.tree().lca(*prod.last().unwrap(), cons[0]);
+        assert_eq!(p.tree().loop_index(lca), Some(&Index::new("n")));
+    }
+
+    #[test]
+    fn paper_sizes() {
+        let p = two_index_paper();
+        assert_eq!(p.ranges().extent(&Index::new("i")), 40000);
+        assert_eq!(p.ranges().extent(&Index::new("m")), 35000);
+    }
+
+    #[test]
+    fn four_index_shape() {
+        let p = four_index_paper_small();
+        assert_eq!(p.arrays().len(), 9);
+        // T2 keeps its full index set in the IR (Fig. 5 prints it as a
+        // scalar because all four of its indices are fused)
+        let (_, t2) = p.array_by_name("T2").unwrap();
+        assert_eq!(t2.rank(), 4);
+        assert_eq!(t2.kind(), ArrayKind::Intermediate);
+        // T1 spans the two top-level nests
+        let (t1id, t1) = p.array_by_name("T1").unwrap();
+        assert_eq!(t1.rank(), 4);
+        let prod = p.producers(t1id);
+        let cons = p.consumers(t1id);
+        assert_eq!(p.tree().lca(*prod.last().unwrap(), cons[0]), p.tree().root());
+        // statement count: 2 inits + 1 contraction in nest 1, B init,
+        // T3 init, T2 init... count leaves
+        assert_eq!(p.tree().statements().len(), 8);
+    }
+
+    #[test]
+    fn four_index_array_sizes_match_paper() {
+        // At (140, 120): A holds 140^4 doubles ≈ 3.07 GB.
+        let p = four_index_paper_small();
+        let (_, a) = p.array_by_name("A").unwrap();
+        let bytes = a.size_bytes(p.ranges());
+        assert_eq!(bytes, 140u64.pow(4) * 8);
+        assert!(bytes > 3_000_000_000);
+        let (_, t1) = p.array_by_name("T1").unwrap();
+        assert_eq!(t1.size_bytes(p.ranges()), 120 * 140u64.pow(3) * 8);
+    }
+}

@@ -1,0 +1,191 @@
+//! Loop indices and their integer ranges.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named loop index such as `i`, `n` or `p`.
+///
+/// Indices are compared by name and are cheap to clone (the name is stored
+/// behind an `Arc`). The same name always denotes the same index within one
+/// [`crate::Program`].
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Index(Arc<str>);
+
+impl Index {
+    /// Creates an index with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Index(Arc::from(name.as_ref()))
+    }
+
+    /// The index name as written in the source.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns the conventional name of the *tiling* loop for this index
+    /// (`iT` for `i`), used by printers.
+    pub fn tiling_name(&self) -> String {
+        format!("{}T", self.0)
+    }
+
+    /// Returns the conventional name of the *intra-tile* loop for this index
+    /// (`iI` for `i`), used by printers.
+    pub fn intra_name(&self) -> String {
+        format!("{}I", self.0)
+    }
+}
+
+impl fmt::Debug for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Index({})", self.0)
+    }
+}
+
+impl fmt::Display for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Index {
+    fn from(s: &str) -> Self {
+        Index::new(s)
+    }
+}
+
+/// Map from loop index to its integer extent `N_i`.
+///
+/// Kept ordered so printing and iteration are deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RangeMap {
+    ranges: BTreeMap<Index, u64>,
+}
+
+impl RangeMap {
+    /// An empty range map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the extent of `index`; returns `self` for chaining.
+    pub fn with(mut self, index: impl Into<Index>, extent: u64) -> Self {
+        self.set(index, extent);
+        self
+    }
+
+    /// Sets the extent of `index`.
+    pub fn set(&mut self, index: impl Into<Index>, extent: u64) {
+        self.ranges.insert(index.into(), extent);
+    }
+
+    /// The extent of `index`, if declared.
+    pub fn get(&self, index: &Index) -> Option<u64> {
+        self.ranges.get(index).copied()
+    }
+
+    /// The extent of `index`, panicking with a clear message if undeclared.
+    pub fn extent(&self, index: &Index) -> u64 {
+        self.get(index)
+            .unwrap_or_else(|| panic!("no range declared for index `{index}`"))
+    }
+
+    /// True if `index` has a declared extent.
+    pub fn contains(&self, index: &Index) -> bool {
+        self.ranges.contains_key(index)
+    }
+
+    /// Iterates over `(index, extent)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Index, u64)> {
+        self.ranges.iter().map(|(i, &e)| (i, e))
+    }
+
+    /// All declared indices in order.
+    pub fn indices(&self) -> impl Iterator<Item = &Index> {
+        self.ranges.keys()
+    }
+
+    /// Number of declared indices.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True if nothing is declared.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Returns a copy with every extent scaled by `factor` (rounded up,
+    /// minimum 1). Useful for shrinking paper-size problems to testable
+    /// sizes while keeping their proportions.
+    pub fn scaled(&self, factor: f64) -> RangeMap {
+        let mut out = RangeMap::new();
+        for (idx, extent) in self.iter() {
+            let scaled = ((extent as f64 * factor).ceil() as u64).max(1);
+            out.set(idx.clone(), scaled);
+        }
+        out
+    }
+}
+
+impl FromIterator<(Index, u64)> for RangeMap {
+    fn from_iter<T: IntoIterator<Item = (Index, u64)>>(iter: T) -> Self {
+        let mut m = RangeMap::new();
+        for (i, e) in iter {
+            m.set(i, e);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_equality_is_by_name() {
+        let a = Index::new("i");
+        let b = Index::from("i");
+        assert_eq!(a, b);
+        assert_ne!(a, Index::new("j"));
+    }
+
+    #[test]
+    fn index_display_and_derived_names() {
+        let i = Index::new("i");
+        assert_eq!(i.to_string(), "i");
+        assert_eq!(i.tiling_name(), "iT");
+        assert_eq!(i.intra_name(), "iI");
+    }
+
+    #[test]
+    fn range_map_roundtrip() {
+        let m = RangeMap::new().with("i", 10).with("j", 20);
+        assert_eq!(m.extent(&Index::new("i")), 10);
+        assert_eq!(m.get(&Index::new("j")), Some(20));
+        assert_eq!(m.get(&Index::new("k")), None);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&Index::new("i")));
+    }
+
+    #[test]
+    fn range_map_iteration_is_ordered() {
+        let m = RangeMap::new().with("z", 1).with("a", 2).with("m", 3);
+        let names: Vec<_> = m.indices().map(|i| i.name().to_string()).collect();
+        assert_eq!(names, ["a", "m", "z"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no range declared")]
+    fn extent_panics_on_missing() {
+        RangeMap::new().extent(&Index::new("q"));
+    }
+
+    #[test]
+    fn scaled_rounds_up_and_clamps() {
+        let m = RangeMap::new().with("i", 140).with("j", 3);
+        let s = m.scaled(0.1);
+        assert_eq!(s.extent(&Index::new("i")), 14);
+        assert_eq!(s.extent(&Index::new("j")), 1);
+    }
+}

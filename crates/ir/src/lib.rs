@@ -1,0 +1,61 @@
+//! Tensor-contraction intermediate representation for the out-of-core
+//! synthesis pipeline.
+//!
+//! This crate models the *abstract code* of the paper "Efficient Synthesis of
+//! Out-of-Core Algorithms Using a Nonlinear Optimization Solver" (IPPS 2004):
+//! imperfectly nested loop structures whose leaves are tensor-contraction
+//! statements, together with the array declarations (input / output /
+//! intermediate) and the integer ranges of the loop indices.
+//!
+//! The main types are:
+//!
+//! * [`Index`] — a named loop index (`i`, `n`, `p`, ...), cheap to clone.
+//! * [`ArrayDecl`] / [`ArrayRef`] — declared tensors and their uses.
+//! * [`Stmt`] — statement leaves: `X[..] = 0` and `X[..] += Y[..] * Z[..]`.
+//! * [`Tree`] — an arena-backed parse tree of loops and statements
+//!   (Fig. 2(b) of the paper), with parent links, traversals and
+//!   lowest-common-ancestor queries used by the placement algorithm.
+//! * [`Program`] — declarations + ranges + tree, with validation.
+//! * [`parse_program`] — a small text DSL so examples and tests can write
+//!   abstract code the way the paper's figures do.
+//!
+//! ```
+//! use tce_ir::parse_program;
+//!
+//! let src = r#"
+//!     input  A[i, j]
+//!     input  C2[n, j]
+//!     input  C1[m, i]
+//!     intermediate T[n, i]
+//!     output B[m, n]
+//!     range i = 40000, j = 40000
+//!     range m = 35000, n = 35000
+//!
+//!     for i, n {
+//!         T[n, i] = 0
+//!         for j { T[n, i] += C2[n, j] * A[i, j] }
+//!         for m { B[m, n] += C1[m, i] * T[n, i] }
+//!     }
+//! "#;
+//! let program = parse_program(src).unwrap();
+//! assert_eq!(program.arrays().len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod fixtures;
+pub mod index;
+pub mod parser;
+pub mod printer;
+pub mod program;
+pub mod stmt;
+pub mod tree;
+
+pub use array::{ArrayDecl, ArrayId, ArrayKind, ArrayRef, ELEMENT_BYTES};
+pub use index::{Index, RangeMap};
+pub use parser::{parse_program, ParseError};
+pub use printer::{print_code, print_tree};
+pub use program::{Program, ProgramBuilder, ValidationError};
+pub use stmt::Stmt;
+pub use tree::{NodeId, NodeKind, Tree};

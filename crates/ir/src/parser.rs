@@ -1,0 +1,529 @@
+//! A small text DSL for abstract codes, mirroring the paper's figures.
+//!
+//! Grammar (comments run from `#` or `//` to end of line):
+//!
+//! ```text
+//! program  := item*
+//! item     := decl | range | node
+//! decl     := ("input" | "output" | "intermediate") NAME subscripts?
+//! range    := "range" NAME "=" INT ("," NAME "=" INT)*
+//! node     := for | stmt
+//! for      := "for" NAME ("," NAME)* "{" node* "}"
+//! stmt     := ref "=" "0"
+//!           | ref "+=" ref "*" ref
+//! ref      := NAME subscripts?
+//! subscripts := "[" (NAME ("," NAME)*)? "]"
+//! ```
+//!
+//! A reference without subscripts denotes a scalar (rank-0) array, as used
+//! by `T2` in the paper's Fig. 5.
+
+use crate::array::{ArrayId, ArrayKind, ArrayRef};
+use crate::index::{Index, RangeMap};
+use crate::program::{Program, ValidationError};
+use crate::stmt::Stmt;
+use crate::tree::{NodeId, Tree};
+use std::fmt;
+
+/// Parse or validation failure, with a 1-based source line when known.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token, when known.
+    pub line: Option<usize>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ValidationError> for ParseError {
+    fn from(e: ValidationError) -> Self {
+        ParseError {
+            line: None,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Eq,
+    PlusEq,
+    Star,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(n) => write!(f, "`{n}`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::LBrace => f.write_str("`{{`"),
+            Tok::RBrace => f.write_str("`}}`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Eq => f.write_str("`=`"),
+            Tok::PlusEq => f.write_str("`+=`"),
+            Tok::Star => f.write_str("`*`"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut toks = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line_num = lineno + 1;
+        let line = match (raw.find('#'), raw.find("//")) {
+            (Some(a), Some(b)) => &raw[..a.min(b)],
+            (Some(a), None) => &raw[..a],
+            (None, Some(b)) => &raw[..b],
+            (None, None) => raw,
+        };
+        let bytes = line.as_bytes();
+        let mut k = 0;
+        while k < bytes.len() {
+            let c = bytes[k] as char;
+            match c {
+                ' ' | '\t' | '\r' => k += 1,
+                '[' => {
+                    toks.push((Tok::LBracket, line_num));
+                    k += 1;
+                }
+                ']' => {
+                    toks.push((Tok::RBracket, line_num));
+                    k += 1;
+                }
+                '{' => {
+                    toks.push((Tok::LBrace, line_num));
+                    k += 1;
+                }
+                '}' => {
+                    toks.push((Tok::RBrace, line_num));
+                    k += 1;
+                }
+                ',' => {
+                    toks.push((Tok::Comma, line_num));
+                    k += 1;
+                }
+                '*' => {
+                    toks.push((Tok::Star, line_num));
+                    k += 1;
+                }
+                '=' => {
+                    toks.push((Tok::Eq, line_num));
+                    k += 1;
+                }
+                '+' => {
+                    if bytes.get(k + 1) == Some(&b'=') {
+                        toks.push((Tok::PlusEq, line_num));
+                        k += 2;
+                    } else {
+                        return Err(ParseError {
+                            line: Some(line_num),
+                            message: "stray `+` (expected `+=`)".into(),
+                        });
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let start = k;
+                    while k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+                        k += 1;
+                    }
+                    let n: u64 = line[start..k].parse().map_err(|_| ParseError {
+                        line: Some(line_num),
+                        message: format!("integer out of range: {}", &line[start..k]),
+                    })?;
+                    toks.push((Tok::Int(n), line_num));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = k;
+                    while k < bytes.len()
+                        && ((bytes[k] as char).is_ascii_alphanumeric() || bytes[k] == b'_')
+                    {
+                        k += 1;
+                    }
+                    toks.push((Tok::Ident(line[start..k].to_string()), line_num));
+                }
+                other => {
+                    return Err(ParseError {
+                        line: Some(line_num),
+                        message: format!("unexpected character `{other}`"),
+                    })
+                }
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    arrays: Vec<(String, Vec<Index>, ArrayKind)>,
+    ranges: RangeMap,
+    tree: Tree,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> Option<usize> {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            Err(self.err(format!("expected {want}, found {got}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected identifier, found {other}")))
+            }
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, ParseError> {
+        match self.next()? {
+            Tok::Int(n) => Ok(n),
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected integer, found {other}")))
+            }
+        }
+    }
+
+    /// `[` i, j `]` — empty or missing brackets mean a scalar.
+    fn subscripts(&mut self) -> Result<Vec<Index>, ParseError> {
+        if self.peek() != Some(&Tok::LBracket) {
+            return Ok(vec![]);
+        }
+        self.expect(Tok::LBracket)?;
+        let mut idxs = Vec::new();
+        if self.peek() == Some(&Tok::RBracket) {
+            self.expect(Tok::RBracket)?;
+            return Ok(idxs);
+        }
+        loop {
+            idxs.push(Index::new(self.ident()?));
+            match self.next()? {
+                Tok::Comma => continue,
+                Tok::RBracket => break,
+                other => {
+                    self.pos -= 1;
+                    return Err(self.err(format!("expected `,` or `]`, found {other}")));
+                }
+            }
+        }
+        Ok(idxs)
+    }
+
+    fn array_id(&mut self, name: &str) -> Result<ArrayId, ParseError> {
+        self.arrays
+            .iter()
+            .position(|(n, _, _)| n == name)
+            .map(|i| ArrayId(i as u32))
+            .ok_or_else(|| self.err(format!("reference to undeclared array `{name}`")))
+    }
+
+    fn array_ref(&mut self) -> Result<ArrayRef, ParseError> {
+        let name = self.ident()?;
+        let id = self.array_id(&name)?;
+        let idxs = self.subscripts()?;
+        Ok(ArrayRef::new(id, idxs))
+    }
+
+    fn decl(&mut self, kind: ArrayKind) -> Result<(), ParseError> {
+        let name = self.ident()?;
+        if self.arrays.iter().any(|(n, _, _)| *n == name) {
+            return Err(self.err(format!("array `{name}` declared twice")));
+        }
+        let dims = self.subscripts()?;
+        self.arrays.push((name, dims, kind));
+        Ok(())
+    }
+
+    fn range_decl(&mut self) -> Result<(), ParseError> {
+        loop {
+            let name = self.ident()?;
+            self.expect(Tok::Eq)?;
+            let n = self.int()?;
+            self.ranges.set(Index::new(name), n);
+            if self.peek() == Some(&Tok::Comma) {
+                self.expect(Tok::Comma)?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn for_node(&mut self, parent: NodeId) -> Result<(), ParseError> {
+        let mut indices = vec![Index::new(self.ident()?)];
+        while self.peek() == Some(&Tok::Comma) {
+            self.expect(Tok::Comma)?;
+            indices.push(Index::new(self.ident()?));
+        }
+        let inner = self.tree.add_loops(parent, indices);
+        self.expect(Tok::LBrace)?;
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated `for` block (missing `}`)"));
+            }
+            self.node(inner)?;
+        }
+        self.expect(Tok::RBrace)
+    }
+
+    fn stmt(&mut self, parent: NodeId) -> Result<(), ParseError> {
+        let dst = self.array_ref()?;
+        match self.next()? {
+            Tok::Eq => {
+                let n = self.int()?;
+                if n != 0 {
+                    return Err(self.err("only `= 0` initialization is supported"));
+                }
+                self.tree.add_stmt(parent, Stmt::Init { dst });
+                Ok(())
+            }
+            Tok::PlusEq => {
+                let lhs = self.array_ref()?;
+                self.expect(Tok::Star)?;
+                let rhs = self.array_ref()?;
+                self.tree
+                    .add_stmt(parent, Stmt::Contract { dst, lhs, rhs });
+                Ok(())
+            }
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected `=` or `+=`, found {other}")))
+            }
+        }
+    }
+
+    fn node(&mut self, parent: NodeId) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == "for" => {
+                self.ident()?;
+                self.for_node(parent)
+            }
+            Some(Tok::Ident(_)) => self.stmt(parent),
+            Some(other) => {
+                let msg = format!("expected `for` or a statement, found {other}");
+                Err(self.err(msg))
+            }
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn program(mut self) -> Result<Program, ParseError> {
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Ident(s) => match s.as_str() {
+                    "input" => {
+                        self.ident()?;
+                        self.decl(ArrayKind::Input)?;
+                    }
+                    "output" => {
+                        self.ident()?;
+                        self.decl(ArrayKind::Output)?;
+                    }
+                    "intermediate" => {
+                        self.ident()?;
+                        self.decl(ArrayKind::Intermediate)?;
+                    }
+                    "range" => {
+                        self.ident()?;
+                        self.range_decl()?;
+                    }
+                    _ => {
+                        let root = self.tree.root();
+                        self.node(root)?;
+                    }
+                },
+                other => {
+                    let msg = format!("expected a declaration or `for`, found {other}");
+                    return Err(self.err(msg));
+                }
+            }
+        }
+        let arrays = self
+            .arrays
+            .into_iter()
+            .map(|(name, dims, kind)| crate::array::ArrayDecl::new(name, dims, kind))
+            .collect();
+        Program::new(arrays, self.ranges, self.tree).map_err(Into::into)
+    }
+}
+
+/// Parses and validates a program written in the abstract-code DSL.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let p = Parser {
+        toks,
+        pos: 0,
+        arrays: Vec::new(),
+        ranges: RangeMap::new(),
+        tree: Tree::new(),
+    };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayKind;
+
+    const TWO_INDEX: &str = r#"
+        # two-index transform, fused (paper Sec. 2)
+        input  A[i, j]
+        input  C2[n, j]
+        input  C1[m, i]
+        intermediate T[n, i]
+        output B[m, n]
+        range i = 40000, j = 40000
+        range m = 35000, n = 35000
+
+        for i, n {
+            T[n, i] = 0
+            for j { T[n, i] += C2[n, j] * A[i, j] }
+            for m { B[m, n] += C1[m, i] * T[n, i] }
+        }
+    "#;
+
+    #[test]
+    fn parses_two_index_transform() {
+        let p = parse_program(TWO_INDEX).unwrap();
+        assert_eq!(p.arrays().len(), 5);
+        assert_eq!(p.tree().statements().len(), 3);
+        assert_eq!(p.ranges().extent(&Index::new("i")), 40000);
+        let (_, t) = p.array_by_name("T").unwrap();
+        assert_eq!(t.kind(), ArrayKind::Intermediate);
+    }
+
+    #[test]
+    fn parses_scalar_intermediate() {
+        let src = r#"
+            input X[i, q]
+            input Y[i, q]
+            intermediate T2
+            output O[i]
+            range i = 4, q = 4
+            for i {
+                T2 = 0
+                for q { T2 += X[i, q] * Y[i, q] }
+                O[i] += T2 * T2
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let (_, t2) = p.array_by_name("T2").unwrap();
+        assert!(t2.is_scalar());
+    }
+
+    #[test]
+    fn comments_both_styles() {
+        let src = "input A[i] // trailing\n# whole line\ninput B[i]\noutput O[i]\nrange i = 2\nfor i { O[i] += A[i] * B[i] }";
+        assert!(parse_program(src).is_ok());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "input A[i]\ninput B[i]\noutput O[i]\nrange i = 2\nfor i { O[i] += A[i] ** B[i] }";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!(e.line, Some(5));
+    }
+
+    #[test]
+    fn undeclared_array_rejected() {
+        let src = "input A[i]\noutput O[i]\nrange i = 2\nfor i { O[i] += A[i] * Q[i] }";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("undeclared array `Q`"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let src = "input A[i]\ninput B[i]\noutput O[i]\nrange i = 2\nfor i { O[i] += A[i] * B[i]";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn nonzero_init_rejected() {
+        let src = "output O[i]\ninput A[i]\ninput B[i]\nrange i = 2\nfor i { O[i] = 1 }";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("= 0"), "{e}");
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        // input written
+        let src = "input A[i]\ninput B[i]\ninput C[i]\nrange i = 2\nfor i { A[i] += B[i] * C[i] }";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("input array `A` is written"), "{e}");
+    }
+
+    #[test]
+    fn empty_subscripts_parse_as_scalar() {
+        let src = r#"
+            input X[i]
+            input Y[i]
+            intermediate S[]
+            output O[i]
+            range i = 3
+            for i {
+                S = 0
+                S += X[i] * Y[i]
+                O[i] += S * S
+            }
+        "#;
+        // S referenced bare and declared with empty brackets
+        let p = parse_program(src).unwrap();
+        let (_, s) = p.array_by_name("S").unwrap();
+        assert!(s.is_scalar());
+    }
+}

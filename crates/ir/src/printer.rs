@@ -1,0 +1,214 @@
+//! Pretty printers for abstract code (Fig. 2(a) style) and parse trees
+//! (Fig. 2(b) style).
+
+use crate::array::{ArrayDecl, ArrayRef};
+use crate::program::Program;
+use crate::stmt::Stmt;
+use crate::tree::{NodeId, NodeKind, Tree};
+use std::fmt::Write as _;
+
+/// Formats an array reference like `A[i,j]` (bare name for scalars).
+pub fn format_ref(arrays: &[ArrayDecl], r: &ArrayRef) -> String {
+    let name = arrays[r.array.as_usize()].name();
+    if r.indices.is_empty() {
+        name.to_string()
+    } else {
+        let subs: Vec<&str> = r.indices.iter().map(|i| i.name()).collect();
+        format!("{name}[{}]", subs.join(","))
+    }
+}
+
+/// Formats a statement like `T[n,i] += C2[n,j] * A[i,j]`.
+pub fn format_stmt(arrays: &[ArrayDecl], s: &Stmt) -> String {
+    match s {
+        Stmt::Init { dst } => format!("{} = 0", format_ref(arrays, dst)),
+        Stmt::Contract { dst, lhs, rhs } => format!(
+            "{} += {} * {}",
+            format_ref(arrays, dst),
+            format_ref(arrays, lhs),
+            format_ref(arrays, rhs)
+        ),
+    }
+}
+
+/// Renders a loop tree as code in the paper's compact notation
+/// (consecutive single-child loops are merged into one `FOR i, n` line).
+pub fn print_tree_code(tree: &Tree, arrays: &[ArrayDecl]) -> String {
+    let mut out = String::new();
+    for &child in tree.children(tree.root()) {
+        print_node(tree, arrays, child, 0, &mut out);
+    }
+    out
+}
+
+fn print_node(tree: &Tree, arrays: &[ArrayDecl], node: NodeId, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match tree.kind(node) {
+        NodeKind::Root => unreachable!("root is handled by the caller"),
+        NodeKind::Stmt(s) => {
+            let _ = writeln!(out, "{pad}{}", format_stmt(arrays, s));
+        }
+        NodeKind::Loop(_) => {
+            // merge a chain of loops that each have exactly one loop child
+            let mut chain = vec![node];
+            let mut cur = node;
+            loop {
+                let kids = tree.children(cur);
+                if kids.len() == 1 {
+                    if let NodeKind::Loop(_) = tree.kind(kids[0]) {
+                        cur = kids[0];
+                        chain.push(cur);
+                        continue;
+                    }
+                }
+                break;
+            }
+            let names: Vec<&str> = chain
+                .iter()
+                .map(|&l| tree.loop_index(l).expect("loop").name())
+                .collect();
+            let _ = writeln!(out, "{pad}FOR {}", names.join(", "));
+            for &kid in tree.children(cur) {
+                print_node(tree, arrays, kid, depth + 1, out);
+            }
+            let mut rev = names.clone();
+            rev.reverse();
+            let _ = writeln!(out, "{pad}END FOR {}", rev.join(", "));
+        }
+    }
+}
+
+/// Renders a program as abstract code: declarations, ranges, loop body.
+pub fn print_code(p: &Program) -> String {
+    let mut out = String::new();
+    for a in p.arrays() {
+        let _ = writeln!(out, "{a}");
+    }
+    let ranges: Vec<String> = p
+        .ranges()
+        .iter()
+        .map(|(i, e)| format!("{i} = {e}"))
+        .collect();
+    if !ranges.is_empty() {
+        let _ = writeln!(out, "range {}", ranges.join(", "));
+    }
+    let _ = writeln!(out);
+    out.push_str(&print_tree_code(p.tree(), p.arrays()));
+    out
+}
+
+/// Renders a parse tree in ASCII-art form (Fig. 2(b)).
+pub fn print_tree(tree: &Tree, arrays: &[ArrayDecl]) -> String {
+    let mut out = String::from("Root\n");
+    let kids = tree.children(tree.root());
+    for (k, &child) in kids.iter().enumerate() {
+        print_tree_node(tree, arrays, child, "", k + 1 == kids.len(), &mut out);
+    }
+    out
+}
+
+fn print_tree_node(
+    tree: &Tree,
+    arrays: &[ArrayDecl],
+    node: NodeId,
+    prefix: &str,
+    last: bool,
+    out: &mut String,
+) {
+    let branch = if last { "└─ " } else { "├─ " };
+    let label = match tree.kind(node) {
+        NodeKind::Root => unreachable!(),
+        NodeKind::Loop(i) => format!("FOR {i}"),
+        NodeKind::Stmt(s) => format_stmt(arrays, s),
+    };
+    let _ = writeln!(out, "{prefix}{branch}{label}");
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    let kids = tree.children(node);
+    for (k, &kid) in kids.iter().enumerate() {
+        print_tree_node(tree, arrays, kid, &child_prefix, k + 1 == kids.len(), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    const SRC: &str = r#"
+        input  A[i, j]
+        input  C2[n, j]
+        input  C1[m, i]
+        intermediate T[n, i]
+        output B[m, n]
+        range i = 40, j = 40, m = 35, n = 35
+        for i, n {
+            T[n, i] = 0
+            for j { T[n, i] += C2[n, j] * A[i, j] }
+            for m { B[m, n] += C1[m, i] * T[n, i] }
+        }
+    "#;
+
+    #[test]
+    fn code_printer_merges_loop_chains() {
+        let p = parse_program(SRC).unwrap();
+        let code = print_code(&p);
+        assert!(code.contains("FOR i, n"), "{code}");
+        assert!(code.contains("T[n,i] += C2[n,j] * A[i,j]"), "{code}");
+        assert!(code.contains("END FOR n, i"), "{code}");
+    }
+
+    #[test]
+    fn printed_code_reparses_to_same_shape() {
+        let p = parse_program(SRC).unwrap();
+        let code = print_code(&p);
+        // translate the printed form back into DSL-compatible text
+        let dsl: String = code
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| {
+                let t = l.trim_start();
+                let pad = &l[..l.len() - t.len()];
+                if let Some(rest) = t.strip_prefix("FOR ") {
+                    format!("{pad}for {rest} {{\n")
+                } else if t.starts_with("END FOR") {
+                    format!("{pad}}}\n")
+                } else {
+                    format!("{pad}{t}\n")
+                }
+            })
+            .collect();
+        let p2 = parse_program(&dsl).unwrap();
+        assert_eq!(p2.tree().statements().len(), p.tree().statements().len());
+        assert_eq!(p2.arrays().len(), p.arrays().len());
+    }
+
+    #[test]
+    fn tree_printer_shape() {
+        let p = parse_program(SRC).unwrap();
+        let t = print_tree(p.tree(), p.arrays());
+        assert!(t.starts_with("Root\n"), "{t}");
+        assert!(t.contains("FOR i"), "{t}");
+        assert!(t.contains("└─"), "{t}");
+        assert!(t.contains("B[m,n] += C1[m,i] * T[n,i]"), "{t}");
+    }
+
+    #[test]
+    fn scalar_refs_print_bare() {
+        let src = r#"
+            input X[i]
+            input Y[i]
+            intermediate S
+            output O[i]
+            range i = 3
+            for i {
+                S = 0
+                S += X[i] * Y[i]
+                O[i] += S * S
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let code = print_code(&p);
+        assert!(code.contains("S = 0"), "{code}");
+        assert!(code.contains("S += X[i] * Y[i]"), "{code}");
+    }
+}

@@ -1,0 +1,511 @@
+//! Whole abstract programs: declarations + ranges + loop tree, with
+//! validation of the structural rules the synthesis algorithms assume.
+
+use crate::array::{ArrayDecl, ArrayId, ArrayKind, ArrayRef};
+use crate::index::{Index, RangeMap};
+use crate::stmt::Stmt;
+use crate::tree::{NodeId, Tree};
+use std::fmt;
+
+/// A validated abstract program (Fig. 2(a) of the paper).
+#[derive(Clone, Debug)]
+pub struct Program {
+    arrays: Vec<ArrayDecl>,
+    ranges: RangeMap,
+    tree: Tree,
+}
+
+/// Why a program failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Two arrays share a name.
+    DuplicateArray(String),
+    /// A reference names an array that was never declared.
+    UnknownArray(String),
+    /// A reference's subscript count differs from the declaration's rank.
+    RankMismatch {
+        /// Array name.
+        array: String,
+        /// Declared rank.
+        expected: usize,
+        /// Subscript count found at the reference.
+        found: usize,
+    },
+    /// A statement subscript is not bound by an enclosing loop.
+    UnboundIndex {
+        /// The unbound subscript.
+        index: String,
+        /// The array whose reference uses it.
+        array: String,
+    },
+    /// A loop index has no declared range.
+    MissingRange(String),
+    /// The same index is used by two nested loops.
+    NestedIndexReuse(String),
+    /// An input array appears as a statement destination.
+    InputWritten(String),
+    /// An output or intermediate array is never produced.
+    NeverProduced(String),
+    /// An intermediate array is never consumed.
+    NeverConsumed(String),
+    /// An array is consumed (in program order) before it is produced.
+    ConsumedBeforeProduced(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::DuplicateArray(a) => write!(f, "array `{a}` declared twice"),
+            ValidationError::UnknownArray(a) => write!(f, "reference to undeclared array `{a}`"),
+            ValidationError::RankMismatch {
+                array,
+                expected,
+                found,
+            } => write!(
+                f,
+                "array `{array}` has rank {expected} but is referenced with {found} subscripts"
+            ),
+            ValidationError::UnboundIndex { index, array } => write!(
+                f,
+                "subscript `{index}` of `{array}` is not bound by an enclosing loop"
+            ),
+            ValidationError::MissingRange(i) => write!(f, "loop index `{i}` has no range"),
+            ValidationError::NestedIndexReuse(i) => {
+                write!(f, "index `{i}` is reused by a nested loop")
+            }
+            ValidationError::InputWritten(a) => write!(f, "input array `{a}` is written"),
+            ValidationError::NeverProduced(a) => write!(f, "array `{a}` is never produced"),
+            ValidationError::NeverConsumed(a) => {
+                write!(f, "intermediate array `{a}` is never consumed")
+            }
+            ValidationError::ConsumedBeforeProduced(a) => {
+                write!(f, "array `{a}` is consumed before it is produced")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Program {
+    /// Assembles and validates a program.
+    pub fn new(
+        arrays: Vec<ArrayDecl>,
+        ranges: RangeMap,
+        tree: Tree,
+    ) -> Result<Self, ValidationError> {
+        let p = Program {
+            arrays,
+            ranges,
+            tree,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Declared arrays, in declaration order (`ArrayId` indexes this).
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// The declaration of `id`.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.as_usize()]
+    }
+
+    /// Looks an array up by name.
+    pub fn array_by_name(&self, name: &str) -> Option<(ArrayId, &ArrayDecl)> {
+        self.arrays
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.name() == name)
+            .map(|(i, a)| (ArrayId(i as u32), a))
+    }
+
+    /// Index ranges.
+    pub fn ranges(&self) -> &RangeMap {
+        &self.ranges
+    }
+
+    /// The loop tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// All statements that *produce* `array` (init or contraction dst),
+    /// in program order.
+    pub fn producers(&self, array: ArrayId) -> Vec<NodeId> {
+        self.tree
+            .statements()
+            .into_iter()
+            .filter(|&s| self.tree.stmt(s).expect("stmt").dst().array == array)
+            .collect()
+    }
+
+    /// All statements that *consume* `array` (read it), in program order.
+    pub fn consumers(&self, array: ArrayId) -> Vec<NodeId> {
+        self.tree
+            .statements()
+            .into_iter()
+            .filter(|&s| {
+                self.tree
+                    .stmt(s)
+                    .expect("stmt")
+                    .reads()
+                    .iter()
+                    .any(|r| r.array == array)
+            })
+            .collect()
+    }
+
+    /// Returns a copy with all ranges replaced (revalidated).
+    pub fn with_ranges(&self, ranges: RangeMap) -> Result<Program, ValidationError> {
+        Program::new(self.arrays.clone(), ranges, self.tree.clone())
+    }
+
+    fn check_ref(
+        &self,
+        r: &ArrayRef,
+        enclosing: &[Index],
+    ) -> Result<(), ValidationError> {
+        let decl = self
+            .arrays
+            .get(r.array.as_usize())
+            .ok_or_else(|| ValidationError::UnknownArray(format!("#{}", r.array.0)))?;
+        if decl.rank() != r.indices.len() {
+            return Err(ValidationError::RankMismatch {
+                array: decl.name().to_string(),
+                expected: decl.rank(),
+                found: r.indices.len(),
+            });
+        }
+        for i in &r.indices {
+            if !enclosing.contains(i) {
+                return Err(ValidationError::UnboundIndex {
+                    index: i.name().to_string(),
+                    array: decl.name().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), ValidationError> {
+        // unique names
+        for (k, a) in self.arrays.iter().enumerate() {
+            if self.arrays[..k].iter().any(|b| b.name() == a.name()) {
+                return Err(ValidationError::DuplicateArray(a.name().to_string()));
+            }
+        }
+        // loop structure: ranges exist, no nested reuse
+        for l in self.tree.loops() {
+            let idx = self.tree.loop_index(l).expect("loop").clone();
+            if !self.ranges.contains(&idx) {
+                return Err(ValidationError::MissingRange(idx.name().to_string()));
+            }
+            if self
+                .tree
+                .enclosing_indices(l).contains(&idx)
+            {
+                return Err(ValidationError::NestedIndexReuse(idx.name().to_string()));
+            }
+        }
+        // statements: refs well-formed and bound
+        for s in self.tree.statements() {
+            let enclosing = self.tree.enclosing_indices(s);
+            let stmt = self.tree.stmt(s).expect("stmt");
+            for r in stmt.refs() {
+                self.check_ref(r, &enclosing)?;
+            }
+        }
+        // dataflow roles
+        for (k, a) in self.arrays.iter().enumerate() {
+            let id = ArrayId(k as u32);
+            let produced: Vec<NodeId> = self
+                .producers(id)
+                .into_iter()
+                .filter(|&s| self.tree.stmt(s).expect("stmt").is_contract())
+                .collect();
+            let consumed = self.consumers(id);
+            match a.kind() {
+                ArrayKind::Input => {
+                    if !self.producers(id).is_empty() {
+                        return Err(ValidationError::InputWritten(a.name().to_string()));
+                    }
+                }
+                ArrayKind::Output => {
+                    if produced.is_empty() {
+                        return Err(ValidationError::NeverProduced(a.name().to_string()));
+                    }
+                }
+                ArrayKind::Intermediate => {
+                    if produced.is_empty() {
+                        return Err(ValidationError::NeverProduced(a.name().to_string()));
+                    }
+                    if consumed.is_empty() {
+                        return Err(ValidationError::NeverConsumed(a.name().to_string()));
+                    }
+                    let first_prod = self.tree.stmt_order(produced[0]);
+                    let first_cons = self.tree.stmt_order(consumed[0]);
+                    if first_cons < first_prod {
+                        return Err(ValidationError::ConsumedBeforeProduced(
+                            a.name().to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience builder used by fixtures, the op-min lowering and tests.
+///
+/// ```
+/// use tce_ir::{ArrayKind, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new();
+/// let a = b.array("A", &["i", "j"], ArrayKind::Input);
+/// let c = b.array("C", &["n", "j"], ArrayKind::Input);
+/// let t = b.array("T", &["n", "i"], ArrayKind::Output);
+/// b.range("i", 10).range("j", 10).range("n", 10);
+/// let body = b.loops(None, &["i", "n"]);
+/// b.init(body, t, &["n", "i"]);
+/// let inner = b.loops(Some(body), &["j"]);
+/// b.contract(inner, (t, &["n", "i"]), (c, &["n", "j"]), (a, &["i", "j"]));
+/// let program = b.build().unwrap();
+/// assert_eq!(program.tree().statements().len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    arrays: Vec<ArrayDecl>,
+    ranges: RangeMap,
+    tree: Tree,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an array and returns its id.
+    pub fn array(&mut self, name: &str, dims: &[&str], kind: ArrayKind) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayDecl::new(
+            name,
+            dims.iter().map(Index::new).collect(),
+            kind,
+        ));
+        id
+    }
+
+    /// Declares a range; chainable.
+    pub fn range(&mut self, index: &str, extent: u64) -> &mut Self {
+        self.ranges.set(Index::new(index), extent);
+        self
+    }
+
+    /// Adds a chain of loops under `parent` (root if `None`); returns the
+    /// innermost loop.
+    pub fn loops(&mut self, parent: Option<NodeId>, indices: &[&str]) -> NodeId {
+        let parent = parent.unwrap_or_else(|| self.tree.root());
+        self.tree
+            .add_loops(parent, indices.iter().map(Index::new))
+    }
+
+    /// Adds `dst[...] = 0` under `parent`.
+    pub fn init(&mut self, parent: NodeId, dst: ArrayId, idxs: &[&str]) -> NodeId {
+        let stmt = Stmt::Init {
+            dst: ArrayRef::new(dst, idxs.iter().map(Index::new).collect()),
+        };
+        self.tree.add_stmt(parent, stmt)
+    }
+
+    /// Adds `dst += lhs * rhs` under `parent`.
+    pub fn contract(
+        &mut self,
+        parent: NodeId,
+        dst: (ArrayId, &[&str]),
+        lhs: (ArrayId, &[&str]),
+        rhs: (ArrayId, &[&str]),
+    ) -> NodeId {
+        let mk = |(id, idxs): (ArrayId, &[&str])| {
+            ArrayRef::new(id, idxs.iter().map(Index::new).collect())
+        };
+        let stmt = Stmt::Contract {
+            dst: mk(dst),
+            lhs: mk(lhs),
+            rhs: mk(rhs),
+        };
+        self.tree.add_stmt(parent, stmt)
+    }
+
+    /// Direct access to the tree under construction.
+    pub fn tree_mut(&mut self) -> &mut Tree {
+        &mut self.tree
+    }
+
+    /// Validates and returns the program.
+    pub fn build(self) -> Result<Program, ValidationError> {
+        Program::new(self.arrays, self.ranges, self.tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-index transform, fused form (Fig. 1(c) structure but with T as a
+    /// 2-D array produced/consumed inside the fused loops).
+    fn two_index() -> ProgramBuilder {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", &["i", "j"], ArrayKind::Input);
+        let c2 = b.array("C2", &["n", "j"], ArrayKind::Input);
+        let c1 = b.array("C1", &["m", "i"], ArrayKind::Input);
+        let t = b.array("T", &["n", "i"], ArrayKind::Intermediate);
+        let bb = b.array("B", &["m", "n"], ArrayKind::Output);
+        b.range("i", 40).range("j", 40).range("m", 35).range("n", 35);
+        let ni = b.loops(None, &["i", "n"]);
+        b.init(ni, t, &["n", "i"]);
+        let lj = b.loops(Some(ni), &["j"]);
+        b.contract(lj, (t, &["n", "i"]), (c2, &["n", "j"]), (a, &["i", "j"]));
+        let lm = b.loops(Some(ni), &["m"]);
+        b.contract(lm, (bb, &["m", "n"]), (c1, &["m", "i"]), (t, &["n", "i"]));
+        b
+    }
+
+    #[test]
+    fn valid_program_builds() {
+        let p = two_index().build().unwrap();
+        assert_eq!(p.arrays().len(), 5);
+        assert_eq!(p.tree().statements().len(), 3);
+        let (tid, tdecl) = p.array_by_name("T").unwrap();
+        assert_eq!(tdecl.kind(), ArrayKind::Intermediate);
+        assert_eq!(p.producers(tid).len(), 2); // init + contract
+        assert_eq!(p.consumers(tid).len(), 1);
+    }
+
+    #[test]
+    fn missing_range_rejected() {
+        let mut b = ProgramBuilder::new();
+        let x = b.array("X", &["i"], ArrayKind::Output);
+        let y = b.array("Y", &["i"], ArrayKind::Input);
+        let z = b.array("Z", &["i"], ArrayKind::Input);
+        // no range for i
+        let l = b.loops(None, &["i"]);
+        b.contract(l, (x, &["i"]), (y, &["i"]), (z, &["i"]));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::MissingRange("i".into())
+        );
+    }
+
+    #[test]
+    fn unbound_index_rejected() {
+        let mut b = ProgramBuilder::new();
+        let x = b.array("X", &["i"], ArrayKind::Output);
+        let y = b.array("Y", &["j"], ArrayKind::Input);
+        let z = b.array("Z", &["i"], ArrayKind::Input);
+        b.range("i", 4).range("j", 4);
+        let l = b.loops(None, &["i"]);
+        // j is not bound by any loop
+        b.contract(l, (x, &["i"]), (y, &["j"]), (z, &["i"]));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ValidationError::UnboundIndex { .. }
+        ));
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let mut b = ProgramBuilder::new();
+        let x = b.array("X", &["i", "j"], ArrayKind::Output);
+        let y = b.array("Y", &["i"], ArrayKind::Input);
+        let z = b.array("Z", &["i"], ArrayKind::Input);
+        b.range("i", 4).range("j", 4);
+        let l = b.loops(None, &["i", "j"]);
+        b.contract(l, (x, &["i"]), (y, &["i"]), (z, &["i"]));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ValidationError::RankMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn input_written_rejected() {
+        let mut b = ProgramBuilder::new();
+        let x = b.array("X", &["i"], ArrayKind::Input);
+        let y = b.array("Y", &["i"], ArrayKind::Input);
+        let z = b.array("Z", &["i"], ArrayKind::Input);
+        b.range("i", 4);
+        let l = b.loops(None, &["i"]);
+        b.contract(l, (x, &["i"]), (y, &["i"]), (z, &["i"]));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::InputWritten("X".into())
+        );
+    }
+
+    #[test]
+    fn intermediate_never_consumed_rejected() {
+        let mut b = ProgramBuilder::new();
+        let t = b.array("T", &["i"], ArrayKind::Intermediate);
+        let y = b.array("Y", &["i"], ArrayKind::Input);
+        let z = b.array("Z", &["i"], ArrayKind::Input);
+        let o = b.array("O", &["i"], ArrayKind::Output);
+        b.range("i", 4);
+        let l = b.loops(None, &["i"]);
+        b.contract(l, (t, &["i"]), (y, &["i"]), (z, &["i"]));
+        b.contract(l, (o, &["i"]), (y, &["i"]), (z, &["i"]));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::NeverConsumed("T".into())
+        );
+    }
+
+    #[test]
+    fn nested_index_reuse_rejected() {
+        let mut b = ProgramBuilder::new();
+        let o = b.array("O", &["i"], ArrayKind::Output);
+        let y = b.array("Y", &["i"], ArrayKind::Input);
+        let z = b.array("Z", &["i"], ArrayKind::Input);
+        b.range("i", 4);
+        let l = b.loops(None, &["i", "i"]);
+        b.contract(l, (o, &["i"]), (y, &["i"]), (z, &["i"]));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::NestedIndexReuse("i".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_array_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.array("A", &["i"], ArrayKind::Input);
+        b.array("A", &["i"], ArrayKind::Input);
+        let o = b.array("O", &["i"], ArrayKind::Output);
+        b.range("i", 4);
+        let l = b.loops(None, &["i"]);
+        b.contract(l, (o, &["i"]), (ArrayId(0), &["i"]), (ArrayId(1), &["i"]));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::DuplicateArray("A".into())
+        );
+    }
+
+    #[test]
+    fn with_ranges_replaces_extents() {
+        let p = two_index().build().unwrap();
+        let p2 = p
+            .with_ranges(
+                RangeMap::new()
+                    .with("i", 8)
+                    .with("j", 8)
+                    .with("m", 8)
+                    .with("n", 8),
+            )
+            .unwrap();
+        assert_eq!(p2.ranges().extent(&Index::new("i")), 8);
+    }
+}

@@ -1,0 +1,118 @@
+//! Statement leaves of the abstract code.
+
+use crate::array::{ArrayId, ArrayRef};
+use crate::index::Index;
+
+/// A statement at a leaf of the loop structure.
+///
+/// The abstract codes in the paper use exactly two statement forms:
+/// initialization (`B[*,*] = 0`, written here with explicit subscripts) and
+/// the contraction update `dst += lhs * rhs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `dst[...] = 0`
+    Init {
+        /// The array being initialized.
+        dst: ArrayRef,
+    },
+    /// `dst[...] += lhs[...] * rhs[...]`
+    Contract {
+        /// Accumulation destination.
+        dst: ArrayRef,
+        /// Left factor.
+        lhs: ArrayRef,
+        /// Right factor.
+        rhs: ArrayRef,
+    },
+}
+
+impl Stmt {
+    /// The array written by this statement.
+    pub fn dst(&self) -> &ArrayRef {
+        match self {
+            Stmt::Init { dst } => dst,
+            Stmt::Contract { dst, .. } => dst,
+        }
+    }
+
+    /// The arrays read by this statement (empty for `Init`).
+    pub fn reads(&self) -> Vec<&ArrayRef> {
+        match self {
+            Stmt::Init { .. } => vec![],
+            Stmt::Contract { lhs, rhs, .. } => vec![lhs, rhs],
+        }
+    }
+
+    /// All references (destination first).
+    pub fn refs(&self) -> Vec<&ArrayRef> {
+        let mut v = vec![self.dst()];
+        v.extend(self.reads());
+        v
+    }
+
+    /// All distinct indices appearing in the statement, in first-use order.
+    pub fn indices(&self) -> Vec<Index> {
+        let mut seen = Vec::new();
+        for r in self.refs() {
+            for i in &r.indices {
+                if !seen.contains(i) {
+                    seen.push(i.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// True if the statement references (reads or writes) `array`.
+    pub fn references(&self, array: ArrayId) -> bool {
+        self.refs().iter().any(|r| r.array == array)
+    }
+
+    /// True if this is a contraction (not an init).
+    pub fn is_contract(&self) -> bool {
+        matches!(self, Stmt::Contract { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayId;
+
+    fn idx(s: &str) -> Index {
+        Index::new(s)
+    }
+
+    fn aref(id: u32, idxs: &[&str]) -> ArrayRef {
+        ArrayRef::new(ArrayId(id), idxs.iter().map(|s| idx(s)).collect())
+    }
+
+    #[test]
+    fn init_accessors() {
+        let s = Stmt::Init {
+            dst: aref(0, &["m", "n"]),
+        };
+        assert_eq!(s.dst().array, ArrayId(0));
+        assert!(s.reads().is_empty());
+        assert!(!s.is_contract());
+        assert_eq!(s.indices(), vec![idx("m"), idx("n")]);
+    }
+
+    #[test]
+    fn contract_accessors() {
+        let s = Stmt::Contract {
+            dst: aref(0, &["n", "i"]),
+            lhs: aref(1, &["n", "j"]),
+            rhs: aref(2, &["i", "j"]),
+        };
+        assert!(s.is_contract());
+        assert_eq!(s.reads().len(), 2);
+        assert!(s.references(ArrayId(2)));
+        assert!(!s.references(ArrayId(3)));
+        // first-use order, duplicates removed
+        assert_eq!(
+            s.indices(),
+            vec![idx("n"), idx("i"), idx("j")],
+        );
+    }
+}

@@ -1,0 +1,369 @@
+//! Arena-backed parse tree of imperfectly nested loops (Fig. 2(b)).
+//!
+//! A [`Tree`] owns nodes of three kinds: a unique virtual root, loop nodes
+//! (one per `FOR` level) and statement leaves. Parent links enable the
+//! upward walks and lowest-common-ancestor queries that the placement
+//! algorithm of Sec. 4.1 relies on.
+
+use crate::index::Index;
+use crate::stmt::Stmt;
+
+/// Identifies a node within one [`Tree`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into the tree's node arena.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a tree node is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The virtual root holding the top-level loop nests in program order.
+    Root,
+    /// A `FOR index` loop level.
+    Loop(Index),
+    /// A statement leaf.
+    Stmt(Stmt),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    parent: Option<NodeId>,
+    kind: NodeKind,
+    children: Vec<NodeId>,
+}
+
+/// The parse tree of an abstract (or tiled) code.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Default for Tree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tree {
+    /// Creates a tree containing only the virtual root, [`Tree::root`].
+    pub fn new() -> Self {
+        Tree {
+            nodes: vec![Node {
+                parent: None,
+                kind: NodeKind::Root,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The virtual root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree has no loops or statements.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    fn push(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        assert!(
+            parent.as_usize() < self.nodes.len(),
+            "parent node out of bounds"
+        );
+        assert!(
+            !matches!(self.nodes[parent.as_usize()].kind, NodeKind::Stmt(_)),
+            "statements cannot have children"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            parent: Some(parent),
+            kind,
+            children: Vec::new(),
+        });
+        self.nodes[parent.as_usize()].children.push(id);
+        id
+    }
+
+    /// Appends a loop node under `parent`; returns its id.
+    pub fn add_loop(&mut self, parent: NodeId, index: Index) -> NodeId {
+        self.push(parent, NodeKind::Loop(index))
+    }
+
+    /// Appends a chain of nested loops under `parent` (outermost first);
+    /// returns the innermost loop's id.
+    pub fn add_loops<I>(&mut self, parent: NodeId, indices: I) -> NodeId
+    where
+        I: IntoIterator<Item = Index>,
+    {
+        let mut cur = parent;
+        for idx in indices {
+            cur = self.add_loop(cur, idx);
+        }
+        cur
+    }
+
+    /// Appends a statement leaf under `parent`; returns its id.
+    pub fn add_stmt(&mut self, parent: NodeId, stmt: Stmt) -> NodeId {
+        self.push(parent, NodeKind::Stmt(stmt))
+    }
+
+    /// The node's kind.
+    pub fn kind(&self, node: NodeId) -> &NodeKind {
+        &self.nodes[node.as_usize()].kind
+    }
+
+    /// The node's parent (`None` only for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.as_usize()].parent
+    }
+
+    /// The node's children in program order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.as_usize()].children
+    }
+
+    /// The loop index if `node` is a loop.
+    pub fn loop_index(&self, node: NodeId) -> Option<&Index> {
+        match self.kind(node) {
+            NodeKind::Loop(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The statement if `node` is a leaf.
+    pub fn stmt(&self, node: NodeId) -> Option<&Stmt> {
+        match self.kind(node) {
+            NodeKind::Stmt(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Nodes from `node`'s parent up to (and including) the root.
+    pub fn ancestors(&self, node: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            cur: self.parent(node),
+        }
+    }
+
+    /// The loops enclosing `node`, outermost first.
+    pub fn enclosing_loops(&self, node: NodeId) -> Vec<NodeId> {
+        let mut loops: Vec<NodeId> = self
+            .ancestors(node)
+            .filter(|&n| matches!(self.kind(n), NodeKind::Loop(_)))
+            .collect();
+        loops.reverse();
+        loops
+    }
+
+    /// The loop *indices* enclosing `node`, outermost first.
+    pub fn enclosing_indices(&self, node: NodeId) -> Vec<Index> {
+        self.enclosing_loops(node)
+            .iter()
+            .map(|&l| self.loop_index(l).expect("loop node").clone())
+            .collect()
+    }
+
+    /// Depth of a node; the root has depth 0.
+    pub fn depth(&self, node: NodeId) -> usize {
+        self.ancestors(node).count()
+    }
+
+    /// Lowest common ancestor of two nodes (possibly the root).
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let mut pa: Vec<NodeId> = std::iter::once(a).chain(self.ancestors(a)).collect();
+        let mut pb: Vec<NodeId> = std::iter::once(b).chain(self.ancestors(b)).collect();
+        pa.reverse();
+        pb.reverse();
+        let mut lca = self.root();
+        for (&x, &y) in pa.iter().zip(pb.iter()) {
+            if x == y {
+                lca = x;
+            } else {
+                break;
+            }
+        }
+        lca
+    }
+
+    /// True if `anc` is `node` or one of its ancestors.
+    pub fn is_ancestor_or_self(&self, anc: NodeId, node: NodeId) -> bool {
+        anc == node || self.ancestors(node).any(|n| n == anc)
+    }
+
+    /// All nodes in depth-first pre-order (program order), root first.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root()];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // push children reversed so they pop in program order
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All statement leaves in program order.
+    pub fn statements(&self) -> Vec<NodeId> {
+        self.preorder()
+            .into_iter()
+            .filter(|&n| matches!(self.kind(n), NodeKind::Stmt(_)))
+            .collect()
+    }
+
+    /// All loop nodes in program order.
+    pub fn loops(&self) -> Vec<NodeId> {
+        self.preorder()
+            .into_iter()
+            .filter(|&n| matches!(self.kind(n), NodeKind::Loop(_)))
+            .collect()
+    }
+
+    /// Program-order position of every statement, used to define
+    /// "produced before consumed" relations.
+    pub fn stmt_order(&self, node: NodeId) -> usize {
+        self.statements()
+            .iter()
+            .position(|&s| s == node)
+            .expect("node is not a statement of this tree")
+    }
+}
+
+/// Iterator over a node's ancestors (see [`Tree::ancestors`]).
+pub struct Ancestors<'t> {
+    tree: &'t Tree,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.cur?;
+        self.cur = self.tree.parent(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{ArrayId, ArrayRef};
+
+    fn idx(s: &str) -> Index {
+        Index::new(s)
+    }
+
+    fn stmt(id: u32) -> Stmt {
+        Stmt::Init {
+            dst: ArrayRef::new(ArrayId(id), vec![]),
+        }
+    }
+
+    /// Builds the 2-index-transform shape of Fig. 2(b):
+    /// root -> i -> n -> { j -> s1, m -> s2 }
+    fn sample() -> (Tree, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        let mut t = Tree::new();
+        let li = t.add_loop(t.root(), idx("i"));
+        let ln = t.add_loop(li, idx("n"));
+        let lj = t.add_loop(ln, idx("j"));
+        let s1 = t.add_stmt(lj, stmt(1));
+        let lm = t.add_loop(ln, idx("m"));
+        let s2 = t.add_stmt(lm, stmt(2));
+        (t, li, ln, lj, s1, s2)
+    }
+
+    #[test]
+    fn structure_and_parents() {
+        let (t, li, ln, lj, s1, s2) = sample();
+        assert_eq!(t.parent(li), Some(t.root()));
+        assert_eq!(t.parent(s1), Some(lj));
+        assert_eq!(t.children(ln).len(), 2);
+        assert_eq!(t.depth(s1), 4);
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.loop_index(ln), Some(&idx("n")));
+        assert!(t.stmt(s2).is_some());
+        assert!(t.stmt(ln).is_none());
+    }
+
+    #[test]
+    fn enclosing_loops_outermost_first() {
+        let (t, li, ln, lj, s1, _) = sample();
+        assert_eq!(t.enclosing_loops(s1), vec![li, ln, lj]);
+        let names: Vec<String> = t
+            .enclosing_indices(s1)
+            .iter()
+            .map(|i| i.name().to_string())
+            .collect();
+        assert_eq!(names, ["i", "n", "j"]);
+    }
+
+    #[test]
+    fn lca_of_sibling_statements() {
+        let (t, _, ln, _, s1, s2) = sample();
+        assert_eq!(t.lca(s1, s2), ln);
+        assert_eq!(t.lca(s1, s1), s1);
+        assert_eq!(t.lca(t.root(), s2), t.root());
+    }
+
+    #[test]
+    fn lca_of_separate_nests_is_root() {
+        let mut t = Tree::new();
+        let l1 = t.add_loop(t.root(), idx("a"));
+        let s1 = t.add_stmt(l1, stmt(1));
+        let l2 = t.add_loop(t.root(), idx("b"));
+        let s2 = t.add_stmt(l2, stmt(2));
+        assert_eq!(t.lca(s1, s2), t.root());
+    }
+
+    #[test]
+    fn preorder_is_program_order() {
+        let (t, li, ln, lj, s1, s2) = sample();
+        let order = t.preorder();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(li) < pos(ln));
+        assert!(pos(lj) < pos(s1));
+        assert!(pos(s1) < pos(s2));
+        assert_eq!(t.statements(), vec![s1, s2]);
+        assert_eq!(t.stmt_order(s1), 0);
+        assert_eq!(t.stmt_order(s2), 1);
+    }
+
+    #[test]
+    fn add_loops_chain() {
+        let mut t = Tree::new();
+        let inner = t.add_loops(t.root(), ["a", "b", "c"].map(idx));
+        assert_eq!(t.enclosing_indices(inner).len(), 2); // a, b enclose c
+        assert_eq!(t.loop_index(inner), Some(&idx("c")));
+    }
+
+    #[test]
+    fn ancestor_or_self() {
+        let (t, li, _, _, s1, s2) = sample();
+        assert!(t.is_ancestor_or_self(li, s1));
+        assert!(t.is_ancestor_or_self(s1, s1));
+        assert!(!t.is_ancestor_or_self(s1, s2));
+        assert!(t.is_ancestor_or_self(t.root(), s2));
+    }
+
+    #[test]
+    #[should_panic(expected = "statements cannot have children")]
+    fn stmt_cannot_have_children() {
+        let mut t = Tree::new();
+        let s = t.add_stmt(t.root(), stmt(0));
+        t.add_loop(s, idx("i"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Multi-tensor contraction expressions.
+
+use tce_ir::{Index, RangeMap};
+
+/// A tensor name plus its index list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TensorSpec {
+    /// Tensor name (`A`, `C1`, ...).
+    pub name: String,
+    /// Indices in storage order.
+    pub indices: Vec<Index>,
+}
+
+impl TensorSpec {
+    /// Creates a spec from string names.
+    pub fn new(name: &str, indices: &[&str]) -> Self {
+        TensorSpec {
+            name: name.to_string(),
+            indices: indices.iter().map(Index::new).collect(),
+        }
+    }
+
+    /// Number of elements under the given ranges.
+    pub fn elements(&self, ranges: &RangeMap) -> f64 {
+        self.indices
+            .iter()
+            .map(|i| ranges.extent(i) as f64)
+            .product()
+    }
+}
+
+/// A single multi-dimensional summation of a product of tensors:
+/// `output = Σ_{contracted} f_1 · f_2 · ... · f_k`
+/// (the paper's tensor contraction expressions, e.g. the four-index
+/// transform of Sec. 2).
+#[derive(Clone, Debug)]
+pub struct SumOfProducts {
+    /// The result tensor; its indices are the *free* indices.
+    pub output: TensorSpec,
+    /// The input factors.
+    pub factors: Vec<TensorSpec>,
+    /// Extents of every index.
+    pub ranges: RangeMap,
+}
+
+impl SumOfProducts {
+    /// All indices appearing anywhere, deduplicated in first-use order.
+    pub fn all_indices(&self) -> Vec<Index> {
+        let mut out: Vec<Index> = Vec::new();
+        for t in std::iter::once(&self.output).chain(self.factors.iter()) {
+            for i in &t.indices {
+                if !out.contains(i) {
+                    out.push(i.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The contracted (summation) indices: everything not free.
+    pub fn contracted_indices(&self) -> Vec<Index> {
+        self.all_indices()
+            .into_iter()
+            .filter(|i| !self.output.indices.contains(i))
+            .collect()
+    }
+
+    /// Multiply-add count of the naive single-nest evaluation: the
+    /// product of *all* index extents (one multiply-add per point of the
+    /// full iteration space per extra factor).
+    pub fn naive_flops(&self) -> f64 {
+        let space: f64 = self
+            .all_indices()
+            .iter()
+            .map(|i| self.ranges.extent(i) as f64)
+            .product();
+        space * (self.factors.len().saturating_sub(1)) as f64 * 2.0
+    }
+
+    /// The paper's four-index transform:
+    /// `B(a,b,c,d) = Σ_{pqrs} C1(s,d)·C2(r,c)·C3(q,b)·C4(p,a)·A(p,q,r,s)`.
+    pub fn four_index_transform(n: u64, v: u64) -> Self {
+        let mut ranges = RangeMap::new();
+        for i in ["p", "q", "r", "s"] {
+            ranges.set(Index::new(i), n);
+        }
+        for i in ["a", "b", "c", "d"] {
+            ranges.set(Index::new(i), v);
+        }
+        SumOfProducts {
+            output: TensorSpec::new("B", &["a", "b", "c", "d"]),
+            factors: vec![
+                TensorSpec::new("C1", &["s", "d"]),
+                TensorSpec::new("C2", &["r", "c"]),
+                TensorSpec::new("C3", &["q", "b"]),
+                TensorSpec::new("C4", &["p", "a"]),
+                TensorSpec::new("A", &["p", "q", "r", "s"]),
+            ],
+            ranges,
+        }
+    }
+
+    /// The two-index transform: `B(m,n) = Σ_{ij} C1(m,i)·C2(n,j)·A(i,j)`.
+    pub fn two_index_transform(n: u64, v: u64) -> Self {
+        let ranges = RangeMap::new()
+            .with("i", n)
+            .with("j", n)
+            .with("m", v)
+            .with("n", v);
+        SumOfProducts {
+            output: TensorSpec::new("B", &["m", "n"]),
+            factors: vec![
+                TensorSpec::new("C1", &["m", "i"]),
+                TensorSpec::new("C2", &["n", "j"]),
+                TensorSpec::new("A", &["i", "j"]),
+            ],
+            ranges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_index_shape() {
+        let e = SumOfProducts::four_index_transform(140, 120);
+        assert_eq!(e.factors.len(), 5);
+        assert_eq!(e.all_indices().len(), 8);
+        assert_eq!(e.contracted_indices().len(), 4);
+        // naive cost is O(V^4 N^4)
+        let naive = e.naive_flops();
+        assert!(naive > 120f64.powi(4) * 140f64.powi(4));
+    }
+
+    #[test]
+    fn two_index_shape() {
+        let e = SumOfProducts::two_index_transform(40, 35);
+        let mut contracted: Vec<String> = e
+            .contracted_indices()
+            .iter()
+            .map(|i| i.name().to_string())
+            .collect();
+        contracted.sort();
+        assert_eq!(contracted, vec!["i".to_string(), "j".to_string()]);
+    }
+
+    #[test]
+    fn tensor_elements() {
+        let r = RangeMap::new().with("i", 10).with("j", 5);
+        let t = TensorSpec::new("A", &["i", "j"]);
+        assert_eq!(t.elements(&r), 50.0);
+    }
+}

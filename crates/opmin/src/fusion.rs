@@ -1,0 +1,462 @@
+//! Loop fusion for memory reduction (Fig. 1) and the fused display form
+//! (Fig. 5's elided subscripts).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use tce_ir::{
+    ArrayId, ArrayKind, Index, NodeId, NodeKind, Program, RangeMap, Stmt, Tree,
+};
+
+/// Per-intermediate memory effect of the program's fusion structure.
+#[derive(Clone, Debug)]
+pub struct FusionReport {
+    /// One entry per intermediate array.
+    pub entries: Vec<FusionEntry>,
+}
+
+/// Memory effect for one intermediate.
+#[derive(Clone, Debug)]
+pub struct FusionEntry {
+    /// The array.
+    pub array: ArrayId,
+    /// Array name.
+    pub name: String,
+    /// Elements of the full (declared) array.
+    pub full_elements: u64,
+    /// Dimensions *not* fused between producer and consumer — the
+    /// subscripts Fig. 5 still prints.
+    pub effective_dims: Vec<Index>,
+    /// Elements of the fusion-reduced buffer (product of effective
+    /// extents; 1 = reduced to a scalar, as `T` in Fig. 1(c)).
+    pub reduced_elements: u64,
+}
+
+impl FusionEntry {
+    /// Memory reduction factor from fusion.
+    pub fn reduction(&self) -> f64 {
+        self.full_elements as f64 / self.reduced_elements as f64
+    }
+}
+
+impl fmt::Display for FusionEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dims: Vec<&str> = self.effective_dims.iter().map(|i| i.name()).collect();
+        write!(
+            f,
+            "{}: {} -> {} elements ({})",
+            self.name,
+            self.full_elements,
+            self.reduced_elements,
+            if dims.is_empty() {
+                "scalar".to_string()
+            } else {
+                format!("[{}]", dims.join(","))
+            }
+        )
+    }
+}
+
+/// The dimensions of `array` that stay materialized under the program's
+/// fusion structure: those whose binding loop does **not** enclose the
+/// producer/consumer LCA. Fused dimensions only need one element (a tile
+/// after tiling) because production and consumption interleave along
+/// them.
+fn effective_dims(program: &Program, array: ArrayId) -> Vec<Index> {
+    let tree = program.tree();
+    let producers: Vec<NodeId> = program
+        .producers(array)
+        .into_iter()
+        .filter(|&s| tree.stmt(s).expect("stmt").is_contract())
+        .collect();
+    let consumers = program.consumers(array);
+    let decl = program.array(array);
+    if producers.is_empty() || consumers.is_empty() {
+        return decl.dims().to_vec();
+    }
+    // LCA over every producer/consumer pair
+    let mut lca = producers[0];
+    for &s in producers.iter().chain(consumers.iter()) {
+        lca = tree.lca(lca, s);
+    }
+    let mut fused: Vec<Index> = tree.enclosing_indices(lca);
+    if let NodeKind::Loop(i) = tree.kind(lca) {
+        fused.push(i.clone());
+    }
+    decl.dims()
+        .iter()
+        .filter(|d| !fused.contains(d))
+        .cloned()
+        .collect()
+}
+
+/// Computes the fusion report of a program.
+pub fn fusion_report(program: &Program) -> FusionReport {
+    let ranges = program.ranges();
+    let entries = program
+        .arrays()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.kind() == ArrayKind::Intermediate)
+        .map(|(k, a)| {
+            let id = ArrayId(k as u32);
+            let eff = effective_dims(program, id);
+            let reduced: u64 = eff.iter().map(|i| ranges.extent(i)).product();
+            FusionEntry {
+                array: id,
+                name: a.name().to_string(),
+                full_elements: a.num_elements(ranges),
+                effective_dims: eff,
+                reduced_elements: reduced,
+            }
+        })
+        .collect();
+    FusionReport { entries }
+}
+
+/// Renders the program in the paper's fused display form: intermediate
+/// references keep only their effective (unfused) subscripts, so the
+/// full-index `T2[a,b,r,s]` of our IR prints as Fig. 5's scalar `T2`.
+pub fn fused_display_form(program: &Program) -> String {
+    let eff: HashMap<ArrayId, Vec<Index>> = program
+        .arrays()
+        .iter()
+        .enumerate()
+        .map(|(k, a)| {
+            let id = ArrayId(k as u32);
+            if a.kind() == ArrayKind::Intermediate {
+                (id, effective_dims(program, id))
+            } else {
+                (id, a.dims().to_vec())
+            }
+        })
+        .collect();
+
+    let fmt_ref = |r: &tce_ir::ArrayRef| -> String {
+        let name = program.array(r.array).name();
+        let keep = &eff[&r.array];
+        let subs: Vec<&str> = r
+            .indices
+            .iter()
+            .filter(|i| keep.contains(i))
+            .map(|i| i.name())
+            .collect();
+        if subs.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name}[{}]", subs.join(","))
+        }
+    };
+
+    let mut out = String::new();
+    fn walk(
+        program: &Program,
+        node: NodeId,
+        depth: usize,
+        fmt_ref: &dyn Fn(&tce_ir::ArrayRef) -> String,
+        out: &mut String,
+    ) {
+        let tree = program.tree();
+        let pad = "  ".repeat(depth);
+        match tree.kind(node) {
+            NodeKind::Root => {
+                for &c in tree.children(node) {
+                    walk(program, c, depth, fmt_ref, out);
+                }
+            }
+            NodeKind::Loop(_) => {
+                // merge single-child loop chains
+                let mut chain = vec![node];
+                let mut cur = node;
+                while tree.children(cur).len() == 1 {
+                    let only = tree.children(cur)[0];
+                    if matches!(tree.kind(only), NodeKind::Loop(_)) {
+                        cur = only;
+                        chain.push(cur);
+                    } else {
+                        break;
+                    }
+                }
+                let names: Vec<&str> = chain
+                    .iter()
+                    .map(|&l| tree.loop_index(l).expect("loop").name())
+                    .collect();
+                let _ = writeln!(out, "{pad}FOR {}", names.join(","));
+                for &c in tree.children(cur) {
+                    walk(program, c, depth + 1, fmt_ref, out);
+                }
+            }
+            NodeKind::Stmt(s) => {
+                let line = match s {
+                    Stmt::Init { dst } => format!("{} = 0", fmt_ref(dst)),
+                    Stmt::Contract { dst, lhs, rhs } => format!(
+                        "{} += {} * {}",
+                        fmt_ref(dst),
+                        fmt_ref(lhs),
+                        fmt_ref(rhs)
+                    ),
+                };
+                let _ = writeln!(out, "{pad}{line}");
+            }
+        }
+    }
+    walk(program, program.tree().root(), 0, &fmt_ref, &mut out);
+    out
+}
+
+/// Fusion failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FuseError {
+    /// A position was out of range or repeated.
+    BadNestSelection(String),
+    /// The selected nests share no loop indices.
+    NothingInCommon,
+    /// Rebuilding the program failed validation.
+    Invalid(String),
+}
+
+impl fmt::Display for FuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuseError::BadNestSelection(m) => write!(f, "bad nest selection: {m}"),
+            FuseError::NothingInCommon => f.write_str("selected nests share no loop indices"),
+            FuseError::Invalid(m) => write!(f, "fused program invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FuseError {}
+
+/// The maximal perfect loop prefix of a top-level nest: the chain of
+/// loops from the nest root down while each loop has exactly one child.
+fn perfect_prefix(tree: &Tree, nest_root: NodeId) -> Vec<(NodeId, Index)> {
+    let mut chain = Vec::new();
+    let mut cur = nest_root;
+    while let NodeKind::Loop(i) = tree.kind(cur) {
+        chain.push((cur, i.clone()));
+        let kids = tree.children(cur);
+        match kids {
+            [only] if matches!(tree.kind(*only), NodeKind::Loop(_)) => cur = *only,
+            _ => break,
+        }
+    }
+    chain
+}
+
+/// Fuses the selected top-level loop nests over their common prefix
+/// indices (Fig. 1(a) → Fig. 1(c)).
+///
+/// `nests` are positions among the root's children, in program order.
+/// The loops of each nest's maximal perfect prefix are reordered so the
+/// common indices come first (legal for contraction nests: the prefix
+/// loops are fully permutable), then the nests are merged under one copy
+/// of the common loops. The fused nest takes the position of the *last*
+/// selected nest, preserving dataflow with unfused nests in between.
+pub fn fuse_nests(program: &Program, nests: &[usize]) -> Result<Program, FuseError> {
+    let tree = program.tree();
+    let top = tree.children(tree.root()).to_vec();
+    if nests.len() < 2 {
+        return Err(FuseError::BadNestSelection("need at least two nests".into()));
+    }
+    let mut seen = Vec::new();
+    for &k in nests {
+        if k >= top.len() {
+            return Err(FuseError::BadNestSelection(format!(
+                "nest {k} out of range ({} top-level nests)",
+                top.len()
+            )));
+        }
+        if seen.contains(&k) {
+            return Err(FuseError::BadNestSelection(format!("nest {k} repeated")));
+        }
+        seen.push(k);
+    }
+
+    // common indices over all selected nests' perfect prefixes, in the
+    // order of the first nest
+    let prefixes: Vec<Vec<(NodeId, Index)>> = nests
+        .iter()
+        .map(|&k| perfect_prefix(tree, top[k]))
+        .collect();
+    let common: Vec<Index> = prefixes[0]
+        .iter()
+        .map(|(_, i)| i.clone())
+        .filter(|i| prefixes[1..].iter().all(|p| p.iter().any(|(_, j)| j == i)))
+        .collect();
+    if common.is_empty() {
+        return Err(FuseError::NothingInCommon);
+    }
+
+    // rebuild the tree
+    let mut new_tree = Tree::new();
+    let last_pos = *nests.iter().max().expect("non-empty");
+
+    for (pos, &nest_root) in top.iter().enumerate() {
+        if nests.contains(&pos) && pos != last_pos {
+            continue; // moved into the fused nest
+        }
+        if pos == last_pos {
+            // emit the fused nest: common loops, then each member's body
+            let inner = new_tree.add_loops(new_tree.root(), common.iter().cloned());
+            for (sel, &k) in nests.iter().enumerate() {
+                let prefix = &prefixes[sel];
+                // remaining (non-common) prefix loops of this nest,
+                // original relative order
+                let rest: Vec<Index> = prefix
+                    .iter()
+                    .map(|(_, i)| i.clone())
+                    .filter(|i| !common.contains(i))
+                    .collect();
+                let body_parent = if rest.is_empty() {
+                    inner
+                } else {
+                    new_tree.add_loops(inner, rest)
+                };
+                // children below the prefix
+                let below = prefix.last().expect("non-empty prefix").0;
+                for &c in tree.children(below) {
+                    copy_subtree(tree, c, body_parent, &mut new_tree);
+                }
+                let _ = k;
+            }
+        } else {
+            copy_subtree(tree, nest_root, new_tree.root(), &mut new_tree);
+        }
+    }
+
+    Program::new(
+        program.arrays().to_vec(),
+        program.ranges().clone(),
+        new_tree,
+    )
+    .map_err(|e| FuseError::Invalid(e.to_string()))
+}
+
+fn copy_subtree(src: &Tree, node: NodeId, dst_parent: NodeId, dst: &mut Tree) {
+    match src.kind(node) {
+        NodeKind::Root => unreachable!("subtree copies never start at the root"),
+        NodeKind::Loop(i) => {
+            let l = dst.add_loop(dst_parent, i.clone());
+            for &c in src.children(node) {
+                copy_subtree(src, c, l, dst);
+            }
+        }
+        NodeKind::Stmt(s) => {
+            dst.add_stmt(dst_parent, s.clone());
+        }
+    }
+}
+
+/// Memory requirement (bytes) of keeping every intermediate at its
+/// fusion-reduced size — the quantity Fig. 1 is about.
+pub fn reduced_memory_bytes(program: &Program) -> u64 {
+    let ranges: &RangeMap = program.ranges();
+    let _ = ranges;
+    fusion_report(program)
+        .entries
+        .iter()
+        .map(|e| e.reduced_elements * tce_ir::ELEMENT_BYTES)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_ir::fixtures::{four_index_fused, two_index_fused, two_index_unfused};
+
+    #[test]
+    fn fig1_unfused_t_is_full_size() {
+        let p = two_index_unfused(40, 35);
+        let report = fusion_report(&p);
+        assert_eq!(report.entries.len(), 1);
+        let t = &report.entries[0];
+        assert_eq!(t.full_elements, 35 * 40);
+        // producer and consumer in separate nests: nothing fused
+        assert_eq!(t.reduced_elements, 35 * 40);
+        assert_eq!(t.reduction(), 1.0);
+    }
+
+    #[test]
+    fn fig1_fused_t_reduces_to_scalar() {
+        let p = two_index_fused(40, 35);
+        let report = fusion_report(&p);
+        let t = &report.entries[0];
+        // i and n fused → both of T's dims elided
+        assert_eq!(t.reduced_elements, 1);
+        assert!(t.effective_dims.is_empty());
+        assert_eq!(t.reduction(), 1400.0);
+    }
+
+    #[test]
+    fn fuse_nests_turns_fig1a_into_fig1c() {
+        let p = two_index_unfused(6, 5);
+        // top-level nests: 0 = T producer (init inside), 1 = B init,
+        // 2 = B consumer
+        let top = p.tree().children(p.tree().root()).len();
+        assert_eq!(top, 3);
+        let fused = fuse_nests(&p, &[0, 2]).expect("fusion");
+        // T now reduces to a scalar
+        let report = fusion_report(&fused);
+        assert_eq!(report.entries[0].reduced_elements, 1);
+        // fused program computes the same B (checked against the dense
+        // reference by the cross-crate integration tests; here we verify
+        // it validates and has the right shape)
+        assert_eq!(fused.tree().statements().len(), 4);
+        assert_eq!(fused.tree().children(fused.tree().root()).len(), 2);
+    }
+
+    #[test]
+    fn fuse_rejects_disjoint_nests() {
+        let p = two_index_unfused(6, 5);
+        // T init (i,n) and B init (m,n) share only n — fusing those is
+        // legal; nests sharing nothing must be rejected
+        let err = fuse_nests(&p, &[0]).unwrap_err();
+        assert!(matches!(err, FuseError::BadNestSelection(_)));
+        let err = fuse_nests(&p, &[0, 99]).unwrap_err();
+        assert!(matches!(err, FuseError::BadNestSelection(_)));
+    }
+
+    #[test]
+    fn fig5_display_form_elides_fused_dims() {
+        let p = four_index_fused(14, 12);
+        let text = fused_display_form(&p);
+        // T2 prints as a scalar, T3 as T3[c,s] — exactly Fig. 5
+        assert!(text.contains("T2 = 0"), "{text}");
+        assert!(text.contains("T2 += C3[q,b] * T1[a,q,r,s]"), "{text}");
+        assert!(text.contains("T3[c,s] += C2[r,c] * T2"), "{text}");
+        assert!(text.contains("B[a,b,c,d] += C1[s,d] * T3[c,s]"), "{text}");
+        // T1 keeps all four subscripts (nothing fused across the nests)
+        assert!(text.contains("T1[a,q,r,s] += C4[p,a] * A[p,q,r,s]"), "{text}");
+    }
+
+    #[test]
+    fn four_index_fusion_report_matches_paper() {
+        let p = four_index_fused(140, 120);
+        let report = fusion_report(&p);
+        let by_name = |n: &str| {
+            report
+                .entries
+                .iter()
+                .find(|e| e.name == n)
+                .unwrap_or_else(|| panic!("{n} in report"))
+        };
+        // T1: nothing fused → full 120·140³
+        assert_eq!(by_name("T1").reduced_elements, 120 * 140 * 140 * 140);
+        // T2: everything fused → scalar
+        assert_eq!(by_name("T2").reduced_elements, 1);
+        // T3: a,b fused → c,s remain
+        assert_eq!(by_name("T3").reduced_elements, 120 * 140);
+        let dims: Vec<&str> = by_name("T3")
+            .effective_dims
+            .iter()
+            .map(|i| i.name())
+            .collect();
+        assert_eq!(dims, ["c", "s"]);
+    }
+
+    #[test]
+    fn reduced_memory_totals() {
+        let p = two_index_fused(40, 35);
+        assert_eq!(reduced_memory_bytes(&p), 8);
+    }
+}

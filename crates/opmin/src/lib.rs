@@ -1,0 +1,35 @@
+//! Operation minimization and loop fusion (the TCE transformations the
+//! paper's input codes have already been through, Sec. 2).
+//!
+//! * [`optree`] — algebraic operation minimization: factor a
+//!   multi-tensor contraction into a binary contraction tree minimizing
+//!   the multiply-add count (dynamic programming over tensor subsets).
+//!   This reproduces the `O(V⁴N⁴) → O(VN⁴)` reduction of the four-index
+//!   transform.
+//! * [`lower`] — lowers a binary contraction tree into an (unfused)
+//!   abstract program: one perfectly nested loop per binary contraction
+//!   with explicit intermediates.
+//! * [`fusion`] — loop fusion for memory reduction (Fig. 1):
+//!   producer/consumer nest fusion over common indices, the analysis of
+//!   each intermediate's *effective* (unfused) dimensions, and the
+//!   paper-style display form that elides fused dimensions (which turns
+//!   our full-index `T2[a,b,r,s]` back into Fig. 5's scalar `T2`).
+//!
+//! Choosing the *optimal* fusion structure is the subject of the earlier
+//! TCE papers (\[3–5\], \[8\] of the paper) and is input to the out-of-core
+//! pass reproduced here; this crate provides the mechanisms plus a greedy
+//! chain-fusion helper, not the full search.
+
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod fusion;
+pub mod lower;
+pub mod optree;
+pub mod workloads;
+
+pub use expr::{SumOfProducts, TensorSpec};
+pub use fusion::{fuse_nests, fused_display_form, fusion_report, FusionReport};
+pub use lower::lower_unfused;
+pub use optree::{optimize_contraction_order, ContractionTree, TreeCost};
+pub use workloads::{ccsd_doubles_quadratic, ccsd_ring, derive_program, triples_residual};

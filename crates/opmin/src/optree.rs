@@ -1,0 +1,348 @@
+//! Operation minimization: optimal binary contraction ordering.
+//!
+//! Dynamic programming over subsets of the factor tensors. The result of
+//! contracting a subset carries exactly the indices of the subset that
+//! are still needed outside it (by the remaining factors or the output);
+//! the multiply-add cost of a binary contraction is twice the product of
+//! the extents of the union of its operands' indices. This is the
+//! single-term optimization of Lam et al. that turns the four-index
+//! transform's `O(V⁴N⁴)` naive form into the `O(VN⁴)` four-step form of
+//! Sec. 2.
+
+use crate::expr::SumOfProducts;
+use tce_ir::Index;
+
+/// A binary contraction tree over the factors of a [`SumOfProducts`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ContractionTree {
+    /// An input factor (index into `SumOfProducts::factors`).
+    Leaf(usize),
+    /// Contract the results of two subtrees.
+    Node {
+        /// Left operand.
+        left: Box<ContractionTree>,
+        /// Right operand.
+        right: Box<ContractionTree>,
+        /// Indices of the node's result tensor.
+        result: Vec<Index>,
+        /// Multiply-add cost of this contraction alone.
+        flops: f64,
+    },
+}
+
+impl ContractionTree {
+    /// Indices of the subtree's result.
+    pub fn result_indices<'e>(&'e self, expr: &'e SumOfProducts) -> &'e [Index] {
+        match self {
+            ContractionTree::Leaf(k) => &expr.factors[*k].indices,
+            ContractionTree::Node { result, .. } => result,
+        }
+    }
+
+    /// Total multiply-add count of the whole tree.
+    pub fn total_flops(&self) -> f64 {
+        match self {
+            ContractionTree::Leaf(_) => 0.0,
+            ContractionTree::Node {
+                left, right, flops, ..
+            } => left.total_flops() + right.total_flops() + flops,
+        }
+    }
+
+    /// The binary contractions in evaluation order (leaves before
+    /// parents). Step `k` produces intermediate `k`; the last step
+    /// produces the expression's output.
+    pub fn steps(&self, expr: &SumOfProducts) -> Vec<Step> {
+        let _ = expr; // steps are derivable from the tree alone; the
+                      // expression parameter keeps the API symmetric
+        let mut out = Vec::new();
+        self.collect_steps(&mut out);
+        out
+    }
+
+    fn collect_steps(&self, out: &mut Vec<Step>) -> Operand {
+        match self {
+            ContractionTree::Leaf(k) => Operand::Input(*k),
+            ContractionTree::Node {
+                left,
+                right,
+                result,
+                flops,
+            } => {
+                let l = left.collect_steps(out);
+                let r = right.collect_steps(out);
+                let id = out.len();
+                out.push(Step {
+                    left: l,
+                    right: r,
+                    result: result.clone(),
+                    flops: *flops,
+                });
+                Operand::Intermediate(id)
+            }
+        }
+    }
+}
+
+/// One binary contraction of the evaluation sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Step {
+    /// Left operand.
+    pub left: Operand,
+    /// Right operand.
+    pub right: Operand,
+    /// Result indices.
+    pub result: Vec<Index>,
+    /// Multiply-add cost of the step.
+    pub flops: f64,
+}
+
+/// Operand of a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// An input tensor (index into `SumOfProducts::factors`).
+    Input(usize),
+    /// The result of step `k`.
+    Intermediate(usize),
+}
+
+impl Operand {
+    /// The operand's indices.
+    pub fn indices<'a>(&self, expr: &'a SumOfProducts, steps: &'a [Step]) -> &'a [Index] {
+        match self {
+            Operand::Input(k) => &expr.factors[*k].indices,
+            Operand::Intermediate(k) => &steps[*k].result,
+        }
+    }
+}
+
+/// Cost summary of an optimized tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeCost {
+    /// Multiply-adds of the optimized binary tree.
+    pub optimized_flops: f64,
+    /// Multiply-adds of the naive single-nest evaluation.
+    pub naive_flops: f64,
+}
+
+impl TreeCost {
+    /// Speedup factor of the optimization.
+    pub fn speedup(&self) -> f64 {
+        self.naive_flops / self.optimized_flops.max(1.0)
+    }
+}
+
+/// Finds the binary contraction tree with minimum multiply-add count.
+///
+/// Exponential in the number of factors (3^k subset-pair enumeration) —
+/// fine for the ≤ 10-tensor expressions of electronic-structure codes.
+///
+/// # Panics
+///
+/// Panics if the expression has no factors or more than 16 of them.
+pub fn optimize_contraction_order(expr: &SumOfProducts) -> (ContractionTree, TreeCost) {
+    let n = expr.factors.len();
+    assert!(n >= 1, "expression needs at least one factor");
+    assert!(n <= 16, "subset DP limited to 16 factors");
+
+    // indices required outside a subset: union of indices used by factors
+    // not in the subset, plus the output's indices
+    let index_universe: Vec<Index> = expr.all_indices();
+    let uses: Vec<u64> = expr
+        .factors
+        .iter()
+        .map(|f| index_mask(&index_universe, &f.indices))
+        .collect();
+    let out_mask = index_mask(&index_universe, &expr.output.indices);
+    let full: usize = (1 << n) - 1;
+
+    // external[s] = mask of indices needed outside subset s
+    let mut external = vec![0u64; full + 1];
+    for (s, e) in external.iter_mut().enumerate() {
+        let mut m = out_mask;
+        for (k, u) in uses.iter().enumerate() {
+            if s & (1 << k) == 0 {
+                m |= u;
+            }
+        }
+        *e = m;
+    }
+    // covered[s] = mask of indices carried by factors inside s
+    let mut covered = vec![0u64; full + 1];
+    for (s, c) in covered.iter_mut().enumerate() {
+        let mut m = 0;
+        for (k, u) in uses.iter().enumerate() {
+            if s & (1 << k) != 0 {
+                m |= u;
+            }
+        }
+        *c = m;
+    }
+
+    let extent = |mask: u64| -> f64 {
+        index_universe
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| mask & (1 << k) != 0)
+            .map(|(_, i)| expr.ranges.extent(i) as f64)
+            .product()
+    };
+
+    // DP over subsets
+    let mut best: Vec<Option<(f64, ContractionTree)>> = vec![None; full + 1];
+    for k in 0..n {
+        best[1 << k] = Some((0.0, ContractionTree::Leaf(k)));
+    }
+    for s in 1..=full {
+        if s.count_ones() < 2 {
+            continue;
+        }
+        // enumerate proper sub-partitions (canonical: left contains the
+        // lowest set bit)
+        let low = s & s.wrapping_neg();
+        let rest = s ^ low;
+        let mut sub = rest;
+        let mut best_here: Option<(f64, ContractionTree)> = None;
+        loop {
+            let left = low | sub;
+            let right = s ^ left;
+            if right != 0 {
+                if let (Some((cl, tl)), Some((cr, tr))) = (&best[left], &best[right]) {
+                    // each operand carries only the indices still needed
+                    // outside its own subset; the contraction iterates
+                    // the union of those result indices
+                    let union = (covered[left] & external[left])
+                        | (covered[right] & external[right]);
+                    let flops = 2.0 * extent(union);
+                    let total = cl + cr + flops;
+                    if best_here.as_ref().is_none_or(|(b, _)| total < *b) {
+                        let result_mask =
+                            (covered[left] | covered[right]) & external[s];
+                        let result: Vec<Index> = index_universe
+                            .iter()
+                            .enumerate()
+                            .filter(|(k, _)| result_mask & (1 << k) != 0)
+                            .map(|(_, i)| i.clone())
+                            .collect();
+                        best_here = Some((
+                            total,
+                            ContractionTree::Node {
+                                left: Box::new(tl.clone()),
+                                right: Box::new(tr.clone()),
+                                result,
+                                flops,
+                            },
+                        ));
+                    }
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+        best[s] = best_here;
+    }
+
+    let (flops, tree) = best[full].clone().expect("full subset solved");
+    (
+        tree,
+        TreeCost {
+            optimized_flops: flops,
+            naive_flops: expr.naive_flops(),
+        },
+    )
+}
+
+fn index_mask(universe: &[Index], indices: &[Index]) -> u64 {
+    let mut m = 0u64;
+    for i in indices {
+        let k = universe
+            .iter()
+            .position(|u| u == i)
+            .expect("index in universe");
+        m |= 1 << k;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::TensorSpec;
+
+    #[test]
+    fn four_index_transform_is_reduced_to_v_n4() {
+        let e = SumOfProducts::four_index_transform(140, 120);
+        let (tree, cost) = optimize_contraction_order(&e);
+        // the optimal chain contracts A with one C at a time:
+        // cost ≈ 2·(V N⁴ + V²N³ + V³N² + V⁴N)
+        let n = 140f64;
+        let v = 120f64;
+        let expect = 2.0 * (v * n.powi(4) + v * v * n.powi(3) + v.powi(3) * n * n + v.powi(4) * n);
+        assert!(
+            (cost.optimized_flops - expect).abs() <= 1e-6 * expect,
+            "got {}, want {}",
+            cost.optimized_flops,
+            expect
+        );
+        // orders of magnitude below naive O(V⁴N⁴)
+        assert!(cost.speedup() > 1e5, "speedup {}", cost.speedup());
+        // four binary contractions
+        assert_eq!(tree.steps(&e).len(), 4);
+        assert!((tree.total_flops() - cost.optimized_flops).abs() < 1e-3);
+    }
+
+    #[test]
+    fn two_index_transform_steps() {
+        let e = SumOfProducts::two_index_transform(40, 35);
+        let (tree, cost) = optimize_contraction_order(&e);
+        let steps = tree.steps(&e);
+        assert_eq!(steps.len(), 2);
+        // first step produces T(n,i) or T(m,j): rank-2 intermediate
+        assert_eq!(steps[0].result.len(), 2);
+        assert!(cost.optimized_flops < cost.naive_flops);
+    }
+
+    #[test]
+    fn single_factor_is_a_leaf() {
+        let e = SumOfProducts {
+            output: TensorSpec::new("O", &["i"]),
+            factors: vec![TensorSpec::new("A", &["i"])],
+            ranges: tce_ir::RangeMap::new().with("i", 5),
+        };
+        let (tree, cost) = optimize_contraction_order(&e);
+        assert_eq!(tree, ContractionTree::Leaf(0));
+        assert_eq!(cost.optimized_flops, 0.0);
+    }
+
+    #[test]
+    fn matrix_chain_prefers_cheap_association() {
+        // (A[i,j]·B[j,k])·C[k,l] with tiny k: contracting B·C first is
+        // cheaper when j is huge
+        let ranges = tce_ir::RangeMap::new()
+            .with("i", 2)
+            .with("j", 100)
+            .with("k", 2)
+            .with("l", 2);
+        let e = SumOfProducts {
+            output: TensorSpec::new("O", &["i", "l"]),
+            factors: vec![
+                TensorSpec::new("A", &["i", "j"]),
+                TensorSpec::new("B", &["j", "k"]),
+                TensorSpec::new("C", &["k", "l"]),
+            ],
+            ranges,
+        };
+        let (tree, _) = optimize_contraction_order(&e);
+        let steps = tree.steps(&e);
+        // first contraction must involve A and B (collapsing j early),
+        // since O(i,j,k) = 400 vs O(j,k,l)=400 vs final O(i,k/j,l)...
+        // either way, total flops must be the DP optimum; check against
+        // exhaustive reasoning: AB first: 2*(2*100*2) + 2*(2*2*2) = 816;
+        // BC first: 2*(100*2*2) + 2*(2*100*2) = 1600; AC first: not
+        // adjacent but allowed: A·C has no common index: 2*(2*100*2*2)=1600
+        // + final 2*(2*100*2*2)... so AB first wins with 816.
+        assert_eq!(tree.total_flops(), 816.0, "steps: {steps:?}");
+    }
+}

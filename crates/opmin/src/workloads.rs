@@ -1,0 +1,122 @@
+//! Workload catalogue: the paper's transforms plus coupled-cluster-style
+//! contractions of the kind the TCE targets ("energy calculations with
+//! higher order coupled cluster methods", Sec. 5).
+//!
+//! Each workload is a [`SumOfProducts`] expression; [`derive_program`]
+//! turns any of them into a runnable abstract program via the op-min DP
+//! and the unfused lowering.
+
+use crate::expr::{SumOfProducts, TensorSpec};
+use crate::lower::lower_unfused;
+use crate::optree::optimize_contraction_order;
+use tce_ir::{Index, Program, RangeMap};
+
+fn ranges(occ: &[&str], o: u64, virt: &[&str], v: u64) -> RangeMap {
+    let mut r = RangeMap::new();
+    for i in occ {
+        r.set(Index::new(i), o);
+    }
+    for i in virt {
+        r.set(Index::new(i), v);
+    }
+    r
+}
+
+/// CCSD-doubles-style quadratic term:
+/// `R(a,b,i,j) = Σ_{k,l,c,d} W(k,l,c,d) · Ta(c,a,k,i) · Tb(d,b,l,j)`
+/// (`Ta`/`Tb` are two uses of the same amplitude tensor, named apart
+/// because the IR keeps one declaration per array). Eight indices, three
+/// rank-4 tensors.
+pub fn ccsd_doubles_quadratic(o: u64, v: u64) -> SumOfProducts {
+    SumOfProducts {
+        output: TensorSpec::new("R", &["a", "b", "i", "j"]),
+        factors: vec![
+            TensorSpec::new("W", &["k", "l", "c", "d"]),
+            TensorSpec::new("Ta", &["c", "a", "k", "i"]),
+            TensorSpec::new("Tb", &["d", "b", "l", "j"]),
+        ],
+        ranges: ranges(&["i", "j", "k", "l"], o, &["a", "b", "c", "d"], v),
+    }
+}
+
+/// A triples-residual-style term with a rank-6 output:
+/// `R(a,b,c,i,j,k) = Σ_{d} V(d,c,j,k) · T(a,b,i,d)`
+/// — small contraction, huge operands; the output alone is `O³V³`.
+pub fn triples_residual(o: u64, v: u64) -> SumOfProducts {
+    SumOfProducts {
+        output: TensorSpec::new("R", &["a", "b", "c", "i", "j", "k"]),
+        factors: vec![
+            TensorSpec::new("V", &["d", "c", "j", "k"]),
+            TensorSpec::new("T", &["a", "b", "i", "d"]),
+        ],
+        ranges: ranges(&["i", "j", "k"], o, &["a", "b", "c", "d"], v),
+    }
+}
+
+/// A CCSD ring-style term with a mixed chain:
+/// `R(a,b,i,j) = Σ_{k,c} W(k,b,c,j) · T(a,c,i,k)`
+pub fn ccsd_ring(o: u64, v: u64) -> SumOfProducts {
+    SumOfProducts {
+        output: TensorSpec::new("R", &["a", "b", "i", "j"]),
+        factors: vec![
+            TensorSpec::new("W", &["k", "b", "c", "j"]),
+            TensorSpec::new("T", &["a", "c", "i", "k"]),
+        ],
+        ranges: ranges(&["i", "j", "k"], o, &["a", "b", "c"], v),
+    }
+}
+
+/// Optimizes the contraction order and lowers to an (unfused) abstract
+/// program ready for the out-of-core pipeline.
+pub fn derive_program(expr: &SumOfProducts) -> Program {
+    let (tree, _) = optimize_contraction_order(expr);
+    lower_unfused(expr, &tree).expect("derived workloads validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccsd_doubles_shape() {
+        let e = ccsd_doubles_quadratic(10, 40);
+        assert_eq!(e.all_indices().len(), 8);
+        assert_eq!(e.contracted_indices().len(), 4);
+        let p = derive_program(&e);
+        // one intermediate between the two binary contractions
+        assert!(p.array_by_name("T1").is_some());
+        assert!(p.array_by_name("R").is_some());
+    }
+
+    #[test]
+    fn ccsd_doubles_opmin_collapses_the_eight_loop_nest() {
+        let e = ccsd_doubles_quadratic(20, 80);
+        let (_, cost) = optimize_contraction_order(&e);
+        // naive cost has all 8 indices in one nest
+        assert!(cost.speedup() > 100.0, "speedup {}", cost.speedup());
+    }
+
+    #[test]
+    fn triples_residual_is_single_contraction() {
+        let e = triples_residual(6, 12);
+        let p = derive_program(&e);
+        // two factors → one binary contraction, no intermediates
+        assert!(p.array_by_name("T1").is_none());
+        let contracts = p
+            .tree()
+            .statements()
+            .into_iter()
+            .filter(|&s| p.tree().stmt(s).unwrap().is_contract())
+            .count();
+        assert_eq!(contracts, 1);
+        // the rank-6 output exists with O³V³ elements
+        let (_, r) = p.array_by_name("R").unwrap();
+        assert_eq!(r.num_elements(p.ranges()), 6u64.pow(3) * 12u64.pow(3));
+    }
+
+    #[test]
+    fn ring_term_derives_and_validates() {
+        let p = derive_program(&ccsd_ring(8, 16));
+        assert!(p.tree().statements().len() >= 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Constrained Simulated Annealing (CSA).
+//!
+//! The stochastic member of the DCS family (Wah & Wang 1999): a Metropolis
+//! walk in the joint `(x, λ)` space. Variable moves that *decrease* the
+//! Lagrangian are always accepted and increases are accepted with
+//! probability `exp(−Δ/T)`; multiplier moves do the opposite (increases of
+//! `L` via λ are accepted, pushing the walk toward feasibility). The
+//! temperature follows a geometric cooling schedule.
+
+use crate::model::{Model, Solution, FEAS_TOL};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Options for [`solve_csa`].
+#[derive(Clone, Debug)]
+pub struct CsaOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// Moves attempted per temperature level.
+    pub moves_per_temp: u32,
+    /// Number of temperature levels.
+    pub levels: u32,
+    /// Initial temperature (in units of normalized Lagrangian).
+    pub t_init: f64,
+    /// Geometric cooling ratio per level.
+    pub cooling: f64,
+    /// Probability that a move perturbs a variable (vs. a multiplier).
+    pub p_var_move: f64,
+}
+
+impl CsaOptions {
+    /// Default options with the given seed.
+    pub fn new(seed: u64) -> Self {
+        CsaOptions {
+            seed,
+            moves_per_temp: 400,
+            levels: 220,
+            t_init: 2.0,
+            cooling: 0.96,
+            p_var_move: 0.85,
+        }
+    }
+
+    /// A cheaper configuration for tests.
+    pub fn quick(seed: u64) -> Self {
+        CsaOptions {
+            moves_per_temp: 120,
+            levels: 120,
+            ..CsaOptions::new(seed)
+        }
+    }
+}
+
+fn lagrangian(model: &Model, x: &[i64], lambda: &[f64], f_scale: f64) -> f64 {
+    let f = model.objective_at(x) / f_scale;
+    let penalty: f64 = model
+        .constraints()
+        .iter()
+        .zip(lambda.iter())
+        .map(|(c, &l)| l * c.violation_norm(x))
+        .sum();
+    f + penalty
+}
+
+fn perturb_var(model: &Model, x: &mut [i64], rng: &mut StdRng) -> (usize, i64) {
+    let vi = rng.random_range(0..model.num_vars());
+    let (lo, hi) = model.vars()[vi].domain.bounds();
+    let old = x[vi];
+    let new = if hi - lo <= 16 {
+        // uniform different value
+        let mut v = rng.random_range(lo..=hi);
+        if v == old && hi > lo {
+            v = if v == hi { lo } else { v + 1 };
+        }
+        v
+    } else {
+        // multiplicative or additive jiggle
+        let choice = rng.random_range(0..4u32);
+        let cand = match choice {
+            0 => old + 1,
+            1 => old - 1,
+            2 => old * 2,
+            _ => old / 2,
+        };
+        cand.clamp(lo, hi)
+    };
+    x[vi] = new;
+    (vi, old)
+}
+
+/// Runs CSA and returns the best feasible point seen (or the best
+/// infeasible one if the walk never reached feasibility).
+pub fn solve_csa(model: &Model, opts: &CsaOptions) -> Solution {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut x = model.lower_corner();
+    model.clamp(&mut x);
+    let mut lambda = vec![1.0f64; model.constraints().len()];
+    let f_scale = model.objective_at(&x).abs().max(1.0);
+
+    let mut cur = lagrangian(model, &x, &lambda, f_scale);
+    let mut evals = 1u64;
+    let mut best: Option<(Vec<i64>, f64, bool)> = None;
+    let consider = |x: &[i64], best: &mut Option<(Vec<i64>, f64, bool)>| {
+        let feasible = model.is_feasible(x, FEAS_TOL);
+        let obj = model.objective_at(x);
+        let better = match best {
+            None => true,
+            Some((_, bobj, bfeas)) => match (feasible, *bfeas) {
+                (true, false) => true,
+                (false, true) => false,
+                _ => obj < *bobj,
+            },
+        };
+        if better {
+            *best = Some((x.to_vec(), obj, feasible));
+        }
+    };
+    consider(&x, &mut best);
+
+    let mut temp = opts.t_init;
+    for _level in 0..opts.levels {
+        for _mv in 0..opts.moves_per_temp {
+            if rng.random::<f64>() < opts.p_var_move || lambda.is_empty() {
+                let (vi, old) = perturb_var(model, &mut x, &mut rng);
+                if x[vi] == old {
+                    continue;
+                }
+                let cand = lagrangian(model, &x, &lambda, f_scale);
+                evals += 1;
+                let delta = cand - cur;
+                if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
+                    cur = cand;
+                    consider(&x, &mut best);
+                } else {
+                    x[vi] = old; // reject
+                }
+            } else {
+                // multiplier move: raise λ of a random violated constraint
+                let violated: Vec<usize> = model
+                    .constraints()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.violation_norm(&x) > FEAS_TOL)
+                    .map(|(k, _)| k)
+                    .collect();
+                if let Some(&k) = violated.get(rng.random_range(0..violated.len().max(1))) {
+                    // raising λ increases L at the current (violated) point;
+                    // CSA accepts λ-increasing moves to drive feasibility
+                    lambda[k] *= 1.0 + rng.random::<f64>();
+                    cur = lagrangian(model, &x, &lambda, f_scale);
+                    evals += 1;
+                }
+            }
+        }
+        temp *= opts.cooling;
+    }
+
+    let (point, objective, feasible) = best.expect("initial point always considered");
+    Solution {
+        point,
+        objective,
+        feasible,
+        evals,
+        iterations: (opts.levels as u64) * (opts.moves_per_temp as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Domain, Expr, Model};
+
+    #[test]
+    fn csa_solves_quadratic() {
+        // minimize (x-7)^2 = x^2 - 14x + 49 over [0, 20]
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 0, hi: 20 });
+        m.objective = Expr::Add(vec![
+            Expr::Mul(vec![Expr::Var(x), Expr::Var(x)]),
+            Expr::Mul(vec![Expr::Const(-14.0), Expr::Var(x)]),
+            Expr::Const(49.0),
+        ]);
+        let s = solve_csa(&m, &CsaOptions::quick(5));
+        assert!(s.feasible);
+        assert_eq!(s.point[0], 7, "{s}");
+    }
+
+    #[test]
+    fn csa_respects_constraints() {
+        // maximize x (minimize -x) with x ≤ 12
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 0, hi: 100 });
+        m.objective = Expr::Mul(vec![Expr::Const(-1.0), Expr::Var(x)]);
+        m.add_constraint("cap", Expr::Var(x), ConstraintOp::Le, 12.0);
+        let s = solve_csa(&m, &CsaOptions::quick(11));
+        assert!(s.feasible);
+        assert!(s.point[0] <= 12);
+        assert!(s.point[0] >= 10, "should get close to 12, got {}", s.point[0]);
+    }
+
+    #[test]
+    fn csa_deterministic_for_seed() {
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 0, hi: 50 });
+        m.objective = Expr::Var(x);
+        let a = solve_csa(&m, &CsaOptions::quick(3));
+        let b = solve_csa(&m, &CsaOptions::quick(3));
+        assert_eq!(a.point, b.point);
+    }
+}

@@ -1,0 +1,539 @@
+//! Discrete Lagrange-Multiplier (DLM) search.
+//!
+//! This is the published core of the DCS package the paper uses: minimize
+//! the discrete Lagrangian
+//!
+//! ```text
+//! L(x, λ) = f(x)/s_f + Σ_j λ_j · viol_j(x)
+//! ```
+//!
+//! by best-improvement descent over a discrete neighbourhood of `x`; when
+//! descent stalls at an infeasible point, increase the multipliers of the
+//! violated constraints and continue. A feasible point where no neighbour
+//! improves `L` is a constrained local minimum (a discrete saddle point),
+//! which is returned. Multistart over random initial points guards against
+//! poor basins.
+
+use crate::model::{Domain, Model, Solution, FEAS_TOL};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Options for [`solve_dlm`].
+#[derive(Clone, Debug)]
+pub struct DlmOptions {
+    /// RNG seed for the multistart initial points.
+    pub seed: u64,
+    /// Number of descent restarts (the first starts from the
+    /// all-lower-bounds corner, the rest from random points).
+    pub restarts: usize,
+    /// Maximum descent moves per restart.
+    pub max_iters: u64,
+    /// Global budget of Lagrangian evaluations across all restarts.
+    pub max_evals: u64,
+    /// Initial multiplier value.
+    pub lambda_init: f64,
+    /// Multiplicative multiplier growth at infeasible local minima.
+    pub lambda_growth: f64,
+    /// Consecutive multiplier updates without any accepted move before a
+    /// restart is abandoned.
+    pub max_stalled_updates: u32,
+    /// Run the restarts on OS threads. Deterministic for a fixed seed
+    /// either way: every restart derives its own RNG from
+    /// `seed + restart index` and the best result is chosen by a total
+    /// order, so sequential and parallel runs return the same point.
+    pub parallel_restarts: bool,
+}
+
+impl DlmOptions {
+    /// Default options with the given seed.
+    pub fn new(seed: u64) -> Self {
+        DlmOptions {
+            seed,
+            restarts: 8,
+            max_iters: 20_000,
+            max_evals: 5_000_000,
+            lambda_init: 1.0,
+            lambda_growth: 2.0,
+            max_stalled_updates: 60,
+            parallel_restarts: false,
+        }
+    }
+
+    /// A cheaper configuration for very small models (tests).
+    pub fn quick(seed: u64) -> Self {
+        DlmOptions {
+            restarts: 3,
+            max_iters: 2_000,
+            max_evals: 200_000,
+            ..DlmOptions::new(seed)
+        }
+    }
+}
+
+/// Candidate moves for one variable from value `v`.
+///
+/// Small domains are enumerated exhaustively; large (tile-size) domains use
+/// a multiplicative ladder plus "bucket boundary" values `⌈hi/m⌉` that
+/// maximize the tile within the current/adjacent tile counts.
+fn var_moves(domain: Domain, v: i64, out: &mut Vec<i64>) {
+    out.clear();
+    let (lo, hi) = domain.bounds();
+    if hi - lo <= 16 {
+        for cand in lo..=hi {
+            if cand != v {
+                out.push(cand);
+            }
+        }
+        return;
+    }
+    let mut push = |cand: i64| {
+        let c = cand.clamp(lo, hi);
+        if c != v && !out.contains(&c) {
+            out.push(c);
+        }
+    };
+    push(v + 1);
+    push(v - 1);
+    push(v * 2);
+    push(v / 2);
+    push(lo);
+    push(hi);
+    // bucket boundaries: the largest tile with the same / adjacent number
+    // of tiles, assuming the full range is `hi` (true for tile variables)
+    if v > 0 {
+        let m = (hi + v - 1) / v; // ceil(hi / v) = current tile count
+        if m > 0 {
+            push((hi + m - 1) / m); // top of the current bucket
+            push((hi + m) / (m + 1)); // top of the next bucket
+            if m > 1 {
+                push((hi + m - 2) / (m - 1)); // top of the previous bucket
+            }
+        }
+    }
+}
+
+struct Lagrangian<'m> {
+    model: &'m Model,
+    lambda: Vec<f64>,
+    f_scale: f64,
+    evals: u64,
+}
+
+impl<'m> Lagrangian<'m> {
+    fn new(model: &'m Model, lambda_init: f64, x0: &[i64]) -> Self {
+        let f0 = model.objective_at(x0).abs();
+        Lagrangian {
+            model,
+            lambda: vec![lambda_init; model.constraints().len()],
+            f_scale: f0.max(1.0),
+            evals: 0,
+        }
+    }
+
+    fn value(&mut self, x: &[i64]) -> f64 {
+        self.evals += 1;
+        let f = self.model.objective_at(x) / self.f_scale;
+        let penalty: f64 = self
+            .model
+            .constraints()
+            .iter()
+            .zip(self.lambda.iter())
+            .map(|(c, &l)| l * c.violation_norm(x))
+            .sum();
+        f + penalty
+    }
+
+    /// Raises multipliers on violated constraints; returns true if any
+    /// constraint was violated.
+    fn raise_multipliers(&mut self, x: &[i64], growth: f64) -> bool {
+        let mut any = false;
+        for (c, l) in self.model.constraints().iter().zip(self.lambda.iter_mut()) {
+            let v = c.violation_norm(x);
+            if v > FEAS_TOL {
+                *l = *l * growth + v;
+                any = true;
+            }
+        }
+        any
+    }
+}
+
+fn random_point(model: &Model, rng: &mut StdRng) -> Vec<i64> {
+    model
+        .vars()
+        .iter()
+        .map(|v| {
+            let (lo, hi) = v.domain.bounds();
+            if hi - lo <= 16 {
+                rng.random_range(lo..=hi)
+            } else {
+                // log-uniform over the span, biased toward realistic tiles
+                let span = (hi - lo) as f64;
+                let u: f64 = rng.random();
+                lo + (span.powf(u) as i64).clamp(0, hi - lo)
+            }
+        })
+        .collect()
+}
+
+/// Greedy descent inside the feasible region from a feasible point, using
+/// single-variable moves plus coordinated pairs (grow one variable while
+/// shrinking another — the move the memory constraint makes necessary for
+/// tile sizes). Only feasible neighbours with strictly better objective are
+/// accepted, so feasibility is invariant.
+fn polish_feasible(
+    model: &Model,
+    x: &mut Vec<i64>,
+    evals: &mut u64,
+    max_iters: u64,
+) -> u64 {
+    let mut cur = model.objective_at(x);
+    *evals += 1;
+    let mut iters = 0u64;
+    let mut moves = Vec::new();
+    let mut moves2 = Vec::new();
+    while iters < max_iters {
+        let mut best_move: Option<(Vec<(usize, i64)>, f64)> = None;
+        let try_point =
+            |x: &mut Vec<i64>, delta: Vec<(usize, i64)>, best: &mut Option<(Vec<(usize, i64)>, f64)>, cur: f64, evals: &mut u64| {
+                *evals += 1;
+                if model.is_feasible(x, FEAS_TOL) {
+                    let val = model.objective_at(x);
+                    if val + 1e-9 < best.as_ref().map_or(cur, |(_, b)| *b) {
+                        *best = Some((delta, val));
+                    }
+                }
+            };
+        // single moves
+        for vi in 0..model.num_vars() {
+            let old = x[vi];
+            var_moves(model.vars()[vi].domain, old, &mut moves);
+            for &cand in &moves {
+                x[vi] = cand;
+                try_point(x, vec![(vi, cand)], &mut best_move, cur, evals);
+            }
+            x[vi] = old;
+        }
+        // paired moves
+        for vi in 0..model.num_vars() {
+            let old_i = x[vi];
+            var_moves(model.vars()[vi].domain, old_i, &mut moves);
+            for &ci in &moves {
+                x[vi] = ci;
+                for vj in 0..model.num_vars() {
+                    if vj == vi {
+                        continue;
+                    }
+                    let old_j = x[vj];
+                    var_moves(model.vars()[vj].domain, old_j, &mut moves2);
+                    for &cj in &moves2 {
+                        x[vj] = cj;
+                        try_point(x, vec![(vi, ci), (vj, cj)], &mut best_move, cur, evals);
+                    }
+                    x[vj] = old_j;
+                }
+            }
+            x[vi] = old_i;
+        }
+        match best_move {
+            Some((delta, val)) => {
+                for (vi, cand) in delta {
+                    x[vi] = cand;
+                }
+                cur = val;
+                iters += 1;
+            }
+            None => break,
+        }
+    }
+    iters
+}
+
+/// Outcome of one restart.
+struct RestartResult {
+    point: Vec<i64>,
+    objective: f64,
+    feasible: bool,
+    evals: u64,
+    iters: u64,
+}
+
+/// One full DLM descent (+ feasible polish) from the restart's start
+/// point, with its own evaluation budget.
+fn run_restart(model: &Model, opts: &DlmOptions, restart: usize, budget: u64) -> RestartResult {
+    let mut x = if restart == 0 {
+        model.lower_corner()
+    } else {
+        let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(restart as u64));
+        random_point(model, &mut rng)
+    };
+    model.clamp(&mut x);
+    let mut lag = Lagrangian::new(model, opts.lambda_init, &x);
+    let mut cur = lag.value(&x);
+    let mut stalled_updates = 0u32;
+    let mut iters = 0u64;
+    let mut moves = Vec::new();
+
+    loop {
+        if iters >= opts.max_iters || lag.evals >= budget {
+            break;
+        }
+        // best-improvement over the single-variable neighbourhood
+        let mut best_move: Option<(usize, i64, f64)> = None;
+        for vi in 0..model.num_vars() {
+            let old = x[vi];
+            var_moves(model.vars()[vi].domain, old, &mut moves);
+            for &cand in &moves {
+                x[vi] = cand;
+                let val = lag.value(&x);
+                if val + 1e-12 < best_move.map_or(cur, |(_, _, b)| b) {
+                    best_move = Some((vi, cand, val));
+                }
+            }
+            x[vi] = old;
+        }
+        match best_move {
+            Some((vi, cand, val)) => {
+                x[vi] = cand;
+                cur = val;
+                iters += 1;
+                stalled_updates = 0;
+                // interleaved dual ascent: track the constraints while
+                // the primal walk is in infeasible territory, so the
+                // penalty cannot fall arbitrarily behind the objective
+                if lag.raise_multipliers(&x, 1.0) {
+                    cur = lag.value(&x);
+                }
+            }
+            None => {
+                // local minimum of L(·, λ)
+                if model.is_feasible(&x, FEAS_TOL) {
+                    break; // constrained local minimum: done
+                }
+                if !lag.raise_multipliers(&x, opts.lambda_growth) {
+                    break; // numerically feasible
+                }
+                cur = lag.value(&x);
+                stalled_updates += 1;
+                if stalled_updates > opts.max_stalled_updates {
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut evals = lag.evals;
+
+    // polish: pure feasible descent with paired moves from the DLM
+    // endpoint (only possible if it is feasible)
+    if model.is_feasible(&x, FEAS_TOL) {
+        iters += polish_feasible(model, &mut x, &mut evals, opts.max_iters);
+    }
+
+    let feasible = model.is_feasible(&x, FEAS_TOL);
+    let objective = model.objective_at(&x);
+    RestartResult {
+        point: x,
+        objective,
+        feasible,
+        evals,
+        iters,
+    }
+}
+
+/// Runs DLM and returns the best point found.
+///
+/// The returned solution is feasible whenever any feasible point was
+/// encountered; `feasible == false` signals that the model may be
+/// infeasible (or the budget too small). With
+/// [`DlmOptions::parallel_restarts`] the restarts run concurrently on OS
+/// threads; the result is identical to the sequential run for the same
+/// seed (restart RNGs are independent and the winner is chosen by a total
+/// order over `(feasible, objective, restart index)`).
+pub fn solve_dlm(model: &Model, opts: &DlmOptions) -> Solution {
+    let restarts = opts.restarts.max(1);
+    let budget = (opts.max_evals / restarts as u64).max(1);
+
+    let results: Vec<RestartResult> = if opts.parallel_restarts && restarts > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..restarts)
+                .map(|r| scope.spawn(move || run_restart(model, opts, r, budget)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("restart thread panicked"))
+                .collect()
+        })
+    } else {
+        (0..restarts)
+            .map(|r| run_restart(model, opts, r, budget))
+            .collect()
+    };
+
+    let total_evals = results.iter().map(|r| r.evals).sum();
+    let total_iters = results.iter().map(|r| r.iters).sum();
+    let best = results
+        .into_iter()
+        .enumerate()
+        .min_by(|(ka, a), (kb, b)| {
+            // feasible beats infeasible; then objective; then restart id
+            b.feasible
+                .cmp(&a.feasible)
+                .then(a.objective.total_cmp(&b.objective))
+                .then(ka.cmp(kb))
+        })
+        .map(|(_, r)| r)
+        .expect("at least one restart always runs");
+
+    Solution {
+        point: best.point,
+        objective: best.objective,
+        feasible: best.feasible,
+        evals: total_evals,
+        iterations: total_iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Domain, Expr, Model};
+
+    /// max x·y s.t. x+y ≤ 10 → minimize −x·y; optimum 25 at (5,5).
+    fn knapsack_like() -> Model {
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 0, hi: 10 });
+        let y = m.add_var("y", Domain::Int { lo: 0, hi: 10 });
+        m.objective = Expr::Mul(vec![
+            Expr::Const(-1.0),
+            Expr::Var(x),
+            Expr::Var(y),
+        ]);
+        m.add_constraint(
+            "cap",
+            Expr::Add(vec![Expr::Var(x), Expr::Var(y)]),
+            ConstraintOp::Le,
+            10.0,
+        );
+        m
+    }
+
+    #[test]
+    fn solves_small_quadratic() {
+        let m = knapsack_like();
+        let s = solve_dlm(&m, &DlmOptions::quick(42));
+        assert!(s.feasible);
+        assert_eq!(s.objective, -25.0, "point: {:?}", s.point);
+    }
+
+    /// Tile-selection shaped problem: minimize ceil(100/t) subject to
+    /// t ≤ 17 → optimum t=17, obj=6.
+    #[test]
+    fn solves_ceil_problem() {
+        let mut m = Model::new();
+        let t = m.add_var("t", Domain::Int { lo: 1, hi: 100 });
+        m.objective = Expr::CeilDiv(Box::new(Expr::Const(100.0)), Box::new(Expr::Var(t)));
+        m.add_constraint("mem", Expr::Var(t), ConstraintOp::Le, 17.0);
+        let s = solve_dlm(&m, &DlmOptions::quick(7));
+        assert!(s.feasible);
+        assert_eq!(s.objective, 6.0);
+        assert!(s.point[0] <= 17);
+    }
+
+    /// Placement-style problem with a Select: choosing option 1 is cheaper
+    /// but only fits when t is small.
+    #[test]
+    fn solves_select_problem() {
+        let mut m = Model::new();
+        let t = m.add_var("t", Domain::Int { lo: 1, hi: 64 });
+        let p = m.add_var("p", Domain::Int { lo: 0, hi: 1 });
+        // cost: option 0 = 100/t reads, option 1 = constant 3
+        m.objective = Expr::Select(
+            p,
+            vec![
+                Expr::CeilDiv(Box::new(Expr::Const(100.0)), Box::new(Expr::Var(t))),
+                Expr::Const(3.0),
+            ],
+        );
+        // memory: option 0 uses t, option 1 uses 4t; limit 32
+        m.add_constraint(
+            "mem",
+            Expr::Select(
+                p,
+                vec![
+                    Expr::Var(t),
+                    Expr::Mul(vec![Expr::Const(4.0), Expr::Var(t)]),
+                ],
+            ),
+            ConstraintOp::Le,
+            32.0,
+        );
+        let s = solve_dlm(&m, &DlmOptions::quick(3));
+        assert!(s.feasible);
+        // option 1 with t ≤ 8 gives cost 3; option 0 best is 100/32 → 4
+        assert_eq!(s.objective, 3.0, "point {:?}", s.point);
+        assert_eq!(s.point[1], 1);
+    }
+
+    #[test]
+    fn respects_ge_constraints() {
+        // minimize t subject to t ≥ 12
+        let mut m = Model::new();
+        let t = m.add_var("t", Domain::Int { lo: 1, hi: 1000 });
+        m.objective = Expr::Var(t);
+        m.add_constraint("blk", Expr::Var(t), ConstraintOp::Ge, 12.0);
+        let s = solve_dlm(&m, &DlmOptions::quick(1));
+        assert!(s.feasible);
+        assert_eq!(s.point[0], 12);
+    }
+
+    #[test]
+    fn reports_infeasible_models() {
+        let mut m = Model::new();
+        let t = m.add_var("t", Domain::Int { lo: 0, hi: 10 });
+        m.objective = Expr::Var(t);
+        m.add_constraint("impossible", Expr::Var(t), ConstraintOp::Ge, 100.0);
+        let s = solve_dlm(&m, &DlmOptions::quick(1));
+        assert!(!s.feasible);
+    }
+
+    #[test]
+    fn var_moves_cover_boundaries() {
+        let mut out = Vec::new();
+        var_moves(Domain::Int { lo: 1, hi: 140 }, 35, &mut out);
+        assert!(out.contains(&1));
+        assert!(out.contains(&140));
+        assert!(out.contains(&70));
+        assert!(out.contains(&36));
+        assert!(out.contains(&34));
+        assert!(!out.contains(&35));
+        // small domains enumerate fully
+        var_moves(Domain::Binary, 0, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let m = knapsack_like();
+        let a = solve_dlm(&m, &DlmOptions::quick(9));
+        let b = solve_dlm(&m, &DlmOptions::quick(9));
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn parallel_restarts_match_sequential() {
+        let m = knapsack_like();
+        let seq = solve_dlm(&m, &DlmOptions::quick(5));
+        let par = solve_dlm(
+            &m,
+            &DlmOptions {
+                parallel_restarts: true,
+                ..DlmOptions::quick(5)
+            },
+        );
+        assert_eq!(seq.point, par.point);
+        assert_eq!(seq.objective, par.objective);
+        assert_eq!(seq.evals, par.evals);
+    }
+}

@@ -1,0 +1,72 @@
+//! A discrete constrained nonlinear solver in the style of the DCS package
+//! the paper uses (Wah & Wang's Discrete Constrained Search, UIUC).
+//!
+//! The paper formulates out-of-core code generation as a nonlinear
+//! minimization over integer tile sizes and 0/1 placement variables,
+//! subject to a memory-limit constraint, `λ(1−λ)=0` constraints and minimum
+//! I/O block-size constraints, then feeds it to DCS in AMPL form (Sec. 4.2).
+//! DCS itself is closed source; this crate re-implements the published
+//! method it is built on:
+//!
+//! * [`model`] — an AMPL-like in-memory model: integer/binary variables,
+//!   a nonlinear objective, equality/inequality constraints. The
+//!   [`ampl`] module renders the model in AMPL syntax for inspection so
+//!   the mapping to the paper's encoding stays visible.
+//! * [`dlm`] — the Discrete Lagrange-Multiplier method: discrete descent
+//!   on `L(x, λ) = f(x) + Σ λ_j · viol_j(x)`, raising multipliers at
+//!   infeasible local minima, with tabu memory and multistart.
+//! * [`csa`] — Constrained Simulated Annealing, the stochastic variant
+//!   (Wah & Wang 1999): Metropolis moves in the joint `(x, λ)` space.
+//! * [`brute`] — exhaustive enumeration for small models, used to verify
+//!   the other solvers in tests.
+//!
+//! The solvers only require the model to be *evaluable*, not
+//! differentiable, exactly like DCS.
+
+#![warn(missing_docs)]
+
+pub mod ampl;
+pub mod brute;
+pub mod csa;
+pub mod dlm;
+pub mod model;
+
+pub use brute::solve_brute_force;
+pub use csa::{solve_csa, CsaOptions};
+pub use dlm::{solve_dlm, DlmOptions};
+pub use model::{Constraint, ConstraintOp, Domain, Expr, Model, Solution, VarId};
+
+/// Strategy selector for callers that want a single entry point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Discrete Lagrange-multiplier descent (the default, fast and robust
+    /// on the synthesis models).
+    Dlm,
+    /// Constrained simulated annealing (stochastic; slower, occasionally
+    /// escapes basins DLM cannot).
+    Csa,
+    /// Exhaustive search (only for tiny models / tests).
+    BruteForce,
+}
+
+/// Solves `model` with the chosen strategy and default options.
+///
+/// ```
+/// use tce_solver::{solve, ConstraintOp, Domain, Expr, Model, Strategy};
+///
+/// // minimize ceil(100 / t) subject to t ≤ 17
+/// let mut m = Model::new();
+/// let t = m.add_var("t", Domain::Int { lo: 1, hi: 100 });
+/// m.objective = Expr::CeilDiv(Box::new(Expr::Const(100.0)), Box::new(Expr::Var(t)));
+/// m.add_constraint("cap", Expr::Var(t), ConstraintOp::Le, 17.0);
+/// let s = solve(&m, Strategy::Dlm, 7);
+/// assert!(s.feasible);
+/// assert_eq!(s.objective, 6.0);
+/// ```
+pub fn solve(model: &Model, strategy: Strategy, seed: u64) -> Solution {
+    match strategy {
+        Strategy::Dlm => solve_dlm(model, &DlmOptions::new(seed)),
+        Strategy::Csa => solve_csa(model, &CsaOptions::new(seed)),
+        Strategy::BruteForce => solve_brute_force(model),
+    }
+}

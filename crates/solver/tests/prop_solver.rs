@@ -1,0 +1,85 @@
+//! Property tests: DLM always returns feasible points when one exists and
+//! matches the exhaustive optimum on small random models.
+
+use proptest::prelude::*;
+use tce_solver::model::FEAS_TOL;
+use tce_solver::{solve_brute_force, solve_dlm, ConstraintOp, DlmOptions, Domain, Expr, Model};
+
+/// Random 2-variable model:
+/// minimize `a·x + b·y + c·x·y + d·ceil(K/x')` subject to `x + w·y ≤ cap`.
+fn arb_model() -> impl Strategy<Value = Model> {
+    (
+        -3i64..4,
+        -3i64..4,
+        -2i64..3,
+        0i64..3,
+        1i64..5,
+        3i64..25,
+    )
+        .prop_map(|(a, b, c, d, w, cap)| {
+            let mut m = Model::new();
+            let x = m.add_var("x", Domain::Int { lo: 1, hi: 12 });
+            let y = m.add_var("y", Domain::Int { lo: 0, hi: 12 });
+            m.objective = Expr::Add(vec![
+                Expr::Mul(vec![Expr::Const(a as f64), Expr::Var(x)]),
+                Expr::Mul(vec![Expr::Const(b as f64), Expr::Var(y)]),
+                Expr::Mul(vec![Expr::Const(c as f64), Expr::Var(x), Expr::Var(y)]),
+                Expr::Mul(vec![
+                    Expr::Const(d as f64),
+                    Expr::CeilDiv(Box::new(Expr::Const(24.0)), Box::new(Expr::Var(x))),
+                ]),
+            ]);
+            m.add_constraint(
+                "cap",
+                Expr::Add(vec![
+                    Expr::Var(x),
+                    Expr::Mul(vec![Expr::Const(w as f64), Expr::Var(y)]),
+                ]),
+                ConstraintOp::Le,
+                cap as f64,
+            );
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DLM's answer is always feasible (x=1, y=0 satisfies every cap ≥ 1,
+    /// so feasibility is guaranteed here).
+    #[test]
+    fn dlm_returns_feasible_points(m in arb_model(), seed in 0u64..32) {
+        let s = solve_dlm(&m, &DlmOptions::quick(seed));
+        prop_assert!(s.feasible);
+        prop_assert!(m.is_feasible(&s.point, FEAS_TOL));
+        let obj = m.objective_at(&s.point);
+        prop_assert!((obj - s.objective).abs() < 1e-9);
+    }
+
+    /// On these tiny models the polish stage makes DLM exhaustive enough
+    /// to find the true optimum.
+    #[test]
+    fn dlm_matches_brute_force(m in arb_model()) {
+        let brute = solve_brute_force(&m);
+        let dlm = solve_dlm(&m, &DlmOptions::quick(11));
+        prop_assert!(dlm.feasible && brute.feasible);
+        prop_assert!(
+            dlm.objective <= brute.objective + 1e-9,
+            "dlm {} vs brute {}", dlm.objective, brute.objective
+        );
+    }
+
+    /// Select-based placement choices decode consistently: flipping the
+    /// selector to every option yields the option's expression value.
+    #[test]
+    fn select_evaluates_each_option(vals in proptest::collection::vec(-5.0f64..5.0, 1..5)) {
+        let mut m = Model::new();
+        let p = m.add_var("p", Domain::Int { lo: 0, hi: (vals.len() - 1) as i64 });
+        let opts: Vec<Expr> = vals.iter().map(|&v| Expr::Const(v)).collect();
+        m.objective = Expr::Select(p, opts);
+        for (k, &v) in vals.iter().enumerate() {
+            let point = vec![k as i64];
+            prop_assert_eq!(m.objective_at(&point), v);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Loop tiling and candidate I/O-placement enumeration (Sec. 4 / 4.1).
+//!
+//! * [`tiled`] — splits every loop of an abstract program into a tiling
+//!   loop `i_T` and an intra-tile loop `i_I`, propagating the intra-tile
+//!   loops down to the statement leaves (Fig. 3).
+//! * [`placement`] — enumerates, for every disk-resident array use, the
+//!   legal positions of the disk read/write statements together with their
+//!   symbolic I/O-volume and memory costs, applying the paper's rules:
+//!   buffers must stay at least two-dimensional (BLAS operands), positions
+//!   immediately surrounded by a redundant loop are hoisted past it,
+//!   the tile-size-1 buffer must fit in memory, writes under redundant
+//!   loops require pre-reads (and an initial zero-fill pass), and
+//!   intermediate-array I/O must stay inside the producer/consumer LCA.
+
+#![warn(missing_docs)]
+
+pub mod placement;
+pub mod tiled;
+
+pub use placement::{
+    enumerate_placements, CandidateSet, IntermediateChoice, IntermediateOptions, Placement,
+    PlacementError, PlacementSelection, SynthesisSpace, UseRole,
+};
+pub use tiled::{tile_program, LoopClass, TiledProgram};

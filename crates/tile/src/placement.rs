@@ -1,0 +1,793 @@
+//! Candidate I/O-placement enumeration (Sec. 4.1).
+//!
+//! For every disk-resident array use the algorithm walks the ancestor
+//! chain of the statement in the tiled tree. Each position "immediately
+//! above loop `L`" is a candidate location for the read/write statement;
+//! the walk applies the paper's rules:
+//!
+//! 1. the in-memory buffer at the position must be at least a matrix
+//!    (scalar/vector operands would ruin the BLAS kernels);
+//! 2. a position immediately surrounded by a *redundant* loop (one that
+//!    does not index the array) is skipped in favour of the position above
+//!    it — same memory, strictly less I/O;
+//! 3. the walk stops as soon as the buffer with all tile sizes set to 1
+//!    can no longer fit in memory;
+//! 4. writes surrounded by a redundant loop are read-modify-write: they
+//!    need a pre-read at the same position and an initial zero-fill pass
+//!    over the disk array (Fig. 4(b) first loop nest);
+//! 5. intermediate-array writes and reads must stay inside the lowest
+//!    common ancestor loop of the producer and the consumer.
+
+use crate::tiled::{LoopClass, TiledProgram};
+use std::fmt;
+use tce_cost::{BufferShape, CostExpr, DimExtent, Factor, Term};
+use tce_ir::{ArrayId, ArrayKind, Index, NodeId, ELEMENT_BYTES};
+
+/// Direction of the *primary* I/O operation of a use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UseRole {
+    /// The array is read before the statement consumes it.
+    Read,
+    /// The array is written after the statement produces it.
+    Write,
+}
+
+/// One legal position for a disk I/O statement, with its symbolic costs.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    /// The tiled-tree loop node the I/O statement sits immediately above.
+    /// The I/O executes once per iteration of the loops enclosing it.
+    pub above: NodeId,
+    /// Human-readable position name, e.g. `above iI`.
+    pub label: String,
+    /// In-memory buffer this placement implies (also the compute operand).
+    pub buffer: BufferShape,
+    /// Bytes moved by the primary operation over the whole program.
+    pub volume: CostExpr,
+    /// Number of executions of the I/O statement (seek count).
+    pub execs: CostExpr,
+    /// Extra read traffic for read-modify-write (writes under redundant
+    /// loops, or writes of a later producer accumulating onto earlier
+    /// ones); zero otherwise.
+    pub pre_read_volume: CostExpr,
+    /// Executions of the pre-read (zero when no pre-read is needed).
+    pub pre_read_execs: CostExpr,
+    /// Bytes of the initial zero-fill pass (first writes needing
+    /// pre-reads; later producers accumulate onto initialized data).
+    pub zero_fill_volume: CostExpr,
+    /// Executions of the zero-fill write statement.
+    pub zero_fill_execs: CostExpr,
+    /// True if this placement requires the pre-read.
+    pub needs_pre_read: bool,
+    /// True if this placement requires the initial zero-fill disk pass.
+    pub needs_zero_fill: bool,
+    /// Redundant tiling loops surrounding the I/O (for display; these are
+    /// the `(N_r / T_r)` factors of the cost).
+    pub redundant: Vec<Index>,
+}
+
+impl Placement {
+    /// Total disk traffic of the placement: primary + pre-read + zero-fill.
+    pub fn total_io(&self) -> CostExpr {
+        self.volume
+            .add(&self.pre_read_volume)
+            .add(&self.zero_fill_volume)
+    }
+
+    /// Memory cost expression of the implied buffer.
+    pub fn memory(&self) -> CostExpr {
+        self.buffer.bytes_expr()
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} buf {}", self.label, self.buffer)?;
+        if self.needs_pre_read {
+            write!(f, " (read required)")?;
+        }
+        Ok(())
+    }
+}
+
+/// All candidate placements for one array use (one statement reading or
+/// writing one array).
+#[derive(Clone, Debug)]
+pub struct CandidateSet {
+    /// The array being moved.
+    pub array: ArrayId,
+    /// The tiled statement node of the use.
+    pub stmt: NodeId,
+    /// Read or write.
+    pub role: UseRole,
+    /// Legal placements, innermost first.
+    pub candidates: Vec<Placement>,
+}
+
+/// The two storage options of an intermediate array (Sec. 4.1, rule 3).
+#[derive(Clone, Debug)]
+pub struct IntermediateOptions {
+    /// The intermediate array.
+    pub array: ArrayId,
+    /// Lowest common ancestor loop of producer and consumer in the tiled
+    /// tree (the tree root if they share no loop).
+    pub lca: NodeId,
+    /// Buffer if the array is kept in memory: tile extents for indices
+    /// whose tiling loop encloses the LCA, full extents otherwise.
+    pub in_memory: BufferShape,
+    /// Disk-spill write placements (in the producer nest, inside the LCA).
+    pub write: CandidateSet,
+    /// Disk-spill read placements (in the consumer nest, inside the LCA).
+    pub read: CandidateSet,
+}
+
+impl IntermediateOptions {
+    /// True if the array *can* be spilled to disk (both placement sets
+    /// non-empty).
+    pub fn spillable(&self) -> bool {
+        !self.write.candidates.is_empty() && !self.read.candidates.is_empty()
+    }
+}
+
+/// Which option a solution picked for an intermediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntermediateChoice {
+    /// Keep the array in memory; no disk I/O.
+    InMemory,
+    /// Spill: indices into the write/read candidate lists.
+    OnDisk {
+        /// Index into [`IntermediateOptions::write`]'s candidates.
+        write: usize,
+        /// Index into [`IntermediateOptions::read`]'s candidates.
+        read: usize,
+    },
+}
+
+/// A complete placement decision over a [`SynthesisSpace`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlacementSelection {
+    /// Candidate index per entry of [`SynthesisSpace::reads`].
+    pub reads: Vec<usize>,
+    /// Candidate index per entry of [`SynthesisSpace::writes`].
+    pub writes: Vec<usize>,
+    /// Choice per entry of [`SynthesisSpace::intermediates`].
+    pub intermediates: Vec<IntermediateChoice>,
+}
+
+/// Everything the optimizer needs: candidate placements for all uses plus
+/// the intermediate-array options.
+#[derive(Clone, Debug)]
+pub struct SynthesisSpace {
+    /// Read sets for input arrays (and reads of output arrays by later
+    /// statements, if any).
+    pub reads: Vec<CandidateSet>,
+    /// Write sets for output arrays.
+    pub writes: Vec<CandidateSet>,
+    /// Options for intermediate arrays.
+    pub intermediates: Vec<IntermediateOptions>,
+    /// Memory limit in bytes the enumeration was performed against.
+    pub mem_limit: u64,
+}
+
+impl SynthesisSpace {
+    /// Total disk-I/O cost of a selection (bytes, symbolic).
+    pub fn total_io(&self, sel: &PlacementSelection) -> CostExpr {
+        let mut total = CostExpr::zero();
+        for (set, &k) in self.reads.iter().zip(&sel.reads) {
+            total = total.add(&set.candidates[k].total_io());
+        }
+        for (set, &k) in self.writes.iter().zip(&sel.writes) {
+            total = total.add(&set.candidates[k].total_io());
+        }
+        for (opt, choice) in self.intermediates.iter().zip(&sel.intermediates) {
+            if let IntermediateChoice::OnDisk { write, read } = choice {
+                total = total.add(&opt.write.candidates[*write].total_io());
+                total = total.add(&opt.read.candidates[*read].total_io());
+            }
+        }
+        total
+    }
+
+    /// Total memory cost of a selection (bytes, symbolic; static model —
+    /// every buffer allocated for the whole run).
+    pub fn total_memory(&self, sel: &PlacementSelection) -> CostExpr {
+        let mut total = CostExpr::zero();
+        for (set, &k) in self.reads.iter().zip(&sel.reads) {
+            total = total.add(&set.candidates[k].memory());
+        }
+        for (set, &k) in self.writes.iter().zip(&sel.writes) {
+            total = total.add(&set.candidates[k].memory());
+        }
+        for (opt, choice) in self.intermediates.iter().zip(&sel.intermediates) {
+            match choice {
+                IntermediateChoice::InMemory => {
+                    total = total.add(&opt.in_memory.bytes_expr());
+                }
+                IntermediateChoice::OnDisk { write, read } => {
+                    total = total.add(&opt.write.candidates[*write].memory());
+                    total = total.add(&opt.read.candidates[*read].memory());
+                }
+            }
+        }
+        total
+    }
+
+    /// The selection that picks candidate 0 / in-memory everywhere —
+    /// a syntactically valid starting point.
+    pub fn default_selection(&self) -> PlacementSelection {
+        PlacementSelection {
+            reads: vec![0; self.reads.len()],
+            writes: vec![0; self.writes.len()],
+            intermediates: vec![IntermediateChoice::InMemory; self.intermediates.len()],
+        }
+    }
+}
+
+/// Enumeration failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// No legal placement exists for the use (memory limit too small for
+    /// even a unit-tile matrix buffer).
+    NoCandidates {
+        /// Array name.
+        array: String,
+        /// `"read"` or `"write"`.
+        role: &'static str,
+    },
+    /// An intermediate has an unsupported dataflow shape.
+    UnsupportedIntermediate {
+        /// Array name.
+        array: String,
+        /// Why the dataflow shape is unsupported.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::NoCandidates { array, role } => {
+                write!(f, "no legal {role} placement for array `{array}`")
+            }
+            PlacementError::UnsupportedIntermediate { array, reason } => {
+                write!(f, "intermediate `{array}` unsupported: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Walks the ancestor chain of `stmt` and returns the legal placements
+/// for `array`, applying rules 1–3 (and the LCA barrier for
+/// intermediates).
+fn enumerate_use(
+    tiled: &TiledProgram,
+    stmt: NodeId,
+    array: ArrayId,
+    role: UseRole,
+    barrier: Option<NodeId>,
+    mem_limit: u64,
+    accumulates_onto_prior: bool,
+) -> CandidateSet {
+    let base = tiled.base();
+    let decl = base.array(array);
+    let ranges = base.ranges();
+    let path = tiled.enclosing(stmt); // outermost first
+    let barrier_pos = barrier.and_then(|b| path.iter().position(|(n, _)| *n == b));
+    // positions above path[k]; barrier (if on the path) must stay above
+    let k_min = match (barrier, barrier_pos) {
+        (Some(_), Some(p)) => p + 1,
+        (Some(_), None) => path.len(), // barrier not on path: nothing legal
+        (None, None) | (None, Some(_)) => 0,
+    };
+
+    let mut candidates = Vec::new();
+    for k in (k_min..path.len()).rev() {
+        let above = &path[..k];
+        let contains = |id: &Index, tiling: bool| {
+            above.iter().any(|(_, c)| {
+                c.index() == id
+                    && (matches!(c, LoopClass::Tiling(_)) == tiling)
+            })
+        };
+
+        // buffer shape at this position
+        let dims: Vec<(Index, DimExtent)> = decl
+            .dims()
+            .iter()
+            .map(|d| {
+                let e = if contains(d, false) {
+                    DimExtent::One
+                } else if contains(d, true) {
+                    DimExtent::Tile
+                } else {
+                    DimExtent::Full
+                };
+                (d.clone(), e)
+            })
+            .collect();
+        let buffer = BufferShape::new(dims);
+
+        // rule 3: smallest possible buffer must fit (tile sizes = 1)
+        if buffer.min_bytes(ranges) > mem_limit {
+            break;
+        }
+
+        // rule 1: operand must stay a matrix (degenerate arrays keep
+        // their own rank)
+        if buffer.effective_rank() < decl.rank().min(2) {
+            continue;
+        }
+
+        // rule 2: skip positions immediately surrounded by a redundant loop
+        if k > 0 && !decl.indexed_by(path[k - 1].1.index()) {
+            continue;
+        }
+
+        // positions strictly inside the intra-tile band would put disk I/O
+        // inside the in-memory kernel; the paper's concrete codes read
+        // whole operand blocks before each kernel call, so only the
+        // position above the band (parent = innermost tiling loop) and
+        // positions between tiling loops are kept
+        if k > 0 && !path[k - 1].1.is_tiling() {
+            continue;
+        }
+
+        // --- costs ---
+        // primary volume: every array dimension is covered exactly once
+        // (partial tiles clamp), so it contributes N_d; every redundant
+        // loop above the position multiplies the traffic.
+        let mut vol_factors: Vec<Factor> =
+            decl.dims().iter().map(|d| Factor::Extent(d.clone())).collect();
+        let mut redundant = Vec::new();
+        let mut exec_factors: Vec<Factor> = Vec::new();
+        let mut seen: Vec<&Index> = Vec::new();
+        for (_, class) in above {
+            let id = class.index();
+            if seen.contains(&id) {
+                continue; // handle each index once (tiling+intra pairs)
+            }
+            seen.push(id);
+            let intra_above = contains(id, false);
+            let tiling_above = contains(id, true);
+            debug_assert!(tiling_above, "intra loops always sit under their tiling loop");
+            // executions of the I/O statement
+            if intra_above {
+                exec_factors.push(Factor::Extent(id.clone()));
+            } else {
+                exec_factors.push(Factor::NumTiles(id.clone()));
+            }
+            // redundant traffic
+            if !decl.indexed_by(id) {
+                redundant.push(id.clone());
+                if intra_above {
+                    vol_factors.push(Factor::Extent(id.clone()));
+                } else {
+                    vol_factors.push(Factor::NumTiles(id.clone()));
+                }
+            }
+        }
+        let volume = CostExpr::from_term(Term::new(ELEMENT_BYTES as f64, vol_factors));
+        let execs = CostExpr::from_term(Term::new(1.0, exec_factors));
+
+        // a write needs a pre-read when partial sums are flushed and
+        // revisited (a redundant loop above it), or when this statement
+        // accumulates onto data a previous producer already wrote
+        let needs_pre_read =
+            role == UseRole::Write && (!redundant.is_empty() || accumulates_onto_prior);
+        // only the *first* producer must zero-fill the disk array; later
+        // producers accumulate onto already-initialized contents
+        let needs_zero_fill =
+            role == UseRole::Write && !redundant.is_empty() && !accumulates_onto_prior;
+        let pre_read_volume = if needs_pre_read {
+            volume.clone()
+        } else {
+            CostExpr::zero()
+        };
+        let pre_read_execs = if needs_pre_read {
+            execs.clone()
+        } else {
+            CostExpr::zero()
+        };
+        let (zero_fill_volume, zero_fill_execs) = if needs_zero_fill {
+            let size = CostExpr::from_term(Term::new(
+                ELEMENT_BYTES as f64,
+                decl.dims().iter().map(|d| Factor::Extent(d.clone())).collect(),
+            ));
+            let zf_execs: Vec<Factor> = buffer
+                .dims()
+                .iter()
+                .filter_map(|(d, e)| match e {
+                    DimExtent::Tile => Some(Factor::NumTiles(d.clone())),
+                    DimExtent::One => Some(Factor::Extent(d.clone())),
+                    DimExtent::Full => None,
+                })
+                .collect();
+            (size, CostExpr::from_term(Term::new(1.0, zf_execs)))
+        } else {
+            (CostExpr::zero(), CostExpr::zero())
+        };
+
+        let label = if k == 0 {
+            "top level".to_string()
+        } else {
+            format!(
+                "above {}",
+                tiled
+                    .tree()
+                    .loop_index(path[k].0)
+                    .map(|i| i.name().to_string())
+                    .unwrap_or_default()
+            )
+        };
+        // `above` refers to the loop the statement sits immediately above;
+        // for k == 0 the node is the outermost loop of the path
+        candidates.push(Placement {
+            above: path[k].0,
+            label,
+            buffer,
+            volume,
+            execs,
+            pre_read_volume,
+            pre_read_execs,
+            zero_fill_volume,
+            zero_fill_execs,
+            needs_pre_read,
+            needs_zero_fill,
+            redundant,
+        });
+    }
+    // the walk ran innermost-position first, so order is already
+    // innermost-to-outermost
+    CandidateSet {
+        array,
+        stmt,
+        role,
+        candidates,
+    }
+}
+
+/// In-memory buffer of an intermediate: tile extents for indices whose
+/// tiling loop encloses (or is) the LCA, full extents for indices whose
+/// loops re-execute under it.
+fn in_memory_shape(tiled: &TiledProgram, array: ArrayId, lca: NodeId) -> BufferShape {
+    let decl = tiled.base().array(array);
+    let tree = tiled.tree();
+    // the loops enclosing-or-equal to the LCA
+    let mut scope: Vec<&Index> = Vec::new();
+    let mut chain: Vec<NodeId> = tree.enclosing_loops(lca);
+    chain.push(lca);
+    let mut scope_classes = Vec::new();
+    for n in chain {
+        if let Some(c) = tiled.class(n) {
+            scope_classes.push(c.clone());
+        }
+    }
+    for c in &scope_classes {
+        if c.is_tiling() {
+            scope.push(c.index());
+        }
+    }
+    let dims = decl
+        .dims()
+        .iter()
+        .map(|d| {
+            let e = if scope.contains(&d) {
+                DimExtent::Tile
+            } else {
+                DimExtent::Full
+            };
+            (d.clone(), e)
+        })
+        .collect();
+    BufferShape::new(dims)
+}
+
+/// Enumerates the synthesis space of a tiled program under a memory limit.
+///
+/// Init statements are skipped: in the concrete code they become in-memory
+/// buffer zeroing (or the zero-fill disk pass of a read-modify-write
+/// output), both of which are derived from the placements themselves.
+pub fn enumerate_placements(
+    tiled: &TiledProgram,
+    mem_limit: u64,
+) -> Result<SynthesisSpace, PlacementError> {
+    let base = tiled.base();
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    let mut intermediates = Vec::new();
+
+    for (k, decl) in base.arrays().iter().enumerate() {
+        let id = ArrayId(k as u32);
+        // contract statements only; inits are implicit
+        let producers: Vec<NodeId> = base
+            .producers(id)
+            .into_iter()
+            .filter(|&s| base.tree().stmt(s).expect("stmt").is_contract())
+            .filter_map(|s| tiled.tiled_stmt(s))
+            .collect();
+        let consumers: Vec<NodeId> = base
+            .consumers(id)
+            .into_iter()
+            .filter_map(|s| tiled.tiled_stmt(s))
+            .collect();
+
+        match decl.kind() {
+            ArrayKind::Input => {
+                for &stmt in &consumers {
+                    let set =
+                        enumerate_use(tiled, stmt, id, UseRole::Read, None, mem_limit, false);
+                    if set.candidates.is_empty() {
+                        return Err(PlacementError::NoCandidates {
+                            array: decl.name().to_string(),
+                            role: "read",
+                        });
+                    }
+                    reads.push(set);
+                }
+            }
+            ArrayKind::Output => {
+                for (pk, &stmt) in producers.iter().enumerate() {
+                    // later producers accumulate onto what earlier ones
+                    // wrote: they must read-modify-write even without
+                    // redundant loops
+                    let set = enumerate_use(
+                        tiled,
+                        stmt,
+                        id,
+                        UseRole::Write,
+                        None,
+                        mem_limit,
+                        pk > 0,
+                    );
+                    if set.candidates.is_empty() {
+                        return Err(PlacementError::NoCandidates {
+                            array: decl.name().to_string(),
+                            role: "write",
+                        });
+                    }
+                    writes.push(set);
+                }
+                // outputs read by later statements behave like inputs
+                for &stmt in &consumers {
+                    let set =
+                        enumerate_use(tiled, stmt, id, UseRole::Read, None, mem_limit, false);
+                    if set.candidates.is_empty() {
+                        return Err(PlacementError::NoCandidates {
+                            array: decl.name().to_string(),
+                            role: "read",
+                        });
+                    }
+                    reads.push(set);
+                }
+            }
+            ArrayKind::Intermediate => {
+                if producers.len() != 1 || consumers.len() != 1 {
+                    return Err(PlacementError::UnsupportedIntermediate {
+                        array: decl.name().to_string(),
+                        reason: format!(
+                            "expected exactly one producer and one consumer, found {} and {}",
+                            producers.len(),
+                            consumers.len()
+                        ),
+                    });
+                }
+                let (prod, cons) = (producers[0], consumers[0]);
+                let lca = tiled.tree().lca(prod, cons);
+                let barrier = if lca == tiled.tree().root() {
+                    None
+                } else {
+                    Some(lca)
+                };
+                let write =
+                    enumerate_use(tiled, prod, id, UseRole::Write, barrier, mem_limit, false);
+                let read =
+                    enumerate_use(tiled, cons, id, UseRole::Read, barrier, mem_limit, false);
+                let in_memory = in_memory_shape(tiled, id, lca);
+                intermediates.push(IntermediateOptions {
+                    array: id,
+                    lca,
+                    in_memory,
+                    write,
+                    read,
+                });
+            }
+        }
+    }
+
+    Ok(SynthesisSpace {
+        reads,
+        writes,
+        intermediates,
+        mem_limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiled::tile_program;
+    use tce_cost::TileAssignment;
+    use tce_ir::fixtures::{four_index_paper_small, two_index_paper};
+    use tce_ir::RangeMap;
+
+    const GB: u64 = 1 << 30;
+
+    fn space_2idx() -> (SynthesisSpace, TiledProgram) {
+        let p = two_index_paper();
+        let t = tile_program(&p);
+        let s = enumerate_placements(&t, GB).expect("placements");
+        (s, t)
+    }
+
+    fn set_for<'s>(
+        space: &'s [CandidateSet],
+        t: &TiledProgram,
+        name: &str,
+    ) -> &'s CandidateSet {
+        let (id, _) = t.base().array_by_name(name).expect("array");
+        space
+            .iter()
+            .find(|s| s.array == id)
+            .unwrap_or_else(|| panic!("no candidate set for {name}"))
+    }
+
+    /// Fig. 4(a): A has exactly the placements `above iI` and `above nT`.
+    #[test]
+    fn fig4a_input_a_candidates() {
+        let (space, t) = space_2idx();
+        let a = set_for(&space.reads, &t, "A");
+        let labels: Vec<&str> = a.candidates.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["above iI", "above nT"], "A candidates");
+
+        let ranges = t.base().ranges();
+        let tiles = TileAssignment::new()
+            .with("i", 100)
+            .with("j", 200)
+            .with("n", 70)
+            .with("m", 50);
+        // D1 = ceil(Nn/Tn) * Size_A
+        let d1 = a.candidates[0].total_io().eval(ranges, &tiles);
+        let size_a = (40_000u64 * 40_000 * 8) as f64;
+        assert_eq!(d1, (35_000f64 / 70.0).ceil() * size_a);
+        // M1 = Ti * Tj * 8
+        let m1 = a.candidates[0].memory().eval(ranges, &tiles);
+        assert_eq!(m1, 100.0 * 200.0 * 8.0);
+        // D2 = Size_A, M2 = Ti * Nj * 8
+        let d2 = a.candidates[1].total_io().eval(ranges, &tiles);
+        assert_eq!(d2, size_a);
+        let m2 = a.candidates[1].memory().eval(ranges, &tiles);
+        assert_eq!(m2, 100.0 * 40_000.0 * 8.0);
+    }
+
+    /// Fig. 4(a): C2 → `iI, jT`; C1 → `iI, nT`.
+    #[test]
+    fn fig4a_transform_matrix_candidates() {
+        let (space, t) = space_2idx();
+        let c2 = set_for(&space.reads, &t, "C2");
+        let labels: Vec<&str> = c2.candidates.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["above iI", "above jT"], "C2 candidates");
+
+        let c1 = set_for(&space.reads, &t, "C1");
+        let labels: Vec<&str> = c1.candidates.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["above iI", "above nT"], "C1 candidates");
+    }
+
+    /// Fig. 4(a): B write placements `iI, mT`, both requiring pre-reads.
+    #[test]
+    fn fig4a_output_b_candidates() {
+        let (space, t) = space_2idx();
+        let b = set_for(&space.writes, &t, "B");
+        let labels: Vec<&str> = b.candidates.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["above iI", "above mT"], "B candidates");
+        assert!(b.candidates.iter().all(|c| c.needs_pre_read));
+        // the redundant loop is iT in both cases
+        for c in &b.candidates {
+            assert_eq!(c.redundant, vec![tce_ir::Index::new("i")]);
+        }
+    }
+
+    /// Fig. 4(a): T can stay in memory with a Ti×Tn buffer; its spill
+    /// placements sit inside the nT LCA.
+    #[test]
+    fn fig4a_intermediate_t_options() {
+        let (space, t) = space_2idx();
+        assert_eq!(space.intermediates.len(), 1);
+        let opt = &space.intermediates[0];
+        let ranges = t.base().ranges();
+        let tiles = TileAssignment::new().with("i", 100).with("n", 70);
+        assert_eq!(
+            opt.in_memory.bytes(ranges, &tiles),
+            100 * 70 * 8,
+            "in-memory T buffer is Ti × Tn"
+        );
+        assert!(opt.spillable());
+        // write inside the producer nest (above jT), read inside the
+        // consumer nest (above mT)
+        let wl: Vec<&str> = opt.write.candidates.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(wl, ["above jT"]);
+        let rl: Vec<&str> = opt.read.candidates.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(rl, ["above mT"]);
+        // spilling T has no redundant traffic: write + read = 2 × Size_T
+        let io = opt.write.candidates[0]
+            .total_io()
+            .add(&opt.read.candidates[0].total_io())
+            .eval(ranges, &tiles);
+        assert_eq!(io, 2.0 * (35_000u64 * 40_000 * 8) as f64);
+    }
+
+    #[test]
+    fn four_index_space_is_complete() {
+        let p = four_index_paper_small();
+        let t = tile_program(&p);
+        let s = enumerate_placements(&t, 2 * GB).expect("placements");
+        // 5 input reads, 1 output write, 3 intermediates
+        assert_eq!(s.reads.len(), 5);
+        assert_eq!(s.writes.len(), 1);
+        assert_eq!(s.intermediates.len(), 3);
+        for set in s.reads.iter().chain(s.writes.iter()) {
+            assert!(!set.candidates.is_empty());
+        }
+        // T1 spans the two top-level nests → LCA is the root, and its
+        // in-memory buffer is the full 2.6 GB array
+        let (t1, _) = p.array_by_name("T1").unwrap();
+        let opt = s.intermediates.iter().find(|o| o.array == t1).unwrap();
+        assert_eq!(opt.lca, t.tree().root());
+        let full = opt
+            .in_memory
+            .bytes(p.ranges(), &TileAssignment::new());
+        assert_eq!(full, 120 * 140 * 140 * 140 * 8);
+        assert!(opt.spillable());
+    }
+
+    #[test]
+    fn selection_costs_accumulate() {
+        let (space, t) = space_2idx();
+        let sel = space.default_selection();
+        let ranges = t.base().ranges();
+        let tiles = TileAssignment::new()
+            .with("i", 100)
+            .with("j", 200)
+            .with("n", 70)
+            .with("m", 50);
+        let io = space.total_io(&sel).eval(ranges, &tiles);
+        let mem = space.total_memory(&sel).eval(ranges, &tiles);
+        assert!(io > 0.0);
+        assert!(mem > 0.0);
+        // switching T to disk adds write+read traffic and swaps buffers
+        let mut sel2 = sel.clone();
+        sel2.intermediates[0] = IntermediateChoice::OnDisk { write: 0, read: 0 };
+        let io2 = space.total_io(&sel2).eval(ranges, &tiles);
+        assert!(io2 > io);
+    }
+
+    #[test]
+    fn tiny_memory_yields_no_candidates() {
+        let p = two_index_paper();
+        let t = tile_program(&p);
+        // even a single element does not fit in 4 bytes
+        let err = enumerate_placements(&t, 4).unwrap_err();
+        assert!(matches!(err, PlacementError::NoCandidates { .. }));
+    }
+
+    /// The enumeration must stop walking up once the tile-size-1 buffer
+    /// exceeds memory: no candidate buffer may have min_bytes > limit.
+    #[test]
+    fn all_candidates_respect_min_memory() {
+        let p = four_index_paper_small();
+        let t = tile_program(&p);
+        let limit = 2 * GB;
+        let s = enumerate_placements(&t, limit).expect("placements");
+        let ranges = p.ranges();
+        let all = s
+            .reads
+            .iter()
+            .chain(s.writes.iter())
+            .flat_map(|cs| cs.candidates.iter());
+        for c in all {
+            assert!(c.buffer.min_bytes(ranges) <= limit, "{}", c.buffer);
+        }
+        let _ = RangeMap::new();
+    }
+}

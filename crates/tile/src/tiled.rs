@@ -1,0 +1,299 @@
+//! The tiling transformation (Fig. 3): each loop `i` becomes a tiling loop
+//! `i_T` over tiles and an intra-tile loop `i_I`, and the intra-tile loops
+//! of all enclosing indices are propagated down to each statement leaf, in
+//! the same order as their tiling loops.
+
+use tce_ir::{Index, NodeId, NodeKind, Program, Stmt, Tree};
+
+/// Classification of a loop node in the tiled tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoopClass {
+    /// `i_T` — iterates over tiles; range `⌈N_i / T_i⌉`.
+    Tiling(Index),
+    /// `i_I` — iterates inside one tile; range `T_i` (clamped at the
+    /// array boundary for the last partial tile).
+    Intra(Index),
+}
+
+impl LoopClass {
+    /// The original index this loop scans.
+    pub fn index(&self) -> &Index {
+        match self {
+            LoopClass::Tiling(i) | LoopClass::Intra(i) => i,
+        }
+    }
+
+    /// True for tiling loops.
+    pub fn is_tiling(&self) -> bool {
+        matches!(self, LoopClass::Tiling(_))
+    }
+}
+
+/// An abstract program after loop tiling.
+///
+/// Owns a new [`Tree`] whose loop nodes are named `iT` / `iI` and carry a
+/// [`LoopClass`], plus the mapping from tiled statement leaves back to the
+/// statements of the original program.
+#[derive(Clone, Debug)]
+pub struct TiledProgram {
+    base: Program,
+    tree: Tree,
+    /// Indexed by tiled-tree node id; `None` for root and statements.
+    classes: Vec<Option<LoopClass>>,
+    /// For each tiled statement node: the original statement node.
+    orig_stmt: Vec<(NodeId, NodeId)>,
+}
+
+impl TiledProgram {
+    /// The original (untiled) program.
+    pub fn base(&self) -> &Program {
+        &self.base
+    }
+
+    /// The tiled loop tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The class of a loop node (`None` for root / statement nodes).
+    pub fn class(&self, node: NodeId) -> Option<&LoopClass> {
+        self.classes.get(node.as_usize()).and_then(|c| c.as_ref())
+    }
+
+    /// The original-program statement behind a tiled statement node.
+    pub fn original_stmt(&self, tiled_stmt: NodeId) -> Option<NodeId> {
+        self.orig_stmt
+            .iter()
+            .find(|(t, _)| *t == tiled_stmt)
+            .map(|(_, o)| *o)
+    }
+
+    /// The tiled statement node corresponding to an original statement.
+    pub fn tiled_stmt(&self, orig: NodeId) -> Option<NodeId> {
+        self.orig_stmt
+            .iter()
+            .find(|(_, o)| *o == orig)
+            .map(|(t, _)| *t)
+    }
+
+    /// All tiled statement nodes in program order.
+    pub fn statements(&self) -> Vec<NodeId> {
+        self.tree.statements()
+    }
+
+    /// The tiled code in the paper's compact notation (Fig. 3(a)).
+    pub fn print_code(&self) -> String {
+        tce_ir::printer::print_tree_code(&self.tree, self.base.arrays())
+    }
+
+    /// The tiled parse tree in ASCII form (Fig. 3(b)).
+    pub fn print_tree(&self) -> String {
+        tce_ir::print_tree(&self.tree, self.base.arrays())
+    }
+
+    /// The enclosing loops of `node` with their classes, outermost first.
+    pub fn enclosing(&self, node: NodeId) -> Vec<(NodeId, LoopClass)> {
+        self.tree
+            .enclosing_loops(node)
+            .into_iter()
+            .map(|l| {
+                (
+                    l,
+                    self.class(l)
+                        .expect("enclosing loop must have a class")
+                        .clone(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Tiles a program: splits every loop and sinks intra-tile loops to the
+/// statement leaves (Fig. 3).
+pub fn tile_program(program: &Program) -> TiledProgram {
+    let src = program.tree();
+    let mut tree = Tree::new();
+    let mut classes: Vec<Option<LoopClass>> = vec![None]; // root
+    let mut orig_stmt = Vec::new();
+
+    // Recursive copy: loops become tiling loops; statements gain an
+    // intra-tile band for all enclosing indices (outermost-tiling order).
+    fn copy(
+        src: &Tree,
+        node: NodeId,
+        dst_parent: NodeId,
+        enclosing: &mut Vec<Index>,
+        tree: &mut Tree,
+        classes: &mut Vec<Option<LoopClass>>,
+        orig_stmt: &mut Vec<(NodeId, NodeId)>,
+    ) {
+        match src.kind(node) {
+            NodeKind::Root => {
+                for &c in src.children(node) {
+                    copy(src, c, dst_parent, enclosing, tree, classes, orig_stmt);
+                }
+            }
+            NodeKind::Loop(i) => {
+                let t = tree.add_loop(dst_parent, Index::new(i.tiling_name()));
+                classes.push(Some(LoopClass::Tiling(i.clone())));
+                debug_assert_eq!(classes.len() - 1, t.as_usize());
+                enclosing.push(i.clone());
+                for &c in src.children(node) {
+                    copy(src, c, t, enclosing, tree, classes, orig_stmt);
+                }
+                enclosing.pop();
+            }
+            NodeKind::Stmt(s) => {
+                // intra-tile band, same order as the tiling loops
+                let mut parent = dst_parent;
+                for i in enclosing.iter() {
+                    parent = tree.add_loop(parent, Index::new(i.intra_name()));
+                    classes.push(Some(LoopClass::Intra(i.clone())));
+                    debug_assert_eq!(classes.len() - 1, parent.as_usize());
+                }
+                let leaf = tree.add_stmt(parent, rewrite_stmt(s));
+                classes.push(None);
+                debug_assert_eq!(classes.len() - 1, leaf.as_usize());
+                orig_stmt.push((leaf, node));
+            }
+        }
+    }
+
+    // Statements keep their original index names; the intra-tile loops are
+    // understood to bind them (the concrete-code generator prints the
+    // subscripts as `iI` etc.).
+    fn rewrite_stmt(s: &Stmt) -> Stmt {
+        s.clone()
+    }
+
+    let mut enclosing = Vec::new();
+    copy(
+        src,
+        src.root(),
+        tree.root(),
+        &mut enclosing,
+        &mut tree,
+        &mut classes,
+        &mut orig_stmt,
+    );
+
+    TiledProgram {
+        base: program.clone(),
+        tree,
+        classes,
+        orig_stmt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_ir::fixtures::{four_index_paper_small, two_index_fused};
+
+    #[test]
+    fn two_index_tiled_shape() {
+        let p = two_index_fused(40, 35);
+        let t = tile_program(&p);
+        // statements preserved, in order
+        assert_eq!(t.statements().len(), p.tree().statements().len());
+        for (tiled, orig) in t.statements().iter().zip(p.tree().statements()) {
+            assert_eq!(t.original_stmt(*tiled), Some(orig));
+            assert_eq!(t.tiled_stmt(orig), Some(*tiled));
+        }
+    }
+
+    #[test]
+    fn contraction_band_order_matches_tiling_order() {
+        let p = two_index_fused(40, 35);
+        let t = tile_program(&p);
+        // the T-producing contraction: original loops i, n, j
+        let stmts = t.statements();
+        let tcontract = stmts[2]; // B init nest, T init, then j-loop contract
+        let enc = t.enclosing(tcontract);
+        let names: Vec<String> = enc
+            .iter()
+            .map(|(_, c)| {
+                format!(
+                    "{}{}",
+                    c.index(),
+                    if c.is_tiling() { "T" } else { "I" }
+                )
+            })
+            .collect();
+        assert_eq!(names, ["iT", "nT", "jT", "iI", "nI", "jI"]);
+    }
+
+    #[test]
+    fn init_band_only_covers_enclosing_indices() {
+        let p = two_index_fused(40, 35);
+        let t = tile_program(&p);
+        let stmts = t.statements();
+        // statements: B init (m,n), T init (i,n), T contract, B contract
+        let t_init = stmts[1];
+        let enc = t.enclosing(t_init);
+        let names: Vec<String> = enc
+            .iter()
+            .map(|(_, c)| format!("{}{}", c.index(), if c.is_tiling() { "T" } else { "I" }))
+            .collect();
+        assert_eq!(names, ["iT", "nT", "iI", "nI"]);
+    }
+
+    #[test]
+    fn loop_classes_cover_all_loops() {
+        let p = four_index_paper_small();
+        let t = tile_program(&p);
+        for l in t.tree().loops() {
+            let class = t.class(l).expect("every loop classified");
+            let printed = t.tree().loop_index(l).unwrap().name().to_string();
+            let expect = format!(
+                "{}{}",
+                class.index(),
+                if class.is_tiling() { "T" } else { "I" }
+            );
+            assert_eq!(printed, expect);
+        }
+        // root and statements have no class
+        assert!(t.class(t.tree().root()).is_none());
+        for s in t.statements() {
+            assert!(t.class(s).is_none());
+        }
+    }
+
+    #[test]
+    fn four_index_statement_count_preserved() {
+        let p = four_index_paper_small();
+        let t = tile_program(&p);
+        assert_eq!(t.statements().len(), 8);
+        // the deep contraction (a,p,q,r,s) has a 10-loop path
+        let stmts = t.statements();
+        let c1 = stmts[1]; // T1 contraction
+        assert_eq!(t.enclosing(c1).len(), 10);
+    }
+
+    #[test]
+    fn fig3_printers_show_split_loops() {
+        let p = two_index_fused(40, 35);
+        let t = tile_program(&p);
+        let code = t.print_code();
+        assert!(code.contains("FOR iT, nT"), "{code}");
+        // the j tiling loop and the intra-tile band print as one chain
+        assert!(code.contains("FOR jT, iI, nI, jI"), "{code}");
+        let tree = t.print_tree();
+        assert!(tree.contains("FOR iT"), "{tree}");
+        assert!(tree.contains("FOR jI"), "{tree}");
+    }
+
+    #[test]
+    fn tiling_loops_nest_above_intra_band() {
+        let p = two_index_fused(40, 35);
+        let t = tile_program(&p);
+        for s in t.statements() {
+            let enc = t.enclosing(s);
+            // once the band starts, no more tiling loops
+            let first_intra = enc.iter().position(|(_, c)| !c.is_tiling());
+            if let Some(k) = first_intra {
+                assert!(enc[k..].iter().all(|(_, c)| !c.is_tiling()));
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests: the placement enumeration's legality rules hold for
+//! every candidate it produces, across fixtures and memory limits.
+
+use proptest::prelude::*;
+use tce_ir::fixtures::{four_index_fused, two_index_fused, two_index_unfused};
+use tce_ir::Program;
+use tce_tile::{enumerate_placements, tile_program, CandidateSet, TiledProgram};
+
+fn programs() -> Vec<Program> {
+    vec![
+        two_index_fused(64, 48),
+        two_index_unfused(64, 48),
+        four_index_fused(12, 10),
+    ]
+}
+
+fn check_set(tiled: &TiledProgram, set: &CandidateSet, mem_limit: u64) {
+    let base = tiled.base();
+    let decl = base.array(set.array);
+    let tree = tiled.tree();
+    for c in &set.candidates {
+        // rule 1: operands stay matrices (up to the array's own rank)
+        assert!(
+            c.buffer.effective_rank() >= decl.rank().min(2),
+            "{}: buffer {} below rank 2",
+            decl.name(),
+            c.buffer
+        );
+        // rule 2: the loop immediately surrounding the placement indexes
+        // the array (placements under redundant loops are hoisted)
+        if let Some(parent) = tree.parent(c.above) {
+            if let Some(idx) = tree.loop_index(parent) {
+                let orig = tiled
+                    .class(parent)
+                    .expect("loop class")
+                    .index()
+                    .clone();
+                assert!(
+                    decl.indexed_by(&orig),
+                    "{}: position above {:?} surrounded by redundant loop {idx}",
+                    decl.name(),
+                    c.label
+                );
+            }
+        }
+        // rule 3: the tile-size-1 buffer fits in memory
+        assert!(
+            c.buffer.min_bytes(base.ranges()) <= mem_limit,
+            "{}: min buffer exceeds the limit",
+            decl.name()
+        );
+        // costs are positive and the pre-read flag matches redundancy
+        assert!(!c.volume.is_zero());
+        assert_eq!(
+            c.needs_pre_read,
+            matches!(set.role, tce_tile::UseRole::Write) && !c.redundant.is_empty()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_candidates_obey_the_rules(mem_kb in 1u64..512) {
+        let mem_limit = mem_kb * 1024;
+        for p in programs() {
+            let tiled = tile_program(&p);
+            let Ok(space) = enumerate_placements(&tiled, mem_limit) else {
+                // tiny limits may make enumeration fail; that is legal
+                continue;
+            };
+            for set in space.reads.iter().chain(space.writes.iter()) {
+                check_set(&tiled, set, mem_limit);
+            }
+            for opt in &space.intermediates {
+                check_set(&tiled, &opt.write, mem_limit);
+                check_set(&tiled, &opt.read, mem_limit);
+                // spill placements stay inside the LCA
+                if opt.lca != tiled.tree().root() {
+                    for c in opt
+                        .write
+                        .candidates
+                        .iter()
+                        .chain(opt.read.candidates.iter())
+                    {
+                        prop_assert!(
+                            tiled.tree().is_ancestor_or_self(opt.lca, c.above),
+                            "spill placement escapes the LCA"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Larger memory limits never *remove* candidates (the walk only ever
+    /// goes further up).
+    #[test]
+    fn candidate_sets_grow_with_memory(mem_kb in 1u64..256) {
+        let small = mem_kb * 1024;
+        let large = small * 4;
+        let p = two_index_fused(64, 48);
+        let tiled = tile_program(&p);
+        let (Ok(s1), Ok(s2)) = (
+            enumerate_placements(&tiled, small),
+            enumerate_placements(&tiled, large),
+        ) else {
+            return Ok(());
+        };
+        for (a, b) in s1.reads.iter().zip(&s2.reads) {
+            prop_assert!(a.candidates.len() <= b.candidates.len());
+        }
+        for (a, b) in s1.writes.iter().zip(&s2.writes) {
+            prop_assert!(a.candidates.len() <= b.candidates.len());
+        }
+    }
+}

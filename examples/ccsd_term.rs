@@ -1,0 +1,93 @@
+//! A higher-order coupled-cluster contraction — the computations for
+//! which the paper says the uniform-sampling approach "becomes
+//! impractical" while DCS still answers in minutes (Sec. 5).
+//!
+//! ```text
+//! cargo run --release --example ccsd_term
+//! ```
+//!
+//! The workload is a CCSD-doubles-style quadratic term
+//!
+//! `R(a,b,i,j) = Σ_{k,l,c,d} W(k,l,c,d) · Ta(c,a,k,i) · Tb(d,b,l,j)`
+//!
+//! with occupied range `O` and virtual range `V` (`Ta`/`Tb` are two uses
+//! of the same amplitude tensor, named apart because the IR stores one
+//! declaration per array). Eight loop indices, three 4-D tensors, a 4-D
+//! intermediate — a step up from the four-index transform in every
+//! dimension that matters to the optimizer.
+
+use std::time::Instant;
+use tce_exec::interp::default_input_gen;
+use tce_exec::{dense_reference, execute, ExecOptions};
+use tce_ooc::core::prelude::*;
+use tce_ooc::opmin::workloads::ccsd_doubles_quadratic as ccsd_term;
+use tce_ooc::opmin::{fused_display_form, lower_unfused, optimize_contraction_order};
+
+fn main() {
+    // paper-like scale: O = 60 occupied, V = 240 virtual orbitals
+    let (o, v) = (60u64, 240u64);
+    let expr = ccsd_term(o, v);
+    let (tree, cost) = optimize_contraction_order(&expr);
+    println!(
+        "operation minimization: naive {:.2e} -> optimized {:.2e} flops ({:.0}x)",
+        cost.naive_flops,
+        cost.optimized_flops,
+        cost.speedup()
+    );
+
+    let program = lower_unfused(&expr, &tree).expect("lowering");
+    println!("\nabstract code:\n{}", fused_display_form(&program));
+    let total_data: u64 = program
+        .arrays()
+        .iter()
+        .map(|a| a.size_bytes(program.ranges()))
+        .sum();
+    println!("total tensor data: {:.2} GB", total_data as f64 / 1e9);
+
+    // DCS synthesis at 2 GB
+    let config = SynthesisConfig::new(2 << 30);
+    let t0 = Instant::now();
+    let r = synthesize_dcs(&program, &config).expect("synthesis");
+    println!(
+        "\nDCS synthesis: {:?} | traffic {:.2} GB | buffers {:.2} GB | predicted {:.0}s sequential I/O",
+        t0.elapsed(),
+        r.io_bytes / 1e9,
+        r.memory_bytes / 1e9,
+        r.predicted.total_s()
+    );
+    println!("tiles: {}", r.tiles);
+    println!(
+        "{}",
+        print_placements(&program, &r.space, Some(&r.selection))
+    );
+
+    // what uniform sampling would have to scan
+    let points: f64 = program
+        .ranges()
+        .iter()
+        .map(|(_, n)| ((n as f64).log2().floor() as u32 + 1) as f64)
+        .product();
+    println!(
+        "uniform sampling would scan {points:.2e} tile vectors with greedy placement each — \
+         hours at best; DCS needed {} Lagrangian evaluations",
+        r.solver_evals
+    );
+
+    // correctness at reduced scale through the full pipeline
+    println!("\nverifying the same pipeline at O=4, V=6 with real data...");
+    let small = ccsd_term(4, 6);
+    let (small_tree, _) = optimize_contraction_order(&small);
+    let small_prog = lower_unfused(&small, &small_tree).expect("lowering");
+    let rs = synthesize_dcs(&small_prog, &SynthesisConfig::test_scale(8 * 1024))
+        .expect("synthesis");
+    let rep = execute(&rs.plan, &ExecOptions::full_test()).expect("execution");
+    let want = dense_reference(&small_prog, default_input_gen);
+    let max_err = rep.outputs["R"]
+        .iter()
+        .zip(&want["R"])
+        .map(|(g, w)| (g - w).abs())
+        .fold(0.0f64, f64::max);
+    println!("max |R_ooc - R_dense| = {max_err:.3e}");
+    assert!(max_err < 1e-9);
+    println!("verified.");
+}

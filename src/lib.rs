@@ -1,0 +1,35 @@
+//! # tce-ooc — out-of-core tensor-contraction code synthesis
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture and `DESIGN.md` for the paper-reproduction inventory.
+//!
+//! The subsystems, bottom-up:
+//!
+//! * [`ir`] — abstract-code IR: indices, tensors, imperfectly nested loop
+//!   trees, the text DSL, and the paper's fixture programs.
+//! * [`opmin`] — operation minimization and loop fusion.
+//! * [`cost`] — symbolic disk-I/O / memory cost expressions over tile sizes.
+//! * [`tile`] — loop tiling and candidate I/O-placement enumeration.
+//! * [`solver`] — the discrete constrained (DCS-style) nonlinear solver.
+//! * [`codegen`] — concrete out-of-core code and executable plans.
+//! * [`disksim`] — parametric disk model and simulated block devices.
+//! * [`ga`] — Global-Arrays / Disk-Resident-Arrays style substrate.
+//! * [`exec`] — plan interpreter (full and dry-run, sequential and parallel).
+//! * [`core`] — the end-to-end synthesis pipeline (DCS approach and the
+//!   uniform-sampling baseline).
+//! * [`trans`] — out-of-core matrix transposition (the block-size study
+//!   behind the minimum-block constraints).
+
+pub use tce_codegen as codegen;
+pub use tce_core as core;
+pub use tce_cost as cost;
+pub use tce_disksim as disksim;
+pub use tce_exec as exec;
+pub use tce_ga as ga;
+pub use tce_ir as ir;
+pub use tce_opmin as opmin;
+pub use tce_solver as solver;
+pub use tce_trans as trans;
+pub use tce_tile as tile;
+
+pub use tce_core::prelude::*;

@@ -1,0 +1,147 @@
+//! The cost model against reality: the symbolic disk-I/O expressions and
+//! execution counts must agree *exactly* with what the executor charges —
+//! including partial tiles — because Table 3's predicted-vs-measured match
+//! is the paper's validation of the model.
+
+use proptest::prelude::*;
+use tce_exec::{execute, ExecMode, ExecOptions};
+use tce_ooc::core::prelude::*;
+use tce_ooc::cost::TileAssignment;
+use tce_ooc::ir::fixtures::{four_index_fused, two_index_fused};
+use tce_ooc::ir::Program;
+use tce_ooc::tile::IntermediateChoice;
+
+fn volume_and_ops(
+    program: &Program,
+    tiles: &TileAssignment,
+    spill_intermediates: bool,
+) -> ((f64, f64), (u64, u64)) {
+    let tiled = tile_program(program);
+    let space = enumerate_placements(&tiled, 1 << 40).expect("space");
+    let mut sel = space.default_selection();
+    if spill_intermediates {
+        for (k, opt) in space.intermediates.iter().enumerate() {
+            if opt.spillable() {
+                sel.intermediates[k] = IntermediateChoice::OnDisk { write: 0, read: 0 };
+            }
+        }
+    }
+    let plan = generate_plan(&tiled, &space, &sel, tiles);
+
+    // predicted: symbolic cost + execs
+    let predicted_bytes = space.total_io(&sel).eval(program.ranges(), &plan.tiles);
+    let predicted = predict_io_time(
+        &space,
+        &sel,
+        program.ranges(),
+        &plan.tiles,
+        &DiskProfile::unconstrained_test(),
+    );
+
+    // measured: dry run
+    let mut opts = ExecOptions::full_test();
+    opts.mode = ExecMode::DryRun;
+    let rep = execute(&plan, &opts).expect("dry run");
+    (
+        (predicted_bytes, predicted.ops),
+        (rep.total.total_bytes(), rep.total.total_ops()),
+    )
+}
+
+#[test]
+fn exact_volume_even_tiles() {
+    let p = two_index_fused(24, 16);
+    let tiles = TileAssignment::new()
+        .with("i", 8)
+        .with("j", 6)
+        .with("m", 4)
+        .with("n", 8);
+    let ((pv, pops), (mv, mops)) = volume_and_ops(&p, &tiles, false);
+    assert_eq!(pv as u64, mv, "volume");
+    assert_eq!(pops as u64, mops, "ops");
+}
+
+#[test]
+fn exact_volume_partial_tiles() {
+    // tile sizes that do NOT divide the extents
+    let p = two_index_fused(25, 17);
+    let tiles = TileAssignment::new()
+        .with("i", 7)
+        .with("j", 9)
+        .with("m", 5)
+        .with("n", 4);
+    let ((pv, pops), (mv, mops)) = volume_and_ops(&p, &tiles, false);
+    assert_eq!(pv as u64, mv, "volume with partial tiles");
+    assert_eq!(pops as u64, mops, "ops with partial tiles");
+}
+
+#[test]
+fn exact_volume_with_spills() {
+    let p = two_index_fused(20, 14);
+    let tiles = TileAssignment::new()
+        .with("i", 6)
+        .with("j", 5)
+        .with("m", 7)
+        .with("n", 3);
+    let ((pv, pops), (mv, mops)) = volume_and_ops(&p, &tiles, true);
+    assert_eq!(pv as u64, mv, "volume with spilled T");
+    assert_eq!(pops as u64, mops, "ops with spilled T");
+}
+
+#[test]
+fn exact_volume_four_index() {
+    let p = four_index_fused(8, 6);
+    let tiles = TileAssignment::new()
+        .with("p", 3)
+        .with("q", 5)
+        .with("r", 8)
+        .with("s", 2)
+        .with("a", 4)
+        .with("b", 3)
+        .with("c", 2)
+        .with("d", 6);
+    let ((pv, pops), (mv, mops)) = volume_and_ops(&p, &tiles, true);
+    assert_eq!(pv as u64, mv, "four-index volume");
+    assert_eq!(pops as u64, mops, "four-index ops");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The symbolic model is exact for arbitrary tile assignments.
+    #[test]
+    fn predicted_equals_measured_for_random_tiles(
+        ti in 1u64..26,
+        tj in 1u64..26,
+        tm in 1u64..18,
+        tn in 1u64..18,
+        spill in proptest::bool::ANY,
+    ) {
+        let p = two_index_fused(25, 17);
+        let tiles = TileAssignment::new()
+            .with("i", ti)
+            .with("j", tj)
+            .with("m", tm)
+            .with("n", tn);
+        let ((pv, pops), (mv, mops)) = volume_and_ops(&p, &tiles, spill);
+        prop_assert_eq!(pv as u64, mv);
+        prop_assert_eq!(pops as u64, mops);
+    }
+
+    /// Larger tiles never increase the default-selection traffic
+    /// (monotonicity of the redundancy factors).
+    #[test]
+    fn traffic_monotone_in_tile_size(t in 1u64..24) {
+        let p = two_index_fused(24, 24);
+        let tiled = tile_program(&p);
+        let space = enumerate_placements(&tiled, 1 << 40).expect("space");
+        let sel = space.default_selection();
+        let small = TileAssignment::new()
+            .with("i", t).with("j", t).with("m", t).with("n", t);
+        let big = TileAssignment::new()
+            .with("i", t + 1).with("j", t + 1).with("m", t + 1).with("n", t + 1);
+        let io_small = space.total_io(&sel).eval(p.ranges(), &small);
+        let io_big = space.total_io(&sel).eval(p.ranges(), &big);
+        prop_assert!(io_big <= io_small + 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end pipeline tests: abstract code → synthesis → concrete plan →
+//! full execution on the simulated substrate → verification against the
+//! dense in-memory reference.
+
+use tce_exec::interp::default_input_gen;
+use tce_exec::{dense_reference, execute, ExecMode, ExecOptions};
+use tce_ooc::core::prelude::*;
+use tce_ooc::ir::fixtures::{four_index_fused, two_index_fused, two_index_unfused};
+use tce_ooc::ir::Program;
+
+fn verify_outputs(program: &Program, outputs: &std::collections::HashMap<String, Vec<f64>>) {
+    let want = dense_reference(program, default_input_gen);
+    for (name, got) in outputs {
+        let w = &want[name];
+        assert_eq!(got.len(), w.len(), "{name} length");
+        for (k, (g, e)) in got.iter().zip(w).enumerate() {
+            assert!(
+                (g - e).abs() < 1e-6 * (1.0 + e.abs()),
+                "{name}[{k}]: got {g}, want {e}"
+            );
+        }
+    }
+}
+
+fn run_dcs(program: &Program, mem: u64) -> (SynthesisResult, tce_exec::ExecReport) {
+    let config = SynthesisConfig::test_scale(mem);
+    let r = synthesize_dcs(program, &config).expect("synthesis");
+    assert!(
+        r.memory_bytes <= mem as f64 + 1e-6,
+        "memory {} over limit {mem}",
+        r.memory_bytes
+    );
+    let rep = execute(&r.plan, &ExecOptions::full_test()).expect("execution");
+    (r, rep)
+}
+
+#[test]
+fn two_index_dcs_end_to_end() {
+    let p = two_index_fused(64, 48);
+    let (_, rep) = run_dcs(&p, 48 * 1024);
+    verify_outputs(&p, &rep.outputs);
+}
+
+#[test]
+fn two_index_unfused_end_to_end() {
+    // the unfused form forces T through its own producer/consumer nests
+    let p = two_index_unfused(48, 40);
+    let (r, rep) = run_dcs(&p, 24 * 1024);
+    verify_outputs(&p, &rep.outputs);
+    // with 24 KB and a 48x40 T (15 KB) plus buffers, T may or may not be
+    // spilled, but the plan must be consistent either way
+    assert!(r.plan.buffer_bytes() <= 24 * 1024);
+}
+
+#[test]
+fn two_index_with_forced_spill_end_to_end() {
+    // memory so small the full T (i,n fused in separate nests -> LCA at
+    // root in the unfused fixture) cannot stay resident
+    let p = two_index_unfused(64, 64);
+    // T is 64*64*8 = 32 KB; give 12 KB so spilling is mandatory
+    let (r, rep) = run_dcs(&p, 12 * 1024);
+    let (tid, _) = p.array_by_name("T").unwrap();
+    assert!(
+        r.plan.on_disk(tid),
+        "T must spill under a 12 KB limit"
+    );
+    verify_outputs(&p, &rep.outputs);
+}
+
+#[test]
+fn four_index_dcs_end_to_end() {
+    // tiny instance of Fig. 5, executed fully and verified
+    let p = four_index_fused(10, 8);
+    let (_, rep) = run_dcs(&p, 32 * 1024);
+    verify_outputs(&p, &rep.outputs);
+    assert!(rep.flops > 0);
+}
+
+#[test]
+fn four_index_baseline_end_to_end() {
+    let p = four_index_fused(8, 6);
+    let opts = BaselineOptions {
+        config: SynthesisConfig::test_scale(16 * 1024),
+        samples_per_index: Some(3),
+    };
+    let r = synthesize_uniform_sampling(&p, &opts).expect("baseline");
+    let rep = execute(&r.plan, &ExecOptions::full_test()).expect("execution");
+    verify_outputs(&p, &rep.outputs);
+}
+
+#[test]
+fn dry_run_accounting_matches_full_execution() {
+    let p = four_index_fused(10, 8);
+    let config = SynthesisConfig::test_scale(32 * 1024);
+    let r = synthesize_dcs(&p, &config).expect("synthesis");
+    let full = execute(&r.plan, &ExecOptions::full_test()).expect("full");
+    let mut dry_opts = ExecOptions::full_test();
+    dry_opts.mode = ExecMode::DryRun;
+    let dry = execute(&r.plan, &dry_opts).expect("dry");
+    assert_eq!(full.total.read_bytes, dry.total.read_bytes);
+    assert_eq!(full.total.write_bytes, dry.total.write_bytes);
+    assert_eq!(full.total.read_ops, dry.total.read_ops);
+    assert_eq!(full.total.write_ops, dry.total.write_ops);
+}
+
+#[test]
+fn csa_strategy_also_synthesizes() {
+    let p = two_index_fused(48, 40);
+    let mut config = SynthesisConfig::test_scale(32 * 1024);
+    config.strategy = Strategy::Csa;
+    let r = synthesize_dcs(&p, &config).expect("CSA synthesis");
+    let rep = execute(&r.plan, &ExecOptions::full_test()).expect("execution");
+    verify_outputs(&p, &rep.outputs);
+}
+
+#[test]
+fn plans_replay_deterministically() {
+    let p = two_index_fused(48, 40);
+    let config = SynthesisConfig::test_scale(32 * 1024);
+    let a = synthesize_dcs(&p, &config).expect("a");
+    let b = synthesize_dcs(&p, &config).expect("b");
+    assert_eq!(a.tiles, b.tiles);
+    assert_eq!(a.selection, b.selection);
+    let ra = execute(&a.plan, &ExecOptions::full_test()).expect("ra");
+    let rb = execute(&b.plan, &ExecOptions::full_test()).expect("rb");
+    assert_eq!(ra.total, rb.total);
+    assert_eq!(ra.outputs["B"], rb.outputs["B"]);
+}

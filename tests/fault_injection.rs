@@ -1,0 +1,48 @@
+//! Failure injection: a disk fault on any rank must surface as a clean
+//! error — never a deadlock, never a wrong answer reported as success.
+
+use tce_exec::{execute, ExecError, ExecOptions};
+use tce_ooc::core::prelude::*;
+use tce_ooc::ir::fixtures::two_index_fused;
+
+fn plan() -> ConcretePlan {
+    let p = two_index_fused(48, 40);
+    synthesize_dcs(&p, &SynthesisConfig::test_scale(32 * 1024))
+        .expect("synthesis")
+        .plan
+}
+
+#[test]
+fn sequential_fault_surfaces_as_error() {
+    let plan = plan();
+    let mut opts = ExecOptions::full_test();
+    opts.inject_fault = Some((0, 5));
+    let err = execute(&plan, &opts).expect_err("must fail");
+    assert!(matches!(err, ExecError::Dra(_)), "{err}");
+    assert!(err.to_string().contains("injected"), "{err}");
+}
+
+#[test]
+fn parallel_fault_aborts_all_ranks_without_deadlock() {
+    let plan = plan();
+    for failing_rank in 0..4usize {
+        let mut opts = ExecOptions::full_test().with_nproc(4);
+        opts.inject_fault = Some((failing_rank, 3));
+        // the call must RETURN (abortable barriers — no deadlock) with
+        // the injected fault as the root cause
+        let err = execute(&plan, &opts).expect_err("must fail");
+        assert!(
+            matches!(err, ExecError::Dra(_)),
+            "rank {failing_rank}: {err}"
+        );
+    }
+}
+
+#[test]
+fn fault_after_completion_is_harmless() {
+    let plan = plan();
+    let mut opts = ExecOptions::full_test();
+    opts.inject_fault = Some((0, u64::MAX));
+    let rep = execute(&plan, &opts).expect("never fires");
+    assert!(!rep.outputs.is_empty());
+}

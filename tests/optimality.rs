@@ -1,0 +1,225 @@
+//! Solution-quality tests: the DCS pipeline must match or beat an
+//! exhaustive scan over the sampled search space the baseline explores,
+//! and both must respect every constraint.
+
+use tce_ooc::core::prelude::*;
+use tce_ooc::cost::TileAssignment;
+use tce_ooc::ir::fixtures::two_index_fused;
+use tce_ooc::ir::{Index, Program};
+use tce_ooc::tile::IntermediateChoice;
+
+/// Exhaustive optimum over ladder tiles × *all* placement combinations
+/// (stronger than the baseline's greedy placement).
+fn exhaustive_optimum(program: &Program, mem_limit: u64) -> f64 {
+    let tiled = tile_program(program);
+    let space = enumerate_placements(&tiled, mem_limit).expect("space");
+    let ranges = program.ranges();
+    let indices: Vec<Index> = ranges.indices().cloned().collect();
+    let ladders: Vec<Vec<u64>> = indices
+        .iter()
+        .map(|i| {
+            let n = ranges.extent(i);
+            let mut l = vec![];
+            let mut v = 1;
+            while v < n {
+                l.push(v);
+                v *= 2;
+            }
+            l.push(n);
+            l
+        })
+        .collect();
+
+    // all placement combinations
+    let mut selections: Vec<PlacementSelection> = vec![space.default_selection()];
+    let extend = |sels: Vec<PlacementSelection>,
+                  f: &dyn Fn(&PlacementSelection, usize) -> Vec<PlacementSelection>,
+                  n: usize| {
+        let mut out = Vec::new();
+        for s in sels {
+            out.extend(f(&s, n));
+        }
+        out
+    };
+    for k in 0..space.reads.len() {
+        let m = space.reads[k].candidates.len();
+        selections = extend(
+            selections,
+            &|s, m| {
+                (0..m)
+                    .map(|c| {
+                        let mut s2 = s.clone();
+                        s2.reads[k] = c;
+                        s2
+                    })
+                    .collect()
+            },
+            m,
+        );
+    }
+    for k in 0..space.writes.len() {
+        let m = space.writes[k].candidates.len();
+        selections = extend(
+            selections,
+            &|s, m| {
+                (0..m)
+                    .map(|c| {
+                        let mut s2 = s.clone();
+                        s2.writes[k] = c;
+                        s2
+                    })
+                    .collect()
+            },
+            m,
+        );
+    }
+    for k in 0..space.intermediates.len() {
+        let opt = &space.intermediates[k];
+        let mut combos = vec![IntermediateChoice::InMemory];
+        for w in 0..opt.write.candidates.len() {
+            for r in 0..opt.read.candidates.len() {
+                combos.push(IntermediateChoice::OnDisk { write: w, read: r });
+            }
+        }
+        selections = extend(
+            selections,
+            &|s, m| {
+                (0..m)
+                    .map(|c| {
+                        let mut s2 = s.clone();
+                        s2.intermediates[k] = combos[c];
+                        s2
+                    })
+                    .collect()
+            },
+            combos.len(),
+        );
+    }
+
+    // scan ladder tiles × selections
+    let mut best = f64::INFINITY;
+    let mut pos = vec![0usize; indices.len()];
+    loop {
+        let tiles: TileAssignment = indices
+            .iter()
+            .zip(&pos)
+            .map(|(i, &k)| (i.clone(), ladders[indices.iter().position(|x| x == i).unwrap()][k]))
+            .collect();
+        for sel in &selections {
+            let mem = space.total_memory(sel).eval(ranges, &tiles);
+            if mem <= mem_limit as f64 {
+                let io = space.total_io(sel).eval(ranges, &tiles);
+                best = best.min(io);
+            }
+        }
+        let mut k = indices.len();
+        let done = loop {
+            if k == 0 {
+                break true;
+            }
+            k -= 1;
+            pos[k] += 1;
+            if pos[k] < ladders[k].len() {
+                break false;
+            }
+            pos[k] = 0;
+        };
+        if done {
+            break;
+        }
+    }
+    best
+}
+
+#[test]
+fn dcs_at_least_matches_the_exhaustive_ladder_scan() {
+    let p = two_index_fused(32, 24);
+    for mem in [8 * 1024u64, 16 * 1024, 48 * 1024] {
+        let exhaustive = exhaustive_optimum(&p, mem);
+        let r = synthesize_dcs(&p, &SynthesisConfig::test_scale(mem)).expect("dcs");
+        // DCS searches a superset (all integer tiles, not just the
+        // ladder), so it must match or beat the exhaustive ladder scan
+        assert!(
+            r.io_bytes <= exhaustive * 1.0001,
+            "mem {mem}: dcs {} vs exhaustive {exhaustive}",
+            r.io_bytes
+        );
+    }
+}
+
+#[test]
+fn baseline_never_beats_the_exhaustive_scan() {
+    let p = two_index_fused(32, 24);
+    for mem in [16 * 1024u64, 48 * 1024] {
+        let exhaustive = exhaustive_optimum(&p, mem);
+        let opts = BaselineOptions::new(SynthesisConfig::test_scale(mem));
+        let r = synthesize_uniform_sampling(&p, &opts).expect("baseline");
+        assert!(
+            r.io_bytes + 1e-6 >= exhaustive,
+            "mem {mem}: baseline {} below exhaustive {exhaustive}",
+            r.io_bytes
+        );
+    }
+}
+
+#[test]
+fn tighter_memory_costs_more_io() {
+    // the true optimum is monotone in the memory limit; with a heuristic
+    // solver we check the extremes with a small tolerance
+    let p = two_index_fused(32, 24);
+    let generous = synthesize_dcs(&p, &SynthesisConfig::test_scale(256 * 1024))
+        .expect("generous")
+        .io_bytes;
+    let tight = synthesize_dcs(&p, &SynthesisConfig::test_scale(8 * 1024))
+        .expect("tight")
+        .io_bytes;
+    assert!(
+        tight >= generous * 0.999,
+        "tight-memory traffic {tight} below generous-memory traffic {generous}"
+    );
+    // with 256 KB everything fits: traffic is inputs once + output once
+    let minimal: u64 = p
+        .arrays()
+        .iter()
+        .filter(|a| a.kind() != tce_ooc::ir::ArrayKind::Intermediate)
+        .map(|a| a.size_bytes(p.ranges()))
+        .sum();
+    assert!(
+        generous <= 1.01 * minimal as f64,
+        "generous traffic {generous} above the compulsory volume {minimal}"
+    );
+}
+
+/// The time-based objective extension: optimizing predicted seconds
+/// directly (no block constraints) should not lose to the paper's
+/// volume objective + block constraints on the predicted-time metric.
+#[test]
+fn time_objective_is_competitive_on_predicted_seconds() {
+    use tce_ooc::core::ObjectiveKind;
+    use tce_ooc::ir::fixtures::four_index_fused;
+
+    let p = four_index_fused(140, 120);
+    let volume_cfg = SynthesisConfig::new(2 << 30);
+    let vol = synthesize_dcs(&p, &volume_cfg).expect("volume objective");
+
+    let mut time_cfg = SynthesisConfig::new(2 << 30);
+    time_cfg.objective = ObjectiveKind::Time;
+    time_cfg.enforce_min_blocks = false; // the seek term replaces them
+    let time = synthesize_dcs(&p, &time_cfg).expect("time objective");
+
+    // both feasible; the time-optimized plan's predicted seconds within
+    // 25% of (or better than) the volume-optimized plan's
+    assert!(
+        time.predicted.total_s() <= vol.predicted.total_s() * 1.25,
+        "time objective {}s vs volume objective {}s",
+        time.predicted.total_s(),
+        vol.predicted.total_s()
+    );
+    // and it achieves a sane seek share without any block constraint
+    let seek = time.predicted.ops * time_cfg.profile.seek_s;
+    assert!(
+        seek / time.predicted.total_s() < 0.3,
+        "seek share {} too high",
+        seek / time.predicted.total_s()
+    );
+}

@@ -1,0 +1,130 @@
+//! Pipeline fuzzing: random tensor-contraction expressions are lowered,
+//! synthesized, executed out of core, and compared element-wise against
+//! the dense reference. Any placement-legality, codegen or executor bug
+//! on unusual shapes (vector operands, scalar outputs, rank-mixed
+//! chains) surfaces here.
+
+use proptest::prelude::*;
+use tce_exec::interp::default_input_gen;
+use tce_exec::{dense_reference, execute, ExecOptions};
+use tce_ooc::core::prelude::*;
+use tce_ooc::opmin::{derive_program, SumOfProducts, TensorSpec};
+
+const INDICES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+
+#[derive(Clone, Debug)]
+struct RandomExpr {
+    expr: SumOfProducts,
+}
+
+fn arb_expr() -> impl proptest::strategy::Strategy<Value = RandomExpr> {
+    // per-index extents 2..=5, 2..=3 factors of rank 1..=3, output drawn
+    // from the union of factor indices (possibly empty = scalar output)
+    let extents = proptest::collection::vec(2u64..6, INDICES.len());
+    let factor = proptest::collection::vec(0usize..INDICES.len(), 1..4).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    });
+    let factors = proptest::collection::vec(factor, 2..4);
+    (extents, factors, proptest::collection::vec(proptest::bool::ANY, INDICES.len()))
+        .prop_map(|(extents, factor_idx, out_mask)| {
+            let mut ranges = tce_ooc::ir::RangeMap::new();
+            for (name, &e) in INDICES.iter().zip(&extents) {
+                ranges.set(tce_ooc::ir::Index::new(name), e);
+            }
+            let factors: Vec<TensorSpec> = factor_idx
+                .iter()
+                .enumerate()
+                .map(|(k, idxs)| {
+                    let names: Vec<&str> = idxs.iter().map(|&i| INDICES[i]).collect();
+                    TensorSpec::new(&format!("F{k}"), &names)
+                })
+                .collect();
+            // output: indices used by some factor and selected by the mask
+            let used: Vec<usize> = (0..INDICES.len())
+                .filter(|i| factor_idx.iter().any(|f| f.contains(i)))
+                .collect();
+            let out: Vec<&str> = used
+                .iter()
+                .filter(|&&i| out_mask[i])
+                .map(|&i| INDICES[i])
+                .collect();
+            let expr = SumOfProducts {
+                output: TensorSpec::new("OUT", &out),
+                factors,
+                ranges,
+            };
+            RandomExpr { expr }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Whole-pipeline correctness on random expressions.
+    #[test]
+    fn random_expression_roundtrip(r in arb_expr(), mem_kb in 1u64..16) {
+        let program = derive_program(&r.expr);
+        let mem = mem_kb * 1024;
+        let result = match synthesize_dcs(&program, &SynthesisConfig::test_scale(mem)) {
+            Ok(res) => res,
+            // tiny limits may make enumeration fail; that is a legal
+            // outcome, not a bug
+            Err(SynthesisError::Placement(_)) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("synthesis: {e}"))),
+        };
+        prop_assert!(result.memory_bytes <= mem as f64 + 1e-6);
+        let rep = execute(&result.plan, &ExecOptions::full_test())
+            .map_err(|e| TestCaseError::fail(format!("exec: {e}")))?;
+        let want = dense_reference(&program, default_input_gen);
+        let got = &rep.outputs["OUT"];
+        let w = &want["OUT"];
+        prop_assert_eq!(got.len(), w.len());
+        for (k, (g, e)) in got.iter().zip(w).enumerate() {
+            prop_assert!(
+                (g - e).abs() < 1e-6 * (1.0 + e.abs()),
+                "OUT[{}]: got {}, want {} ({:?})", k, g, e, r.expr
+            );
+        }
+    }
+
+    /// The baseline pipeline agrees with the reference on the same space.
+    #[test]
+    fn random_expression_baseline_roundtrip(r in arb_expr()) {
+        let program = derive_program(&r.expr);
+        let opts = BaselineOptions {
+            config: SynthesisConfig::test_scale(8 * 1024),
+            samples_per_index: Some(3),
+        };
+        let result = match synthesize_uniform_sampling(&program, &opts) {
+            Ok(res) => res,
+            Err(SynthesisError::Placement(_)) | Err(SynthesisError::Infeasible) => {
+                return Ok(())
+            }
+        };
+        let rep = execute(&result.plan, &ExecOptions::full_test())
+            .map_err(|e| TestCaseError::fail(format!("exec: {e}")))?;
+        let want = dense_reference(&program, default_input_gen);
+        for (g, e) in rep.outputs["OUT"].iter().zip(&want["OUT"]) {
+            prop_assert!((g - e).abs() < 1e-6 * (1.0 + e.abs()));
+        }
+    }
+
+    /// Parallel execution of random programs matches sequential.
+    #[test]
+    fn random_expression_parallel_agrees(r in arb_expr()) {
+        let program = derive_program(&r.expr);
+        let result = match synthesize_dcs(&program, &SynthesisConfig::test_scale(8 * 1024)) {
+            Ok(res) => res,
+            Err(_) => return Ok(()),
+        };
+        let seq = execute(&result.plan, &ExecOptions::full_test())
+            .map_err(|e| TestCaseError::fail(format!("seq: {e}")))?;
+        let par = execute(&result.plan, &ExecOptions::full_test().with_nproc(3))
+            .map_err(|e| TestCaseError::fail(format!("par: {e}")))?;
+        for (a, b) in seq.outputs["OUT"].iter().zip(&par.outputs["OUT"]) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! The workload catalogue through the full pipeline: every derived
+//! coupled-cluster-style program synthesizes, executes out of core and
+//! matches the dense reference.
+
+use tce_exec::interp::default_input_gen;
+use tce_exec::{dense_reference, execute, ExecOptions};
+use tce_ooc::core::prelude::*;
+use tce_ooc::opmin::workloads::{
+    ccsd_doubles_quadratic, ccsd_ring, derive_program, triples_residual,
+};
+use tce_ooc::opmin::SumOfProducts;
+
+fn pipeline_check(expr: &SumOfProducts, mem: u64) {
+    let program = derive_program(expr);
+    let r = synthesize_dcs(&program, &SynthesisConfig::test_scale(mem))
+        .unwrap_or_else(|e| panic!("{}: synthesis failed: {e}", expr.output.name));
+    assert!(r.memory_bytes <= mem as f64 + 1e-6);
+    let rep = execute(&r.plan, &ExecOptions::full_test()).expect("execution");
+    let want = dense_reference(&program, default_input_gen);
+    let out = &expr.output.name;
+    for (k, (g, w)) in rep.outputs[out].iter().zip(&want[out]).enumerate() {
+        assert!(
+            (g - w).abs() < 1e-6 * (1.0 + w.abs()),
+            "{out}[{k}]: got {g}, want {w}"
+        );
+    }
+}
+
+#[test]
+fn ccsd_doubles_quadratic_pipeline() {
+    pipeline_check(&ccsd_doubles_quadratic(4, 6), 16 * 1024);
+}
+
+#[test]
+fn ccsd_ring_pipeline() {
+    pipeline_check(&ccsd_ring(5, 8), 8 * 1024);
+}
+
+#[test]
+fn triples_residual_pipeline() {
+    pipeline_check(&triples_residual(4, 5), 32 * 1024);
+}
+
+#[test]
+fn workloads_at_paper_scale_synthesize_quickly() {
+    // the Sec. 5 claim: DCS stays in seconds even for higher-order terms
+    let expr = ccsd_doubles_quadratic(40, 160);
+    let program = derive_program(&expr);
+    let started = std::time::Instant::now();
+    let r = synthesize_dcs(&program, &SynthesisConfig::new(2 << 30)).expect("synthesis");
+    assert!(
+        started.elapsed().as_secs() < 120,
+        "DCS took {:?}",
+        started.elapsed()
+    );
+    assert!(r.io_bytes > 0.0);
+    assert!(r.memory_bytes <= (2u64 << 30) as f64 + 1e-6);
+}
+
+#[test]
+fn parallel_workload_execution_agrees() {
+    let expr = ccsd_ring(5, 8);
+    let program = derive_program(&expr);
+    let r = synthesize_dcs(&program, &SynthesisConfig::test_scale(8 * 1024)).expect("synth");
+    let seq = execute(&r.plan, &ExecOptions::full_test()).expect("seq");
+    let par = execute(&r.plan, &ExecOptions::full_test().with_nproc(3)).expect("par");
+    for (a, b) in seq.outputs["R"].iter().zip(&par.outputs["R"]) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
