@@ -27,9 +27,7 @@ fn bench_codegen(c: &mut Criterion) {
             BenchmarkId::new("uniform_sampling_capped", format!("{n}x{v}")),
             &program,
             |b, p| {
-                b.iter(|| {
-                    black_box(synthesize(p, Approach::UniformSampling, NODE_MEM, true))
-                });
+                b.iter(|| black_box(synthesize(p, Approach::UniformSampling, NODE_MEM, true)));
             },
         );
     }

@@ -44,8 +44,7 @@ fn bench_parallel_io(c: &mut Criterion) {
     let program = four_index_fused(n, v);
     for nproc in [2usize, 4] {
         let r = synthesize(&program, Approach::Dcs, nproc as u64 * NODE_MEM, false);
-        let rep =
-            execute(&r.plan, &ExecOptions::dry_run().with_nproc(nproc)).expect("dry run");
+        let rep = execute(&r.plan, &ExecOptions::dry_run().with_nproc(nproc)).expect("dry run");
         println!(
             "[table4] {n}x{v} DCS P={nproc}: measured {:.0}s, {:.2} GB total",
             rep.elapsed_io_s,
@@ -56,9 +55,7 @@ fn bench_parallel_io(c: &mut Criterion) {
             &r.plan,
             |b, plan| {
                 b.iter(|| {
-                    black_box(
-                        execute(plan, &ExecOptions::dry_run().with_nproc(nproc)).unwrap(),
-                    )
+                    black_box(execute(plan, &ExecOptions::dry_run().with_nproc(nproc)).unwrap())
                 });
             },
         );

@@ -1,0 +1,50 @@
+//! Serial DLM vs the parallel portfolio on the paper's workloads.
+//!
+//! Measures the tentpole claim directly: the portfolio runs the same
+//! restarts concurrently, so on a multi-core host the wall-clock per
+//! solve drops while the objective never gets worse. The quality line
+//! printed per model shows the objectives side by side; `solver_race`
+//! (a plain binary, no criterion needed) prints the same comparison
+//! with explicit speedup numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tce_bench::solver_models;
+use tce_solver::{solve, SolveOptions, Strategy};
+
+fn bench_portfolio(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("portfolio_vs_serial");
+    group.sample_size(10);
+    for (name, model) in solver_models() {
+        group.bench_with_input(BenchmarkId::new("serial_dlm", name), &model, |b, m| {
+            b.iter(|| black_box(solve(m, &SolveOptions::new(7))));
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("portfolio_{threads}t"), name),
+            &model,
+            |b, m| {
+                b.iter(|| {
+                    black_box(solve(
+                        m,
+                        &SolveOptions::new(7).strategy(Strategy::Portfolio),
+                    ))
+                });
+            },
+        );
+        let serial = solve(&model, &SolveOptions::new(7)).solution;
+        let pf = solve(&model, &SolveOptions::new(7).strategy(Strategy::Portfolio)).solution;
+        println!(
+            "[portfolio] {name}: serial DLM {:.3e}, portfolio {:.3e} (never worse: {})",
+            serial.objective,
+            pf.objective,
+            pf.objective <= serial.objective
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_portfolio);
+criterion_main!(benches);

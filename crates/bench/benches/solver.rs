@@ -1,4 +1,4 @@
-//! Solver ablation: DLM vs CSA vs brute force on synthesis models.
+//! Solver ablation: DLM vs CSA vs the portfolio on synthesis models.
 //!
 //! DESIGN.md calls out the solver strategy as the paper's key design
 //! choice; this bench quantifies it on the actual DCS models of the
@@ -6,46 +6,51 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tce_core::model::build_model;
-use tce_ir::fixtures::{four_index_fused, two_index_paper};
-use tce_solver::{solve_csa, solve_dlm, CsaOptions, DlmOptions};
-use tce_tile::{enumerate_placements, tile_program};
-
-fn models() -> Vec<(&'static str, tce_solver::Model)> {
-    let mut out = Vec::new();
-    let two = two_index_paper();
-    let tiled = tile_program(&two);
-    let space = enumerate_placements(&tiled, 1 << 30).expect("space");
-    let dcs = build_model(&space, two.ranges(), 2 << 20, 1 << 20, true);
-    out.push(("two_index_paper", dcs.model));
-
-    let four = four_index_fused(140, 120);
-    let tiled = tile_program(&four);
-    let space = enumerate_placements(&tiled, 2 << 30).expect("space");
-    let dcs = build_model(&space, four.ranges(), 2 << 20, 1 << 20, true);
-    out.push(("four_index_140", dcs.model));
-    out
-}
+use tce_bench::solver_models;
+use tce_solver::{solve, SolveOptions, Strategy};
 
 fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_ablation");
     group.sample_size(10);
-    for (name, model) in models() {
+    for (name, model) in solver_models() {
         group.bench_with_input(BenchmarkId::new("dlm", name), &model, |b, m| {
-            b.iter(|| black_box(solve_dlm(m, &DlmOptions::new(7))));
+            b.iter(|| black_box(solve(m, &SolveOptions::new(7))));
         });
         group.bench_with_input(BenchmarkId::new("csa", name), &model, |b, m| {
-            b.iter(|| black_box(solve_csa(m, &CsaOptions::quick(7))));
+            b.iter(|| black_box(solve(m, &SolveOptions::new(7).strategy(Strategy::Csa))));
+        });
+        group.bench_with_input(BenchmarkId::new("portfolio", name), &model, |b, m| {
+            b.iter(|| {
+                black_box(solve(
+                    m,
+                    &SolveOptions::new(7).strategy(Strategy::Portfolio),
+                ))
+            });
         });
         // solution quality, printed once
-        let dlm = solve_dlm(&model, &DlmOptions::new(7));
-        let csa = solve_csa(&model, &CsaOptions::new(7));
+        let dlm = solve(&model, &SolveOptions::new(7)).solution;
+        let csa = solve(&model, &SolveOptions::new(7).strategy(Strategy::Csa)).solution;
+        let pf = solve(&model, &SolveOptions::new(7).strategy(Strategy::Portfolio)).solution;
         println!(
-            "[solver] {name}: DLM {:.3e} ({}), CSA {:.3e} ({})",
+            "[solver] {name}: DLM {:.3e} ({}), CSA {:.3e} ({}), portfolio {:.3e} ({})",
             dlm.objective,
-            if dlm.feasible { "feasible" } else { "infeasible" },
+            if dlm.feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            },
             csa.objective,
-            if csa.feasible { "feasible" } else { "infeasible" },
+            if csa.feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            },
+            pf.objective,
+            if pf.feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            },
         );
     }
     group.finish();

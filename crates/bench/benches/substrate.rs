@@ -46,9 +46,7 @@ fn bench_full_execution(c: &mut Criterion) {
     for nproc in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("two_index_96", nproc), &plan, |b, plan| {
             b.iter(|| {
-                black_box(
-                    execute(plan, &ExecOptions::full_test().with_nproc(nproc)).unwrap(),
-                )
+                black_box(execute(plan, &ExecOptions::full_test().with_nproc(nproc)).unwrap())
             });
         });
     }

@@ -1,0 +1,62 @@
+//! Serial-vs-portfolio race on the paper's synthesis models.
+//!
+//! Runs serial DLM and the portfolio (1 thread and all cores) on each
+//! model and prints wall-clock, objective, and speedup. Unlike the
+//! criterion benches this needs no extra features:
+//!
+//! ```text
+//! cargo run --release -p tce-bench --bin solver_race
+//! ```
+
+use std::time::Instant;
+use tce_bench::solver_models;
+use tce_solver::{solve, SolveOptions, Strategy};
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("solver race on {cores} core(s)\n");
+    println!(
+        "{:<20} {:>12} {:>12} {:>12} {:>9} {:>8}",
+        "model", "serial DLM", "pf 1t", "pf all", "speedup", "obj ok"
+    );
+    for (name, model) in solver_models() {
+        let t0 = Instant::now();
+        let serial = solve(&model, &SolveOptions::new(7)).solution;
+        let serial_t = t0.elapsed();
+
+        let t0 = Instant::now();
+        let pf1 = solve(
+            &model,
+            &SolveOptions::new(7)
+                .strategy(Strategy::Portfolio)
+                .threads(1),
+        )
+        .solution;
+        let pf1_t = t0.elapsed();
+
+        let t0 = Instant::now();
+        let pfn = solve(&model, &SolveOptions::new(7).strategy(Strategy::Portfolio)).solution;
+        let pfn_t = t0.elapsed();
+
+        assert_eq!(
+            pf1.point, pfn.point,
+            "{name}: portfolio result depends on thread count"
+        );
+        let speedup = pf1_t.as_secs_f64() / pfn_t.as_secs_f64().max(1e-9);
+        println!(
+            "{:<20} {:>12} {:>12} {:>12} {:>8.2}x {:>8}",
+            name,
+            format!("{:.0?}", serial_t),
+            format!("{:.0?}", pf1_t),
+            format!("{:.0?}", pfn_t),
+            speedup,
+            pfn.objective <= serial.objective + 1e-9,
+        );
+        println!(
+            "{:<20} objectives: serial {:.4e}, portfolio {:.4e}",
+            "", serial.objective, pfn.objective
+        );
+    }
+}

@@ -36,15 +36,30 @@ fn main() {
         ..Report::default()
     };
 
-    println!("# Paper table reproduction ({} ladder)\n", if fast { "capped" } else { "full" });
+    println!(
+        "# Paper table reproduction ({} ladder)\n",
+        if fast { "capped" } else { "full" }
+    );
     println!("## Table 1 — modeled system (parameters of the disk simulator)\n");
     let prof = DiskProfile::itanium2_osc();
     println!("| Parameter | Value |\n|---|---|");
     println!("| seek + op overhead | {:.1} ms |", prof.seek_s * 1e3);
-    println!("| read bandwidth | {:.0} MB/s |", prof.read_bw / (1 << 20) as f64);
-    println!("| write bandwidth | {:.0} MB/s |", prof.write_bw / (1 << 20) as f64);
-    println!("| min read block | {} MB |", prof.min_read_block / (1 << 20));
-    println!("| min write block | {} MB |\n", prof.min_write_block / (1 << 20));
+    println!(
+        "| read bandwidth | {:.0} MB/s |",
+        prof.read_bw / (1 << 20) as f64
+    );
+    println!(
+        "| write bandwidth | {:.0} MB/s |",
+        prof.write_bw / (1 << 20) as f64
+    );
+    println!(
+        "| min read block | {} MB |",
+        prof.min_read_block / (1 << 20)
+    );
+    println!(
+        "| min write block | {} MB |\n",
+        prof.min_write_block / (1 << 20)
+    );
 
     if which == "all" || which == "table2" {
         println!("## Table 2 — code generation time (2 GB memory limit)\n");
@@ -88,9 +103,17 @@ fn ablation_min_blocks() {
     for &(n, v) in &PAPER_SIZES {
         let p = four_index_fused(n, v);
         let variants: [(&str, bool, tce_core::ObjectiveKind); 3] = [
-            ("volume + blocks (paper)", true, tce_core::ObjectiveKind::Volume),
+            (
+                "volume + blocks (paper)",
+                true,
+                tce_core::ObjectiveKind::Volume,
+            ),
             ("volume, no blocks", false, tce_core::ObjectiveKind::Volume),
-            ("time objective, no blocks", false, tce_core::ObjectiveKind::Time),
+            (
+                "time objective, no blocks",
+                false,
+                tce_core::ObjectiveKind::Time,
+            ),
         ];
         for (label, enforce, objective) in variants {
             let mut config = SynthesisConfig::new(NODE_MEM);
@@ -118,7 +141,11 @@ fn block_sweep_study() {
     println!("## Block-size study (ref. [37]) — 16384² doubles, Table 1 disk\n");
     println!("| block (elems) | block (MB) | time (s) | seek share | bw fraction |\n|---|---|---|---|---|");
     let profile = DiskProfile::itanium2_osc();
-    for row in tce_trans::block_size_sweep(&profile, 1 << 14, &[32, 64, 128, 256, 512, 1024, 2048, 4096, 16384]) {
+    for row in tce_trans::block_size_sweep(
+        &profile,
+        1 << 14,
+        &[32, 64, 128, 256, 512, 1024, 2048, 4096, 16384],
+    ) {
         println!(
             "| {}² | {:.2} | {:.0} | {:.1}% | {:.2} |",
             row.block_elems,

@@ -178,8 +178,8 @@ pub fn table4(fast: bool, sizes: &[(u64, u64)]) -> Vec<Table4Row> {
             let total_mem = nproc as u64 * NODE_MEM;
             for approach in [Approach::UniformSampling, Approach::Dcs] {
                 let r = synthesize(&p, approach, total_mem, fast);
-                let rep = execute(&r.plan, &ExecOptions::dry_run().with_nproc(nproc))
-                    .expect("dry run");
+                let rep =
+                    execute(&r.plan, &ExecOptions::dry_run().with_nproc(nproc)).expect("dry run");
                 rows.push(Table4Row {
                     n,
                     v,
@@ -250,6 +250,35 @@ pub fn format_table4(rows: &[Table4Row]) -> String {
         ));
     }
     s
+}
+
+/// The DCS models the solver benches and the `solver_race` binary run
+/// on: the paper's two-index transform, the four-index transform at
+/// paper scale, and a CCSD doubles term from the operation-minimized
+/// workloads.
+pub fn solver_models() -> Vec<(&'static str, tce_solver::Model)> {
+    use tce_core::model::build_model;
+    use tce_tile::{enumerate_placements, tile_program};
+
+    let mut out = Vec::new();
+    let two = tce_ir::fixtures::two_index_paper();
+    let tiled = tile_program(&two);
+    let space = enumerate_placements(&tiled, 1 << 30).expect("space");
+    let dcs = build_model(&space, two.ranges(), 2 << 20, 1 << 20, true);
+    out.push(("two_index_paper", dcs.model));
+
+    let four = four_index_fused(140, 120);
+    let tiled = tile_program(&four);
+    let space = enumerate_placements(&tiled, 2 << 30).expect("space");
+    let dcs = build_model(&space, four.ranges(), 2 << 20, 1 << 20, true);
+    out.push(("four_index_140", dcs.model));
+
+    let ccsd = tce_opmin::derive_program(&tce_opmin::ccsd_doubles_quadratic(40, 80));
+    let tiled = tile_program(&ccsd);
+    let space = enumerate_placements(&tiled, 2 << 30).expect("space");
+    let dcs = build_model(&space, ccsd.ranges(), 2 << 20, 1 << 20, true);
+    out.push(("ccsd_doubles_40_80", dcs.model));
+    out
 }
 
 #[cfg(test)]

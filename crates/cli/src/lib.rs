@@ -13,9 +13,14 @@
 //! --mem <bytes|K|M|G>     memory limit (default 2G)
 //! --baseline              uniform-sampling pipeline instead of DCS
 //! --samples <k>           cap the baseline ladder at k points per index
-//! --strategy <dlm|csa>    DCS solver strategy (default dlm)
+//! --strategy <dlm|csa|portfolio|brute>
+//!                         DCS solver strategy (default dlm)
 //! --objective <volume|time> solver objective (default volume, the paper's)
 //! --seed <n>              solver seed
+//! --deadline <secs>       wall-clock budget for the solver phase
+//! --budget <evals>        cap on solver objective evaluations
+//! --threads <n>           portfolio worker threads (default: all cores)
+//! --explain               print the per-restart solver report
 //! --test-scale            unconstrained disk profile, no block minima
 //! --print <what>          plan,placements,ampl,tiles,code (comma list;
 //!                         default plan,tiles)
@@ -55,6 +60,14 @@ pub struct Cli {
     pub objective: tce_core::ObjectiveKind,
     /// Solver seed.
     pub seed: u64,
+    /// Wall-clock deadline for the solver phase, in seconds.
+    pub deadline: Option<f64>,
+    /// Cap on solver objective evaluations.
+    pub budget: Option<u64>,
+    /// Portfolio worker threads (`0` = all cores).
+    pub threads: usize,
+    /// Print the per-restart solver report.
+    pub explain: bool,
     /// Test-scale profile (no block minima).
     pub test_scale: bool,
     /// What to print after synthesis.
@@ -147,6 +160,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         strategy: Strategy::Dlm,
         objective: tce_core::ObjectiveKind::Volume,
         seed: 2004,
+        deadline: None,
+        budget: None,
+        threads: 0,
+        explain: false,
         test_scale: false,
         print: vec![PrintWhat::Tiles, PrintWhat::Plan],
         nproc: 1,
@@ -174,18 +191,16 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 cli.strategy = match value("--strategy")?.as_str() {
                     "dlm" => Strategy::Dlm,
                     "csa" => Strategy::Csa,
-                    other => {
-                        return Err(CliError(format!("unknown strategy `{other}`")))
-                    }
+                    "portfolio" => Strategy::Portfolio,
+                    "brute" => Strategy::BruteForce,
+                    other => return Err(CliError(format!("unknown strategy `{other}`"))),
                 }
             }
             "--objective" => {
                 cli.objective = match value("--objective")?.as_str() {
                     "volume" => tce_core::ObjectiveKind::Volume,
                     "time" => tce_core::ObjectiveKind::Time,
-                    other => {
-                        return Err(CliError(format!("unknown objective `{other}`")))
-                    }
+                    other => return Err(CliError(format!("unknown objective `{other}`"))),
                 }
             }
             "--seed" => {
@@ -193,6 +208,28 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     .parse()
                     .map_err(|_| CliError("--seed needs an integer".into()))?
             }
+            "--deadline" => {
+                let secs: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|_| CliError("--deadline needs seconds".into()))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(CliError("--deadline must be positive".into()));
+                }
+                cli.deadline = Some(secs);
+            }
+            "--budget" => {
+                cli.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|_| CliError("--budget needs an integer".into()))?,
+                )
+            }
+            "--threads" => {
+                cli.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| CliError("--threads needs an integer".into()))?
+            }
+            "--explain" => cli.explain = true,
             "--test-scale" => cli.test_scale = true,
             "--print" => {
                 cli.print = value("--print")?
@@ -241,6 +278,10 @@ fn synthesize(program: &Program, cli: &Cli) -> Result<SynthesisResult, CliError>
     config.strategy = cli.strategy;
     config.objective = cli.objective;
     config.seed = cli.seed;
+    config.deadline = cli.deadline.map(std::time::Duration::from_secs_f64);
+    config.max_evals = cli.budget;
+    config.threads = cli.threads;
+    config.telemetry = cli.explain;
     let result = if cli.baseline {
         synthesize_uniform_sampling(
             program,
@@ -273,10 +314,16 @@ pub fn run_cli(cli: &Cli) -> Result<String, CliError> {
         Command::Synthesize => {
             let r = synthesize(&program, cli)?;
             print_artifacts(&mut out, &program, &r, &cli.print);
+            if cli.explain {
+                print_report(&mut out, &r);
+            }
         }
         Command::Run => {
             let r = synthesize(&program, cli)?;
             print_artifacts(&mut out, &program, &r, &cli.print);
+            if cli.explain {
+                print_report(&mut out, &r);
+            }
             let opts = ExecOptions {
                 mode: if cli.full {
                     ExecMode::Full
@@ -293,8 +340,8 @@ pub fn run_cli(cli: &Cli) -> Result<String, CliError> {
                 inject_fault: None,
                 cache_block: None,
             };
-            let rep = execute(&r.plan, &opts)
-                .map_err(|e| CliError(format!("execution failed: {e}")))?;
+            let rep =
+                execute(&r.plan, &opts).map_err(|e| CliError(format!("execution failed: {e}")))?;
             let _ = writeln!(
                 out,
                 "executed on {} process(es): {:.3}s simulated I/O ({} ops, {:.3} MB), predicted {:.3}s",
@@ -322,6 +369,17 @@ pub fn run_cli(cli: &Cli) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+fn print_report(out: &mut String, r: &SynthesisResult) {
+    match &r.solver_report {
+        Some(report) => {
+            let _ = writeln!(out, "=== solver report ===\n{report}");
+        }
+        None => {
+            let _ = writeln!(out, "(no solver report: baseline pipeline)");
+        }
+    }
 }
 
 fn print_artifacts(out: &mut String, program: &Program, r: &SynthesisResult, what: &[PrintWhat]) {
@@ -429,6 +487,22 @@ mod tests {
         assert!(parse_args(&args("run f.tce --nproc 0")).is_err());
         assert!(parse_args(&args("run f.tce --print nonsense")).is_err());
         assert!(parse_args(&args("run f.tce --mem")).is_err());
+        assert!(parse_args(&args("run f.tce --deadline -2")).is_err());
+        assert!(parse_args(&args("run f.tce --budget soon")).is_err());
+        assert!(parse_args(&args("run f.tce --strategy magic")).is_err());
+    }
+
+    #[test]
+    fn parse_portfolio_flags() {
+        let cli = parse_args(&args(
+            "synthesize f.tce --strategy portfolio --deadline 2.5 --budget 500000 --threads 4 --explain",
+        ))
+        .unwrap();
+        assert_eq!(cli.strategy, Strategy::Portfolio);
+        assert_eq!(cli.deadline, Some(2.5));
+        assert_eq!(cli.budget, Some(500_000));
+        assert_eq!(cli.threads, 4);
+        assert!(cli.explain);
     }
 
     #[test]
@@ -464,6 +538,31 @@ mod tests {
         let out = run_cli(&cli).unwrap();
         assert!(out.contains("executed on 2 process(es)"), "{out}");
         assert!(out.contains("verification: max"), "{out}");
+    }
+
+    #[test]
+    fn explain_prints_solver_report() {
+        let file = write_fixture();
+        let cli = parse_args(&args(&format!(
+            "synthesize {file} --mem 8K --test-scale --strategy portfolio --budget 300000 --explain --print tiles"
+        )))
+        .unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("=== solver report ==="), "{out}");
+        assert!(out.contains("solver report: portfolio"), "{out}");
+        assert!(out.contains("dlm#0"), "{out}");
+        assert!(out.contains("csa#0"), "{out}");
+    }
+
+    #[test]
+    fn explain_on_baseline_reports_absence() {
+        let file = write_fixture();
+        let cli = parse_args(&args(&format!(
+            "synthesize {file} --mem 8K --test-scale --baseline --samples 3 --explain --print tiles"
+        )))
+        .unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("no solver report"), "{out}");
     }
 
     #[test]

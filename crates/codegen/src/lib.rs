@@ -16,4 +16,4 @@ pub mod plan;
 pub mod printer;
 
 pub use plan::{generate_plan, BufId, BufRef, BufferDecl, ComputeOp, ConcretePlan, Op};
-pub use printer::{print_plan, print_placements};
+pub use printer::{print_placements, print_plan};

@@ -4,8 +4,7 @@ use std::collections::HashMap;
 use tce_cost::{BufferShape, TileAssignment};
 use tce_ir::{ArrayId, ArrayKind, Index, NodeId, NodeKind, Program, Stmt};
 use tce_tile::{
-    CandidateSet, IntermediateChoice, Placement, PlacementSelection, SynthesisSpace,
-    TiledProgram,
+    CandidateSet, IntermediateChoice, Placement, PlacementSelection, SynthesisSpace, TiledProgram,
 };
 
 /// Identifies an in-memory buffer of a plan.
@@ -169,11 +168,7 @@ impl<'a> PlanBuilder<'a> {
         let name = format!(
             "{}_buf{}",
             self.tiled.base().array(array).name(),
-            if self
-                .buffers
-                .iter()
-                .any(|b| b.array == array)
-            {
+            if self.buffers.iter().any(|b| b.array == array) {
                 format!("_{}", self.buffers.len())
             } else {
                 String::new()
@@ -377,15 +372,13 @@ fn emit_node(tiled: &TiledProgram, node: NodeId, b: &mut PlanBuilder<'_>, out: &
                 Stmt::Contract { dst, lhs, rhs } => {
                     let stmt_node = node;
                     let lookup = |array: ArrayId| -> BufId {
-                        *b.use_buffers
-                            .get(&(array, stmt_node))
-                            .unwrap_or_else(|| {
-                                panic!(
-                                    "no buffer bound for array {} at statement {:?}",
-                                    tiled.base().array(array).name(),
-                                    stmt_node
-                                )
-                            })
+                        *b.use_buffers.get(&(array, stmt_node)).unwrap_or_else(|| {
+                            panic!(
+                                "no buffer bound for array {} at statement {:?}",
+                                tiled.base().array(array).name(),
+                                stmt_node
+                            )
+                        })
                     };
                     let band: Vec<Index> = tiled
                         .enclosing(node)
@@ -416,11 +409,7 @@ fn emit_node(tiled: &TiledProgram, node: NodeId, b: &mut PlanBuilder<'_>, out: &
 
 /// Extent of one buffer dimension under concrete ranges/tiles, as used by
 /// the executor: `Tile` dims clamp to the array bound.
-pub fn dim_extent(
-    shape: &BufferShape,
-    dim: usize,
-    plan: &ConcretePlan,
-) -> u64 {
+pub fn dim_extent(shape: &BufferShape, dim: usize, plan: &ConcretePlan) -> u64 {
     shape.extents(plan.program.ranges(), &plan.tiles)[dim]
 }
 

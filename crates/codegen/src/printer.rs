@@ -76,10 +76,18 @@ pub fn print_placements(
                 );
             }
             None => {
-                let wl: Vec<&str> =
-                    opt.write.candidates.iter().map(|c| c.label.as_str()).collect();
-                let rl: Vec<&str> =
-                    opt.read.candidates.iter().map(|c| c.label.as_str()).collect();
+                let wl: Vec<&str> = opt
+                    .write
+                    .candidates
+                    .iter()
+                    .map(|c| c.label.as_str())
+                    .collect();
+                let rl: Vec<&str> = opt
+                    .read
+                    .candidates
+                    .iter()
+                    .map(|c| c.label.as_str())
+                    .collect();
                 let _ = writeln!(
                     out,
                     "{aname}: In Memory | write: {} / read: {}",
@@ -158,12 +166,10 @@ fn print_ops(plan: &ConcretePlan, ops: &[Op], depth: usize, out: &mut String) {
                 );
             }
             Op::Compute(c) => {
-                let band: Vec<String> =
-                    c.band.iter().map(|i| format!("{i}I")).collect();
+                let band: Vec<String> = c.band.iter().map(|i| format!("{i}I")).collect();
                 let _ = writeln!(out, "{pad}FOR {}", band.join(", "));
                 let fmt_ref = |r: &crate::plan::BufRef| {
-                    let subs: Vec<String> =
-                        r.subscripts.iter().map(|i| format!("{i}I")).collect();
+                    let subs: Vec<String> = r.subscripts.iter().map(|i| format!("{i}I")).collect();
                     format!("{}[{}]", plan.buffer(r.buffer).name, subs.join(","))
                 };
                 let _ = writeln!(
@@ -192,8 +198,7 @@ pub fn plan_summary(plan: &ConcretePlan) -> String {
         .iter()
         .enumerate()
         .filter(|(k, a)| {
-            matches!(a.kind(), ArrayKind::Intermediate)
-                && !plan.on_disk(tce_ir::ArrayId(*k as u32))
+            matches!(a.kind(), ArrayKind::Intermediate) && !plan.on_disk(tce_ir::ArrayId(*k as u32))
         })
         .map(|(_, a)| a.name())
         .collect();
@@ -254,7 +259,10 @@ mod tests {
         assert!(text.contains("+="), "{text}");
         // buffer declarations with tile extents
         assert!(text.contains("double"), "{text}");
-        assert!(text.contains("Ti") || text.contains("T_i") || text.contains("[T"), "{text}");
+        assert!(
+            text.contains("Ti") || text.contains("T_i") || text.contains("[T"),
+            "{text}"
+        );
     }
 
     #[test]

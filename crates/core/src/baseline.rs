@@ -75,17 +75,18 @@ struct Costs {
 
 impl Costs {
     fn new(space: &SynthesisSpace) -> Self {
-        let per_set = |sets: &[tce_tile::CandidateSet]| -> (Vec<Vec<CostExpr>>, Vec<Vec<CostExpr>>) {
-            let io = sets
-                .iter()
-                .map(|s| s.candidates.iter().map(|c| c.total_io()).collect())
-                .collect();
-            let mem = sets
-                .iter()
-                .map(|s| s.candidates.iter().map(|c| c.memory()).collect())
-                .collect();
-            (io, mem)
-        };
+        let per_set =
+            |sets: &[tce_tile::CandidateSet]| -> (Vec<Vec<CostExpr>>, Vec<Vec<CostExpr>>) {
+                let io = sets
+                    .iter()
+                    .map(|s| s.candidates.iter().map(|c| c.total_io()).collect())
+                    .collect();
+                let mem = sets
+                    .iter()
+                    .map(|s| s.candidates.iter().map(|c| c.memory()).collect())
+                    .collect();
+                (io, mem)
+            };
         let (read_io, read_mem) = per_set(&space.reads);
         let (write_io, write_mem) = per_set(&space.writes);
         let inter_mem_in = space
@@ -296,9 +297,7 @@ fn blocks_ok(
             let r = &space.intermediates[k].read.candidates[*read];
             let need_w = capped_block(&space.intermediates[k].in_memory, ranges, min_write);
             let need_r = capped_block(&space.intermediates[k].in_memory, ranges, min_read);
-            if w.memory().eval(ranges, tiles) < need_w
-                || r.memory().eval(ranges, tiles) < need_r
-            {
+            if w.memory().eval(ranges, tiles) < need_w || r.memory().eval(ranges, tiles) < need_r {
                 return false;
             }
         }
@@ -344,8 +343,14 @@ pub fn synthesize_uniform_sampling(
             tiles.set(i.clone(), ladders[k][pos[k]]);
         }
         evals += 1;
-        if greedy_place(&space, &costs, &ranges, &tiles, config.mem_limit as f64, &mut sel)
-            && blocks_ok(&space, &costs, &sel, &ranges, &tiles, min_read, min_write)
+        if greedy_place(
+            &space,
+            &costs,
+            &ranges,
+            &tiles,
+            config.mem_limit as f64,
+            &mut sel,
+        ) && blocks_ok(&space, &costs, &sel, &ranges, &tiles, min_read, min_write)
         {
             let io = io_of(&costs, &sel, &ranges, &tiles);
             if best.as_ref().is_none_or(|(b, _, _)| io < *b) {
@@ -379,6 +384,7 @@ pub fn synthesize_uniform_sampling(
         &config.profile,
         evals,
         started,
+        None,
         None,
     ))
 }
@@ -417,8 +423,8 @@ mod tests {
         let p = two_index_fused(96, 64);
         let config = SynthesisConfig::test_scale(48 * 1024);
         let dcs = synthesize_dcs(&p, &config).expect("dcs");
-        let base = synthesize_uniform_sampling(&p, &BaselineOptions::new(config))
-            .expect("baseline");
+        let base =
+            synthesize_uniform_sampling(&p, &BaselineOptions::new(config)).expect("baseline");
         assert!(
             dcs.io_bytes <= base.io_bytes * 1.0001,
             "dcs {} vs baseline {}",

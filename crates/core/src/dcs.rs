@@ -8,7 +8,7 @@ use tce_codegen::{generate_plan, ConcretePlan};
 use tce_cost::TileAssignment;
 use tce_disksim::DiskProfile;
 use tce_ir::Program;
-use tce_solver::{solve_csa, solve_dlm, solve_brute_force, CsaOptions, DlmOptions, Strategy};
+use tce_solver::{DlmOptions, SolveOptions, SolverReport, Strategy};
 use tce_tile::{
     enumerate_placements, tile_program, PlacementError, PlacementSelection, SynthesisSpace,
     TiledProgram,
@@ -32,6 +32,17 @@ pub struct SynthesisConfig {
     pub seed: u64,
     /// DLM option overrides.
     pub dlm: Option<DlmOptions>,
+    /// Wall-clock deadline for the solver phase (portfolio/DLM/CSA honor
+    /// it at segment boundaries; brute force ignores it).
+    pub deadline: Option<Duration>,
+    /// Global solver evaluation budget (see
+    /// [`SolveOptions::max_evals`]).
+    pub max_evals: Option<u64>,
+    /// Worker threads for [`Strategy::Portfolio`] (`0` = all cores).
+    pub threads: usize,
+    /// Collect per-restart solver telemetry into
+    /// [`SynthesisResult::solver_report`].
+    pub telemetry: bool,
     /// What the solver minimizes: the paper's byte-volume objective or
     /// the predicted-time extension (see [`ObjectiveKind`]).
     pub objective: ObjectiveKind,
@@ -53,6 +64,10 @@ impl SynthesisConfig {
             strategy: Strategy::Dlm,
             seed: 2004,
             dlm: None,
+            deadline: None,
+            max_evals: None,
+            threads: 0,
+            telemetry: false,
             objective: ObjectiveKind::Volume,
             spatial_min_tile: 8,
         }
@@ -65,6 +80,72 @@ impl SynthesisConfig {
             enforce_min_blocks: false,
             ..SynthesisConfig::new(mem_limit)
         }
+    }
+
+    /// Sets the solver strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the solver seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets a wall-clock deadline for the solver phase.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the solver's total objective evaluations.
+    pub fn budget(mut self, max_evals: u64) -> Self {
+        self.max_evals = Some(max_evals);
+        self
+    }
+
+    /// Sets the portfolio thread count (`0` = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables solver telemetry collection.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Overrides the DLM options.
+    pub fn dlm_options(mut self, dlm: DlmOptions) -> Self {
+        self.dlm = Some(dlm);
+        self
+    }
+
+    /// Sets the solver objective.
+    pub fn objective(mut self, objective: ObjectiveKind) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// The [`SolveOptions`] this configuration hands to `tce_solver`.
+    pub fn solve_options(&self) -> SolveOptions {
+        let mut opts = SolveOptions::new(self.seed)
+            .strategy(self.strategy)
+            .threads(self.threads)
+            .telemetry(self.telemetry);
+        if let Some(deadline) = self.deadline {
+            opts = opts.deadline(deadline);
+        }
+        if let Some(budget) = self.max_evals {
+            opts = opts.max_evals(budget);
+        }
+        if let Some(dlm) = &self.dlm {
+            opts = opts.dlm(dlm.clone());
+        }
+        opts
     }
 }
 
@@ -121,6 +202,10 @@ pub struct SynthesisResult {
     /// The lowered DCS model (for AMPL export and inspection); `None`
     /// for the uniform-sampling baseline.
     pub dcs_model: Option<DcsModel>,
+    /// Per-restart solver telemetry; `Some` iff
+    /// [`SynthesisConfig::telemetry`] was enabled (always `None` for the
+    /// uniform-sampling baseline, which does not run the solver).
+    pub solver_report: Option<SolverReport>,
 }
 
 impl SynthesisResult {
@@ -143,6 +228,7 @@ pub(crate) fn assemble_result(
     solver_evals: u64,
     started: Instant,
     dcs_model: Option<DcsModel>,
+    solver_report: Option<SolverReport>,
 ) -> SynthesisResult {
     let ranges = tiled.base().ranges().clone();
     let tiles = tiles.clamped(&ranges);
@@ -162,6 +248,7 @@ pub(crate) fn assemble_result(
         solver_evals,
         codegen_time: started.elapsed(),
         dcs_model,
+        solver_report,
     }
 }
 
@@ -250,17 +337,8 @@ pub fn synthesize_dcs(
         config.objective,
         &config.profile,
     );
-    let solution = match config.strategy {
-        Strategy::Dlm => {
-            let opts = config
-                .dlm
-                .clone()
-                .unwrap_or_else(|| DlmOptions::new(config.seed));
-            solve_dlm(&dcs.model, &opts)
-        }
-        Strategy::Csa => solve_csa(&dcs.model, &CsaOptions::new(config.seed)),
-        Strategy::BruteForce => solve_brute_force(&dcs.model),
-    };
+    let outcome = tce_solver::solve(&dcs.model, &config.solve_options());
+    let solution = outcome.solution;
     if !solution.feasible {
         return Err(SynthesisError::Infeasible);
     }
@@ -282,6 +360,7 @@ pub fn synthesize_dcs(
         solution.evals,
         started,
         Some(dcs),
+        outcome.report,
     ))
 }
 
@@ -348,7 +427,10 @@ mod tests {
             let bytes = set.candidates[k]
                 .memory()
                 .eval(r.plan.program.ranges(), &r.tiles);
-            assert!(bytes + 1e-6 >= read_block, "read buffer {bytes} below block");
+            assert!(
+                bytes + 1e-6 >= read_block,
+                "read buffer {bytes} below block"
+            );
         }
     }
 
@@ -387,6 +469,27 @@ mod tests {
         spatial_adjust(&space, p.ranges(), &mut tight, &sel, 600, 8);
         let mem = space.total_memory(&sel).eval(p.ranges(), &tight);
         assert!(mem <= 600.0, "adjustment overflowed: {mem}");
+    }
+
+    #[test]
+    fn dcs_portfolio_with_telemetry_matches_config_builder() {
+        let p = two_index_fused(64, 48);
+        let config = SynthesisConfig::test_scale(64 * 1024)
+            .strategy(Strategy::Portfolio)
+            .seed(7)
+            .budget(400_000)
+            .threads(2)
+            .telemetry(true);
+        let r = synthesize_dcs(&p, &config).expect("synthesis");
+        assert!(r.memory_bytes <= 64.0 * 1024.0 + 1e-6);
+        let report = r.solver_report.as_ref().expect("telemetry on");
+        assert_eq!(report.strategy, "portfolio");
+        assert!(report.traces.iter().any(|t| t.label.starts_with("dlm#")));
+        assert!(report.traces.iter().any(|t| t.label.starts_with("csa#")));
+        // telemetry off by default
+        let serial = synthesize_dcs(&p, &SynthesisConfig::test_scale(64 * 1024).seed(7))
+            .expect("serial synthesis");
+        assert!(serial.solver_report.is_none());
     }
 
     #[test]

@@ -22,7 +22,12 @@ pub enum ObjectiveKind {
 }
 
 /// The per-placement cost expression under the chosen objective.
-fn placement_cost(p: &Placement, role: UseRole, kind: ObjectiveKind, profile: &DiskProfile) -> CostExpr {
+fn placement_cost(
+    p: &Placement,
+    role: UseRole,
+    kind: ObjectiveKind,
+    profile: &DiskProfile,
+) -> CostExpr {
     match kind {
         ObjectiveKind::Volume => p.total_io(),
         ObjectiveKind::Time => {
@@ -152,9 +157,7 @@ pub fn build_model_with(
     let mut block_constraints: Vec<(String, Expr)> = Vec::new();
 
     // helper: selector over candidate expressions
-    let mut selectors = SelectorBuilder {
-        model: &mut model,
-    };
+    let mut selectors = SelectorBuilder { model: &mut model };
 
     // a block can never be required to exceed the whole array: arrays
     // smaller than the minimum block are simply moved in one operation.
@@ -174,7 +177,13 @@ pub fn build_model_with(
         let ios: Vec<Expr> = set
             .candidates
             .iter()
-            .map(|c| lower_cost(&placement_cost(c, UseRole::Read, objective, profile), ranges, &tv))
+            .map(|c| {
+                lower_cost(
+                    &placement_cost(c, UseRole::Read, objective, profile),
+                    ranges,
+                    &tv,
+                )
+            })
             .collect();
         let mems: Vec<Expr> = set
             .candidates
@@ -205,7 +214,11 @@ pub fn build_model_with(
             .candidates
             .iter()
             .map(|c| {
-                lower_cost(&placement_cost(c, UseRole::Write, objective, profile), ranges, &tv)
+                lower_cost(
+                    &placement_cost(c, UseRole::Write, objective, profile),
+                    ranges,
+                    &tv,
+                )
             })
             .collect();
         let mems: Vec<Expr> = set
@@ -246,8 +259,16 @@ pub fn build_model_with(
                     read: ri,
                 });
                 ios.push(Expr::add(vec![
-                    lower_cost(&placement_cost(w, UseRole::Write, objective, profile), ranges, &tv),
-                    lower_cost(&placement_cost(r, UseRole::Read, objective, profile), ranges, &tv),
+                    lower_cost(
+                        &placement_cost(w, UseRole::Write, objective, profile),
+                        ranges,
+                        &tv,
+                    ),
+                    lower_cost(
+                        &placement_cost(r, UseRole::Read, objective, profile),
+                        ranges,
+                        &tv,
+                    ),
                 ]));
                 mems.push(Expr::add(vec![
                     lower_cost(&w.memory(), ranges, &tv),
@@ -266,8 +287,14 @@ pub fn build_model_with(
         let var = selectors.add(format!("p_inter_{k}"), choices.len());
         io_terms.push(select_or_single(var, ios));
         mem_terms.push(select_or_single(var, mems));
-        block_constraints.push((format!("block_inter_w_{k}"), select_or_single(var, blocks_w)));
-        block_constraints.push((format!("block_inter_r_{k}"), select_or_single(var, blocks_r)));
+        block_constraints.push((
+            format!("block_inter_w_{k}"),
+            select_or_single(var, blocks_w),
+        ));
+        block_constraints.push((
+            format!("block_inter_r_{k}"),
+            select_or_single(var, blocks_r),
+        ));
         inter_vars.push((var, choices));
     }
 
@@ -441,8 +468,24 @@ mod tests {
         let tiled = tile_program(&p);
         let space = enumerate_placements(&tiled, 1 << 20).expect("space");
         let profile = DiskProfile::unconstrained_test();
-        let vol = build_model_with(&space, p.ranges(), 0, 0, false, ObjectiveKind::Volume, &profile);
-        let time = build_model_with(&space, p.ranges(), 0, 0, false, ObjectiveKind::Time, &profile);
+        let vol = build_model_with(
+            &space,
+            p.ranges(),
+            0,
+            0,
+            false,
+            ObjectiveKind::Volume,
+            &profile,
+        );
+        let time = build_model_with(
+            &space,
+            p.ranges(),
+            0,
+            0,
+            false,
+            ObjectiveKind::Time,
+            &profile,
+        );
         let point = vol.model.lower_corner();
         let bytes = vol.model.objective_at(&point);
         let secs = time.model.objective_at(&point);

@@ -97,10 +97,24 @@ pub fn predict_io_time(
 ) -> PredictedTime {
     let mut t = PredictedTime::default();
     for (set, &k) in space.reads.iter().zip(&sel.reads) {
-        charge(&mut t, &set.candidates[k], UseRole::Read, ranges, tiles, profile);
+        charge(
+            &mut t,
+            &set.candidates[k],
+            UseRole::Read,
+            ranges,
+            tiles,
+            profile,
+        );
     }
     for (set, &k) in space.writes.iter().zip(&sel.writes) {
-        charge(&mut t, &set.candidates[k], UseRole::Write, ranges, tiles, profile);
+        charge(
+            &mut t,
+            &set.candidates[k],
+            UseRole::Write,
+            ranges,
+            tiles,
+            profile,
+        );
     }
     for (opt, choice) in space.intermediates.iter().zip(&sel.intermediates) {
         if let IntermediateChoice::OnDisk { write, read } = choice {

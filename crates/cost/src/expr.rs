@@ -233,9 +233,7 @@ impl CostExpr {
         let mut out: Vec<Index> = Vec::new();
         for t in &self.terms {
             for f in &t.factors {
-                if matches!(f, Factor::Tile(_) | Factor::NumTiles(_))
-                    && !out.contains(f.index())
-                {
+                if matches!(f, Factor::Tile(_) | Factor::NumTiles(_)) && !out.contains(f.index()) {
                     out.push(f.index().clone());
                 }
             }
@@ -290,10 +288,7 @@ impl TileAssignment {
 
     /// All tile sizes equal to the full extent (no effective tiling).
     pub fn full(ranges: &RangeMap) -> Self {
-        ranges
-            .iter()
-            .map(|(i, e)| (i.clone(), e))
-            .collect()
+        ranges.iter().map(|(i, e)| (i.clone(), e)).collect()
     }
 
     /// All tile sizes equal to 1.
@@ -401,10 +396,7 @@ mod tests {
     #[test]
     fn like_terms_merge() {
         let a = CostExpr::from_term(Term::new(2.0, vec![Factor::Tile(idx("i"))]));
-        let b = CostExpr::from_term(Term::new(
-            3.0,
-            vec![Factor::Tile(idx("i"))],
-        ));
+        let b = CostExpr::from_term(Term::new(3.0, vec![Factor::Tile(idx("i"))]));
         let s = a.add(&b);
         assert_eq!(s.terms.len(), 1);
         assert_eq!(s.terms[0].coeff, 5.0);
@@ -421,8 +413,8 @@ mod tests {
     #[test]
     fn mul_distributes() {
         let (r, t) = env();
-        let a = CostExpr::factor(Factor::Tile(idx("i")))
-            .add(&CostExpr::factor(Factor::Tile(idx("j"))));
+        let a =
+            CostExpr::factor(Factor::Tile(idx("i"))).add(&CostExpr::factor(Factor::Tile(idx("j"))));
         let b = CostExpr::factor(Factor::Extent(idx("n"))).add(&CostExpr::constant(2.0));
         let prod = a.mul(&b);
         let lhs = prod.eval(&r, &t);
@@ -433,14 +425,8 @@ mod tests {
 
     #[test]
     fn factor_ordering_is_canonical() {
-        let t1 = Term::new(
-            1.0,
-            vec![Factor::Tile(idx("j")), Factor::Extent(idx("i"))],
-        );
-        let t2 = Term::new(
-            1.0,
-            vec![Factor::Extent(idx("i")), Factor::Tile(idx("j"))],
-        );
+        let t1 = Term::new(1.0, vec![Factor::Tile(idx("j")), Factor::Extent(idx("i"))]);
+        let t2 = Term::new(1.0, vec![Factor::Extent(idx("i")), Factor::Tile(idx("j"))]);
         assert_eq!(t1, t2);
     }
 

@@ -34,10 +34,7 @@ fn arb_factor() -> impl Strategy<Value = Factor> {
 }
 
 fn arb_term() -> impl Strategy<Value = Term> {
-    (
-        -4.0f64..4.0,
-        proptest::collection::vec(arb_factor(), 0..4),
-    )
+    (-4.0f64..4.0, proptest::collection::vec(arb_factor(), 0..4))
         .prop_map(|(c, fs)| Term::new(c, fs))
 }
 

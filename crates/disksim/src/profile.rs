@@ -132,7 +132,12 @@ mod tests {
         let p = DiskProfile::itanium2_osc();
         let block = p.min_read_block;
         let transfer = block as f64 / p.read_bw;
-        assert!(p.seek_s < 0.3 * transfer, "seek {} transfer {}", p.seek_s, transfer);
+        assert!(
+            p.seek_s < 0.3 * transfer,
+            "seek {} transfer {}",
+            p.seek_s,
+            transfer
+        );
     }
 
     #[test]

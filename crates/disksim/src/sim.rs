@@ -160,10 +160,7 @@ impl SimDisk {
 
     /// True if `name` exists and holds real data (not a dry file).
     pub fn is_materialized(&self, name: &str) -> bool {
-        matches!(
-            self.inner.lock().files.get(name),
-            Some(FileData::Real(_))
-        )
+        matches!(self.inner.lock().files.get(name), Some(FileData::Real(_)))
     }
 
     /// Length (elements) of `name`.
@@ -178,11 +175,7 @@ impl SimDisk {
 
     /// Fills a materialized file with values from a generator (used to
     /// load synthetic input tensors without charging I/O time).
-    pub fn fill_with(
-        &self,
-        name: &str,
-        mut gen: impl FnMut(u64) -> f64,
-    ) -> Result<(), DiskError> {
+    pub fn fill_with(&self, name: &str, mut gen: impl FnMut(u64) -> f64) -> Result<(), DiskError> {
         let mut inner = self.inner.lock();
         match inner.files.get_mut(name) {
             None => Err(DiskError::NoSuchFile(name.to_string())),
@@ -396,7 +389,8 @@ mod tests {
     fn zero_write_clears_region() {
         let d = disk();
         d.create("A", 4, true);
-        d.write("A", 0, WriteSrc::Data(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        d.write("A", 0, WriteSrc::Data(&[1.0, 2.0, 3.0, 4.0]))
+            .unwrap();
         d.write("A", 1, WriteSrc::Zeros(2)).unwrap();
         assert_eq!(d.snapshot("A").unwrap(), vec![1.0, 0.0, 0.0, 4.0]);
     }

@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use tce_codegen::{BufId, ComputeOp, ConcretePlan, Op};
 use tce_cost::DimExtent;
 use tce_disksim::{DiskProfile, IoStats};
-use tce_ga::{chunk, run_parallel, DraError, DraRuntime, GlobalArray, ProcCtx, Section, SectionSrc};
+use tce_ga::{
+    chunk, run_parallel, DraError, DraRuntime, GlobalArray, ProcCtx, Section, SectionSrc,
+};
 use tce_ir::{ArrayKind, Index};
 
 /// How a plan is executed.
@@ -590,12 +592,7 @@ mod tests {
     use tce_ir::fixtures::two_index_fused;
     use tce_tile::{enumerate_placements, tile_program, IntermediateChoice};
 
-    fn build_plan(
-        n: u64,
-        v: u64,
-        tiles: &TileAssignment,
-        spill_t: bool,
-    ) -> ConcretePlan {
+    fn build_plan(n: u64, v: u64, tiles: &TileAssignment, spill_t: bool) -> ConcretePlan {
         let p = two_index_fused(n, v);
         let tiled = tile_program(&p);
         let space = enumerate_placements(&tiled, 1 << 30).expect("space");

@@ -367,12 +367,14 @@ mod tests {
     fn errors_are_reported() {
         let d = rt(1);
         assert!(matches!(
-            d.read_section(0, "X", &Section::full(&[1]), None).unwrap_err(),
+            d.read_section(0, "X", &Section::full(&[1]), None)
+                .unwrap_err(),
             DraError::NoSuchArray(_)
         ));
         d.create("A", &[2, 2], false);
         assert!(matches!(
-            d.read_section(0, "A", &Section::full(&[4]), None).unwrap_err(),
+            d.read_section(0, "A", &Section::full(&[4]), None)
+                .unwrap_err(),
             DraError::BadSection(_)
         ));
         assert!(matches!(

@@ -167,11 +167,12 @@ mod tests {
     #[test]
     fn chunks_partition_evenly() {
         // 10 over 4 → 3,3,2,2
-        let sizes: Vec<u64> = (0..4).map(|r| {
-            let (s, e) = chunk(10, r, 4);
-            e - s
-        })
-        .collect();
+        let sizes: Vec<u64> = (0..4)
+            .map(|r| {
+                let (s, e) = chunk(10, r, 4);
+                e - s
+            })
+            .collect();
         assert_eq!(sizes, vec![3, 3, 2, 2]);
         // contiguous cover
         let mut cursor = 0;

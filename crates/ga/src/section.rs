@@ -94,8 +94,12 @@ pub fn section_runs(dims: &[u64], sec: &Section) -> Vec<(u64, u64)> {
     let mut counter: Vec<u64> = sec.lo[..outer].to_vec();
     let mut runs = Vec::new();
     loop {
-        let offset: u64 =
-            base + counter.iter().enumerate().map(|(k, &c)| c * st[k]).sum::<u64>();
+        let offset: u64 = base
+            + counter
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| c * st[k])
+                .sum::<u64>();
         runs.push((offset, run_len));
         // advance the odometer
         let mut k = outer;

@@ -189,7 +189,10 @@ mod tests {
         assert_eq!(t1.rank(), 4);
         let prod = p.producers(t1id);
         let cons = p.consumers(t1id);
-        assert_eq!(p.tree().lca(*prod.last().unwrap(), cons[0]), p.tree().root());
+        assert_eq!(
+            p.tree().lca(*prod.last().unwrap(), cons[0]),
+            p.tree().root()
+        );
         // statement count: 2 inits + 1 contraction in nest 1, B init,
         // T3 init, T2 init... count leaves
         assert_eq!(p.tree().statements().len(), 8);

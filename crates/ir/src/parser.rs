@@ -335,8 +335,7 @@ impl Parser {
                 let lhs = self.array_ref()?;
                 self.expect(Tok::Star)?;
                 let rhs = self.array_ref()?;
-                self.tree
-                    .add_stmt(parent, Stmt::Contract { dst, lhs, rhs });
+                self.tree.add_stmt(parent, Stmt::Contract { dst, lhs, rhs });
                 Ok(())
             }
             other => {
@@ -473,7 +472,8 @@ mod tests {
 
     #[test]
     fn error_reports_line() {
-        let src = "input A[i]\ninput B[i]\noutput O[i]\nrange i = 2\nfor i { O[i] += A[i] ** B[i] }";
+        let src =
+            "input A[i]\ninput B[i]\noutput O[i]\nrange i = 2\nfor i { O[i] += A[i] ** B[i] }";
         let e = parse_program(src).unwrap_err();
         assert_eq!(e.line, Some(5));
     }

@@ -163,11 +163,7 @@ impl Program {
         Program::new(self.arrays.clone(), ranges, self.tree.clone())
     }
 
-    fn check_ref(
-        &self,
-        r: &ArrayRef,
-        enclosing: &[Index],
-    ) -> Result<(), ValidationError> {
+    fn check_ref(&self, r: &ArrayRef, enclosing: &[Index]) -> Result<(), ValidationError> {
         let decl = self
             .arrays
             .get(r.array.as_usize())
@@ -203,10 +199,7 @@ impl Program {
             if !self.ranges.contains(&idx) {
                 return Err(ValidationError::MissingRange(idx.name().to_string()));
             }
-            if self
-                .tree
-                .enclosing_indices(l).contains(&idx)
-            {
+            if self.tree.enclosing_indices(l).contains(&idx) {
                 return Err(ValidationError::NestedIndexReuse(idx.name().to_string()));
             }
         }
@@ -310,8 +303,7 @@ impl ProgramBuilder {
     /// innermost loop.
     pub fn loops(&mut self, parent: Option<NodeId>, indices: &[&str]) -> NodeId {
         let parent = parent.unwrap_or_else(|| self.tree.root());
-        self.tree
-            .add_loops(parent, indices.iter().map(Index::new))
+        self.tree.add_loops(parent, indices.iter().map(Index::new))
     }
 
     /// Adds `dst[...] = 0` under `parent`.
@@ -365,7 +357,10 @@ mod tests {
         let c1 = b.array("C1", &["m", "i"], ArrayKind::Input);
         let t = b.array("T", &["n", "i"], ArrayKind::Intermediate);
         let bb = b.array("B", &["m", "n"], ArrayKind::Output);
-        b.range("i", 40).range("j", 40).range("m", 35).range("n", 35);
+        b.range("i", 40)
+            .range("j", 40)
+            .range("m", 35)
+            .range("n", 35);
         let ni = b.loops(None, &["i", "n"]);
         b.init(ni, t, &["n", "i"]);
         let lj = b.loops(Some(ni), &["j"]);

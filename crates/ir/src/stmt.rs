@@ -110,9 +110,6 @@ mod tests {
         assert!(s.references(ArrayId(2)));
         assert!(!s.references(ArrayId(3)));
         // first-use order, duplicates removed
-        assert_eq!(
-            s.indices(),
-            vec![idx("n"), idx("i"), idx("j")],
-        );
+        assert_eq!(s.indices(), vec![idx("n"), idx("i"), idx("j")],);
     }
 }

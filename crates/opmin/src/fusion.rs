@@ -4,9 +4,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
-use tce_ir::{
-    ArrayId, ArrayKind, Index, NodeId, NodeKind, Program, RangeMap, Stmt, Tree,
-};
+use tce_ir::{ArrayId, ArrayKind, Index, NodeId, NodeKind, Program, RangeMap, Stmt, Tree};
 
 /// Per-intermediate memory effect of the program's fusion structure.
 #[derive(Clone, Debug)]
@@ -189,12 +187,9 @@ pub fn fused_display_form(program: &Program) -> String {
             NodeKind::Stmt(s) => {
                 let line = match s {
                     Stmt::Init { dst } => format!("{} = 0", fmt_ref(dst)),
-                    Stmt::Contract { dst, lhs, rhs } => format!(
-                        "{} += {} * {}",
-                        fmt_ref(dst),
-                        fmt_ref(lhs),
-                        fmt_ref(rhs)
-                    ),
+                    Stmt::Contract { dst, lhs, rhs } => {
+                        format!("{} += {} * {}", fmt_ref(dst), fmt_ref(lhs), fmt_ref(rhs))
+                    }
                 };
                 let _ = writeln!(out, "{pad}{line}");
             }
@@ -256,7 +251,9 @@ pub fn fuse_nests(program: &Program, nests: &[usize]) -> Result<Program, FuseErr
     let tree = program.tree();
     let top = tree.children(tree.root()).to_vec();
     if nests.len() < 2 {
-        return Err(FuseError::BadNestSelection("need at least two nests".into()));
+        return Err(FuseError::BadNestSelection(
+            "need at least two nests".into(),
+        ));
     }
     let mut seen = Vec::new();
     for &k in nests {
@@ -426,7 +423,10 @@ mod tests {
         assert!(text.contains("T3[c,s] += C2[r,c] * T2"), "{text}");
         assert!(text.contains("B[a,b,c,d] += C1[s,d] * T3[c,s]"), "{text}");
         // T1 keeps all four subscripts (nothing fused across the nests)
-        assert!(text.contains("T1[a,q,r,s] += C4[p,a] * A[p,q,r,s]"), "{text}");
+        assert!(
+            text.contains("T1[a,q,r,s] += C4[p,a] * A[p,q,r,s]"),
+            "{text}"
+        );
     }
 
     #[test]

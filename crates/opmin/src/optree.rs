@@ -211,13 +211,12 @@ pub fn optimize_contraction_order(expr: &SumOfProducts) -> (ContractionTree, Tre
                     // each operand carries only the indices still needed
                     // outside its own subset; the contraction iterates
                     // the union of those result indices
-                    let union = (covered[left] & external[left])
-                        | (covered[right] & external[right]);
+                    let union =
+                        (covered[left] & external[left]) | (covered[right] & external[right]);
                     let flops = 2.0 * extent(union);
                     let total = cl + cr + flops;
                     if best_here.as_ref().is_none_or(|(b, _)| total < *b) {
-                        let result_mask =
-                            (covered[left] | covered[right]) & external[s];
+                        let result_mask = (covered[left] | covered[right]) & external[s];
                         let result: Vec<Index> = index_universe
                             .iter()
                             .enumerate()

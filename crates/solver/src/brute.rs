@@ -15,7 +15,12 @@ pub const BRUTE_FORCE_LIMIT: u64 = 20_000_000;
 /// # Panics
 ///
 /// Panics if the search space exceeds [`BRUTE_FORCE_LIMIT`] points.
+#[deprecated(note = "use `tce_solver::solve` with `SolveOptions` (Strategy::BruteForce)")]
 pub fn solve_brute_force(model: &Model) -> Solution {
+    solve_brute_force_impl(model)
+}
+
+pub(crate) fn solve_brute_force_impl(model: &Model) -> Solution {
     let size = model.space_size();
     assert!(
         size <= BRUTE_FORCE_LIMIT,
@@ -75,7 +80,7 @@ pub fn solve_brute_force(model: &Model) -> Solution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dlm::{solve_dlm, DlmOptions};
+    use crate::dlm::DlmOptions;
     use crate::model::{ConstraintOp, Domain, Expr, Model};
 
     fn small_model() -> Model {
@@ -104,7 +109,7 @@ mod tests {
 
     #[test]
     fn brute_force_finds_optimum() {
-        let s = solve_brute_force(&small_model());
+        let s = solve_brute_force_impl(&small_model());
         assert!(s.feasible);
         // p=1: t ≤ 24 → ceil(60/24)=3, +2 → 5; p=0: t ≤ 6 → ceil(60/6)=10 → 10.
         assert_eq!(s.objective, 5.0, "point {:?}", s.point);
@@ -113,8 +118,8 @@ mod tests {
     #[test]
     fn dlm_matches_brute_force_on_small_model() {
         let m = small_model();
-        let bf = solve_brute_force(&m);
-        let dlm = solve_dlm(&m, &DlmOptions::quick(17));
+        let bf = solve_brute_force_impl(&m);
+        let dlm = crate::dlm::solve_dlm_impl(&m, &DlmOptions::quick(17));
         assert!(dlm.feasible);
         assert_eq!(dlm.objective, bf.objective);
     }
@@ -125,7 +130,7 @@ mod tests {
         let t = m.add_var("t", Domain::Int { lo: 0, hi: 3 });
         m.objective = Expr::Var(t);
         m.add_constraint("no", Expr::Var(t), ConstraintOp::Ge, 10.0);
-        let s = solve_brute_force(&m);
+        let s = solve_brute_force_impl(&m);
         assert!(!s.feasible);
         assert_eq!(s.point[0], 3); // closest to satisfying t ≥ 10
     }
@@ -137,6 +142,6 @@ mod tests {
         for k in 0..8 {
             m.add_var(format!("v{k}"), Domain::Int { lo: 0, hi: 100 });
         }
-        let _ = solve_brute_force(&m);
+        let _ = solve_brute_force_impl(&m);
     }
 }

@@ -6,12 +6,18 @@
 //! probability `exp(−Δ/T)`; multiplier moves do the opposite (increases of
 //! `L` via λ are accepted, pushing the walk toward feasibility). The
 //! temperature follows a geometric cooling schedule.
+//!
+//! Like DLM restarts, a chain is a resumable state machine ([`CsaTask`])
+//! so the [portfolio](crate::portfolio) can interleave it with other
+//! tasks in evaluation-sized segments without changing its trajectory.
 
+use crate::dlm::RestartResult;
 use crate::model::{Model, Solution, FEAS_TOL};
+use crate::telemetry::{Recorder, Sink, Termination};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-/// Options for [`solve_csa`].
+/// Options for the CSA strategy.
 #[derive(Clone, Debug)]
 pub struct CsaOptions {
     /// RNG seed.
@@ -48,6 +54,12 @@ impl CsaOptions {
             levels: 120,
             ..CsaOptions::new(seed)
         }
+    }
+
+    /// Lagrangian evaluations a full chain performs in the worst case
+    /// (one per attempted move, plus the initial point).
+    pub(crate) fn natural_budget(&self) -> u64 {
+        (self.levels as u64) * (self.moves_per_temp as u64) + 1
     }
 }
 
@@ -88,22 +100,111 @@ fn perturb_var(model: &Model, x: &mut [i64], rng: &mut StdRng) -> (usize, i64) {
     (vi, old)
 }
 
-/// Runs CSA and returns the best feasible point seen (or the best
-/// infeasible one if the walk never reached feasibility).
-pub fn solve_csa(model: &Model, opts: &CsaOptions) -> Solution {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut x = model.lower_corner();
-    model.clamp(&mut x);
-    let mut lambda = vec![1.0f64; model.constraints().len()];
-    let f_scale = model.objective_at(&x).abs().max(1.0);
+/// One annealing chain as a resumable state machine.
+pub(crate) struct CsaTask<'m> {
+    model: &'m Model,
+    moves_per_temp: u32,
+    levels: u32,
+    cooling: f64,
+    p_var_move: f64,
+    rng: StdRng,
+    x: Vec<i64>,
+    lambda: Vec<f64>,
+    f_scale: f64,
+    cur: f64,
+    temp: f64,
+    level: u32,
+    mv: u32,
+    attempted: u64,
+    evals: u64,
+    budget: u64,
+    best: Option<(Vec<i64>, f64, bool)>,
+    /// Whether the best point improved since the last incumbent check
+    /// (used by the portfolio's pruning rule).
+    improved_since_check: bool,
+    done: bool,
+    termination: Termination,
+}
 
-    let mut cur = lagrangian(model, &x, &lambda, f_scale);
-    let mut evals = 1u64;
-    let mut best: Option<(Vec<i64>, f64, bool)> = None;
-    let consider = |x: &[i64], best: &mut Option<(Vec<i64>, f64, bool)>| {
-        let feasible = model.is_feasible(x, FEAS_TOL);
-        let obj = model.objective_at(x);
-        let better = match best {
+impl<'m> CsaTask<'m> {
+    /// `budget` caps the chain's Lagrangian evaluations; pass
+    /// `u64::MAX` for the classic unbounded schedule.
+    pub(crate) fn new(model: &'m Model, opts: &CsaOptions, budget: u64) -> Self {
+        let rng = StdRng::seed_from_u64(opts.seed);
+        let mut x = model.lower_corner();
+        model.clamp(&mut x);
+        let lambda = vec![1.0f64; model.constraints().len()];
+        let f_scale = model.objective_at(&x).abs().max(1.0);
+        let cur = lagrangian(model, &x, &lambda, f_scale);
+        let mut task = CsaTask {
+            model,
+            moves_per_temp: opts.moves_per_temp,
+            levels: opts.levels,
+            cooling: opts.cooling,
+            p_var_move: opts.p_var_move,
+            rng,
+            x,
+            lambda,
+            f_scale,
+            cur,
+            temp: opts.t_init,
+            level: 0,
+            mv: 0,
+            attempted: 0,
+            evals: 1,
+            budget,
+            best: None,
+            improved_since_check: true,
+            done: false,
+            termination: Termination::Completed,
+        };
+        let x0 = task.x.clone();
+        task.consider(&x0, &mut crate::telemetry::Noop);
+        task
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.done
+    }
+
+    pub(crate) fn best_feasible(&self) -> Option<f64> {
+        match &self.best {
+            Some((_, obj, true)) => Some(*obj),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn abort(&mut self, termination: Termination) {
+        if !self.done {
+            self.done = true;
+            self.termination = termination;
+        }
+    }
+
+    /// The portfolio's pruning rule: when the shared incumbent is strictly
+    /// better than anything this chain has found and the chain did not
+    /// improve during the last round, stop spending budget on it. Called
+    /// at round barriers only, with an incumbent derived from *all*
+    /// tasks' state, so the outcome is independent of thread schedule.
+    pub(crate) fn note_incumbent(&mut self, incumbent: Option<f64>) {
+        if !self.done {
+            if let Some(inc) = incumbent {
+                let behind = match &self.best {
+                    Some((_, obj, feas)) => !*feas || *obj > inc,
+                    None => true,
+                };
+                if behind && !self.improved_since_check {
+                    self.abort(Termination::PrunedByIncumbent);
+                }
+            }
+        }
+        self.improved_since_check = false;
+    }
+
+    fn consider<S: Sink>(&mut self, x: &[i64], sink: &mut S) {
+        let feasible = self.model.is_feasible(x, FEAS_TOL);
+        let obj = self.model.objective_at(x);
+        let better = match &self.best {
             None => true,
             Some((_, bobj, bfeas)) => match (feasible, *bfeas) {
                 (true, false) => true,
@@ -112,63 +213,183 @@ pub fn solve_csa(model: &Model, opts: &CsaOptions) -> Solution {
             },
         };
         if better {
-            *best = Some((x.to_vec(), obj, feasible));
+            self.best = Some((x.to_vec(), obj, feasible));
+            self.improved_since_check = true;
+            if S::ENABLED {
+                sink.improvement(self.evals, obj, feasible);
+            }
         }
-    };
-    consider(&x, &mut best);
+    }
 
-    let mut temp = opts.t_init;
-    for _level in 0..opts.levels {
-        for _mv in 0..opts.moves_per_temp {
-            if rng.random::<f64>() < opts.p_var_move || lambda.is_empty() {
-                let (vi, old) = perturb_var(model, &mut x, &mut rng);
-                if x[vi] == old {
-                    continue;
-                }
-                let cand = lagrangian(model, &x, &lambda, f_scale);
-                evals += 1;
-                let delta = cand - cur;
-                if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
-                    cur = cand;
-                    consider(&x, &mut best);
-                } else {
-                    x[vi] = old; // reject
-                }
+    /// Advances the chain by roughly `quota` evaluations; returns true
+    /// when the chain is finished.
+    pub(crate) fn step<S: Sink>(&mut self, quota: u64, sink: &mut S) -> bool {
+        let stop = self.evals.saturating_add(quota);
+        loop {
+            if self.done {
+                return true;
+            }
+            if self.level >= self.levels {
+                self.done = true;
+                return true;
+            }
+            if self.evals >= self.budget {
+                self.abort(Termination::EvalBudget);
+                return true;
+            }
+            self.one_move(sink);
+            self.attempted += 1;
+            self.mv += 1;
+            if self.mv == self.moves_per_temp {
+                self.mv = 0;
+                self.level += 1;
+                self.temp *= self.cooling;
+            }
+            if self.evals >= stop {
+                // a follow-up step() call observes any just-finished
+                // schedule; report "not done" conservatively here
+                return false;
+            }
+        }
+    }
+
+    fn one_move<S: Sink>(&mut self, sink: &mut S) {
+        if self.rng.random::<f64>() < self.p_var_move || self.lambda.is_empty() {
+            let (vi, old) = perturb_var(self.model, &mut self.x, &mut self.rng);
+            if self.x[vi] == old {
+                return;
+            }
+            let cand = lagrangian(self.model, &self.x, &self.lambda, self.f_scale);
+            self.evals += 1;
+            let delta = cand - self.cur;
+            if delta <= 0.0 || self.rng.random::<f64>() < (-delta / self.temp).exp() {
+                self.cur = cand;
+                let x = self.x.clone();
+                self.consider(&x, sink);
             } else {
-                // multiplier move: raise λ of a random violated constraint
-                let violated: Vec<usize> = model
-                    .constraints()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| c.violation_norm(&x) > FEAS_TOL)
-                    .map(|(k, _)| k)
-                    .collect();
-                if let Some(&k) = violated.get(rng.random_range(0..violated.len().max(1))) {
-                    // raising λ increases L at the current (violated) point;
-                    // CSA accepts λ-increasing moves to drive feasibility
-                    lambda[k] *= 1.0 + rng.random::<f64>();
-                    cur = lagrangian(model, &x, &lambda, f_scale);
-                    evals += 1;
+                self.x[vi] = old; // reject
+            }
+        } else {
+            // multiplier move: raise λ of a random violated constraint
+            let violated: Vec<usize> = self
+                .model
+                .constraints()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.violation_norm(&self.x) > FEAS_TOL)
+                .map(|(k, _)| k)
+                .collect();
+            if let Some(&k) = violated.get(self.rng.random_range(0..violated.len().max(1))) {
+                // raising λ increases L at the current (violated) point;
+                // CSA accepts λ-increasing moves to drive feasibility
+                self.lambda[k] *= 1.0 + self.rng.random::<f64>();
+                self.cur = lagrangian(self.model, &self.x, &self.lambda, self.f_scale);
+                self.evals += 1;
+                if S::ENABLED {
+                    let max = self.lambda.iter().fold(0.0f64, |a, &l| a.max(l.abs()));
+                    sink.multipliers(max);
                 }
             }
         }
-        temp *= opts.cooling;
     }
 
-    let (point, objective, feasible) = best.expect("initial point always considered");
-    Solution {
-        point,
-        objective,
-        feasible,
-        evals,
-        iterations: (opts.levels as u64) * (opts.moves_per_temp as u64),
+    pub(crate) fn result(&self) -> RestartResult {
+        let (point, objective, feasible) =
+            self.best.clone().expect("initial point always considered");
+        RestartResult {
+            point,
+            objective,
+            feasible,
+            evals: self.evals,
+            iters: self.attempted,
+            termination: self.termination,
+        }
     }
+}
+
+/// Outcome of a full CSA run (one chain), with an optional trace.
+pub(crate) struct CsaRun {
+    pub solution: Solution,
+    pub traces: Vec<crate::telemetry::RestartTrace>,
+}
+
+/// Runs one annealing chain to completion, optionally recording a trace.
+/// `budget` caps Lagrangian evaluations (`u64::MAX` = the full schedule);
+/// a deadline is polled between evaluation segments.
+pub(crate) fn run_csa(
+    model: &Model,
+    opts: &CsaOptions,
+    telemetry: bool,
+    budget: u64,
+    deadline: Option<std::time::Instant>,
+) -> CsaRun {
+    let mut task = CsaTask::new(model, opts, budget);
+    let mut recorder = Recorder::default();
+    if telemetry {
+        drive(&mut task, deadline, &mut recorder);
+    } else {
+        drive(&mut task, deadline, &mut crate::telemetry::Noop);
+    }
+    let r = task.result();
+    // the classic schedule reports its full ladder as the iteration count
+    let schedule = (opts.levels as u64) * (opts.moves_per_temp as u64);
+    let traces = if telemetry {
+        vec![crate::telemetry::RestartTrace {
+            label: "csa#0".to_string(),
+            iterations: r.iters,
+            evals: r.evals,
+            objective: r.objective,
+            feasible: r.feasible,
+            violation: model.violations(&r.point).iter().sum(),
+            max_multiplier: recorder.max_multiplier,
+            improvements: recorder.improvements.clone(),
+            termination: r.termination,
+        }]
+    } else {
+        Vec::new()
+    };
+    CsaRun {
+        solution: Solution {
+            point: r.point,
+            objective: r.objective,
+            feasible: r.feasible,
+            evals: r.evals,
+            iterations: schedule,
+        },
+        traces,
+    }
+}
+
+fn drive<S: Sink>(task: &mut CsaTask<'_>, deadline: Option<std::time::Instant>, sink: &mut S) {
+    match deadline {
+        None => while !task.step(u64::MAX, sink) {},
+        Some(at) => {
+            while !task.step(8_192, sink) {
+                if std::time::Instant::now() >= at {
+                    task.abort(Termination::Deadline);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn solve_csa_impl(model: &Model, opts: &CsaOptions) -> Solution {
+    run_csa(model, opts, false, u64::MAX, None).solution
+}
+
+/// Runs CSA and returns the best feasible point seen (or the best
+/// infeasible one if the walk never reached feasibility).
+#[deprecated(note = "use `tce_solver::solve` with `SolveOptions` (Strategy::Csa)")]
+pub fn solve_csa(model: &Model, opts: &CsaOptions) -> Solution {
+    solve_csa_impl(model, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::{ConstraintOp, Domain, Expr, Model};
+    use crate::telemetry::Noop;
 
     #[test]
     fn csa_solves_quadratic() {
@@ -180,7 +401,7 @@ mod tests {
             Expr::Mul(vec![Expr::Const(-14.0), Expr::Var(x)]),
             Expr::Const(49.0),
         ]);
-        let s = solve_csa(&m, &CsaOptions::quick(5));
+        let s = solve_csa_impl(&m, &CsaOptions::quick(5));
         assert!(s.feasible);
         assert_eq!(s.point[0], 7, "{s}");
     }
@@ -192,10 +413,14 @@ mod tests {
         let x = m.add_var("x", Domain::Int { lo: 0, hi: 100 });
         m.objective = Expr::Mul(vec![Expr::Const(-1.0), Expr::Var(x)]);
         m.add_constraint("cap", Expr::Var(x), ConstraintOp::Le, 12.0);
-        let s = solve_csa(&m, &CsaOptions::quick(11));
+        let s = solve_csa_impl(&m, &CsaOptions::quick(11));
         assert!(s.feasible);
         assert!(s.point[0] <= 12);
-        assert!(s.point[0] >= 10, "should get close to 12, got {}", s.point[0]);
+        assert!(
+            s.point[0] >= 10,
+            "should get close to 12, got {}",
+            s.point[0]
+        );
     }
 
     #[test]
@@ -203,8 +428,63 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", Domain::Int { lo: 0, hi: 50 });
         m.objective = Expr::Var(x);
-        let a = solve_csa(&m, &CsaOptions::quick(3));
-        let b = solve_csa(&m, &CsaOptions::quick(3));
+        let a = solve_csa_impl(&m, &CsaOptions::quick(3));
+        let b = solve_csa_impl(&m, &CsaOptions::quick(3));
         assert_eq!(a.point, b.point);
+    }
+
+    #[test]
+    fn csa_segmented_stepping_matches_one_shot() {
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 0, hi: 100 });
+        m.objective = Expr::Mul(vec![Expr::Const(-1.0), Expr::Var(x)]);
+        m.add_constraint("cap", Expr::Var(x), ConstraintOp::Le, 37.0);
+        let opts = CsaOptions::quick(17);
+        let mut one = CsaTask::new(&m, &opts, u64::MAX);
+        while !one.step(u64::MAX, &mut Noop) {}
+        let mut sliced = CsaTask::new(&m, &opts, u64::MAX);
+        while !sliced.step(101, &mut Noop) {}
+        let a = one.result();
+        let b = sliced.result();
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.evals, b.evals);
+        assert_eq!(a.iters, b.iters);
+    }
+
+    #[test]
+    fn csa_respects_eval_budget() {
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 0, hi: 100 });
+        m.objective = Expr::Var(x);
+        let mut task = CsaTask::new(&m, &CsaOptions::quick(4), 500);
+        while !task.step(u64::MAX, &mut Noop) {}
+        let r = task.result();
+        assert!(r.evals <= 500);
+        assert_eq!(r.termination, Termination::EvalBudget);
+    }
+
+    #[test]
+    fn csa_prunes_against_better_incumbent() {
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 0, hi: 100 });
+        m.objective = Expr::Var(x);
+        let mut task = CsaTask::new(&m, &CsaOptions::quick(8), u64::MAX);
+        task.step(50, &mut Noop);
+        // first check only clears the improvement flag
+        task.note_incumbent(Some(-1.0e9));
+        assert!(!task.is_done());
+        task.note_incumbent(Some(-1.0e9));
+        assert!(task.is_done());
+        assert_eq!(task.result().termination, Termination::PrunedByIncumbent);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_works() {
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 0, hi: 50 });
+        m.objective = Expr::Var(x);
+        let s = solve_csa(&m, &CsaOptions::quick(3));
+        assert!(s.feasible);
     }
 }

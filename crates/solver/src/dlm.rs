@@ -13,12 +13,22 @@
 //! improves `L` is a constrained local minimum (a discrete saddle point),
 //! which is returned. Multistart over random initial points guards against
 //! poor basins.
+//!
+//! Each restart is implemented as a resumable state machine
+//! ([`DlmTask`]): `step(quota)` advances the descent by roughly `quota`
+//! Lagrangian evaluations and returns, preserving every bit of state.
+//! The serial driver steps each task to completion; the
+//! [portfolio](crate::portfolio) interleaves segments of many tasks
+//! across threads. Because a task's trajectory depends only on its own
+//! state, segmentation never changes the result.
 
 use crate::model::{Domain, Model, Solution, FEAS_TOL};
+use crate::telemetry::{RestartTrace, Sink, Termination};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::time::Instant;
 
-/// Options for [`solve_dlm`].
+/// Options for the DLM strategy.
 #[derive(Clone, Debug)]
 pub struct DlmOptions {
     /// RNG seed for the multistart initial points.
@@ -156,6 +166,10 @@ impl<'m> Lagrangian<'m> {
         }
         any
     }
+
+    fn max_multiplier(&self) -> f64 {
+        self.lambda.iter().fold(0.0f64, |a, &l| a.max(l.abs()))
+    }
 }
 
 fn random_point(model: &Model, rng: &mut StdRng) -> Vec<i64> {
@@ -176,169 +190,439 @@ fn random_point(model: &Model, rng: &mut StdRng) -> Vec<i64> {
         .collect()
 }
 
-/// Greedy descent inside the feasible region from a feasible point, using
-/// single-variable moves plus coordinated pairs (grow one variable while
-/// shrinking another — the move the memory constraint makes necessary for
-/// tile sizes). Only feasible neighbours with strictly better objective are
-/// accepted, so feasibility is invariant.
-fn polish_feasible(
-    model: &Model,
-    x: &mut Vec<i64>,
-    evals: &mut u64,
+/// Outcome of one restart (or one portfolio task).
+#[derive(Clone, Debug)]
+pub(crate) struct RestartResult {
+    pub point: Vec<i64>,
+    pub objective: f64,
+    pub feasible: bool,
+    pub evals: u64,
+    pub iters: u64,
+    pub termination: Termination,
+}
+
+impl RestartResult {
+    /// The total order used to pick winners: feasible beats infeasible,
+    /// then lower objective, then lexicographically smaller point (task
+    /// index breaks the final tie at the call sites). Never arrival time.
+    pub(crate) fn cmp_quality(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .feasible
+            .cmp(&self.feasible)
+            .then(self.objective.total_cmp(&other.objective))
+            .then_with(|| self.point.cmp(&other.point))
+    }
+}
+
+enum Phase {
+    Descent,
+    Polish,
+    Done,
+}
+
+/// One DLM restart as a resumable state machine: descent on the
+/// Lagrangian, then (from a feasible endpoint) pure feasible descent with
+/// paired moves ("polish").
+pub(crate) struct DlmTask<'m> {
+    model: &'m Model,
     max_iters: u64,
-) -> u64 {
-    let mut cur = model.objective_at(x);
-    *evals += 1;
-    let mut iters = 0u64;
-    let mut moves = Vec::new();
-    let mut moves2 = Vec::new();
-    while iters < max_iters {
-        let mut best_move: Option<(Vec<(usize, i64)>, f64)> = None;
-        let try_point =
-            |x: &mut Vec<i64>, delta: Vec<(usize, i64)>, best: &mut Option<(Vec<(usize, i64)>, f64)>, cur: f64, evals: &mut u64| {
-                *evals += 1;
-                if model.is_feasible(x, FEAS_TOL) {
-                    let val = model.objective_at(x);
-                    if val + 1e-9 < best.as_ref().map_or(cur, |(_, b)| *b) {
-                        *best = Some((delta, val));
-                    }
-                }
-            };
-        // single moves
-        for vi in 0..model.num_vars() {
-            let old = x[vi];
-            var_moves(model.vars()[vi].domain, old, &mut moves);
-            for &cand in &moves {
-                x[vi] = cand;
-                try_point(x, vec![(vi, cand)], &mut best_move, cur, evals);
-            }
-            x[vi] = old;
-        }
-        // paired moves
-        for vi in 0..model.num_vars() {
-            let old_i = x[vi];
-            var_moves(model.vars()[vi].domain, old_i, &mut moves);
-            for &ci in &moves {
-                x[vi] = ci;
-                for vj in 0..model.num_vars() {
-                    if vj == vi {
-                        continue;
-                    }
-                    let old_j = x[vj];
-                    var_moves(model.vars()[vj].domain, old_j, &mut moves2);
-                    for &cj in &moves2 {
-                        x[vj] = cj;
-                        try_point(x, vec![(vi, ci), (vj, cj)], &mut best_move, cur, evals);
-                    }
-                    x[vj] = old_j;
-                }
-            }
-            x[vi] = old_i;
-        }
-        match best_move {
-            Some((delta, val)) => {
-                for (vi, cand) in delta {
-                    x[vi] = cand;
-                }
-                cur = val;
-                iters += 1;
-            }
-            None => break,
+    lambda_growth: f64,
+    max_stalled_updates: u32,
+    /// Lagrangian-evaluation budget for the descent phase (the polish
+    /// phase is bounded by `max_iters`, like the original method).
+    budget: u64,
+    x: Vec<i64>,
+    lag: Lagrangian<'m>,
+    cur: f64,
+    stalled: u32,
+    iters: u64,
+    /// Objective evaluations performed by the polish phase.
+    extra_evals: u64,
+    moves: Vec<i64>,
+    moves2: Vec<i64>,
+    phase: Phase,
+    polish_cur: f64,
+    polish_left: u64,
+    termination: Termination,
+    best_feasible: Option<f64>,
+}
+
+impl<'m> DlmTask<'m> {
+    pub(crate) fn new(model: &'m Model, opts: &DlmOptions, restart: usize, budget: u64) -> Self {
+        let mut x = if restart == 0 {
+            model.lower_corner()
+        } else {
+            let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(restart as u64));
+            random_point(model, &mut rng)
+        };
+        model.clamp(&mut x);
+        let mut lag = Lagrangian::new(model, opts.lambda_init, &x);
+        let cur = lag.value(&x);
+        DlmTask {
+            model,
+            max_iters: opts.max_iters,
+            lambda_growth: opts.lambda_growth,
+            max_stalled_updates: opts.max_stalled_updates,
+            budget,
+            x,
+            lag,
+            cur,
+            stalled: 0,
+            iters: 0,
+            extra_evals: 0,
+            moves: Vec::new(),
+            moves2: Vec::new(),
+            phase: Phase::Descent,
+            polish_cur: 0.0,
+            polish_left: 0,
+            termination: Termination::Completed,
+            best_feasible: None,
         }
     }
-    iters
-}
 
-/// Outcome of one restart.
-struct RestartResult {
-    point: Vec<i64>,
-    objective: f64,
-    feasible: bool,
-    evals: u64,
-    iters: u64,
-}
+    pub(crate) fn evals(&self) -> u64 {
+        self.lag.evals + self.extra_evals
+    }
 
-/// One full DLM descent (+ feasible polish) from the restart's start
-/// point, with its own evaluation budget.
-fn run_restart(model: &Model, opts: &DlmOptions, restart: usize, budget: u64) -> RestartResult {
-    let mut x = if restart == 0 {
-        model.lower_corner()
-    } else {
-        let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(restart as u64));
-        random_point(model, &mut rng)
-    };
-    model.clamp(&mut x);
-    let mut lag = Lagrangian::new(model, opts.lambda_init, &x);
-    let mut cur = lag.value(&x);
-    let mut stalled_updates = 0u32;
-    let mut iters = 0u64;
-    let mut moves = Vec::new();
+    pub(crate) fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
 
-    loop {
-        if iters >= opts.max_iters || lag.evals >= budget {
-            break;
+    /// Best feasible objective certified so far (for incumbent sharing).
+    pub(crate) fn best_feasible(&self) -> Option<f64> {
+        self.best_feasible
+    }
+
+    /// Stops the task where it stands (deadline expiry).
+    pub(crate) fn abort(&mut self, termination: Termination) {
+        if !self.is_done() {
+            self.termination = termination;
+            self.phase = Phase::Done;
         }
-        // best-improvement over the single-variable neighbourhood
+    }
+
+    /// Advances by roughly `quota` evaluations (the check runs at
+    /// iteration granularity, so one long polish scan can overshoot).
+    /// Returns true when the task is finished.
+    pub(crate) fn step<S: Sink>(&mut self, quota: u64, sink: &mut S) -> bool {
+        let stop = self.evals().saturating_add(quota);
+        loop {
+            match self.phase {
+                Phase::Done => return true,
+                Phase::Descent => self.descent_tick(sink),
+                Phase::Polish => self.polish_tick(sink),
+            }
+            if self.is_done() {
+                return true;
+            }
+            if self.evals() >= stop {
+                return false;
+            }
+        }
+    }
+
+    /// One best-improvement move over the single-variable neighbourhood.
+    fn descent_tick<S: Sink>(&mut self, sink: &mut S) {
+        if self.iters >= self.max_iters {
+            self.finish_descent(Termination::IterLimit, sink);
+            return;
+        }
+        if self.lag.evals >= self.budget {
+            self.finish_descent(Termination::EvalBudget, sink);
+            return;
+        }
         let mut best_move: Option<(usize, i64, f64)> = None;
-        for vi in 0..model.num_vars() {
-            let old = x[vi];
-            var_moves(model.vars()[vi].domain, old, &mut moves);
-            for &cand in &moves {
-                x[vi] = cand;
-                let val = lag.value(&x);
-                if val + 1e-12 < best_move.map_or(cur, |(_, _, b)| b) {
+        for vi in 0..self.model.num_vars() {
+            let old = self.x[vi];
+            var_moves(self.model.vars()[vi].domain, old, &mut self.moves);
+            for &cand in &self.moves {
+                self.x[vi] = cand;
+                let val = self.lag.value(&self.x);
+                if val + 1e-12 < best_move.map_or(self.cur, |(_, _, b)| b) {
                     best_move = Some((vi, cand, val));
                 }
             }
-            x[vi] = old;
+            self.x[vi] = old;
         }
         match best_move {
             Some((vi, cand, val)) => {
-                x[vi] = cand;
-                cur = val;
-                iters += 1;
-                stalled_updates = 0;
+                self.x[vi] = cand;
+                self.cur = val;
+                self.iters += 1;
+                self.stalled = 0;
                 // interleaved dual ascent: track the constraints while
                 // the primal walk is in infeasible territory, so the
                 // penalty cannot fall arbitrarily behind the objective
-                if lag.raise_multipliers(&x, 1.0) {
-                    cur = lag.value(&x);
+                if self.lag.raise_multipliers(&self.x, 1.0) {
+                    self.cur = self.lag.value(&self.x);
+                    if S::ENABLED {
+                        sink.multipliers(self.lag.max_multiplier());
+                    }
                 }
             }
             None => {
                 // local minimum of L(·, λ)
-                if model.is_feasible(&x, FEAS_TOL) {
-                    break; // constrained local minimum: done
+                if self.model.is_feasible(&self.x, FEAS_TOL) {
+                    self.finish_descent(Termination::LocalMinimum, sink);
+                    return;
                 }
-                if !lag.raise_multipliers(&x, opts.lambda_growth) {
-                    break; // numerically feasible
+                if !self.lag.raise_multipliers(&self.x, self.lambda_growth) {
+                    // numerically feasible
+                    self.finish_descent(Termination::LocalMinimum, sink);
+                    return;
                 }
-                cur = lag.value(&x);
-                stalled_updates += 1;
-                if stalled_updates > opts.max_stalled_updates {
-                    break;
+                if S::ENABLED {
+                    sink.multipliers(self.lag.max_multiplier());
+                }
+                self.cur = self.lag.value(&self.x);
+                self.stalled += 1;
+                if self.stalled > self.max_stalled_updates {
+                    self.finish_descent(Termination::Stalled, sink);
                 }
             }
         }
     }
 
-    let mut evals = lag.evals;
-
-    // polish: pure feasible descent with paired moves from the DLM
-    // endpoint (only possible if it is feasible)
-    if model.is_feasible(&x, FEAS_TOL) {
-        iters += polish_feasible(model, &mut x, &mut evals, opts.max_iters);
+    fn finish_descent<S: Sink>(&mut self, termination: Termination, sink: &mut S) {
+        self.termination = termination;
+        if self.model.is_feasible(&self.x, FEAS_TOL) {
+            self.phase = Phase::Polish;
+            self.polish_cur = self.model.objective_at(&self.x);
+            self.extra_evals += 1;
+            self.polish_left = self.max_iters;
+            self.note_best(self.polish_cur, sink);
+        } else {
+            self.phase = Phase::Done;
+        }
     }
 
-    let feasible = model.is_feasible(&x, FEAS_TOL);
-    let objective = model.objective_at(&x);
-    RestartResult {
-        point: x,
-        objective,
-        feasible,
-        evals,
-        iters,
+    fn note_best<S: Sink>(&mut self, objective: f64, sink: &mut S) {
+        if self.best_feasible.is_none_or(|b| objective < b) {
+            self.best_feasible = Some(objective);
+            if S::ENABLED {
+                sink.improvement(self.evals(), objective, true);
+            }
+        }
     }
+
+    /// One polish scan: greedy descent inside the feasible region using
+    /// single-variable moves plus coordinated pairs (grow one variable
+    /// while shrinking another — the move the memory constraint makes
+    /// necessary for tile sizes). Only feasible neighbours with strictly
+    /// better objective are accepted, so feasibility is invariant.
+    fn polish_tick<S: Sink>(&mut self, sink: &mut S) {
+        if self.polish_left == 0 {
+            self.termination = Termination::IterLimit;
+            self.phase = Phase::Done;
+            return;
+        }
+        let model = self.model;
+        let mut best_move: Option<(Vec<(usize, i64)>, f64)> = None;
+        let cur = self.polish_cur;
+        // single moves
+        for vi in 0..model.num_vars() {
+            let old = self.x[vi];
+            var_moves(model.vars()[vi].domain, old, &mut self.moves);
+            for &cand in &self.moves {
+                self.x[vi] = cand;
+                self.extra_evals += 1;
+                if model.is_feasible(&self.x, FEAS_TOL) {
+                    let val = model.objective_at(&self.x);
+                    if val + 1e-9 < best_move.as_ref().map_or(cur, |(_, b)| *b) {
+                        best_move = Some((vec![(vi, cand)], val));
+                    }
+                }
+            }
+            self.x[vi] = old;
+        }
+        // paired moves
+        for vi in 0..model.num_vars() {
+            let old_i = self.x[vi];
+            var_moves(model.vars()[vi].domain, old_i, &mut self.moves);
+            for mi in 0..self.moves.len() {
+                let ci = self.moves[mi];
+                self.x[vi] = ci;
+                for vj in 0..model.num_vars() {
+                    if vj == vi {
+                        continue;
+                    }
+                    let old_j = self.x[vj];
+                    var_moves(model.vars()[vj].domain, old_j, &mut self.moves2);
+                    for &cj in &self.moves2 {
+                        self.x[vj] = cj;
+                        self.extra_evals += 1;
+                        if model.is_feasible(&self.x, FEAS_TOL) {
+                            let val = model.objective_at(&self.x);
+                            if val + 1e-9 < best_move.as_ref().map_or(cur, |(_, b)| *b) {
+                                best_move = Some((vec![(vi, ci), (vj, cj)], val));
+                            }
+                        }
+                    }
+                    self.x[vj] = old_j;
+                }
+            }
+            self.x[vi] = old_i;
+        }
+        match best_move {
+            Some((delta, val)) => {
+                for (vi, cand) in delta {
+                    self.x[vi] = cand;
+                }
+                self.polish_cur = val;
+                self.iters += 1;
+                self.polish_left -= 1;
+                self.note_best(val, sink);
+            }
+            None => self.phase = Phase::Done,
+        }
+    }
+
+    pub(crate) fn result(&self) -> RestartResult {
+        let feasible = self.model.is_feasible(&self.x, FEAS_TOL);
+        let objective = self.model.objective_at(&self.x);
+        RestartResult {
+            point: self.x.clone(),
+            objective,
+            feasible,
+            evals: self.evals(),
+            iters: self.iters,
+            termination: self.termination,
+        }
+    }
+}
+
+/// Quota the serial drivers use between deadline checks.
+const DEADLINE_SEGMENT: u64 = 8_192;
+
+/// Drives one task to completion, polling `deadline` between segments
+/// when one is set.
+pub(crate) fn drive_to_completion<S: Sink>(
+    task: &mut DlmTask<'_>,
+    deadline: Option<Instant>,
+    sink: &mut S,
+) {
+    match deadline {
+        None => while !task.step(u64::MAX, sink) {},
+        Some(at) => {
+            while !task.step(DEADLINE_SEGMENT, sink) {
+                if Instant::now() >= at {
+                    task.abort(Termination::Deadline);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a full DLM run (all restarts).
+pub(crate) struct DlmRun {
+    pub solution: Solution,
+    pub winner: usize,
+    pub traces: Vec<RestartTrace>,
+}
+
+fn run_one(
+    model: &Model,
+    opts: &DlmOptions,
+    restart: usize,
+    budget: u64,
+    telemetry: bool,
+    deadline: Option<Instant>,
+) -> (RestartResult, crate::telemetry::Recorder) {
+    let mut task = DlmTask::new(model, opts, restart, budget);
+    let mut recorder = crate::telemetry::Recorder::default();
+    if telemetry {
+        drive_to_completion(&mut task, deadline, &mut recorder);
+    } else {
+        drive_to_completion(&mut task, deadline, &mut crate::telemetry::Noop);
+    }
+    (task.result(), recorder)
+}
+
+/// Runs all DLM restarts (serially or on threads per
+/// [`DlmOptions::parallel_restarts`]) and aggregates the winner.
+///
+/// A deadline is polled between evaluation segments; restarts that were
+/// never started when it expires are skipped (the first always runs).
+pub(crate) fn run_dlm(
+    model: &Model,
+    opts: &DlmOptions,
+    telemetry: bool,
+    deadline: Option<Instant>,
+) -> DlmRun {
+    let restarts = opts.restarts.max(1);
+    let budget = (opts.max_evals / restarts as u64).max(1);
+
+    let results: Vec<(RestartResult, crate::telemetry::Recorder)> = if opts.parallel_restarts
+        && restarts > 1
+    {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..restarts)
+                .map(|r| scope.spawn(move || run_one(model, opts, r, budget, telemetry, deadline)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("restart thread panicked"))
+                .collect()
+        })
+    } else {
+        let mut out = Vec::with_capacity(restarts);
+        for r in 0..restarts {
+            out.push(run_one(model, opts, r, budget, telemetry, deadline));
+            if let Some(at) = deadline {
+                if Instant::now() >= at {
+                    break; // later restarts are skipped entirely
+                }
+            }
+        }
+        out
+    };
+
+    let total_evals = results.iter().map(|(r, _)| r.evals).sum();
+    let total_iters = results.iter().map(|(r, _)| r.iters).sum();
+    let winner = results
+        .iter()
+        .enumerate()
+        .min_by(|(ka, (a, _)), (kb, (b, _))| a.cmp_quality(b).then(ka.cmp(kb)))
+        .map(|(k, _)| k)
+        .expect("at least one restart always runs");
+
+    let traces = if telemetry {
+        results
+            .iter()
+            .enumerate()
+            .map(|(k, (r, rec))| RestartTrace {
+                label: format!("dlm#{k}"),
+                iterations: r.iters,
+                evals: r.evals,
+                objective: r.objective,
+                feasible: r.feasible,
+                violation: model.violations(&r.point).iter().sum(),
+                max_multiplier: rec.max_multiplier,
+                improvements: rec.improvements.clone(),
+                termination: r.termination,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let best = &results[winner].0;
+    DlmRun {
+        solution: Solution {
+            point: best.point.clone(),
+            objective: best.objective,
+            feasible: best.feasible,
+            evals: total_evals,
+            iterations: total_iters,
+        },
+        winner,
+        traces,
+    }
+}
+
+pub(crate) fn solve_dlm_impl(model: &Model, opts: &DlmOptions) -> Solution {
+    run_dlm(model, opts, false, None).solution
 }
 
 /// Runs DLM and returns the best point found.
@@ -349,66 +633,24 @@ fn run_restart(model: &Model, opts: &DlmOptions, restart: usize, budget: u64) ->
 /// [`DlmOptions::parallel_restarts`] the restarts run concurrently on OS
 /// threads; the result is identical to the sequential run for the same
 /// seed (restart RNGs are independent and the winner is chosen by a total
-/// order over `(feasible, objective, restart index)`).
+/// order over `(feasible, objective, point, restart index)`).
+#[deprecated(note = "use `tce_solver::solve` with `SolveOptions` (Strategy::Dlm)")]
 pub fn solve_dlm(model: &Model, opts: &DlmOptions) -> Solution {
-    let restarts = opts.restarts.max(1);
-    let budget = (opts.max_evals / restarts as u64).max(1);
-
-    let results: Vec<RestartResult> = if opts.parallel_restarts && restarts > 1 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..restarts)
-                .map(|r| scope.spawn(move || run_restart(model, opts, r, budget)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("restart thread panicked"))
-                .collect()
-        })
-    } else {
-        (0..restarts)
-            .map(|r| run_restart(model, opts, r, budget))
-            .collect()
-    };
-
-    let total_evals = results.iter().map(|r| r.evals).sum();
-    let total_iters = results.iter().map(|r| r.iters).sum();
-    let best = results
-        .into_iter()
-        .enumerate()
-        .min_by(|(ka, a), (kb, b)| {
-            // feasible beats infeasible; then objective; then restart id
-            b.feasible
-                .cmp(&a.feasible)
-                .then(a.objective.total_cmp(&b.objective))
-                .then(ka.cmp(kb))
-        })
-        .map(|(_, r)| r)
-        .expect("at least one restart always runs");
-
-    Solution {
-        point: best.point,
-        objective: best.objective,
-        feasible: best.feasible,
-        evals: total_evals,
-        iterations: total_iters,
-    }
+    solve_dlm_impl(model, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::{ConstraintOp, Domain, Expr, Model};
+    use crate::telemetry::{Noop, Recorder};
 
     /// max x·y s.t. x+y ≤ 10 → minimize −x·y; optimum 25 at (5,5).
     fn knapsack_like() -> Model {
         let mut m = Model::new();
         let x = m.add_var("x", Domain::Int { lo: 0, hi: 10 });
         let y = m.add_var("y", Domain::Int { lo: 0, hi: 10 });
-        m.objective = Expr::Mul(vec![
-            Expr::Const(-1.0),
-            Expr::Var(x),
-            Expr::Var(y),
-        ]);
+        m.objective = Expr::Mul(vec![Expr::Const(-1.0), Expr::Var(x), Expr::Var(y)]);
         m.add_constraint(
             "cap",
             Expr::Add(vec![Expr::Var(x), Expr::Var(y)]),
@@ -421,7 +663,7 @@ mod tests {
     #[test]
     fn solves_small_quadratic() {
         let m = knapsack_like();
-        let s = solve_dlm(&m, &DlmOptions::quick(42));
+        let s = solve_dlm_impl(&m, &DlmOptions::quick(42));
         assert!(s.feasible);
         assert_eq!(s.objective, -25.0, "point: {:?}", s.point);
     }
@@ -434,7 +676,7 @@ mod tests {
         let t = m.add_var("t", Domain::Int { lo: 1, hi: 100 });
         m.objective = Expr::CeilDiv(Box::new(Expr::Const(100.0)), Box::new(Expr::Var(t)));
         m.add_constraint("mem", Expr::Var(t), ConstraintOp::Le, 17.0);
-        let s = solve_dlm(&m, &DlmOptions::quick(7));
+        let s = solve_dlm_impl(&m, &DlmOptions::quick(7));
         assert!(s.feasible);
         assert_eq!(s.objective, 6.0);
         assert!(s.point[0] <= 17);
@@ -468,7 +710,7 @@ mod tests {
             ConstraintOp::Le,
             32.0,
         );
-        let s = solve_dlm(&m, &DlmOptions::quick(3));
+        let s = solve_dlm_impl(&m, &DlmOptions::quick(3));
         assert!(s.feasible);
         // option 1 with t ≤ 8 gives cost 3; option 0 best is 100/32 → 4
         assert_eq!(s.objective, 3.0, "point {:?}", s.point);
@@ -482,7 +724,7 @@ mod tests {
         let t = m.add_var("t", Domain::Int { lo: 1, hi: 1000 });
         m.objective = Expr::Var(t);
         m.add_constraint("blk", Expr::Var(t), ConstraintOp::Ge, 12.0);
-        let s = solve_dlm(&m, &DlmOptions::quick(1));
+        let s = solve_dlm_impl(&m, &DlmOptions::quick(1));
         assert!(s.feasible);
         assert_eq!(s.point[0], 12);
     }
@@ -493,7 +735,7 @@ mod tests {
         let t = m.add_var("t", Domain::Int { lo: 0, hi: 10 });
         m.objective = Expr::Var(t);
         m.add_constraint("impossible", Expr::Var(t), ConstraintOp::Ge, 100.0);
-        let s = solve_dlm(&m, &DlmOptions::quick(1));
+        let s = solve_dlm_impl(&m, &DlmOptions::quick(1));
         assert!(!s.feasible);
     }
 
@@ -515,8 +757,8 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let m = knapsack_like();
-        let a = solve_dlm(&m, &DlmOptions::quick(9));
-        let b = solve_dlm(&m, &DlmOptions::quick(9));
+        let a = solve_dlm_impl(&m, &DlmOptions::quick(9));
+        let b = solve_dlm_impl(&m, &DlmOptions::quick(9));
         assert_eq!(a.point, b.point);
         assert_eq!(a.evals, b.evals);
     }
@@ -524,8 +766,8 @@ mod tests {
     #[test]
     fn parallel_restarts_match_sequential() {
         let m = knapsack_like();
-        let seq = solve_dlm(&m, &DlmOptions::quick(5));
-        let par = solve_dlm(
+        let seq = solve_dlm_impl(&m, &DlmOptions::quick(5));
+        let par = solve_dlm_impl(
             &m,
             &DlmOptions {
                 parallel_restarts: true,
@@ -535,5 +777,58 @@ mod tests {
         assert_eq!(seq.point, par.point);
         assert_eq!(seq.objective, par.objective);
         assert_eq!(seq.evals, par.evals);
+    }
+
+    #[test]
+    fn segmented_stepping_matches_one_shot() {
+        // the resumable engine must be invariant to how its work is
+        // sliced into step() calls
+        let m = knapsack_like();
+        let opts = DlmOptions::quick(13);
+        let mut one = DlmTask::new(&m, &opts, 1, 10_000);
+        while !one.step(u64::MAX, &mut Noop) {}
+        let mut sliced = DlmTask::new(&m, &opts, 1, 10_000);
+        while !sliced.step(37, &mut Noop) {}
+        let a = one.result();
+        let b = sliced.result();
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.evals, b.evals);
+        assert_eq!(a.iters, b.iters);
+        assert_eq!(a.termination, b.termination);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_result() {
+        let m = knapsack_like();
+        let opts = DlmOptions::quick(21);
+        let plain = run_dlm(&m, &opts, false, None);
+        let traced = run_dlm(&m, &opts, true, None);
+        assert_eq!(plain.solution.point, traced.solution.point);
+        assert_eq!(plain.solution.evals, traced.solution.evals);
+        assert_eq!(plain.winner, traced.winner);
+        assert!(plain.traces.is_empty());
+        assert_eq!(traced.traces.len(), opts.restarts);
+        let w = &traced.traces[traced.winner];
+        assert!(w.feasible);
+        assert!(!w.improvements.is_empty(), "winner recorded no progress");
+    }
+
+    #[test]
+    fn recorder_sees_improvements_on_feasible_path() {
+        let m = knapsack_like();
+        let mut task = DlmTask::new(&m, &DlmOptions::quick(2), 0, 100_000);
+        let mut rec = Recorder::default();
+        while !task.step(u64::MAX, &mut rec) {}
+        assert!(task.best_feasible().is_some());
+        let last = rec.improvements.last().expect("improvements recorded");
+        assert_eq!(Some(last.objective), task.best_feasible());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_works() {
+        let m = knapsack_like();
+        let s = solve_dlm(&m, &DlmOptions::quick(42));
+        assert_eq!(s.objective, -25.0);
     }
 }

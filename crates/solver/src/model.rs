@@ -342,7 +342,11 @@ impl fmt::Display for Solution {
             f,
             "objective {:.4e} ({}), {} evals",
             self.objective,
-            if self.feasible { "feasible" } else { "INFEASIBLE" },
+            if self.feasible {
+                "feasible"
+            } else {
+                "INFEASIBLE"
+            },
             self.evals
         )
     }
@@ -445,7 +449,10 @@ mod tests {
         let (_, x, y) = model_xy();
         let e = Expr::Select(
             y,
-            vec![Expr::Var(x), Expr::CeilDiv(Box::new(Expr::Var(x)), Box::new(Expr::Const(2.0)))],
+            vec![
+                Expr::Var(x),
+                Expr::CeilDiv(Box::new(Expr::Var(x)), Box::new(Expr::Const(2.0))),
+            ],
         );
         assert_eq!(e.vars(), vec![x, y]);
     }

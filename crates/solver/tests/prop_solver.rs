@@ -3,43 +3,41 @@
 
 use proptest::prelude::*;
 use tce_solver::model::FEAS_TOL;
-use tce_solver::{solve_brute_force, solve_dlm, ConstraintOp, DlmOptions, Domain, Expr, Model};
+use tce_solver::{
+    solve, ConstraintOp, DlmOptions, Domain, Expr, Model, SolveOptions, Strategy as Method,
+};
+
+fn quick(seed: u64) -> SolveOptions {
+    SolveOptions::new(seed).dlm(DlmOptions::quick(seed))
+}
 
 /// Random 2-variable model:
 /// minimize `a·x + b·y + c·x·y + d·ceil(K/x')` subject to `x + w·y ≤ cap`.
 fn arb_model() -> impl Strategy<Value = Model> {
-    (
-        -3i64..4,
-        -3i64..4,
-        -2i64..3,
-        0i64..3,
-        1i64..5,
-        3i64..25,
-    )
-        .prop_map(|(a, b, c, d, w, cap)| {
-            let mut m = Model::new();
-            let x = m.add_var("x", Domain::Int { lo: 1, hi: 12 });
-            let y = m.add_var("y", Domain::Int { lo: 0, hi: 12 });
-            m.objective = Expr::Add(vec![
-                Expr::Mul(vec![Expr::Const(a as f64), Expr::Var(x)]),
-                Expr::Mul(vec![Expr::Const(b as f64), Expr::Var(y)]),
-                Expr::Mul(vec![Expr::Const(c as f64), Expr::Var(x), Expr::Var(y)]),
-                Expr::Mul(vec![
-                    Expr::Const(d as f64),
-                    Expr::CeilDiv(Box::new(Expr::Const(24.0)), Box::new(Expr::Var(x))),
-                ]),
-            ]);
-            m.add_constraint(
-                "cap",
-                Expr::Add(vec![
-                    Expr::Var(x),
-                    Expr::Mul(vec![Expr::Const(w as f64), Expr::Var(y)]),
-                ]),
-                ConstraintOp::Le,
-                cap as f64,
-            );
-            m
-        })
+    (-3i64..4, -3i64..4, -2i64..3, 0i64..3, 1i64..5, 3i64..25).prop_map(|(a, b, c, d, w, cap)| {
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 1, hi: 12 });
+        let y = m.add_var("y", Domain::Int { lo: 0, hi: 12 });
+        m.objective = Expr::Add(vec![
+            Expr::Mul(vec![Expr::Const(a as f64), Expr::Var(x)]),
+            Expr::Mul(vec![Expr::Const(b as f64), Expr::Var(y)]),
+            Expr::Mul(vec![Expr::Const(c as f64), Expr::Var(x), Expr::Var(y)]),
+            Expr::Mul(vec![
+                Expr::Const(d as f64),
+                Expr::CeilDiv(Box::new(Expr::Const(24.0)), Box::new(Expr::Var(x))),
+            ]),
+        ]);
+        m.add_constraint(
+            "cap",
+            Expr::Add(vec![
+                Expr::Var(x),
+                Expr::Mul(vec![Expr::Const(w as f64), Expr::Var(y)]),
+            ]),
+            ConstraintOp::Le,
+            cap as f64,
+        );
+        m
+    })
 }
 
 proptest! {
@@ -49,7 +47,7 @@ proptest! {
     /// so feasibility is guaranteed here).
     #[test]
     fn dlm_returns_feasible_points(m in arb_model(), seed in 0u64..32) {
-        let s = solve_dlm(&m, &DlmOptions::quick(seed));
+        let s = solve(&m, &quick(seed)).solution;
         prop_assert!(s.feasible);
         prop_assert!(m.is_feasible(&s.point, FEAS_TOL));
         let obj = m.objective_at(&s.point);
@@ -60,8 +58,8 @@ proptest! {
     /// to find the true optimum.
     #[test]
     fn dlm_matches_brute_force(m in arb_model()) {
-        let brute = solve_brute_force(&m);
-        let dlm = solve_dlm(&m, &DlmOptions::quick(11));
+        let brute = solve(&m, &SolveOptions::new(0).strategy(Method::BruteForce)).solution;
+        let dlm = solve(&m, &quick(11)).solution;
         prop_assert!(dlm.feasible && brute.feasible);
         prop_assert!(
             dlm.objective <= brute.objective + 1e-9,

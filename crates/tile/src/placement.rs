@@ -286,10 +286,9 @@ fn enumerate_use(
     for k in (k_min..path.len()).rev() {
         let above = &path[..k];
         let contains = |id: &Index, tiling: bool| {
-            above.iter().any(|(_, c)| {
-                c.index() == id
-                    && (matches!(c, LoopClass::Tiling(_)) == tiling)
-            })
+            above
+                .iter()
+                .any(|(_, c)| c.index() == id && (matches!(c, LoopClass::Tiling(_)) == tiling))
         };
 
         // buffer shape at this position
@@ -338,8 +337,11 @@ fn enumerate_use(
         // primary volume: every array dimension is covered exactly once
         // (partial tiles clamp), so it contributes N_d; every redundant
         // loop above the position multiplies the traffic.
-        let mut vol_factors: Vec<Factor> =
-            decl.dims().iter().map(|d| Factor::Extent(d.clone())).collect();
+        let mut vol_factors: Vec<Factor> = decl
+            .dims()
+            .iter()
+            .map(|d| Factor::Extent(d.clone()))
+            .collect();
         let mut redundant = Vec::new();
         let mut exec_factors: Vec<Factor> = Vec::new();
         let mut seen: Vec<&Index> = Vec::new();
@@ -351,7 +353,10 @@ fn enumerate_use(
             seen.push(id);
             let intra_above = contains(id, false);
             let tiling_above = contains(id, true);
-            debug_assert!(tiling_above, "intra loops always sit under their tiling loop");
+            debug_assert!(
+                tiling_above,
+                "intra loops always sit under their tiling loop"
+            );
             // executions of the I/O statement
             if intra_above {
                 exec_factors.push(Factor::Extent(id.clone()));
@@ -393,7 +398,10 @@ fn enumerate_use(
         let (zero_fill_volume, zero_fill_execs) = if needs_zero_fill {
             let size = CostExpr::from_term(Term::new(
                 ELEMENT_BYTES as f64,
-                decl.dims().iter().map(|d| Factor::Extent(d.clone())).collect(),
+                decl.dims()
+                    .iter()
+                    .map(|d| Factor::Extent(d.clone()))
+                    .collect(),
             ));
             let zf_execs: Vec<Factor> = buffer
                 .dims()
@@ -516,8 +524,7 @@ pub fn enumerate_placements(
         match decl.kind() {
             ArrayKind::Input => {
                 for &stmt in &consumers {
-                    let set =
-                        enumerate_use(tiled, stmt, id, UseRole::Read, None, mem_limit, false);
+                    let set = enumerate_use(tiled, stmt, id, UseRole::Read, None, mem_limit, false);
                     if set.candidates.is_empty() {
                         return Err(PlacementError::NoCandidates {
                             array: decl.name().to_string(),
@@ -532,15 +539,8 @@ pub fn enumerate_placements(
                     // later producers accumulate onto what earlier ones
                     // wrote: they must read-modify-write even without
                     // redundant loops
-                    let set = enumerate_use(
-                        tiled,
-                        stmt,
-                        id,
-                        UseRole::Write,
-                        None,
-                        mem_limit,
-                        pk > 0,
-                    );
+                    let set =
+                        enumerate_use(tiled, stmt, id, UseRole::Write, None, mem_limit, pk > 0);
                     if set.candidates.is_empty() {
                         return Err(PlacementError::NoCandidates {
                             array: decl.name().to_string(),
@@ -551,8 +551,7 @@ pub fn enumerate_placements(
                 }
                 // outputs read by later statements behave like inputs
                 for &stmt in &consumers {
-                    let set =
-                        enumerate_use(tiled, stmt, id, UseRole::Read, None, mem_limit, false);
+                    let set = enumerate_use(tiled, stmt, id, UseRole::Read, None, mem_limit, false);
                     if set.candidates.is_empty() {
                         return Err(PlacementError::NoCandidates {
                             array: decl.name().to_string(),
@@ -582,8 +581,7 @@ pub fn enumerate_placements(
                 };
                 let write =
                     enumerate_use(tiled, prod, id, UseRole::Write, barrier, mem_limit, false);
-                let read =
-                    enumerate_use(tiled, cons, id, UseRole::Read, barrier, mem_limit, false);
+                let read = enumerate_use(tiled, cons, id, UseRole::Read, barrier, mem_limit, false);
                 let in_memory = in_memory_shape(tiled, id, lca);
                 intermediates.push(IntermediateOptions {
                     array: id,
@@ -621,11 +619,7 @@ mod tests {
         (s, t)
     }
 
-    fn set_for<'s>(
-        space: &'s [CandidateSet],
-        t: &TiledProgram,
-        name: &str,
-    ) -> &'s CandidateSet {
+    fn set_for<'s>(space: &'s [CandidateSet], t: &TiledProgram, name: &str) -> &'s CandidateSet {
         let (id, _) = t.base().array_by_name(name).expect("array");
         space
             .iter()
@@ -705,9 +699,19 @@ mod tests {
         assert!(opt.spillable());
         // write inside the producer nest (above jT), read inside the
         // consumer nest (above mT)
-        let wl: Vec<&str> = opt.write.candidates.iter().map(|c| c.label.as_str()).collect();
+        let wl: Vec<&str> = opt
+            .write
+            .candidates
+            .iter()
+            .map(|c| c.label.as_str())
+            .collect();
         assert_eq!(wl, ["above jT"]);
-        let rl: Vec<&str> = opt.read.candidates.iter().map(|c| c.label.as_str()).collect();
+        let rl: Vec<&str> = opt
+            .read
+            .candidates
+            .iter()
+            .map(|c| c.label.as_str())
+            .collect();
         assert_eq!(rl, ["above mT"]);
         // spilling T has no redundant traffic: write + read = 2 × Size_T
         let io = opt.write.candidates[0]
@@ -734,9 +738,7 @@ mod tests {
         let (t1, _) = p.array_by_name("T1").unwrap();
         let opt = s.intermediates.iter().find(|o| o.array == t1).unwrap();
         assert_eq!(opt.lca, t.tree().root());
-        let full = opt
-            .in_memory
-            .bytes(p.ranges(), &TileAssignment::new());
+        let full = opt.in_memory.bytes(p.ranges(), &TileAssignment::new());
         assert_eq!(full, 120 * 140 * 140 * 140 * 8);
         assert!(opt.spillable());
     }

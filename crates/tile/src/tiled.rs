@@ -212,13 +212,7 @@ mod tests {
         let enc = t.enclosing(tcontract);
         let names: Vec<String> = enc
             .iter()
-            .map(|(_, c)| {
-                format!(
-                    "{}{}",
-                    c.index(),
-                    if c.is_tiling() { "T" } else { "I" }
-                )
-            })
+            .map(|(_, c)| format!("{}{}", c.index(), if c.is_tiling() { "T" } else { "I" }))
             .collect();
         assert_eq!(names, ["iT", "nT", "jT", "iI", "nI", "jI"]);
     }

@@ -30,11 +30,7 @@ fn check_set(tiled: &TiledProgram, set: &CandidateSet, mem_limit: u64) {
         // the array (placements under redundant loops are hoisted)
         if let Some(parent) = tree.parent(c.above) {
             if let Some(idx) = tree.loop_index(parent) {
-                let orig = tiled
-                    .class(parent)
-                    .expect("loop class")
-                    .index()
-                    .clone();
+                let orig = tiled.class(parent).expect("loop class").index().clone();
                 assert!(
                     decl.indexed_by(&orig),
                     "{}: position above {:?} surrounded by redundant loop {idx}",

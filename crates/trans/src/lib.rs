@@ -251,7 +251,7 @@ mod tests {
         assert_eq!(l.tiles_per_side(), 3);
         assert_eq!(l.file_len(), 9 * 16);
         assert_eq!(l.tile_rows(2), 2); // edge tile
-        // distinct elements map to distinct offsets
+                                       // distinct elements map to distinct offsets
         let mut seen = std::collections::HashSet::new();
         for r in 0..10 {
             for c in 0..10 {

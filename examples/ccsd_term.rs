@@ -78,8 +78,8 @@ fn main() {
     let small = ccsd_term(4, 6);
     let (small_tree, _) = optimize_contraction_order(&small);
     let small_prog = lower_unfused(&small, &small_tree).expect("lowering");
-    let rs = synthesize_dcs(&small_prog, &SynthesisConfig::test_scale(8 * 1024))
-        .expect("synthesis");
+    let rs =
+        synthesize_dcs(&small_prog, &SynthesisConfig::test_scale(8 * 1024)).expect("synthesis");
     let rep = execute(&rs.plan, &ExecOptions::full_test()).expect("execution");
     let want = dense_reference(&small_prog, default_input_gen);
     let max_err = rep.outputs["R"]

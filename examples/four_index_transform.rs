@@ -13,7 +13,9 @@
 use std::time::Instant;
 use tce_ooc::core::prelude::*;
 use tce_ooc::ir::fixtures::four_index_fused;
-use tce_ooc::opmin::{fused_display_form, fusion_report, optimize_contraction_order, SumOfProducts};
+use tce_ooc::opmin::{
+    fused_display_form, fusion_report, optimize_contraction_order, SumOfProducts,
+};
 
 fn main() {
     let full_ladder = std::env::args().any(|a| a == "--full-ladder");

@@ -26,10 +26,7 @@ fn main() {
     let fused = two_index_fused(n, v);
     println!("{}", fused_display_form(&fused));
     for e in fusion_report(&fused).entries {
-        println!(
-            "memory for {e}  ({}x reduction)",
-            e.reduction() as u64
-        );
+        println!("memory for {e}  ({}x reduction)", e.reduction() as u64);
     }
 
     println!("\n=== the same fusion derived automatically ===");
@@ -49,7 +46,10 @@ fn main() {
     // [T1 init, T1 contract, B init, B contract]
     assert_eq!(top, 4);
     let fused_auto = fuse_nests(&lowered, &[0, 1, 3]).expect("fusion");
-    println!("after fusing the common loops:\n{}", fused_display_form(&fused_auto));
+    println!(
+        "after fusing the common loops:\n{}",
+        fused_display_form(&fused_auto)
+    );
     for e in fusion_report(&fused_auto).entries {
         println!("memory for {e}");
     }

@@ -27,8 +27,7 @@ fn main() {
         for nproc in [1usize, 2, 4] {
             let config = SynthesisConfig::new(nproc as u64 * per_node);
             let r = synthesize_dcs(&program, &config).expect("synthesis");
-            let rep = execute(&r.plan, &ExecOptions::dry_run().with_nproc(nproc))
-                .expect("dry run");
+            let rep = execute(&r.plan, &ExecOptions::dry_run().with_nproc(nproc)).expect("dry run");
             let speedup = prev
                 .map(|p| format!(" ({:.2}x over previous)", p / rep.elapsed_io_s))
                 .unwrap_or_default();

@@ -35,7 +35,10 @@ fn main() {
     "#;
     let program = parse_program(src).expect("abstract code parses");
     println!("=== abstract code ===\n{}", print_code(&program));
-    println!("=== parse tree (Fig. 2(b)) ===\n{}", print_tree(program.tree(), program.arrays()));
+    println!(
+        "=== parse tree (Fig. 2(b)) ===\n{}",
+        print_tree(program.tree(), program.arrays())
+    );
     println!(
         "=== tiled code (Fig. 3(a)) ===\n{}",
         tile_program(&program).print_code()
@@ -57,7 +60,10 @@ fn main() {
         result.memory_bytes / 1024.0,
         mem_limit as f64 / 1024.0
     );
-    println!("\n=== concrete out-of-core code (Fig. 4(b)) ===\n{}", print_plan(&result.plan));
+    println!(
+        "\n=== concrete out-of-core code (Fig. 4(b)) ===\n{}",
+        print_plan(&result.plan)
+    );
 
     // 3. execute with real data on the simulated disk
     let report = execute(&result.plan, &ExecOptions::full_test()).expect("execution");

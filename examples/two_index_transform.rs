@@ -15,7 +15,10 @@ use tce_ooc::ir::fixtures::two_index_paper;
 
 fn main() {
     let program = two_index_paper();
-    println!("=== abstract code (Fig. 2(a)) ===\n{}", print_code(&program));
+    println!(
+        "=== abstract code (Fig. 2(a)) ===\n{}",
+        print_code(&program)
+    );
 
     let config = SynthesisConfig::new(1 << 30); // 1 GB as in Fig. 4
     let result = synthesize_dcs(&program, &config).expect("synthesis");
@@ -33,7 +36,10 @@ fn main() {
         result.io_bytes / 1e9
     );
 
-    println!("\n=== concrete code (Fig. 4(b)) ===\n{}", print_plan(&result.plan));
+    println!(
+        "\n=== concrete code (Fig. 4(b)) ===\n{}",
+        print_plan(&result.plan)
+    );
 
     // Table-3-style check on this instance: predicted vs measured
     let report = execute(&result.plan, &ExecOptions::dry_run()).expect("dry run");

@@ -29,7 +29,7 @@ pub use tce_ga as ga;
 pub use tce_ir as ir;
 pub use tce_opmin as opmin;
 pub use tce_solver as solver;
-pub use tce_trans as trans;
 pub use tce_tile as tile;
+pub use tce_trans as trans;
 
 pub use tce_core::prelude::*;

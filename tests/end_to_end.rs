@@ -60,10 +60,7 @@ fn two_index_with_forced_spill_end_to_end() {
     // T is 64*64*8 = 32 KB; give 12 KB so spilling is mandatory
     let (r, rep) = run_dcs(&p, 12 * 1024);
     let (tid, _) = p.array_by_name("T").unwrap();
-    assert!(
-        r.plan.on_disk(tid),
-        "T must spill under a 12 KB limit"
-    );
+    assert!(r.plan.on_disk(tid), "T must spill under a 12 KB limit");
     verify_outputs(&p, &rep.outputs);
 }
 

@@ -85,8 +85,7 @@ fn four_index_chain_through_pipeline() {
     let lowered = lower_unfused(&expr, &tree).expect("lowering");
     // execute the unfused derived program out of core and verify
     let want = dense_reference(&lowered, gen);
-    let r =
-        synthesize_dcs(&lowered, &SynthesisConfig::test_scale(16 * 1024)).expect("synthesis");
+    let r = synthesize_dcs(&lowered, &SynthesisConfig::test_scale(16 * 1024)).expect("synthesis");
     let rep = execute(&r.plan, &ExecOptions::full_test()).expect("execution");
     for (g, w) in rep.outputs["B"].iter().zip(&want["B"]) {
         assert!((g - w).abs() < 1e-6 * (1.0 + w.abs()));

@@ -103,7 +103,12 @@ fn exhaustive_optimum(program: &Program, mem_limit: u64) -> f64 {
         let tiles: TileAssignment = indices
             .iter()
             .zip(&pos)
-            .map(|(i, &k)| (i.clone(), ladders[indices.iter().position(|x| x == i).unwrap()][k]))
+            .map(|(i, &k)| {
+                (
+                    i.clone(),
+                    ladders[indices.iter().position(|x| x == i).unwrap()][k],
+                )
+            })
             .collect();
         for sel in &selections {
             let mem = space.total_memory(sel).eval(ranges, &tiles);

@@ -44,8 +44,7 @@ fn collective_io_conserves_bytes_and_splits_time() {
     // per-operation seek cost dominates and does not shrink with more
     // disks, so only the transfer component is required to split 4 ways.
     assert!(par.elapsed_io_s < seq.elapsed_io_s);
-    let seek = seq.per_rank[0].total_ops() as f64
-        * DiskProfile::unconstrained_test().seek_s;
+    let seek = seq.per_rank[0].total_ops() as f64 * DiskProfile::unconstrained_test().seek_s;
     let seq_transfer = seq.elapsed_io_s - seek;
     let par_transfer = par.elapsed_io_s - seek; // same op count per rank
     assert!(
@@ -85,8 +84,8 @@ fn table4_shape_doubling_processors_superlinear_when_memory_bound() {
     let per_node = 2u64 << 30;
     let mut times = Vec::new();
     for nproc in [2usize, 4] {
-        let r = synthesize_dcs(&p, &quick_paper_config(nproc as u64 * per_node))
-            .expect("synthesis");
+        let r =
+            synthesize_dcs(&p, &quick_paper_config(nproc as u64 * per_node)).expect("synthesis");
         let rep = execute(&r.plan, &ExecOptions::dry_run().with_nproc(nproc)).expect("dry");
         times.push(rep.elapsed_io_s);
     }

@@ -5,6 +5,7 @@
 //! chains) surfaces here.
 
 use proptest::prelude::*;
+use proptest::strategy::Strategy;
 use tce_exec::interp::default_input_gen;
 use tce_exec::{dense_reference, execute, ExecOptions};
 use tce_ooc::core::prelude::*;
@@ -27,7 +28,11 @@ fn arb_expr() -> impl proptest::strategy::Strategy<Value = RandomExpr> {
         v
     });
     let factors = proptest::collection::vec(factor, 2..4);
-    (extents, factors, proptest::collection::vec(proptest::bool::ANY, INDICES.len()))
+    (
+        extents,
+        factors,
+        proptest::collection::vec(proptest::bool::ANY, INDICES.len()),
+    )
         .prop_map(|(extents, factor_idx, out_mask)| {
             let mut ranges = tce_ooc::ir::RangeMap::new();
             for (name, &e) in INDICES.iter().zip(&extents) {

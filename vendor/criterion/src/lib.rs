@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_with_input`, `bench_function`, `Throughput`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple mean-of-samples timer instead of criterion's full
+//! statistical machinery. Good enough to run `cargo bench` offline and
+//! get comparable numbers; not a replacement for real criterion runs.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let timing = run_bench(self.sample_size, &mut f);
+        report(name, timing, None);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` with the given input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let timing = run_bench(self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        report(
+            &format!("{}/{}", self.name, id.label),
+            timing,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Times `f` without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let timing = run_bench(self.sample_size, &mut f);
+        report(
+            &format!("{}/{}", self.name, id.into()),
+            timing,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (printing is per-bench; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; call [`Bencher::iter`] with the body to time.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `body` (plus one untimed warm-up on the first
+    /// call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        if self.samples.is_empty() {
+            black_box(body()); // warm-up
+        }
+        let start = Instant::now();
+        black_box(body());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_bench(samples: usize, f: &mut dyn FnMut(&mut Bencher)) -> Duration {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let total: Duration = b.samples.iter().sum();
+    total / b.samples.len() as u32
+}
+
+fn report(label: &str, mean: Duration, throughput: Option<Throughput>) {
+    match throughput {
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            let rate = n as f64 / mean.as_secs_f64() / 1e6;
+            println!("bench {label}: {mean:?}/iter ({rate:.1} MB/s)");
+        }
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("bench {label}: {mean:?}/iter ({rate:.0} elem/s)");
+        }
+        _ => println!("bench {label}: {mean:?}/iter"),
+    }
+}
+
+/// Declares a group runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,19 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A strategy yielding `true` or `false` with equal probability.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// The canonical boolean strategy (`proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}

@@ -1,0 +1,314 @@
+//! A tiny generator for regex-shaped string patterns.
+//!
+//! Real proptest interprets `&str` strategies as full regexes via the
+//! `regex-syntax` crate. This stand-in supports the subset the
+//! workspace's fuzz tests use:
+//!
+//! * literals, `(alt|ern|ation)`, character classes `[A-Za-z]` with
+//!   ranges, escapes and negation, `.`
+//! * escapes `\\`, `\[`, `\]` … and the Unicode-category shorthand `\PC`
+//!   (any non-control character)
+//! * quantifiers `?`, `*`, `+`, `{n}`, `{m,n}` (with `*`/`+` capped at a
+//!   small repeat count)
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// One alternative chosen uniformly.
+    Alt(Vec<Node>),
+    /// Concatenation of parts.
+    Seq(Vec<Node>),
+    /// One literal char.
+    Lit(char),
+    /// One char drawn from the listed options.
+    Class(Vec<(char, char)>),
+    /// Any printable (non-control) character.
+    Printable,
+    /// `node{lo,hi}` repetitions, bounds inclusive.
+    Repeat(Box<Node>, u32, u32),
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn expect(&mut self, want: char) {
+        match self.bump() {
+            Some(c) if c == want => {}
+            got => panic!("pattern {:?}: expected {want:?}, got {got:?}", self.src),
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn alternation(&mut self) -> Node {
+        let mut alts = vec![self.concat()];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.concat());
+        }
+        if alts.len() == 1 {
+            alts.pop().expect("nonempty")
+        } else {
+            Node::Alt(alts)
+        }
+    }
+
+    /// concat := (atom quantifier?)*
+    fn concat(&mut self) -> Node {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom();
+            parts.push(self.quantified(atom));
+        }
+        Node::Seq(parts)
+    }
+
+    fn atom(&mut self) -> Node {
+        match self.bump().expect("atom") {
+            '(' => {
+                let inner = self.alternation();
+                self.expect(')');
+                inner
+            }
+            '[' => self.class(),
+            '\\' => self.escape(),
+            '.' => Node::Printable,
+            c => Node::Lit(c),
+        }
+    }
+
+    fn escape(&mut self) -> Node {
+        match self.bump().expect("escape") {
+            'P' | 'p' => {
+                // \PC / \p{C}: we only support the C (control) category,
+                // used negated as "any printable char"
+                match self.bump() {
+                    Some('C') => Node::Printable,
+                    Some('{') => {
+                        while let Some(c) = self.bump() {
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                        Node::Printable
+                    }
+                    got => panic!("pattern {:?}: unsupported category {got:?}", self.src),
+                }
+            }
+            'n' => Node::Lit('\n'),
+            't' => Node::Lit('\t'),
+            'r' => Node::Lit('\r'),
+            'd' => Node::Class(vec![('0', '9')]),
+            'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            's' => Node::Class(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+            c => Node::Lit(c),
+        }
+    }
+
+    /// class := '[' '^'? item+ ']' where item := char | char '-' char | escape
+    fn class(&mut self) -> Node {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        loop {
+            let c = match self.bump() {
+                Some(']') => break,
+                Some('\\') => match self.escape() {
+                    Node::Lit(c) => c,
+                    Node::Class(mut r) => {
+                        ranges.append(&mut r);
+                        continue;
+                    }
+                    _ => panic!("pattern {:?}: unsupported class escape", self.src),
+                },
+                Some(c) => c,
+                None => panic!("pattern {:?}: unterminated class", self.src),
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = match self.bump() {
+                    Some('\\') => match self.escape() {
+                        Node::Lit(c) => c,
+                        _ => panic!("pattern {:?}: bad range end", self.src),
+                    },
+                    Some(c) => c,
+                    None => panic!("pattern {:?}: unterminated range", self.src),
+                };
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if negated {
+            // complement within printable ASCII
+            let mut keep = Vec::new();
+            for code in 0x20u32..0x7f {
+                let ch = char::from_u32(code).expect("ascii");
+                if !ranges.iter().any(|&(lo, hi)| lo <= ch && ch <= hi) {
+                    keep.push((ch, ch));
+                }
+            }
+            Node::Class(keep)
+        } else {
+            Node::Class(ranges)
+        }
+    }
+
+    fn quantified(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('{') => {
+                self.bump();
+                let mut lo = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        lo.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let lo: u32 = lo
+                    .parse()
+                    .unwrap_or_else(|_| panic!("pattern {:?}: bad repetition count", self.src));
+                let hi = if self.peek() == Some(',') {
+                    self.bump();
+                    let mut hi = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_digit() {
+                            hi.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    hi.parse().unwrap_or(lo + 8)
+                } else {
+                    lo
+                };
+                self.expect('}');
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+}
+
+fn emit(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Alt(alts) => {
+            let k = rng.random_range(0..alts.len());
+            emit(&alts[k], rng, out);
+        }
+        Node::Seq(parts) => {
+            for p in parts {
+                emit(p, rng, out);
+            }
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            if ranges.is_empty() {
+                return;
+            }
+            let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+            let span = hi as u32 - lo as u32 + 1;
+            let code = lo as u32 + rng.random_range(0..span as u64) as u32;
+            out.push(char::from_u32(code).unwrap_or(lo));
+        }
+        Node::Printable => {
+            // mostly printable ASCII with an occasional non-ASCII scalar
+            let c = if rng.random_range(0..8u32) == 0 {
+                let code = rng.random_range(0xA0u64..0x2000) as u32;
+                char::from_u32(code).unwrap_or('¤')
+            } else {
+                char::from_u32(rng.random_range(0x20u64..0x7f) as u32).expect("ascii")
+            };
+            out.push(c);
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.random_range(*lo..=*hi);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        src: pattern,
+    };
+    let node = p.alternation();
+    assert!(
+        p.peek().is_none(),
+        "pattern {pattern:?}: trailing input at {}",
+        p.pos
+    );
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_match() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = generate("[A-Za-z]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic()));
+
+            let s = generate("(input|output|range) ?", &mut rng);
+            assert!(
+                ["input", "output", "range", "input ", "output ", "range "].contains(&s.as_str()),
+                "{s:?}"
+            );
+
+            let s = generate("\\PC{0,20}", &mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The case loop behind the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// Assertion failure (fails the test).
+    Fail(String),
+    /// `prop_assume!` miss (the case is skipped, not failed).
+    Reject,
+}
+
+impl TestCaseError {
+    /// An assertion failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject => f.write_str("test case rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Outcome of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `case` for each of `config.cases` deterministic seeds; panics on
+/// the first failure, naming the case index so the run can be replayed.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    case: impl Fn(&mut StdRng) -> TestCaseResult,
+) {
+    let mut rejects = 0u32;
+    for k in 0..config.cases {
+        // deterministic per-case seed; independent of execution order
+        let mut rng = StdRng::seed_from_u64(0x70726F70u64 ^ (u64::from(k) << 16));
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                let limit = config.cases.saturating_mul(16).max(1024);
+                assert!(
+                    rejects < limit,
+                    "{name}: too many prop_assume! rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(m)) => {
+                panic!("{name}: case {k}/{} failed: {m}", config.cases);
+            }
+        }
+    }
+}

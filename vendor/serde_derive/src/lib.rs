@@ -1,0 +1,226 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote` available offline) that
+//! target the vendored value-tree `serde` stub:
+//!
+//! * structs with named fields serialize to `Value::Map` in declaration
+//!   order and deserialize field-by-field;
+//! * enums with unit variants serialize to `Value::Str(variant_name)`.
+//!
+//! Generics, tuple structs and payload-carrying enum variants are not
+//! supported — the workspace derives only on plain data rows and
+//! profiles.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parses the derive input far enough to learn the item's name and its
+/// field/variant names.
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    // skip attributes (`# [ ... ]`) and visibility
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // optional pub(crate) / pub(super) group
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    // find the body braces (skipping `where`-less simple paths; generics
+    // are unsupported and will fail loudly here)
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive: generic items are not supported by the offline stub")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: missing item body"),
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_field_names(body.stream()),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variant_names(body.stream()),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Field names of a named-field struct body: the ident right before each
+/// top-level `:`.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut expecting_field = true;
+    let mut pending_ident: Option<String> = None;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '#' if expecting_field => {
+                    iter.next(); // attribute group
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => expecting_field = true,
+                ':' if angle_depth == 0 && expecting_field => {
+                    if let Some(name) = pending_ident.take() {
+                        fields.push(name);
+                    }
+                    expecting_field = false;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if expecting_field => {
+                let s = id.to_string();
+                if s != "pub" {
+                    pending_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Variant names of an enum body; payload groups are skipped but flagged.
+fn parse_variant_names(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut expecting = true;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => expecting = true,
+            TokenTree::Ident(id) if expecting => {
+                variants.push(id.to_string());
+                expecting = false;
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    panic!(
+                        "serde_derive: enum variants with payloads are not supported \
+                         by the offline stub"
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+/// Derives the value-tree `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {} }}.to_string())\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the value-tree `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             v.get(\"{f}\").ok_or_else(|| ::serde::Error::missing(\"{f}\"))?\
+                         )?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {},\n\
+                                 other => Err(::serde::Error(format!(\
+                                     \"unknown {name} variant `{{other}}`\")))\n\
+                             }},\n\
+                             other => Err(::serde::Error::mismatch(\"string\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

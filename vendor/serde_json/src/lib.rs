@@ -1,0 +1,147 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde` value
+//! tree as JSON text (compact or pretty, two-space indents).
+
+#![warn(missing_docs)]
+
+pub use serde::{Error, Value};
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number(x: f64) -> String {
+    if !x.is_finite() {
+        // JSON has no Inf/NaN; serde_json errors here, we emit null
+        "null".to_string()
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        format!("{:.1}", x)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn write_value(v: &Value, indent: Option<usize>, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => out.push_str(&number(*x)),
+        Value::Str(s) => escape_into(s, out),
+        Value::Seq(items) => write_block('[', ']', items.len(), indent, out, |k, ind, out| {
+            write_value(&items[k], ind, out);
+        }),
+        Value::Map(entries) => write_block('{', '}', entries.len(), indent, out, |k, ind, out| {
+            escape_into(&entries[k].0, out);
+            out.push_str(": ");
+            write_value(&entries[k].1, ind, out);
+        }),
+    }
+}
+
+fn write_block(
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    out: &mut String,
+    mut item: impl FnMut(usize, Option<usize>, &mut String),
+) {
+    if len == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    let inner = indent.map(|d| d + 1);
+    for k in 0..len {
+        if k > 0 {
+            out.push(',');
+        }
+        match inner {
+            Some(d) => {
+                out.push('\n');
+                out.push_str(&"  ".repeat(d));
+            }
+            None => {
+                if k > 0 {
+                    out.push(' ');
+                }
+            }
+        }
+        item(k, inner, out);
+    }
+    if let Some(d) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(d));
+    }
+    out.push(close);
+}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as pretty-printed JSON (two-space indents).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(0), &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let v = Value::Map(vec![
+            ("name".to_string(), Value::Str("tce".to_string())),
+            (
+                "sizes".to_string(),
+                Value::Seq(vec![Value::UInt(140), Value::UInt(190)]),
+            ),
+            ("ratio".to_string(), Value::Float(2.5)),
+            ("ok".to_string(), Value::Bool(true)),
+        ]);
+        let compact = {
+            let mut s = String::new();
+            write_value(&v, None, &mut s);
+            s
+        };
+        assert_eq!(
+            compact,
+            r#"{"name": "tce", "sizes": [140, 190], "ratio": 2.5, "ok": true}"#
+        );
+        let pretty = {
+            let mut s = String::new();
+            write_value(&v, Some(0), &mut s);
+            s
+        };
+        assert!(pretty.contains("\n  \"sizes\": [\n    140"), "{pretty}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut s = String::new();
+        write_value(&Value::Str("a\"b\\c\nd".to_string()), None, &mut s);
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+}
