@@ -28,6 +28,15 @@
 //! --full                  (run) move real data instead of a dry run
 //! --verify                (run) with --full: compare against the dense
 //!                         reference evaluator
+//! --faults <spec>         (run) seeded per-disk fault schedules:
+//!                         "seed=N;rank=R[,after=N][,kind=transient:K|permanent]
+//!                         [,p=P][,spike=P:S];..." — semicolon-separated
+//!                         per-rank specs, optional global seed segment
+//! --retry <spec>          (run) retry transient faults:
+//!                         "attempts[,base_s[,factor]]"
+//! --resume                (run) with --full: checkpoint at tile
+//!                         boundaries and restart failed runs from the
+//!                         latest checkpoint automatically
 //! ```
 //!
 //! The binary is a thin wrapper around [`run_cli`], which is unit-tested
@@ -37,9 +46,14 @@
 
 use std::fmt::Write as _;
 use tce_core::prelude::*;
+use tce_disksim::{DiskFaults, FaultKind, FaultPlan};
 use tce_exec::interp::default_input_gen;
-use tce_exec::{dense_reference, execute, ExecMode, ExecOptions};
+use tce_exec::{dense_reference, execute, run_to_completion, ExecMode, ExecOptions, RetryPolicy};
 use tce_ir::Program;
+
+/// Leg budget for `--resume` auto-restart: the initial run plus up to
+/// three checkpointed restarts.
+const MAX_RESUME_LEGS: u32 = 4;
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -78,6 +92,12 @@ pub struct Cli {
     pub full: bool,
     /// Verify against the dense reference (`run --full` only).
     pub verify: bool,
+    /// Seeded per-disk fault schedules for `run`.
+    pub faults: Option<FaultPlan>,
+    /// Retry policy for transient disk faults.
+    pub retry: Option<RetryPolicy>,
+    /// Checkpoint at tile boundaries and auto-restart failed runs.
+    pub resume: bool,
 }
 
 /// Subcommands.
@@ -132,6 +152,139 @@ pub fn parse_size(s: &str) -> Result<u64, CliError> {
         .map_err(|_| CliError(format!("bad size `{s}` (use e.g. 2048, 64K, 512M, 2G)")))
 }
 
+fn parse_prob(key: &str, v: &str) -> Result<f64, CliError> {
+    let p: f64 = v
+        .parse()
+        .map_err(|_| CliError(format!("{key} needs a probability in [0, 1]")))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(CliError(format!("{key} needs a probability in [0, 1]")));
+    }
+    Ok(p)
+}
+
+/// Parses a `--faults` spec: semicolon-separated segments, each either a
+/// global `seed=N` or a per-rank schedule
+/// `rank=R[,after=N][,kind=transient:K|permanent][,p=P][,spike=P:S]`.
+///
+/// `after=N` makes rank `R`'s disk fail once `N` execution-phase
+/// operations have succeeded; `kind` selects whether that failure is
+/// permanent (default) or a burst of `K` transient faults. `p=P` injects
+/// a transient fault on each operation with probability `P`, and
+/// `spike=P:S` adds an `S`-second latency spike with probability `P` —
+/// both drawn from per-rank streams of the plan seed.
+pub fn parse_faults(s: &str) -> Result<FaultPlan, CliError> {
+    let mut plan = FaultPlan::none();
+    for seg in s.split(';').map(str::trim).filter(|seg| !seg.is_empty()) {
+        if let Some(v) = seg.strip_prefix("seed=") {
+            let seed = v
+                .trim()
+                .parse()
+                .map_err(|_| CliError("--faults seed= needs an integer".into()))?;
+            plan = plan.with_seed(seed);
+            continue;
+        }
+        let mut rank: Option<usize> = None;
+        let mut spec = DiskFaults::default();
+        let mut after: Option<u64> = None;
+        let mut kind: Option<FaultKind> = None;
+        for part in seg.split(',').map(str::trim) {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| CliError(format!("--faults: `{part}` is not a key=value pair")))?;
+            match key {
+                "rank" => {
+                    rank = Some(
+                        val.parse()
+                            .map_err(|_| CliError("--faults rank= needs an integer".into()))?,
+                    )
+                }
+                "after" => {
+                    after = Some(
+                        val.parse()
+                            .map_err(|_| CliError("--faults after= needs an integer".into()))?,
+                    )
+                }
+                "kind" => {
+                    kind = Some(match val {
+                        "permanent" => FaultKind::Permanent,
+                        "transient" => FaultKind::Transient(1),
+                        _ => match val.strip_prefix("transient:") {
+                            Some(k) => FaultKind::Transient(k.parse().map_err(|_| {
+                                CliError("--faults kind=transient:K needs an integer K".into())
+                            })?),
+                            None => {
+                                return Err(CliError(format!(
+                                    "--faults: unknown kind `{val}` (use permanent or transient:K)"
+                                )))
+                            }
+                        },
+                    })
+                }
+                "p" => spec.p_transient = parse_prob("--faults p=", val)?,
+                "spike" => {
+                    let (p, secs) = val
+                        .split_once(':')
+                        .ok_or_else(|| CliError("--faults spike= needs P:SECONDS".into()))?;
+                    spec.p_spike = parse_prob("--faults spike=", p)?;
+                    spec.spike_s = secs
+                        .parse()
+                        .map_err(|_| CliError("--faults spike= needs P:SECONDS".into()))?;
+                    if !spec.spike_s.is_finite() || spec.spike_s < 0.0 {
+                        return Err(CliError("--faults spike seconds must be >= 0".into()));
+                    }
+                }
+                _ => return Err(CliError(format!("--faults: unknown key `{key}`"))),
+            }
+        }
+        let rank = rank.ok_or_else(|| CliError("--faults: each fault spec needs rank=R".into()))?;
+        match (after, kind) {
+            (Some(n), k) => spec.fail_after = Some((n, k.unwrap_or(FaultKind::Permanent))),
+            (None, Some(_)) => return Err(CliError("--faults: kind= requires after=N".into())),
+            (None, None) => {}
+        }
+        plan = plan.with_disk(rank, spec);
+    }
+    Ok(plan)
+}
+
+/// Parses a `--retry` spec: `attempts[,base_s[,factor]]` with library
+/// defaults for the unspecified backoff shape.
+pub fn parse_retry(s: &str) -> Result<RetryPolicy, CliError> {
+    let mut policy = RetryPolicy::default();
+    let mut parts = s.split(',').map(str::trim);
+    let attempts: u32 = parts
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| CliError("--retry needs attempts[,base_s[,factor]]".into()))?;
+    if attempts == 0 {
+        return Err(CliError("--retry attempts must be at least 1".into()));
+    }
+    policy.max_attempts = attempts;
+    if let Some(base) = parts.next() {
+        policy.base_backoff_s = base
+            .parse()
+            .map_err(|_| CliError("--retry base_s needs seconds".into()))?;
+        if !policy.base_backoff_s.is_finite() || policy.base_backoff_s < 0.0 {
+            return Err(CliError("--retry base_s must be >= 0".into()));
+        }
+    }
+    if let Some(factor) = parts.next() {
+        policy.backoff_factor = factor
+            .parse()
+            .map_err(|_| CliError("--retry factor needs a number".into()))?;
+        if !policy.backoff_factor.is_finite() || policy.backoff_factor < 1.0 {
+            return Err(CliError("--retry factor must be >= 1".into()));
+        }
+    }
+    if parts.next().is_some() {
+        return Err(CliError(
+            "--retry takes at most attempts,base_s,factor".into(),
+        ));
+    }
+    Ok(policy)
+}
+
 /// Parses the argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut it = args.iter();
@@ -169,6 +322,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         nproc: 1,
         full: false,
         verify: false,
+        faults: None,
+        retry: None,
+        resume: false,
     };
 
     while let Some(arg) = it.next() {
@@ -254,11 +410,17 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             }
             "--full" => cli.full = true,
             "--verify" => cli.verify = true,
+            "--faults" => cli.faults = Some(parse_faults(&value("--faults")?)?),
+            "--retry" => cli.retry = Some(parse_retry(&value("--retry")?)?),
+            "--resume" => cli.resume = true,
             other => return Err(CliError(format!("unknown option `{other}`"))),
         }
     }
     if cli.verify && !cli.full {
         return Err(CliError("--verify requires --full".into()));
+    }
+    if cli.resume && !cli.full {
+        return Err(CliError("--resume requires --full".into()));
     }
     Ok(cli)
 }
@@ -337,11 +499,19 @@ pub fn run_cli(cli: &Cli) -> Result<String, CliError> {
                     DiskProfile::itanium2_osc()
                 },
                 input_gen: default_input_gen,
-                inject_fault: None,
+                fault_plan: cli.faults.clone(),
+                retry: cli.retry.clone(),
+                checkpoint: false,
+                halt_after_checkpoints: None,
+                resume_from: None,
                 cache_block: None,
             };
-            let rep =
-                execute(&r.plan, &opts).map_err(|e| CliError(format!("execution failed: {e}")))?;
+            let rep = if cli.resume {
+                run_to_completion(&r.plan, &opts, MAX_RESUME_LEGS)
+            } else {
+                execute(&r.plan, &opts)
+            }
+            .map_err(|e| CliError(format!("execution failed: {e}")))?;
             let _ = writeln!(
                 out,
                 "executed on {} process(es): {:.3}s simulated I/O ({} ops, {:.3} MB), predicted {:.3}s",
@@ -351,6 +521,9 @@ pub fn run_cli(cli: &Cli) -> Result<String, CliError> {
                 rep.total.total_bytes() as f64 / 1e6,
                 r.predicted.parallel_s(cli.nproc, &opts.profile),
             );
+            if cli.faults.is_some() || cli.retry.is_some() || cli.resume {
+                let _ = writeln!(out, "resilience: {}", rep.resilience);
+            }
             if cli.verify {
                 let want = dense_reference(&program, default_input_gen);
                 let mut max_err = 0.0f64;
@@ -503,6 +676,87 @@ mod tests {
         assert_eq!(cli.budget, Some(500_000));
         assert_eq!(cli.threads, 4);
         assert!(cli.explain);
+    }
+
+    #[test]
+    fn parse_fault_and_retry_specs() {
+        let plan =
+            parse_faults("seed=42; rank=0,after=5,kind=transient:2,spike=0.1:0.5; rank=2,p=0.01")
+                .unwrap();
+        assert_eq!(plan.seed, 42);
+        let d0 = plan.disk(0);
+        assert_eq!(d0.fail_after, Some((5, FaultKind::Transient(2))));
+        assert_eq!(d0.p_spike, 0.1);
+        assert_eq!(d0.spike_s, 0.5);
+        let d2 = plan.disk(2);
+        assert_eq!(d2.p_transient, 0.01);
+        assert!(plan.disk(1).is_idle());
+        // after= without kind defaults to a permanent failure
+        let plan = parse_faults("rank=1,after=3").unwrap();
+        assert_eq!(plan.disk(1).fail_after, Some((3, FaultKind::Permanent)));
+
+        let policy = parse_retry("6,0.01,1.5").unwrap();
+        assert_eq!(policy.max_attempts, 6);
+        assert_eq!(policy.base_backoff_s, 0.01);
+        assert_eq!(policy.backoff_factor, 1.5);
+        assert_eq!(parse_retry("3").unwrap().max_attempts, 3);
+
+        assert!(parse_faults("rank=0,p=1.5").is_err());
+        assert!(parse_faults("after=3").is_err()); // missing rank
+        assert!(parse_faults("rank=0,kind=permanent").is_err()); // kind without after
+        assert!(parse_faults("rank=0,banana=1").is_err());
+        assert!(parse_retry("0").is_err());
+        assert!(parse_retry("3,0.1,0.5").is_err()); // factor < 1
+    }
+
+    #[test]
+    fn parse_resilience_flags() {
+        let cli = parse_args(&args(
+            "run f.tce --full --faults rank=0,after=2,kind=transient:1 --retry 4 --resume",
+        ))
+        .unwrap();
+        assert!(cli.resume);
+        assert!(cli.faults.is_some());
+        assert_eq!(cli.retry.as_ref().map(|r| r.max_attempts), Some(4));
+        // --resume needs --full (checkpoints exist only in full mode)
+        assert!(parse_args(&args("run f.tce --resume")).is_err());
+    }
+
+    #[test]
+    fn run_with_transient_faults_retries_and_verifies() {
+        let file = write_fixture();
+        let cli = parse_args(&args(&format!(
+            "run {file} --mem 8K --test-scale --full --verify --print tiles \
+             --faults rank=0,after=4,kind=transient:2 --retry 5,0.01"
+        )))
+        .unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("resilience: faults 2, retries 2"), "{out}");
+        assert!(out.contains("verification: max"), "{out}");
+    }
+
+    #[test]
+    fn run_with_permanent_fault_resumes_and_verifies() {
+        let file = write_fixture();
+        let cli = parse_args(&args(&format!(
+            "run {file} --mem 8K --test-scale --full --verify --resume --print tiles \
+             --faults rank=0,after=6"
+        )))
+        .unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("resume leg(s)"), "{out}");
+        assert!(out.contains("verification: max"), "{out}");
+    }
+
+    #[test]
+    fn run_without_retry_fails_with_typed_fault() {
+        let file = write_fixture();
+        let cli = parse_args(&args(&format!(
+            "run {file} --mem 8K --test-scale --full --print tiles --faults rank=0,after=2"
+        )))
+        .unwrap();
+        let err = run_cli(&cli).unwrap_err();
+        assert!(err.0.contains("injected permanent disk fault"), "{err}");
     }
 
     #[test]

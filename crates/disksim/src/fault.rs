@@ -1,0 +1,310 @@
+//! Deterministic, seeded fault schedules for simulated disks.
+//!
+//! Out-of-core runs move enormous data volumes through disks for hours —
+//! exactly the regime where transient I/O failures are expected rather
+//! than exceptional. A [`FaultPlan`] describes, per simulated disk, when
+//! and how operations fail or slow down:
+//!
+//! * **fail-after-N-ops** — a deterministic trigger after `N` successful
+//!   operations, either [`FaultKind::Transient`] (the next `k` operations
+//!   fail, then the disk recovers) or [`FaultKind::Permanent`] (every
+//!   further operation fails until the disk is "replaced" via
+//!   [`crate::SimDisk::clear_fault`]);
+//! * **per-op failure probability** — each operation independently fails
+//!   with probability `p_transient`, drawn from a seeded RNG;
+//! * **latency spikes** — each successful operation is slowed by
+//!   `spike_s` simulated seconds with probability `p_spike`.
+//!
+//! Everything is charged to [`crate::IoStats`] (`faulted_ops`,
+//! `fault_time_s`) so cost accounting stays honest, and every draw comes
+//! from a per-disk stream derived from [`FaultPlan::seed`] — identical
+//! seeds reproduce identical fault histories on every run and platform,
+//! with no wall-clock dependence.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How a triggered fault behaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The next `k` operations fail, then the schedule clears and the
+    /// disk works again — a retry layer can ride it out.
+    Transient(u64),
+    /// Every subsequent operation fails until the fault is cleared
+    /// (the simulated equivalent of a dead spindle).
+    Permanent,
+}
+
+/// Fault schedule for one simulated disk. The default is fault-free.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiskFaults {
+    /// Deterministic trigger: after this many *successful* operations,
+    /// fire a fault of the given kind.
+    pub fail_after: Option<(u64, FaultKind)>,
+    /// Per-operation probability of an independent transient failure.
+    pub p_transient: f64,
+    /// Per-operation probability of a latency spike.
+    pub p_spike: f64,
+    /// Simulated seconds added by one latency spike.
+    pub spike_s: f64,
+}
+
+impl Default for DiskFaults {
+    fn default() -> Self {
+        DiskFaults {
+            fail_after: None,
+            p_transient: 0.0,
+            p_spike: 0.0,
+            spike_s: 0.0,
+        }
+    }
+}
+
+impl DiskFaults {
+    /// True if this schedule can never affect an operation.
+    pub fn is_idle(&self) -> bool {
+        self.fail_after.is_none() && self.p_transient <= 0.0 && self.p_spike <= 0.0
+    }
+}
+
+/// A deterministic, seeded fault schedule for a set of simulated disks
+/// (one entry per rank; disks beyond the vector are fault-free).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic draws. Per-disk streams are derived
+    /// from it, so two disks with identical schedules still see
+    /// independent (but reproducible) fault histories.
+    pub seed: u64,
+    /// Per-disk schedules, indexed by rank.
+    pub disks: Vec<DiskFaults>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the schedule of `rank`, growing the vector as needed.
+    pub fn with_disk(mut self, rank: usize, spec: DiskFaults) -> Self {
+        if self.disks.len() <= rank {
+            self.disks.resize(rank + 1, DiskFaults::default());
+        }
+        self.disks[rank] = spec;
+        self
+    }
+
+    /// Sets the seed for probabilistic draws.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Convenience: `rank`'s disk fails permanently after `ops`
+    /// successful operations (the old `inject_fault` behavior).
+    pub fn permanent_after(rank: usize, ops: u64) -> Self {
+        FaultPlan::none().with_disk(
+            rank,
+            DiskFaults {
+                fail_after: Some((ops, FaultKind::Permanent)),
+                ..DiskFaults::default()
+            },
+        )
+    }
+
+    /// Convenience: `rank`'s disk fails `count` consecutive operations
+    /// starting after `ops` successful ones, then recovers.
+    pub fn transient_after(rank: usize, ops: u64, count: u64) -> Self {
+        FaultPlan::none().with_disk(
+            rank,
+            DiskFaults {
+                fail_after: Some((ops, FaultKind::Transient(count))),
+                ..DiskFaults::default()
+            },
+        )
+    }
+
+    /// The schedule for `rank` (fault-free if unspecified).
+    pub fn disk(&self, rank: usize) -> DiskFaults {
+        self.disks.get(rank).cloned().unwrap_or_default()
+    }
+
+    /// The RNG stream seed for `rank`'s disk.
+    pub fn stream_seed(&self, rank: usize) -> u64 {
+        // splitmix-style rank decorrelation: adjacent ranks land far
+        // apart in seed space
+        self.seed ^ (rank as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+    }
+
+    /// Removes the deterministic `fail_after` trigger of `rank` —
+    /// "replacing the disk" between resume legs. Probabilistic transient
+    /// faults stay active.
+    pub fn clear_deterministic(&mut self, rank: usize) {
+        if let Some(spec) = self.disks.get_mut(rank) {
+            spec.fail_after = None;
+        }
+    }
+}
+
+/// What the fault model decided about one operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum FaultDecision {
+    /// Proceed, adding `spike_s` simulated seconds of extra latency.
+    Proceed {
+        /// Extra latency (0 for a clean op).
+        spike_s: f64,
+    },
+    /// Fail the operation.
+    Fail {
+        /// Permanent faults never clear; transient ones may succeed on
+        /// retry.
+        permanent: bool,
+    },
+}
+
+/// Live fault state of one disk: the schedule plus its seeded stream.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultState {
+    spec: DiskFaults,
+    rng: StdRng,
+    /// Successful operations seen so far (the `fail_after` clock).
+    ops_seen: u64,
+    /// Remaining consecutive failures of a triggered transient fault.
+    transient_left: u64,
+    /// A permanent fault has latched.
+    permanent: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new(spec: DiskFaults, stream_seed: u64) -> Self {
+        FaultState {
+            spec,
+            rng: StdRng::seed_from_u64(stream_seed),
+            ops_seen: 0,
+            transient_left: 0,
+            permanent: false,
+        }
+    }
+
+    /// Decides the fate of the next operation. Mutates the schedule
+    /// clocks and consumes RNG draws, so call exactly once per attempt.
+    pub(crate) fn decide(&mut self) -> FaultDecision {
+        if self.permanent {
+            return FaultDecision::Fail { permanent: true };
+        }
+        if self.transient_left > 0 {
+            self.transient_left -= 1;
+            return FaultDecision::Fail { permanent: false };
+        }
+        if let Some((after, kind)) = self.spec.fail_after {
+            if self.ops_seen >= after {
+                match kind {
+                    FaultKind::Permanent => {
+                        self.permanent = true;
+                        return FaultDecision::Fail { permanent: true };
+                    }
+                    FaultKind::Transient(count) => {
+                        // this failure is the first of `count`
+                        self.spec.fail_after = None;
+                        self.transient_left = count.saturating_sub(1);
+                        return FaultDecision::Fail { permanent: false };
+                    }
+                }
+            }
+        }
+        if self.spec.p_transient > 0.0 && self.rng.random_bool(self.spec.p_transient) {
+            return FaultDecision::Fail { permanent: false };
+        }
+        let mut spike_s = 0.0;
+        if self.spec.p_spike > 0.0 && self.rng.random_bool(self.spec.p_spike) {
+            spike_s = self.spec.spike_s;
+        }
+        self.ops_seen += 1;
+        FaultDecision::Proceed { spike_s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permanent_latches_forever() {
+        let mut st = FaultState::new(
+            DiskFaults {
+                fail_after: Some((2, FaultKind::Permanent)),
+                ..DiskFaults::default()
+            },
+            7,
+        );
+        assert_eq!(st.decide(), FaultDecision::Proceed { spike_s: 0.0 });
+        assert_eq!(st.decide(), FaultDecision::Proceed { spike_s: 0.0 });
+        for _ in 0..5 {
+            assert_eq!(st.decide(), FaultDecision::Fail { permanent: true });
+        }
+    }
+
+    #[test]
+    fn transient_clears_after_count() {
+        let mut st = FaultState::new(
+            DiskFaults {
+                fail_after: Some((1, FaultKind::Transient(3))),
+                ..DiskFaults::default()
+            },
+            7,
+        );
+        assert_eq!(st.decide(), FaultDecision::Proceed { spike_s: 0.0 });
+        for _ in 0..3 {
+            assert_eq!(st.decide(), FaultDecision::Fail { permanent: false });
+        }
+        // recovered for good
+        for _ in 0..10 {
+            assert_eq!(st.decide(), FaultDecision::Proceed { spike_s: 0.0 });
+        }
+    }
+
+    #[test]
+    fn probabilistic_faults_are_deterministic_per_seed() {
+        let spec = DiskFaults {
+            p_transient: 0.3,
+            p_spike: 0.2,
+            spike_s: 0.5,
+            ..DiskFaults::default()
+        };
+        let run = |seed: u64| -> Vec<FaultDecision> {
+            let mut st = FaultState::new(spec.clone(), seed);
+            (0..200).map(|_| st.decide()).collect()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+        let hits = run(11)
+            .iter()
+            .filter(|d| matches!(d, FaultDecision::Fail { .. }))
+            .count();
+        // ~30% of 200, loosely bounded
+        assert!((20..120).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn spikes_add_latency_without_failing() {
+        let spec = DiskFaults {
+            p_spike: 1.0,
+            spike_s: 0.25,
+            ..DiskFaults::default()
+        };
+        let mut st = FaultState::new(spec, 3);
+        assert_eq!(st.decide(), FaultDecision::Proceed { spike_s: 0.25 });
+    }
+
+    #[test]
+    fn plan_helpers() {
+        let p = FaultPlan::permanent_after(2, 10).with_seed(9);
+        assert_eq!(p.disk(0), DiskFaults::default());
+        assert_eq!(p.disk(2).fail_after, Some((10, FaultKind::Permanent)));
+        assert!(p.disk(3).is_idle());
+        assert_ne!(p.stream_seed(0), p.stream_seed(1));
+        let mut p = p;
+        p.clear_deterministic(2);
+        assert!(p.disk(2).is_idle());
+    }
+}

@@ -15,8 +15,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod profile;
 pub mod sim;
 
+pub use fault::{DiskFaults, FaultKind, FaultPlan};
 pub use profile::{DiskProfile, IoStats};
 pub use sim::{DiskError, SimDisk, WriteSrc};

@@ -73,12 +73,34 @@ pub struct IoStats {
     pub read_time_s: f64,
     /// Simulated seconds spent writing.
     pub write_time_s: f64,
+    /// Operations that failed with an injected fault (not counted in
+    /// `read_ops`/`write_ops`).
+    pub faulted_ops: u64,
+    /// Operations that were re-attempted by a retry layer.
+    pub retried_ops: u64,
+    /// Simulated seconds lost to faults: wasted seeks of failed attempts
+    /// plus injected latency spikes.
+    pub fault_time_s: f64,
+    /// Simulated seconds spent waiting in retry backoff.
+    pub backoff_time_s: f64,
 }
 
 impl IoStats {
-    /// Total simulated I/O seconds.
+    /// Total simulated I/O seconds, including time lost to faults and
+    /// retry backoff (the honest elapsed-time account).
     pub fn total_time_s(&self) -> f64 {
+        self.read_time_s + self.write_time_s + self.fault_time_s + self.backoff_time_s
+    }
+
+    /// Simulated seconds of fault-free work: what the run would have
+    /// cost on healthy disks.
+    pub fn clean_time_s(&self) -> f64 {
         self.read_time_s + self.write_time_s
+    }
+
+    /// Simulated seconds lost to resilience overhead (faults + backoff).
+    pub fn overhead_time_s(&self) -> f64 {
+        self.fault_time_s + self.backoff_time_s
     }
 
     /// Total bytes moved in either direction.
@@ -99,6 +121,10 @@ impl IoStats {
         self.write_ops += other.write_ops;
         self.read_time_s += other.read_time_s;
         self.write_time_s += other.write_time_s;
+        self.faulted_ops += other.faulted_ops;
+        self.retried_ops += other.retried_ops;
+        self.fault_time_s += other.fault_time_s;
+        self.backoff_time_s += other.backoff_time_s;
     }
 }
 
@@ -149,11 +175,19 @@ mod tests {
             write_ops: 1,
             read_time_s: 0.5,
             write_time_s: 0.25,
+            faulted_ops: 1,
+            retried_ops: 1,
+            fault_time_s: 0.125,
+            backoff_time_s: 0.125,
         };
         let b = a.clone();
         a.merge(&b);
         assert_eq!(a.read_bytes, 20);
         assert_eq!(a.total_ops(), 6);
-        assert!((a.total_time_s() - 1.5).abs() < 1e-12);
+        assert_eq!(a.faulted_ops, 2);
+        assert_eq!(a.retried_ops, 2);
+        assert!((a.clean_time_s() - 1.5).abs() < 1e-12);
+        assert!((a.overhead_time_s() - 0.5).abs() < 1e-12);
+        assert!((a.total_time_s() - 2.0).abs() < 1e-12);
     }
 }

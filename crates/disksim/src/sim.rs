@@ -1,5 +1,6 @@
 //! The simulated block device.
 
+use crate::fault::{DiskFaults, FaultDecision, FaultKind, FaultState};
 use crate::profile::{DiskProfile, IoStats};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -42,8 +43,14 @@ pub enum DiskError {
     },
     /// Data access on a dry (accounting-only) file.
     DryFile(String),
-    /// An injected fault fired (testing; see [`SimDisk::inject_failure_after`]).
-    Injected(String),
+    /// An injected fault fired (see [`SimDisk::set_faults`]).
+    Injected {
+        /// Description of the failed operation (e.g. ``read `A` ``).
+        op: String,
+        /// Permanent faults never clear; transient ones may succeed on
+        /// retry.
+        permanent: bool,
+    },
     /// Destination slice length does not match the request.
     LengthMismatch {
         /// Requested element count.
@@ -67,11 +74,30 @@ impl fmt::Display for DiskError {
                 "access [{offset}, {offset}+{len}) outside `{file}` of length {file_len}"
             ),
             DiskError::DryFile(n) => write!(f, "data access on dry file `{n}`"),
-            DiskError::Injected(op) => write!(f, "injected disk fault on {op}"),
+            DiskError::Injected { op, permanent } => {
+                let kind = if *permanent { "permanent" } else { "transient" };
+                write!(f, "injected {kind} disk fault on {op}")
+            }
             DiskError::LengthMismatch { expected, found } => {
                 write!(f, "buffer length {found} does not match request {expected}")
             }
         }
+    }
+}
+
+impl DiskError {
+    /// True for injected faults that may clear on their own — the only
+    /// errors a retry layer should spend attempts on. Structural errors
+    /// (missing files, bad bounds, dry-file data access) are caller bugs
+    /// and never become right by retrying.
+    pub fn is_transient_fault(&self) -> bool {
+        matches!(
+            self,
+            DiskError::Injected {
+                permanent: false,
+                ..
+            }
+        )
     }
 }
 
@@ -96,9 +122,33 @@ impl FileData {
 struct DiskInner {
     stats: IoStats,
     files: HashMap<String, FileData>,
-    /// Remaining successful operations before every further operation
-    /// fails (`None` = no fault injected).
-    fail_after: Option<u64>,
+    /// Live fault schedule (`None` = fault-free disk).
+    fault: Option<FaultState>,
+}
+
+impl DiskInner {
+    /// Runs the fault model for one operation attempt on `op`. Failed
+    /// attempts charge the seek they wasted to `fault_time_s`; latency
+    /// spikes of surviving ops are charged there too.
+    fn fault_check(&mut self, seek_s: f64, op: impl Fn() -> String) -> Result<(), DiskError> {
+        let Some(st) = self.fault.as_mut() else {
+            return Ok(());
+        };
+        match st.decide() {
+            FaultDecision::Proceed { spike_s } => {
+                self.stats.fault_time_s += spike_s;
+                Ok(())
+            }
+            FaultDecision::Fail { permanent } => {
+                self.stats.faulted_ops += 1;
+                self.stats.fault_time_s += seek_s;
+                Err(DiskError::Injected {
+                    op: op(),
+                    permanent,
+                })
+            }
+        }
+    }
 }
 
 /// A simulated local disk: named files of `f64` elements, an I/O cost
@@ -120,7 +170,7 @@ impl SimDisk {
             inner: Mutex::new(DiskInner {
                 stats: IoStats::default(),
                 files: HashMap::new(),
-                fail_after: None,
+                fault: None,
             }),
         }
     }
@@ -130,16 +180,46 @@ impl SimDisk {
         &self.profile
     }
 
-    /// Fault injection: after `ops` more successful operations, every
-    /// read/write on this disk fails with [`DiskError::Injected`]. Used
-    /// by the failure-propagation tests of the parallel executor.
-    pub fn inject_failure_after(&self, ops: u64) {
-        self.inner.lock().fail_after = Some(ops);
+    /// Installs a fault schedule. All probabilistic draws come from a
+    /// deterministic stream seeded with `stream_seed` (derive it from
+    /// [`crate::FaultPlan::stream_seed`] so ranks decorrelate).
+    pub fn set_faults(&self, spec: DiskFaults, stream_seed: u64) {
+        self.inner.lock().fault = if spec.is_idle() {
+            None
+        } else {
+            Some(FaultState::new(spec, stream_seed))
+        };
     }
 
-    /// Clears any injected fault.
+    /// Fault injection shorthand: after `ops` more successful operations,
+    /// every read/write on this disk fails with [`DiskError::Injected`]
+    /// until [`SimDisk::clear_fault`].
+    pub fn inject_failure_after(&self, ops: u64) {
+        self.set_faults(
+            DiskFaults {
+                fail_after: Some((ops, FaultKind::Permanent)),
+                ..DiskFaults::default()
+            },
+            0,
+        );
+    }
+
+    /// Clears any fault schedule ("replaces the disk").
     pub fn clear_fault(&self) {
-        self.inner.lock().fail_after = None;
+        self.inner.lock().fault = None;
+    }
+
+    /// Charges one retry: the backoff wait spent before re-attempting an
+    /// operation on this disk, in simulated seconds.
+    pub fn charge_retry(&self, backoff_s: f64) {
+        let mut inner = self.inner.lock();
+        inner.stats.retried_ops += 1;
+        inner.stats.backoff_time_s += backoff_s;
+    }
+
+    /// Replaces the accounting wholesale (checkpoint restore).
+    pub fn restore_stats(&self, stats: IoStats) {
+        self.inner.lock().stats = stats;
     }
 
     /// Creates (or replaces) a file of `len` elements. Materialized files
@@ -200,18 +280,13 @@ impl SimDisk {
         dst: Option<&mut [f64]>,
     ) -> Result<(), DiskError> {
         let mut inner = self.inner.lock();
-        if let Some(left) = inner.fail_after.as_mut() {
-            if *left == 0 {
-                return Err(DiskError::Injected(format!("read `{name}`")));
-            }
-            *left -= 1;
-        }
+        inner.fault_check(self.profile.seek_s, || format!("read `{name}`"))?;
         let file = inner
             .files
             .get(name)
             .ok_or_else(|| DiskError::NoSuchFile(name.to_string()))?;
         let file_len = file.len();
-        if offset + len > file_len {
+        if offset.checked_add(len).is_none_or(|end| end > file_len) {
             return Err(DiskError::OutOfBounds {
                 file: name.to_string(),
                 offset,
@@ -244,18 +319,13 @@ impl SimDisk {
     pub fn write(&self, name: &str, offset: u64, src: WriteSrc<'_>) -> Result<(), DiskError> {
         let len = src.len();
         let mut inner = self.inner.lock();
-        if let Some(left) = inner.fail_after.as_mut() {
-            if *left == 0 {
-                return Err(DiskError::Injected(format!("write `{name}`")));
-            }
-            *left -= 1;
-        }
+        inner.fault_check(self.profile.seek_s, || format!("write `{name}`"))?;
         let file = inner
             .files
             .get_mut(name)
             .ok_or_else(|| DiskError::NoSuchFile(name.to_string()))?;
         let file_len = file.len();
-        if offset + len > file_len {
+        if offset.checked_add(len).is_none_or(|end| end > file_len) {
             return Err(DiskError::OutOfBounds {
                 file: name.to_string(),
                 offset,
@@ -411,16 +481,89 @@ mod tests {
         d.inject_failure_after(2);
         d.read("A", 0, 1, None).unwrap();
         d.write("A", 0, WriteSrc::Dry(1)).unwrap();
+        let err = d.read("A", 0, 1, None).unwrap_err();
         assert!(matches!(
-            d.read("A", 0, 1, None).unwrap_err(),
-            DiskError::Injected(_)
+            err,
+            DiskError::Injected {
+                permanent: true,
+                ..
+            }
         ));
+        assert!(!err.is_transient_fault());
         // stays failed until cleared
         assert!(d.write("A", 0, WriteSrc::Dry(1)).is_err());
         d.clear_fault();
         d.read("A", 0, 1, None).unwrap();
-        // failed ops are not charged
-        assert_eq!(d.stats().total_ops(), 3);
+        // failed ops are not charged as transfers, but are accounted
+        let s = d.stats();
+        assert_eq!(s.total_ops(), 3);
+        assert_eq!(s.faulted_ops, 2);
+        assert!((s.fault_time_s - 2.0 * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_schedule_recovers() {
+        use crate::fault::{DiskFaults, FaultKind};
+        let d = disk();
+        d.create("A", 10, false);
+        d.set_faults(
+            DiskFaults {
+                fail_after: Some((1, FaultKind::Transient(2))),
+                ..DiskFaults::default()
+            },
+            0,
+        );
+        d.read("A", 0, 1, None).unwrap();
+        let err = d.read("A", 0, 1, None).unwrap_err();
+        assert!(err.is_transient_fault(), "{err}");
+        assert!(d.read("A", 0, 1, None).is_err());
+        // cleared after two failures
+        d.read("A", 0, 1, None).unwrap();
+        assert_eq!(d.stats().faulted_ops, 2);
+    }
+
+    #[test]
+    fn latency_spikes_are_charged() {
+        use crate::fault::DiskFaults;
+        let d = disk();
+        d.create("A", 10, false);
+        d.set_faults(
+            DiskFaults {
+                p_spike: 1.0,
+                spike_s: 0.5,
+                ..DiskFaults::default()
+            },
+            42,
+        );
+        d.read("A", 0, 10, None).unwrap();
+        let s = d.stats();
+        assert!((s.fault_time_s - 0.5).abs() < 1e-12);
+        // the clean transfer time is unchanged; the spike shows up in the
+        // total elapsed account
+        assert!((s.read_time_s - (0.01 + 80.0 / 800.0)).abs() < 1e-12);
+        assert!((s.total_time_s() - s.clean_time_s() - 0.5).abs() < 1e-12);
+        assert_eq!(s.faulted_ops, 0);
+    }
+
+    #[test]
+    fn retry_charges_accumulate() {
+        let d = disk();
+        d.charge_retry(0.25);
+        d.charge_retry(0.5);
+        let s = d.stats();
+        assert_eq!(s.retried_ops, 2);
+        assert!((s.backoff_time_s - 0.75).abs() < 1e-12);
+        assert!((s.total_time_s() - 0.75).abs() < 1e-12);
+        d.restore_stats(IoStats::default());
+        assert_eq!(d.stats().retried_ops, 0);
+    }
+
+    #[test]
+    fn overflowing_bounds_are_rejected() {
+        let d = disk();
+        d.create("A", 10, false);
+        let err = d.read("A", u64::MAX - 1, 5, None).unwrap_err();
+        assert!(matches!(err, DiskError::OutOfBounds { .. }));
     }
 
     #[test]

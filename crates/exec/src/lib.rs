@@ -21,6 +21,15 @@
 
 pub mod interp;
 pub mod reference;
+pub mod resilience;
 
-pub use interp::{execute, ExecError, ExecMode, ExecOptions, ExecReport};
+pub use interp::{
+    execute, execute_resilient, run_to_completion, ExecError, ExecMode, ExecOptions, ExecOutcome,
+    ExecReport,
+};
 pub use reference::dense_reference;
+pub use resilience::{Checkpoint, CheckpointSite, ResilienceReport};
+// re-exported so executor callers can configure resilience without
+// depending on the substrate crates directly
+pub use tce_disksim::{DiskFaults, FaultKind, FaultPlan};
+pub use tce_ga::RetryPolicy;

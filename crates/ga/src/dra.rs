@@ -7,18 +7,35 @@
 //! and rank 0 performs the actual data copy for materialized arrays.
 //! Callers must separate collective I/O from computation with barriers —
 //! the executor in `tce-exec` does.
+//!
+//! # Fault tolerance
+//!
+//! With a [`RetryPolicy`] installed ([`DraRuntime::set_retry`]), each
+//! rank transparently re-attempts its local-disk share of a collective
+//! operation when the disk reports a *transient* injected fault, waiting
+//! out an exponential backoff (with seeded jitter) in **simulated
+//! seconds** between attempts — charged to that rank's disk accounting,
+//! so the elapsed-time model stays honest. Collective agreement is
+//! reached at the caller's post-operation barrier: transient faults are
+//! absorbed rank-locally *before* the barrier, so surviving ranks never
+//! observe them; an exhausted retry budget or a permanent fault surfaces
+//! as a typed error, which the executor propagates by aborting the whole
+//! process group at that same barrier. Either every rank proceeds past
+//! the operation or none does — collectives never diverge.
 
 use crate::global::GlobalArray;
 use crate::group::chunk;
 use crate::section::Section;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use tce_disksim::{DiskError, DiskProfile, IoStats, SimDisk, WriteSrc};
+use tce_disksim::{DiskError, DiskProfile, FaultPlan, IoStats, SimDisk, WriteSrc};
 
 /// DRA operation failure.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DraError {
     /// Unknown array name.
     NoSuchArray(String),
@@ -26,8 +43,16 @@ pub enum DraError {
     BadSection(String),
     /// Data access on a dry (accounting-only) array.
     NotMaterialized(String),
-    /// Underlying simulated-disk failure.
-    Disk(String),
+    /// Underlying simulated-disk failure, structure preserved so callers
+    /// can tell transient injected faults from structural bugs.
+    Disk(DiskError),
+    /// A transient fault persisted through every allowed retry attempt.
+    RetriesExhausted {
+        /// Attempts made (= the policy's `max_attempts`).
+        attempts: u32,
+        /// The fault seen on the final attempt.
+        last: DiskError,
+    },
 }
 
 impl fmt::Display for DraError {
@@ -38,7 +63,10 @@ impl fmt::Display for DraError {
             DraError::NotMaterialized(n) => {
                 write!(f, "array `{n}` is dry (accounting-only)")
             }
-            DraError::Disk(m) => write!(f, "disk error: {m}"),
+            DraError::Disk(e) => write!(f, "disk error: {e}"),
+            DraError::RetriesExhausted { attempts, last } => {
+                write!(f, "disk error after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -47,7 +75,76 @@ impl std::error::Error for DraError {}
 
 impl From<DiskError> for DraError {
     fn from(e: DiskError) -> Self {
-        DraError::Disk(e.to_string())
+        DraError::Disk(e)
+    }
+}
+
+impl DraError {
+    /// True if the failure came from an injected disk fault (transient or
+    /// permanent) rather than a structural bug in the caller.
+    pub fn is_injected_fault(&self) -> bool {
+        matches!(
+            self,
+            DraError::Disk(DiskError::Injected { .. }) | DraError::RetriesExhausted { .. }
+        )
+    }
+
+    /// True if the failure is a *permanent* injected fault: the disk will
+    /// keep failing until it is replaced.
+    pub fn is_permanent_fault(&self) -> bool {
+        matches!(
+            self,
+            DraError::Disk(DiskError::Injected {
+                permanent: true,
+                ..
+            })
+        )
+    }
+}
+
+/// Bounded-retry policy for transient disk faults. Backoff is exponential
+/// in *simulated* seconds with multiplicative jitter from a seeded RNG —
+/// results carry no wall-clock dependence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first (`1` = never
+    /// retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, simulated seconds.
+    pub base_backoff_s: f64,
+    /// Multiplier applied to the backoff after each retry.
+    pub backoff_factor: f64,
+    /// Upper bound on a single backoff wait.
+    pub max_backoff_s: f64,
+    /// Jitter fraction in `[0, 1]`: each wait is scaled by a uniform
+    /// factor from `[1 - jitter, 1 + jitter]` so retrying ranks
+    /// decorrelate.
+    pub jitter: f64,
+    /// Seed of the jitter streams (one derived stream per rank).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_s: 0.05,
+            backoff_factor: 2.0,
+            max_backoff_s: 5.0,
+            jitter: 0.25,
+            seed: 0x7ce,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with the given attempt budget and library defaults for
+    /// the backoff shape.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
     }
 }
 
@@ -72,6 +169,11 @@ pub enum SectionSrc<'a> {
 pub struct DraRuntime {
     disks: Vec<Arc<SimDisk>>,
     arrays: RwLock<HashMap<String, Arc<DraArray>>>,
+    /// Retry policy for transient disk faults (`None` = fail fast).
+    retry: Option<RetryPolicy>,
+    /// Per-rank jitter streams (lock contention is nil: rank `r` is the
+    /// only thread that touches stream `r`).
+    jitter_rngs: Vec<Mutex<StdRng>>,
 }
 
 impl DraRuntime {
@@ -83,6 +185,86 @@ impl DraRuntime {
                 .map(|_| Arc::new(SimDisk::new(profile.clone())))
                 .collect(),
             arrays: RwLock::new(HashMap::new()),
+            retry: None,
+            jitter_rngs: Vec::new(),
+        }
+    }
+
+    /// Installs a retry policy for transient disk faults. One jitter
+    /// stream per rank is derived from the policy seed, so backoff
+    /// sequences are deterministic per rank and independent across ranks.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.jitter_rngs = (0..self.disks.len())
+            .map(|r| {
+                Mutex::new(StdRng::seed_from_u64(
+                    policy.seed ^ (r as u64).wrapping_mul(0xD605_8871_5E55_C1E5),
+                ))
+            })
+            .collect();
+        self.retry = Some(policy);
+    }
+
+    /// The installed retry policy, if any.
+    pub fn retry_policy(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
+    }
+
+    /// Installs the fault schedules of `plan` on the local disks.
+    /// Entries beyond the runtime's rank count are ignored.
+    pub fn apply_fault_plan(&self, plan: &FaultPlan) {
+        for (rank, disk) in self.disks.iter().enumerate() {
+            let spec = plan.disk(rank);
+            if !spec.is_idle() {
+                disk.set_faults(spec, plan.stream_seed(rank));
+            }
+        }
+    }
+
+    /// Restores per-disk accounting from a checkpoint (rank order).
+    /// Extra entries are ignored; missing ones leave the disk untouched.
+    pub fn restore_stats(&self, per_rank: &[IoStats]) {
+        for (disk, stats) in self.disks.iter().zip(per_rank) {
+            disk.restore_stats(stats.clone());
+        }
+    }
+
+    /// Runs `rank`'s local-disk share of a collective operation,
+    /// re-attempting transient faults under the installed retry policy.
+    /// Backoff waits are charged to the rank's disk in simulated seconds.
+    fn local_op(
+        &self,
+        rank: usize,
+        mut op: impl FnMut(&SimDisk) -> Result<(), DiskError>,
+    ) -> Result<(), DraError> {
+        let disk = &self.disks[rank];
+        let Some(policy) = &self.retry else {
+            return op(disk).map_err(DraError::from);
+        };
+        let mut backoff = policy.base_backoff_s;
+        let mut attempt = 1u32;
+        loop {
+            match op(disk) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient_fault() && attempt < policy.max_attempts => {
+                    let scale = if policy.jitter > 0.0 {
+                        let mut rng = self.jitter_rngs[rank].lock();
+                        1.0 + policy.jitter * (rng.random::<f64>() * 2.0 - 1.0)
+                    } else {
+                        1.0
+                    };
+                    let wait = (backoff * scale).clamp(0.0, policy.max_backoff_s);
+                    disk.charge_retry(wait);
+                    backoff = (backoff * policy.backoff_factor).min(policy.max_backoff_s);
+                    attempt += 1;
+                }
+                Err(e) if e.is_transient_fault() => {
+                    return Err(DraError::RetriesExhausted {
+                        attempts: policy.max_attempts,
+                        last: e,
+                    });
+                }
+                Err(e) => return Err(DraError::Disk(e)),
+            }
         }
     }
 
@@ -98,7 +280,12 @@ impl DraRuntime {
 
     /// Creates (or replaces) a disk-resident array.
     pub fn create(&self, name: &str, dims: &[u64], materialize: bool) {
-        let len: u64 = dims.iter().product::<u64>().max(1);
+        // saturate rather than overflow on absurd shapes — the accounting
+        // file is per-disk share-sized anyway
+        let len: u64 = dims
+            .iter()
+            .fold(1u64, |acc, &d| acc.saturating_mul(d))
+            .max(1);
         let data = materialize.then(|| GlobalArray::zeros(dims));
         self.arrays.write().insert(
             name.to_string(),
@@ -177,7 +364,7 @@ impl DraRuntime {
         let len = sec.len();
         let (start, end) = chunk(len, rank, self.nproc());
         if end > start {
-            self.disks[rank].read(name, 0, end - start, None)?;
+            self.local_op(rank, |disk| disk.read(name, 0, end - start, None))?;
         }
         if rank == 0 {
             if let Some((buf, buf_sec)) = dst {
@@ -213,7 +400,7 @@ impl DraRuntime {
         let len = sec.len();
         let (start, end) = chunk(len, rank, self.nproc());
         if end > start {
-            self.disks[rank].write(name, 0, WriteSrc::Dry(end - start))?;
+            self.local_op(rank, |disk| disk.write(name, 0, WriteSrc::Dry(end - start)))?;
         }
         if rank == 0 {
             match src {
@@ -399,6 +586,101 @@ mod tests {
                 .unwrap_err(),
             DraError::BadSection(_)
         ));
+    }
+
+    #[test]
+    fn transient_fault_is_retried_to_success() {
+        use tce_disksim::FaultPlan;
+        let mut d = rt(1);
+        d.set_retry(RetryPolicy::with_attempts(4));
+        d.create("A", &[8], true);
+        d.fill("A", |k| k as f64).unwrap();
+        // 2 consecutive transient failures after 1 good op
+        d.apply_fault_plan(&FaultPlan::transient_after(0, 1, 2));
+        d.read_section(0, "A", &Section::full(&[8]), None).unwrap();
+        let buf = GlobalArray::zeros(&[8]);
+        d.read_section(
+            0,
+            "A",
+            &Section::full(&[8]),
+            Some((&buf, &Section::full(&[8]))),
+        )
+        .unwrap();
+        assert_eq!(buf.to_vec()[7], 7.0);
+        let s = d.total_stats();
+        assert_eq!(s.retried_ops, 2);
+        assert_eq!(s.faulted_ops, 2);
+        assert!(s.backoff_time_s > 0.0);
+        // both collective reads eventually succeeded
+        assert_eq!(s.read_ops, 2);
+    }
+
+    #[test]
+    fn retries_exhaust_into_typed_error() {
+        use tce_disksim::FaultPlan;
+        let mut d = rt(1);
+        d.set_retry(RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        });
+        d.create("A", &[8], false);
+        // 10 consecutive transient failures swamp the 3-attempt budget
+        d.apply_fault_plan(&FaultPlan::transient_after(0, 0, 10));
+        let err = d
+            .read_section(0, "A", &Section::full(&[8]), None)
+            .unwrap_err();
+        assert!(
+            matches!(err, DraError::RetriesExhausted { attempts: 3, .. }),
+            "{err}"
+        );
+        assert!(err.is_injected_fault());
+        assert!(!err.is_permanent_fault());
+        assert_eq!(d.total_stats().retried_ops, 2);
+    }
+
+    #[test]
+    fn permanent_fault_is_not_retried() {
+        use tce_disksim::FaultPlan;
+        let mut d = rt(1);
+        d.set_retry(RetryPolicy::with_attempts(5));
+        d.create("A", &[8], false);
+        d.apply_fault_plan(&FaultPlan::permanent_after(0, 0));
+        let err = d
+            .read_section(0, "A", &Section::full(&[8]), None)
+            .unwrap_err();
+        assert!(err.is_permanent_fault(), "{err}");
+        // no attempts were wasted on a dead disk
+        assert_eq!(d.total_stats().retried_ops, 0);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        use tce_disksim::{DiskFaults, FaultPlan};
+        let run = |seed: u64| -> f64 {
+            let mut d = rt(2);
+            d.set_retry(RetryPolicy {
+                seed,
+                ..RetryPolicy::default()
+            });
+            d.create("A", &[64], false);
+            d.apply_fault_plan(&FaultPlan::none().with_seed(99).with_disk(
+                1,
+                DiskFaults {
+                    p_transient: 0.5,
+                    ..DiskFaults::default()
+                },
+            ));
+            run_parallel(2, |ctx| {
+                for _ in 0..20 {
+                    let _ = d.read_section(ctx.rank, "A", &Section::full(&[64]), None);
+                }
+            });
+            d.total_stats().backoff_time_s
+        };
+        let a = run(5);
+        assert!(a > 0.0);
+        assert_eq!(a.to_bits(), run(5).to_bits());
+        assert_ne!(a.to_bits(), run(6).to_bits());
     }
 
     #[test]

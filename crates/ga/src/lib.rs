@@ -26,7 +26,7 @@ pub mod global;
 pub mod group;
 pub mod section;
 
-pub use dra::{DraError, DraRuntime, SectionSrc};
+pub use dra::{DraError, DraRuntime, RetryPolicy, SectionSrc};
 pub use global::GlobalArray;
 pub use group::{chunk, run_parallel, ProcCtx};
 pub use section::{section_len, section_runs, strides, Section};

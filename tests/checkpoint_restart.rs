@@ -1,0 +1,161 @@
+//! Checkpoint/restart round-trip: kill the run at *every* tile-granular
+//! checkpoint boundary in turn, resume from the captured snapshot, and
+//! require the spliced run to reproduce the uninterrupted run exactly —
+//! bit-identical outputs, identical flop count, and identical cumulative
+//! clean I/O time (the restored accounting charges every re-executed
+//! operation exactly once).
+
+use std::sync::Arc;
+use tce_exec::interp::default_input_gen;
+use tce_exec::{
+    dense_reference, execute, execute_resilient, run_to_completion, Checkpoint, ExecError,
+    ExecOptions, ExecOutcome, ExecReport, FaultPlan, RetryPolicy,
+};
+use tce_ooc::core::prelude::*;
+use tce_ooc::ir::fixtures::{two_index_fused, two_index_unfused};
+
+fn plan(mem: u64) -> ConcretePlan {
+    let p = two_index_fused(48, 40);
+    synthesize_dcs(&p, &SynthesisConfig::test_scale(mem))
+        .expect("synthesis")
+        .plan
+}
+
+fn assert_matches_clean(clean: &ExecReport, rep: &ExecReport) {
+    assert_eq!(rep.flops, clean.flops, "flop count");
+    assert_eq!(
+        rep.total.clean_time_s().to_bits(),
+        clean.total.clean_time_s().to_bits(),
+        "clean I/O time must be charged exactly once per op"
+    );
+    for (name, got) in &rep.outputs {
+        let want = &clean.outputs[name];
+        assert_eq!(got.len(), want.len(), "`{name}` length");
+        for (k, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "`{name}`[{k}] diverged bitwise");
+        }
+    }
+}
+
+/// Halt after checkpoint `k`, returning the snapshot, until the plan runs
+/// out of boundaries.
+fn halt_at(plan: &ConcretePlan, base: &ExecOptions, k: u64) -> Option<Arc<Checkpoint>> {
+    let mut opts = base.clone();
+    opts.halt_after_checkpoints = Some(k);
+    match execute_resilient(plan, &opts) {
+        ExecOutcome::Failed {
+            error: ExecError::Halted { checkpoints },
+            checkpoint,
+            ..
+        } => {
+            assert_eq!(checkpoints, k, "halted at the wrong boundary");
+            Some(checkpoint.expect("halt must surface its snapshot"))
+        }
+        ExecOutcome::Complete(_) => None,
+        other => panic!("unexpected outcome at boundary {k}: {other:?}"),
+    }
+}
+
+#[test]
+fn kill_at_every_boundary_and_resume() {
+    // a memory budget small enough to force a multi-iteration tiling loop
+    // → many interior checkpoint boundaries
+    let plan = plan(24 * 1024);
+    let base = ExecOptions::full_test();
+    let clean = execute(&plan, &base).expect("clean run");
+
+    let mut boundaries = 0u64;
+    for k in 1.. {
+        let Some(ck) = halt_at(&plan, &base, k) else {
+            break;
+        };
+        boundaries += 1;
+        let mut resume = base.clone();
+        resume.resume_from = Some(ck.clone());
+        let rep = execute(&plan, &resume).expect("resume leg");
+        assert_eq!(rep.resilience.resumed_from, Some(ck.site));
+        assert_matches_clean(&clean, &rep);
+    }
+    assert!(
+        boundaries >= 4,
+        "plan too small to exercise restart: only {boundaries} checkpoint boundaries"
+    );
+}
+
+#[test]
+fn kill_at_every_boundary_and_resume_parallel() {
+    let plan = plan(24 * 1024);
+    let base = ExecOptions::full_test().with_nproc(2);
+    let clean = execute(&plan, &base).expect("clean run");
+
+    let mut boundaries = 0u64;
+    for k in 1.. {
+        let Some(ck) = halt_at(&plan, &base, k) else {
+            break;
+        };
+        boundaries += 1;
+        let mut resume = base.clone();
+        resume.resume_from = Some(ck);
+        let rep = execute(&plan, &resume).expect("resume leg");
+        // parallel outputs carry accumulation-order noise, so compare the
+        // deterministic pieces: flops and per-rank accounting
+        assert_eq!(rep.flops, clean.flops);
+        for (a, b) in rep.per_rank.iter().zip(&clean.per_rank) {
+            assert_eq!(a.clean_time_s().to_bits(), b.clean_time_s().to_bits());
+        }
+        let want = dense_reference(&plan.program, default_input_gen);
+        for (name, got) in &rep.outputs {
+            for (k, (g, w)) in got.iter().zip(&want[name]).enumerate() {
+                assert!(
+                    (g - w).abs() < 1e-6 * (1.0 + w.abs()),
+                    "`{name}`[{k}]: got {g}, want {w}"
+                );
+            }
+        }
+    }
+    assert!(boundaries >= 4, "only {boundaries} boundaries");
+}
+
+#[test]
+fn resumed_checkpoint_chain_is_composable() {
+    // halt at boundary 2, resume with checkpointing still on, halt the
+    // resumed leg as well, and resume again: checkpoints taken on a
+    // resume leg must themselves be valid restart points
+    let plan = plan(24 * 1024);
+    let base = ExecOptions::full_test();
+    let clean = execute(&plan, &base).expect("clean run");
+
+    let ck1 = halt_at(&plan, &base, 2).expect("first halt");
+    let mut second = base.clone();
+    second.resume_from = Some(ck1);
+    let ck2 = halt_at(&plan, &second, 2).expect("second halt");
+    let mut third = base.clone();
+    third.resume_from = Some(ck2.clone());
+    let rep = execute(&plan, &third).expect("final leg");
+    assert_eq!(rep.resilience.resumed_from, Some(ck2.site));
+    assert_matches_clean(&clean, &rep);
+}
+
+#[test]
+fn run_to_completion_survives_a_permanent_fault() {
+    // unfused program under a tight memory budget: T is forced to disk and
+    // the plan has multiple top-level ops → interior boundaries to recover at
+    let p = two_index_unfused(64, 64);
+    let plan = synthesize_dcs(&p, &SynthesisConfig::test_scale(12 * 1024))
+        .expect("synthesis")
+        .plan;
+    let base = ExecOptions::full_test();
+    let clean = execute(&plan, &base).expect("clean run");
+
+    // kill the disk halfway through the op stream, past several
+    // checkpoint boundaries
+    let midpoint = (clean.total.read_ops + clean.total.write_ops) / 2;
+    let faulty = base
+        .clone()
+        .with_faults(FaultPlan::permanent_after(0, midpoint))
+        .with_retry(RetryPolicy::with_attempts(2));
+    let rep = run_to_completion(&plan, &faulty, 4).expect("must recover");
+    assert!(rep.resilience.resume_legs >= 1, "must actually restart");
+    assert!(rep.resilience.faults_injected >= 1, "fault must be visible");
+    assert_matches_clean(&clean, &rep);
+}
