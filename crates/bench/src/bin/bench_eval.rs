@@ -1,0 +1,307 @@
+//! Solver evaluation-throughput benchmark (`BENCH_solver.json`).
+//!
+//! Times the three evaluation paths over the DCS synthesis models of
+//! [`tce_bench::solver_models`]:
+//!
+//! * **tree** — the recursive `Expr::eval` walker (the reference oracle);
+//! * **compiled** — full re-execution of the flat tape at each point;
+//! * **delta** — incremental single-variable moves through
+//!   `Evaluator::eval_delta` + `commit`, re-running only the dependent
+//!   tape segments.
+//!
+//! One "eval" is what one solver Lagrangian evaluation costs: the
+//! objective plus every constraint's normalized violation at a point.
+//! All three paths replay the same pregenerated move sequence, and a
+//! correctness pass asserts bit-identical values before any timing runs.
+//!
+//! Usage: `bench_eval [--fast] [--out PATH] [--min-speedup X]`
+//!
+//! `--fast` shortens the timed windows and the end-to-end synthesis runs
+//! (CI smoke); `--min-speedup X` exits non-zero if the geometric-mean
+//! delta speedup falls below `X`.
+
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use tce_bench::{solver_models, synthesize, Approach, NODE_MEM, PAPER_SIZES};
+use tce_ir::fixtures::four_index_fused;
+use tce_solver::model::FEAS_TOL;
+use tce_solver::{CompiledModel, Model, VarId};
+
+/// Deterministic xorshift64* so the workload needs no RNG dependency and
+/// is identical run to run.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// A pregenerated cumulative single-variable move sequence (the move shape
+/// DLM and CSA make), all values in domain.
+fn move_sequence(m: &Model, len: usize, seed: u64) -> Vec<(usize, i64)> {
+    let mut rng = XorShift(seed | 1);
+    (0..len)
+        .map(|_| {
+            let v = rng.below(m.num_vars() as u64) as usize;
+            let (lo, hi) = m.vars()[v].domain.bounds();
+            let span = (hi - lo) as u64 + 1;
+            (v, lo + rng.below(span.min(1 << 20)) as i64)
+        })
+        .collect()
+}
+
+/// One full evaluation through the tree walker; returns a value sum so
+/// the work cannot be optimized away.
+fn tree_eval(m: &Model, x: &[i64]) -> f64 {
+    let mut acc = m.objective_at(x);
+    for c in m.constraints() {
+        acc += c.violation_norm(x);
+    }
+    acc
+}
+
+/// Times `body` by replaying `moves` until `budget_secs` elapses (at
+/// least one pass); returns (evals, seconds).
+fn timed<F: FnMut(&[(usize, i64)]) -> f64>(
+    moves: &[(usize, i64)],
+    budget_secs: f64,
+    mut body: F,
+) -> (u64, f64) {
+    // warmup pass primes caches and the branch predictor
+    black_box(body(moves));
+    let mut evals = 0u64;
+    let mut acc = 0.0f64;
+    let t0 = Instant::now();
+    loop {
+        acc += body(moves);
+        evals += moves.len() as u64;
+        if t0.elapsed().as_secs_f64() >= budget_secs {
+            break;
+        }
+    }
+    black_box(acc);
+    (evals, t0.elapsed().as_secs_f64())
+}
+
+/// Per-model measurements.
+#[derive(Serialize)]
+struct ModelBench {
+    name: String,
+    vars: usize,
+    constraints: usize,
+    /// Instructions on the compiled tape (after CSE + folding).
+    tape_len: usize,
+    /// Mean tape instructions a single-variable move re-executes.
+    mean_delta_insts: f64,
+    tree_evals_per_sec: f64,
+    compiled_evals_per_sec: f64,
+    delta_evals_per_sec: f64,
+    /// compiled full-eval rate / tree rate.
+    compiled_speedup: f64,
+    /// delta rate / tree rate (the solver hot path).
+    delta_speedup: f64,
+}
+
+/// End-to-end Table-2 DCS synthesis timing (the paper's headline).
+#[derive(Serialize)]
+struct E2eRow {
+    n: u64,
+    v: u64,
+    dcs_secs: f64,
+}
+
+/// Schema of `BENCH_solver.json` (documented in the README).
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    fast: bool,
+    models: Vec<ModelBench>,
+    geomean_compiled_speedup: f64,
+    geomean_delta_speedup: f64,
+    table2_dcs: Vec<E2eRow>,
+}
+
+/// Asserts tree, compiled-full and delta paths agree bit-for-bit along a
+/// move prefix before anything is timed.
+fn verify(m: &Model, c: &CompiledModel, moves: &[(usize, i64)]) {
+    let mut x: Vec<i64> = m.lower_corner();
+    m.clamp(&mut x);
+    let mut ev = c.evaluator(&x);
+    let mut full = c.evaluator(&x);
+    for &(v, val) in moves.iter().take(256) {
+        let mut xp = x.clone();
+        xp[v] = val;
+        let probed = ev.eval_delta(VarId(v as u32), val);
+        assert_eq!(
+            probed.to_bits(),
+            m.objective_at(&xp).to_bits(),
+            "delta objective diverged"
+        );
+        ev.commit(&[(v, val)]);
+        full.set_point(&xp);
+        for j in 0..m.constraints().len() {
+            let t = m.constraints()[j].violation_norm(&xp);
+            assert_eq!(ev.violation_norm(j).to_bits(), t.to_bits());
+            assert_eq!(full.violation_norm(j).to_bits(), t.to_bits());
+        }
+        assert_eq!(ev.is_feasible(FEAS_TOL), m.is_feasible(&xp, FEAS_TOL));
+        x = xp;
+    }
+}
+
+fn bench_model(name: &str, m: &Model, fast: bool) -> ModelBench {
+    let c = CompiledModel::compile(m);
+    let seq_len = if fast { 512 } else { 4_096 };
+    let budget = if fast { 0.05 } else { 0.5 };
+    let moves = move_sequence(m, seq_len, 0x7CE5_01E0);
+    verify(m, &c, &moves);
+
+    let mut x0: Vec<i64> = m.lower_corner();
+    m.clamp(&mut x0);
+
+    // tree: mutate the point, re-walk every expression
+    let mut xt = x0.clone();
+    let (te, ts) = timed(&moves, budget, |ms| {
+        let mut acc = 0.0;
+        for &(v, val) in ms {
+            xt[v] = val;
+            acc += tree_eval(m, &xt);
+        }
+        acc
+    });
+
+    // compiled full: replace the point, re-run the whole tape
+    let mut ev = c.evaluator(&x0);
+    let mut xc = x0.clone();
+    let (ce, cs) = timed(&moves, budget, |ms| {
+        let mut acc = 0.0;
+        for &(v, val) in ms {
+            xc[v] = val;
+            ev.set_point(&xc);
+            acc += ev.objective() + ev.violation_sum();
+        }
+        acc
+    });
+
+    // delta: probe + commit only the dependent tape segments
+    let mut dv = c.evaluator(&x0);
+    let (de, ds) = timed(&moves, budget, |ms| {
+        let mut acc = 0.0;
+        for &(v, val) in ms {
+            acc += dv.eval_delta(VarId(v as u32), val);
+            acc += dv.probe_violation_sum();
+            dv.commit(&[(v, val)]);
+        }
+        acc
+    });
+
+    let tree_rate = te as f64 / ts;
+    let compiled_rate = ce as f64 / cs;
+    let delta_rate = de as f64 / ds;
+    let mean_delta_insts = (0..m.num_vars())
+        .map(|v| c.dependents_of(VarId(v as u32)) as f64)
+        .sum::<f64>()
+        / m.num_vars().max(1) as f64;
+    ModelBench {
+        name: name.to_string(),
+        vars: m.num_vars(),
+        constraints: m.constraints().len(),
+        tape_len: c.tape_len(),
+        mean_delta_insts,
+        tree_evals_per_sec: tree_rate,
+        compiled_evals_per_sec: compiled_rate,
+        delta_evals_per_sec: delta_rate,
+        compiled_speedup: compiled_rate / tree_rate,
+        delta_speedup: delta_rate / tree_rate,
+    }
+}
+
+fn geomean(xs: impl Iterator<Item = f64> + Clone) -> f64 {
+    let n = xs.clone().count().max(1) as f64;
+    (xs.map(|x| x.max(1e-12).ln()).sum::<f64>() / n).exp()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let min_speedup: Option<f64> = flag_value("--min-speedup").map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("--min-speedup wants a number, got {s}"))
+    });
+
+    eprintln!("bench_eval: timing evaluation paths over the solver models...");
+    let models: Vec<ModelBench> = solver_models()
+        .iter()
+        .map(|(name, m)| {
+            let b = bench_model(name, m, fast);
+            eprintln!(
+                "  {:<20} tape {:>4} (mean delta {:>5.1}) tree {:>10.0}/s compiled {:>10.0}/s ({:.1}x) delta {:>10.0}/s ({:.1}x)",
+                b.name,
+                b.tape_len,
+                b.mean_delta_insts,
+                b.tree_evals_per_sec,
+                b.compiled_evals_per_sec,
+                b.compiled_speedup,
+                b.delta_evals_per_sec,
+                b.delta_speedup
+            );
+            b
+        })
+        .collect();
+
+    eprintln!("bench_eval: timing end-to-end DCS synthesis (Table 2)...");
+    let table2_dcs: Vec<E2eRow> = PAPER_SIZES
+        .iter()
+        .map(|&(n, v)| {
+            let p = four_index_fused(n, v);
+            let t0 = Instant::now();
+            let _ = synthesize(&p, Approach::Dcs, NODE_MEM, fast);
+            let dcs_secs = t0.elapsed().as_secs_f64();
+            eprintln!("  ({n},{v}) DCS synthesis: {dcs_secs:.3}s");
+            E2eRow { n, v, dcs_secs }
+        })
+        .collect();
+
+    let report = Report {
+        schema: "tce-bench/solver-eval/v1",
+        fast,
+        geomean_compiled_speedup: geomean(models.iter().map(|b| b.compiled_speedup)),
+        geomean_delta_speedup: geomean(models.iter().map(|b| b.delta_speedup)),
+        models,
+        table2_dcs,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, &json).expect("write report");
+    eprintln!(
+        "bench_eval: geomean speedup compiled {:.2}x, delta {:.2}x -> {out}",
+        report.geomean_compiled_speedup, report.geomean_delta_speedup
+    );
+
+    if let Some(min) = min_speedup {
+        if report.geomean_delta_speedup < min {
+            eprintln!(
+                "bench_eval: FAIL — geomean delta speedup {:.2}x below required {min}x",
+                report.geomean_delta_speedup
+            );
+            std::process::exit(1);
+        }
+    }
+}

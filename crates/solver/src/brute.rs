@@ -4,6 +4,8 @@
 //! instances, and by the uniform-sampling baseline's inner loop in spirit
 //! (the baseline has its own sampled enumeration in `tce-core`).
 
+use crate::compiled::CompiledModel;
+use crate::eval::{EvalBackend, ModelEval};
 use crate::model::{Model, Solution, FEAS_TOL};
 
 /// Hard cap on the number of points brute force will visit.
@@ -21,40 +23,53 @@ pub fn solve_brute_force(model: &Model) -> Solution {
 }
 
 pub(crate) fn solve_brute_force_impl(model: &Model) -> Solution {
+    run_brute(model, EvalBackend::default())
+}
+
+/// The enumeration loop behind [`solve_brute_force`]. Each odometer
+/// increment is committed to the evaluation engine as a batched move, so
+/// the compiled backend re-evaluates only the tape segments the stepped
+/// variables reach.
+pub(crate) fn run_brute(model: &Model, backend: EvalBackend) -> Solution {
     let size = model.space_size();
     assert!(
         size <= BRUTE_FORCE_LIMIT,
         "brute force over {size} points refused (limit {BRUTE_FORCE_LIMIT})"
     );
 
+    let compiled = (backend == EvalBackend::Compiled).then(|| CompiledModel::compile(model));
     let mut x = model.lower_corner();
+    let mut eval = ModelEval::new(model, compiled.as_ref(), &x);
     let mut best_feasible: Option<(Vec<i64>, f64)> = None;
-    let mut least_violating: Option<(Vec<i64>, f64)> = None;
+    // (point, violation sum, objective) — the objective rides along so the
+    // infeasible fallback needs no extra evaluation at the end
+    let mut least_violating: Option<(Vec<i64>, f64, f64)> = None;
     let mut evals = 0u64;
+    let mut moves: Vec<(usize, i64)> = Vec::with_capacity(x.len());
 
     loop {
         evals += 1;
-        if model.is_feasible(&x, FEAS_TOL) {
-            let obj = model.objective_at(&x);
+        if eval.is_feasible(FEAS_TOL) {
+            let obj = eval.objective();
             if best_feasible.as_ref().is_none_or(|(_, b)| obj < *b) {
                 best_feasible = Some((x.clone(), obj));
             }
         } else if best_feasible.is_none() {
-            let v: f64 = model.violations(&x).iter().sum();
-            if least_violating.as_ref().is_none_or(|(_, b)| v < *b) {
-                least_violating = Some((x.clone(), v));
+            let v = eval.violation_sum();
+            if least_violating.as_ref().is_none_or(|(_, b, _)| v < *b) {
+                least_violating = Some((x.clone(), v, eval.objective()));
             }
         }
 
         // odometer increment
+        moves.clear();
         let mut k = 0;
         loop {
             if k == x.len() {
                 let (point, objective, feasible) = match best_feasible {
                     Some((p, o)) => (p, o, true),
                     None => {
-                        let (p, _) = least_violating.expect("space is non-empty");
-                        let o = model.objective_at(&p);
+                        let (p, _, o) = least_violating.expect("space is non-empty");
                         (p, o, false)
                     }
                 };
@@ -69,11 +84,14 @@ pub(crate) fn solve_brute_force_impl(model: &Model) -> Solution {
             let (lo, hi) = model.vars()[k].domain.bounds();
             if x[k] < hi {
                 x[k] += 1;
+                moves.push((k, x[k]));
                 break;
             }
             x[k] = lo;
+            moves.push((k, lo));
             k += 1;
         }
+        eval.commit(&moves);
     }
 }
 

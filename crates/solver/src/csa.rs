@@ -11,7 +11,9 @@
 //! so the [portfolio](crate::portfolio) can interleave it with other
 //! tasks in evaluation-sized segments without changing its trajectory.
 
+use crate::compiled::CompiledModel;
 use crate::dlm::RestartResult;
+use crate::eval::{EvalBackend, ModelEval};
 use crate::model::{Model, Solution, FEAS_TOL};
 use crate::telemetry::{Recorder, Sink, Termination};
 use rand::rngs::StdRng;
@@ -63,18 +65,33 @@ impl CsaOptions {
     }
 }
 
-fn lagrangian(model: &Model, x: &[i64], lambda: &[f64], f_scale: f64) -> f64 {
-    let f = model.objective_at(x) / f_scale;
-    let penalty: f64 = model
-        .constraints()
-        .iter()
-        .zip(lambda.iter())
-        .map(|(c, &l)| l * c.violation_norm(x))
-        .sum();
+/// Lagrangian at the engine's committed point. The penalty sum folds
+/// left-to-right from 0.0 in constraint order, exactly like the original
+/// `iter().sum::<f64>()`, to keep the value bit-identical.
+fn lag_committed(eval: &ModelEval<'_>, lambda: &[f64], f_scale: f64) -> f64 {
+    let f = eval.objective() / f_scale;
+    let mut penalty = 0.0f64;
+    for (j, &l) in lambda.iter().enumerate() {
+        penalty += l * eval.violation_norm(j);
+    }
     f + penalty
 }
 
-fn perturb_var(model: &Model, x: &mut [i64], rng: &mut StdRng) -> (usize, i64) {
+/// Lagrangian at the staged point of the last probe; same fold order as
+/// [`lag_committed`].
+fn lag_probe(eval: &ModelEval<'_>, lambda: &[f64], f_scale: f64) -> f64 {
+    let f = eval.probe_objective() / f_scale;
+    let mut penalty = 0.0f64;
+    for (j, &l) in lambda.iter().enumerate() {
+        penalty += l * eval.probe_violation_norm(j);
+    }
+    f + penalty
+}
+
+/// Picks a variable and a candidate value for it without touching the
+/// point. The RNG draw sequence is identical to the historical in-place
+/// version, so chains replay bit-for-bit.
+fn perturb_var(model: &Model, x: &[i64], rng: &mut StdRng) -> (usize, i64) {
     let vi = rng.random_range(0..model.num_vars());
     let (lo, hi) = model.vars()[vi].domain.bounds();
     let old = x[vi];
@@ -96,8 +113,7 @@ fn perturb_var(model: &Model, x: &mut [i64], rng: &mut StdRng) -> (usize, i64) {
         };
         cand.clamp(lo, hi)
     };
-    x[vi] = new;
-    (vi, old)
+    (vi, new)
 }
 
 /// One annealing chain as a resumable state machine.
@@ -108,7 +124,7 @@ pub(crate) struct CsaTask<'m> {
     cooling: f64,
     p_var_move: f64,
     rng: StdRng,
-    x: Vec<i64>,
+    eval: ModelEval<'m>,
     lambda: Vec<f64>,
     f_scale: f64,
     cur: f64,
@@ -128,14 +144,21 @@ pub(crate) struct CsaTask<'m> {
 
 impl<'m> CsaTask<'m> {
     /// `budget` caps the chain's Lagrangian evaluations; pass
-    /// `u64::MAX` for the classic unbounded schedule.
-    pub(crate) fn new(model: &'m Model, opts: &CsaOptions, budget: u64) -> Self {
+    /// `u64::MAX` for the classic unbounded schedule. `compiled` selects
+    /// the flat-tape engine; `None` the tree-walking oracle.
+    pub(crate) fn new(
+        model: &'m Model,
+        opts: &CsaOptions,
+        budget: u64,
+        compiled: Option<&'m CompiledModel>,
+    ) -> Self {
         let rng = StdRng::seed_from_u64(opts.seed);
         let mut x = model.lower_corner();
         model.clamp(&mut x);
         let lambda = vec![1.0f64; model.constraints().len()];
-        let f_scale = model.objective_at(&x).abs().max(1.0);
-        let cur = lagrangian(model, &x, &lambda, f_scale);
+        let eval = ModelEval::new(model, compiled, &x);
+        let f_scale = eval.objective().abs().max(1.0);
+        let cur = lag_committed(&eval, &lambda, f_scale);
         let mut task = CsaTask {
             model,
             moves_per_temp: opts.moves_per_temp,
@@ -143,7 +166,7 @@ impl<'m> CsaTask<'m> {
             cooling: opts.cooling,
             p_var_move: opts.p_var_move,
             rng,
-            x,
+            eval,
             lambda,
             f_scale,
             cur,
@@ -158,8 +181,7 @@ impl<'m> CsaTask<'m> {
             done: false,
             termination: Termination::Completed,
         };
-        let x0 = task.x.clone();
-        task.consider(&x0, &mut crate::telemetry::Noop);
+        task.consider(&mut crate::telemetry::Noop);
         task
     }
 
@@ -201,9 +223,11 @@ impl<'m> CsaTask<'m> {
         self.improved_since_check = false;
     }
 
-    fn consider<S: Sink>(&mut self, x: &[i64], sink: &mut S) {
-        let feasible = self.model.is_feasible(x, FEAS_TOL);
-        let obj = self.model.objective_at(x);
+    /// Considers the engine's committed point for the chain's best.
+    /// Reads cached committed values, so it costs no extra evaluations.
+    fn consider<S: Sink>(&mut self, sink: &mut S) {
+        let feasible = self.eval.is_feasible(FEAS_TOL);
+        let obj = self.eval.objective();
         let better = match &self.best {
             None => true,
             Some((_, bobj, bfeas)) => match (feasible, *bfeas) {
@@ -213,7 +237,7 @@ impl<'m> CsaTask<'m> {
             },
         };
         if better {
-            self.best = Some((x.to_vec(), obj, feasible));
+            self.best = Some((self.eval.point().to_vec(), obj, feasible));
             self.improved_since_check = true;
             if S::ENABLED {
                 sink.improvement(self.evals, obj, feasible);
@@ -255,35 +279,31 @@ impl<'m> CsaTask<'m> {
 
     fn one_move<S: Sink>(&mut self, sink: &mut S) {
         if self.rng.random::<f64>() < self.p_var_move || self.lambda.is_empty() {
-            let (vi, old) = perturb_var(self.model, &mut self.x, &mut self.rng);
-            if self.x[vi] == old {
+            let (vi, new) = perturb_var(self.model, self.eval.point(), &mut self.rng);
+            if new == self.eval.point()[vi] {
                 return;
             }
-            let cand = lagrangian(self.model, &self.x, &self.lambda, self.f_scale);
+            self.eval.probe(&[(vi, new)]);
+            let cand = lag_probe(&self.eval, &self.lambda, self.f_scale);
             self.evals += 1;
             let delta = cand - self.cur;
             if delta <= 0.0 || self.rng.random::<f64>() < (-delta / self.temp).exp() {
                 self.cur = cand;
-                let x = self.x.clone();
-                self.consider(&x, sink);
-            } else {
-                self.x[vi] = old; // reject
+                self.eval.commit(&[(vi, new)]);
+                self.consider(sink);
             }
+            // a rejected probe needs no undo: the committed point is
+            // untouched
         } else {
             // multiplier move: raise λ of a random violated constraint
-            let violated: Vec<usize> = self
-                .model
-                .constraints()
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.violation_norm(&self.x) > FEAS_TOL)
-                .map(|(k, _)| k)
+            let violated: Vec<usize> = (0..self.lambda.len())
+                .filter(|&k| self.eval.violation_norm(k) > FEAS_TOL)
                 .collect();
             if let Some(&k) = violated.get(self.rng.random_range(0..violated.len().max(1))) {
                 // raising λ increases L at the current (violated) point;
                 // CSA accepts λ-increasing moves to drive feasibility
                 self.lambda[k] *= 1.0 + self.rng.random::<f64>();
-                self.cur = lagrangian(self.model, &self.x, &self.lambda, self.f_scale);
+                self.cur = lag_committed(&self.eval, &self.lambda, self.f_scale);
                 self.evals += 1;
                 if S::ENABLED {
                     let max = self.lambda.iter().fold(0.0f64, |a, &l| a.max(l.abs()));
@@ -319,11 +339,13 @@ pub(crate) struct CsaRun {
 pub(crate) fn run_csa(
     model: &Model,
     opts: &CsaOptions,
+    backend: EvalBackend,
     telemetry: bool,
     budget: u64,
     deadline: Option<std::time::Instant>,
 ) -> CsaRun {
-    let mut task = CsaTask::new(model, opts, budget);
+    let compiled = (backend == EvalBackend::Compiled).then(|| CompiledModel::compile(model));
+    let mut task = CsaTask::new(model, opts, budget, compiled.as_ref());
     let mut recorder = Recorder::default();
     if telemetry {
         drive(&mut task, deadline, &mut recorder);
@@ -340,6 +362,7 @@ pub(crate) fn run_csa(
             evals: r.evals,
             objective: r.objective,
             feasible: r.feasible,
+            // tree walk: once per solve summary, off the eval hot path
             violation: model.violations(&r.point).iter().sum(),
             max_multiplier: recorder.max_multiplier,
             improvements: recorder.improvements.clone(),
@@ -375,7 +398,7 @@ fn drive<S: Sink>(task: &mut CsaTask<'_>, deadline: Option<std::time::Instant>, 
 }
 
 pub(crate) fn solve_csa_impl(model: &Model, opts: &CsaOptions) -> Solution {
-    run_csa(model, opts, false, u64::MAX, None).solution
+    run_csa(model, opts, EvalBackend::default(), false, u64::MAX, None).solution
 }
 
 /// Runs CSA and returns the best feasible point seen (or the best
@@ -440,9 +463,10 @@ mod tests {
         m.objective = Expr::Mul(vec![Expr::Const(-1.0), Expr::Var(x)]);
         m.add_constraint("cap", Expr::Var(x), ConstraintOp::Le, 37.0);
         let opts = CsaOptions::quick(17);
-        let mut one = CsaTask::new(&m, &opts, u64::MAX);
+        let compiled = CompiledModel::compile(&m);
+        let mut one = CsaTask::new(&m, &opts, u64::MAX, Some(&compiled));
         while !one.step(u64::MAX, &mut Noop) {}
-        let mut sliced = CsaTask::new(&m, &opts, u64::MAX);
+        let mut sliced = CsaTask::new(&m, &opts, u64::MAX, None);
         while !sliced.step(101, &mut Noop) {}
         let a = one.result();
         let b = sliced.result();
@@ -456,7 +480,7 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", Domain::Int { lo: 0, hi: 100 });
         m.objective = Expr::Var(x);
-        let mut task = CsaTask::new(&m, &CsaOptions::quick(4), 500);
+        let mut task = CsaTask::new(&m, &CsaOptions::quick(4), 500, None);
         while !task.step(u64::MAX, &mut Noop) {}
         let r = task.result();
         assert!(r.evals <= 500);
@@ -468,7 +492,7 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", Domain::Int { lo: 0, hi: 100 });
         m.objective = Expr::Var(x);
-        let mut task = CsaTask::new(&m, &CsaOptions::quick(8), u64::MAX);
+        let mut task = CsaTask::new(&m, &CsaOptions::quick(8), u64::MAX, None);
         task.step(50, &mut Noop);
         // first check only clears the improvement flag
         task.note_incumbent(Some(-1.0e9));

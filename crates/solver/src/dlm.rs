@@ -22,6 +22,8 @@
 //! across threads. Because a task's trajectory depends only on its own
 //! state, segmentation never changes the result.
 
+use crate::compiled::CompiledModel;
+use crate::eval::{EvalBackend, ModelEval};
 use crate::model::{Domain, Model, Solution, FEAS_TOL};
 use crate::telemetry::{RestartTrace, Sink, Termination};
 use rand::rngs::StdRng;
@@ -122,43 +124,58 @@ fn var_moves(domain: Domain, v: i64, out: &mut Vec<i64>) {
     }
 }
 
-struct Lagrangian<'m> {
-    model: &'m Model,
+/// The Lagrangian bookkeeping: multipliers, the objective scale, and the
+/// evaluation counter. Model values come from the task's [`ModelEval`],
+/// so multiplier updates read cached per-constraint violations instead of
+/// re-walking expression trees (the compiled backend) — the var sets the
+/// walk would need are precomputed in [`CompiledModel`].
+struct Lagrangian {
     lambda: Vec<f64>,
     f_scale: f64,
     evals: u64,
 }
 
-impl<'m> Lagrangian<'m> {
-    fn new(model: &'m Model, lambda_init: f64, x0: &[i64]) -> Self {
-        let f0 = model.objective_at(x0).abs();
+impl Lagrangian {
+    fn new(lambda_init: f64, num_constraints: usize, f0: f64) -> Self {
         Lagrangian {
-            model,
-            lambda: vec![lambda_init; model.constraints().len()],
-            f_scale: f0.max(1.0),
+            lambda: vec![lambda_init; num_constraints],
+            f_scale: f0.abs().max(1.0),
             evals: 0,
         }
     }
 
-    fn value(&mut self, x: &[i64]) -> f64 {
+    /// `L(x, λ)` at the engine's committed point.
+    fn value(&mut self, eval: &ModelEval<'_>) -> f64 {
         self.evals += 1;
-        let f = self.model.objective_at(x) / self.f_scale;
+        let f = eval.objective() / self.f_scale;
         let penalty: f64 = self
-            .model
-            .constraints()
+            .lambda
             .iter()
-            .zip(self.lambda.iter())
-            .map(|(c, &l)| l * c.violation_norm(x))
+            .enumerate()
+            .map(|(j, &l)| l * eval.violation_norm(j))
+            .sum();
+        f + penalty
+    }
+
+    /// `L(x', λ)` at the engine's staged (probed) point.
+    fn value_probe(&mut self, eval: &ModelEval<'_>) -> f64 {
+        self.evals += 1;
+        let f = eval.probe_objective() / self.f_scale;
+        let penalty: f64 = self
+            .lambda
+            .iter()
+            .enumerate()
+            .map(|(j, &l)| l * eval.probe_violation_norm(j))
             .sum();
         f + penalty
     }
 
     /// Raises multipliers on violated constraints; returns true if any
     /// constraint was violated.
-    fn raise_multipliers(&mut self, x: &[i64], growth: f64) -> bool {
+    fn raise_multipliers(&mut self, eval: &ModelEval<'_>, growth: f64) -> bool {
         let mut any = false;
-        for (c, l) in self.model.constraints().iter().zip(self.lambda.iter_mut()) {
-            let v = c.violation_norm(x);
+        for (j, l) in self.lambda.iter_mut().enumerate() {
+            let v = eval.violation_norm(j);
             if v > FEAS_TOL {
                 *l = *l * growth + v;
                 any = true;
@@ -231,8 +248,15 @@ pub(crate) struct DlmTask<'m> {
     /// Lagrangian-evaluation budget for the descent phase (the polish
     /// phase is bounded by `max_iters`, like the original method).
     budget: u64,
-    x: Vec<i64>,
-    lag: Lagrangian<'m>,
+    eval: ModelEval<'m>,
+    lag: Lagrangian,
+    /// `live[v]` — whether variable `v` appears in the objective or any
+    /// constraint. Computed once per task from the precomputed var sets
+    /// (no per-iteration [`Expr::vars`](crate::model::Expr::vars)
+    /// allocation); dead variables cannot change `L`, so the descent scan
+    /// skips them. Derived from the expression trees so both evaluation
+    /// backends agree exactly.
+    live: Vec<bool>,
     cur: f64,
     stalled: u32,
     iters: u64,
@@ -248,7 +272,13 @@ pub(crate) struct DlmTask<'m> {
 }
 
 impl<'m> DlmTask<'m> {
-    pub(crate) fn new(model: &'m Model, opts: &DlmOptions, restart: usize, budget: u64) -> Self {
+    pub(crate) fn new(
+        model: &'m Model,
+        opts: &DlmOptions,
+        restart: usize,
+        budget: u64,
+        compiled: Option<&'m CompiledModel>,
+    ) -> Self {
         let mut x = if restart == 0 {
             model.lower_corner()
         } else {
@@ -256,16 +286,31 @@ impl<'m> DlmTask<'m> {
             random_point(model, &mut rng)
         };
         model.clamp(&mut x);
-        let mut lag = Lagrangian::new(model, opts.lambda_init, &x);
-        let cur = lag.value(&x);
+        let eval = ModelEval::new(model, compiled, &x);
+        let mut lag = Lagrangian::new(
+            opts.lambda_init,
+            model.constraints().len(),
+            eval.objective(),
+        );
+        let cur = lag.value(&eval);
+        let mut live = vec![false; model.num_vars()];
+        let mut used = Vec::new();
+        model.objective.collect_vars_into(&mut used);
+        for c in model.constraints() {
+            c.expr.collect_vars_into(&mut used);
+        }
+        for v in used {
+            live[v.as_usize()] = true;
+        }
         DlmTask {
             model,
             max_iters: opts.max_iters,
             lambda_growth: opts.lambda_growth,
             max_stalled_updates: opts.max_stalled_updates,
             budget,
-            x,
+            eval,
             lag,
+            live,
             cur,
             stalled: 0,
             iters: 0,
@@ -333,28 +378,30 @@ impl<'m> DlmTask<'m> {
         }
         let mut best_move: Option<(usize, i64, f64)> = None;
         for vi in 0..self.model.num_vars() {
-            let old = self.x[vi];
+            if !self.live[vi] {
+                continue; // cannot change L(x, λ) — skip the probes
+            }
+            let old = self.eval.point()[vi];
             var_moves(self.model.vars()[vi].domain, old, &mut self.moves);
             for &cand in &self.moves {
-                self.x[vi] = cand;
-                let val = self.lag.value(&self.x);
+                self.eval.probe(&[(vi, cand)]);
+                let val = self.lag.value_probe(&self.eval);
                 if val + 1e-12 < best_move.map_or(self.cur, |(_, _, b)| b) {
                     best_move = Some((vi, cand, val));
                 }
             }
-            self.x[vi] = old;
         }
         match best_move {
             Some((vi, cand, val)) => {
-                self.x[vi] = cand;
+                self.eval.commit(&[(vi, cand)]);
                 self.cur = val;
                 self.iters += 1;
                 self.stalled = 0;
                 // interleaved dual ascent: track the constraints while
                 // the primal walk is in infeasible territory, so the
                 // penalty cannot fall arbitrarily behind the objective
-                if self.lag.raise_multipliers(&self.x, 1.0) {
-                    self.cur = self.lag.value(&self.x);
+                if self.lag.raise_multipliers(&self.eval, 1.0) {
+                    self.cur = self.lag.value(&self.eval);
                     if S::ENABLED {
                         sink.multipliers(self.lag.max_multiplier());
                     }
@@ -362,11 +409,11 @@ impl<'m> DlmTask<'m> {
             }
             None => {
                 // local minimum of L(·, λ)
-                if self.model.is_feasible(&self.x, FEAS_TOL) {
+                if self.eval.is_feasible(FEAS_TOL) {
                     self.finish_descent(Termination::LocalMinimum, sink);
                     return;
                 }
-                if !self.lag.raise_multipliers(&self.x, self.lambda_growth) {
+                if !self.lag.raise_multipliers(&self.eval, self.lambda_growth) {
                     // numerically feasible
                     self.finish_descent(Termination::LocalMinimum, sink);
                     return;
@@ -374,7 +421,7 @@ impl<'m> DlmTask<'m> {
                 if S::ENABLED {
                     sink.multipliers(self.lag.max_multiplier());
                 }
-                self.cur = self.lag.value(&self.x);
+                self.cur = self.lag.value(&self.eval);
                 self.stalled += 1;
                 if self.stalled > self.max_stalled_updates {
                     self.finish_descent(Termination::Stalled, sink);
@@ -385,9 +432,9 @@ impl<'m> DlmTask<'m> {
 
     fn finish_descent<S: Sink>(&mut self, termination: Termination, sink: &mut S) {
         self.termination = termination;
-        if self.model.is_feasible(&self.x, FEAS_TOL) {
+        if self.eval.is_feasible(FEAS_TOL) {
             self.phase = Phase::Polish;
-            self.polish_cur = self.model.objective_at(&self.x);
+            self.polish_cur = self.eval.objective();
             self.extra_evals += 1;
             self.polish_left = self.max_iters;
             self.note_best(self.polish_cur, sink);
@@ -421,53 +468,53 @@ impl<'m> DlmTask<'m> {
         let cur = self.polish_cur;
         // single moves
         for vi in 0..model.num_vars() {
-            let old = self.x[vi];
+            if !self.live[vi] {
+                continue;
+            }
+            let old = self.eval.point()[vi];
             var_moves(model.vars()[vi].domain, old, &mut self.moves);
             for &cand in &self.moves {
-                self.x[vi] = cand;
+                self.eval.probe(&[(vi, cand)]);
                 self.extra_evals += 1;
-                if model.is_feasible(&self.x, FEAS_TOL) {
-                    let val = model.objective_at(&self.x);
+                if self.eval.probe_is_feasible(FEAS_TOL) {
+                    let val = self.eval.probe_objective();
                     if val + 1e-9 < best_move.as_ref().map_or(cur, |(_, b)| *b) {
                         best_move = Some((vec![(vi, cand)], val));
                     }
                 }
             }
-            self.x[vi] = old;
         }
         // paired moves
         for vi in 0..model.num_vars() {
-            let old_i = self.x[vi];
+            if !self.live[vi] {
+                continue;
+            }
+            let old_i = self.eval.point()[vi];
             var_moves(model.vars()[vi].domain, old_i, &mut self.moves);
             for mi in 0..self.moves.len() {
                 let ci = self.moves[mi];
-                self.x[vi] = ci;
                 for vj in 0..model.num_vars() {
-                    if vj == vi {
+                    if vj == vi || !self.live[vj] {
                         continue;
                     }
-                    let old_j = self.x[vj];
+                    let old_j = self.eval.point()[vj];
                     var_moves(model.vars()[vj].domain, old_j, &mut self.moves2);
                     for &cj in &self.moves2 {
-                        self.x[vj] = cj;
+                        self.eval.probe(&[(vi, ci), (vj, cj)]);
                         self.extra_evals += 1;
-                        if model.is_feasible(&self.x, FEAS_TOL) {
-                            let val = model.objective_at(&self.x);
+                        if self.eval.probe_is_feasible(FEAS_TOL) {
+                            let val = self.eval.probe_objective();
                             if val + 1e-9 < best_move.as_ref().map_or(cur, |(_, b)| *b) {
                                 best_move = Some((vec![(vi, ci), (vj, cj)], val));
                             }
                         }
                     }
-                    self.x[vj] = old_j;
                 }
             }
-            self.x[vi] = old_i;
         }
         match best_move {
             Some((delta, val)) => {
-                for (vi, cand) in delta {
-                    self.x[vi] = cand;
-                }
+                self.eval.commit(&delta);
                 self.polish_cur = val;
                 self.iters += 1;
                 self.polish_left -= 1;
@@ -478,10 +525,10 @@ impl<'m> DlmTask<'m> {
     }
 
     pub(crate) fn result(&self) -> RestartResult {
-        let feasible = self.model.is_feasible(&self.x, FEAS_TOL);
-        let objective = self.model.objective_at(&self.x);
+        let feasible = self.eval.is_feasible(FEAS_TOL);
+        let objective = self.eval.objective();
         RestartResult {
-            point: self.x.clone(),
+            point: self.eval.point().to_vec(),
             objective,
             feasible,
             evals: self.evals(),
@@ -526,10 +573,11 @@ fn run_one(
     opts: &DlmOptions,
     restart: usize,
     budget: u64,
+    compiled: Option<&CompiledModel>,
     telemetry: bool,
     deadline: Option<Instant>,
 ) -> (RestartResult, crate::telemetry::Recorder) {
-    let mut task = DlmTask::new(model, opts, restart, budget);
+    let mut task = DlmTask::new(model, opts, restart, budget, compiled);
     let mut recorder = crate::telemetry::Recorder::default();
     if telemetry {
         drive_to_completion(&mut task, deadline, &mut recorder);
@@ -542,41 +590,51 @@ fn run_one(
 /// Runs all DLM restarts (serially or on threads per
 /// [`DlmOptions::parallel_restarts`]) and aggregates the winner.
 ///
+/// The model is compiled once (for [`EvalBackend::Compiled`]) and the
+/// immutable tape shared by every restart; each task owns its caches.
 /// A deadline is polled between evaluation segments; restarts that were
 /// never started when it expires are skipped (the first always runs).
 pub(crate) fn run_dlm(
     model: &Model,
     opts: &DlmOptions,
+    backend: EvalBackend,
     telemetry: bool,
     deadline: Option<Instant>,
 ) -> DlmRun {
     let restarts = opts.restarts.max(1);
     let budget = (opts.max_evals / restarts as u64).max(1);
+    let compiled = (backend == EvalBackend::Compiled).then(|| CompiledModel::compile(model));
+    let compiled = compiled.as_ref();
 
-    let results: Vec<(RestartResult, crate::telemetry::Recorder)> = if opts.parallel_restarts
-        && restarts > 1
-    {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..restarts)
-                .map(|r| scope.spawn(move || run_one(model, opts, r, budget, telemetry, deadline)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("restart thread panicked"))
-                .collect()
-        })
-    } else {
-        let mut out = Vec::with_capacity(restarts);
-        for r in 0..restarts {
-            out.push(run_one(model, opts, r, budget, telemetry, deadline));
-            if let Some(at) = deadline {
-                if Instant::now() >= at {
-                    break; // later restarts are skipped entirely
+    let results: Vec<(RestartResult, crate::telemetry::Recorder)> =
+        if opts.parallel_restarts && restarts > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..restarts)
+                    .map(|r| {
+                        scope.spawn(move || {
+                            run_one(model, opts, r, budget, compiled, telemetry, deadline)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("restart thread panicked"))
+                    .collect()
+            })
+        } else {
+            let mut out = Vec::with_capacity(restarts);
+            for r in 0..restarts {
+                out.push(run_one(
+                    model, opts, r, budget, compiled, telemetry, deadline,
+                ));
+                if let Some(at) = deadline {
+                    if Instant::now() >= at {
+                        break; // later restarts are skipped entirely
+                    }
                 }
             }
-        }
-        out
-    };
+            out
+        };
 
     let total_evals = results.iter().map(|(r, _)| r.evals).sum();
     let total_iters = results.iter().map(|(r, _)| r.iters).sum();
@@ -597,6 +655,8 @@ pub(crate) fn run_dlm(
                 evals: r.evals,
                 objective: r.objective,
                 feasible: r.feasible,
+                // tree walk: once per restart summary, off the eval hot path
+                // tree walk: once per solve summary, off the eval hot path
                 violation: model.violations(&r.point).iter().sum(),
                 max_multiplier: rec.max_multiplier,
                 improvements: rec.improvements.clone(),
@@ -622,7 +682,7 @@ pub(crate) fn run_dlm(
 }
 
 pub(crate) fn solve_dlm_impl(model: &Model, opts: &DlmOptions) -> Solution {
-    run_dlm(model, opts, false, None).solution
+    run_dlm(model, opts, EvalBackend::default(), false, None).solution
 }
 
 /// Runs DLM and returns the best point found.
@@ -785,9 +845,10 @@ mod tests {
         // sliced into step() calls
         let m = knapsack_like();
         let opts = DlmOptions::quick(13);
-        let mut one = DlmTask::new(&m, &opts, 1, 10_000);
+        let compiled = CompiledModel::compile(&m);
+        let mut one = DlmTask::new(&m, &opts, 1, 10_000, Some(&compiled));
         while !one.step(u64::MAX, &mut Noop) {}
-        let mut sliced = DlmTask::new(&m, &opts, 1, 10_000);
+        let mut sliced = DlmTask::new(&m, &opts, 1, 10_000, None);
         while !sliced.step(37, &mut Noop) {}
         let a = one.result();
         let b = sliced.result();
@@ -801,8 +862,8 @@ mod tests {
     fn telemetry_does_not_change_the_result() {
         let m = knapsack_like();
         let opts = DlmOptions::quick(21);
-        let plain = run_dlm(&m, &opts, false, None);
-        let traced = run_dlm(&m, &opts, true, None);
+        let plain = run_dlm(&m, &opts, EvalBackend::Compiled, false, None);
+        let traced = run_dlm(&m, &opts, EvalBackend::Compiled, true, None);
         assert_eq!(plain.solution.point, traced.solution.point);
         assert_eq!(plain.solution.evals, traced.solution.evals);
         assert_eq!(plain.winner, traced.winner);
@@ -816,7 +877,8 @@ mod tests {
     #[test]
     fn recorder_sees_improvements_on_feasible_path() {
         let m = knapsack_like();
-        let mut task = DlmTask::new(&m, &DlmOptions::quick(2), 0, 100_000);
+        let compiled = CompiledModel::compile(&m);
+        let mut task = DlmTask::new(&m, &DlmOptions::quick(2), 0, 100_000, Some(&compiled));
         let mut rec = Recorder::default();
         while !task.step(u64::MAX, &mut rec) {}
         assert!(task.best_feasible().is_some());

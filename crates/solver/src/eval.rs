@@ -1,0 +1,222 @@
+//! The evaluation API every solver routes through.
+//!
+//! [`ModelEval`] is the single seam between the search strategies
+//! (DLM/CSA/portfolio/brute-force) and model evaluation. It has two
+//! engines behind one interface:
+//!
+//! * [`EvalBackend::Compiled`] (the default) — the flat-tape evaluator of
+//!   [`crate::compiled`], with cached committed values and incremental
+//!   delta moves;
+//! * [`EvalBackend::TreeWalk`] — the recursive
+//!   [`Expr::eval`](crate::model::Expr::eval) walker, kept as the
+//!   reference oracle.
+//!
+//! Both engines return bit-identical values at every point and staged
+//! move, so a solver's trajectory (and therefore its
+//! [`SolveOutcome`](crate::SolveOutcome)) is invariant to the backend for
+//! a fixed seed. `tests/compiled_eval.rs` asserts exactly that.
+//!
+//! The interface is move-oriented rather than point-oriented: solvers
+//! stage candidate moves with [`ModelEval::probe`], read the staged
+//! objective/violations, and [`ModelEval::commit`] the winner. The tree
+//! oracle implements probes with a scratch copy of the point; the
+//! compiled engine re-executes only the dependent tape segments.
+
+use crate::compiled::{CompiledModel, Evaluator};
+use crate::model::Model;
+
+/// Which evaluation engine the solvers use. See the
+/// [module docs](crate::eval).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalBackend {
+    /// The recursive expression walker — the reference oracle. Slow;
+    /// only for differential tests and debugging.
+    TreeWalk,
+    /// The flat-tape evaluator with CSE, constant folding and delta
+    /// moves (the default).
+    #[default]
+    Compiled,
+}
+
+/// The tree-walking oracle: a committed point plus a scratch copy for
+/// staged probes. Every accessor re-walks the expression trees.
+pub(crate) struct TreeEval<'m> {
+    model: &'m Model,
+    x: Vec<i64>,
+    /// The staged point of the last probe (committed point + moves).
+    xp: Vec<i64>,
+}
+
+/// Unified evaluation engine handed to each solver task.
+pub(crate) enum ModelEval<'m> {
+    Tree(TreeEval<'m>),
+    Compiled(Evaluator<'m>),
+}
+
+impl<'m> ModelEval<'m> {
+    /// Creates an engine primed at `x0`. Pass the compiled tape to get
+    /// the fast backend; `None` selects the tree-walking oracle.
+    pub(crate) fn new(model: &'m Model, compiled: Option<&'m CompiledModel>, x0: &[i64]) -> Self {
+        match compiled {
+            Some(c) => ModelEval::Compiled(c.evaluator(x0)),
+            None => ModelEval::Tree(TreeEval {
+                model,
+                x: x0.to_vec(),
+                xp: x0.to_vec(),
+            }),
+        }
+    }
+
+    /// The committed point.
+    pub(crate) fn point(&self) -> &[i64] {
+        match self {
+            ModelEval::Tree(t) => &t.x,
+            ModelEval::Compiled(ev) => ev.point(),
+        }
+    }
+
+    /// Replaces the committed point.
+    #[allow(dead_code)] // part of the engine surface; exercised by tests
+    pub(crate) fn set_point(&mut self, x: &[i64]) {
+        match self {
+            ModelEval::Tree(t) => t.x.copy_from_slice(x),
+            ModelEval::Compiled(ev) => ev.set_point(x),
+        }
+    }
+
+    /// Objective at the committed point.
+    pub(crate) fn objective(&self) -> f64 {
+        match self {
+            ModelEval::Tree(t) => t.model.objective_at(&t.x),
+            ModelEval::Compiled(ev) => ev.objective(),
+        }
+    }
+
+    /// Constraint `j`'s normalized violation at the committed point.
+    pub(crate) fn violation_norm(&self, j: usize) -> f64 {
+        match self {
+            ModelEval::Tree(t) => t.model.constraints()[j].violation_norm(&t.x),
+            ModelEval::Compiled(ev) => ev.violation_norm(j),
+        }
+    }
+
+    /// Sum of all normalized violations at the committed point.
+    pub(crate) fn violation_sum(&self) -> f64 {
+        match self {
+            ModelEval::Tree(t) => t.model.violations(&t.x).iter().sum(),
+            ModelEval::Compiled(ev) => ev.violation_sum(),
+        }
+    }
+
+    /// Whether the committed point is feasible within `tol`.
+    pub(crate) fn is_feasible(&self, tol: f64) -> bool {
+        match self {
+            ModelEval::Tree(t) => t.model.is_feasible(&t.x, tol),
+            ModelEval::Compiled(ev) => ev.is_feasible(tol),
+        }
+    }
+
+    /// Stages the moves `x[v] := val` without committing them.
+    pub(crate) fn probe(&mut self, moves: &[(usize, i64)]) {
+        match self {
+            ModelEval::Tree(t) => {
+                t.xp.copy_from_slice(&t.x);
+                for &(v, val) in moves {
+                    t.xp[v] = val;
+                }
+            }
+            ModelEval::Compiled(ev) => ev.probe(moves),
+        }
+    }
+
+    /// Objective at the staged point of the last [`Self::probe`].
+    pub(crate) fn probe_objective(&self) -> f64 {
+        match self {
+            ModelEval::Tree(t) => t.model.objective_at(&t.xp),
+            ModelEval::Compiled(ev) => ev.probe_objective(),
+        }
+    }
+
+    /// Constraint `j`'s normalized violation at the staged point.
+    pub(crate) fn probe_violation_norm(&self, j: usize) -> f64 {
+        match self {
+            ModelEval::Tree(t) => t.model.constraints()[j].violation_norm(&t.xp),
+            ModelEval::Compiled(ev) => ev.probe_violation_norm(j),
+        }
+    }
+
+    /// Whether the staged point is feasible within `tol`.
+    pub(crate) fn probe_is_feasible(&self, tol: f64) -> bool {
+        match self {
+            ModelEval::Tree(t) => t.model.is_feasible(&t.xp, tol),
+            ModelEval::Compiled(ev) => ev.probe_is_feasible(tol),
+        }
+    }
+
+    /// Makes `moves` permanent in the committed point.
+    pub(crate) fn commit(&mut self, moves: &[(usize, i64)]) {
+        match self {
+            ModelEval::Tree(t) => {
+                for &(v, val) in moves {
+                    t.x[v] = val;
+                }
+            }
+            ModelEval::Compiled(ev) => ev.commit(moves),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Domain, Expr, Model, FEAS_TOL};
+
+    fn model() -> Model {
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 0, hi: 50 });
+        let y = m.add_var("y", Domain::Binary);
+        m.objective = Expr::Add(vec![
+            Expr::CeilDiv(Box::new(Expr::Const(90.0)), Box::new(Expr::Var(x))),
+            Expr::Mul(vec![Expr::Const(5.0), Expr::Var(y)]),
+        ]);
+        m.add_constraint("cap", Expr::Var(x), ConstraintOp::Le, 30.0);
+        m
+    }
+
+    #[test]
+    fn backends_agree_on_probe_and_commit() {
+        let m = model();
+        let compiled = CompiledModel::compile(&m);
+        let x0 = [10i64, 0];
+        let mut tree = ModelEval::new(&m, None, &x0);
+        let mut fast = ModelEval::new(&m, Some(&compiled), &x0);
+        let script: &[&[(usize, i64)]] = &[&[(0, 3)], &[(0, 31), (1, 1)], &[(1, 0)], &[(0, 50)]];
+        for moves in script {
+            tree.probe(moves);
+            fast.probe(moves);
+            assert_eq!(
+                tree.probe_objective().to_bits(),
+                fast.probe_objective().to_bits()
+            );
+            assert_eq!(
+                tree.probe_violation_norm(0).to_bits(),
+                fast.probe_violation_norm(0).to_bits()
+            );
+            assert_eq!(
+                tree.probe_is_feasible(FEAS_TOL),
+                fast.probe_is_feasible(FEAS_TOL)
+            );
+            tree.commit(moves);
+            fast.commit(moves);
+            assert_eq!(tree.point(), fast.point());
+            assert_eq!(tree.objective().to_bits(), fast.objective().to_bits());
+            assert_eq!(
+                tree.violation_sum().to_bits(),
+                fast.violation_sum().to_bits()
+            );
+        }
+        tree.set_point(&[7, 1]);
+        fast.set_point(&[7, 1]);
+        assert_eq!(tree.objective().to_bits(), fast.objective().to_bits());
+    }
+}

@@ -60,8 +60,10 @@
 
 pub mod ampl;
 pub mod brute;
+pub mod compiled;
 pub mod csa;
 pub mod dlm;
+pub mod eval;
 pub mod model;
 pub mod portfolio;
 pub mod telemetry;
@@ -70,12 +72,14 @@ use std::time::{Duration, Instant};
 
 #[allow(deprecated)]
 pub use brute::solve_brute_force;
+pub use compiled::{CompiledModel, Evaluator};
 #[allow(deprecated)]
 pub use csa::solve_csa;
 pub use csa::CsaOptions;
 #[allow(deprecated)]
 pub use dlm::solve_dlm;
 pub use dlm::DlmOptions;
+pub use eval::EvalBackend;
 pub use model::{Constraint, ConstraintOp, Domain, Expr, Model, Solution, VarId};
 pub use telemetry::{Improvement, RestartTrace, SolverReport, Termination};
 
@@ -147,6 +151,11 @@ pub struct SolveOptions {
     /// independent of thread count, but different values may prune CSA
     /// chains at different points.
     pub segment_evals: u64,
+    /// Evaluation engine. [`EvalBackend::Compiled`] (the default) runs the
+    /// flat-tape evaluator with delta moves; [`EvalBackend::TreeWalk`] the
+    /// recursive oracle. Both yield bit-identical outcomes for the same
+    /// seed — the choice affects speed only.
+    pub eval: EvalBackend,
 }
 
 impl SolveOptions {
@@ -164,6 +173,7 @@ impl SolveOptions {
             csa: None,
             csa_chains: 2,
             segment_evals: 4_096,
+            eval: EvalBackend::default(),
         }
     }
 
@@ -220,6 +230,12 @@ impl SolveOptions {
         self.segment_evals = segment.max(1);
         self
     }
+
+    /// Selects the evaluation engine (see [`SolveOptions::eval`]).
+    pub fn eval_backend(mut self, eval: EvalBackend) -> Self {
+        self.eval = eval;
+        self
+    }
 }
 
 impl Default for SolveOptions {
@@ -268,7 +284,7 @@ impl Solver for DlmSolver {
             dlm_opts.max_evals = budget;
         }
         let deadline = opts.deadline.map(|d| started + d);
-        let run = dlm::run_dlm(model, &dlm_opts, opts.telemetry, deadline);
+        let run = dlm::run_dlm(model, &dlm_opts, opts.eval, opts.telemetry, deadline);
         let threads = if dlm_opts.parallel_restarts {
             dlm_opts.restarts.max(1)
         } else {
@@ -306,7 +322,14 @@ impl Solver for CsaSolver {
             .unwrap_or_else(|| CsaOptions::new(opts.seed));
         let budget = opts.max_evals.unwrap_or(u64::MAX);
         let deadline = opts.deadline.map(|d| started + d);
-        let run = csa::run_csa(model, &csa_opts, opts.telemetry, budget, deadline);
+        let run = csa::run_csa(
+            model,
+            &csa_opts,
+            opts.eval,
+            opts.telemetry,
+            budget,
+            deadline,
+        );
         let report = opts.telemetry.then(|| SolverReport {
             strategy: "csa",
             threads: 1,
@@ -334,7 +357,7 @@ impl Solver for BruteForceSolver {
 
     fn solve(&self, model: &Model, opts: &SolveOptions) -> SolveOutcome {
         let started = Instant::now();
-        let solution = brute::solve_brute_force_impl(model);
+        let solution = brute::run_brute(model, opts.eval);
         let report = opts.telemetry.then(|| SolverReport {
             strategy: "brute",
             threads: 1,

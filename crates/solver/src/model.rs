@@ -45,10 +45,17 @@ impl Domain {
         v.clamp(lo, hi)
     }
 
-    /// Number of values in the domain.
+    /// Number of values in the domain, saturating at `u64::MAX`.
+    ///
+    /// Computed in `i128` so extreme bounds (`i64::MIN..=i64::MAX`) cannot
+    /// overflow the naive `hi - lo + 1`.
     pub fn size(self) -> u64 {
         let (lo, hi) = self.bounds();
-        (hi - lo + 1).max(0) as u64
+        if hi < lo {
+            return 0;
+        }
+        let span = (hi as i128) - (lo as i128) + 1;
+        span.min(u64::MAX as i128) as u64
     }
 }
 
@@ -137,32 +144,40 @@ impl Expr {
         }
     }
 
-    /// All variables the expression mentions (deduplicated, unordered).
+    /// All variables the expression mentions (sorted, deduplicated).
+    ///
+    /// Allocates on every call; hot paths should use the var sets
+    /// precomputed by [`crate::compiled::CompiledModel`] (per-objective and
+    /// per-constraint, built once at compile time) instead of re-walking
+    /// the tree.
     pub fn vars(&self) -> Vec<VarId> {
         let mut out = Vec::new();
-        self.collect_vars(&mut out);
+        self.collect_vars_into(&mut out);
         out.sort();
         out.dedup();
         out
     }
 
-    fn collect_vars(&self, out: &mut Vec<VarId>) {
+    /// Appends every variable occurrence to `out` without sorting or
+    /// deduplicating — the allocation-free building block behind
+    /// [`Expr::vars`].
+    pub fn collect_vars_into(&self, out: &mut Vec<VarId>) {
         match self {
             Expr::Const(_) => {}
             Expr::Var(v) => out.push(*v),
             Expr::Add(es) | Expr::Mul(es) => {
                 for e in es {
-                    e.collect_vars(out);
+                    e.collect_vars_into(out);
                 }
             }
             Expr::Sub(a, b) | Expr::CeilDiv(a, b) => {
-                a.collect_vars(out);
-                b.collect_vars(out);
+                a.collect_vars_into(out);
+                b.collect_vars_into(out);
             }
             Expr::Select(v, opts) => {
                 out.push(*v);
                 for e in opts {
-                    e.collect_vars(out);
+                    e.collect_vars_into(out);
                 }
             }
         }
@@ -442,6 +457,29 @@ mod tests {
         assert_eq!(m.lower_corner(), vec![0, 0]);
         assert_eq!(m.space_size(), 22);
         let _ = y;
+    }
+
+    #[test]
+    fn domain_size_survives_extreme_bounds() {
+        // the naive `(hi - lo + 1)` overflows (panics in debug) here
+        let full = Domain::Int {
+            lo: i64::MIN,
+            hi: i64::MAX,
+        };
+        assert_eq!(full.size(), u64::MAX); // saturates
+        let half = Domain::Int {
+            lo: 0,
+            hi: i64::MAX,
+        };
+        assert_eq!(half.size(), i64::MAX as u64 + 1);
+        let neg = Domain::Int {
+            lo: i64::MIN,
+            hi: -1,
+        };
+        assert_eq!(neg.size(), i64::MAX as u64 + 1);
+        let inverted = Domain::Int { lo: 5, hi: 4 };
+        assert_eq!(inverted.size(), 0);
+        assert_eq!(Domain::Binary.size(), 2);
     }
 
     #[test]

@@ -41,8 +41,10 @@
 //! only to CSA chains — cutting a DLM restart short could lose the
 //! serial-superset guarantee.
 
+use crate::compiled::CompiledModel;
 use crate::csa::{CsaOptions, CsaTask};
 use crate::dlm::{DlmOptions, DlmTask, RestartResult};
+use crate::eval::EvalBackend;
 use crate::model::{Model, Solution};
 use crate::telemetry::{Noop, Recorder, RestartTrace, SolverReport, Termination};
 use crate::SolveOptions;
@@ -148,11 +150,17 @@ pub(crate) fn solve_portfolio(
     let dlm_budget = ((dlm_default as f64 * scale) as u64).max(1);
     let csa_budget = ((csa_default as f64 * scale) as u64).max(1);
 
+    // One compiled tape shared (immutably) by every task; each task's
+    // evaluator owns its caches, so the scoped threads below never
+    // contend on it.
+    let compiled = (opts.eval == EvalBackend::Compiled).then(|| CompiledModel::compile(model));
+    let compiled = compiled.as_ref();
+
     let mut slots: Vec<TaskSlot<'_>> = Vec::with_capacity(restarts + chains);
     for r in 0..restarts {
         slots.push(TaskSlot {
             label: format!("dlm#{r}"),
-            engine: Engine::Dlm(DlmTask::new(model, &dlm_opts, r, dlm_budget)),
+            engine: Engine::Dlm(DlmTask::new(model, &dlm_opts, r, dlm_budget, compiled)),
             recorder: opts.telemetry.then(Recorder::default),
         });
     }
@@ -165,7 +173,7 @@ pub(crate) fn solve_portfolio(
         };
         slots.push(TaskSlot {
             label: format!("csa#{k}"),
-            engine: Engine::Csa(CsaTask::new(model, &chain_opts, csa_budget)),
+            engine: Engine::Csa(CsaTask::new(model, &chain_opts, csa_budget, compiled)),
             recorder: opts.telemetry.then(Recorder::default),
         });
     }

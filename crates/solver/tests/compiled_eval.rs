@@ -1,0 +1,207 @@
+//! Differential tests for the compiled evaluation backend.
+//!
+//! The contract under test (DESIGN.md §12): for any model, point and move
+//! sequence, the flat-tape evaluator — full evaluation, staged probes and
+//! committed delta moves alike — produces values bit-identical to the
+//! recursive tree walker, and therefore every solver strategy returns an
+//! identical `SolveOutcome` for the same seed under either backend.
+
+use proptest::prelude::*;
+use tce_solver::model::FEAS_TOL;
+use tce_solver::{
+    solve, CompiledModel, ConstraintOp, CsaOptions, DlmOptions, Domain, EvalBackend, Expr, Model,
+    SolveOptions, Strategy as Method,
+};
+
+/// Random 3-variable model exercising every `Expr` node kind, with the
+/// `ceil(K/t)` subterm shared between objective and constraints the way
+/// the synthesis models share their `NumTiles` factors (so CSE and the
+/// dependency index both have real work to do).
+fn arb_model() -> impl Strategy<Value = Model> {
+    (-3i64..4, -3i64..4, -2i64..3, 1i64..5, 3i64..40, 1i64..20).prop_map(
+        |(a, b, c, w, cap, blk)| {
+            let mut m = Model::new();
+            let t = m.add_var("t", Domain::Int { lo: 1, hi: 16 });
+            let y = m.add_var("y", Domain::Int { lo: 0, hi: 12 });
+            let p = m.add_var("p", Domain::Binary);
+            let tiles = Expr::CeilDiv(Box::new(Expr::Const(48.0)), Box::new(Expr::Var(t)));
+            m.objective = Expr::Add(vec![
+                Expr::Mul(vec![Expr::Const(a as f64), tiles.clone()]),
+                Expr::Mul(vec![Expr::Const(b as f64), Expr::Var(y)]),
+                Expr::Mul(vec![Expr::Const(c as f64), Expr::Var(t), Expr::Var(y)]),
+                Expr::Sub(
+                    Box::new(Expr::Select(
+                        p,
+                        vec![
+                            Expr::Mul(vec![Expr::Const(4.0), Expr::Var(t)]),
+                            Expr::Var(t),
+                        ],
+                    )),
+                    Box::new(Expr::Const(a as f64)),
+                ),
+            ]);
+            m.add_constraint(
+                "mem",
+                Expr::Add(vec![
+                    tiles,
+                    Expr::Mul(vec![Expr::Const(w as f64), Expr::Var(y)]),
+                ]),
+                ConstraintOp::Le,
+                cap as f64,
+            );
+            m.add_constraint("blk", Expr::Var(t), ConstraintOp::Ge, blk as f64);
+            m.add_constraint(
+                "bind",
+                Expr::Mul(vec![Expr::Var(p), Expr::Var(p)]),
+                ConstraintOp::Eq,
+                0.0,
+            );
+            m
+        },
+    )
+}
+
+/// A random in-domain point for [`arb_model`]'s three variables.
+fn arb_point() -> impl Strategy<Value = Vec<i64>> {
+    (1i64..=16, 0i64..=12, 0i64..=1).prop_map(|(t, y, p)| vec![t, y, p])
+}
+
+/// Random single-variable moves (variable index, in-domain value).
+fn arb_moves() -> impl Strategy<Value = Vec<(usize, i64)>> {
+    proptest::collection::vec((0usize..3, 0i64..=16), 1..12).prop_map(|mut ms| {
+        for (v, val) in ms.iter_mut() {
+            *val = match v {
+                0 => (*val).max(1),
+                1 => (*val).min(12),
+                _ => (*val).min(1),
+            };
+        }
+        ms
+    })
+}
+
+/// Asserts every observable of the compiled evaluator matches the tree
+/// walker bit-for-bit at the evaluator's committed point.
+fn assert_committed_matches(m: &Model, ev: &tce_solver::Evaluator<'_>, x: &[i64]) {
+    assert_eq!(ev.point(), x);
+    assert_eq!(ev.objective().to_bits(), m.objective_at(x).to_bits());
+    let viols = m.violations(x);
+    for (j, c) in m.constraints().iter().enumerate() {
+        assert_eq!(
+            ev.constraint_lhs(j).to_bits(),
+            c.expr.eval(x).to_bits(),
+            "constraint {j} lhs"
+        );
+        assert_eq!(
+            ev.violation_norm(j).to_bits(),
+            c.violation_norm(x).to_bits(),
+            "constraint {j} violation"
+        );
+    }
+    let tree_sum: f64 = viols.iter().sum();
+    assert_eq!(ev.violation_sum().to_bits(), tree_sum.to_bits());
+    assert_eq!(ev.is_feasible(FEAS_TOL), m.is_feasible(x, FEAS_TOL));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Tree-walk == compiled full eval == compiled delta eval, bit for
+    /// bit, across random models × points × single-variable move chains.
+    #[test]
+    fn eval_identity_tree_vs_compiled_vs_delta(
+        m in arb_model(),
+        x0 in arb_point(),
+        moves in arb_moves(),
+    ) {
+        let compiled = CompiledModel::compile(&m);
+        let mut ev = compiled.evaluator(&x0);
+        assert_committed_matches(&m, &ev, &x0);
+
+        let mut x = x0.clone();
+        for &(v, val) in &moves {
+            // delta probe: only the tape segments depending on `v` rerun
+            let mut xp = x.clone();
+            xp[v] = val;
+            let probed = ev.eval_delta(tce_solver::VarId(v as u32), val);
+            prop_assert_eq!(probed.to_bits(), m.objective_at(&xp).to_bits());
+            for (j, c) in m.constraints().iter().enumerate() {
+                prop_assert_eq!(
+                    ev.probe_violation_norm(j).to_bits(),
+                    c.violation_norm(&xp).to_bits()
+                );
+            }
+            prop_assert_eq!(
+                ev.probe_is_feasible(FEAS_TOL),
+                m.is_feasible(&xp, FEAS_TOL)
+            );
+
+            // commit and re-check every committed observable
+            ev.commit(&[(v, val)]);
+            x = xp;
+            assert_committed_matches(&m, &ev, &x);
+        }
+
+        // a fresh evaluator at the final point agrees with the one that
+        // got there by deltas (no drift across incremental updates)
+        let fresh = compiled.evaluator(&x);
+        prop_assert_eq!(fresh.objective().to_bits(), ev.objective().to_bits());
+        prop_assert_eq!(fresh.violation_sum().to_bits(), ev.violation_sum().to_bits());
+    }
+
+    /// Full solver runs are trajectory-identical under both backends:
+    /// same seed → same `SolveOutcome` (point, objective bits, eval and
+    /// iteration counts) for DLM, CSA and the portfolio.
+    #[test]
+    fn solver_outcomes_identical_across_backends(m in arb_model(), seed in 0u64..16) {
+        for strategy in [Method::Dlm, Method::Csa, Method::Portfolio] {
+            let base = SolveOptions::new(seed)
+                .strategy(strategy)
+                .dlm(DlmOptions::quick(seed))
+                .csa(CsaOptions::quick(seed))
+                .csa_chains(1);
+            let tree = solve(&m, &base.clone().eval_backend(EvalBackend::TreeWalk)).solution;
+            let fast = solve(&m, &base.eval_backend(EvalBackend::Compiled)).solution;
+            prop_assert_eq!(&tree.point, &fast.point, "{:?} point", strategy);
+            prop_assert_eq!(
+                tree.objective.to_bits(),
+                fast.objective.to_bits(),
+                "{:?} objective", strategy
+            );
+            prop_assert_eq!(tree.feasible, fast.feasible, "{:?} feasible", strategy);
+            prop_assert_eq!(tree.evals, fast.evals, "{:?} evals", strategy);
+            prop_assert_eq!(tree.iterations, fast.iterations, "{:?} iterations", strategy);
+        }
+    }
+}
+
+/// Brute force enumerates identically under both backends (it batches
+/// odometer increments as multi-variable delta commits).
+#[test]
+fn brute_force_identical_across_backends() {
+    let mut m = Model::new();
+    let t = m.add_var("t", Domain::Int { lo: 1, hi: 40 });
+    let p = m.add_var("p", Domain::Binary);
+    m.objective = Expr::Add(vec![
+        Expr::CeilDiv(Box::new(Expr::Const(60.0)), Box::new(Expr::Var(t))),
+        Expr::Mul(vec![Expr::Const(2.0), Expr::Var(p)]),
+    ]);
+    m.add_constraint(
+        "mem",
+        Expr::Select(
+            p,
+            vec![
+                Expr::Mul(vec![Expr::Const(4.0), Expr::Var(t)]),
+                Expr::Var(t),
+            ],
+        ),
+        ConstraintOp::Le,
+        24.0,
+    );
+    let base = SolveOptions::new(0).strategy(Method::BruteForce);
+    let tree = solve(&m, &base.clone().eval_backend(EvalBackend::TreeWalk)).solution;
+    let fast = solve(&m, &base.eval_backend(EvalBackend::Compiled)).solution;
+    assert_eq!(tree.point, fast.point);
+    assert_eq!(tree.objective.to_bits(), fast.objective.to_bits());
+    assert_eq!(tree.evals, fast.evals);
+}
