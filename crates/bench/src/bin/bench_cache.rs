@@ -1,0 +1,177 @@
+//! Synthesis-cache hit-path benchmark (the `cache` key of
+//! `BENCH_solver.json`).
+//!
+//! For each Table-2 workload, runs the cached DCS pipeline twice against
+//! one in-memory cache: the first run is a cold solve, the second must be
+//! a cache hit that replays the stored outcome through the deterministic
+//! finish path. The benchmark asserts the two results are *bit-identical*
+//! (plan JSON, point, objective) before timing is reported, then records
+//! `cold_secs / warm_secs` as the hit-path speedup.
+//!
+//! The report is merged into an existing `BENCH_solver.json` under the
+//! `"cache"` key, preserving every other field of the
+//! `tce-bench/solver-eval/v1` schema.
+//!
+//! Usage: `bench_cache [--fast] [--out PATH] [--min-speedup X]`
+
+use serde::{Serialize, Value};
+use std::time::Instant;
+use tce_bench::{NODE_MEM, PAPER_SIZES};
+use tce_cache::{synthesize_dcs_cached, CachedSynthesis, SynthesisCache};
+use tce_core::{SynthesisConfig, SynthesisResult};
+use tce_ir::fixtures::{four_index_fused, two_index_paper};
+use tce_ir::Program;
+
+/// One workload's cold/warm timing.
+#[derive(Serialize)]
+struct CacheRow {
+    name: String,
+    cold_secs: f64,
+    warm_secs: f64,
+    /// Solver seconds the warm run avoided (from the cache record).
+    solver_secs_saved: f64,
+    /// cold wall / warm wall — the hit-path speedup.
+    speedup: f64,
+    /// The second run must be a hit; recorded for the CI assert.
+    warm_hit: bool,
+}
+
+/// The `"cache"` object merged into `BENCH_solver.json`.
+#[derive(Serialize)]
+struct CacheReport {
+    schema: &'static str,
+    fast: bool,
+    rows: Vec<CacheRow>,
+    geomean_speedup: f64,
+}
+
+fn result_signature(r: &SynthesisResult) -> String {
+    let plan = serde_json::to_string_pretty(&r.plan).expect("plan json");
+    format!(
+        "{plan}|{:016x}|{:016x}",
+        r.io_bytes.to_bits(),
+        r.memory_bytes.to_bits()
+    )
+}
+
+fn bench_workload(name: &str, program: &Program, config: &SynthesisConfig) -> CacheRow {
+    let cache = SynthesisCache::in_memory();
+
+    let t0 = Instant::now();
+    let cold: CachedSynthesis =
+        synthesize_dcs_cached(program, config, &cache).expect("cold synthesis");
+    let cold_secs = t0.elapsed().as_secs_f64();
+    assert!(!cold.hit, "first run must be a cold solve");
+
+    let t1 = Instant::now();
+    let warm = synthesize_dcs_cached(program, config, &cache).expect("warm synthesis");
+    let warm_secs = t1.elapsed().as_secs_f64();
+
+    // the hit must replay the cold result exactly — bit-identical plan
+    // and costs — before its timing means anything
+    assert!(warm.hit, "second identical run must hit the cache");
+    assert_eq!(
+        result_signature(&cold.result),
+        result_signature(&warm.result),
+        "cache hit must be bit-identical to the cold solve"
+    );
+
+    CacheRow {
+        name: name.to_string(),
+        cold_secs,
+        warm_secs,
+        solver_secs_saved: warm.saved_wall_s,
+        speedup: cold_secs / warm_secs.max(1e-9),
+        warm_hit: warm.hit,
+    }
+}
+
+fn geomean(xs: impl Iterator<Item = f64> + Clone) -> f64 {
+    let n = xs.clone().count().max(1) as f64;
+    (xs.map(|x| x.max(1e-12).ln()).sum::<f64>() / n).exp()
+}
+
+/// Merges `report` under the `"cache"` key of the JSON map in `path`,
+/// preserving every other key; creates a minimal map when absent.
+fn merge_into(path: &str, report: &CacheReport) {
+    let mut entries: Vec<(String, Value)> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::parse_value(&text) {
+            Ok(Value::Map(entries)) => entries,
+            _ => panic!("{path} is not a JSON object; refusing to overwrite"),
+        },
+        Err(_) => vec![
+            (
+                "schema".to_string(),
+                Value::Str("tce-bench/solver-eval/v1".to_string()),
+            ),
+            ("fast".to_string(), Value::Bool(report.fast)),
+        ],
+    };
+    entries.retain(|(k, _)| k != "cache");
+    entries.push(("cache".to_string(), report.to_value()));
+    let json = serde_json::to_string_pretty(&Value::Map(entries)).expect("serialize report");
+    std::fs::write(path, json).expect("write report");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let min_speedup: Option<f64> = flag_value("--min-speedup").map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("--min-speedup wants a number, got {s}"))
+    });
+
+    let config = SynthesisConfig::new(NODE_MEM);
+    let mut workloads: Vec<(String, Program)> =
+        vec![("two_index_paper".to_string(), two_index_paper())];
+    if fast {
+        let (n, v) = PAPER_SIZES[0];
+        workloads.push((format!("four_index_{n}"), four_index_fused(n, v)));
+    } else {
+        for &(n, v) in PAPER_SIZES.iter() {
+            workloads.push((format!("four_index_{n}"), four_index_fused(n, v)));
+        }
+    }
+
+    eprintln!("bench_cache: timing cold solve vs cache replay...");
+    let rows: Vec<CacheRow> = workloads
+        .iter()
+        .map(|(name, program)| {
+            let row = bench_workload(name, program, &config);
+            eprintln!(
+                "  {:<20} cold {:>8.4}s warm {:>8.4}s ({:>7.1}x, solver saved {:.4}s)",
+                row.name, row.cold_secs, row.warm_secs, row.speedup, row.solver_secs_saved
+            );
+            row
+        })
+        .collect();
+
+    let report = CacheReport {
+        schema: "tce-bench/cache/v1",
+        fast,
+        geomean_speedup: geomean(rows.iter().map(|r| r.speedup)),
+        rows,
+    };
+    merge_into(&out, &report);
+    eprintln!(
+        "bench_cache: geomean hit-path speedup {:.1}x -> {out} (cache key)",
+        report.geomean_speedup
+    );
+
+    if let Some(min) = min_speedup {
+        if report.geomean_speedup < min {
+            eprintln!(
+                "bench_cache: FAIL — geomean speedup {:.1}x below required {min}x",
+                report.geomean_speedup
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The cached synthesis entry point.
+//!
+//! [`synthesize_dcs_cached`] splits synthesis at the prepare/finish seam
+//! of `tce-core`: the model is always rebuilt (cheap, deterministic), the
+//! solver phase (the expensive part) is skipped on a cache hit, and the
+//! stored outcome is replayed through `finish_dcs` so decode, spatial
+//! adjustment, prediction, and codegen all rerun deterministically —
+//! a hit therefore returns a bit-identical `SynthesisResult`.
+//!
+//! The cache key is *renaming-invariant*: the model fingerprint comes from
+//! the Weisfeiler-Lehman canonicalization in `tce_solver::canon`, folded
+//! with a digest of every configuration field that can change the solver's
+//! answer. Thread count is deliberately excluded (the portfolio seeds
+//! deterministically per task, so results are thread-count independent),
+//! as is `spatial_min_tile` (applied after the solve, inside
+//! `finish_dcs`, on both the hit and miss paths).
+
+use crate::record::{CacheRecord, RECORD_SCHEMA};
+use crate::store::SynthesisCache;
+use std::time::{Duration, Instant};
+use tce_core::{finish_dcs, prepare_dcs, SynthesisConfig, SynthesisError, SynthesisResult};
+use tce_solver::model::FEAS_TOL;
+use tce_solver::{
+    canonicalize, fingerprint_hex, solver_for, CanonicalModel, Fnv64, Model, Solution,
+    SolveOutcome, CANON_VERSION,
+};
+
+/// Relative tolerance when revalidating a stored objective against the
+/// request's own model on a hit.
+const OBJECTIVE_REL_TOL: f64 = 1e-9;
+
+/// What a cached synthesis run reports beyond the result itself.
+#[derive(Debug)]
+pub struct CachedSynthesis {
+    /// The synthesis result (bit-identical whether hit or miss).
+    pub result: SynthesisResult,
+    /// Whether the solver phase was skipped.
+    pub hit: bool,
+    /// Hex request fingerprint (cache key).
+    pub fingerprint: String,
+    /// Wall time this run spent in the solver (≈0 on a hit).
+    pub solve_wall: Duration,
+    /// Solver seconds the original run spent — what the hit saved.
+    pub saved_wall_s: f64,
+}
+
+/// Digest of every config field that can change the solver's answer.
+pub fn config_digest(config: &SynthesisConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.str("tce-cache/config/v1");
+    h.u64(config.mem_limit);
+    h.byte(config.enforce_min_blocks as u8);
+    h.str(solver_for(config.strategy).name());
+    h.u64(config.seed);
+    match config.deadline {
+        Some(d) => {
+            h.byte(1);
+            h.u64(d.as_nanos() as u64);
+        }
+        None => h.byte(0),
+    }
+    match config.max_evals {
+        Some(n) => {
+            h.byte(1);
+            h.u64(n);
+        }
+        None => h.byte(0),
+    }
+    h.byte(config.telemetry as u8);
+    h.str(&format!("{:?}", config.objective));
+    match &config.dlm {
+        // DlmOptions is all plain scalars, so its Debug form is a faithful
+        // value digest without a hand-written field walk
+        Some(o) => {
+            h.byte(1);
+            h.str(&format!("{o:?}"));
+        }
+        None => h.byte(0),
+    }
+    h.finish()
+}
+
+/// The cache key: canonical model fingerprint ⊕ config digest, under the
+/// canonicalization version tag.
+pub fn request_fingerprint(canon: &CanonicalModel, config: &SynthesisConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.str(CANON_VERSION);
+    h.u64(canon.fingerprint);
+    h.u64(config_digest(config));
+    h.finish()
+}
+
+/// A synthesis request that has been prepared and fingerprinted but not
+/// yet solved. Lets callers (e.g. the batch service) learn the cache key
+/// *before* committing to a solve, so identical in-flight requests can be
+/// coalesced without preparing twice.
+#[derive(Debug)]
+pub struct PreparedRequest {
+    prepared: tce_core::PreparedSynthesis,
+    canon: CanonicalModel,
+    /// Hex request fingerprint (the cache key).
+    pub fingerprint: String,
+}
+
+/// Prepares a request: tiling, placement enumeration, model build, and
+/// canonical fingerprinting — everything except the solve.
+pub fn prepare_request(
+    program: &tce_ir::Program,
+    config: &SynthesisConfig,
+) -> Result<PreparedRequest, SynthesisError> {
+    let prepared = prepare_dcs(program, config)?;
+    let canon = canonicalize(&prepared.dcs.model);
+    let fingerprint = fingerprint_hex(request_fingerprint(&canon, config));
+    Ok(PreparedRequest {
+        prepared,
+        canon,
+        fingerprint,
+    })
+}
+
+/// Rebuilds a [`SolveOutcome`] from a stored record, validating the point
+/// against the *request's* model so a fingerprint collision (or a
+/// canonical-order tie broken differently) degrades to a miss instead of
+/// a wrong answer.
+fn replay_outcome(
+    rec: &CacheRecord,
+    canon: &CanonicalModel,
+    model: &Model,
+) -> Option<SolveOutcome> {
+    if rec.schema != RECORD_SCHEMA || rec.canon_version != CANON_VERSION {
+        return None;
+    }
+    if rec.canonical_point.len() != canon.order.len() || !rec.feasible {
+        return None;
+    }
+    let point = canon.from_canonical(&rec.canonical_point);
+    if !model.is_feasible(&point, FEAS_TOL) {
+        return None;
+    }
+    let objective = model.objective_at(&point);
+    let tol = OBJECTIVE_REL_TOL * objective.abs().max(1.0);
+    if (objective - rec.objective).abs() > tol {
+        return None;
+    }
+    Some(SolveOutcome {
+        solution: Solution {
+            point,
+            // stored values, not recomputed ones: the replayed outcome is
+            // bit-identical to what the original solve returned
+            objective: rec.objective,
+            feasible: true,
+            evals: rec.evals,
+            iterations: rec.iterations,
+        },
+        report: rec.report.clone(),
+    })
+}
+
+/// DCS synthesis through the cache: identical requests solve once.
+pub fn synthesize_dcs_cached(
+    program: &tce_ir::Program,
+    config: &SynthesisConfig,
+    cache: &SynthesisCache,
+) -> Result<CachedSynthesis, SynthesisError> {
+    run_prepared(prepare_request(program, config)?, config, cache)
+}
+
+/// Runs a prepared request through the cache (hit → replay, miss → solve
+/// and populate).
+pub fn run_prepared(
+    request: PreparedRequest,
+    config: &SynthesisConfig,
+    cache: &SynthesisCache,
+) -> Result<CachedSynthesis, SynthesisError> {
+    let PreparedRequest {
+        prepared,
+        canon,
+        fingerprint,
+    } = request;
+
+    if let Some(rec) = cache.get(&fingerprint) {
+        match replay_outcome(&rec, &canon, &prepared.dcs.model) {
+            Some(outcome) => {
+                let result = finish_dcs(prepared, config, outcome)?;
+                cache.note_hit(rec.solve_wall_s);
+                return Ok(CachedSynthesis {
+                    result,
+                    hit: true,
+                    fingerprint,
+                    solve_wall: Duration::ZERO,
+                    saved_wall_s: rec.solve_wall_s,
+                });
+            }
+            None => cache.note_reject(),
+        }
+    } else {
+        cache.note_miss();
+    }
+
+    let solve_started = Instant::now();
+    let outcome = tce_solver::solve(&prepared.dcs.model, &config.solve_options());
+    let solve_wall = solve_started.elapsed();
+
+    let canonical_point = canon.to_canonical(&outcome.solution.point);
+    let solution = outcome.solution.clone();
+    let report = outcome.report.clone();
+    let result = finish_dcs(prepared, config, outcome)?;
+
+    // only feasible outcomes reach this point (finish_dcs errors otherwise)
+    let rec = CacheRecord {
+        schema: RECORD_SCHEMA.to_string(),
+        canon_version: CANON_VERSION.to_string(),
+        fingerprint: fingerprint.clone(),
+        canonical_point,
+        objective: solution.objective,
+        feasible: solution.feasible,
+        evals: solution.evals,
+        iterations: solution.iterations,
+        report,
+        solve_wall_s: solve_wall.as_secs_f64(),
+        plan: result.plan.clone(),
+    };
+    // a failed disk write degrades the cache, not the synthesis
+    let _ = cache.put(&fingerprint, rec);
+
+    Ok(CachedSynthesis {
+        result,
+        hit: false,
+        fingerprint,
+        solve_wall,
+        saved_wall_s: 0.0,
+    })
+}

@@ -1,0 +1,302 @@
+//! Cache storage: a content-addressed on-disk store fronted by an
+//! in-memory LRU.
+//!
+//! Disk layout is one file per request fingerprint,
+//! `<dir>/<fingerprint>.json`, each an integrity-checked envelope (see
+//! [`crate::record`]). Corrupt or stale entries are *quarantined* — renamed
+//! to `<name>.corrupt` so the evidence survives for debugging — and treated
+//! as misses; the cache never panics on bad cache state.
+
+use crate::record::CacheRecord;
+use parking_lot::Mutex;
+use std::fs;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Default in-memory LRU capacity (records, not bytes).
+pub const DEFAULT_LRU_CAP: usize = 64;
+/// Environment variable naming the on-disk cache directory.
+pub const CACHE_DIR_ENV: &str = "TCE_CACHE_DIR";
+/// Environment variable overriding the in-memory LRU capacity.
+pub const LRU_CAP_ENV: &str = "TCE_CACHE_LRU";
+
+/// Counters describing how the cache behaved over its lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that replayed a stored outcome.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh solve.
+    pub misses: u64,
+    /// Fingerprint matches whose stored point failed validation against
+    /// the request's own model (collision or version skew) — counted as
+    /// misses too.
+    pub rejects: u64,
+    /// Corrupt disk entries renamed to `.corrupt`.
+    pub quarantined: u64,
+    /// Total solver wall-clock seconds that hits avoided re-spending.
+    pub solver_wall_saved_s: f64,
+}
+
+/// Tiny exact-capacity LRU; the working set is small (records are a few
+/// KB) so a scan-based list beats a linked-map here.
+struct Lru {
+    cap: usize,
+    entries: Vec<(String, Arc<CacheRecord>)>,
+}
+
+impl Lru {
+    fn new(cap: usize) -> Self {
+        Lru {
+            cap,
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<Arc<CacheRecord>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let rec = entry.1.clone();
+        self.entries.insert(0, entry);
+        Some(rec)
+    }
+
+    fn put(&mut self, key: String, rec: Arc<CacheRecord>) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, (key, rec));
+        self.entries.truncate(self.cap);
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The on-disk half of the cache.
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| format!("cannot create cache dir {dir:?}: {e}"))?;
+        Ok(DiskStore { dir })
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Loads the record for `key`. Returns the record plus a flag saying
+    /// whether a corrupt file was quarantined along the way.
+    fn load(&self, key: &str) -> (Option<CacheRecord>, bool) {
+        let path = self.path_for(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == ErrorKind::NotFound => return (None, false),
+            Err(_) => return (None, false),
+        };
+        match CacheRecord::from_envelope_json(&text) {
+            Ok(rec) => (Some(rec), false),
+            Err(_) => {
+                // keep the evidence: quarantine instead of delete
+                let mut corrupt = path.clone().into_os_string();
+                corrupt.push(".corrupt");
+                let _ = fs::rename(&path, &corrupt);
+                (None, true)
+            }
+        }
+    }
+
+    /// Writes the record for `key` atomically (temp file + rename).
+    fn save(&self, key: &str, rec: &CacheRecord) -> Result<(), String> {
+        let json = rec.to_envelope_json()?;
+        let path = self.path_for(key);
+        let tmp = self.dir.join(format!(".{key}.tmp"));
+        fs::write(&tmp, json).map_err(|e| format!("cannot write {tmp:?}: {e}"))?;
+        fs::rename(&tmp, &path).map_err(|e| format!("cannot rename into {path:?}: {e}"))?;
+        Ok(())
+    }
+}
+
+/// The synthesis cache: in-memory LRU over an optional disk store.
+pub struct SynthesisCache {
+    disk: Option<DiskStore>,
+    lru: Mutex<Lru>,
+    stats: Mutex<CacheStats>,
+}
+
+impl SynthesisCache {
+    /// A purely in-memory cache with the default capacity.
+    pub fn in_memory() -> Self {
+        SynthesisCache::with_capacity(DEFAULT_LRU_CAP)
+    }
+
+    /// A purely in-memory cache holding at most `cap` records.
+    pub fn with_capacity(cap: usize) -> Self {
+        SynthesisCache {
+            disk: None,
+            lru: Mutex::new(Lru::new(cap.max(1))),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// A disk-backed cache rooted at `dir` with the default LRU capacity.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let mut cache = SynthesisCache::in_memory();
+        cache.disk = Some(DiskStore::new(dir)?);
+        Ok(cache)
+    }
+
+    /// Builds a cache from the environment: disk-backed when
+    /// [`CACHE_DIR_ENV`] is set, in-memory otherwise; LRU capacity from
+    /// [`LRU_CAP_ENV`] when it parses.
+    pub fn from_env() -> Result<Self, String> {
+        let cap = std::env::var(LRU_CAP_ENV)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_LRU_CAP);
+        let mut cache = SynthesisCache::with_capacity(cap);
+        if let Some(dir) = std::env::var_os(CACHE_DIR_ENV) {
+            cache.disk = Some(DiskStore::new(PathBuf::from(dir))?);
+        }
+        Ok(cache)
+    }
+
+    /// The on-disk directory, if this cache is disk-backed.
+    pub fn dir(&self) -> Option<&Path> {
+        self.disk.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Looks up `key`, promoting disk entries into the LRU.
+    pub fn get(&self, key: &str) -> Option<Arc<CacheRecord>> {
+        if let Some(rec) = self.lru.lock().get(key) {
+            return Some(rec);
+        }
+        let disk = self.disk.as_ref()?;
+        let (rec, quarantined) = disk.load(key);
+        if quarantined {
+            self.stats.lock().quarantined += 1;
+        }
+        let rec = Arc::new(rec?);
+        self.lru.lock().put(key.to_string(), rec.clone());
+        Some(rec)
+    }
+
+    /// Stores a record under `key` in the LRU and (when configured) on
+    /// disk. Disk write failures are reported but the in-memory insert
+    /// still happens.
+    pub fn put(&self, key: &str, rec: CacheRecord) -> Result<(), String> {
+        let rec = Arc::new(rec);
+        self.lru.lock().put(key.to_string(), rec.clone());
+        if let Some(disk) = &self.disk {
+            disk.save(key, &rec)?;
+        }
+        Ok(())
+    }
+
+    /// Number of records currently resident in memory.
+    pub fn resident(&self) -> usize {
+        self.lru.lock().len()
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.lock().clone()
+    }
+
+    pub(crate) fn note_hit(&self, saved_s: f64) {
+        let mut s = self.stats.lock();
+        s.hits += 1;
+        s.solver_wall_saved_s += saved_s;
+    }
+
+    pub(crate) fn note_miss(&self) {
+        self.stats.lock().misses += 1;
+    }
+
+    pub(crate) fn note_reject(&self) {
+        let mut s = self.stats.lock();
+        s.rejects += 1;
+        s.misses += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RECORD_SCHEMA;
+    use crate::test_support::{temp_dir, tiny_plan};
+    use tce_solver::CANON_VERSION;
+
+    fn record(tag: u64) -> CacheRecord {
+        CacheRecord {
+            schema: RECORD_SCHEMA.to_string(),
+            canon_version: CANON_VERSION.to_string(),
+            fingerprint: format!("{tag:016x}"),
+            canonical_point: vec![tag as i64],
+            objective: tag as f64,
+            feasible: true,
+            evals: tag,
+            iterations: tag,
+            report: None,
+            solve_wall_s: 0.5,
+            plan: tiny_plan(),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = SynthesisCache::with_capacity(2);
+        cache.put("a", record(1)).unwrap();
+        cache.put("b", record(2)).unwrap();
+        assert!(cache.get("a").is_some()); // touch a → b is now LRU
+        cache.put("c", record(3)).unwrap();
+        assert_eq!(cache.resident(), 2);
+        assert!(cache.get("b").is_none(), "b should have been evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_survives_new_handle() {
+        let dir = temp_dir("store_rt");
+        let cache = SynthesisCache::with_dir(&dir).unwrap();
+        cache.put("deadbeef", record(7)).unwrap();
+        // a fresh cache over the same dir (cold LRU) finds it on disk
+        let fresh = SynthesisCache::with_dir(&dir).unwrap();
+        let rec = fresh.get("deadbeef").expect("disk hit");
+        assert_eq!(rec.evals, 7);
+        // and promoted it into memory
+        assert_eq!(fresh.resident(), 1);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_trusted() {
+        let dir = temp_dir("store_quarantine");
+        let cache = SynthesisCache::with_dir(&dir).unwrap();
+        cache.put("cafe", record(9)).unwrap();
+        let path = dir.join("cafe.json");
+        std::fs::write(&path, "{\"integrity\": \"0000000000000000\", \"record\":").unwrap();
+        let fresh = SynthesisCache::with_dir(&dir).unwrap();
+        assert!(fresh.get("cafe").is_none());
+        assert!(!path.exists(), "corrupt file should be moved aside");
+        assert!(
+            dir.join("cafe.json.corrupt").exists(),
+            "quarantine file should exist"
+        );
+        assert_eq!(fresh.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn missing_key_is_a_clean_none() {
+        let dir = temp_dir("store_missing");
+        let cache = SynthesisCache::with_dir(&dir).unwrap();
+        assert!(cache.get("0123456789abcdef").is_none());
+        assert_eq!(cache.stats().quarantined, 0);
+    }
+}

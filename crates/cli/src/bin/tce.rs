@@ -6,7 +6,7 @@ fn main() {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("tce: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -5,6 +5,7 @@
 //! tce check <file.tce>                      parse, validate, pretty-print
 //! tce synthesize <file.tce> [options]       out-of-core synthesis
 //! tce run <file.tce> [options]              synthesize + execute
+//! tce serve --batch <jobs.json> | --stdin   concurrent batch synthesis
 //! ```
 //!
 //! Options:
@@ -37,7 +38,14 @@
 //! --resume                (run) with --full: checkpoint at tile
 //!                         boundaries and restart failed runs from the
 //!                         latest checkpoint automatically
+//! --batch <jobs.json>     (serve) batch jobs file
+//! --stdin                 (serve) one job JSON object per stdin line
+//! --workers <n>           (serve) worker pool size (default: all cores)
+//! --cache-dir <dir>       (serve) on-disk synthesis cache (default:
+//!                         $TCE_CACHE_DIR, else in-memory only)
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure, `2` usage error.
 //!
 //! The binary is a thin wrapper around [`run_cli`], which is unit-tested
 //! directly.
@@ -98,6 +106,15 @@ pub struct Cli {
     pub retry: Option<RetryPolicy>,
     /// Checkpoint at tile boundaries and auto-restart failed runs.
     pub resume: bool,
+    /// (serve) Batch jobs file.
+    pub batch: Option<String>,
+    /// (serve) Read JSON-lines jobs from stdin.
+    pub stdin_jobs: bool,
+    /// (serve) Worker pool size (`0` = all cores).
+    pub workers: usize,
+    /// (serve) Synthesis-cache directory (default: `TCE_CACHE_DIR` or
+    /// in-memory only).
+    pub cache_dir: Option<String>,
 }
 
 /// Subcommands.
@@ -109,6 +126,8 @@ pub enum Command {
     Synthesize,
     /// Synthesize, execute, report.
     Run,
+    /// Batch synthesis service over the synthesis cache.
+    Serve,
 }
 
 /// Printable artifacts.
@@ -126,13 +145,54 @@ pub enum PrintWhat {
     Code,
 }
 
-/// Argument parsing failure (message is user-facing).
+/// How a CLI invocation failed — determines the process exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CliErrorKind {
+    /// Bad arguments or malformed option specs (exit code 2).
+    Usage,
+    /// A failure doing the requested work: I/O, synthesis, execution,
+    /// verification (exit code 1).
+    Runtime,
+}
+
+/// A user-facing CLI failure with a stable exit code.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// User-facing description.
+    pub message: String,
+    /// Failure class.
+    pub kind: CliErrorKind,
+}
+
+impl CliError {
+    /// A usage error — exit code 2.
+    pub fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            kind: CliErrorKind::Usage,
+        }
+    }
+
+    /// A runtime failure — exit code 1.
+    pub fn runtime(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            kind: CliErrorKind::Runtime,
+        }
+    }
+
+    /// The process exit code for this failure.
+    pub fn exit_code(&self) -> i32 {
+        match self.kind {
+            CliErrorKind::Usage => 2,
+            CliErrorKind::Runtime => 1,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -149,15 +209,17 @@ pub fn parse_size(s: &str) -> Result<u64, CliError> {
     };
     num.parse::<u64>()
         .map(|n| n * mult)
-        .map_err(|_| CliError(format!("bad size `{s}` (use e.g. 2048, 64K, 512M, 2G)")))
+        .map_err(|_| CliError::usage(format!("bad size `{s}` (use e.g. 2048, 64K, 512M, 2G)")))
 }
 
 fn parse_prob(key: &str, v: &str) -> Result<f64, CliError> {
     let p: f64 = v
         .parse()
-        .map_err(|_| CliError(format!("{key} needs a probability in [0, 1]")))?;
+        .map_err(|_| CliError::usage(format!("{key} needs a probability in [0, 1]")))?;
     if !(0.0..=1.0).contains(&p) {
-        return Err(CliError(format!("{key} needs a probability in [0, 1]")));
+        return Err(CliError::usage(format!(
+            "{key} needs a probability in [0, 1]"
+        )));
     }
     Ok(p)
 }
@@ -179,7 +241,7 @@ pub fn parse_faults(s: &str) -> Result<FaultPlan, CliError> {
             let seed = v
                 .trim()
                 .parse()
-                .map_err(|_| CliError("--faults seed= needs an integer".into()))?;
+                .map_err(|_| CliError::usage("--faults seed= needs an integer"))?;
             plan = plan.with_seed(seed);
             continue;
         }
@@ -188,20 +250,20 @@ pub fn parse_faults(s: &str) -> Result<FaultPlan, CliError> {
         let mut after: Option<u64> = None;
         let mut kind: Option<FaultKind> = None;
         for part in seg.split(',').map(str::trim) {
-            let (key, val) = part
-                .split_once('=')
-                .ok_or_else(|| CliError(format!("--faults: `{part}` is not a key=value pair")))?;
+            let (key, val) = part.split_once('=').ok_or_else(|| {
+                CliError::usage(format!("--faults: `{part}` is not a key=value pair"))
+            })?;
             match key {
                 "rank" => {
                     rank = Some(
                         val.parse()
-                            .map_err(|_| CliError("--faults rank= needs an integer".into()))?,
+                            .map_err(|_| CliError::usage("--faults rank= needs an integer"))?,
                     )
                 }
                 "after" => {
                     after = Some(
                         val.parse()
-                            .map_err(|_| CliError("--faults after= needs an integer".into()))?,
+                            .map_err(|_| CliError::usage("--faults after= needs an integer"))?,
                     )
                 }
                 "kind" => {
@@ -210,10 +272,10 @@ pub fn parse_faults(s: &str) -> Result<FaultPlan, CliError> {
                         "transient" => FaultKind::Transient(1),
                         _ => match val.strip_prefix("transient:") {
                             Some(k) => FaultKind::Transient(k.parse().map_err(|_| {
-                                CliError("--faults kind=transient:K needs an integer K".into())
+                                CliError::usage("--faults kind=transient:K needs an integer K")
                             })?),
                             None => {
-                                return Err(CliError(format!(
+                                return Err(CliError::usage(format!(
                                     "--faults: unknown kind `{val}` (use permanent or transient:K)"
                                 )))
                             }
@@ -224,22 +286,22 @@ pub fn parse_faults(s: &str) -> Result<FaultPlan, CliError> {
                 "spike" => {
                     let (p, secs) = val
                         .split_once(':')
-                        .ok_or_else(|| CliError("--faults spike= needs P:SECONDS".into()))?;
+                        .ok_or_else(|| CliError::usage("--faults spike= needs P:SECONDS"))?;
                     spec.p_spike = parse_prob("--faults spike=", p)?;
                     spec.spike_s = secs
                         .parse()
-                        .map_err(|_| CliError("--faults spike= needs P:SECONDS".into()))?;
+                        .map_err(|_| CliError::usage("--faults spike= needs P:SECONDS"))?;
                     if !spec.spike_s.is_finite() || spec.spike_s < 0.0 {
-                        return Err(CliError("--faults spike seconds must be >= 0".into()));
+                        return Err(CliError::usage("--faults spike seconds must be >= 0"));
                     }
                 }
-                _ => return Err(CliError(format!("--faults: unknown key `{key}`"))),
+                _ => return Err(CliError::usage(format!("--faults: unknown key `{key}`"))),
             }
         }
-        let rank = rank.ok_or_else(|| CliError("--faults: each fault spec needs rank=R".into()))?;
+        let rank = rank.ok_or_else(|| CliError::usage("--faults: each fault spec needs rank=R"))?;
         match (after, kind) {
             (Some(n), k) => spec.fail_after = Some((n, k.unwrap_or(FaultKind::Permanent))),
-            (None, Some(_)) => return Err(CliError("--faults: kind= requires after=N".into())),
+            (None, Some(_)) => return Err(CliError::usage("--faults: kind= requires after=N")),
             (None, None) => {}
         }
         plan = plan.with_disk(rank, spec);
@@ -256,30 +318,30 @@ pub fn parse_retry(s: &str) -> Result<RetryPolicy, CliError> {
         .next()
         .unwrap_or("")
         .parse()
-        .map_err(|_| CliError("--retry needs attempts[,base_s[,factor]]".into()))?;
+        .map_err(|_| CliError::usage("--retry needs attempts[,base_s[,factor]]"))?;
     if attempts == 0 {
-        return Err(CliError("--retry attempts must be at least 1".into()));
+        return Err(CliError::usage("--retry attempts must be at least 1"));
     }
     policy.max_attempts = attempts;
     if let Some(base) = parts.next() {
         policy.base_backoff_s = base
             .parse()
-            .map_err(|_| CliError("--retry base_s needs seconds".into()))?;
+            .map_err(|_| CliError::usage("--retry base_s needs seconds"))?;
         if !policy.base_backoff_s.is_finite() || policy.base_backoff_s < 0.0 {
-            return Err(CliError("--retry base_s must be >= 0".into()));
+            return Err(CliError::usage("--retry base_s must be >= 0"));
         }
     }
     if let Some(factor) = parts.next() {
         policy.backoff_factor = factor
             .parse()
-            .map_err(|_| CliError("--retry factor needs a number".into()))?;
+            .map_err(|_| CliError::usage("--retry factor needs a number"))?;
         if !policy.backoff_factor.is_finite() || policy.backoff_factor < 1.0 {
-            return Err(CliError("--retry factor must be >= 1".into()));
+            return Err(CliError::usage("--retry factor must be >= 1"));
         }
     }
     if parts.next().is_some() {
-        return Err(CliError(
-            "--retry takes at most attempts,base_s,factor".into(),
+        return Err(CliError::usage(
+            "--retry takes at most attempts,base_s,factor",
         ));
     }
     Ok(policy)
@@ -292,17 +354,21 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         Some("check") => Command::Check,
         Some("synthesize") | Some("synth") => Command::Synthesize,
         Some("run") => Command::Run,
-        Some(other) => return Err(CliError(format!("unknown command `{other}`"))),
+        Some("serve") => Command::Serve,
+        Some(other) => return Err(CliError::usage(format!("unknown command `{other}`"))),
         None => {
-            return Err(CliError(
-                "usage: tce <check|synthesize|run> <file.tce> [options]".into(),
+            return Err(CliError::usage(
+                "usage: tce <check|synthesize|run|serve> [<file.tce>] [options]",
             ))
         }
     };
-    let file = it
-        .next()
-        .ok_or_else(|| CliError("missing <file.tce>".into()))?
-        .clone();
+    let file = if command == Command::Serve {
+        String::new()
+    } else {
+        it.next()
+            .ok_or_else(|| CliError::usage("missing <file.tce>"))?
+            .clone()
+    };
 
     let mut cli = Cli {
         command,
@@ -325,13 +391,17 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         faults: None,
         retry: None,
         resume: false,
+        batch: None,
+        stdin_jobs: false,
+        workers: 0,
+        cache_dir: None,
     };
 
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
             it.next()
                 .cloned()
-                .ok_or_else(|| CliError(format!("{name} needs a value")))
+                .ok_or_else(|| CliError::usage(format!("{name} needs a value")))
         };
         match arg.as_str() {
             "--mem" => cli.mem = parse_size(&value("--mem")?)?,
@@ -340,7 +410,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 cli.samples = Some(
                     value("--samples")?
                         .parse()
-                        .map_err(|_| CliError("--samples needs an integer".into()))?,
+                        .map_err(|_| CliError::usage("--samples needs an integer"))?,
                 )
             }
             "--strategy" => {
@@ -349,27 +419,27 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     "csa" => Strategy::Csa,
                     "portfolio" => Strategy::Portfolio,
                     "brute" => Strategy::BruteForce,
-                    other => return Err(CliError(format!("unknown strategy `{other}`"))),
+                    other => return Err(CliError::usage(format!("unknown strategy `{other}`"))),
                 }
             }
             "--objective" => {
                 cli.objective = match value("--objective")?.as_str() {
                     "volume" => tce_core::ObjectiveKind::Volume,
                     "time" => tce_core::ObjectiveKind::Time,
-                    other => return Err(CliError(format!("unknown objective `{other}`"))),
+                    other => return Err(CliError::usage(format!("unknown objective `{other}`"))),
                 }
             }
             "--seed" => {
                 cli.seed = value("--seed")?
                     .parse()
-                    .map_err(|_| CliError("--seed needs an integer".into()))?
+                    .map_err(|_| CliError::usage("--seed needs an integer"))?
             }
             "--deadline" => {
                 let secs: f64 = value("--deadline")?
                     .parse()
-                    .map_err(|_| CliError("--deadline needs seconds".into()))?;
+                    .map_err(|_| CliError::usage("--deadline needs seconds"))?;
                 if !secs.is_finite() || secs <= 0.0 {
-                    return Err(CliError("--deadline must be positive".into()));
+                    return Err(CliError::usage("--deadline must be positive"));
                 }
                 cli.deadline = Some(secs);
             }
@@ -377,13 +447,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 cli.budget = Some(
                     value("--budget")?
                         .parse()
-                        .map_err(|_| CliError("--budget needs an integer".into()))?,
+                        .map_err(|_| CliError::usage("--budget needs an integer"))?,
                 )
             }
             "--threads" => {
                 cli.threads = value("--threads")?
                     .parse()
-                    .map_err(|_| CliError("--threads needs an integer".into()))?
+                    .map_err(|_| CliError::usage("--threads needs an integer"))?
             }
             "--explain" => cli.explain = true,
             "--test-scale" => cli.test_scale = true,
@@ -396,16 +466,16 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                         "ampl" => Ok(PrintWhat::Ampl),
                         "tiles" => Ok(PrintWhat::Tiles),
                         "code" => Ok(PrintWhat::Code),
-                        other => Err(CliError(format!("unknown artifact `{other}`"))),
+                        other => Err(CliError::usage(format!("unknown artifact `{other}`"))),
                     })
                     .collect::<Result<_, _>>()?
             }
             "--nproc" => {
                 cli.nproc = value("--nproc")?
                     .parse()
-                    .map_err(|_| CliError("--nproc needs an integer".into()))?;
+                    .map_err(|_| CliError::usage("--nproc needs an integer"))?;
                 if cli.nproc == 0 {
-                    return Err(CliError("--nproc must be at least 1".into()));
+                    return Err(CliError::usage("--nproc must be at least 1"));
                 }
             }
             "--full" => cli.full = true,
@@ -413,22 +483,41 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             "--faults" => cli.faults = Some(parse_faults(&value("--faults")?)?),
             "--retry" => cli.retry = Some(parse_retry(&value("--retry")?)?),
             "--resume" => cli.resume = true,
-            other => return Err(CliError(format!("unknown option `{other}`"))),
+            "--batch" => cli.batch = Some(value("--batch")?),
+            "--stdin" => cli.stdin_jobs = true,
+            "--workers" => {
+                cli.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--workers needs an integer"))?
+            }
+            "--cache-dir" => cli.cache_dir = Some(value("--cache-dir")?),
+            other => return Err(CliError::usage(format!("unknown option `{other}`"))),
         }
     }
     if cli.verify && !cli.full {
-        return Err(CliError("--verify requires --full".into()));
+        return Err(CliError::usage("--verify requires --full"));
     }
     if cli.resume && !cli.full {
-        return Err(CliError("--resume requires --full".into()));
+        return Err(CliError::usage("--resume requires --full"));
+    }
+    if cli.command == Command::Serve {
+        if cli.batch.is_some() == cli.stdin_jobs {
+            return Err(CliError::usage(
+                "serve needs exactly one of --batch <jobs.json> or --stdin",
+            ));
+        }
+    } else if cli.batch.is_some() || cli.stdin_jobs || cli.cache_dir.is_some() {
+        return Err(CliError::usage(
+            "--batch/--stdin/--cache-dir only apply to `tce serve`",
+        ));
     }
     Ok(cli)
 }
 
 fn load_program(path: &str) -> Result<Program, CliError> {
     let src = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
-    parse_program(&src).map_err(|e| CliError(format!("{path}: {e}")))
+        .map_err(|e| CliError::runtime(format!("cannot read `{path}`: {e}")))?;
+    parse_program(&src).map_err(|e| CliError::runtime(format!("{path}: {e}")))
 }
 
 fn synthesize(program: &Program, cli: &Cli) -> Result<SynthesisResult, CliError> {
@@ -455,15 +544,51 @@ fn synthesize(program: &Program, cli: &Cli) -> Result<SynthesisResult, CliError>
     } else {
         synthesize_dcs(program, &config)
     };
-    result.map_err(|e| CliError(format!("synthesis failed: {e}")))
+    result.map_err(|e| CliError::runtime(format!("synthesis failed: {e}")))
+}
+
+/// Runs the batch synthesis service: jobs in as JSON, report out as JSON.
+fn run_serve(cli: &Cli, out: &mut String) -> Result<(), CliError> {
+    let cache = match &cli.cache_dir {
+        Some(dir) => tce_cache::SynthesisCache::with_dir(dir).map_err(CliError::runtime)?,
+        None => tce_cache::SynthesisCache::from_env().map_err(CliError::runtime)?,
+    };
+    if cli.stdin_jobs {
+        let mut input = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut input)
+            .map_err(|e| CliError::runtime(format!("cannot read stdin: {e}")))?;
+        let (_, lines) =
+            tce_serve::run_lines(&input, cli.workers, &cache).map_err(CliError::usage)?;
+        out.push_str(&lines);
+    } else {
+        let path = cli
+            .batch
+            .as_ref()
+            .ok_or_else(|| CliError::usage("serve needs --batch <jobs.json> or --stdin"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("cannot read `{path}`: {e}")))?;
+        let jobs = tce_serve::parse_jobs_file(&text).map_err(CliError::usage)?;
+        let report = tce_serve::run_batch(&jobs, cli.workers, &cache);
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| CliError::runtime(format!("cannot serialize report: {e:?}")))?;
+        out.push_str(&json);
+        out.push('\n');
+    }
+    Ok(())
 }
 
 /// Executes the parsed command line; returns the full textual output.
 pub fn run_cli(cli: &Cli) -> Result<String, CliError> {
     let mut out = String::new();
+    if cli.command == Command::Serve {
+        run_serve(cli, &mut out)?;
+        return Ok(out);
+    }
     let program = load_program(&cli.file)?;
 
     match cli.command {
+        // handled above, before the program load
+        Command::Serve => {}
         Command::Check => {
             let _ = writeln!(out, "{}", print_code(&program));
             let _ = writeln!(
@@ -511,7 +636,7 @@ pub fn run_cli(cli: &Cli) -> Result<String, CliError> {
             } else {
                 execute(&r.plan, &opts)
             }
-            .map_err(|e| CliError(format!("execution failed: {e}")))?;
+            .map_err(|e| CliError::runtime(format!("execution failed: {e}")))?;
             let _ = writeln!(
                 out,
                 "executed on {} process(es): {:.3}s simulated I/O ({} ops, {:.3} MB), predicted {:.3}s",
@@ -528,13 +653,18 @@ pub fn run_cli(cli: &Cli) -> Result<String, CliError> {
                 let want = dense_reference(&program, default_input_gen);
                 let mut max_err = 0.0f64;
                 for (name, got) in &rep.outputs {
-                    for (g, w) in got.iter().zip(&want[name]) {
+                    let reference = want.get(name).ok_or_else(|| {
+                        CliError::runtime(format!(
+                            "verification: reference evaluator produced no array `{name}`"
+                        ))
+                    })?;
+                    for (g, w) in got.iter().zip(reference) {
                         max_err = max_err.max((g - w).abs());
                     }
                 }
                 let _ = writeln!(out, "verification: max |ooc - dense| = {max_err:.3e}");
                 if max_err > 1e-6 {
-                    return Err(CliError(format!(
+                    return Err(CliError::runtime(format!(
                         "verification FAILED (max error {max_err:.3e})"
                     )));
                 }
@@ -756,7 +886,10 @@ mod tests {
         )))
         .unwrap();
         let err = run_cli(&cli).unwrap_err();
-        assert!(err.0.contains("injected permanent disk fault"), "{err}");
+        assert!(
+            err.message.contains("injected permanent disk fault"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -834,6 +967,91 @@ mod tests {
     fn missing_file_is_a_clean_error() {
         let cli = parse_args(&args("check /nonexistent/nowhere.tce")).unwrap();
         let err = run_cli(&cli).unwrap_err();
-        assert!(err.0.contains("cannot read"), "{err}");
+        assert!(err.message.contains("cannot read"), "{err}");
+        assert_eq!(err.kind, CliErrorKind::Runtime);
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn usage_and_runtime_errors_have_distinct_exit_codes() {
+        let usage = parse_args(&args("run f.tce --strategy magic")).unwrap_err();
+        assert_eq!(usage.kind, CliErrorKind::Usage);
+        assert_eq!(usage.exit_code(), 2);
+
+        let file = write_fixture();
+        // infeasible: 1-byte memory limit, so synthesis fails at runtime
+        let cli = parse_args(&args(&format!("synthesize {file} --mem 1 --test-scale"))).unwrap();
+        let runtime = run_cli(&cli).unwrap_err();
+        assert!(runtime.message.contains("synthesis failed"), "{runtime}");
+        assert_eq!(runtime.exit_code(), 1);
+    }
+
+    #[test]
+    fn serve_flags_are_validated() {
+        // serve needs exactly one input source
+        assert!(parse_args(&args("serve")).is_err());
+        assert!(parse_args(&args("serve --batch a.json --stdin")).is_err());
+        // serve-only flags rejected elsewhere
+        assert!(parse_args(&args("check f.tce --batch a.json")).is_err());
+        let cli = parse_args(&args("serve --batch jobs.json --workers 4")).unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.batch.as_deref(), Some("jobs.json"));
+        assert_eq!(cli.workers, 4);
+    }
+
+    #[test]
+    fn serve_batch_runs_jobs_and_reports_cache_hits() {
+        let file = write_fixture();
+        let dsl = std::fs::read_to_string(&file).unwrap();
+        let program = serde_json::to_string(&dsl).unwrap();
+        let dir = std::env::temp_dir().join(format!("tce-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs_path = dir.join("jobs.json");
+        std::fs::write(
+            &jobs_path,
+            format!(
+                r#"{{"schema": "tce-serve/jobs/v1", "jobs": [
+                    {{"name": "a", "program": {program}, "mem_limit": 8192, "test_scale": true}},
+                    {{"name": "b", "program": {program}, "mem_limit": 8192, "test_scale": true}}
+                ]}}"#
+            ),
+        )
+        .unwrap();
+
+        let cache_dir = dir.join("cache");
+        let cli = parse_args(&args(&format!(
+            "serve --batch {} --workers 2 --cache-dir {}",
+            jobs_path.display(),
+            cache_dir.display()
+        )))
+        .unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("tce-serve/report/v1"), "{out}");
+        assert!(out.contains("\"fingerprint\""), "{out}");
+        // identical jobs: one solve, one hit (joined or replayed)
+        assert!(out.contains("\"misses\": 1"), "{out}");
+        assert!(out.contains("\"hits\": 1"), "{out}");
+        // the cache directory now holds the record for a future process
+        let cached: Vec<_> = std::fs::read_dir(&cache_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .collect();
+        assert_eq!(cached.len(), 1, "one record on disk");
+    }
+
+    #[test]
+    fn serve_rejects_bad_jobs_file_as_usage() {
+        let dir = std::env::temp_dir().join(format!("tce-cli-servebad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs_path = dir.join("bad.json");
+        std::fs::write(&jobs_path, r#"{"schema": "wrong", "jobs": []}"#).unwrap();
+        let cli = parse_args(&args(&format!("serve --batch {}", jobs_path.display()))).unwrap();
+        let err = run_cli(&cli).unwrap_err();
+        assert_eq!(err.kind, CliErrorKind::Usage);
+        // unreadable file is a runtime failure, not usage
+        let cli = parse_args(&args("serve --batch /nonexistent/nope.json")).unwrap();
+        let err = run_cli(&cli).unwrap_err();
+        assert_eq!(err.kind, CliErrorKind::Runtime);
     }
 }

@@ -1,5 +1,6 @@
 //! Executable concrete plans.
 
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use tce_cost::{BufferShape, TileAssignment};
 use tce_ir::{ArrayId, ArrayKind, Index, NodeId, NodeKind, Program, Stmt};
@@ -18,8 +19,20 @@ impl BufId {
     }
 }
 
+impl Serialize for BufId {
+    fn to_value(&self) -> Value {
+        Value::UInt(self.0 as u64)
+    }
+}
+
+impl Deserialize for BufId {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        u32::from_value(v).map(BufId)
+    }
+}
+
 /// An in-memory buffer declaration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BufferDecl {
     /// Buffer id (its position in the plan's buffer list).
     pub id: BufId,
@@ -34,7 +47,7 @@ pub struct BufferDecl {
 
 /// An operand of a contraction kernel: a buffer plus the loop indices that
 /// subscript it (in the array's storage order).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BufRef {
     /// The buffer.
     pub buffer: BufId,
@@ -44,7 +57,7 @@ pub struct BufRef {
 
 /// One per-tile contraction kernel: `dst += lhs * rhs` over the element
 /// ranges of the current tiles of `band`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ComputeOp {
     /// Element loops (intra-tile), outermost first.
     pub band: Vec<Index>,
@@ -97,9 +110,85 @@ pub enum Op {
     Compute(ComputeOp),
 }
 
+// Hand-written: the vendored derive handles only unit-variant enums, and
+// `Op` carries payloads. Each node becomes a map tagged by an `"op"` key.
+impl Serialize for Op {
+    fn to_value(&self) -> Value {
+        let tag = |name: &str, mut fields: Vec<(String, Value)>| {
+            fields.insert(0, ("op".to_string(), Value::Str(name.to_string())));
+            Value::Map(fields)
+        };
+        match self {
+            Op::TilingLoop { index, body } => tag(
+                "tiling_loop",
+                vec![
+                    ("index".to_string(), index.to_value()),
+                    ("body".to_string(), body.to_value()),
+                ],
+            ),
+            Op::ReadBlock { array, buffer } => tag(
+                "read_block",
+                vec![
+                    ("array".to_string(), array.to_value()),
+                    ("buffer".to_string(), buffer.to_value()),
+                ],
+            ),
+            Op::WriteBlock { array, buffer } => tag(
+                "write_block",
+                vec![
+                    ("array".to_string(), array.to_value()),
+                    ("buffer".to_string(), buffer.to_value()),
+                ],
+            ),
+            Op::ZeroBuffer { buffer } => tag(
+                "zero_buffer",
+                vec![("buffer".to_string(), buffer.to_value())],
+            ),
+            Op::ZeroFillPass { array, buffer } => tag(
+                "zero_fill_pass",
+                vec![
+                    ("array".to_string(), array.to_value()),
+                    ("buffer".to_string(), buffer.to_value()),
+                ],
+            ),
+            Op::Compute(c) => tag("compute", vec![("kernel".to_string(), c.to_value())]),
+        }
+    }
+}
+
+impl Deserialize for Op {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| v.get(name).ok_or_else(|| serde::Error::missing(name));
+        let tag = String::from_value(field("op")?)?;
+        match tag.as_str() {
+            "tiling_loop" => Ok(Op::TilingLoop {
+                index: Index::from_value(field("index")?)?,
+                body: Vec::from_value(field("body")?)?,
+            }),
+            "read_block" => Ok(Op::ReadBlock {
+                array: ArrayId::from_value(field("array")?)?,
+                buffer: BufId::from_value(field("buffer")?)?,
+            }),
+            "write_block" => Ok(Op::WriteBlock {
+                array: ArrayId::from_value(field("array")?)?,
+                buffer: BufId::from_value(field("buffer")?)?,
+            }),
+            "zero_buffer" => Ok(Op::ZeroBuffer {
+                buffer: BufId::from_value(field("buffer")?)?,
+            }),
+            "zero_fill_pass" => Ok(Op::ZeroFillPass {
+                array: ArrayId::from_value(field("array")?)?,
+                buffer: BufId::from_value(field("buffer")?)?,
+            }),
+            "compute" => Ok(Op::Compute(ComputeOp::from_value(field("kernel")?)?)),
+            other => Err(serde::Error(format!("unknown plan op `{other}`"))),
+        }
+    }
+}
+
 /// A complete concrete program: what the paper's generated Fortran+DRA
 /// code contains, in interpretable form.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ConcretePlan {
     /// The source abstract program (declarations and ranges).
     pub program: Program,

@@ -1,0 +1,80 @@
+//! Golden-file round-trip for concrete-plan serialization.
+//!
+//! The plan JSON is the payload of synthesis-cache records, so its shape
+//! must stay stable: serialize → deserialize → re-serialize must be
+//! byte-identical, and the serialized form must match the checked-in
+//! golden file. If a deliberate schema change breaks the golden
+//! comparison, regenerate the file by running this test with
+//! `UPDATE_GOLDEN=1`.
+
+use tce_codegen::{generate_plan, ConcretePlan, Op};
+use tce_cost::TileAssignment;
+use tce_ir::fixtures::two_index_fused;
+use tce_tile::{enumerate_placements, tile_program, IntermediateChoice};
+
+fn sample_plan(choose_disk_t: bool) -> ConcretePlan {
+    let p = two_index_fused(400, 350);
+    let tiled = tile_program(&p);
+    let space = enumerate_placements(&tiled, 1 << 30).expect("space");
+    let mut sel = space.default_selection();
+    if choose_disk_t {
+        sel.intermediates[0] = IntermediateChoice::OnDisk { write: 0, read: 0 };
+    }
+    let tiles = TileAssignment::new()
+        .with("i", 100)
+        .with("j", 100)
+        .with("m", 70)
+        .with("n", 70);
+    generate_plan(&tiled, &space, &sel, &tiles)
+}
+
+fn count_ops(ops: &[Op], pred: &dyn Fn(&Op) -> bool) -> usize {
+    let mut n = 0;
+    for op in ops {
+        if pred(op) {
+            n += 1;
+        }
+        if let Op::TilingLoop { body, .. } = op {
+            n += count_ops(body, pred);
+        }
+    }
+    n
+}
+
+#[test]
+fn plan_round_trips_byte_identically() {
+    for disk_t in [false, true] {
+        let plan = sample_plan(disk_t);
+        let json = serde_json::to_string_pretty(&plan).expect("serialize");
+        let back: ConcretePlan = serde_json::from_str(&json).expect("deserialize");
+        let again = serde_json::to_string_pretty(&back).expect("re-serialize");
+        assert_eq!(json, again, "round-trip must be byte-identical");
+
+        // the rebuilt plan is structurally equivalent, not just textually
+        assert_eq!(back.buffers.len(), plan.buffers.len());
+        assert_eq!(back.disk_arrays, plan.disk_arrays);
+        assert_eq!(back.buffer_bytes(), plan.buffer_bytes());
+        assert_eq!(
+            count_ops(&back.ops, &|o| matches!(o, Op::Compute(_))),
+            count_ops(&plan.ops, &|o| matches!(o, Op::Compute(_))),
+        );
+    }
+}
+
+#[test]
+fn plan_matches_golden_file() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/plan_two_index.json"
+    );
+    let json = serde_json::to_string_pretty(&sample_plan(false)).expect("serialize");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file exists");
+    assert_eq!(
+        json, golden,
+        "plan serialization changed; regenerate with UPDATE_GOLDEN=1 if intended"
+    );
+}

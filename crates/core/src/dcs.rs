@@ -307,6 +307,96 @@ pub(crate) fn spatial_adjust(
     }
 }
 
+/// Everything the DCS pipeline computes *before* the solver runs: the
+/// tiled program, the placement space and the lowered nonlinear model.
+///
+/// Produced by [`prepare_dcs`] and consumed by [`finish_dcs`]. The split
+/// exists so embedders (notably the synthesis cache) can fingerprint the
+/// model and decide whether to run the solver at all; a cache hit replays
+/// a stored solution through [`finish_dcs`] and skips only the solve.
+#[derive(Debug)]
+pub struct PreparedSynthesis {
+    /// The tiled program.
+    pub tiled: TiledProgram,
+    /// The enumerated placement space.
+    pub space: SynthesisSpace,
+    /// The lowered DCS model (`dcs.model` is what the solver sees).
+    pub dcs: DcsModel,
+    started: Instant,
+}
+
+/// Tiles the program, enumerates placements and lowers the nonlinear
+/// model — the solver-independent front half of [`synthesize_dcs`].
+pub fn prepare_dcs(
+    program: &Program,
+    config: &SynthesisConfig,
+) -> Result<PreparedSynthesis, SynthesisError> {
+    let started = Instant::now();
+    let tiled = tile_program(program);
+    let space = enumerate_placements(&tiled, config.mem_limit)?;
+    let dcs = build_model_with(
+        &space,
+        program.ranges(),
+        config.profile.min_read_block,
+        config.profile.min_write_block,
+        config.enforce_min_blocks,
+        config.objective,
+        &config.profile,
+    );
+    Ok(PreparedSynthesis {
+        tiled,
+        space,
+        dcs,
+        started,
+    })
+}
+
+/// Decodes a solver outcome into tiles/placements, applies the spatial
+/// adjustment and generates the concrete plan — the back half of
+/// [`synthesize_dcs`].
+///
+/// `outcome` may come from a live solve of `prepared.dcs.model` or from a
+/// cache replay; either way its point must index that model's variables.
+/// Returns [`SynthesisError::Infeasible`] when the outcome's solution is
+/// marked infeasible.
+pub fn finish_dcs(
+    prepared: PreparedSynthesis,
+    config: &SynthesisConfig,
+    outcome: tce_solver::SolveOutcome,
+) -> Result<SynthesisResult, SynthesisError> {
+    let PreparedSynthesis {
+        tiled,
+        space,
+        dcs,
+        started,
+    } = prepared;
+    let solution = outcome.solution;
+    if !solution.feasible {
+        return Err(SynthesisError::Infeasible);
+    }
+    let ranges = tiled.base().ranges().clone();
+    let (mut tiles, selection) = decode_point(&dcs, &solution.point);
+    spatial_adjust(
+        &space,
+        &ranges,
+        &mut tiles,
+        &selection,
+        config.mem_limit,
+        config.spatial_min_tile,
+    );
+    Ok(assemble_result(
+        tiled,
+        space,
+        tiles,
+        selection,
+        &config.profile,
+        solution.evals,
+        started,
+        Some(dcs),
+        outcome.report,
+    ))
+}
+
 /// Runs the full DCS pipeline on an abstract program: tile, enumerate
 /// placements, lower to the nonlinear model, solve, decode, generate the
 /// concrete plan.
@@ -325,43 +415,9 @@ pub fn synthesize_dcs(
     program: &Program,
     config: &SynthesisConfig,
 ) -> Result<SynthesisResult, SynthesisError> {
-    let started = Instant::now();
-    let tiled = tile_program(program);
-    let space = enumerate_placements(&tiled, config.mem_limit)?;
-    let dcs = build_model_with(
-        &space,
-        program.ranges(),
-        config.profile.min_read_block,
-        config.profile.min_write_block,
-        config.enforce_min_blocks,
-        config.objective,
-        &config.profile,
-    );
-    let outcome = tce_solver::solve(&dcs.model, &config.solve_options());
-    let solution = outcome.solution;
-    if !solution.feasible {
-        return Err(SynthesisError::Infeasible);
-    }
-    let (mut tiles, selection) = decode_point(&dcs, &solution.point);
-    spatial_adjust(
-        &space,
-        program.ranges(),
-        &mut tiles,
-        &selection,
-        config.mem_limit,
-        config.spatial_min_tile,
-    );
-    Ok(assemble_result(
-        tiled,
-        space,
-        tiles,
-        selection,
-        &config.profile,
-        solution.evals,
-        started,
-        Some(dcs),
-        outcome.report,
-    ))
+    let prepared = prepare_dcs(program, config)?;
+    let outcome = tce_solver::solve(&prepared.dcs.model, &config.solve_options());
+    finish_dcs(prepared, config, outcome)
 }
 
 #[cfg(test)]

@@ -23,7 +23,10 @@ pub mod model;
 pub mod predict;
 
 pub use baseline::{synthesize_uniform_sampling, BaselineOptions};
-pub use dcs::{synthesize_dcs, SynthesisConfig, SynthesisError, SynthesisResult};
+pub use dcs::{
+    finish_dcs, prepare_dcs, synthesize_dcs, PreparedSynthesis, SynthesisConfig, SynthesisError,
+    SynthesisResult,
+};
 pub use model::{build_model, build_model_with, decode_point, DcsModel, ObjectiveKind};
 pub use predict::{predict_io_time, PredictedTime};
 

@@ -338,6 +338,32 @@ impl TileAssignment {
     }
 }
 
+// Serializes as a name → tile map (BTreeMap order, so deterministic).
+impl serde::Serialize for TileAssignment {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(
+            self.iter()
+                .map(|(i, t)| (i.name().to_string(), serde::Value::UInt(t)))
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for TileAssignment {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Map(entries) => {
+                let mut a = TileAssignment::new();
+                for (name, tile) in entries {
+                    a.set(Index::new(name), u64::from_value(tile)?);
+                }
+                Ok(a)
+            }
+            other => Err(serde::Error::mismatch("tile map", other)),
+        }
+    }
+}
+
 impl FromIterator<(Index, u64)> for TileAssignment {
     fn from_iter<T: IntoIterator<Item = (Index, u64)>>(iter: T) -> Self {
         let mut a = TileAssignment::new();

@@ -104,6 +104,42 @@ impl BufferShape {
     }
 }
 
+impl serde::Serialize for DimExtent {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                DimExtent::One => "one",
+                DimExtent::Tile => "tile",
+                DimExtent::Full => "full",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl serde::Deserialize for DimExtent {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match String::from_value(v)?.as_str() {
+            "one" => Ok(DimExtent::One),
+            "tile" => Ok(DimExtent::Tile),
+            "full" => Ok(DimExtent::Full),
+            other => Err(serde::Error(format!("unknown dim extent `{other}`"))),
+        }
+    }
+}
+
+impl serde::Serialize for BufferShape {
+    fn to_value(&self) -> serde::Value {
+        self.dims.to_value()
+    }
+}
+
+impl serde::Deserialize for BufferShape {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Vec::<(Index, DimExtent)>::from_value(v).map(BufferShape::new)
+    }
+}
+
 impl fmt::Display for BufferShape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;

@@ -15,6 +15,18 @@ impl ArrayId {
     }
 }
 
+impl serde::Serialize for ArrayId {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::UInt(self.0 as u64)
+    }
+}
+
+impl serde::Deserialize for ArrayId {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        u32::from_value(v).map(ArrayId)
+    }
+}
+
 /// Storage class of an array in the out-of-core model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ArrayKind {

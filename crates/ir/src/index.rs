@@ -54,6 +54,18 @@ impl From<&str> for Index {
     }
 }
 
+impl serde::Serialize for Index {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl serde::Deserialize for Index {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        String::from_value(v).map(Index::new)
+    }
+}
+
 /// Map from loop index to its integer extent `N_i`.
 ///
 /// Kept ordered so printing and iteration are deterministic.

@@ -55,7 +55,7 @@ pub mod tree;
 pub use array::{ArrayDecl, ArrayId, ArrayKind, ArrayRef, ELEMENT_BYTES};
 pub use index::{Index, RangeMap};
 pub use parser::{parse_program, ParseError};
-pub use printer::{print_code, print_tree};
+pub use printer::{print_code, print_tree, to_dsl};
 pub use program::{Program, ProgramBuilder, ValidationError};
 pub use stmt::Stmt;
 pub use tree::{NodeId, NodeKind, Tree};

@@ -97,6 +97,49 @@ pub fn print_code(p: &Program) -> String {
     out
 }
 
+/// Renders a program as *parseable* DSL text: feeding the output back
+/// through [`crate::parse_program`] reproduces the program, and printing
+/// that reparse yields byte-identical text. This is the canonical
+/// serialized form of a [`Program`] (see its `serde` impls).
+pub fn to_dsl(p: &Program) -> String {
+    let mut out = String::new();
+    for a in p.arrays() {
+        // `ArrayDecl` Display is already DSL-compatible (`input A[i,j]`;
+        // scalars print `T2[]`, which parses back to rank 0)
+        let _ = writeln!(out, "{a}");
+    }
+    let ranges: Vec<String> = p
+        .ranges()
+        .iter()
+        .map(|(i, e)| format!("{i} = {e}"))
+        .collect();
+    if !ranges.is_empty() {
+        let _ = writeln!(out, "range {}", ranges.join(", "));
+    }
+    for &child in p.tree().children(p.tree().root()) {
+        dsl_node(p.tree(), p.arrays(), child, 0, &mut out);
+    }
+    out
+}
+
+fn dsl_node(tree: &Tree, arrays: &[ArrayDecl], node: NodeId, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match tree.kind(node) {
+        NodeKind::Root => unreachable!("root is handled by the caller"),
+        NodeKind::Stmt(s) => {
+            let _ = writeln!(out, "{pad}{}", format_stmt(arrays, s));
+        }
+        NodeKind::Loop(i) => {
+            // one `for` per loop node: unambiguous and reparse-stable
+            let _ = writeln!(out, "{pad}for {} {{", i.name());
+            for &kid in tree.children(node) {
+                dsl_node(tree, arrays, kid, depth + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
 /// Renders a parse tree in ASCII-art form (Fig. 2(b)).
 pub fn print_tree(tree: &Tree, arrays: &[ArrayDecl]) -> String {
     let mut out = String::from("Root\n");
@@ -180,6 +223,39 @@ mod tests {
         let p2 = parse_program(&dsl).unwrap();
         assert_eq!(p2.tree().statements().len(), p.tree().statements().len());
         assert_eq!(p2.arrays().len(), p.arrays().len());
+    }
+
+    #[test]
+    fn dsl_printer_round_trips_byte_identically() {
+        let p = parse_program(SRC).unwrap();
+        let dsl = to_dsl(&p);
+        let p2 = parse_program(&dsl).expect("printed DSL reparses");
+        assert_eq!(to_dsl(&p2), dsl);
+        assert_eq!(p2.arrays().len(), p.arrays().len());
+        assert_eq!(p2.tree().statements().len(), p.tree().statements().len());
+        assert_eq!(p2.ranges(), p.ranges());
+    }
+
+    #[test]
+    fn dsl_printer_handles_scalars() {
+        let src = r#"
+            input X[i]
+            input Y[i]
+            intermediate S
+            output O[i]
+            range i = 3
+            for i {
+                S = 0
+                S += X[i] * Y[i]
+                O[i] += S * S
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let dsl = to_dsl(&p);
+        let p2 = parse_program(&dsl).expect("printed DSL reparses");
+        assert_eq!(to_dsl(&p2), dsl);
+        let (_, s) = p2.array_by_name("S").unwrap();
+        assert!(s.is_scalar());
     }
 
     #[test]

@@ -252,6 +252,23 @@ impl Program {
     }
 }
 
+// A program serializes as its DSL text (see `printer::to_dsl`): compact,
+// human-readable inside JSON records, and the parser revalidates on load so
+// a corrupt payload surfaces as an error instead of an invalid `Program`.
+impl serde::Serialize for Program {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(crate::printer::to_dsl(self))
+    }
+}
+
+impl serde::Deserialize for Program {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let src = String::from_value(v)?;
+        crate::parser::parse_program(&src)
+            .map_err(|e| serde::Error(format!("invalid program DSL: {e}")))
+    }
+}
+
 /// Convenience builder used by fixtures, the op-min lowering and tests.
 ///
 /// ```

@@ -1,0 +1,295 @@
+//! Job specifications and per-job/batch reports.
+//!
+//! Jobs arrive as JSON — either a batch file
+//! `{"schema": "tce-serve/jobs/v1", "jobs": [...]}` or one job object per
+//! line on stdin. Reports leave as JSON under
+//! `{"schema": "tce-serve/report/v1", ...}` so callers can machine-read
+//! hit rates and saved solver time.
+
+use serde::{Serialize, Value};
+use tce_core::{ObjectiveKind, SynthesisConfig};
+use tce_ir::Program;
+use tce_solver::Strategy;
+
+/// Schema tag of a batch jobs file.
+pub const JOBS_SCHEMA: &str = "tce-serve/jobs/v1";
+/// Schema tag of a batch report.
+pub const REPORT_SCHEMA: &str = "tce-serve/report/v1";
+
+/// One synthesis request.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Job name, echoed in the report.
+    pub name: String,
+    /// The program, as DSL text.
+    pub program: String,
+    /// Memory limit in bytes.
+    pub mem_limit: u64,
+    /// Use test-scale defaults (unconstrained profile, block constraints
+    /// off) instead of the paper-scale Itanium-2 profile.
+    pub test_scale: bool,
+    /// Solver strategy override (`dlm`, `csa`, `portfolio`, `brute`).
+    pub strategy: Option<String>,
+    /// Solver seed override.
+    pub seed: Option<u64>,
+    /// Solver evaluation budget override.
+    pub budget: Option<u64>,
+    /// Collect solver telemetry.
+    pub telemetry: bool,
+    /// Objective override (`volume` or `time`).
+    pub objective: Option<String>,
+}
+
+fn str_field(v: &Value, name: &str) -> Result<String, String> {
+    match v.get(name) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(format!(
+            "job field `{name}` must be a string, got {other:?}"
+        )),
+        None => Err(format!("job is missing required field `{name}`")),
+    }
+}
+
+fn opt_u64_field(v: &Value, name: &str) -> Result<Option<u64>, String> {
+    match v.get(name) {
+        Some(Value::UInt(n)) => Ok(Some(*n)),
+        Some(Value::Int(n)) if *n >= 0 => Ok(Some(*n as u64)),
+        Some(other) => Err(format!(
+            "job field `{name}` must be a non-negative integer, got {other:?}"
+        )),
+        None => Ok(None),
+    }
+}
+
+fn bool_field(v: &Value, name: &str, default: bool) -> Result<bool, String> {
+    match v.get(name) {
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(other) => Err(format!("job field `{name}` must be a bool, got {other:?}")),
+        None => Ok(default),
+    }
+}
+
+fn opt_str_field(v: &Value, name: &str) -> Result<Option<String>, String> {
+    match v.get(name) {
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(format!(
+            "job field `{name}` must be a string, got {other:?}"
+        )),
+        None => Ok(None),
+    }
+}
+
+impl JobSpec {
+    /// Parses a job object.
+    pub fn from_value(v: &Value) -> Result<JobSpec, String> {
+        let spec = JobSpec {
+            name: str_field(v, "name")?,
+            program: str_field(v, "program")?,
+            mem_limit: opt_u64_field(v, "mem_limit")?
+                .ok_or_else(|| "job is missing required field `mem_limit`".to_string())?,
+            test_scale: bool_field(v, "test_scale", false)?,
+            strategy: opt_str_field(v, "strategy")?,
+            seed: opt_u64_field(v, "seed")?,
+            budget: opt_u64_field(v, "budget")?,
+            telemetry: bool_field(v, "telemetry", false)?,
+            objective: opt_str_field(v, "objective")?,
+        };
+        // fail fast on bad enum values so the error names the job
+        spec.config()?;
+        Ok(spec)
+    }
+
+    /// Parses one JSON-lines job.
+    pub fn from_json_line(line: &str) -> Result<JobSpec, String> {
+        let v = serde_json::parse_value(line).map_err(|e| format!("invalid job JSON: {e:?}"))?;
+        JobSpec::from_value(&v)
+    }
+
+    /// Parses the job's program text.
+    pub fn parse_program(&self) -> Result<Program, String> {
+        tce_ir::parse_program(&self.program).map_err(|e| format!("invalid program: {e}"))
+    }
+
+    /// Builds the synthesis configuration this job asks for.
+    pub fn config(&self) -> Result<SynthesisConfig, String> {
+        let mut config = if self.test_scale {
+            SynthesisConfig::test_scale(self.mem_limit)
+        } else {
+            SynthesisConfig::new(self.mem_limit)
+        };
+        if let Some(s) = &self.strategy {
+            config.strategy = match s.as_str() {
+                "dlm" => Strategy::Dlm,
+                "csa" => Strategy::Csa,
+                "portfolio" => Strategy::Portfolio,
+                "brute" | "brute_force" => Strategy::BruteForce,
+                other => return Err(format!("unknown strategy `{other}`")),
+            };
+        }
+        if let Some(o) = &self.objective {
+            config.objective = match o.as_str() {
+                "volume" => ObjectiveKind::Volume,
+                "time" => ObjectiveKind::Time,
+                other => return Err(format!("unknown objective `{other}`")),
+            };
+        }
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        if let Some(budget) = self.budget {
+            config.max_evals = Some(budget);
+        }
+        config.telemetry = self.telemetry;
+        Ok(config)
+    }
+}
+
+/// Parses a batch jobs file.
+pub fn parse_jobs_file(text: &str) -> Result<Vec<JobSpec>, String> {
+    let v = serde_json::parse_value(text).map_err(|e| format!("invalid jobs JSON: {e:?}"))?;
+    match v.get("schema") {
+        Some(Value::Str(s)) if s == JOBS_SCHEMA => {}
+        Some(Value::Str(s)) => {
+            return Err(format!("jobs file schema `{s}`, expected `{JOBS_SCHEMA}`"))
+        }
+        _ => return Err(format!("jobs file is missing `schema` (`{JOBS_SCHEMA}`)")),
+    }
+    let jobs = match v.get("jobs") {
+        Some(Value::Seq(items)) => items,
+        _ => return Err("jobs file is missing the `jobs` array".to_string()),
+    };
+    let mut specs = Vec::with_capacity(jobs.len());
+    for (i, item) in jobs.iter().enumerate() {
+        specs.push(JobSpec::from_value(item).map_err(|e| format!("job #{i}: {e}"))?);
+    }
+    Ok(specs)
+}
+
+/// Per-job outcome and timing telemetry.
+#[derive(Clone, Debug, Serialize)]
+pub struct JobReport {
+    /// Job name from the spec.
+    pub name: String,
+    /// Whether synthesis succeeded.
+    pub ok: bool,
+    /// Failure description when `ok` is false.
+    pub error: Option<String>,
+    /// Request fingerprint (empty on prepare failures).
+    pub fingerprint: String,
+    /// Whether the solver phase was served from the cache.
+    pub hit: bool,
+    /// Whether this job waited on an identical in-flight request instead
+    /// of solving (single-flight dedup).
+    pub joined: bool,
+    /// Seconds between submission and a worker picking the job up.
+    pub queue_wait_s: f64,
+    /// Seconds this job spent in the solver (0 on hits).
+    pub solve_wall_s: f64,
+    /// Solver seconds the cache hit saved (0 on misses).
+    pub saved_wall_s: f64,
+    /// End-to-end seconds for the job once picked up.
+    pub total_s: f64,
+    /// Optimized disk traffic in bytes.
+    pub io_bytes: f64,
+    /// Peak buffer memory of the plan in bytes.
+    pub memory_bytes: f64,
+    /// Predicted disk time of the plan in seconds.
+    pub predicted_s: f64,
+}
+
+impl JobReport {
+    /// A report for a job that failed before or during synthesis.
+    pub fn failed(name: &str, fingerprint: &str, error: String, queue_wait_s: f64) -> JobReport {
+        JobReport {
+            name: name.to_string(),
+            ok: false,
+            error: Some(error),
+            fingerprint: fingerprint.to_string(),
+            hit: false,
+            joined: false,
+            queue_wait_s,
+            solve_wall_s: 0.0,
+            saved_wall_s: 0.0,
+            total_s: 0.0,
+            io_bytes: 0.0,
+            memory_bytes: 0.0,
+            predicted_s: 0.0,
+        }
+    }
+}
+
+/// Aggregates over one batch.
+#[derive(Clone, Debug, Serialize)]
+pub struct BatchSummary {
+    /// Total jobs.
+    pub jobs: u64,
+    /// Jobs that synthesized successfully.
+    pub ok: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Cache hits (including single-flight joiners).
+    pub hits: u64,
+    /// Fresh solves.
+    pub misses: u64,
+    /// Jobs that coalesced onto an identical in-flight request.
+    pub joined: u64,
+    /// Total solver seconds the cache saved across the batch.
+    pub solver_wall_saved_s: f64,
+    /// Batch wall-clock seconds.
+    pub wall_s: f64,
+}
+
+/// The machine-readable batch report.
+#[derive(Clone, Debug, Serialize)]
+pub struct BatchReport {
+    /// Schema tag ([`REPORT_SCHEMA`]).
+    pub schema: String,
+    /// Worker threads the batch ran with.
+    pub workers: u64,
+    /// Per-job reports, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// Batch aggregates.
+    pub summary: BatchSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_file_round_trips() {
+        let text = r#"{
+            "schema": "tce-serve/jobs/v1",
+            "jobs": [
+                {"name": "a", "program": "range i = 4\n", "mem_limit": 1024,
+                 "test_scale": true, "strategy": "dlm", "seed": 7,
+                 "budget": 100, "telemetry": true, "objective": "volume"},
+                {"name": "b", "program": "range i = 4\n", "mem_limit": 2048}
+            ]
+        }"#;
+        let jobs = parse_jobs_file(text).expect("parse");
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].name, "a");
+        assert_eq!(jobs[0].seed, Some(7));
+        assert!(jobs[0].telemetry);
+        assert_eq!(jobs[1].mem_limit, 2048);
+        assert!(!jobs[1].test_scale);
+        assert!(jobs[1].seed.is_none());
+    }
+
+    #[test]
+    fn bad_schema_and_bad_enums_are_rejected() {
+        let err = parse_jobs_file(r#"{"schema": "nope", "jobs": []}"#).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+
+        let err = JobSpec::from_json_line(
+            r#"{"name": "x", "program": "range i = 4", "mem_limit": 1, "strategy": "genetic"}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown strategy"), "{err}");
+
+        let err =
+            JobSpec::from_json_line(r#"{"name": "x", "program": "range i = 4"}"#).unwrap_err();
+        assert!(err.contains("mem_limit"), "{err}");
+    }
+}

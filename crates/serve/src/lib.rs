@@ -1,0 +1,146 @@
+//! Concurrent batch synthesis service over the content-addressed cache.
+//!
+//! `tce-serve` turns the one-shot synthesis pipeline into a batch driver:
+//! jobs come in as JSON (a batch file or JSON-lines on stdin), run on a
+//! bounded worker pool sharing one [`tce_cache::SynthesisCache`], and
+//! leave as a machine-readable report with per-job cache/timing telemetry.
+//!
+//! Identical requests — identical after canonicalization, so renamed
+//! copies of the same program count — are *single-flighted*: when several
+//! are in flight at once only one solves, and the rest replay its cached
+//! outcome. See [`run_batch`] and [`run_lines`].
+
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod service;
+
+pub use job::{
+    parse_jobs_file, BatchReport, BatchSummary, JobReport, JobSpec, JOBS_SCHEMA, REPORT_SCHEMA,
+};
+pub use service::{run_batch, run_lines, SingleFlight};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_cache::SynthesisCache;
+    use tce_ir::fixtures::two_index_fused;
+
+    fn job(name: &str, n: u64, v: u64) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            program: tce_ir::to_dsl(&two_index_fused(n, v)),
+            mem_limit: 64 * 1024,
+            test_scale: true,
+            strategy: None,
+            seed: None,
+            budget: None,
+            telemetry: false,
+            objective: None,
+        }
+    }
+
+    #[test]
+    fn concurrent_duplicates_solve_exactly_once() {
+        // six identical jobs on four workers: one leader solves, the three
+        // concurrent followers join its flight, the late pickups hit the
+        // cache normally — the solver must run exactly once either way
+        let jobs: Vec<JobSpec> = (0..6).map(|i| job(&format!("dup{i}"), 64, 48)).collect();
+        let cache = SynthesisCache::in_memory();
+        let report = run_batch(&jobs, 4, &cache);
+
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.summary.ok, 6);
+        assert_eq!(report.summary.misses, 1, "exactly one fresh solve");
+        assert_eq!(report.summary.hits, 5);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "solver ran once: one cache miss");
+        assert_eq!(stats.hits, 5);
+
+        let fp = &report.jobs[0].fingerprint;
+        assert!(report.jobs.iter().all(|j| &j.fingerprint == fp));
+        // joiners are a subset of the hits and never solved themselves
+        for j in &report.jobs {
+            if j.joined {
+                assert!(j.hit, "a joiner must land on the leader's record");
+            }
+            assert!(j.queue_wait_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn distinct_jobs_all_solve() {
+        let jobs = vec![job("a", 64, 48), job("b", 48, 64), job("c", 64, 48)];
+        let cache = SynthesisCache::in_memory();
+        let report = run_batch(&jobs, 2, &cache);
+        assert_eq!(report.summary.ok, 3);
+        // a and c are identical; b differs
+        assert_eq!(report.summary.misses, 2);
+        assert_eq!(report.summary.hits, 1);
+        assert_ne!(report.jobs[0].fingerprint, report.jobs[1].fingerprint);
+        assert_eq!(report.jobs[0].fingerprint, report.jobs[2].fingerprint);
+    }
+
+    #[test]
+    fn failures_are_reported_not_fatal() {
+        let mut bad = job("bad", 64, 48);
+        bad.program = "this is not a program".to_string();
+        let jobs = vec![job("good", 64, 48), bad];
+        let cache = SynthesisCache::in_memory();
+        let report = run_batch(&jobs, 2, &cache);
+        assert_eq!(report.summary.ok, 1);
+        assert_eq!(report.summary.failed, 1);
+        let failed = report.jobs.iter().find(|j| !j.ok).expect("failed job");
+        assert_eq!(failed.name, "bad");
+        assert!(failed
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("invalid program"));
+    }
+
+    #[test]
+    fn json_lines_mode_reports_per_job() {
+        let dsl = tce_ir::to_dsl(&two_index_fused(64, 48));
+        let encoded = serde_json::to_string(&dsl).expect("encode program");
+        let line = format!(
+            r#"{{"name": "j", "program": {encoded}, "mem_limit": 65536, "test_scale": true}}"#
+        );
+        let input = format!("{line}\n\n{line}\n");
+        let cache = SynthesisCache::in_memory();
+        let (report, out) = run_lines(&input, 2, &cache).expect("run");
+        assert_eq!(report.summary.jobs, 2);
+        assert_eq!(report.summary.hits + report.summary.misses, 2);
+        // one line per job + the summary line
+        assert_eq!(out.trim_end().lines().count(), 3);
+        assert!(out.contains("\"fingerprint\""));
+        assert!(out.contains("\"solver_wall_saved_s\""));
+    }
+
+    #[test]
+    fn renamed_program_coalesces_with_original() {
+        // same computation, indices renamed — canonical fingerprints match
+        let original = job("orig", 64, 48);
+        let dsl = original.program.clone();
+        let renamed = JobSpec {
+            name: "renamed".to_string(),
+            program: dsl
+                .replace(" i", " p")
+                .replace("[i", "[p")
+                .replace(",i", ",p")
+                .replace(" j", " q")
+                .replace("[j", "[q")
+                .replace(",j", ",q"),
+            ..original.clone()
+        };
+        let cache = SynthesisCache::in_memory();
+        let report = run_batch(&[original, renamed], 1, &cache);
+        assert_eq!(report.summary.ok, 2, "{:?}", report.jobs);
+        assert_eq!(
+            report.jobs[0].fingerprint, report.jobs[1].fingerprint,
+            "renaming-invariant fingerprints must match"
+        );
+        assert_eq!(report.summary.misses, 1);
+        assert_eq!(report.summary.hits, 1);
+    }
+}

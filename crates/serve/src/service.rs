@@ -1,0 +1,235 @@
+//! The batch execution engine: a bounded worker pool over a shared
+//! synthesis cache, with single-flight coalescing of identical requests.
+//!
+//! Single-flight works on the *canonical* request fingerprint, so two
+//! concurrently submitted jobs whose programs differ only by renaming
+//! still solve once: the first becomes the leader and solves; the others
+//! park on a condvar, then replay the leader's outcome from the cache.
+
+use crate::job::{BatchReport, BatchSummary, JobReport, JobSpec, REPORT_SCHEMA};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use tce_cache::{prepare_request, run_prepared, SynthesisCache};
+
+/// One in-flight solve; followers park here until the leader finishes.
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+
+    fn complete(&self) {
+        *self.done.lock() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Deduplicates identical in-flight requests by fingerprint.
+#[derive(Default)]
+pub struct SingleFlight {
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+enum Role {
+    Leader,
+    Follower(Arc<Flight>),
+}
+
+impl SingleFlight {
+    /// Registers interest in `key`: the first caller leads, later callers
+    /// get the flight to wait on.
+    fn begin(&self, key: &str) -> Role {
+        let mut flights = self.flights.lock();
+        if let Some(f) = flights.get(key) {
+            return Role::Follower(f.clone());
+        }
+        flights.insert(key.to_string(), Arc::new(Flight::new()));
+        Role::Leader
+    }
+
+    /// Marks the leader's flight finished and wakes all followers. Must
+    /// run on every leader exit path, success or failure.
+    fn finish(&self, key: &str) {
+        if let Some(f) = self.flights.lock().remove(key) {
+            f.complete();
+        }
+    }
+}
+
+/// Runs one job to a report. `queue_wait_s` is measured by the caller.
+fn process_job(
+    spec: &JobSpec,
+    cache: &SynthesisCache,
+    flights: &SingleFlight,
+    queue_wait_s: f64,
+) -> JobReport {
+    let started = Instant::now();
+    let program = match spec.parse_program() {
+        Ok(p) => p,
+        Err(e) => return JobReport::failed(&spec.name, "", e, queue_wait_s),
+    };
+    let config = match spec.config() {
+        Ok(c) => c,
+        Err(e) => return JobReport::failed(&spec.name, "", e, queue_wait_s),
+    };
+    let request = match prepare_request(&program, &config) {
+        Ok(r) => r,
+        Err(e) => return JobReport::failed(&spec.name, "", e.to_string(), queue_wait_s),
+    };
+    let fingerprint = request.fingerprint.clone();
+
+    let (role_is_leader, joined) = match flights.begin(&fingerprint) {
+        Role::Leader => (true, false),
+        Role::Follower(flight) => {
+            flight.wait();
+            (false, true)
+        }
+    };
+
+    let run = run_prepared(request, &config, cache);
+    if role_is_leader {
+        flights.finish(&fingerprint);
+    }
+
+    match run {
+        Ok(done) => JobReport {
+            name: spec.name.clone(),
+            ok: true,
+            error: None,
+            fingerprint: done.fingerprint,
+            hit: done.hit,
+            joined,
+            queue_wait_s,
+            solve_wall_s: done.solve_wall.as_secs_f64(),
+            saved_wall_s: done.saved_wall_s,
+            total_s: started.elapsed().as_secs_f64(),
+            io_bytes: done.result.io_bytes,
+            memory_bytes: done.result.memory_bytes,
+            predicted_s: done.result.predicted.total_s(),
+        },
+        Err(e) => {
+            let mut report =
+                JobReport::failed(&spec.name, &fingerprint, e.to_string(), queue_wait_s);
+            report.joined = joined;
+            report.total_s = started.elapsed().as_secs_f64();
+            report
+        }
+    }
+}
+
+/// Runs a batch of jobs on `workers` threads over a shared cache.
+///
+/// `workers = 0` means one per available core. Reports come back in
+/// submission order regardless of completion order.
+pub fn run_batch(jobs: &[JobSpec], workers: usize, cache: &SynthesisCache) -> BatchReport {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    };
+    let workers = workers.min(jobs.len().max(1));
+
+    let batch_started = Instant::now();
+    let flights = SingleFlight::default();
+    let queue: Mutex<Vec<usize>> = Mutex::new((0..jobs.len()).rev().collect());
+    let reports: Mutex<Vec<Option<JobReport>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = match queue.lock().pop() {
+                    Some(i) => i,
+                    None => break,
+                };
+                let queue_wait_s = batch_started.elapsed().as_secs_f64();
+                let report = process_job(&jobs[idx], cache, &flights, queue_wait_s);
+                reports.lock()[idx] = Some(report);
+            });
+        }
+    })
+    .expect("worker pool");
+
+    let jobs: Vec<JobReport> = reports
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job reported"))
+        .collect();
+
+    let mut summary = BatchSummary {
+        jobs: jobs.len() as u64,
+        ok: 0,
+        failed: 0,
+        hits: 0,
+        misses: 0,
+        joined: 0,
+        solver_wall_saved_s: 0.0,
+        wall_s: batch_started.elapsed().as_secs_f64(),
+    };
+    for r in &jobs {
+        if r.ok {
+            summary.ok += 1;
+            if r.hit {
+                summary.hits += 1;
+            } else {
+                summary.misses += 1;
+            }
+        } else {
+            summary.failed += 1;
+        }
+        if r.joined {
+            summary.joined += 1;
+        }
+        summary.solver_wall_saved_s += r.saved_wall_s;
+    }
+
+    BatchReport {
+        schema: REPORT_SCHEMA.to_string(),
+        workers: workers as u64,
+        jobs,
+        summary,
+    }
+}
+
+/// JSON-lines mode: one job object per input line; one report line per
+/// job (submission order) followed by one summary line.
+pub fn run_lines(
+    input: &str,
+    workers: usize,
+    cache: &SynthesisCache,
+) -> Result<(BatchReport, String), String> {
+    let mut jobs = Vec::new();
+    for (n, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        jobs.push(JobSpec::from_json_line(line).map_err(|e| format!("line {}: {e}", n + 1))?);
+    }
+    let report = run_batch(&jobs, workers, cache);
+    let mut out = String::new();
+    for job in &report.jobs {
+        out.push_str(&serde_json::to_string(job).map_err(|e| format!("{e:?}"))?);
+        out.push('\n');
+    }
+    let summary = serde_json::to_string(&report.summary).map_err(|e| format!("{e:?}"))?;
+    out.push_str(&summary);
+    out.push('\n');
+    Ok((report, out))
+}

@@ -1,0 +1,498 @@
+//! Model canonicalization: renaming-invariant fingerprints.
+//!
+//! Two synthesis requests that differ only in index/array *names* lower to
+//! solver models that are identical up to a permutation of the variable
+//! list (the tile variables are created in `RangeMap` order, which is
+//! name-sorted) and a reordering of commutative operands. This module
+//! computes a canonical form that quotients out exactly those
+//! differences, so a synthesis cache can recognize the two requests as
+//! the same solver work:
+//!
+//! * **names are dropped** — variable and constraint display names never
+//!   enter the canonical form;
+//! * **variables are colored** by Weisfeiler-Lehman-style iterative
+//!   refinement: the initial color is the variable's domain, and each
+//!   round folds in *where* the variable occurs (the hash of every
+//!   objective/constraint expression with that variable's occurrences
+//!   marked). Variables that end with equal colors are structurally
+//!   interchangeable for every distinction the refinement could make;
+//! * **commutative operands are sorted** — `Add`/`Mul` children are
+//!   ordered by their own canonical hashes, and the constraint *set* is
+//!   hashed as a sorted multiset, so statement-order-preserving rewrites
+//!   of the lowering do not change the fingerprint. `Sub`, `CeilDiv` and
+//!   `Select` options keep their (semantically meaningful) order;
+//! * the hash is [`Fnv64`] (FNV-1a), a fixed published function — stable
+//!   across processes, platforms and releases, unlike
+//!   `DefaultHasher`.
+//!
+//! The canonical *order* ([`CanonicalModel::order`]) sorts variables by
+//! final color. A solution point stored in canonical order can be
+//! permuted into any model with the same fingerprint; when two variables
+//! share a color the mapping between them is arbitrary, which is sound
+//! exactly when they are automorphic. Cache consumers must therefore
+//! re-validate a replayed point against their own model (cheap) — see
+//! `tce-cache`.
+//!
+//! Like WL graph refinement, the coloring is a sound but incomplete
+//! isomorphism test: renamed models always collide (by construction),
+//! and distinct models separate unless they are WL-equivalent, which
+//! does not occur for the synthesis encodings (domains, constants and
+//! occurrence structure differ).
+
+use crate::model::{ConstraintOp, Domain, Expr, Model, VarId};
+
+/// Version tag folded into every fingerprint; bump on any change to the
+/// canonical form so stale cache entries can never replay.
+pub const CANON_VERSION: &str = "tce-canon/v1";
+
+/// FNV-1a 64-bit — stable across processes and releases.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Folds one byte into the state.
+    pub fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    /// Folds a byte slice into the state.
+    pub fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    /// Folds a `u64` (little-endian bytes) into the state.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `i64` into the state.
+    pub fn i64(&mut self, v: i64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` by bit pattern, normalizing `-0.0` to `0.0` and
+    /// every NaN to the canonical quiet NaN.
+    pub fn f64(&mut self, v: f64) {
+        let v = if v == 0.0 {
+            0.0
+        } else if v.is_nan() {
+            f64::NAN
+        } else {
+            v
+        };
+        self.u64(v.to_bits());
+    }
+
+    /// Folds a string (length-prefixed) into the state.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Convenience: FNV-1a of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.bytes(bytes);
+    h.finish()
+}
+
+/// Renders a fingerprint as the 16-digit lowercase hex the cache uses
+/// for file names and reports.
+pub fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// The canonical view of a [`Model`].
+#[derive(Clone, Debug)]
+pub struct CanonicalModel {
+    /// Renaming-invariant 64-bit fingerprint of the model.
+    pub fingerprint: u64,
+    /// Final refinement color of each variable, indexed by [`VarId`].
+    pub colors: Vec<u64>,
+    /// Variables sorted into canonical order: `order[k]` is the variable
+    /// occupying canonical slot `k` (sorted by color, ties by id).
+    pub order: Vec<VarId>,
+    /// Inverse of [`CanonicalModel::order`]: `slot[v.as_usize()]` is the
+    /// canonical slot of variable `v`.
+    pub slot: Vec<usize>,
+}
+
+impl CanonicalModel {
+    /// The fingerprint as 16 lowercase hex digits.
+    pub fn hex(&self) -> String {
+        fingerprint_hex(self.fingerprint)
+    }
+
+    /// Reorders a point from model order into canonical order.
+    pub fn to_canonical(&self, point: &[i64]) -> Vec<i64> {
+        self.order.iter().map(|v| point[v.as_usize()]).collect()
+    }
+
+    /// Reorders a canonical-order point back into model order.
+    pub fn from_canonical(&self, canonical: &[i64]) -> Vec<i64> {
+        let mut out = vec![0i64; canonical.len()];
+        for (k, v) in self.order.iter().enumerate() {
+            out[v.as_usize()] = canonical[k];
+        }
+        out
+    }
+}
+
+/// Hash of a domain (the initial refinement color).
+fn domain_hash(d: Domain) -> u64 {
+    let mut h = Fnv64::new();
+    match d {
+        Domain::Int { lo, hi } => {
+            h.byte(1);
+            h.i64(lo);
+            h.i64(hi);
+        }
+        Domain::Binary => h.byte(2),
+    }
+    h.finish()
+}
+
+/// Canonical hash of an expression under the given variable colors.
+/// When `mark` is `Some(v)`, occurrences of `v` hash to a marker instead
+/// of their color — this is how refinement sees *where* a variable sits.
+fn expr_hash(e: &Expr, colors: &[u64], mark: Option<VarId>) -> u64 {
+    let var = |v: VarId| -> u64 {
+        if mark == Some(v) {
+            u64::MAX ^ 0x5eed
+        } else {
+            colors[v.as_usize()]
+        }
+    };
+    let mut h = Fnv64::new();
+    match e {
+        Expr::Const(c) => {
+            h.byte(1);
+            h.f64(*c);
+        }
+        Expr::Var(v) => {
+            h.byte(2);
+            h.u64(var(*v));
+        }
+        Expr::Add(es) | Expr::Mul(es) => {
+            h.byte(if matches!(e, Expr::Add(_)) { 3 } else { 4 });
+            let mut hs: Vec<u64> = es.iter().map(|c| expr_hash(c, colors, mark)).collect();
+            hs.sort_unstable();
+            for x in hs {
+                h.u64(x);
+            }
+        }
+        Expr::Sub(a, b) => {
+            h.byte(5);
+            h.u64(expr_hash(a, colors, mark));
+            h.u64(expr_hash(b, colors, mark));
+        }
+        Expr::CeilDiv(a, b) => {
+            h.byte(6);
+            h.u64(expr_hash(a, colors, mark));
+            h.u64(expr_hash(b, colors, mark));
+        }
+        Expr::Select(v, opts) => {
+            h.byte(7);
+            h.u64(var(*v));
+            h.u64(opts.len() as u64);
+            for o in opts {
+                h.u64(expr_hash(o, colors, mark));
+            }
+        }
+    }
+    h.finish()
+}
+
+fn op_tag(op: ConstraintOp) -> u8 {
+    match op {
+        ConstraintOp::Le => 1,
+        ConstraintOp::Eq => 2,
+        ConstraintOp::Ge => 3,
+    }
+}
+
+/// Hash of one constraint (sense, rhs, scale, expression) under colors.
+fn constraint_hash(model: &Model, j: usize, colors: &[u64], mark: Option<VarId>) -> u64 {
+    let c = &model.constraints()[j];
+    let mut h = Fnv64::new();
+    h.byte(op_tag(c.op));
+    h.f64(c.rhs);
+    h.f64(c.scale);
+    h.u64(expr_hash(&c.expr, colors, mark));
+    h.finish()
+}
+
+/// Computes the canonical form of a model.
+///
+/// Runs WL refinement until the variable partition stops refining (at
+/// most `num_vars` rounds), then hashes the colored structure. Cost is
+/// `O(rounds · vars · model size)` — microseconds at synthesis scale.
+pub fn canonicalize(model: &Model) -> CanonicalModel {
+    let n = model.num_vars();
+    let mut colors: Vec<u64> = model.vars().iter().map(|v| domain_hash(v.domain)).collect();
+
+    let distinct = |cs: &[u64]| -> usize {
+        let mut s: Vec<u64> = cs.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        s.len()
+    };
+
+    let mut classes = distinct(&colors);
+    for _round in 0..n.max(1) {
+        let mut next = Vec::with_capacity(n);
+        for v in 0..n {
+            let v = VarId(v as u32);
+            // the variable's signature: every top-level expression hashed
+            // with this variable's occurrences marked, as a sorted multiset
+            // (paired with the expression's own role hash so "appears in
+            // the objective" and "appears in constraint shaped X" differ)
+            let mut sig: Vec<(u64, u64)> = Vec::new();
+            let obj_marked = expr_hash(&model.objective, &colors, Some(v));
+            let obj_plain = expr_hash(&model.objective, &colors, None);
+            if obj_marked != obj_plain {
+                let mut role = Fnv64::new();
+                role.str("obj");
+                sig.push((role.finish(), obj_marked));
+            }
+            for j in 0..model.constraints().len() {
+                let marked = constraint_hash(model, j, &colors, Some(v));
+                let plain = constraint_hash(model, j, &colors, None);
+                if marked != plain {
+                    sig.push((plain, marked));
+                }
+            }
+            sig.sort_unstable();
+            let mut h = Fnv64::new();
+            h.u64(colors[v.as_usize()]);
+            h.u64(sig.len() as u64);
+            for (role, marked) in sig {
+                h.u64(role);
+                h.u64(marked);
+            }
+            next.push(h.finish());
+        }
+        let next_classes = distinct(&next);
+        colors = next;
+        if next_classes == classes {
+            break;
+        }
+        classes = next_classes;
+    }
+
+    // canonical order: by color, ties by original id (tied variables are
+    // interchangeable as far as the refinement could see)
+    let mut order: Vec<VarId> = (0..n as u32).map(VarId).collect();
+    order.sort_by_key(|v| (colors[v.as_usize()], v.0));
+    let mut slot = vec![0usize; n];
+    for (k, v) in order.iter().enumerate() {
+        slot[v.as_usize()] = k;
+    }
+
+    // fingerprint of the fully colored structure
+    let mut h = Fnv64::new();
+    h.str(CANON_VERSION);
+    h.u64(n as u64);
+    for v in &order {
+        h.u64(colors[v.as_usize()]);
+        let mut dh = Fnv64::new();
+        dh.u64(domain_hash(model.vars()[v.as_usize()].domain));
+        h.u64(dh.finish());
+    }
+    h.u64(expr_hash(&model.objective, &colors, None));
+    let mut cons: Vec<u64> = (0..model.constraints().len())
+        .map(|j| constraint_hash(model, j, &colors, None))
+        .collect();
+    cons.sort_unstable();
+    h.u64(cons.len() as u64);
+    for c in cons {
+        h.u64(c);
+    }
+
+    CanonicalModel {
+        fingerprint: h.finish(),
+        colors,
+        order,
+        slot,
+    }
+}
+
+/// Rewrites an expression's variable ids through `map`.
+fn map_expr(e: &Expr, map: &[VarId]) -> Expr {
+    match e {
+        Expr::Const(c) => Expr::Const(*c),
+        Expr::Var(v) => Expr::Var(map[v.as_usize()]),
+        Expr::Add(es) => Expr::Add(es.iter().map(|c| map_expr(c, map)).collect()),
+        Expr::Mul(es) => Expr::Mul(es.iter().map(|c| map_expr(c, map)).collect()),
+        Expr::Sub(a, b) => Expr::Sub(Box::new(map_expr(a, map)), Box::new(map_expr(b, map))),
+        Expr::CeilDiv(a, b) => {
+            Expr::CeilDiv(Box::new(map_expr(a, map)), Box::new(map_expr(b, map)))
+        }
+        Expr::Select(v, opts) => Expr::Select(
+            map[v.as_usize()],
+            opts.iter().map(|o| map_expr(o, map)).collect(),
+        ),
+    }
+}
+
+/// Builds the model with its variable list permuted: new variable `j` is
+/// old variable `perm[j]`, renamed `v<j>`. This is exactly the shape a
+/// renamed synthesis request produces (tile variables are created in
+/// name order), so tests use it to check fingerprint invariance.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..model.num_vars()`.
+pub fn permuted_model(model: &Model, perm: &[usize]) -> Model {
+    let n = model.num_vars();
+    assert_eq!(perm.len(), n, "permutation length");
+    // old id -> new id
+    let mut to_new = vec![VarId(u32::MAX); n];
+    for (new, &old) in perm.iter().enumerate() {
+        assert!(to_new[old].0 == u32::MAX, "duplicate entry in permutation");
+        to_new[old] = VarId(new as u32);
+    }
+    let mut out = Model::new();
+    for (new, &old) in perm.iter().enumerate() {
+        out.add_var(format!("v{new}"), model.vars()[old].domain);
+    }
+    out.objective = map_expr(&model.objective, &to_new);
+    for c in model.constraints() {
+        let mut mapped = c.clone();
+        mapped.expr = map_expr(&c.expr, &to_new);
+        mapped.name = format!("c_{}", out.constraints().len());
+        out.constraints_mut().push(mapped);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Domain, Expr, Model};
+
+    fn sample_model() -> Model {
+        // minimize ceil(100/t) + 3·u·t  s.t.  t ≤ 17,  u·t ≤ 40
+        let mut m = Model::new();
+        let t = m.add_var("t", Domain::Int { lo: 1, hi: 100 });
+        let u = m.add_var("u", Domain::Int { lo: 1, hi: 50 });
+        let b = m.add_var("b", Domain::Binary);
+        m.objective = Expr::Add(vec![
+            Expr::CeilDiv(Box::new(Expr::Const(100.0)), Box::new(Expr::Var(t))),
+            Expr::Mul(vec![Expr::Const(3.0), Expr::Var(u), Expr::Var(t)]),
+            Expr::Select(b, vec![Expr::Const(0.0), Expr::Var(u)]),
+        ]);
+        m.add_constraint("cap", Expr::Var(t), ConstraintOp::Le, 17.0);
+        m.add_constraint(
+            "mem",
+            Expr::Mul(vec![Expr::Var(u), Expr::Var(t)]),
+            ConstraintOp::Le,
+            40.0,
+        );
+        m
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_permutation() {
+        let m = sample_model();
+        let base = canonicalize(&m);
+        for perm in [[2usize, 0, 1], [1, 2, 0], [2, 1, 0], [0, 2, 1]] {
+            let p = permuted_model(&m, &perm);
+            let c = canonicalize(&p);
+            assert_eq!(c.fingerprint, base.fingerprint, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_operand_reordering() {
+        let mut m = sample_model();
+        let base = canonicalize(&m).fingerprint;
+        // reverse Add operands and swap constraint order
+        if let Expr::Add(es) = &mut m.objective {
+            es.reverse();
+        }
+        m.constraints_mut().reverse();
+        assert_eq!(canonicalize(&m).fingerprint, base);
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_models() {
+        let m = sample_model();
+        let base = canonicalize(&m).fingerprint;
+        let mut changed_rhs = sample_model();
+        changed_rhs.constraints_mut()[0].rhs = 18.0;
+        changed_rhs.constraints_mut()[0].scale = 18.0;
+        assert_ne!(canonicalize(&changed_rhs).fingerprint, base);
+
+        let mut changed_dom = sample_model();
+        changed_dom.vars_mut()[1].domain = Domain::Int { lo: 1, hi: 51 };
+        assert_ne!(canonicalize(&changed_dom).fingerprint, base);
+
+        let mut changed_obj = sample_model();
+        changed_obj.objective = Expr::Const(1.0);
+        assert_ne!(canonicalize(&changed_obj).fingerprint, base);
+    }
+
+    #[test]
+    fn point_round_trips_through_canonical_order() {
+        let m = sample_model();
+        let c = canonicalize(&m);
+        let point = vec![17, 2, 1];
+        let canon = c.to_canonical(&point);
+        assert_eq!(c.from_canonical(&canon), point);
+    }
+
+    #[test]
+    fn canonical_point_transfers_between_renamed_models() {
+        let m = sample_model();
+        let cm = canonicalize(&m);
+        let perm = [2usize, 0, 1];
+        let p = permuted_model(&m, &perm);
+        let cp = canonicalize(&p);
+        // a feasible point of m, moved through canonical order into p,
+        // evaluates identically there
+        let point = vec![10, 4, 1];
+        let transferred = cp.from_canonical(&cm.to_canonical(&point));
+        assert_eq!(m.objective_at(&point), p.objective_at(&transferred));
+        assert_eq!(m.violations(&point), p.violations(&transferred));
+    }
+
+    #[test]
+    fn hex_rendering_is_16_digits() {
+        let m = sample_model();
+        let c = canonicalize(&m);
+        let hex = c.hex();
+        assert_eq!(hex.len(), 16);
+        assert!(hex.chars().all(|ch| ch.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // published FNV-1a test vector
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

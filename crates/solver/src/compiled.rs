@@ -966,7 +966,8 @@ mod tests {
                 );
             }
             // the committed point is untouched by probes
-            assert_matches_tree(&m, &ev, &ev.point().to_vec());
+            let committed = ev.point().to_vec();
+            assert_matches_tree(&m, &ev, &committed);
         }
     }
 

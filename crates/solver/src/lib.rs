@@ -60,6 +60,7 @@
 
 pub mod ampl;
 pub mod brute;
+pub mod canon;
 pub mod compiled;
 pub mod csa;
 pub mod dlm;
@@ -72,6 +73,7 @@ use std::time::{Duration, Instant};
 
 #[allow(deprecated)]
 pub use brute::solve_brute_force;
+pub use canon::{canonicalize, fingerprint_hex, CanonicalModel, Fnv64, CANON_VERSION};
 pub use compiled::{CompiledModel, Evaluator};
 #[allow(deprecated)]
 pub use csa::solve_csa;
@@ -245,7 +247,7 @@ impl Default for SolveOptions {
 }
 
 /// What [`solve`] returns: the best point plus an optional report.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct SolveOutcome {
     /// The best point found.
     pub solution: Solution,

@@ -286,9 +286,21 @@ impl Model {
         &self.vars
     }
 
+    /// Mutable variable definitions (model surgery in tests and
+    /// canonicalization helpers; does not renumber ids).
+    pub fn vars_mut(&mut self) -> &mut Vec<VarDef> {
+        &mut self.vars
+    }
+
     /// Constraints.
     pub fn constraints(&self) -> &[Constraint] {
         &self.constraints
+    }
+
+    /// Mutable constraints (model surgery in tests and canonicalization
+    /// helpers).
+    pub fn constraints_mut(&mut self) -> &mut Vec<Constraint> {
+        &mut self.constraints
     }
 
     /// Number of variables.
@@ -337,7 +349,7 @@ impl Model {
 }
 
 /// Result of a solver run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Solution {
     /// Best point found (one value per variable).
     pub point: Vec<i64>,

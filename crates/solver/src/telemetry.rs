@@ -9,6 +9,7 @@
 //! restart/chain and a [`SolverReport`] per solve; the report's
 //! `Display` impl is what `tce … --explain` prints.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 
@@ -47,7 +48,7 @@ impl Sink for Noop {
 }
 
 /// One recorded improvement of a task's best point.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Improvement {
     /// Lagrangian evaluations the task had performed at that moment.
     pub evals: u64,
@@ -85,7 +86,7 @@ impl Sink for Recorder {
 }
 
 /// What a restart/chain was doing when it stopped.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Termination {
     /// DLM reached a constrained local minimum (a discrete saddle point).
     LocalMinimum,
@@ -121,7 +122,7 @@ impl fmt::Display for Termination {
 }
 
 /// The full trace of one restart or annealing chain.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RestartTrace {
     /// Task label (`dlm#3`, `csa#0`, `brute`).
     pub label: String,
@@ -146,7 +147,7 @@ pub struct RestartTrace {
 
 /// Aggregate report of one solve, attached to
 /// [`SolveOutcome`](crate::SolveOutcome) when telemetry is enabled.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct SolverReport {
     /// Which strategy produced the report (`"dlm"`, `"portfolio"`, …).
     pub strategy: &'static str,
@@ -162,6 +163,35 @@ pub struct SolverReport {
     pub winner: usize,
     /// One trace per restart/chain, in task order.
     pub traces: Vec<RestartTrace>,
+}
+
+// Hand-written: the derive cannot rebuild the `&'static str` strategy
+// field, so deserialization maps the stored name back onto the known
+// strategy statics and rejects anything else.
+impl Deserialize for SolverReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<'v>(v: &'v serde::Value, name: &str) -> Result<&'v serde::Value, serde::Error> {
+            v.get(name).ok_or_else(|| serde::Error::missing(name))
+        }
+        let strategy = match String::from_value(field(v, "strategy")?)?.as_str() {
+            "dlm" => "dlm",
+            "csa" => "csa",
+            "portfolio" => "portfolio",
+            "brute" => "brute",
+            other => {
+                return Err(serde::Error(format!("unknown solver strategy `{other}`")));
+            }
+        };
+        Ok(SolverReport {
+            strategy,
+            threads: usize::from_value(field(v, "threads")?)?,
+            wall: Duration::from_value(field(v, "wall")?)?,
+            total_evals: u64::from_value(field(v, "total_evals")?)?,
+            total_iterations: u64::from_value(field(v, "total_iterations")?)?,
+            winner: usize::from_value(field(v, "winner")?)?,
+            traces: Vec::from_value(field(v, "traces")?)?,
+        })
+    }
 }
 
 impl fmt::Display for SolverReport {
@@ -230,6 +260,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn noop_is_disabled() {
         assert!(!Noop::ENABLED);
         assert!(Recorder::ENABLED);

@@ -72,7 +72,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scope_spawns_and_joins() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total: u64 = crate::thread::scope(|scope| {
             let handles: Vec<_> = data.iter().map(|&v| scope.spawn(move |_| v * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()

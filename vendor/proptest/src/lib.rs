@@ -106,6 +106,10 @@ macro_rules! prop_assert_ne {
             a
         );
     }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
 }
 
 /// Skips the current case (without failing) when `cond` is false.

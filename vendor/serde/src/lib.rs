@@ -136,6 +136,18 @@ macro_rules! impl_float {
 
 impl_float!(f32, f64);
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
@@ -238,6 +250,23 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
     }
 }
 
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs = u64::from_value(v.get("secs").ok_or_else(|| Error::missing("secs"))?)?;
+        let nanos = u64::from_value(v.get("nanos").ok_or_else(|| Error::missing("nanos"))?)?;
+        Ok(std::time::Duration::new(secs, nanos as u32))
+    }
+}
+
 macro_rules! impl_tuple_serialize {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
@@ -252,3 +281,23 @@ impl_tuple_serialize!(A: 0);
 impl_tuple_serialize!(A: 0, B: 1);
 impl_tuple_serialize!(A: 0, B: 1, C: 2);
 impl_tuple_serialize!(A: 0, B: 1, C: 2, D: 3);
+
+macro_rules! impl_tuple_deserialize {
+    ($n:literal; $($name:ident : $idx:tt),+) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) if items.len() == $n => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::mismatch(concat!($n, "-element sequence"), other)),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple_deserialize!(1; A: 0);
+impl_tuple_deserialize!(2; A: 0, B: 1);
+impl_tuple_deserialize!(3; A: 0, B: 1, C: 2);
+impl_tuple_deserialize!(4; A: 0, B: 1, C: 2, D: 3);

@@ -1,5 +1,6 @@
 //! Offline stand-in for `serde_json`: renders the vendored `serde` value
-//! tree as JSON text (compact or pretty, two-space indents).
+//! tree as JSON text (compact or pretty, two-space indents) and parses
+//! JSON text back into the value tree ([`from_str`] / [`parse_value`]).
 
 #![warn(missing_docs)]
 
@@ -106,6 +107,250 @@ pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error>
     Ok(out)
 }
 
+/// Parses JSON text into a `T` via the value tree.
+pub fn from_str<T: serde::Deserialize>(src: &str) -> Result<T, Error> {
+    let v = parse_value(src)?;
+    T::from_value(&v)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Number handling matches the writer: integers without sign parse as
+/// `UInt`, negative integers as `Int`, anything with a fraction or
+/// exponent as `Float`. Trailing non-whitespace input is an error.
+pub fn parse_value(src: &str) -> Result<Value, Error> {
+    let bytes = src.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at byte {} of JSON input",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error(format!(
+                "unexpected `{}` at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of JSON input".into())),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // surrogate pairs are not produced by the writer;
+                            // map lone surrogates to the replacement char
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape `\\{}`", other as char)));
+                        }
+                    }
+                }
+                _ => {
+                    // collect the full UTF-8 sequence starting at b
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error("truncated UTF-8 sequence".into()))?;
+                    let s =
+                        std::str::from_utf8(chunk).map_err(|_| Error("invalid UTF-8".into()))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            let x: f64 = text
+                .parse()
+                .map_err(|_| Error(format!("bad number `{text}`")))?;
+            Ok(Value::Float(x))
+        } else if negative {
+            let n: i64 = text
+                .parse()
+                .map_err(|_| Error(format!("bad number `{text}`")))?;
+            Ok(Value::Int(n))
+        } else {
+            let n: u64 = text
+                .parse()
+                .map_err(|_| Error(format!("bad number `{text}`")))?;
+            Ok(Value::UInt(n))
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +388,50 @@ mod tests {
         let mut s = String::new();
         write_value(&Value::Str("a\"b\\c\nd".to_string()), None, &mut s);
         assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn parses_what_it_writes() {
+        let v = Value::Map(vec![
+            ("name".to_string(), Value::Str("tce \"x\"\nü".to_string())),
+            (
+                "sizes".to_string(),
+                Value::Seq(vec![Value::UInt(140), Value::Int(-3), Value::Float(2.5)]),
+            ),
+            ("ratio".to_string(), Value::Float(0.1 + 0.2)),
+            ("ok".to_string(), Value::Bool(true)),
+            ("none".to_string(), Value::Null),
+            ("empty".to_string(), Value::Seq(vec![])),
+        ]);
+        for pretty in [false, true] {
+            let mut s = String::new();
+            write_value(&v, if pretty { Some(0) } else { None }, &mut s);
+            let back = parse_value(&s).unwrap();
+            // integral floats print as "2.5"-style and reparse as Float;
+            // unsigned stay UInt, negatives Int
+            assert_eq!(back, v, "pretty={pretty}: {s}");
+        }
+    }
+
+    #[test]
+    fn float_text_round_trips_exactly() {
+        for x in [2.5f64, 0.1 + 0.2, 1e-300, -12345.678901234567, 3.0] {
+            let mut s = String::new();
+            write_value(&Value::Float(x), None, &mut s);
+            match parse_value(&s).unwrap() {
+                Value::Float(y) => assert_eq!(x.to_bits(), y.to_bits(), "{s}"),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("12 34").is_err());
+        assert!(parse_value("\"unterminated").is_err());
+        assert!(parse_value("nulla").is_err());
     }
 }
