@@ -45,6 +45,12 @@ pub struct CachedSynthesis {
 }
 
 /// Digest of every config field that can change the solver's answer.
+///
+/// `SynthesisConfig::cancel` is deliberately *excluded*: a cancel token
+/// (and any job deadline it carries) bounds how long a run may take, it
+/// does not change what the answer would be — and canceled runs are never
+/// cached, so the token can never leak a truncated result into an entry
+/// that uncanceled requests would then share.
 pub fn config_digest(config: &SynthesisConfig) -> u64 {
     let mut h = Fnv64::new();
     h.str("tce-cache/config/v1");
@@ -197,9 +203,29 @@ pub fn run_prepared(
         cache.note_miss();
     }
 
+    // a job whose token already tripped must not start an expensive solve
+    if let Some(token) = &config.cancel {
+        if token.is_canceled() {
+            return Err(SynthesisError::Canceled {
+                deadline_exceeded: token.deadline_expired(),
+            });
+        }
+    }
+
     let solve_started = Instant::now();
     let outcome = tce_solver::solve(&prepared.dcs.model, &config.solve_options());
     let solve_wall = solve_started.elapsed();
+
+    // a solve interrupted by its token is a *partial* search: surface the
+    // cancellation and, crucially, cache nothing — a truncated outcome
+    // must never be replayed to future (uncanceled) identical requests
+    if let Some(token) = &config.cancel {
+        if token.is_canceled() {
+            return Err(SynthesisError::Canceled {
+                deadline_exceeded: token.deadline_expired(),
+            });
+        }
+    }
 
     let canonical_point = canon.to_canonical(&outcome.solution.point);
     let solution = outcome.solution.clone();

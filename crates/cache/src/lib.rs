@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod cached;
+pub mod fsfault;
 pub mod record;
 pub mod store;
 
@@ -35,6 +36,7 @@ pub use cached::{
     config_digest, prepare_request, request_fingerprint, run_prepared, synthesize_dcs_cached,
     CachedSynthesis, PreparedRequest,
 };
+pub use fsfault::{FsFaultInjector, FsFaultKind, FsFaultPlan};
 pub use record::{CacheRecord, RECORD_SCHEMA};
 pub use store::{CacheStats, SynthesisCache, CACHE_DIR_ENV, DEFAULT_LRU_CAP, LRU_CAP_ENV};
 

@@ -7,10 +7,11 @@
 //! to `<name>.corrupt` so the evidence survives for debugging — and treated
 //! as misses; the cache never panics on bad cache state.
 
+use crate::fsfault::{self, FsFaultInjector, FsFaultPlan};
 use crate::record::CacheRecord;
 use parking_lot::Mutex;
 use std::fs;
-use std::io::ErrorKind;
+use std::io::{self, ErrorKind};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -34,6 +35,9 @@ pub struct CacheStats {
     pub rejects: u64,
     /// Corrupt disk entries renamed to `.corrupt`.
     pub quarantined: u64,
+    /// Orphaned temp files (from a crash between write and rename) swept
+    /// aside when the store was opened.
+    pub orphans_swept: u64,
     /// Total solver wall-clock seconds that hits avoided re-spending.
     pub solver_wall_saved_s: f64,
 }
@@ -77,14 +81,28 @@ impl Lru {
 /// The on-disk half of the cache.
 pub struct DiskStore {
     dir: PathBuf,
+    faults: Option<Arc<FsFaultInjector>>,
+    /// Orphaned `.{key}.tmp` files swept aside when this store opened.
+    swept: u64,
 }
 
 impl DiskStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir`, sweeping any
+    /// orphaned temp files a previous crash left behind.
     pub fn new(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        DiskStore::with_faults(dir, None)
+    }
+
+    /// Like [`DiskStore::new`], but every filesystem write goes through
+    /// the given fault injector.
+    pub fn with_faults(
+        dir: impl Into<PathBuf>,
+        faults: Option<Arc<FsFaultInjector>>,
+    ) -> Result<Self, String> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| format!("cannot create cache dir {dir:?}: {e}"))?;
-        Ok(DiskStore { dir })
+        let swept = sweep_orphans(&dir);
+        Ok(DiskStore { dir, faults, swept })
     }
 
     fn path_for(&self, key: &str) -> PathBuf {
@@ -92,8 +110,13 @@ impl DiskStore {
     }
 
     /// Loads the record for `key`. Returns the record plus a flag saying
-    /// whether a corrupt file was quarantined along the way.
+    /// whether a corrupt file was quarantined along the way. Read errors
+    /// (real or injected) degrade to misses — the cache never panics or
+    /// serves a partial record.
     fn load(&self, key: &str) -> (Option<CacheRecord>, bool) {
+        if self.faults.as_deref().is_some_and(|f| f.decide().is_some()) {
+            return (None, false); // injected read fault: clean miss
+        }
         let path = self.path_for(key);
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
@@ -112,15 +135,60 @@ impl DiskStore {
         }
     }
 
-    /// Writes the record for `key` atomically (temp file + rename).
+    /// Writes the record for `key` atomically and durably: temp file →
+    /// fsync(temp) → rename → fsync(dir). A crash at any boundary leaves
+    /// either the old state or the new one, never a torn visible entry;
+    /// the leftover temp file (crash between fsync and rename) is swept
+    /// on the next open.
     fn save(&self, key: &str, rec: &CacheRecord) -> Result<(), String> {
         let json = rec.to_envelope_json()?;
         let path = self.path_for(key);
         let tmp = self.dir.join(format!(".{key}.tmp"));
-        fs::write(&tmp, json).map_err(|e| format!("cannot write {tmp:?}: {e}"))?;
-        fs::rename(&tmp, &path).map_err(|e| format!("cannot rename into {path:?}: {e}"))?;
-        Ok(())
+        let faults = self.faults.as_deref();
+        let wrote = (|| -> io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            fsfault::append_all(faults, &mut f, json.as_bytes())?;
+            fsfault::sync_file(faults, &f)?;
+            drop(f);
+            fsfault::rename(faults, &tmp, &path)?;
+            fsfault::sync_dir(faults, &self.dir)
+        })();
+        match wrote {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // A simulated crash "killed the process" before rename —
+                // leave the orphan for the next open's sweep, exactly as
+                // a real crash would. Every other failure cleans up so a
+                // failed save cannot leave stale temp files behind.
+                if !fsfault::is_simulated_crash(&e) {
+                    let _ = fs::remove_file(&tmp);
+                }
+                Err(format!("cannot persist {path:?}: {e}"))
+            }
+        }
     }
+}
+
+/// Moves orphaned `.{key}.tmp` files (a crash between write and rename)
+/// aside as `.{key}.tmp.orphan` so they can never shadow a later write,
+/// while keeping the evidence for debugging. Returns how many were swept.
+fn sweep_orphans(dir: &Path) -> u64 {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with('.') && name.ends_with(".tmp") {
+            let mut orphan = entry.path().into_os_string();
+            orphan.push(".orphan");
+            if fs::rename(entry.path(), &orphan).is_ok() {
+                swept += 1;
+            }
+        }
+    }
+    swept
 }
 
 /// The synthesis cache: in-memory LRU over an optional disk store.
@@ -148,8 +216,26 @@ impl SynthesisCache {
     /// A disk-backed cache rooted at `dir` with the default LRU capacity.
     pub fn with_dir(dir: impl Into<PathBuf>) -> Result<Self, String> {
         let mut cache = SynthesisCache::in_memory();
-        cache.disk = Some(DiskStore::new(dir)?);
+        cache.attach_disk(DiskStore::new(dir)?);
         Ok(cache)
+    }
+
+    /// A disk-backed cache whose filesystem operations run through the
+    /// given fault plan (see [`crate::fsfault`]). An idle plan behaves
+    /// exactly like [`SynthesisCache::with_dir`].
+    pub fn with_dir_and_faults(
+        dir: impl Into<PathBuf>,
+        plan: &FsFaultPlan,
+    ) -> Result<Self, String> {
+        let faults = (!plan.is_idle()).then(|| plan.injector(0));
+        let mut cache = SynthesisCache::in_memory();
+        cache.attach_disk(DiskStore::with_faults(dir, faults)?);
+        Ok(cache)
+    }
+
+    fn attach_disk(&mut self, disk: DiskStore) {
+        self.stats.lock().orphans_swept += disk.swept;
+        self.disk = Some(disk);
     }
 
     /// Builds a cache from the environment: disk-backed when
@@ -162,7 +248,7 @@ impl SynthesisCache {
             .unwrap_or(DEFAULT_LRU_CAP);
         let mut cache = SynthesisCache::with_capacity(cap);
         if let Some(dir) = std::env::var_os(CACHE_DIR_ENV) {
-            cache.disk = Some(DiskStore::new(PathBuf::from(dir))?);
+            cache.attach_disk(DiskStore::new(PathBuf::from(dir))?);
         }
         Ok(cache)
     }
@@ -298,5 +384,76 @@ mod tests {
         let cache = SynthesisCache::with_dir(&dir).unwrap();
         assert!(cache.get("0123456789abcdef").is_none());
         assert_eq!(cache.stats().quarantined, 0);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        use crate::fsfault::{FsFaultKind, FsFaultPlan};
+        let dir = temp_dir("store_sweep");
+        // crash-before-rename on the very first write orphans the tmp
+        let plan = FsFaultPlan::none().fail_after(0, FsFaultKind::CrashBeforeRename, 1);
+        let crashing = SynthesisCache::with_dir_and_faults(&dir, &plan).unwrap();
+        let err = crashing.put("feed", record(3)).unwrap_err();
+        assert!(err.contains("crash-before-rename"), "{err}");
+        assert!(dir.join(".feed.tmp").exists(), "crash must leave the tmp");
+        assert!(!dir.join("feed.json").exists());
+
+        // reopening sweeps the orphan aside and records it
+        let fresh = SynthesisCache::with_dir(&dir).unwrap();
+        assert_eq!(fresh.stats().orphans_swept, 1);
+        assert!(!dir.join(".feed.tmp").exists(), "orphan must be swept");
+        assert!(dir.join(".feed.tmp.orphan").exists(), "evidence kept");
+        assert!(fresh.get("feed").is_none(), "orphan is never served");
+
+        // and a later write of the same key is unobstructed
+        fresh.put("feed", record(4)).unwrap();
+        let reread = SynthesisCache::with_dir(&dir).unwrap();
+        assert_eq!(reread.get("feed").expect("hit").evals, 4);
+    }
+
+    #[test]
+    fn failed_save_cleans_its_tmp_and_recovers() {
+        use crate::fsfault::{FsFaultKind, FsFaultPlan};
+        let dir = temp_dir("store_fail_clean");
+        for kind in [
+            FsFaultKind::Enospc,
+            FsFaultKind::Eio,
+            FsFaultKind::ShortWrite,
+        ] {
+            let plan = FsFaultPlan::none().fail_after(0, kind, 1);
+            let cache = SynthesisCache::with_dir_and_faults(&dir, &plan).unwrap();
+            let err = cache.put("abcd", record(1)).unwrap_err();
+            assert!(err.contains("injected"), "{err}");
+            assert!(
+                !dir.join(".abcd.tmp").exists(),
+                "non-crash failure must not leave a tmp ({})",
+                kind.tag()
+            );
+            // the burst is over: the retry goes through on the same handle
+            cache.put("abcd", record(2)).unwrap();
+            assert_eq!(cache.get("abcd").expect("hit").evals, 2);
+            std::fs::remove_file(dir.join("abcd.json")).unwrap();
+        }
+    }
+
+    #[test]
+    fn injected_read_faults_degrade_to_misses() {
+        use crate::fsfault::{FsFaultKind, FsFaultPlan};
+        let dir = temp_dir("store_read_fault");
+        SynthesisCache::with_dir(&dir)
+            .unwrap()
+            .put("beef", record(5))
+            .unwrap();
+        // every op fails: reads miss cleanly, nothing panics, nothing
+        // corrupt is ever served
+        let plan = FsFaultPlan::none()
+            .probabilistic(1.0, FsFaultKind::Eio)
+            .with_seed(7);
+        let cache = SynthesisCache::with_dir_and_faults(&dir, &plan).unwrap();
+        assert!(cache.get("beef").is_none());
+        assert_eq!(cache.stats().quarantined, 0);
+        // the entry on disk is still intact for a healthy handle
+        let healthy = SynthesisCache::with_dir(&dir).unwrap();
+        assert_eq!(healthy.get("beef").expect("hit").evals, 5);
     }
 }

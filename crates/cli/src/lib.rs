@@ -43,6 +43,14 @@
 //! --workers <n>           (serve) worker pool size (default: all cores)
 //! --cache-dir <dir>       (serve) on-disk synthesis cache (default:
 //!                         $TCE_CACHE_DIR, else in-memory only)
+//! --job-timeout <secs>    (serve) per-job wall-clock deadline, measured
+//!                         from pickup; a job's own `timeout_ms`
+//!                         overrides it. Timed-out jobs report
+//!                         `deadline_exceeded`
+//! --journal <path>        (serve) stream a write-ahead journal of job
+//!                         admissions, starts, and completions
+//! --resume-journal        (serve) resume a crashed batch from --journal:
+//!                         completed jobs merge verbatim, the rest re-run
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage error.
@@ -115,6 +123,12 @@ pub struct Cli {
     /// (serve) Synthesis-cache directory (default: `TCE_CACHE_DIR` or
     /// in-memory only).
     pub cache_dir: Option<String>,
+    /// (serve) Per-job wall-clock deadline in seconds.
+    pub job_timeout: Option<f64>,
+    /// (serve) Write-ahead journal path.
+    pub journal: Option<String>,
+    /// (serve) Resume a crashed batch from `--journal`.
+    pub resume_journal: bool,
 }
 
 /// Subcommands.
@@ -395,6 +409,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         stdin_jobs: false,
         workers: 0,
         cache_dir: None,
+        job_timeout: None,
+        journal: None,
+        resume_journal: false,
     };
 
     while let Some(arg) = it.next() {
@@ -491,6 +508,17 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     .map_err(|_| CliError::usage("--workers needs an integer"))?
             }
             "--cache-dir" => cli.cache_dir = Some(value("--cache-dir")?),
+            "--job-timeout" => {
+                let secs: f64 = value("--job-timeout")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--job-timeout needs seconds"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(CliError::usage("--job-timeout must be positive"));
+                }
+                cli.job_timeout = Some(secs);
+            }
+            "--journal" => cli.journal = Some(value("--journal")?),
+            "--resume-journal" => cli.resume_journal = true,
             other => return Err(CliError::usage(format!("unknown option `{other}`"))),
         }
     }
@@ -506,9 +534,21 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 "serve needs exactly one of --batch <jobs.json> or --stdin",
             ));
         }
-    } else if cli.batch.is_some() || cli.stdin_jobs || cli.cache_dir.is_some() {
+        if cli.resume_journal && cli.journal.is_none() {
+            return Err(CliError::usage(
+                "--resume-journal requires --journal <path>",
+            ));
+        }
+    } else if cli.batch.is_some()
+        || cli.stdin_jobs
+        || cli.cache_dir.is_some()
+        || cli.job_timeout.is_some()
+        || cli.journal.is_some()
+        || cli.resume_journal
+    {
         return Err(CliError::usage(
-            "--batch/--stdin/--cache-dir only apply to `tce serve`",
+            "--batch/--stdin/--cache-dir/--job-timeout/--journal/--resume-journal \
+             only apply to `tce serve`",
         ));
     }
     Ok(cli)
@@ -553,12 +593,22 @@ fn run_serve(cli: &Cli, out: &mut String) -> Result<(), CliError> {
         Some(dir) => tce_cache::SynthesisCache::with_dir(dir).map_err(CliError::runtime)?,
         None => tce_cache::SynthesisCache::from_env().map_err(CliError::runtime)?,
     };
+    let opts = tce_serve::BatchOptions {
+        workers: cli.workers,
+        job_timeout: cli.job_timeout.map(std::time::Duration::from_secs_f64),
+        journal: cli.journal.as_ref().map(|path| tce_serve::JournalConfig {
+            path: path.into(),
+            resume: cli.resume_journal,
+            faults: tce_cache::FsFaultPlan::none(),
+        }),
+        ..tce_serve::BatchOptions::default()
+    };
     if cli.stdin_jobs {
         let mut input = String::new();
         std::io::Read::read_to_string(&mut std::io::stdin(), &mut input)
             .map_err(|e| CliError::runtime(format!("cannot read stdin: {e}")))?;
         let (_, lines) =
-            tce_serve::run_lines(&input, cli.workers, &cache).map_err(CliError::usage)?;
+            tce_serve::run_lines_with(&input, &opts, &cache).map_err(CliError::usage)?;
         out.push_str(&lines);
     } else {
         let path = cli
@@ -568,7 +618,7 @@ fn run_serve(cli: &Cli, out: &mut String) -> Result<(), CliError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::runtime(format!("cannot read `{path}`: {e}")))?;
         let jobs = tce_serve::parse_jobs_file(&text).map_err(CliError::usage)?;
-        let report = tce_serve::run_batch(&jobs, cli.workers, &cache);
+        let report = tce_serve::run_batch_with(&jobs, &opts, &cache).map_err(CliError::runtime)?;
         let json = serde_json::to_string_pretty(&report)
             .map_err(|e| CliError::runtime(format!("cannot serialize report: {e:?}")))?;
         out.push_str(&json);
@@ -993,10 +1043,59 @@ mod tests {
         assert!(parse_args(&args("serve --batch a.json --stdin")).is_err());
         // serve-only flags rejected elsewhere
         assert!(parse_args(&args("check f.tce --batch a.json")).is_err());
-        let cli = parse_args(&args("serve --batch jobs.json --workers 4")).unwrap();
+        assert!(parse_args(&args("check f.tce --job-timeout 5")).is_err());
+        assert!(parse_args(&args("check f.tce --journal j.log")).is_err());
+        // --resume-journal needs --journal; --job-timeout must be positive
+        assert!(parse_args(&args("serve --batch a.json --resume-journal")).is_err());
+        assert!(parse_args(&args("serve --batch a.json --job-timeout 0")).is_err());
+        let cli = parse_args(&args(
+            "serve --batch jobs.json --workers 4 --job-timeout 2.5 \
+             --journal j.log --resume-journal",
+        ))
+        .unwrap();
         assert_eq!(cli.command, Command::Serve);
         assert_eq!(cli.batch.as_deref(), Some("jobs.json"));
         assert_eq!(cli.workers, 4);
+        assert_eq!(cli.job_timeout, Some(2.5));
+        assert_eq!(cli.journal.as_deref(), Some("j.log"));
+        assert!(cli.resume_journal);
+    }
+
+    #[test]
+    fn serve_journal_writes_and_resumes() {
+        let file = write_fixture();
+        let dsl = std::fs::read_to_string(&file).unwrap();
+        let program = serde_json::to_string(&dsl).unwrap();
+        let dir = std::env::temp_dir().join(format!("tce-cli-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs_path = dir.join("jobs.json");
+        std::fs::write(
+            &jobs_path,
+            format!(
+                r#"{{"schema": "tce-serve/jobs/v1", "jobs": [
+                    {{"name": "a", "program": {program}, "mem_limit": 8192, "test_scale": true}}
+                ]}}"#
+            ),
+        )
+        .unwrap();
+        let journal = dir.join("batch.journal");
+        let argv = format!(
+            "serve --batch {} --workers 1 --journal {}",
+            jobs_path.display(),
+            journal.display()
+        );
+        let out = run_cli(&parse_args(&args(&argv)).unwrap()).unwrap();
+        assert!(out.contains("\"ok\": 1"), "{out}");
+        let text = std::fs::read_to_string(&journal).unwrap();
+        assert!(text.contains("tce-serve/journal/v1"), "{text}");
+        assert!(text.contains("\"done\""), "{text}");
+
+        // resuming the *complete* journal re-runs nothing
+        let out =
+            run_cli(&parse_args(&args(&format!("{argv} --resume-journal"))).unwrap()).unwrap();
+        assert!(out.contains("\"resumed\": 1"), "{out}");
+        assert!(out.contains("\"ok\": 1"), "{out}");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use tce_codegen::{generate_plan, ConcretePlan};
 use tce_cost::TileAssignment;
 use tce_disksim::DiskProfile;
 use tce_ir::Program;
-use tce_solver::{DlmOptions, SolveOptions, SolverReport, Strategy};
+use tce_solver::{CancelToken, DlmOptions, SolveOptions, SolverReport, Strategy};
 use tce_tile::{
     enumerate_placements, tile_program, PlacementError, PlacementSelection, SynthesisSpace,
     TiledProgram,
@@ -52,6 +52,14 @@ pub struct SynthesisConfig {
     /// (one cache line = 8 doubles) when the memory limit allows.
     /// 0 disables the pass.
     pub spatial_min_tile: u64,
+    /// Cooperative cancellation handle for the solver phase, polled at the
+    /// same segment/round boundaries as [`SynthesisConfig::deadline`].
+    /// Unlike the deadline this is *not* part of the request identity
+    /// (`tce-cache` excludes it from the config digest): it lets an
+    /// embedder impose a job-level timeout without changing which cache
+    /// entry the request maps to. A trip surfaces as
+    /// [`SynthesisError::Canceled`] and nothing is cached.
+    pub cancel: Option<CancelToken>,
 }
 
 impl SynthesisConfig {
@@ -70,6 +78,7 @@ impl SynthesisConfig {
             telemetry: false,
             objective: ObjectiveKind::Volume,
             spatial_min_tile: 8,
+            cancel: None,
         }
     }
 
@@ -130,6 +139,12 @@ impl SynthesisConfig {
         self
     }
 
+    /// Attaches a cooperative cancellation token for the solver phase.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// The [`SolveOptions`] this configuration hands to `tce_solver`.
     pub fn solve_options(&self) -> SolveOptions {
         let mut opts = SolveOptions::new(self.seed)
@@ -145,6 +160,9 @@ impl SynthesisConfig {
         if let Some(dlm) = &self.dlm {
             opts = opts.dlm(dlm.clone());
         }
+        if let Some(token) = &self.cancel {
+            opts = opts.cancel(token.clone());
+        }
         opts
     }
 }
@@ -157,6 +175,14 @@ pub enum SynthesisError {
     /// The solver found no feasible point (limit too tight for the block
     /// constraints, or budget exhausted).
     Infeasible,
+    /// The solve was stopped by a [`SynthesisConfig::cancel`] token before
+    /// a trustworthy outcome existed; whatever partial result the solver
+    /// held was discarded, not cached.
+    Canceled {
+        /// True when the token's embedded wall-clock deadline fired (a job
+        /// timeout) rather than an explicit cancellation.
+        deadline_exceeded: bool,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -164,6 +190,12 @@ impl fmt::Display for SynthesisError {
         match self {
             SynthesisError::Placement(e) => write!(f, "placement enumeration failed: {e}"),
             SynthesisError::Infeasible => f.write_str("no feasible solution found"),
+            SynthesisError::Canceled {
+                deadline_exceeded: true,
+            } => f.write_str("job deadline exceeded"),
+            SynthesisError::Canceled {
+                deadline_exceeded: false,
+            } => f.write_str("synthesis canceled"),
         }
     }
 }

@@ -6,10 +6,10 @@
 //! `{"schema": "tce-serve/report/v1", ...}` so callers can machine-read
 //! hit rates and saved solver time.
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use tce_core::{ObjectiveKind, SynthesisConfig};
 use tce_ir::Program;
-use tce_solver::Strategy;
+use tce_solver::{Fnv64, Strategy};
 
 /// Schema tag of a batch jobs file.
 pub const JOBS_SCHEMA: &str = "tce-serve/jobs/v1";
@@ -38,6 +38,11 @@ pub struct JobSpec {
     pub telemetry: bool,
     /// Objective override (`volume` or `time`).
     pub objective: Option<String>,
+    /// Per-job wall-clock deadline in milliseconds, measured from the
+    /// moment a worker picks the job up. Overrides the batch-wide
+    /// `--job-timeout`. Jobs that exceed it fail with
+    /// `deadline_exceeded` instead of blocking the pool.
+    pub timeout_ms: Option<u64>,
 }
 
 fn str_field(v: &Value, name: &str) -> Result<String, String> {
@@ -93,6 +98,7 @@ impl JobSpec {
             budget: opt_u64_field(v, "budget")?,
             telemetry: bool_field(v, "telemetry", false)?,
             objective: opt_str_field(v, "objective")?,
+            timeout_ms: opt_u64_field(v, "timeout_ms")?,
         };
         // fail fast on bad enum values so the error names the job
         spec.config()?;
@@ -144,6 +150,55 @@ impl JobSpec {
     }
 }
 
+/// Content digest of a job spec. The write-ahead journal stamps every
+/// admitted job with this digest so a `--resume-journal` run can prove
+/// the journal belongs to the *same* jobs file before reusing any of its
+/// recorded outcomes.
+pub fn spec_digest(spec: &JobSpec) -> u64 {
+    let mut h = Fnv64::new();
+    h.str("tce-serve/job/v1");
+    h.str(&spec.name);
+    h.str(&spec.program);
+    h.u64(spec.mem_limit);
+    h.byte(spec.test_scale as u8);
+    match &spec.strategy {
+        Some(s) => {
+            h.byte(1);
+            h.str(s);
+        }
+        None => h.byte(0),
+    }
+    for field in [spec.seed, spec.budget, spec.timeout_ms] {
+        match field {
+            Some(n) => {
+                h.byte(1);
+                h.u64(n);
+            }
+            None => h.byte(0),
+        }
+    }
+    h.byte(spec.telemetry as u8);
+    match &spec.objective {
+        Some(o) => {
+            h.byte(1);
+            h.str(o);
+        }
+        None => h.byte(0),
+    }
+    h.finish()
+}
+
+/// Digest of a whole batch (fold of [`spec_digest`] in submission order).
+pub fn batch_digest(jobs: &[JobSpec]) -> u64 {
+    let mut h = Fnv64::new();
+    h.str("tce-serve/batch/v1");
+    h.u64(jobs.len() as u64);
+    for spec in jobs {
+        h.u64(spec_digest(spec));
+    }
+    h.finish()
+}
+
 /// Parses a batch jobs file.
 pub fn parse_jobs_file(text: &str) -> Result<Vec<JobSpec>, String> {
     let v = serde_json::parse_value(text).map_err(|e| format!("invalid jobs JSON: {e:?}"))?;
@@ -166,7 +221,10 @@ pub fn parse_jobs_file(text: &str) -> Result<Vec<JobSpec>, String> {
 }
 
 /// Per-job outcome and timing telemetry.
-#[derive(Clone, Debug, Serialize)]
+///
+/// Deserializable so a resumed batch can reuse the reports its journal
+/// recorded before the crash, verbatim.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct JobReport {
     /// Job name from the spec.
     pub name: String,
@@ -174,6 +232,10 @@ pub struct JobReport {
     pub ok: bool,
     /// Failure description when `ok` is false.
     pub error: Option<String>,
+    /// Machine-readable failure class when `ok` is false: `invalid_job`,
+    /// `infeasible`, `placement`, `deadline_exceeded`, `canceled`,
+    /// `panic`, or `leader_failed`.
+    pub error_kind: Option<String>,
     /// Request fingerprint (empty on prepare failures).
     pub fingerprint: String,
     /// Whether the solver phase was served from the cache.
@@ -204,6 +266,7 @@ impl JobReport {
             name: name.to_string(),
             ok: false,
             error: Some(error),
+            error_kind: None,
             fingerprint: fingerprint.to_string(),
             hit: false,
             joined: false,
@@ -215,6 +278,36 @@ impl JobReport {
             memory_bytes: 0.0,
             predicted_s: 0.0,
         }
+    }
+
+    /// Tags a failure report with its machine-readable class.
+    pub fn kind(mut self, kind: &str) -> JobReport {
+        self.error_kind = Some(kind.to_string());
+        self
+    }
+
+    /// The *deterministic outcome projection* of this report: what the
+    /// job computed, stripped of everything that legitimately varies
+    /// between runs — wall-clock timings, cache hit/join accounting, and
+    /// queue waits. Two runs of the same batch (including a crashed run
+    /// resumed from its journal) must agree on this projection exactly.
+    pub fn outcome_value(&self) -> Value {
+        fn opt(v: &Option<String>) -> Value {
+            v.as_ref().map_or(Value::Null, |s| Value::Str(s.clone()))
+        }
+        Value::Map(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("ok".to_string(), Value::Bool(self.ok)),
+            ("error".to_string(), opt(&self.error)),
+            ("error_kind".to_string(), opt(&self.error_kind)),
+            (
+                "fingerprint".to_string(),
+                Value::Str(self.fingerprint.clone()),
+            ),
+            ("io_bytes".to_string(), Value::Float(self.io_bytes)),
+            ("memory_bytes".to_string(), Value::Float(self.memory_bytes)),
+            ("predicted_s".to_string(), Value::Float(self.predicted_s)),
+        ])
     }
 }
 
@@ -233,6 +326,9 @@ pub struct BatchSummary {
     pub misses: u64,
     /// Jobs that coalesced onto an identical in-flight request.
     pub joined: u64,
+    /// Jobs whose reports were replayed verbatim from a resumed journal
+    /// instead of re-running.
+    pub resumed: u64,
     /// Total solver seconds the cache saved across the batch.
     pub solver_wall_saved_s: f64,
     /// Batch wall-clock seconds.
@@ -250,6 +346,25 @@ pub struct BatchReport {
     pub jobs: Vec<JobReport>,
     /// Batch aggregates.
     pub summary: BatchSummary,
+}
+
+impl BatchReport {
+    /// The deterministic outcome projection of the whole batch: per-job
+    /// [`JobReport::outcome_value`] plus the outcome counts. A batch that
+    /// crashed at *any* point and was resumed with `--resume-journal`
+    /// must produce a projection byte-identical to the uninterrupted
+    /// run's (the crash-resume equivalence the chaos suite enforces).
+    pub fn outcome_projection(&self) -> Value {
+        Value::Map(vec![
+            ("schema".to_string(), Value::Str(self.schema.clone())),
+            (
+                "jobs".to_string(),
+                Value::Seq(self.jobs.iter().map(|j| j.outcome_value()).collect()),
+            ),
+            ("ok".to_string(), Value::UInt(self.summary.ok)),
+            ("failed".to_string(), Value::UInt(self.summary.failed)),
+        ])
+    }
 }
 
 #[cfg(test)]

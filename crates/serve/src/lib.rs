@@ -9,16 +9,31 @@
 //! copies of the same program count — are *single-flighted*: when several
 //! are in flight at once only one solves, and the rest replay its cached
 //! outcome. See [`run_batch`] and [`run_lines`].
+//!
+//! The service is *crash-safe and self-healing* (`DESIGN.md` §14): solves
+//! run under panic supervision with RAII flight settlement and bounded
+//! leader promotion ([`supervise`]), jobs carry cooperative wall-clock
+//! deadlines threaded into the solver ([`BatchOptions::job_timeout`]),
+//! and batches can stream a write-ahead journal and resume after a crash
+//! with bit-identical merged outcomes ([`journal`]).
 
 #![warn(missing_docs)]
 
 pub mod job;
+pub mod journal;
 pub mod service;
+pub mod supervise;
 
 pub use job::{
-    parse_jobs_file, BatchReport, BatchSummary, JobReport, JobSpec, JOBS_SCHEMA, REPORT_SCHEMA,
+    batch_digest, parse_jobs_file, spec_digest, BatchReport, BatchSummary, JobReport, JobSpec,
+    JOBS_SCHEMA, REPORT_SCHEMA,
 };
-pub use service::{run_batch, run_lines, SingleFlight};
+pub use journal::{replay, JournalState, JournalWriter, JOURNAL_SCHEMA};
+pub use service::{
+    run_batch, run_batch_with, run_lines, run_lines_with, BatchOptions, JournalConfig,
+    LEADER_RETRY_BUDGET,
+};
+pub use supervise::{Flight, FlightEnd, FlightGuard, Role, SingleFlight};
 
 #[cfg(test)]
 mod tests {
@@ -37,6 +52,7 @@ mod tests {
             budget: None,
             telemetry: false,
             objective: None,
+            timeout_ms: None,
         }
     }
 
@@ -115,6 +131,172 @@ mod tests {
         assert_eq!(out.trim_end().lines().count(), 3);
         assert!(out.contains("\"fingerprint\""));
         assert!(out.contains("\"solver_wall_saved_s\""));
+    }
+
+    /// A solver stub that panics on its first `n` calls, then behaves.
+    /// Drives the supervision regression: the seed implementation hung
+    /// every follower forever when the leader panicked between `begin`
+    /// and `finish`.
+    struct PanickingRunner {
+        panics_left: std::sync::atomic::AtomicU32,
+    }
+
+    impl crate::service::JobRunner for PanickingRunner {
+        fn run(
+            &self,
+            request: tce_cache::PreparedRequest,
+            config: &tce_core::SynthesisConfig,
+            cache: &SynthesisCache,
+        ) -> Result<tce_cache::CachedSynthesis, tce_core::SynthesisError> {
+            use std::sync::atomic::Ordering;
+            if self
+                .panics_left
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                panic!("injected solver panic");
+            }
+            tce_cache::run_prepared(request, config, cache)
+        }
+    }
+
+    #[test]
+    fn panicking_leader_fails_structurally_and_promotes_a_follower() {
+        // six identical jobs; the first solve attempt panics. The
+        // panicking job must report a structured `panic` failure, one
+        // follower must be promoted and solve for real, and — the
+        // regression — the batch must terminate at all.
+        let jobs: Vec<JobSpec> = (0..6).map(|i| job(&format!("p{i}"), 64, 48)).collect();
+        let cache = SynthesisCache::in_memory();
+        let runner = PanickingRunner {
+            panics_left: std::sync::atomic::AtomicU32::new(1),
+        };
+        let opts = BatchOptions {
+            workers: 4,
+            ..BatchOptions::default()
+        };
+        let report =
+            crate::service::run_batch_runner(&jobs, &opts, &cache, &runner).expect("batch runs");
+
+        assert_eq!(report.summary.failed, 1, "{:?}", report.jobs);
+        assert_eq!(report.summary.ok, 5);
+        let failed = report.jobs.iter().find(|j| !j.ok).expect("panicked job");
+        assert_eq!(failed.error_kind.as_deref(), Some("panic"));
+        assert!(failed.error.as_deref().unwrap_or("").contains("panicked"));
+        // the promoted leader really solved: exactly one cache miss
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn always_panicking_leader_exhausts_the_retry_budget() {
+        let jobs: Vec<JobSpec> = (0..4).map(|i| job(&format!("q{i}"), 64, 48)).collect();
+        let cache = SynthesisCache::in_memory();
+        let runner = PanickingRunner {
+            panics_left: std::sync::atomic::AtomicU32::new(u32::MAX),
+        };
+        let opts = BatchOptions {
+            workers: 4,
+            retry_budget: 1,
+            ..BatchOptions::default()
+        };
+        let report =
+            crate::service::run_batch_runner(&jobs, &opts, &cache, &runner).expect("batch runs");
+        // nobody hangs and nobody succeeds: every job reports either its
+        // own panic or an exhausted retry budget
+        assert_eq!(report.summary.ok, 0);
+        assert_eq!(report.summary.failed, 4);
+        for j in &report.jobs {
+            let kind = j.error_kind.as_deref().unwrap_or("");
+            assert!(
+                kind == "panic" || kind == "leader_failed",
+                "unexpected kind {kind:?} in {j:?}"
+            );
+        }
+        assert!(report
+            .jobs
+            .iter()
+            .any(|j| j.error_kind.as_deref() == Some("panic")));
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        // a job whose deadline has already passed at pickup must fail
+        // fast with the structured kind, not block the pool
+        let mut j0 = job("t0", 64, 48);
+        j0.timeout_ms = Some(0);
+        let ok = job("t1", 48, 64);
+        let cache = SynthesisCache::in_memory();
+        let report = run_batch(&[j0, ok], 2, &cache);
+        assert_eq!(report.summary.failed, 1);
+        assert_eq!(report.summary.ok, 1);
+        let failed = report.jobs.iter().find(|j| !j.ok).expect("timed-out job");
+        assert_eq!(failed.name, "t0");
+        assert_eq!(failed.error_kind.as_deref(), Some("deadline_exceeded"));
+        assert!(failed.error.as_deref().unwrap_or("").contains("deadline"));
+        // nothing partial was cached for the timed-out job
+        assert_eq!(cache.stats().misses, 2, "both jobs missed; one canceled");
+    }
+
+    #[test]
+    fn journaled_batch_resumes_with_identical_outcomes() {
+        let dir = std::env::temp_dir().join(format!("tce-serve-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("batch.journal");
+
+        let mut bad = job("bad", 64, 48);
+        bad.program = "not a program".to_string();
+        let jobs = vec![job("a", 64, 48), bad, job("c", 48, 64)];
+
+        // clean journaled run
+        let opts = BatchOptions {
+            workers: 2,
+            journal: Some(JournalConfig::new(&journal)),
+            ..BatchOptions::default()
+        };
+        let clean = run_batch_with(&jobs, &opts, &SynthesisCache::in_memory()).expect("clean run");
+        assert_eq!(clean.summary.ok, 2);
+        assert_eq!(clean.summary.failed, 1);
+        let clean_proj = serde_json::to_string(&clean.outcome_projection()).unwrap();
+
+        // truncate the journal to just after the first `done` line —
+        // simulating a crash — and resume
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let keep: Vec<&str> = {
+            let mut keep = Vec::new();
+            for line in text.lines() {
+                keep.push(line);
+                if line.contains("\"done\"") {
+                    break;
+                }
+            }
+            keep
+        };
+        let done_before = keep.iter().filter(|l| l.contains("\"done\"")).count();
+        std::fs::write(&journal, format!("{}\n", keep.join("\n"))).unwrap();
+
+        let resume_opts = BatchOptions {
+            workers: 2,
+            journal: Some(JournalConfig {
+                path: journal.clone(),
+                resume: true,
+                faults: tce_cache::FsFaultPlan::none(),
+            }),
+            ..BatchOptions::default()
+        };
+        let resumed =
+            run_batch_with(&jobs, &resume_opts, &SynthesisCache::in_memory()).expect("resume");
+        assert_eq!(resumed.summary.resumed, done_before as u64);
+        let resumed_proj = serde_json::to_string(&resumed.outcome_projection()).unwrap();
+        assert_eq!(
+            resumed_proj, clean_proj,
+            "resumed outcome projection must be bit-identical"
+        );
+
+        // a journal from a *different* jobs file must be refused
+        let other = vec![job("x", 64, 48)];
+        let err = run_batch_with(&other, &resume_opts, &SynthesisCache::in_memory()).unwrap_err();
+        assert!(err.contains("different jobs file"), "{err}");
     }
 
     #[test]

@@ -1,74 +1,128 @@
-//! The batch execution engine: a bounded worker pool over a shared
-//! synthesis cache, with single-flight coalescing of identical requests.
+//! The batch execution engine: a supervised, crash-safe worker pool over
+//! a shared synthesis cache, with single-flight coalescing of identical
+//! requests.
 //!
 //! Single-flight works on the *canonical* request fingerprint, so two
 //! concurrently submitted jobs whose programs differ only by renaming
 //! still solve once: the first becomes the leader and solves; the others
-//! park on a condvar, then replay the leader's outcome from the cache.
+//! park on the flight, then replay the leader's outcome from the cache.
+//!
+//! Three robustness layers wrap that core (see `DESIGN.md` §14):
+//!
+//! * **supervision** — every solve runs under `catch_unwind` holding an
+//!   RAII [`FlightGuard`], so a panicking or erroring leader settles its
+//!   flight (no follower ever hangs) and one follower is promoted to
+//!   retry as the new leader, bounded by [`BatchOptions::retry_budget`];
+//! * **deadlines** — each job may carry a wall-clock deadline (per-job
+//!   `timeout_ms` or the batch-wide [`BatchOptions::job_timeout`]) as a
+//!   [`CancelToken`] threaded into the solver's budget machinery; expired
+//!   jobs fail with `deadline_exceeded` instead of blocking the pool;
+//! * **journaling** — with [`BatchOptions::journal`] set, admission,
+//!   start, and completion events stream to a write-ahead journal, and a
+//!   resumed run reuses completed jobs' reports verbatim (see
+//!   [`crate::journal`]).
 
-use crate::job::{BatchReport, BatchSummary, JobReport, JobSpec, REPORT_SCHEMA};
-use parking_lot::{Condvar, Mutex};
+use crate::job::{batch_digest, BatchReport, BatchSummary, JobReport, JobSpec, REPORT_SCHEMA};
+use crate::journal::{self, JournalWriter};
+use crate::supervise::{FlightEnd, Role, SingleFlight};
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
-use std::time::Instant;
-use tce_cache::{prepare_request, run_prepared, SynthesisCache};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use tce_cache::{
+    prepare_request, run_prepared, CachedSynthesis, FsFaultPlan, PreparedRequest, SynthesisCache,
+};
+use tce_core::{SynthesisConfig, SynthesisError};
+use tce_solver::CancelToken;
 
-/// One in-flight solve; followers park here until the leader finishes.
-struct Flight {
-    done: Mutex<bool>,
-    cv: Condvar,
+/// How many times followers may promote a new leader for one fingerprint
+/// after the previous leader failed, before giving up.
+pub const LEADER_RETRY_BUDGET: u32 = 2;
+
+/// Write-ahead journal configuration for one batch run.
+pub struct JournalConfig {
+    /// Journal file path.
+    pub path: PathBuf,
+    /// Resume from an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Fault schedule applied to journal writes (chaos testing); idle by
+    /// default.
+    pub faults: FsFaultPlan,
 }
 
-impl Flight {
-    fn new() -> Flight {
-        Flight {
-            done: Mutex::new(false),
-            cv: Condvar::new(),
+impl JournalConfig {
+    /// A fresh (non-resuming, fault-free) journal at `path`.
+    pub fn new(path: impl Into<PathBuf>) -> JournalConfig {
+        JournalConfig {
+            path: path.into(),
+            resume: false,
+            faults: FsFaultPlan::none(),
         }
-    }
-
-    fn wait(&self) {
-        let mut done = self.done.lock();
-        while !*done {
-            self.cv.wait(&mut done);
-        }
-    }
-
-    fn complete(&self) {
-        *self.done.lock() = true;
-        self.cv.notify_all();
     }
 }
 
-/// Deduplicates identical in-flight requests by fingerprint.
-#[derive(Default)]
-pub struct SingleFlight {
-    flights: Mutex<HashMap<String, Arc<Flight>>>,
+/// Knobs for one batch run. `Default` reproduces the historical
+/// [`run_batch`] behavior: core-count workers, no deadlines, no journal.
+pub struct BatchOptions {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Batch-wide per-job deadline, measured from job pickup. A job's own
+    /// `timeout_ms` overrides it.
+    pub job_timeout: Option<Duration>,
+    /// Write-ahead journal; `None` disables journaling.
+    pub journal: Option<JournalConfig>,
+    /// Leader-promotion budget after leader failures.
+    pub retry_budget: u32,
 }
 
-enum Role {
-    Leader,
-    Follower(Arc<Flight>),
-}
-
-impl SingleFlight {
-    /// Registers interest in `key`: the first caller leads, later callers
-    /// get the flight to wait on.
-    fn begin(&self, key: &str) -> Role {
-        let mut flights = self.flights.lock();
-        if let Some(f) = flights.get(key) {
-            return Role::Follower(f.clone());
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            workers: 0,
+            job_timeout: None,
+            journal: None,
+            retry_budget: LEADER_RETRY_BUDGET,
         }
-        flights.insert(key.to_string(), Arc::new(Flight::new()));
-        Role::Leader
     }
+}
 
-    /// Marks the leader's flight finished and wakes all followers. Must
-    /// run on every leader exit path, success or failure.
-    fn finish(&self, key: &str) {
-        if let Some(f) = self.flights.lock().remove(key) {
-            f.complete();
-        }
+/// The solve step behind a leader, seam-isolated so supervision tests can
+/// substitute a misbehaving solver without touching the real pipeline.
+pub(crate) trait JobRunner: Sync {
+    fn run(
+        &self,
+        request: PreparedRequest,
+        config: &SynthesisConfig,
+        cache: &SynthesisCache,
+    ) -> Result<CachedSynthesis, SynthesisError>;
+}
+
+/// The production runner: straight through the synthesis cache.
+pub(crate) struct CacheRunner;
+
+impl JobRunner for CacheRunner {
+    fn run(
+        &self,
+        request: PreparedRequest,
+        config: &SynthesisConfig,
+        cache: &SynthesisCache,
+    ) -> Result<CachedSynthesis, SynthesisError> {
+        run_prepared(request, config, cache)
+    }
+}
+
+/// Maps a synthesis error to its machine-readable report class.
+fn kind_of(err: &SynthesisError) -> &'static str {
+    match err {
+        SynthesisError::Placement(_) => "placement",
+        SynthesisError::Infeasible => "infeasible",
+        SynthesisError::Canceled {
+            deadline_exceeded: true,
+        } => "deadline_exceeded",
+        SynthesisError::Canceled {
+            deadline_exceeded: false,
+        } => "canceled",
     }
 }
 
@@ -78,76 +132,299 @@ fn process_job(
     cache: &SynthesisCache,
     flights: &SingleFlight,
     queue_wait_s: f64,
+    opts: &BatchOptions,
+    runner: &dyn JobRunner,
 ) -> JobReport {
     let started = Instant::now();
     let program = match spec.parse_program() {
         Ok(p) => p,
-        Err(e) => return JobReport::failed(&spec.name, "", e, queue_wait_s),
+        Err(e) => return JobReport::failed(&spec.name, "", e, queue_wait_s).kind("invalid_job"),
     };
-    let config = match spec.config() {
+    let mut config = match spec.config() {
         Ok(c) => c,
-        Err(e) => return JobReport::failed(&spec.name, "", e, queue_wait_s),
+        Err(e) => return JobReport::failed(&spec.name, "", e, queue_wait_s).kind("invalid_job"),
     };
-    let request = match prepare_request(&program, &config) {
-        Ok(r) => r,
-        Err(e) => return JobReport::failed(&spec.name, "", e.to_string(), queue_wait_s),
-    };
-    let fingerprint = request.fingerprint.clone();
-
-    let (role_is_leader, joined) = match flights.begin(&fingerprint) {
-        Role::Leader => (true, false),
-        Role::Follower(flight) => {
-            flight.wait();
-            (false, true)
-        }
-    };
-
-    let run = run_prepared(request, &config, cache);
-    if role_is_leader {
-        flights.finish(&fingerprint);
+    // the job's deadline clock starts when a worker picks it up
+    let timeout = spec
+        .timeout_ms
+        .map(Duration::from_millis)
+        .or(opts.job_timeout);
+    let token = timeout.map(|t| CancelToken::with_deadline(started + t));
+    if let Some(t) = &token {
+        config = config.cancel_token(t.clone());
     }
 
-    match run {
-        Ok(done) => JobReport {
-            name: spec.name.clone(),
-            ok: true,
-            error: None,
-            fingerprint: done.fingerprint,
-            hit: done.hit,
-            joined,
-            queue_wait_s,
-            solve_wall_s: done.solve_wall.as_secs_f64(),
-            saved_wall_s: done.saved_wall_s,
-            total_s: started.elapsed().as_secs_f64(),
-            io_bytes: done.result.io_bytes,
-            memory_bytes: done.result.memory_bytes,
-            predicted_s: done.result.predicted.total_s(),
-        },
+    let mut request = match prepare_request(&program, &config) {
+        Ok(r) => Some(r),
         Err(e) => {
-            let mut report =
-                JobReport::failed(&spec.name, &fingerprint, e.to_string(), queue_wait_s);
-            report.joined = joined;
-            report.total_s = started.elapsed().as_secs_f64();
-            report
+            return JobReport::failed(&spec.name, "", e.to_string(), queue_wait_s)
+                .kind("invalid_job")
+        }
+    };
+    let fingerprint = request.as_ref().expect("just prepared").fingerprint.clone();
+
+    // the supervision loop: lead, or park and — if the leader fails —
+    // race to be promoted, bounded by the retry budget
+    let mut leader_failures = 0u32;
+    let mut joined = false;
+    loop {
+        match flights.begin(&fingerprint) {
+            Role::Leader(guard) => {
+                let req = match request.take() {
+                    Some(r) => r,
+                    // a promoted follower's original request was consumed
+                    // by an earlier attempt; preparation is cheap and
+                    // deterministic, so just redo it
+                    None => match prepare_request(&program, &config) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            guard.fail(e.to_string());
+                            return JobReport::failed(
+                                &spec.name,
+                                &fingerprint,
+                                e.to_string(),
+                                queue_wait_s,
+                            )
+                            .kind("invalid_job");
+                        }
+                    },
+                };
+                // the guard is moved into the closure: if the solve
+                // panics, unwinding drops it and the flight settles as
+                // failed — followers wake either way
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    let outcome = runner.run(req, &config, cache);
+                    match &outcome {
+                        Ok(_) => guard.success(),
+                        Err(e) => guard.fail(e.to_string()),
+                    }
+                    outcome
+                }));
+                return match run {
+                    Ok(Ok(done)) => ok_report(spec, &done, joined, queue_wait_s, started),
+                    Ok(Err(e)) => {
+                        let mut r = JobReport::failed(
+                            &spec.name,
+                            &fingerprint,
+                            e.to_string(),
+                            queue_wait_s,
+                        )
+                        .kind(kind_of(&e));
+                        r.joined = joined;
+                        r.total_s = started.elapsed().as_secs_f64();
+                        r
+                    }
+                    Err(_) => {
+                        let mut r = JobReport::failed(
+                            &spec.name,
+                            &fingerprint,
+                            "worker panicked during solve".to_string(),
+                            queue_wait_s,
+                        )
+                        .kind("panic");
+                        r.joined = joined;
+                        r.total_s = started.elapsed().as_secs_f64();
+                        r
+                    }
+                };
+            }
+            Role::Follower(flight) => match flight.wait_with(token.as_ref()) {
+                None => {
+                    // our own deadline fired while parked
+                    return JobReport::failed(
+                        &spec.name,
+                        &fingerprint,
+                        "job deadline exceeded".to_string(),
+                        queue_wait_s,
+                    )
+                    .kind("deadline_exceeded");
+                }
+                Some(FlightEnd::Success) => {
+                    joined = true;
+                    let req = match request.take() {
+                        Some(r) => r,
+                        None => match prepare_request(&program, &config) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                return JobReport::failed(
+                                    &spec.name,
+                                    &fingerprint,
+                                    e.to_string(),
+                                    queue_wait_s,
+                                )
+                                .kind("invalid_job")
+                            }
+                        },
+                    };
+                    // replay the leader's outcome from the cache; panics
+                    // here are as fatal to the pool as leader panics, so
+                    // they get the same containment
+                    let run = catch_unwind(AssertUnwindSafe(|| runner.run(req, &config, cache)));
+                    return match run {
+                        Ok(Ok(done)) => ok_report(spec, &done, joined, queue_wait_s, started),
+                        Ok(Err(e)) => {
+                            let mut r = JobReport::failed(
+                                &spec.name,
+                                &fingerprint,
+                                e.to_string(),
+                                queue_wait_s,
+                            )
+                            .kind(kind_of(&e));
+                            r.joined = joined;
+                            r.total_s = started.elapsed().as_secs_f64();
+                            r
+                        }
+                        Err(_) => {
+                            let mut r = JobReport::failed(
+                                &spec.name,
+                                &fingerprint,
+                                "worker panicked during replay".to_string(),
+                                queue_wait_s,
+                            )
+                            .kind("panic");
+                            r.joined = joined;
+                            r.total_s = started.elapsed().as_secs_f64();
+                            r
+                        }
+                    };
+                }
+                Some(FlightEnd::Failed(cause)) => {
+                    leader_failures += 1;
+                    if leader_failures > opts.retry_budget {
+                        return JobReport::failed(
+                            &spec.name,
+                            &fingerprint,
+                            format!(
+                                "leader failed {leader_failures} time(s), retry budget \
+                                 exhausted; last cause: {cause}"
+                            ),
+                            queue_wait_s,
+                        )
+                        .kind("leader_failed");
+                    }
+                    // loop: race to re-begin — first one in is promoted
+                    // to leader and retries, the rest park on its flight
+                }
+            },
         }
     }
 }
 
-/// Runs a batch of jobs on `workers` threads over a shared cache.
+fn ok_report(
+    spec: &JobSpec,
+    done: &CachedSynthesis,
+    joined: bool,
+    queue_wait_s: f64,
+    started: Instant,
+) -> JobReport {
+    JobReport {
+        name: spec.name.clone(),
+        ok: true,
+        error: None,
+        error_kind: None,
+        fingerprint: done.fingerprint.clone(),
+        hit: done.hit,
+        joined,
+        queue_wait_s,
+        solve_wall_s: done.solve_wall.as_secs_f64(),
+        saved_wall_s: done.saved_wall_s,
+        total_s: started.elapsed().as_secs_f64(),
+        io_bytes: done.result.io_bytes,
+        memory_bytes: done.result.memory_bytes,
+        predicted_s: done.result.predicted.total_s(),
+    }
+}
+
+/// Runs a batch of jobs on `workers` threads over a shared cache, with
+/// default options (no deadlines, no journal).
 ///
 /// `workers = 0` means one per available core. Reports come back in
 /// submission order regardless of completion order.
 pub fn run_batch(jobs: &[JobSpec], workers: usize, cache: &SynthesisCache) -> BatchReport {
-    let workers = if workers == 0 {
+    let opts = BatchOptions {
+        workers,
+        ..BatchOptions::default()
+    };
+    run_batch_with(jobs, &opts, cache).expect("journal-free batches cannot fail to start")
+}
+
+/// Runs a batch under explicit [`BatchOptions`] — deadlines, supervision
+/// budget, and the write-ahead journal. Only journal setup can fail (an
+/// unwritable journal path, or a resume journal that does not match the
+/// jobs file).
+pub fn run_batch_with(
+    jobs: &[JobSpec],
+    opts: &BatchOptions,
+    cache: &SynthesisCache,
+) -> Result<BatchReport, String> {
+    run_batch_runner(jobs, opts, cache, &CacheRunner)
+}
+
+pub(crate) fn run_batch_runner(
+    jobs: &[JobSpec],
+    opts: &BatchOptions,
+    cache: &SynthesisCache,
+    runner: &dyn JobRunner,
+) -> Result<BatchReport, String> {
+    let workers = if opts.workers == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
-        workers
+        opts.workers
     };
     let workers = workers.min(jobs.len().max(1));
-
     let batch_started = Instant::now();
+
+    // journal setup: replay on resume, then open for append; fresh runs
+    // truncate and write the header + admissions up front (write-ahead)
+    let mut resumed: HashMap<usize, JobReport> = HashMap::new();
+    let writer = match &opts.journal {
+        Some(cfg) => {
+            let faults = (!cfg.faults.is_idle()).then(|| cfg.faults.injector(1));
+            let state = if cfg.resume {
+                journal::replay(&cfg.path)
+            } else {
+                journal::JournalState::default()
+            };
+            let continuing = match state.header {
+                Some((header_jobs, header_digest)) => {
+                    if header_jobs != jobs.len() as u64 || header_digest != batch_digest(jobs) {
+                        return Err(format!(
+                            "journal {:?} was written for a different jobs file; \
+                             refusing to merge its results",
+                            cfg.path
+                        ));
+                    }
+                    resumed = state
+                        .done
+                        .into_iter()
+                        .filter(|(idx, _)| *idx < jobs.len())
+                        .collect();
+                    true
+                }
+                // resuming an empty/unreadable journal is just a fresh run
+                None => false,
+            };
+            let mut w = JournalWriter::open(&cfg.path, !continuing, faults)?;
+            if !continuing {
+                w.batch(jobs);
+                for (idx, spec) in jobs.iter().enumerate() {
+                    w.admit(idx, spec);
+                }
+            }
+            w.sync_parent(&cfg.path);
+            Some(w)
+        }
+        None => None,
+    };
+    let writer = writer.as_ref();
+
     let flights = SingleFlight::default();
-    let queue: Mutex<Vec<usize>> = Mutex::new((0..jobs.len()).rev().collect());
+    let queue: Mutex<Vec<usize>> = Mutex::new(
+        (0..jobs.len())
+            .rev()
+            .filter(|i| !resumed.contains_key(i))
+            .collect(),
+    );
     let reports: Mutex<Vec<Option<JobReport>>> =
         Mutex::new((0..jobs.len()).map(|_| None).collect());
 
@@ -158,18 +435,30 @@ pub fn run_batch(jobs: &[JobSpec], workers: usize, cache: &SynthesisCache) -> Ba
                     Some(i) => i,
                     None => break,
                 };
+                if let Some(w) = writer {
+                    w.start(idx);
+                }
                 let queue_wait_s = batch_started.elapsed().as_secs_f64();
-                let report = process_job(&jobs[idx], cache, &flights, queue_wait_s);
+                let report = process_job(&jobs[idx], cache, &flights, queue_wait_s, opts, runner);
+                if let Some(w) = writer {
+                    w.done(idx, &report);
+                }
                 reports.lock()[idx] = Some(report);
             });
         }
     })
     .expect("worker pool");
 
+    let resumed_count = resumed.len() as u64;
     let jobs: Vec<JobReport> = reports
         .into_inner()
         .into_iter()
-        .map(|r| r.expect("every job reported"))
+        .enumerate()
+        .map(|(idx, r)| match r {
+            Some(r) => r,
+            // not queued: merged verbatim from the resumed journal
+            None => resumed.remove(&idx).expect("every job reported"),
+        })
         .collect();
 
     let mut summary = BatchSummary {
@@ -179,6 +468,7 @@ pub fn run_batch(jobs: &[JobSpec], workers: usize, cache: &SynthesisCache) -> Ba
         hits: 0,
         misses: 0,
         joined: 0,
+        resumed: resumed_count,
         solver_wall_saved_s: 0.0,
         wall_s: batch_started.elapsed().as_secs_f64(),
     };
@@ -199,12 +489,12 @@ pub fn run_batch(jobs: &[JobSpec], workers: usize, cache: &SynthesisCache) -> Ba
         summary.solver_wall_saved_s += r.saved_wall_s;
     }
 
-    BatchReport {
+    Ok(BatchReport {
         schema: REPORT_SCHEMA.to_string(),
         workers: workers as u64,
         jobs,
         summary,
-    }
+    })
 }
 
 /// JSON-lines mode: one job object per input line; one report line per
@@ -212,6 +502,19 @@ pub fn run_batch(jobs: &[JobSpec], workers: usize, cache: &SynthesisCache) -> Ba
 pub fn run_lines(
     input: &str,
     workers: usize,
+    cache: &SynthesisCache,
+) -> Result<(BatchReport, String), String> {
+    let opts = BatchOptions {
+        workers,
+        ..BatchOptions::default()
+    };
+    run_lines_with(input, &opts, cache)
+}
+
+/// [`run_lines`] under explicit [`BatchOptions`].
+pub fn run_lines_with(
+    input: &str,
+    opts: &BatchOptions,
     cache: &SynthesisCache,
 ) -> Result<(BatchReport, String), String> {
     let mut jobs = Vec::new();
@@ -222,7 +525,7 @@ pub fn run_lines(
         }
         jobs.push(JobSpec::from_json_line(line).map_err(|e| format!("line {}: {e}", n + 1))?);
     }
-    let report = run_batch(&jobs, workers, cache);
+    let report = run_batch_with(&jobs, opts, cache)?;
     let mut out = String::new();
     for job in &report.jobs {
         out.push_str(&serde_json::to_string(job).map_err(|e| format!("{e:?}"))?);

@@ -1,0 +1,222 @@
+//! Flight supervision: panic-safe single-flight coalescing with leader
+//! promotion.
+//!
+//! The batch service deduplicates identical in-flight requests: the first
+//! worker to claim a fingerprint becomes the *leader* and solves; workers
+//! holding identical requests become *followers* and park on the flight
+//! until it settles. The seed implementation had a liveness hole — a
+//! leader that panicked (or errored between `begin` and `finish`) never
+//! completed its flight, and every follower waited on the condvar
+//! forever.
+//!
+//! This module closes that hole structurally:
+//!
+//! * leadership is a value, [`FlightGuard`] — an RAII guard whose `Drop`
+//!   settles the flight as failed if the leader did not settle it
+//!   explicitly. Unwinding out of the solve *is* the notification; there
+//!   is no code path that leaves a follower parked;
+//! * flights settle with a [`FlightEnd`] (success or a failure cause), so
+//!   followers can distinguish "replay the leader's cached outcome" from
+//!   "the leader died";
+//! * when a flight fails, the flight is removed *before* followers wake,
+//!   so exactly one woken follower re-begins as the new leader and
+//!   retries — bounded by the caller's retry budget — while the rest park
+//!   on the new flight;
+//! * waiting is cancellable: followers poll their own job's
+//!   [`CancelToken`] on a timed condvar wait, so a follower whose
+//!   deadline expires while parked reports `deadline_exceeded` instead of
+//!   inheriting the leader's fate.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use tce_solver::CancelToken;
+
+/// How often a parked follower wakes to poll its cancel token.
+const FOLLOWER_POLL: Duration = Duration::from_millis(25);
+
+/// How a flight settled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlightEnd {
+    /// The leader completed; its outcome is in the cache.
+    Success,
+    /// The leader failed (error or panic) with this cause.
+    Failed(String),
+}
+
+/// One in-flight solve; followers park here until the leader settles it.
+pub struct Flight {
+    state: Mutex<Option<FlightEnd>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn settle(&self, end: FlightEnd) {
+        *self.state.lock() = Some(end);
+        self.cv.notify_all();
+    }
+
+    /// Parks until the flight settles or `cancel` trips. `None` means the
+    /// wait was cancelled (the follower's own deadline fired).
+    pub fn wait_with(&self, cancel: Option<&CancelToken>) -> Option<FlightEnd> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(end) = state.clone() {
+                return Some(end);
+            }
+            if cancel.is_some_and(|c| c.is_canceled()) {
+                return None;
+            }
+            let _ = self.cv.wait_for(&mut state, FOLLOWER_POLL);
+        }
+    }
+}
+
+/// Deduplicates identical in-flight requests by fingerprint.
+#[derive(Default)]
+pub struct SingleFlight {
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+/// What [`SingleFlight::begin`] handed this worker.
+pub enum Role<'a> {
+    /// This worker leads: it must solve, then settle the guard.
+    Leader(FlightGuard<'a>),
+    /// An identical request is already in flight; park on it.
+    Follower(Arc<Flight>),
+}
+
+impl SingleFlight {
+    /// Registers interest in `key`: the first caller leads (and receives
+    /// the guard that *must* settle the flight), later callers get the
+    /// flight to wait on.
+    pub fn begin(&self, key: &str) -> Role<'_> {
+        let mut flights = self.flights.lock();
+        if let Some(f) = flights.get(key) {
+            return Role::Follower(f.clone());
+        }
+        let flight = Arc::new(Flight::new());
+        flights.insert(key.to_string(), flight.clone());
+        Role::Leader(FlightGuard {
+            flights: self,
+            key: key.to_string(),
+            flight,
+            settled: false,
+        })
+    }
+}
+
+/// Proof of leadership for one flight. Settling consumes the guard;
+/// dropping it unsettled (the leader panicked out of the solve) settles
+/// the flight as failed so followers can never be left parked.
+pub struct FlightGuard<'a> {
+    flights: &'a SingleFlight,
+    key: String,
+    flight: Arc<Flight>,
+    settled: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Settles the flight: the outcome is in the cache, followers replay.
+    pub fn success(mut self) {
+        self.settle(FlightEnd::Success);
+    }
+
+    /// Settles the flight as failed; one follower will be promoted to
+    /// retry, the rest re-park.
+    pub fn fail(mut self, cause: String) {
+        self.settle(FlightEnd::Failed(cause));
+    }
+
+    fn settle(&mut self, end: FlightEnd) {
+        self.settled = true;
+        // unregister *before* waking followers, so the first follower to
+        // re-begin becomes the new leader on a fresh flight
+        self.flights.flights.lock().remove(&self.key);
+        self.flight.settle(end);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.settled {
+            self.settle(FlightEnd::Failed("leader panicked".to_string()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn dropped_guard_settles_as_failure() {
+        let flights = SingleFlight::default();
+        let follower = {
+            let Role::Leader(guard) = flights.begin("k") else {
+                panic!("first begin must lead")
+            };
+            let Role::Follower(f) = flights.begin("k") else {
+                panic!("second begin must follow")
+            };
+            drop(guard); // simulated leader panic (unwind drops the guard)
+            f
+        };
+        assert_eq!(
+            follower.wait_with(None),
+            Some(FlightEnd::Failed("leader panicked".to_string()))
+        );
+        // the key is free again: the next claimant is promoted to leader
+        assert!(matches!(flights.begin("k"), Role::Leader(_)));
+    }
+
+    #[test]
+    fn success_wakes_followers_across_threads() {
+        let flights = SingleFlight::default();
+        let Role::Leader(guard) = flights.begin("k") else {
+            panic!("leader")
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let flights = &flights;
+                    scope.spawn(move || match flights.begin("k") {
+                        Role::Follower(f) => f.wait_with(None),
+                        Role::Leader(_) => panic!("key is taken"),
+                    })
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(10));
+            guard.success();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), Some(FlightEnd::Success));
+            }
+        });
+    }
+
+    #[test]
+    fn cancelled_follower_stops_waiting() {
+        let flights = SingleFlight::default();
+        let Role::Leader(_guard) = flights.begin("k") else {
+            panic!("leader")
+        };
+        let Role::Follower(f) = flights.begin("k") else {
+            panic!("follower")
+        };
+        // deadline already expired: the wait must return promptly even
+        // though the flight never settles while we wait
+        let token = CancelToken::with_deadline(Instant::now());
+        let started = Instant::now();
+        assert_eq!(f.wait_with(Some(&token)), None);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

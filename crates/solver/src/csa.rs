@@ -335,7 +335,7 @@ pub(crate) struct CsaRun {
 
 /// Runs one annealing chain to completion, optionally recording a trace.
 /// `budget` caps Lagrangian evaluations (`u64::MAX` = the full schedule);
-/// a deadline is polled between evaluation segments.
+/// a deadline and a cancel token are polled between evaluation segments.
 pub(crate) fn run_csa(
     model: &Model,
     opts: &CsaOptions,
@@ -343,14 +343,15 @@ pub(crate) fn run_csa(
     telemetry: bool,
     budget: u64,
     deadline: Option<std::time::Instant>,
+    cancel: Option<&crate::CancelToken>,
 ) -> CsaRun {
     let compiled = (backend == EvalBackend::Compiled).then(|| CompiledModel::compile(model));
     let mut task = CsaTask::new(model, opts, budget, compiled.as_ref());
     let mut recorder = Recorder::default();
     if telemetry {
-        drive(&mut task, deadline, &mut recorder);
+        drive(&mut task, deadline, cancel, &mut recorder);
     } else {
-        drive(&mut task, deadline, &mut crate::telemetry::Noop);
+        drive(&mut task, deadline, cancel, &mut crate::telemetry::Noop);
     }
     let r = task.result();
     // the classic schedule reports its full ladder as the iteration count
@@ -383,22 +384,39 @@ pub(crate) fn run_csa(
     }
 }
 
-fn drive<S: Sink>(task: &mut CsaTask<'_>, deadline: Option<std::time::Instant>, sink: &mut S) {
-    match deadline {
-        None => while !task.step(u64::MAX, sink) {},
-        Some(at) => {
-            while !task.step(8_192, sink) {
-                if std::time::Instant::now() >= at {
-                    task.abort(Termination::Deadline);
-                    return;
-                }
-            }
+fn drive<S: Sink>(
+    task: &mut CsaTask<'_>,
+    deadline: Option<std::time::Instant>,
+    cancel: Option<&crate::CancelToken>,
+    sink: &mut S,
+) {
+    if deadline.is_none() && cancel.is_none() {
+        while !task.step(u64::MAX, sink) {}
+        return;
+    }
+    while !task.step(8_192, sink) {
+        if deadline.is_some_and(|at| std::time::Instant::now() >= at) {
+            task.abort(Termination::Deadline);
+            return;
+        }
+        if cancel.is_some_and(|c| c.is_canceled()) {
+            task.abort(Termination::Canceled);
+            return;
         }
     }
 }
 
 pub(crate) fn solve_csa_impl(model: &Model, opts: &CsaOptions) -> Solution {
-    run_csa(model, opts, EvalBackend::default(), false, u64::MAX, None).solution
+    run_csa(
+        model,
+        opts,
+        EvalBackend::default(),
+        false,
+        u64::MAX,
+        None,
+        None,
+    )
+    .solution
 }
 
 /// Runs CSA and returns the best feasible point seen (or the best

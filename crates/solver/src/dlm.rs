@@ -541,22 +541,26 @@ impl<'m> DlmTask<'m> {
 /// Quota the serial drivers use between deadline checks.
 const DEADLINE_SEGMENT: u64 = 8_192;
 
-/// Drives one task to completion, polling `deadline` between segments
-/// when one is set.
+/// Drives one task to completion, polling `deadline` and `cancel`
+/// between segments when either is set.
 pub(crate) fn drive_to_completion<S: Sink>(
     task: &mut DlmTask<'_>,
     deadline: Option<Instant>,
+    cancel: Option<&crate::CancelToken>,
     sink: &mut S,
 ) {
-    match deadline {
-        None => while !task.step(u64::MAX, sink) {},
-        Some(at) => {
-            while !task.step(DEADLINE_SEGMENT, sink) {
-                if Instant::now() >= at {
-                    task.abort(Termination::Deadline);
-                    return;
-                }
-            }
+    if deadline.is_none() && cancel.is_none() {
+        while !task.step(u64::MAX, sink) {}
+        return;
+    }
+    while !task.step(DEADLINE_SEGMENT, sink) {
+        if deadline.is_some_and(|at| Instant::now() >= at) {
+            task.abort(Termination::Deadline);
+            return;
+        }
+        if cancel.is_some_and(|c| c.is_canceled()) {
+            task.abort(Termination::Canceled);
+            return;
         }
     }
 }
@@ -568,6 +572,7 @@ pub(crate) struct DlmRun {
     pub traces: Vec<RestartTrace>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     model: &Model,
     opts: &DlmOptions,
@@ -576,13 +581,14 @@ fn run_one(
     compiled: Option<&CompiledModel>,
     telemetry: bool,
     deadline: Option<Instant>,
+    cancel: Option<&crate::CancelToken>,
 ) -> (RestartResult, crate::telemetry::Recorder) {
     let mut task = DlmTask::new(model, opts, restart, budget, compiled);
     let mut recorder = crate::telemetry::Recorder::default();
     if telemetry {
-        drive_to_completion(&mut task, deadline, &mut recorder);
+        drive_to_completion(&mut task, deadline, cancel, &mut recorder);
     } else {
-        drive_to_completion(&mut task, deadline, &mut crate::telemetry::Noop);
+        drive_to_completion(&mut task, deadline, cancel, &mut crate::telemetry::Noop);
     }
     (task.result(), recorder)
 }
@@ -594,12 +600,15 @@ fn run_one(
 /// immutable tape shared by every restart; each task owns its caches.
 /// A deadline is polled between evaluation segments; restarts that were
 /// never started when it expires are skipped (the first always runs).
+/// A cancel token behaves the same way, terminating tasks with
+/// [`Termination::Canceled`] instead.
 pub(crate) fn run_dlm(
     model: &Model,
     opts: &DlmOptions,
     backend: EvalBackend,
     telemetry: bool,
     deadline: Option<Instant>,
+    cancel: Option<&crate::CancelToken>,
 ) -> DlmRun {
     let restarts = opts.restarts.max(1);
     let budget = (opts.max_evals / restarts as u64).max(1);
@@ -612,7 +621,9 @@ pub(crate) fn run_dlm(
                 let handles: Vec<_> = (0..restarts)
                     .map(|r| {
                         scope.spawn(move || {
-                            run_one(model, opts, r, budget, compiled, telemetry, deadline)
+                            run_one(
+                                model, opts, r, budget, compiled, telemetry, deadline, cancel,
+                            )
                         })
                     })
                     .collect();
@@ -625,12 +636,12 @@ pub(crate) fn run_dlm(
             let mut out = Vec::with_capacity(restarts);
             for r in 0..restarts {
                 out.push(run_one(
-                    model, opts, r, budget, compiled, telemetry, deadline,
+                    model, opts, r, budget, compiled, telemetry, deadline, cancel,
                 ));
-                if let Some(at) = deadline {
-                    if Instant::now() >= at {
-                        break; // later restarts are skipped entirely
-                    }
+                if deadline.is_some_and(|at| Instant::now() >= at)
+                    || cancel.is_some_and(|c| c.is_canceled())
+                {
+                    break; // later restarts are skipped entirely
                 }
             }
             out
@@ -682,7 +693,7 @@ pub(crate) fn run_dlm(
 }
 
 pub(crate) fn solve_dlm_impl(model: &Model, opts: &DlmOptions) -> Solution {
-    run_dlm(model, opts, EvalBackend::default(), false, None).solution
+    run_dlm(model, opts, EvalBackend::default(), false, None, None).solution
 }
 
 /// Runs DLM and returns the best point found.
@@ -862,8 +873,8 @@ mod tests {
     fn telemetry_does_not_change_the_result() {
         let m = knapsack_like();
         let opts = DlmOptions::quick(21);
-        let plain = run_dlm(&m, &opts, EvalBackend::Compiled, false, None);
-        let traced = run_dlm(&m, &opts, EvalBackend::Compiled, true, None);
+        let plain = run_dlm(&m, &opts, EvalBackend::Compiled, false, None, None);
+        let traced = run_dlm(&m, &opts, EvalBackend::Compiled, true, None, None);
         assert_eq!(plain.solution.point, traced.solution.point);
         assert_eq!(plain.solution.evals, traced.solution.evals);
         assert_eq!(plain.winner, traced.winner);

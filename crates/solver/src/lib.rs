@@ -69,6 +69,8 @@ pub mod model;
 pub mod portfolio;
 pub mod telemetry;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[allow(deprecated)]
@@ -84,6 +86,59 @@ pub use dlm::DlmOptions;
 pub use eval::EvalBackend;
 pub use model::{Constraint, ConstraintOp, Domain, Expr, Model, Solution, VarId};
 pub use telemetry::{Improvement, RestartTrace, SolverReport, Termination};
+
+/// A cooperative cancellation handle, polled by the solver drivers at the
+/// same segment/round boundaries where the wall-clock deadline is.
+///
+/// Clones share one flag: any clone's [`CancelToken::cancel`] stops every
+/// solve holding a clone. A token may also carry its own absolute
+/// deadline, so an embedder can impose a *job*-level timeout without
+/// changing [`SolveOptions::deadline`] (which is part of the cache
+/// identity of a request — see `tce-cache`). A canceled task terminates
+/// with [`Termination::Canceled`]; its partial result must not be treated
+/// as the solve's answer.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally trips once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Requests cancellation on every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`CancelToken::cancel`] was called or the embedded
+    /// deadline passed.
+    pub fn is_canceled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst) || self.deadline_expired()
+    }
+
+    /// True when this token carries a deadline and it has passed —
+    /// distinguishes a job timeout from an explicit cancel.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// The embedded deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
 
 /// Strategy selector for the unified [`solve`] entry point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -158,6 +213,13 @@ pub struct SolveOptions {
     /// recursive oracle. Both yield bit-identical outcomes for the same
     /// seed — the choice affects speed only.
     pub eval: EvalBackend,
+    /// Cooperative cancellation handle, polled alongside the deadline at
+    /// segment/round boundaries. Like the deadline this only controls
+    /// *when* the search stops, never which points it visits — but unlike
+    /// the deadline it is excluded from `tce-cache`'s config digest, so a
+    /// canceled solve must be discarded rather than cached. Ignored by
+    /// brute force.
+    pub cancel: Option<CancelToken>,
 }
 
 impl SolveOptions {
@@ -176,6 +238,7 @@ impl SolveOptions {
             csa_chains: 2,
             segment_evals: 4_096,
             eval: EvalBackend::default(),
+            cancel: None,
         }
     }
 
@@ -238,6 +301,12 @@ impl SolveOptions {
         self.eval = eval;
         self
     }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
 }
 
 impl Default for SolveOptions {
@@ -286,7 +355,14 @@ impl Solver for DlmSolver {
             dlm_opts.max_evals = budget;
         }
         let deadline = opts.deadline.map(|d| started + d);
-        let run = dlm::run_dlm(model, &dlm_opts, opts.eval, opts.telemetry, deadline);
+        let run = dlm::run_dlm(
+            model,
+            &dlm_opts,
+            opts.eval,
+            opts.telemetry,
+            deadline,
+            opts.cancel.as_ref(),
+        );
         let threads = if dlm_opts.parallel_restarts {
             dlm_opts.restarts.max(1)
         } else {
@@ -331,6 +407,7 @@ impl Solver for CsaSolver {
             opts.telemetry,
             budget,
             deadline,
+            opts.cancel.as_ref(),
         );
         let report = opts.telemetry.then(|| SolverReport {
             strategy: "csa",

@@ -181,6 +181,7 @@ pub(crate) fn solve_portfolio(
     let threads = resolve_threads(opts.threads).min(slots.len()).max(1);
     let segment = opts.segment_evals.max(64);
     let deadline = opts.deadline.map(|d| started + d);
+    let cancel = opts.cancel.as_ref();
 
     let mut rounds = 0u64;
     loop {
@@ -189,14 +190,20 @@ pub(crate) fn solve_portfolio(
         if active.is_empty() {
             break;
         }
+        // both stop signals ride the round barrier: the first round always
+        // runs so every task produces a result
         if rounds > 0 {
-            if let Some(at) = deadline {
-                if Instant::now() >= at {
-                    for slot in active {
-                        slot.abort(Termination::Deadline);
-                    }
-                    break;
+            if deadline.is_some_and(|at| Instant::now() >= at) {
+                for slot in active {
+                    slot.abort(Termination::Deadline);
                 }
+                break;
+            }
+            if cancel.is_some_and(|c| c.is_canceled()) {
+                for slot in active {
+                    slot.abort(Termination::Canceled);
+                }
+                break;
             }
         }
         if threads > 1 && active.len() > 1 {

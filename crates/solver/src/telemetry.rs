@@ -99,6 +99,9 @@ pub enum Termination {
     EvalBudget,
     /// The portfolio's wall-clock deadline expired.
     Deadline,
+    /// A cooperative [`CancelToken`](crate::CancelToken) asked the solve
+    /// to stop (explicit cancellation or a caller-side job deadline).
+    Canceled,
     /// The portfolio cut the task because the shared incumbent was
     /// already better and the task had stopped improving.
     PrunedByIncumbent,
@@ -115,6 +118,7 @@ impl fmt::Display for Termination {
             Termination::IterLimit => "iter-limit",
             Termination::EvalBudget => "eval-budget",
             Termination::Deadline => "deadline",
+            Termination::Canceled => "canceled",
             Termination::PrunedByIncumbent => "pruned",
             Termination::Completed => "completed",
         })

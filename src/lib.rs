@@ -20,6 +20,7 @@
 //! * [`trans`] — out-of-core matrix transposition (the block-size study
 //!   behind the minimum-block constraints).
 
+pub use tce_cache as cache;
 pub use tce_codegen as codegen;
 pub use tce_core as core;
 pub use tce_cost as cost;
@@ -28,6 +29,7 @@ pub use tce_exec as exec;
 pub use tce_ga as ga;
 pub use tce_ir as ir;
 pub use tce_opmin as opmin;
+pub use tce_serve as serve;
 pub use tce_solver as solver;
 pub use tce_tile as tile;
 pub use tce_trans as trans;

@@ -107,6 +107,7 @@ proptest! {
             Err(SynthesisError::Placement(_)) | Err(SynthesisError::Infeasible) => {
                 return Ok(())
             }
+            Err(e) => return Err(TestCaseError::fail(format!("synthesis: {e}"))),
         };
         let rep = execute(&result.plan, &ExecOptions::full_test())
             .map_err(|e| TestCaseError::fail(format!("exec: {e}")))?;

@@ -1,0 +1,160 @@
+//! Crash-resume equivalence for the journaled batch service: kill the
+//! batch at *every* journal boundary — after each whole line, and mid-line
+//! (a torn append) — then resume with `--resume-journal` semantics and
+//! require the merged report's deterministic outcome projection to be
+//! byte-identical to the uninterrupted run's.
+//!
+//! The journal is the only state carried across the "crash" (each resume
+//! gets a cold in-memory cache), so this exercises all three recovery
+//! paths at once: jobs resumed verbatim from `done` records, jobs
+//! admitted/started but re-run from scratch, and torn tails skipped.
+//!
+//! The matrix covers 2 solver seeds by default; CI stress widens it with
+//! `TCE_CHAOS_SEEDS=<n>`.
+
+use tce_cache::{FsFaultPlan, SynthesisCache};
+use tce_ooc::ir::{fixtures::two_index_fused, to_dsl};
+use tce_serve::{run_batch_with, BatchOptions, JobSpec, JournalConfig};
+
+fn seed_count() -> u64 {
+    std::env::var("TCE_CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+fn job(name: &str, n: u64, v: u64, seed: u64) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        program: to_dsl(&two_index_fused(n, v)),
+        mem_limit: 64 * 1024,
+        test_scale: true,
+        strategy: None,
+        seed: Some(seed),
+        budget: None,
+        telemetry: false,
+        objective: None,
+        timeout_ms: None,
+    }
+}
+
+/// Four jobs covering the interesting outcome classes: two identical
+/// (single-flight dedup), one distinct, one that fails deterministically.
+fn batch(seed: u64) -> Vec<JobSpec> {
+    let mut bad = job("bad", 64, 48, seed);
+    bad.program = "this is not a program".to_string();
+    vec![
+        job("a", 64, 48, seed),
+        job("a-twin", 64, 48, seed),
+        bad,
+        job("b", 48, 64, seed),
+    ]
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tce-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn run_journaled(jobs: &[JobSpec], journal: &std::path::Path, resume: bool) -> String {
+    let opts = BatchOptions {
+        workers: 2,
+        journal: Some(JournalConfig {
+            path: journal.to_path_buf(),
+            resume,
+            faults: FsFaultPlan::none(),
+        }),
+        ..BatchOptions::default()
+    };
+    let report = run_batch_with(jobs, &opts, &SynthesisCache::in_memory()).expect("batch runs");
+    serde_json::to_string(&report.outcome_projection()).expect("projection json")
+}
+
+#[test]
+fn resume_after_kill_at_every_journal_boundary_is_bit_identical() {
+    let dir = scratch("boundaries");
+    for seed in 0..seed_count() {
+        let jobs = batch(2004 + seed);
+
+        // the uninterrupted reference run
+        let clean_journal = dir.join(format!("clean-{seed}.journal"));
+        let clean = run_journaled(&jobs, &clean_journal, false);
+        let full = std::fs::read_to_string(&clean_journal).expect("journal text");
+        let lines: Vec<&str> = full.lines().collect();
+        assert!(lines.len() > jobs.len() * 2, "journal too short: {full}");
+
+        // crash after every whole line (k lines survive) and mid-way
+        // through every line (torn tail)
+        for k in 0..=lines.len() {
+            let mut variants = vec![(format!("k{k}"), lines[..k].join("\n"))];
+            if k < lines.len() {
+                let half = &lines[k][..lines[k].len() / 2];
+                variants.push((
+                    format!("k{k}-torn"),
+                    format!("{}\n{half}", lines[..k].join("\n")),
+                ));
+            }
+            for (tag, text) in variants {
+                let journal = dir.join(format!("crash-{seed}-{tag}.journal"));
+                std::fs::write(&journal, format!("{text}\n")).expect("write crash journal");
+                let resumed = run_journaled(&jobs, &journal, true);
+                assert_eq!(
+                    resumed, clean,
+                    "seed {seed}, crash at {tag}: resumed projection diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_refuses_a_journal_from_different_jobs() {
+    let dir = scratch("mismatch");
+    let jobs = batch(7);
+    let journal = dir.join("batch.journal");
+    run_journaled(&jobs, &journal, false);
+
+    let mut other = batch(7);
+    other[0].mem_limit *= 2;
+    let opts = BatchOptions {
+        workers: 1,
+        journal: Some(JournalConfig {
+            path: journal.clone(),
+            resume: true,
+            faults: FsFaultPlan::none(),
+        }),
+        ..BatchOptions::default()
+    };
+    let err = run_batch_with(&other, &opts, &SynthesisCache::in_memory()).unwrap_err();
+    assert!(err.contains("different jobs file"), "{err}");
+}
+
+#[test]
+fn journaled_run_survives_injected_journal_faults() {
+    // every journal append path hit with probabilistic faults: the batch
+    // must still complete with the same outcomes, only the journal
+    // degrades
+    let dir = scratch("faulty-journal");
+    let jobs = batch(11);
+    let clean = run_journaled(&jobs, &dir.join("clean.journal"), false);
+
+    for seed in 0..seed_count() {
+        let opts = BatchOptions {
+            workers: 2,
+            journal: Some(JournalConfig {
+                path: dir.join(format!("faulty-{seed}.journal")),
+                resume: false,
+                faults: FsFaultPlan::none()
+                    .probabilistic(0.4, tce_cache::FsFaultKind::Eio)
+                    .with_seed(seed),
+            }),
+            ..BatchOptions::default()
+        };
+        let report =
+            run_batch_with(&jobs, &opts, &SynthesisCache::in_memory()).expect("batch survives");
+        let projection = serde_json::to_string(&report.outcome_projection()).expect("json");
+        assert_eq!(projection, clean, "faulty journal must not change outcomes");
+    }
+}

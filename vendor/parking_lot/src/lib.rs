@@ -141,6 +141,23 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the guard
+    /// while waiting. Returns `true` if the wait timed out (parking_lot
+    /// returns a `WaitTimeoutResult`; a bare flag covers the workspace's
+    /// use).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let inner = guard.inner.take().expect("guard present");
+        let (inner, timed_out) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r.timed_out())
+            }
+        };
+        guard.inner = Some(inner);
+        timed_out
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -173,6 +190,33 @@ mod tests {
         *m.lock() = 7;
         cv.notify_all();
         assert_eq!(t.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        // nobody notifies: the wait must come back with timed_out = true
+        assert!(cv.wait_for(&mut g, std::time::Duration::from_millis(5)));
+        drop(g);
+
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let t = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while !*g {
+                if cv2.wait_for(&mut g, std::time::Duration::from_secs(10)) {
+                    return false; // spurious timeout would fail the test
+                }
+            }
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        *m.lock() = true;
+        cv.notify_all();
+        assert!(t.join().unwrap());
     }
 
     #[test]
