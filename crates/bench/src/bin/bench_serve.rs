@@ -1,0 +1,367 @@
+//! Serve-path benchmark (the `serve` key of `BENCH_solver.json`): the
+//! concurrent cache-map sweep plus a daemon loopback run.
+//!
+//! **Map sweep** (map-bench style): for each [`CacheMap`] adapter — the
+//! single-`Mutex` LRU baseline and the lock-striped sharded default —
+//! and each thread count in {1, 2, 4}, hammer one shared map with a
+//! 90/10 get/put mix over a pre-warmed working set and record
+//! throughput plus per-op p50/p99 latency. The sharded adapter's
+//! warm-hit scaling from 1 to 4 threads is the number the CI gate
+//! checks (`--min-scaling`); on hosts with fewer than 4 cores the gate
+//! is skipped with a warning, because scaling cannot be measured there.
+//!
+//! **Daemon loopback**: boots a real `tce-serve` daemon on a loopback
+//! TCP socket, streams a small job batch through the wire protocol,
+//! drains gracefully, and records end-to-end throughput and the
+//! daemon's own p50/p99 per-request latency.
+//!
+//! The report is merged into an existing `BENCH_solver.json` under the
+//! `"serve"` key, preserving every other field of the
+//! `tce-bench/solver-eval/v1` schema.
+//!
+//! Usage: `bench_serve [--fast] [--out PATH] [--min-scaling X]`
+
+use serde::{Serialize, Value};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+use tce_cache::{CacheMap, CacheRecord, MutexLruMap, ShardedLruMap, SynthesisCache, RECORD_SCHEMA};
+use tce_core::{synthesize_dcs, SynthesisConfig};
+use tce_ir::fixtures::two_index_fused;
+use tce_serve::{percentile, read_frame, write_frame, JobRequest, JobSpec, Server, WireFrame};
+use tce_solver::CANON_VERSION;
+
+/// Shared-map working set (records resident below capacity, all hits).
+const KEYS: usize = 512;
+/// Map capacity — comfortably above the working set so the sweep
+/// measures lock contention, not eviction.
+const MAP_CAP: usize = 1024;
+
+/// One (adapter, threads) cell of the map sweep.
+#[derive(Serialize)]
+struct MapRow {
+    adapter: String,
+    threads: usize,
+    ops: u64,
+    wall_secs: f64,
+    ops_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    hit_rate: f64,
+}
+
+/// The daemon loopback phase.
+#[derive(Serialize)]
+struct DaemonRow {
+    jobs: u64,
+    wall_secs: f64,
+    jobs_per_s: f64,
+    p50_s: f64,
+    p99_s: f64,
+    hits: u64,
+    misses: u64,
+}
+
+/// The `"serve"` object merged into `BENCH_solver.json`.
+#[derive(Serialize)]
+struct ServeReport {
+    schema: &'static str,
+    fast: bool,
+    cores: usize,
+    map_rows: Vec<MapRow>,
+    /// Sharded warm-hit throughput at 4 threads over 1 thread — the CI
+    /// scaling gate's input (absent when the host can't run 4 threads).
+    sharded_scaling_1_to_4: Option<f64>,
+    daemon: DaemonRow,
+}
+
+/// A real (small) record to populate the maps with, so per-op cost
+/// includes cloning the `Arc` of a realistic payload.
+fn fixture_record(tag: u64) -> Arc<CacheRecord> {
+    let plan = synthesize_dcs(
+        &two_index_fused(64, 48),
+        &SynthesisConfig::test_scale(64 * 1024),
+    )
+    .expect("fixture synthesis")
+    .plan;
+    Arc::new(CacheRecord {
+        schema: RECORD_SCHEMA.to_string(),
+        canon_version: CANON_VERSION.to_string(),
+        fingerprint: format!("{tag:016x}"),
+        canonical_point: vec![tag as i64],
+        objective: tag as f64,
+        feasible: true,
+        evals: tag,
+        iterations: tag,
+        report: None,
+        solve_wall_s: 0.5,
+        plan,
+    })
+}
+
+fn key(i: usize) -> String {
+    format!("bench-key-{i:04x}")
+}
+
+/// Hammers `map` from `threads` pinned handles with a 90/10 get/put mix
+/// over the warm working set, `ops_per_thread` each, and returns the
+/// filled row. Deterministic per-thread LCG streams pick keys and ops.
+fn sweep_cell(
+    map: &dyn CacheMap,
+    threads: usize,
+    ops_per_thread: u64,
+    template: &Arc<CacheRecord>,
+) -> MapRow {
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut pin = map.pin();
+                    let mut lat = Vec::with_capacity(ops_per_thread as usize);
+                    // splitmix-style LCG, seeded per thread
+                    let mut state = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1);
+                    let mut step = || {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        state >> 33
+                    };
+                    for _ in 0..ops_per_thread {
+                        let k = key(step() as usize % KEYS);
+                        let is_put = step() % 10 == 0;
+                        let t0 = Instant::now();
+                        if is_put {
+                            pin.put(&k, template.clone());
+                        } else {
+                            let _ = pin.get(&k);
+                        }
+                        lat.push(t0.elapsed().as_secs_f64());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep thread"))
+            .collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let ops = ops_per_thread * threads as u64;
+    let stats = map.map_stats();
+    let lookups = (stats.found + stats.not_found).max(1);
+    MapRow {
+        adapter: map.name().to_string(),
+        threads,
+        ops,
+        wall_secs,
+        ops_per_s: ops as f64 / wall_secs.max(1e-9),
+        p50_us: percentile(&latencies, 50.0) * 1e6,
+        p99_us: percentile(&latencies, 99.0) * 1e6,
+        hit_rate: stats.found as f64 / lookups as f64,
+    }
+}
+
+fn job(name: &str, n: u64, v: u64, seed: u64) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        program: tce_ir::to_dsl(&two_index_fused(n, v)),
+        mem_limit: 64 * 1024,
+        test_scale: true,
+        strategy: None,
+        seed: Some(seed),
+        budget: None,
+        telemetry: false,
+        objective: None,
+        timeout_ms: None,
+    }
+}
+
+/// Boots the daemon on loopback, streams `jobs` through one connection,
+/// drains, and reports wire-level throughput plus the daemon's own
+/// latency percentiles.
+fn daemon_loopback(jobs: &[JobSpec]) -> DaemonRow {
+    let server = Server::builder().workers(2).build();
+    let cache = SynthesisCache::in_memory();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = AtomicBool::new(false);
+
+    let started = Instant::now();
+    let report = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            server
+                .serve(listener, &cache, &shutdown)
+                .expect("daemon run")
+        });
+        let mut client = TcpStream::connect(addr).expect("connect");
+        for (id, spec) in jobs.iter().enumerate() {
+            write_frame(
+                &mut client,
+                &WireFrame::Job(JobRequest {
+                    id: id as u64,
+                    spec: spec.clone(),
+                }),
+            )
+            .expect("send job");
+        }
+        let mut seen = 0;
+        while seen < jobs.len() {
+            match read_frame(&mut client).expect("read").expect("frame") {
+                WireFrame::Report { report, .. } => {
+                    assert!(report.ok, "bench job failed: {:?}", report.error);
+                    seen += 1;
+                }
+                WireFrame::Rejected { id, reason } => panic!("job {id} rejected: {reason}"),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        write_frame(&mut client, &WireFrame::Shutdown).expect("shutdown");
+        handle.join().expect("daemon thread")
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    DaemonRow {
+        jobs: report.summary.jobs,
+        wall_secs,
+        jobs_per_s: report.summary.jobs as f64 / wall_secs.max(1e-9),
+        p50_s: report.summary.p50_s,
+        p99_s: report.summary.p99_s,
+        hits: report.summary.hits,
+        misses: report.summary.misses,
+    }
+}
+
+/// Merges `report` under the `"serve"` key of the JSON map in `path`,
+/// preserving every other key; creates a minimal map when absent.
+fn merge_into(path: &str, report: &ServeReport) {
+    let mut entries: Vec<(String, Value)> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::parse_value(&text) {
+            Ok(Value::Map(entries)) => entries,
+            _ => panic!("{path} is not a JSON object; refusing to overwrite"),
+        },
+        Err(_) => vec![
+            (
+                "schema".to_string(),
+                Value::Str("tce-bench/solver-eval/v1".to_string()),
+            ),
+            ("fast".to_string(), Value::Bool(report.fast)),
+        ],
+    };
+    entries.retain(|(k, _)| k != "serve");
+    entries.push(("serve".to_string(), report.to_value()));
+    let json = serde_json::to_string_pretty(&Value::Map(entries)).expect("serialize report");
+    std::fs::write(path, json).expect("write report");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let min_scaling: Option<f64> = flag_value("--min-scaling").map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("--min-scaling wants a number, got {s}"))
+    });
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let ops_per_thread: u64 = if fast { 20_000 } else { 100_000 };
+    let template = fixture_record(7);
+
+    eprintln!("bench_serve: cache-map sweep ({cores} cores)...");
+    let mut map_rows = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let adapters: Vec<Box<dyn CacheMap>> = vec![
+            Box::new(MutexLruMap::new(MAP_CAP)),
+            Box::new(ShardedLruMap::auto(MAP_CAP)),
+        ];
+        for map in adapters {
+            // pre-warm so the mix runs at a ~100% hit rate
+            for i in 0..KEYS {
+                map.put(&key(i), template.clone());
+            }
+            let row = sweep_cell(map.as_ref(), threads, ops_per_thread, &template);
+            eprintln!(
+                "  {:<8} x{} {:>10.0} ops/s  p50 {:>7.2}us  p99 {:>7.2}us  hits {:.3}",
+                row.adapter, row.threads, row.ops_per_s, row.p50_us, row.p99_us, row.hit_rate
+            );
+            map_rows.push(row);
+        }
+    }
+
+    let throughput = |adapter: &str, threads: usize| {
+        map_rows
+            .iter()
+            .find(|r| r.adapter == adapter && r.threads == threads)
+            .map(|r| r.ops_per_s)
+    };
+    let sharded_scaling_1_to_4 = if cores >= 4 {
+        match (throughput("sharded_lru", 4), throughput("sharded_lru", 1)) {
+            (Some(four), Some(one)) => Some(four / one.max(1e-9)),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    eprintln!("bench_serve: daemon loopback...");
+    let n_jobs = if fast { 4 } else { 8 };
+    let jobs: Vec<JobSpec> = (0..n_jobs)
+        .map(|i| {
+            // half the batch repeats a fingerprint so the daemon's cache
+            // and single-flight paths both light up
+            let (n, v) = if i % 2 == 0 { (64, 48) } else { (48, 64) };
+            job(&format!("bench-{i}"), n, v, 2004 + (i as u64 / 4))
+        })
+        .collect();
+    let daemon = daemon_loopback(&jobs);
+    eprintln!(
+        "  {} jobs in {:.3}s ({:.1} jobs/s, p50 {:.4}s, p99 {:.4}s, {} hits / {} misses)",
+        daemon.jobs,
+        daemon.wall_secs,
+        daemon.jobs_per_s,
+        daemon.p50_s,
+        daemon.p99_s,
+        daemon.hits,
+        daemon.misses
+    );
+
+    let report = ServeReport {
+        schema: "tce-bench/serve/v1",
+        fast,
+        cores,
+        map_rows,
+        sharded_scaling_1_to_4,
+        daemon,
+    };
+    merge_into(&out, &report);
+    match report.sharded_scaling_1_to_4 {
+        Some(s) => {
+            eprintln!("bench_serve: sharded 1->4 thread scaling {s:.2}x -> {out} (serve key)")
+        }
+        None => eprintln!(
+            "bench_serve: host has {cores} core(s); 1->4 scaling not measured -> {out} (serve key)"
+        ),
+    }
+
+    if let Some(min) = min_scaling {
+        match report.sharded_scaling_1_to_4 {
+            Some(s) if s < min => {
+                eprintln!("bench_serve: FAIL — sharded scaling {s:.2}x below required {min}x");
+                std::process::exit(1);
+            }
+            Some(s) => eprintln!("bench_serve: scaling gate passed ({s:.2}x >= {min}x)"),
+            None => eprintln!(
+                "bench_serve: WARNING — scaling gate skipped ({cores} core(s) < 4 on this host)"
+            ),
+        }
+    }
+}

@@ -14,7 +14,8 @@
 //! * cache values are full solver outcomes plus the generated plan,
 //!   stored as versioned, integrity-hashed JSON records
 //!   ([`record::CacheRecord`]) in a content-addressed directory fronted
-//!   by an in-memory LRU ([`SynthesisCache`]);
+//!   by a swappable in-memory concurrent map ([`SynthesisCache`] over the
+//!   [`map::CacheMap`] seam — lock-striped sharded LRU by default);
 //! * on a hit the stored point is *revalidated* against the request's own
 //!   model before being replayed through `finish_dcs`, so collisions
 //!   degrade to misses and a hit returns a bit-identical
@@ -29,6 +30,7 @@
 
 pub mod cached;
 pub mod fsfault;
+pub mod map;
 pub mod record;
 pub mod store;
 
@@ -37,6 +39,10 @@ pub use cached::{
     CachedSynthesis, PreparedRequest,
 };
 pub use fsfault::{FsFaultInjector, FsFaultKind, FsFaultPlan};
+pub use map::{
+    map_from_env, CacheMap, CacheMapHandle, MapStats, MutexLruMap, ShardedLruMap, MAP_KIND_ENV,
+    SHARDS_ENV,
+};
 pub use record::{CacheRecord, RECORD_SCHEMA};
 pub use store::{CacheStats, SynthesisCache, CACHE_DIR_ENV, DEFAULT_LRU_CAP, LRU_CAP_ENV};
 

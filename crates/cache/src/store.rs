@@ -1,18 +1,24 @@
-//! Cache storage: a content-addressed on-disk store fronted by an
-//! in-memory LRU.
+//! Cache storage: a content-addressed on-disk store fronted by a
+//! swappable in-memory map (see [`crate::map`]).
 //!
 //! Disk layout is one file per request fingerprint,
 //! `<dir>/<fingerprint>.json`, each an integrity-checked envelope (see
 //! [`crate::record`]). Corrupt or stale entries are *quarantined* — renamed
 //! to `<name>.corrupt` so the evidence survives for debugging — and treated
 //! as misses; the cache never panics on bad cache state.
+//!
+//! All lifetime counters ([`CacheStats`]) live in lock-free atomics so a
+//! stats read can never contend with — or diverge from — the map itself;
+//! fractional seconds accumulate through a compare-exchange loop on the
+//! `f64` bit pattern.
 
 use crate::fsfault::{self, FsFaultInjector, FsFaultPlan};
+use crate::map::{map_from_env, CacheMap, MapStats, ShardedLruMap};
 use crate::record::CacheRecord;
-use parking_lot::Mutex;
 use std::fs;
 use std::io::{self, ErrorKind};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default in-memory LRU capacity (records, not bytes).
@@ -42,39 +48,46 @@ pub struct CacheStats {
     pub solver_wall_saved_s: f64,
 }
 
-/// Tiny exact-capacity LRU; the working set is small (records are a few
-/// KB) so a scan-based list beats a linked-map here.
-struct Lru {
-    cap: usize,
-    entries: Vec<(String, Arc<CacheRecord>)>,
+/// Lock-free counter cell backing [`CacheStats`]. One increment is one
+/// atomic op; the only multi-step path is the `f64` accumulator, which
+/// CAS-loops on the bit pattern.
+#[derive(Default)]
+struct AtomicCacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejects: AtomicU64,
+    quarantined: AtomicU64,
+    orphans_swept: AtomicU64,
+    /// `f64::to_bits` of the accumulated saved seconds.
+    saved_bits: AtomicU64,
 }
 
-impl Lru {
-    fn new(cap: usize) -> Self {
-        Lru {
-            cap,
-            entries: Vec::new(),
+impl AtomicCacheStats {
+    fn add_saved(&self, delta: f64) {
+        let mut cur = self.saved_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.saved_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
         }
     }
 
-    fn get(&mut self, key: &str) -> Option<Arc<CacheRecord>> {
-        let pos = self.entries.iter().position(|(k, _)| k == key)?;
-        let entry = self.entries.remove(pos);
-        let rec = entry.1.clone();
-        self.entries.insert(0, entry);
-        Some(rec)
-    }
-
-    fn put(&mut self, key: String, rec: Arc<CacheRecord>) {
-        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
-            self.entries.remove(pos);
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            orphans_swept: self.orphans_swept.load(Ordering::Relaxed),
+            solver_wall_saved_s: f64::from_bits(self.saved_bits.load(Ordering::Relaxed)),
         }
-        self.entries.insert(0, (key, rec));
-        self.entries.truncate(self.cap);
-    }
-
-    fn len(&self) -> usize {
-        self.entries.len()
     }
 }
 
@@ -191,11 +204,14 @@ fn sweep_orphans(dir: &Path) -> u64 {
     swept
 }
 
-/// The synthesis cache: in-memory LRU over an optional disk store.
+/// The synthesis cache: a swappable in-memory map over an optional disk
+/// store. The map adapter defaults to the lock-striped
+/// [`ShardedLruMap`](crate::map::ShardedLruMap); see [`crate::map`] for
+/// the selection environment variables.
 pub struct SynthesisCache {
     disk: Option<DiskStore>,
-    lru: Mutex<Lru>,
-    stats: Mutex<CacheStats>,
+    map: Box<dyn CacheMap>,
+    stats: AtomicCacheStats,
 }
 
 impl SynthesisCache {
@@ -206,10 +222,16 @@ impl SynthesisCache {
 
     /// A purely in-memory cache holding at most `cap` records.
     pub fn with_capacity(cap: usize) -> Self {
+        SynthesisCache::with_map(Box::new(ShardedLruMap::auto(cap)))
+    }
+
+    /// A purely in-memory cache over an explicit map adapter — the
+    /// benchmark entry point for racing adapters against each other.
+    pub fn with_map(map: Box<dyn CacheMap>) -> Self {
         SynthesisCache {
             disk: None,
-            lru: Mutex::new(Lru::new(cap.max(1))),
-            stats: Mutex::new(CacheStats::default()),
+            map,
+            stats: AtomicCacheStats::default(),
         }
     }
 
@@ -234,19 +256,22 @@ impl SynthesisCache {
     }
 
     fn attach_disk(&mut self, disk: DiskStore) {
-        self.stats.lock().orphans_swept += disk.swept;
+        self.stats
+            .orphans_swept
+            .fetch_add(disk.swept, Ordering::Relaxed);
         self.disk = Some(disk);
     }
 
     /// Builds a cache from the environment: disk-backed when
-    /// [`CACHE_DIR_ENV`] is set, in-memory otherwise; LRU capacity from
-    /// [`LRU_CAP_ENV`] when it parses.
+    /// [`CACHE_DIR_ENV`] is set, in-memory otherwise; capacity from
+    /// [`LRU_CAP_ENV`] when it parses; map adapter per
+    /// [`crate::map::MAP_KIND_ENV`] / [`crate::map::SHARDS_ENV`].
     pub fn from_env() -> Result<Self, String> {
         let cap = std::env::var(LRU_CAP_ENV)
             .ok()
             .and_then(|s| s.parse::<usize>().ok())
             .unwrap_or(DEFAULT_LRU_CAP);
-        let mut cache = SynthesisCache::with_capacity(cap);
+        let mut cache = SynthesisCache::with_map(map_from_env(cap));
         if let Some(dir) = std::env::var_os(CACHE_DIR_ENV) {
             cache.attach_disk(DiskStore::new(PathBuf::from(dir))?);
         }
@@ -258,27 +283,27 @@ impl SynthesisCache {
         self.disk.as_ref().map(|d| d.dir.as_path())
     }
 
-    /// Looks up `key`, promoting disk entries into the LRU.
+    /// Looks up `key`, promoting disk entries into the in-memory map.
     pub fn get(&self, key: &str) -> Option<Arc<CacheRecord>> {
-        if let Some(rec) = self.lru.lock().get(key) {
+        if let Some(rec) = self.map.get(key) {
             return Some(rec);
         }
         let disk = self.disk.as_ref()?;
         let (rec, quarantined) = disk.load(key);
         if quarantined {
-            self.stats.lock().quarantined += 1;
+            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
         }
         let rec = Arc::new(rec?);
-        self.lru.lock().put(key.to_string(), rec.clone());
+        self.map.put(key, rec.clone());
         Some(rec)
     }
 
-    /// Stores a record under `key` in the LRU and (when configured) on
+    /// Stores a record under `key` in memory and (when configured) on
     /// disk. Disk write failures are reported but the in-memory insert
     /// still happens.
     pub fn put(&self, key: &str, rec: CacheRecord) -> Result<(), String> {
         let rec = Arc::new(rec);
-        self.lru.lock().put(key.to_string(), rec.clone());
+        self.map.put(key, rec.clone());
         if let Some(disk) = &self.disk {
             disk.save(key, &rec)?;
         }
@@ -287,28 +312,36 @@ impl SynthesisCache {
 
     /// Number of records currently resident in memory.
     pub fn resident(&self) -> usize {
-        self.lru.lock().len()
+        self.map.resident()
     }
 
     /// Snapshot of the lifetime counters.
     pub fn stats(&self) -> CacheStats {
-        self.stats.lock().clone()
+        self.stats.snapshot()
+    }
+
+    /// The in-memory map adapter's name (for reports and benchmarks).
+    pub fn map_name(&self) -> &'static str {
+        self.map.name()
+    }
+
+    /// The in-memory map adapter's own operation counters.
+    pub fn map_stats(&self) -> MapStats {
+        self.map.map_stats()
     }
 
     pub(crate) fn note_hit(&self, saved_s: f64) {
-        let mut s = self.stats.lock();
-        s.hits += 1;
-        s.solver_wall_saved_s += saved_s;
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        self.stats.add_saved(saved_s);
     }
 
     pub(crate) fn note_miss(&self) {
-        self.stats.lock().misses += 1;
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_reject(&self) {
-        let mut s = self.stats.lock();
-        s.rejects += 1;
-        s.misses += 1;
+        self.stats.rejects.fetch_add(1, Ordering::Relaxed);
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -346,6 +379,34 @@ mod tests {
         assert!(cache.get("b").is_none(), "b should have been evicted");
         assert!(cache.get("a").is_some());
         assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn concurrent_hits_keep_stats_and_map_consistent() {
+        // the split-lock regression test: hammer hits/misses from many
+        // threads and require the atomic counters to add up exactly
+        let cache = SynthesisCache::with_capacity(64);
+        cache.put("hot", record(1)).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..250u64 {
+                        if cache.get("hot").is_some() {
+                            cache.note_hit(0.25);
+                        }
+                        if cache.get(&format!("cold-{i}")).is_none() {
+                            cache.note_miss();
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1000, 1000));
+        assert!((stats.solver_wall_saved_s - 250.0).abs() < 1e-9);
+        let map = cache.map_stats();
+        assert_eq!(map.found, 1000);
     }
 
     #[test]

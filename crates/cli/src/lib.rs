@@ -5,7 +5,9 @@
 //! tce check <file.tce>                      parse, validate, pretty-print
 //! tce synthesize <file.tce> [options]       out-of-core synthesis
 //! tce run <file.tce> [options]              synthesize + execute
-//! tce serve --batch <jobs.json> | --stdin   concurrent batch synthesis
+//! tce serve --batch <jobs.json> | --stdin | --listen <addr>
+//!                                           batch / streaming / daemon
+//!                                           synthesis service
 //! ```
 //!
 //! Options:
@@ -40,6 +42,13 @@
 //!                         latest checkpoint automatically
 //! --batch <jobs.json>     (serve) batch jobs file
 //! --stdin                 (serve) one job JSON object per stdin line
+//! --listen <addr>         (serve) persistent daemon on a TCP address
+//!                         (e.g. 127.0.0.1:7411) speaking the
+//!                         length-prefixed JSON wire protocol; prints
+//!                         the final report after a graceful drain
+//! --queue <n>             (serve) admission-queue bound for --listen;
+//!                         beyond it jobs are rejected with
+//!                         `queue_full` (default 64)
 //! --workers <n>           (serve) worker pool size (default: all cores)
 //! --cache-dir <dir>       (serve) on-disk synthesis cache (default:
 //!                         $TCE_CACHE_DIR, else in-memory only)
@@ -114,21 +123,66 @@ pub struct Cli {
     pub retry: Option<RetryPolicy>,
     /// Checkpoint at tile boundaries and auto-restart failed runs.
     pub resume: bool,
-    /// (serve) Batch jobs file.
+    /// Everything `tce serve` needs, in one place.
+    pub serve: ServeOptions,
+}
+
+/// The resolved configuration of `tce serve`: exactly one input mode
+/// (`--batch`, `--stdin`, or `--listen`) plus the shared pool, cache,
+/// and journal knobs. All three modes run the same engine behind
+/// [`tce_serve::Server`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeOptions {
+    /// Batch jobs file (`--batch`).
     pub batch: Option<String>,
-    /// (serve) Read JSON-lines jobs from stdin.
+    /// Read JSON-lines jobs from stdin (`--stdin`).
     pub stdin_jobs: bool,
-    /// (serve) Worker pool size (`0` = all cores).
+    /// TCP address for the persistent daemon (`--listen`).
+    pub listen: Option<String>,
+    /// Worker pool size (`0` = all cores).
     pub workers: usize,
-    /// (serve) Synthesis-cache directory (default: `TCE_CACHE_DIR` or
-    /// in-memory only).
+    /// Admission-queue bound for the daemon (`0` = the library default).
+    pub queue: usize,
+    /// Synthesis-cache directory (default: `TCE_CACHE_DIR` or in-memory
+    /// only).
     pub cache_dir: Option<String>,
-    /// (serve) Per-job wall-clock deadline in seconds.
+    /// Per-job wall-clock deadline in seconds.
     pub job_timeout: Option<f64>,
-    /// (serve) Write-ahead journal path.
+    /// Write-ahead journal path.
     pub journal: Option<String>,
-    /// (serve) Resume a crashed batch from `--journal`.
+    /// Resume a crashed batch or daemon from `--journal`.
     pub resume_journal: bool,
+}
+
+impl ServeOptions {
+    /// How many input modes were selected (must end up exactly 1).
+    fn modes(&self) -> usize {
+        usize::from(self.batch.is_some())
+            + usize::from(self.stdin_jobs)
+            + usize::from(self.listen.is_some())
+    }
+
+    /// Whether any serve-only flag was used at all — for rejecting them
+    /// on non-serve commands.
+    fn any_set(&self) -> bool {
+        *self != ServeOptions::default()
+    }
+
+    /// Builds the [`tce_serve::Server`] this configuration describes.
+    fn server(&self) -> tce_serve::Server {
+        let mut b = tce_serve::Server::builder()
+            .workers(self.workers)
+            .job_timeout(self.job_timeout.map(std::time::Duration::from_secs_f64))
+            .journal(self.journal.as_ref().map(|path| tce_serve::JournalConfig {
+                path: path.into(),
+                resume: self.resume_journal,
+                faults: tce_cache::FsFaultPlan::none(),
+            }));
+        if self.queue > 0 {
+            b = b.queue_cap(self.queue);
+        }
+        b.build()
+    }
 }
 
 /// Subcommands.
@@ -405,13 +459,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         faults: None,
         retry: None,
         resume: false,
-        batch: None,
-        stdin_jobs: false,
-        workers: 0,
-        cache_dir: None,
-        job_timeout: None,
-        journal: None,
-        resume_journal: false,
+        serve: ServeOptions::default(),
     };
 
     while let Some(arg) = it.next() {
@@ -500,14 +548,23 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             "--faults" => cli.faults = Some(parse_faults(&value("--faults")?)?),
             "--retry" => cli.retry = Some(parse_retry(&value("--retry")?)?),
             "--resume" => cli.resume = true,
-            "--batch" => cli.batch = Some(value("--batch")?),
-            "--stdin" => cli.stdin_jobs = true,
+            "--batch" => cli.serve.batch = Some(value("--batch")?),
+            "--stdin" => cli.serve.stdin_jobs = true,
+            "--listen" => cli.serve.listen = Some(value("--listen")?),
+            "--queue" => {
+                cli.serve.queue = value("--queue")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--queue needs an integer"))?;
+                if cli.serve.queue == 0 {
+                    return Err(CliError::usage("--queue must be at least 1"));
+                }
+            }
             "--workers" => {
-                cli.workers = value("--workers")?
+                cli.serve.workers = value("--workers")?
                     .parse()
                     .map_err(|_| CliError::usage("--workers needs an integer"))?
             }
-            "--cache-dir" => cli.cache_dir = Some(value("--cache-dir")?),
+            "--cache-dir" => cli.serve.cache_dir = Some(value("--cache-dir")?),
             "--job-timeout" => {
                 let secs: f64 = value("--job-timeout")?
                     .parse()
@@ -515,10 +572,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 if !secs.is_finite() || secs <= 0.0 {
                     return Err(CliError::usage("--job-timeout must be positive"));
                 }
-                cli.job_timeout = Some(secs);
+                cli.serve.job_timeout = Some(secs);
             }
-            "--journal" => cli.journal = Some(value("--journal")?),
-            "--resume-journal" => cli.resume_journal = true,
+            "--journal" => cli.serve.journal = Some(value("--journal")?),
+            "--resume-journal" => cli.serve.resume_journal = true,
             other => return Err(CliError::usage(format!("unknown option `{other}`"))),
         }
     }
@@ -529,26 +586,23 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         return Err(CliError::usage("--resume requires --full"));
     }
     if cli.command == Command::Serve {
-        if cli.batch.is_some() == cli.stdin_jobs {
+        if cli.serve.modes() != 1 {
             return Err(CliError::usage(
-                "serve needs exactly one of --batch <jobs.json> or --stdin",
+                "serve needs exactly one of --batch <jobs.json>, --stdin, or --listen <addr>",
             ));
         }
-        if cli.resume_journal && cli.journal.is_none() {
+        if cli.serve.resume_journal && cli.serve.journal.is_none() {
             return Err(CliError::usage(
                 "--resume-journal requires --journal <path>",
             ));
         }
-    } else if cli.batch.is_some()
-        || cli.stdin_jobs
-        || cli.cache_dir.is_some()
-        || cli.job_timeout.is_some()
-        || cli.journal.is_some()
-        || cli.resume_journal
-    {
+        if cli.serve.queue > 0 && cli.serve.listen.is_none() {
+            return Err(CliError::usage("--queue only applies to --listen mode"));
+        }
+    } else if cli.serve.any_set() {
         return Err(CliError::usage(
-            "--batch/--stdin/--cache-dir/--job-timeout/--journal/--resume-journal \
-             only apply to `tce serve`",
+            "--batch/--stdin/--listen/--queue/--workers/--cache-dir/--job-timeout/\
+             --journal/--resume-journal only apply to `tce serve`",
         ));
     }
     Ok(cli)
@@ -587,38 +641,47 @@ fn synthesize(program: &Program, cli: &Cli) -> Result<SynthesisResult, CliError>
     result.map_err(|e| CliError::runtime(format!("synthesis failed: {e}")))
 }
 
-/// Runs the batch synthesis service: jobs in as JSON, report out as JSON.
+/// Runs the synthesis service in whichever mode [`ServeOptions`]
+/// selected: jobs in as JSON (file, stdin lines, or wire frames), report
+/// out as JSON.
 fn run_serve(cli: &Cli, out: &mut String) -> Result<(), CliError> {
-    let cache = match &cli.cache_dir {
+    let serve = &cli.serve;
+    let cache = match &serve.cache_dir {
         Some(dir) => tce_cache::SynthesisCache::with_dir(dir).map_err(CliError::runtime)?,
         None => tce_cache::SynthesisCache::from_env().map_err(CliError::runtime)?,
     };
-    let opts = tce_serve::BatchOptions {
-        workers: cli.workers,
-        job_timeout: cli.job_timeout.map(std::time::Duration::from_secs_f64),
-        journal: cli.journal.as_ref().map(|path| tce_serve::JournalConfig {
-            path: path.into(),
-            resume: cli.resume_journal,
-            faults: tce_cache::FsFaultPlan::none(),
-        }),
-        ..tce_serve::BatchOptions::default()
-    };
-    if cli.stdin_jobs {
+    let server = serve.server();
+    if let Some(addr) = &serve.listen {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| CliError::runtime(format!("cannot listen on `{addr}`: {e}")))?;
+        if let Ok(local) = listener.local_addr() {
+            // announce readiness (and the resolved port) on stderr so
+            // scripts driving `--listen 127.0.0.1:0` can find the daemon
+            eprintln!("tce: serving on {local}");
+        }
+        let shutdown = std::sync::atomic::AtomicBool::new(false);
+        let report = server
+            .serve(listener, &cache, &shutdown)
+            .map_err(CliError::runtime)?;
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| CliError::runtime(format!("cannot serialize report: {e:?}")))?;
+        out.push_str(&json);
+        out.push('\n');
+    } else if serve.stdin_jobs {
         let mut input = String::new();
         std::io::Read::read_to_string(&mut std::io::stdin(), &mut input)
             .map_err(|e| CliError::runtime(format!("cannot read stdin: {e}")))?;
-        let (_, lines) =
-            tce_serve::run_lines_with(&input, &opts, &cache).map_err(CliError::usage)?;
+        let (_, lines) = server.run_lines(&input, &cache).map_err(CliError::usage)?;
         out.push_str(&lines);
     } else {
-        let path = cli
+        let path = serve
             .batch
             .as_ref()
-            .ok_or_else(|| CliError::usage("serve needs --batch <jobs.json> or --stdin"))?;
+            .ok_or_else(|| CliError::usage("serve needs --batch, --stdin, or --listen"))?;
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::runtime(format!("cannot read `{path}`: {e}")))?;
         let jobs = tce_serve::parse_jobs_file(&text).map_err(CliError::usage)?;
-        let report = tce_serve::run_batch_with(&jobs, &opts, &cache).map_err(CliError::runtime)?;
+        let report = server.run_batch(&jobs, &cache).map_err(CliError::runtime)?;
         let json = serde_json::to_string_pretty(&report)
             .map_err(|e| CliError::runtime(format!("cannot serialize report: {e:?}")))?;
         out.push_str(&json);
@@ -1041,24 +1104,93 @@ mod tests {
         // serve needs exactly one input source
         assert!(parse_args(&args("serve")).is_err());
         assert!(parse_args(&args("serve --batch a.json --stdin")).is_err());
+        assert!(parse_args(&args("serve --batch a.json --listen 127.0.0.1:0")).is_err());
+        assert!(parse_args(&args("serve --stdin --listen 127.0.0.1:0")).is_err());
         // serve-only flags rejected elsewhere
         assert!(parse_args(&args("check f.tce --batch a.json")).is_err());
         assert!(parse_args(&args("check f.tce --job-timeout 5")).is_err());
         assert!(parse_args(&args("check f.tce --journal j.log")).is_err());
+        assert!(parse_args(&args("check f.tce --listen 127.0.0.1:0")).is_err());
+        assert!(parse_args(&args("check f.tce --workers 2")).is_err());
         // --resume-journal needs --journal; --job-timeout must be positive
         assert!(parse_args(&args("serve --batch a.json --resume-journal")).is_err());
         assert!(parse_args(&args("serve --batch a.json --job-timeout 0")).is_err());
+        // --queue is daemon-only and must be positive
+        assert!(parse_args(&args("serve --batch a.json --queue 8")).is_err());
+        assert!(parse_args(&args("serve --listen 127.0.0.1:0 --queue 0")).is_err());
         let cli = parse_args(&args(
             "serve --batch jobs.json --workers 4 --job-timeout 2.5 \
              --journal j.log --resume-journal",
         ))
         .unwrap();
         assert_eq!(cli.command, Command::Serve);
-        assert_eq!(cli.batch.as_deref(), Some("jobs.json"));
-        assert_eq!(cli.workers, 4);
-        assert_eq!(cli.job_timeout, Some(2.5));
-        assert_eq!(cli.journal.as_deref(), Some("j.log"));
-        assert!(cli.resume_journal);
+        assert_eq!(cli.serve.batch.as_deref(), Some("jobs.json"));
+        assert_eq!(cli.serve.workers, 4);
+        assert_eq!(cli.serve.job_timeout, Some(2.5));
+        assert_eq!(cli.serve.journal.as_deref(), Some("j.log"));
+        assert!(cli.serve.resume_journal);
+
+        let cli = parse_args(&args("serve --listen 127.0.0.1:7411 --queue 8 --workers 2")).unwrap();
+        assert_eq!(cli.serve.listen.as_deref(), Some("127.0.0.1:7411"));
+        assert_eq!(cli.serve.queue, 8);
+        assert_eq!(cli.serve.modes(), 1);
+    }
+
+    #[test]
+    fn listen_mode_serves_over_tcp_and_drains() {
+        use std::io::{Read as _, Write as _};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let file = write_fixture();
+        let dsl = std::fs::read_to_string(&file).unwrap();
+
+        // the CLI layer on a real socket: bind here, hand the listener
+        // to the same server ServeOptions::server() builds
+        let cli = parse_args(&args("serve --listen 127.0.0.1:0 --queue 4 --workers 1")).unwrap();
+        let server = cli.serve.server();
+        let cache = tce_cache::SynthesisCache::in_memory();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.serve(listener, &cache, &shutdown).unwrap());
+
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            let spec = tce_serve::JobSpec {
+                name: "cli-wire".to_string(),
+                program: dsl.clone(),
+                mem_limit: 8192,
+                test_scale: true,
+                strategy: None,
+                seed: None,
+                budget: None,
+                telemetry: false,
+                objective: None,
+                timeout_ms: None,
+            };
+            tce_serve::write_frame(
+                &mut stream,
+                &tce_serve::WireFrame::Job(tce_serve::JobRequest { id: 7, spec }),
+            )
+            .unwrap();
+            stream.flush().unwrap();
+            match tce_serve::read_frame(&mut stream).unwrap().unwrap() {
+                tce_serve::WireFrame::Report { id, report } => {
+                    assert_eq!(id, 7);
+                    assert!(report.ok, "{report:?}");
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+            tce_serve::write_frame(&mut stream, &tce_serve::WireFrame::Shutdown).unwrap();
+            stream.flush().unwrap();
+            let report = handle.join().unwrap();
+            assert_eq!(report.summary.ok, 1);
+            // the read half drains to EOF once the daemon is gone
+            let mut rest = Vec::new();
+            let _ = stream.read_to_end(&mut rest);
+        });
+        shutdown.store(true, Ordering::Relaxed);
     }
 
     #[test]

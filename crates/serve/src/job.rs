@@ -111,6 +111,40 @@ impl JobSpec {
         JobSpec::from_value(&v)
     }
 
+    /// Serializes the spec as a JSON object — the inverse of
+    /// [`JobSpec::from_value`]. Wire frames and the serve journal's
+    /// spec-carrying admissions embed specs this way so a resumed daemon
+    /// can reconstruct its jobs from the journal alone.
+    pub fn to_value(&self) -> Value {
+        fn opt_str(v: &Option<String>) -> Value {
+            v.as_ref().map_or(Value::Null, |s| Value::Str(s.clone()))
+        }
+        fn opt_u64(v: &Option<u64>) -> Value {
+            v.map_or(Value::Null, Value::UInt)
+        }
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("program".to_string(), Value::Str(self.program.clone())),
+            ("mem_limit".to_string(), Value::UInt(self.mem_limit)),
+            ("test_scale".to_string(), Value::Bool(self.test_scale)),
+            ("telemetry".to_string(), Value::Bool(self.telemetry)),
+        ];
+        // optional fields are omitted when unset so the round trip through
+        // `from_value` (which treats Null as a type error) is lossless
+        for (name, value) in [
+            ("strategy", opt_str(&self.strategy)),
+            ("seed", opt_u64(&self.seed)),
+            ("budget", opt_u64(&self.budget)),
+            ("objective", opt_str(&self.objective)),
+            ("timeout_ms", opt_u64(&self.timeout_ms)),
+        ] {
+            if value != Value::Null {
+                fields.push((name.to_string(), value));
+            }
+        }
+        Value::Map(fields)
+    }
+
     /// Parses the job's program text.
     pub fn parse_program(&self) -> Result<Program, String> {
         tce_ir::parse_program(&self.program).map_err(|e| format!("invalid program: {e}"))
@@ -333,6 +367,21 @@ pub struct BatchSummary {
     pub solver_wall_saved_s: f64,
     /// Batch wall-clock seconds.
     pub wall_s: f64,
+    /// Median per-request latency in seconds (admission → report), over
+    /// the jobs this run actually executed; 0 when none ran.
+    pub p50_s: f64,
+    /// 99th-percentile per-request latency in seconds.
+    pub p99_s: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency sample;
+/// `0.0` on an empty sample. `p` is in percent (e.g. `99.0`).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// The machine-readable batch report.
@@ -406,5 +455,48 @@ mod tests {
         let err =
             JobSpec::from_json_line(r#"{"name": "x", "program": "range i = 4"}"#).unwrap_err();
         assert!(err.contains("mem_limit"), "{err}");
+    }
+
+    #[test]
+    fn spec_to_value_round_trips_losslessly() {
+        let full = JobSpec {
+            name: "full".to_string(),
+            program: "range i = 4\n".to_string(),
+            mem_limit: 4096,
+            test_scale: true,
+            strategy: Some("dlm".to_string()),
+            seed: Some(7),
+            budget: Some(100),
+            telemetry: true,
+            objective: Some("time".to_string()),
+            timeout_ms: Some(250),
+        };
+        let sparse = JobSpec {
+            name: "sparse".to_string(),
+            program: "range i = 4\n".to_string(),
+            mem_limit: 1024,
+            test_scale: true,
+            strategy: None,
+            seed: None,
+            budget: None,
+            telemetry: false,
+            objective: None,
+            timeout_ms: None,
+        };
+        for spec in [full, sparse] {
+            let back = JobSpec::from_value(&spec.to_value()).expect("round trip");
+            assert_eq!(spec_digest(&back), spec_digest(&spec), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[3.0], 50.0), 3.0);
+        assert_eq!(percentile(&[3.0], 99.0), 3.0);
+        let sample: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sample, 50.0), 50.0);
+        assert_eq!(percentile(&sample, 99.0), 99.0);
+        assert_eq!(percentile(&sample, 100.0), 100.0);
     }
 }

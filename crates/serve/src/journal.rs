@@ -44,6 +44,15 @@ pub const JOURNAL_SCHEMA: &str = "tce-serve/journal/v1";
 pub struct JournalState {
     /// `(jobs, digest)` from the header line, if one was readable.
     pub header: Option<(u64, u64)>,
+    /// Whether the journal carries a daemon (`serve`) header: jobs were
+    /// admitted one at a time over the wire rather than from a jobs file,
+    /// so there is no up-front batch digest to check — each admission
+    /// carries its own full spec instead.
+    pub serve: bool,
+    /// Full specs of jobs a daemon admitted (`admit_spec` lines), by
+    /// admission index — the only source of jobs when resuming a daemon
+    /// journal.
+    pub specs: HashMap<usize, JobSpec>,
     /// Reports of jobs that finished before the crash, by submission
     /// index — reused verbatim on resume.
     pub done: HashMap<usize, JobReport>,
@@ -77,6 +86,27 @@ pub fn replay(path: &Path) -> JournalState {
                     matches!(v.get("schema"), Some(Value::Str(s)) if s == JOURNAL_SCHEMA);
                 match (schema_ok, jobs, digest) {
                     (true, Some(j), Some(d)) => state.header = Some((j, d)),
+                    _ => state.skipped_lines += 1,
+                }
+            }
+            Some(Value::Str(ev)) if ev == "serve" => {
+                if matches!(v.get("schema"), Some(Value::Str(s)) if s == JOURNAL_SCHEMA) {
+                    state.serve = true;
+                } else {
+                    state.skipped_lines += 1;
+                }
+            }
+            Some(Value::Str(ev)) if ev == "admit_spec" => {
+                let idx = u64_field(&v, "job");
+                let spec = v.get("spec").map(JobSpec::from_value);
+                match (idx, spec) {
+                    (Some(idx), Some(Ok(spec)))
+                        if u64_field(&v, "digest") == Some(spec_digest(&spec)) =>
+                    {
+                        state.specs.insert(idx as usize, spec);
+                    }
+                    // a torn or fault-damaged admission is dropped whole:
+                    // better to lose the job than resume a wrong spec
                     _ => state.skipped_lines += 1,
                 }
             }
@@ -175,6 +205,42 @@ impl JournalWriter {
             ("schema".to_string(), Value::Str(JOURNAL_SCHEMA.to_string())),
             ("jobs".to_string(), Value::UInt(jobs.len() as u64)),
             ("digest".to_string(), Value::UInt(batch_digest(jobs))),
+        ]));
+    }
+
+    /// Appends the daemon header line. Unlike a batch header there is no
+    /// job count or batch digest — a daemon's jobs stream in over the
+    /// wire, so each admission carries its full spec instead
+    /// ([`JournalWriter::admit_spec`]).
+    pub fn serve_header(&self) {
+        self.append(&Value::Map(vec![
+            ("ev".to_string(), Value::Str("serve".to_string())),
+            ("schema".to_string(), Value::Str(JOURNAL_SCHEMA.to_string())),
+        ]));
+    }
+
+    /// Appends a spec-carrying admission line (daemon mode): written
+    /// *before* the job enters the run queue, so a crash can lose at most
+    /// jobs the client was never promised.
+    pub fn admit_spec(&self, idx: usize, spec: &JobSpec) {
+        self.append(&Value::Map(vec![
+            ("ev".to_string(), Value::Str("admit_spec".to_string())),
+            ("job".to_string(), Value::UInt(idx as u64)),
+            ("digest".to_string(), Value::UInt(spec_digest(spec))),
+            ("spec".to_string(), spec.to_value()),
+        ]));
+    }
+
+    /// Appends a latency-telemetry line (daemon drain): resume ignores it,
+    /// it exists so post-hoc analysis of a journal sees the same p50/p99
+    /// the report carried.
+    pub fn stats(&self, completed: u64, rejected: u64, p50_s: f64, p99_s: f64) {
+        self.append(&Value::Map(vec![
+            ("ev".to_string(), Value::Str("stats".to_string())),
+            ("completed".to_string(), Value::UInt(completed)),
+            ("rejected".to_string(), Value::UInt(rejected)),
+            ("p50_s".to_string(), Value::Float(p50_s)),
+            ("p99_s".to_string(), Value::Float(p99_s)),
         ]));
     }
 
@@ -283,6 +349,48 @@ mod tests {
             batch_digest(&b),
             "any spec change must change the batch digest"
         );
+    }
+
+    #[test]
+    fn serve_journal_round_trips_specs_and_tolerates_torn_admissions() {
+        use crate::job::spec_digest;
+        let path = temp_journal("serve");
+        let jobs = [spec("a"), spec("b"), spec("c")];
+        let w = JournalWriter::open(&path, true, None).unwrap();
+        w.serve_header();
+        for (i, s) in jobs.iter().enumerate() {
+            w.admit_spec(i, s);
+        }
+        w.start(0);
+        w.done(0, &JobReport::failed("a", "", "nope".into(), 0.0));
+        w.stats(1, 0, 0.5, 0.9);
+        drop(w);
+
+        let state = replay(&path);
+        assert!(state.serve);
+        assert!(state.header.is_none());
+        assert_eq!(state.specs.len(), 3);
+        assert_eq!(spec_digest(&state.specs[&2]), spec_digest(&jobs[2]));
+        assert_eq!(state.done.len(), 1);
+        assert_eq!(state.skipped_lines, 0, "stats lines are benign");
+
+        // tear the last admission in half: that job is dropped whole, the
+        // earlier ones survive
+        let text = fs::read_to_string(&path).unwrap();
+        let torn: Vec<&str> = text
+            .lines()
+            .map(|l| {
+                if l.contains("\"admit_spec\"") && l.contains("\"c\"") {
+                    &l[..l.len() / 2]
+                } else {
+                    l
+                }
+            })
+            .collect();
+        fs::write(&path, torn.join("\n")).unwrap();
+        let state = replay(&path);
+        assert_eq!(state.specs.len(), 2);
+        assert_eq!(state.skipped_lines, 1);
     }
 
     #[test]

@@ -1,38 +1,51 @@
-//! Concurrent batch synthesis service over the content-addressed cache.
+//! Synthesis service over the content-addressed cache: one-shot batches,
+//! JSON-lines streams, and a persistent TCP daemon.
 //!
-//! `tce-serve` turns the one-shot synthesis pipeline into a batch driver:
-//! jobs come in as JSON (a batch file or JSON-lines on stdin), run on a
-//! bounded worker pool sharing one [`tce_cache::SynthesisCache`], and
-//! leave as a machine-readable report with per-job cache/timing telemetry.
+//! The stable entry point is [`Server::builder`]: one configuration
+//! surface (workers, queue bound, deadlines, journal) behind three run
+//! modes — [`Server::run_batch`] for jobs files, [`Server::run_lines`]
+//! for JSON-lines, and [`Server::serve`] for the long-lived daemon
+//! speaking the length-prefixed wire protocol of [`proto`].
 //!
 //! Identical requests — identical after canonicalization, so renamed
 //! copies of the same program count — are *single-flighted*: when several
 //! are in flight at once only one solves, and the rest replay its cached
-//! outcome. See [`run_batch`] and [`run_lines`].
+//! outcome.
 //!
-//! The service is *crash-safe and self-healing* (`DESIGN.md` §14): solves
-//! run under panic supervision with RAII flight settlement and bounded
-//! leader promotion ([`supervise`]), jobs carry cooperative wall-clock
-//! deadlines threaded into the solver ([`BatchOptions::job_timeout`]),
-//! and batches can stream a write-ahead journal and resume after a crash
-//! with bit-identical merged outcomes ([`journal`]).
+//! The service is *crash-safe and self-healing* (`DESIGN.md` §14–§15):
+//! solves run under panic supervision with RAII flight settlement and
+//! bounded leader promotion ([`supervise`]), jobs carry cooperative
+//! wall-clock deadlines threaded into the solver
+//! ([`service::BatchOptions::job_timeout`]), and both batches and the
+//! daemon stream a write-ahead journal and resume after a crash with
+//! bit-identical merged outcomes ([`journal`],
+//! [`Server::recover_journal`]).
+//!
+//! The free functions [`run_batch`], [`run_lines`] and friends are the
+//! pre-daemon API, kept as deprecated shims over the same engine.
 
 #![warn(missing_docs)]
 
 pub mod job;
 pub mod journal;
+pub mod proto;
+pub mod server;
 pub mod service;
 pub mod supervise;
 
 pub use job::{
-    batch_digest, parse_jobs_file, spec_digest, BatchReport, BatchSummary, JobReport, JobSpec,
-    JOBS_SCHEMA, REPORT_SCHEMA,
+    batch_digest, parse_jobs_file, percentile, spec_digest, BatchReport, BatchSummary, JobReport,
+    JobSpec, JOBS_SCHEMA, REPORT_SCHEMA,
 };
 pub use journal::{replay, JournalState, JournalWriter, JOURNAL_SCHEMA};
-pub use service::{
-    run_batch, run_batch_with, run_lines, run_lines_with, BatchOptions, JournalConfig,
-    LEADER_RETRY_BUDGET,
+pub use proto::{
+    read_frame, write_frame, FrameDecoder, JobRequest, ServeStats, WireFrame, MAX_FRAME_LEN,
+    WIRE_SCHEMA,
 };
+pub use server::{Server, ServerBuilder, DEFAULT_QUEUE_CAP};
+#[allow(deprecated)]
+pub use service::{run_batch, run_batch_with, run_lines, run_lines_with};
+pub use service::{BatchOptions, JournalConfig, LEADER_RETRY_BUDGET};
 pub use supervise::{Flight, FlightEnd, FlightGuard, Role, SingleFlight};
 
 #[cfg(test)]
@@ -56,6 +69,14 @@ mod tests {
         }
     }
 
+    fn batch(jobs: &[JobSpec], workers: usize, cache: &SynthesisCache) -> BatchReport {
+        Server::builder()
+            .workers(workers)
+            .build()
+            .run_batch(jobs, cache)
+            .expect("batch")
+    }
+
     #[test]
     fn concurrent_duplicates_solve_exactly_once() {
         // six identical jobs on four workers: one leader solves, the three
@@ -63,7 +84,7 @@ mod tests {
         // cache normally — the solver must run exactly once either way
         let jobs: Vec<JobSpec> = (0..6).map(|i| job(&format!("dup{i}"), 64, 48)).collect();
         let cache = SynthesisCache::in_memory();
-        let report = run_batch(&jobs, 4, &cache);
+        let report = batch(&jobs, 4, &cache);
 
         assert_eq!(report.workers, 4);
         assert_eq!(report.summary.ok, 6);
@@ -88,7 +109,7 @@ mod tests {
     fn distinct_jobs_all_solve() {
         let jobs = vec![job("a", 64, 48), job("b", 48, 64), job("c", 64, 48)];
         let cache = SynthesisCache::in_memory();
-        let report = run_batch(&jobs, 2, &cache);
+        let report = batch(&jobs, 2, &cache);
         assert_eq!(report.summary.ok, 3);
         // a and c are identical; b differs
         assert_eq!(report.summary.misses, 2);
@@ -103,7 +124,7 @@ mod tests {
         bad.program = "this is not a program".to_string();
         let jobs = vec![job("good", 64, 48), bad];
         let cache = SynthesisCache::in_memory();
-        let report = run_batch(&jobs, 2, &cache);
+        let report = batch(&jobs, 2, &cache);
         assert_eq!(report.summary.ok, 1);
         assert_eq!(report.summary.failed, 1);
         let failed = report.jobs.iter().find(|j| !j.ok).expect("failed job");
@@ -124,13 +145,33 @@ mod tests {
         );
         let input = format!("{line}\n\n{line}\n");
         let cache = SynthesisCache::in_memory();
-        let (report, out) = run_lines(&input, 2, &cache).expect("run");
+        let (report, out) = Server::builder()
+            .workers(2)
+            .build()
+            .run_lines(&input, &cache)
+            .expect("run");
         assert_eq!(report.summary.jobs, 2);
         assert_eq!(report.summary.hits + report.summary.misses, 2);
         // one line per job + the summary line
         assert_eq!(out.trim_end().lines().count(), 3);
         assert!(out.contains("\"fingerprint\""));
         assert!(out.contains("\"solver_wall_saved_s\""));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_functions_still_run_the_engine() {
+        // PR-5 era callers keep compiling and get the same engine
+        let jobs = vec![job("shim", 64, 48)];
+        let cache = SynthesisCache::in_memory();
+        let report = run_batch(&jobs, 1, &cache);
+        assert_eq!(report.summary.ok, 1);
+        let opts = BatchOptions {
+            workers: 1,
+            ..BatchOptions::default()
+        };
+        let report = run_batch_with(&jobs, &opts, &cache).expect("shim");
+        assert_eq!(report.summary.hits, 1, "same cache, now a warm hit");
     }
 
     /// A solver stub that panics on its first `n` calls, then behaves.
@@ -226,7 +267,7 @@ mod tests {
         j0.timeout_ms = Some(0);
         let ok = job("t1", 48, 64);
         let cache = SynthesisCache::in_memory();
-        let report = run_batch(&[j0, ok], 2, &cache);
+        let report = batch(&[j0, ok], 2, &cache);
         assert_eq!(report.summary.failed, 1);
         assert_eq!(report.summary.ok, 1);
         let failed = report.jobs.iter().find(|j| !j.ok).expect("timed-out job");
@@ -249,12 +290,13 @@ mod tests {
         let jobs = vec![job("a", 64, 48), bad, job("c", 48, 64)];
 
         // clean journaled run
-        let opts = BatchOptions {
-            workers: 2,
-            journal: Some(JournalConfig::new(&journal)),
-            ..BatchOptions::default()
-        };
-        let clean = run_batch_with(&jobs, &opts, &SynthesisCache::in_memory()).expect("clean run");
+        let server = Server::builder()
+            .workers(2)
+            .journal(Some(JournalConfig::new(&journal)))
+            .build();
+        let clean = server
+            .run_batch(&jobs, &SynthesisCache::in_memory())
+            .expect("clean run");
         assert_eq!(clean.summary.ok, 2);
         assert_eq!(clean.summary.failed, 1);
         let clean_proj = serde_json::to_string(&clean.outcome_projection()).unwrap();
@@ -275,17 +317,17 @@ mod tests {
         let done_before = keep.iter().filter(|l| l.contains("\"done\"")).count();
         std::fs::write(&journal, format!("{}\n", keep.join("\n"))).unwrap();
 
-        let resume_opts = BatchOptions {
-            workers: 2,
-            journal: Some(JournalConfig {
+        let resume_server = Server::builder()
+            .workers(2)
+            .journal(Some(JournalConfig {
                 path: journal.clone(),
                 resume: true,
                 faults: tce_cache::FsFaultPlan::none(),
-            }),
-            ..BatchOptions::default()
-        };
-        let resumed =
-            run_batch_with(&jobs, &resume_opts, &SynthesisCache::in_memory()).expect("resume");
+            }))
+            .build();
+        let resumed = resume_server
+            .run_batch(&jobs, &SynthesisCache::in_memory())
+            .expect("resume");
         assert_eq!(resumed.summary.resumed, done_before as u64);
         let resumed_proj = serde_json::to_string(&resumed.outcome_projection()).unwrap();
         assert_eq!(
@@ -295,7 +337,9 @@ mod tests {
 
         // a journal from a *different* jobs file must be refused
         let other = vec![job("x", 64, 48)];
-        let err = run_batch_with(&other, &resume_opts, &SynthesisCache::in_memory()).unwrap_err();
+        let err = resume_server
+            .run_batch(&other, &SynthesisCache::in_memory())
+            .unwrap_err();
         assert!(err.contains("different jobs file"), "{err}");
     }
 
@@ -316,7 +360,7 @@ mod tests {
             ..original.clone()
         };
         let cache = SynthesisCache::in_memory();
-        let report = run_batch(&[original, renamed], 1, &cache);
+        let report = batch(&[original, renamed], 1, &cache);
         assert_eq!(report.summary.ok, 2, "{:?}", report.jobs);
         assert_eq!(
             report.jobs[0].fingerprint, report.jobs[1].fingerprint,

@@ -1,0 +1,412 @@
+//! The serve wire protocol: typed frames shared by batch, stdin, and
+//! daemon modes.
+//!
+//! Frames travel as **length-prefixed JSON**: a 4-byte big-endian
+//! `u32` payload length followed by one JSON object tagged with
+//! [`WIRE_SCHEMA`] and a `type` discriminant. Length prefixes (rather
+//! than newline framing) keep the transport 8-bit clean for programs
+//! with embedded newlines and make partial reads unambiguous: the
+//! server accumulates bytes in a [`FrameDecoder`] and only parses
+//! complete frames, so read timeouts can never desynchronize the
+//! stream.
+//!
+//! Client → server: [`WireFrame::Job`], [`WireFrame::Stats`],
+//! [`WireFrame::Shutdown`]. Server → client: [`WireFrame::Report`],
+//! [`WireFrame::Rejected`] (admission control — `queue_full` when the
+//! bounded queue is at capacity, `shutting_down` during drain),
+//! [`WireFrame::StatsReport`], [`WireFrame::ShuttingDown`], and
+//! [`WireFrame::ProtocolError`]. Reports carry the client's request
+//! `id`, so responses need no ordering guarantee — a client may pipeline
+//! many jobs and match reports by id as they arrive.
+
+use crate::job::{JobReport, JobSpec};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{self, Read, Write};
+
+/// Schema tag carried by every frame.
+pub const WIRE_SCHEMA: &str = "tce-serve/wire/v1";
+
+/// Upper bound on one frame's JSON payload. Large enough for any real
+/// program; small enough that a corrupt or hostile length prefix cannot
+/// balloon the decode buffer.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// One synthesis request on the wire: a client-chosen id (echoed in the
+/// matching [`WireFrame::Report`] or [`WireFrame::Rejected`]) plus the
+/// job spec.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The job itself.
+    pub spec: JobSpec,
+}
+
+/// Daemon telemetry snapshot, answered to a [`WireFrame::Stats`] probe.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Jobs admitted to the queue over the daemon's lifetime.
+    pub admitted: u64,
+    /// Jobs completed (report written) over the daemon's lifetime.
+    pub completed: u64,
+    /// Jobs rejected by admission control (`queue_full`/`shutting_down`).
+    pub rejected: u64,
+    /// Jobs currently waiting in the bounded queue.
+    pub queue_depth: u64,
+    /// Worker threads serving the queue.
+    pub workers: u64,
+    /// Median request latency so far, seconds (admission → report).
+    pub p50_s: f64,
+    /// 99th-percentile request latency so far, seconds.
+    pub p99_s: f64,
+}
+
+/// One protocol frame (see the module docs for direction and semantics).
+#[derive(Clone, Debug)]
+pub enum WireFrame {
+    /// Client: run this job.
+    Job(JobRequest),
+    /// Client: report current daemon telemetry.
+    Stats,
+    /// Client: drain and shut down.
+    Shutdown,
+    /// Server: the job with this id finished; here is its report.
+    Report {
+        /// Correlation id from the originating [`WireFrame::Job`].
+        id: u64,
+        /// The job's full report.
+        report: JobReport,
+    },
+    /// Server: the job with this id was refused at admission.
+    Rejected {
+        /// Correlation id from the originating [`WireFrame::Job`].
+        id: u64,
+        /// Machine-readable refusal: `queue_full` or `shutting_down`.
+        reason: String,
+    },
+    /// Server: telemetry snapshot answering a [`WireFrame::Stats`] probe.
+    StatsReport(ServeStats),
+    /// Server: drain has begun; queued jobs will still be reported, new
+    /// jobs will be rejected.
+    ShuttingDown,
+    /// Server: the peer sent something unintelligible; the connection
+    /// closes after this frame.
+    ProtocolError {
+        /// What was wrong with the offending frame.
+        reason: String,
+    },
+}
+
+impl WireFrame {
+    /// Serializes the frame's JSON payload.
+    pub fn to_value(&self) -> Value {
+        fn tag(fields: &mut Vec<(String, Value)>, t: &str) {
+            fields.push(("type".to_string(), Value::Str(t.to_string())));
+        }
+        let mut fields = vec![("schema".to_string(), Value::Str(WIRE_SCHEMA.to_string()))];
+        match self {
+            WireFrame::Job(req) => {
+                tag(&mut fields, "job");
+                fields.push(("id".to_string(), Value::UInt(req.id)));
+                fields.push(("spec".to_string(), req.spec.to_value()));
+            }
+            WireFrame::Stats => tag(&mut fields, "stats"),
+            WireFrame::Shutdown => tag(&mut fields, "shutdown"),
+            WireFrame::Report { id, report } => {
+                tag(&mut fields, "report");
+                fields.push(("id".to_string(), Value::UInt(*id)));
+                fields.push(("report".to_string(), report.to_value()));
+            }
+            WireFrame::Rejected { id, reason } => {
+                tag(&mut fields, "rejected");
+                fields.push(("id".to_string(), Value::UInt(*id)));
+                fields.push(("reason".to_string(), Value::Str(reason.clone())));
+            }
+            WireFrame::StatsReport(stats) => {
+                tag(&mut fields, "stats_report");
+                fields.push(("stats".to_string(), stats.to_value()));
+            }
+            WireFrame::ShuttingDown => tag(&mut fields, "shutting_down"),
+            WireFrame::ProtocolError { reason } => {
+                tag(&mut fields, "protocol_error");
+                fields.push(("reason".to_string(), Value::Str(reason.clone())));
+            }
+        }
+        Value::Map(fields)
+    }
+
+    /// Parses a frame payload.
+    pub fn from_value(v: &Value) -> Result<WireFrame, String> {
+        match v.get("schema") {
+            Some(Value::Str(s)) if s == WIRE_SCHEMA => {}
+            Some(Value::Str(s)) => {
+                return Err(format!("frame schema `{s}`, expected `{WIRE_SCHEMA}`"))
+            }
+            _ => return Err(format!("frame is missing `schema` (`{WIRE_SCHEMA}`)")),
+        }
+        let id = || match v.get("id") {
+            Some(Value::UInt(n)) => Ok(*n),
+            Some(Value::Int(n)) if *n >= 0 => Ok(*n as u64),
+            _ => Err("frame is missing a non-negative `id`".to_string()),
+        };
+        let reason = || match v.get("reason") {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            _ => Err("frame is missing `reason`".to_string()),
+        };
+        match v.get("type") {
+            Some(Value::Str(t)) if t == "job" => {
+                let spec = v.get("spec").ok_or("job frame is missing `spec`")?;
+                Ok(WireFrame::Job(JobRequest {
+                    id: id()?,
+                    spec: JobSpec::from_value(spec).map_err(|e| format!("bad job spec: {e}"))?,
+                }))
+            }
+            Some(Value::Str(t)) if t == "stats" => Ok(WireFrame::Stats),
+            Some(Value::Str(t)) if t == "shutdown" => Ok(WireFrame::Shutdown),
+            Some(Value::Str(t)) if t == "report" => {
+                let report = v.get("report").ok_or("report frame is missing `report`")?;
+                Ok(WireFrame::Report {
+                    id: id()?,
+                    report: JobReport::from_value(report)
+                        .map_err(|e| format!("bad report: {e:?}"))?,
+                })
+            }
+            Some(Value::Str(t)) if t == "rejected" => Ok(WireFrame::Rejected {
+                id: id()?,
+                reason: reason()?,
+            }),
+            Some(Value::Str(t)) if t == "stats_report" => {
+                let stats = v
+                    .get("stats")
+                    .ok_or("stats_report frame is missing `stats`")?;
+                Ok(WireFrame::StatsReport(
+                    ServeStats::from_value(stats).map_err(|e| format!("bad stats: {e:?}"))?,
+                ))
+            }
+            Some(Value::Str(t)) if t == "shutting_down" => Ok(WireFrame::ShuttingDown),
+            Some(Value::Str(t)) if t == "protocol_error" => {
+                Ok(WireFrame::ProtocolError { reason: reason()? })
+            }
+            Some(Value::Str(t)) => Err(format!("unknown frame type `{t}`")),
+            _ => Err("frame is missing `type`".to_string()),
+        }
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the JSON payload.
+pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> io::Result<()> {
+    let json = serde_json::to_string(&frame.to_value())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    let bytes = json.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_LEN",
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Blocking read of one frame — the *client-side* reader, for streams
+/// without a read timeout. `Ok(None)` is a clean EOF at a frame
+/// boundary; EOF inside a frame is an error. Servers should use
+/// [`FrameDecoder`] instead so timed-out partial reads keep their bytes.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<WireFrame>, String> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r
+            .read_exact(&mut len[n..])
+            .map_err(|e| format!("truncated frame length: {e}"))?,
+        Err(e) => return Err(format!("cannot read frame length: {e}")),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(format!("frame length {len} exceeds {MAX_FRAME_LEN}"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| format!("truncated frame payload: {e}"))?;
+    decode_payload(&payload)
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Option<WireFrame>, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
+    let v = serde_json::parse_value(text).map_err(|e| format!("frame is not JSON: {e:?}"))?;
+    WireFrame::from_value(&v).map(Some)
+}
+
+/// Incremental frame decoder — the *server-side* reader.
+///
+/// Feed it whatever bytes a (possibly timed-out, possibly partial) read
+/// produced via [`FrameDecoder::extend`], then drain complete frames
+/// with [`FrameDecoder::next_frame`]. Bytes of an incomplete frame stay
+/// buffered across calls, so short reads can never desynchronize the
+/// length-prefixed stream.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Buffers freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, `Ok(None)` if more bytes are needed.
+    /// An error (oversized length, bad JSON) poisons the stream — the
+    /// caller should answer [`WireFrame::ProtocolError`] and close.
+    pub fn next_frame(&mut self) -> Result<Option<WireFrame>, String> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(format!("frame length {len} exceeds {MAX_FRAME_LEN}"));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
+        decode_payload(&payload)
+    }
+
+    /// Bytes currently buffered (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            program: "range i = 4\n".to_string(),
+            mem_limit: 1024,
+            test_scale: true,
+            strategy: None,
+            seed: Some(3),
+            budget: None,
+            telemetry: false,
+            objective: None,
+            timeout_ms: None,
+        }
+    }
+
+    fn encode(frame: &WireFrame) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, frame).expect("encode");
+        out
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_wire_format() {
+        let frames = vec![
+            WireFrame::Job(JobRequest {
+                id: 7,
+                spec: spec("wire"),
+            }),
+            WireFrame::Stats,
+            WireFrame::Shutdown,
+            WireFrame::Report {
+                id: 9,
+                report: JobReport::failed("wire", "f00d", "nope".into(), 0.5).kind("infeasible"),
+            },
+            WireFrame::Rejected {
+                id: 11,
+                reason: "queue_full".to_string(),
+            },
+            WireFrame::StatsReport(ServeStats {
+                admitted: 5,
+                completed: 4,
+                rejected: 1,
+                queue_depth: 0,
+                workers: 2,
+                p50_s: 0.2,
+                p99_s: 0.9,
+            }),
+            WireFrame::ShuttingDown,
+            WireFrame::ProtocolError {
+                reason: "bad frame".to_string(),
+            },
+        ];
+        for frame in frames {
+            let bytes = encode(&frame);
+            let mut cursor = &bytes[..];
+            let back = read_frame(&mut cursor).expect("decode").expect("one frame");
+            // compare through the canonical JSON encoding
+            assert_eq!(
+                serde_json::to_string(&back.to_value()).unwrap(),
+                serde_json::to_string(&frame.to_value()).unwrap()
+            );
+            assert!(
+                read_frame(&mut cursor).expect("clean EOF").is_none(),
+                "stream must be exhausted"
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_from_single_byte_reads() {
+        let mut stream = Vec::new();
+        stream.extend(encode(&WireFrame::Job(JobRequest {
+            id: 1,
+            spec: spec("a"),
+        })));
+        stream.extend(encode(&WireFrame::Stats));
+        stream.extend(encode(&WireFrame::Shutdown));
+
+        let mut decoder = FrameDecoder::new();
+        let mut seen = Vec::new();
+        for b in stream {
+            decoder.extend(&[b]);
+            while let Some(f) = decoder.next_frame().expect("no decode error") {
+                seen.push(f);
+            }
+        }
+        assert_eq!(seen.len(), 3);
+        assert!(matches!(&seen[0], WireFrame::Job(r) if r.id == 1 && r.spec.name == "a"));
+        assert!(matches!(seen[1], WireFrame::Stats));
+        assert!(matches!(seen[2], WireFrame::Shutdown));
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_are_rejected() {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&u32::MAX.to_be_bytes());
+        assert!(decoder.next_frame().unwrap_err().contains("exceeds"));
+
+        let mut decoder = FrameDecoder::new();
+        let payload = b"not json";
+        decoder.extend(&(payload.len() as u32).to_be_bytes());
+        decoder.extend(payload);
+        assert!(decoder.next_frame().unwrap_err().contains("JSON"));
+
+        // truncated stream through the blocking reader
+        let bytes = encode(&WireFrame::Stats);
+        let mut cursor = &bytes[..bytes.len() - 2];
+        assert!(read_frame(&mut cursor).unwrap_err().contains("truncated"));
+
+        // a frame of an unknown schema version is refused, not guessed at
+        let v = Value::Map(vec![
+            (
+                "schema".to_string(),
+                Value::Str("tce-serve/wire/v999".into()),
+            ),
+            ("type".to_string(), Value::Str("stats".into())),
+        ]);
+        assert!(WireFrame::from_value(&v).unwrap_err().contains("schema"));
+    }
+}

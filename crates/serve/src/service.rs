@@ -41,6 +41,7 @@ use tce_solver::CancelToken;
 pub const LEADER_RETRY_BUDGET: u32 = 2;
 
 /// Write-ahead journal configuration for one batch run.
+#[derive(Clone)]
 pub struct JournalConfig {
     /// Journal file path.
     pub path: PathBuf,
@@ -64,6 +65,7 @@ impl JournalConfig {
 
 /// Knobs for one batch run. `Default` reproduces the historical
 /// [`run_batch`] behavior: core-count workers, no deadlines, no journal.
+#[derive(Clone)]
 pub struct BatchOptions {
     /// Worker threads; `0` means one per available core.
     pub workers: usize,
@@ -127,7 +129,8 @@ fn kind_of(err: &SynthesisError) -> &'static str {
 }
 
 /// Runs one job to a report. `queue_wait_s` is measured by the caller.
-fn process_job(
+/// Shared by the batch engine and the daemon's worker loop.
+pub(crate) fn process_job(
     spec: &JobSpec,
     cache: &SynthesisCache,
     flights: &SingleFlight,
@@ -340,18 +343,21 @@ fn ok_report(
 ///
 /// `workers = 0` means one per available core. Reports come back in
 /// submission order regardless of completion order.
+#[deprecated(note = "use tce_serve::Server::builder().workers(n).build().run_batch(...)")]
 pub fn run_batch(jobs: &[JobSpec], workers: usize, cache: &SynthesisCache) -> BatchReport {
     let opts = BatchOptions {
         workers,
         ..BatchOptions::default()
     };
-    run_batch_with(jobs, &opts, cache).expect("journal-free batches cannot fail to start")
+    run_batch_runner(jobs, &opts, cache, &CacheRunner)
+        .expect("journal-free batches cannot fail to start")
 }
 
 /// Runs a batch under explicit [`BatchOptions`] — deadlines, supervision
 /// budget, and the write-ahead journal. Only journal setup can fail (an
 /// unwritable journal path, or a resume journal that does not match the
 /// jobs file).
+#[deprecated(note = "use tce_serve::Server::builder() and Server::run_batch instead")]
 pub fn run_batch_with(
     jobs: &[JobSpec],
     opts: &BatchOptions,
@@ -450,17 +456,45 @@ pub(crate) fn run_batch_runner(
     .expect("worker pool");
 
     let resumed_count = resumed.len() as u64;
+    // per-request latency (admission → report) over the jobs this run
+    // actually executed; resumed jobs replayed verbatim don't count
+    let mut latencies = Vec::new();
     let jobs: Vec<JobReport> = reports
         .into_inner()
         .into_iter()
         .enumerate()
         .map(|(idx, r)| match r {
-            Some(r) => r,
+            Some(r) => {
+                latencies.push(r.queue_wait_s + r.total_s);
+                r
+            }
             // not queued: merged verbatim from the resumed journal
             None => resumed.remove(&idx).expect("every job reported"),
         })
         .collect();
 
+    let summary = summarize(
+        &jobs,
+        resumed_count,
+        batch_started.elapsed().as_secs_f64(),
+        latencies,
+    );
+    Ok(BatchReport {
+        schema: REPORT_SCHEMA.to_string(),
+        workers: workers as u64,
+        jobs,
+        summary,
+    })
+}
+
+/// Folds per-job reports (plus the measured per-request latencies) into a
+/// [`BatchSummary`]. Shared by the batch engine and the daemon.
+pub(crate) fn summarize(
+    jobs: &[JobReport],
+    resumed: u64,
+    wall_s: f64,
+    mut latencies: Vec<f64>,
+) -> BatchSummary {
     let mut summary = BatchSummary {
         jobs: jobs.len() as u64,
         ok: 0,
@@ -468,11 +502,13 @@ pub(crate) fn run_batch_runner(
         hits: 0,
         misses: 0,
         joined: 0,
-        resumed: resumed_count,
+        resumed,
         solver_wall_saved_s: 0.0,
-        wall_s: batch_started.elapsed().as_secs_f64(),
+        wall_s,
+        p50_s: 0.0,
+        p99_s: 0.0,
     };
-    for r in &jobs {
+    for r in jobs {
         if r.ok {
             summary.ok += 1;
             if r.hit {
@@ -488,17 +524,42 @@ pub(crate) fn run_batch_runner(
         }
         summary.solver_wall_saved_s += r.saved_wall_s;
     }
+    latencies.sort_by(f64::total_cmp);
+    summary.p50_s = crate::job::percentile(&latencies, 50.0);
+    summary.p99_s = crate::job::percentile(&latencies, 99.0);
+    summary
+}
 
-    Ok(BatchReport {
-        schema: REPORT_SCHEMA.to_string(),
-        workers: workers as u64,
-        jobs,
-        summary,
-    })
+/// Parses JSON-lines input (one job object per non-empty line).
+pub(crate) fn parse_lines(input: &str) -> Result<Vec<JobSpec>, String> {
+    let mut jobs = Vec::new();
+    for (n, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        jobs.push(JobSpec::from_json_line(line).map_err(|e| format!("line {}: {e}", n + 1))?);
+    }
+    Ok(jobs)
+}
+
+/// Renders a batch report as JSON-lines: one report line per job
+/// (submission order) followed by one summary line.
+pub(crate) fn render_lines(report: &BatchReport) -> Result<String, String> {
+    let mut out = String::new();
+    for job in &report.jobs {
+        out.push_str(&serde_json::to_string(job).map_err(|e| format!("{e:?}"))?);
+        out.push('\n');
+    }
+    let summary = serde_json::to_string(&report.summary).map_err(|e| format!("{e:?}"))?;
+    out.push_str(&summary);
+    out.push('\n');
+    Ok(out)
 }
 
 /// JSON-lines mode: one job object per input line; one report line per
 /// job (submission order) followed by one summary line.
+#[deprecated(note = "use tce_serve::Server::builder() and Server::run_lines instead")]
 pub fn run_lines(
     input: &str,
     workers: usize,
@@ -508,31 +569,19 @@ pub fn run_lines(
         workers,
         ..BatchOptions::default()
     };
-    run_lines_with(input, &opts, cache)
+    let report = run_batch_runner(&parse_lines(input)?, &opts, cache, &CacheRunner)?;
+    let out = render_lines(&report)?;
+    Ok((report, out))
 }
 
 /// [`run_lines`] under explicit [`BatchOptions`].
+#[deprecated(note = "use tce_serve::Server::builder() and Server::run_lines instead")]
 pub fn run_lines_with(
     input: &str,
     opts: &BatchOptions,
     cache: &SynthesisCache,
 ) -> Result<(BatchReport, String), String> {
-    let mut jobs = Vec::new();
-    for (n, line) in input.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        jobs.push(JobSpec::from_json_line(line).map_err(|e| format!("line {}: {e}", n + 1))?);
-    }
-    let report = run_batch_with(&jobs, opts, cache)?;
-    let mut out = String::new();
-    for job in &report.jobs {
-        out.push_str(&serde_json::to_string(job).map_err(|e| format!("{e:?}"))?);
-        out.push('\n');
-    }
-    let summary = serde_json::to_string(&report.summary).map_err(|e| format!("{e:?}"))?;
-    out.push_str(&summary);
-    out.push('\n');
+    let report = run_batch_runner(&parse_lines(input)?, opts, cache, &CacheRunner)?;
+    let out = render_lines(&report)?;
     Ok((report, out))
 }

@@ -14,7 +14,7 @@
 
 use tce_cache::{FsFaultPlan, SynthesisCache};
 use tce_ooc::ir::{fixtures::two_index_fused, to_dsl};
-use tce_serve::{run_batch_with, BatchOptions, JobSpec, JournalConfig};
+use tce_serve::{JobSpec, JournalConfig, Server};
 
 fn seed_count() -> u64 {
     std::env::var("TCE_CHAOS_SEEDS")
@@ -59,16 +59,17 @@ fn scratch(tag: &str) -> std::path::PathBuf {
 }
 
 fn run_journaled(jobs: &[JobSpec], journal: &std::path::Path, resume: bool) -> String {
-    let opts = BatchOptions {
-        workers: 2,
-        journal: Some(JournalConfig {
+    let server = Server::builder()
+        .workers(2)
+        .journal(Some(JournalConfig {
             path: journal.to_path_buf(),
             resume,
             faults: FsFaultPlan::none(),
-        }),
-        ..BatchOptions::default()
-    };
-    let report = run_batch_with(jobs, &opts, &SynthesisCache::in_memory()).expect("batch runs");
+        }))
+        .build();
+    let report = server
+        .run_batch(jobs, &SynthesisCache::in_memory())
+        .expect("batch runs");
     serde_json::to_string(&report.outcome_projection()).expect("projection json")
 }
 
@@ -118,16 +119,17 @@ fn resume_refuses_a_journal_from_different_jobs() {
 
     let mut other = batch(7);
     other[0].mem_limit *= 2;
-    let opts = BatchOptions {
-        workers: 1,
-        journal: Some(JournalConfig {
+    let server = Server::builder()
+        .workers(1)
+        .journal(Some(JournalConfig {
             path: journal.clone(),
             resume: true,
             faults: FsFaultPlan::none(),
-        }),
-        ..BatchOptions::default()
-    };
-    let err = run_batch_with(&other, &opts, &SynthesisCache::in_memory()).unwrap_err();
+        }))
+        .build();
+    let err = server
+        .run_batch(&other, &SynthesisCache::in_memory())
+        .unwrap_err();
     assert!(err.contains("different jobs file"), "{err}");
 }
 
@@ -141,19 +143,19 @@ fn journaled_run_survives_injected_journal_faults() {
     let clean = run_journaled(&jobs, &dir.join("clean.journal"), false);
 
     for seed in 0..seed_count() {
-        let opts = BatchOptions {
-            workers: 2,
-            journal: Some(JournalConfig {
+        let server = Server::builder()
+            .workers(2)
+            .journal(Some(JournalConfig {
                 path: dir.join(format!("faulty-{seed}.journal")),
                 resume: false,
                 faults: FsFaultPlan::none()
                     .probabilistic(0.4, tce_cache::FsFaultKind::Eio)
                     .with_seed(seed),
-            }),
-            ..BatchOptions::default()
-        };
-        let report =
-            run_batch_with(&jobs, &opts, &SynthesisCache::in_memory()).expect("batch survives");
+            }))
+            .build();
+        let report = server
+            .run_batch(&jobs, &SynthesisCache::in_memory())
+            .expect("batch survives");
         let projection = serde_json::to_string(&report.outcome_projection()).expect("json");
         assert_eq!(projection, clean, "faulty journal must not change outcomes");
     }

@@ -1,0 +1,321 @@
+//! End-to-end tests for the persistent synthesis daemon: real TCP
+//! round-trips through the length-prefixed wire protocol, admission
+//! stats, graceful drain — and the daemon flavor of the chaos suite:
+//! kill the daemon at *every* journal boundary (whole-line and torn) and
+//! require [`Server::recover_journal`] to reproduce, bit-identically,
+//! the outcomes of exactly the jobs the journal proves were admitted.
+//!
+//! The journal is the only state carried across the "crash" (each
+//! recovery gets a cold in-memory cache), mirroring `serve_chaos.rs` for
+//! batch mode. The matrix covers 2 solver seeds by default; CI stress
+//! widens it with `TCE_CHAOS_SEEDS=<n>`.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use tce_cache::{FsFaultPlan, SynthesisCache};
+use tce_ooc::ir::{fixtures::two_index_fused, to_dsl};
+use tce_serve::{
+    read_frame, replay, write_frame, BatchReport, JobRequest, JobSpec, JournalConfig, Server,
+    WireFrame,
+};
+
+fn seed_count() -> u64 {
+    std::env::var("TCE_CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+fn job(name: &str, n: u64, v: u64, seed: u64) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        program: to_dsl(&two_index_fused(n, v)),
+        mem_limit: 64 * 1024,
+        test_scale: true,
+        strategy: None,
+        seed: Some(seed),
+        budget: None,
+        telemetry: false,
+        objective: None,
+        timeout_ms: None,
+    }
+}
+
+/// Four jobs covering the interesting outcome classes: two identical
+/// (single-flight dedup), one that fails deterministically, one distinct.
+fn batch(seed: u64) -> Vec<JobSpec> {
+    let mut bad = job("bad", 64, 48, seed);
+    bad.program = "this is not a program".to_string();
+    vec![
+        job("a", 64, 48, seed),
+        job("a-twin", 64, 48, seed),
+        bad,
+        job("b", 48, 64, seed),
+    ]
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tce-daemon-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn send(stream: &mut TcpStream, frame: &WireFrame) {
+    write_frame(stream, frame).expect("send frame");
+    stream.flush().expect("flush");
+}
+
+/// Runs a daemon, submits `jobs` over one connection in order, waits for
+/// every report, drains gracefully, and returns the final report.
+fn serve_once(server: &Server, jobs: &[JobSpec], cache: &SynthesisCache) -> BatchReport {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve(listener, cache, &shutdown).expect("serve"));
+        let mut client = TcpStream::connect(addr).expect("connect");
+        for (id, spec) in jobs.iter().enumerate() {
+            send(
+                &mut client,
+                &WireFrame::Job(JobRequest {
+                    id: id as u64,
+                    spec: spec.clone(),
+                }),
+            );
+        }
+        let mut reports = 0;
+        while reports < jobs.len() {
+            match read_frame(&mut client).expect("read").expect("frame") {
+                WireFrame::Report { .. } => reports += 1,
+                WireFrame::Rejected { id, reason } => panic!("job {id} rejected: {reason}"),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        send(&mut client, &WireFrame::Shutdown);
+        handle.join().expect("serve thread")
+    })
+}
+
+/// The per-job deterministic outcome list of a report's first `m` jobs.
+fn outcomes(report: &BatchReport, m: usize) -> String {
+    let seq: Vec<_> = report.jobs[..m].iter().map(|j| j.outcome_value()).collect();
+    serde_json::to_string(&serde_json::Value::Seq(seq)).expect("json")
+}
+
+#[test]
+fn daemon_round_trips_jobs_stats_and_drains() {
+    let jobs = batch(2004);
+    let server = Server::builder().workers(2).build();
+    let cache = SynthesisCache::in_memory();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let shutdown = AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve(listener, &cache, &shutdown).expect("serve"));
+        let mut client = TcpStream::connect(addr).expect("connect");
+        for (id, spec) in jobs.iter().enumerate() {
+            send(
+                &mut client,
+                &WireFrame::Job(JobRequest {
+                    id: id as u64,
+                    spec: spec.clone(),
+                }),
+            );
+        }
+        let mut ok = 0;
+        let mut failed = 0;
+        let mut seen = 0;
+        while seen < jobs.len() {
+            match read_frame(&mut client).expect("read").expect("frame") {
+                WireFrame::Report { report, .. } => {
+                    seen += 1;
+                    if report.ok {
+                        ok += 1;
+                    } else {
+                        failed += 1;
+                    }
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!((ok, failed), (3, 1), "a, a-twin, b succeed; bad fails");
+
+        // stats after completion: everything admitted and completed
+        send(&mut client, &WireFrame::Stats);
+        match read_frame(&mut client).expect("read").expect("frame") {
+            WireFrame::StatsReport(s) => {
+                assert_eq!(s.admitted, 4);
+                assert_eq!(s.completed, 4);
+                assert_eq!(s.rejected, 0);
+                assert_eq!(s.queue_depth, 0);
+                assert_eq!(s.workers, 2);
+                assert!(s.p99_s >= s.p50_s);
+                assert!(s.p50_s > 0.0, "latency telemetry present");
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+
+        send(&mut client, &WireFrame::Shutdown);
+        match read_frame(&mut client).expect("read").expect("frame") {
+            WireFrame::ShuttingDown => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+        handle.join().expect("serve thread")
+    });
+
+    assert_eq!(report.summary.jobs, 4);
+    assert_eq!(report.summary.ok, 3);
+    assert_eq!(report.summary.failed, 1);
+    // the twin deduplicated against its original
+    assert_eq!(report.summary.hits, 1);
+    assert!(report.summary.p99_s >= report.summary.p50_s);
+    // reports are in admission order
+    let names: Vec<_> = report.jobs.iter().map(|j| j.name.as_str()).collect();
+    assert_eq!(names, ["a", "a-twin", "bad", "b"]);
+}
+
+#[test]
+fn killing_the_daemon_at_every_journal_boundary_recovers_bit_identically() {
+    let dir = scratch("boundaries");
+    for seed in 0..seed_count() {
+        let jobs = batch(2004 + seed);
+
+        // the uninterrupted reference daemon run, journaled
+        let journal = dir.join(format!("clean-{seed}.journal"));
+        let server = Server::builder()
+            .workers(2)
+            .journal(Some(JournalConfig {
+                path: journal.clone(),
+                resume: false,
+                faults: FsFaultPlan::none(),
+            }))
+            .build();
+        let clean = serve_once(&server, &jobs, &SynthesisCache::in_memory());
+        assert_eq!(clean.summary.jobs, 4);
+
+        let full = std::fs::read_to_string(&journal).expect("journal text");
+        let lines: Vec<&str> = full.lines().collect();
+        // serve header + per-job admit_spec/start/done + stats
+        assert!(lines.len() > jobs.len() * 2, "journal too short: {full}");
+
+        // "kill the daemon" after every whole line and mid-way through
+        // every line (a torn append), then recover from the journal alone
+        for k in 0..=lines.len() {
+            let mut variants = vec![(format!("k{k}"), lines[..k].join("\n"))];
+            if k < lines.len() {
+                let half = &lines[k][..lines[k].len() / 2];
+                variants.push((
+                    format!("k{k}-torn"),
+                    format!("{}\n{half}", lines[..k].join("\n")),
+                ));
+            }
+            for (tag, text) in variants {
+                let crash = dir.join(format!("crash-{seed}-{tag}.journal"));
+                std::fs::write(&crash, format!("{text}\n")).expect("write crash journal");
+
+                // what the torn journal can prove was admitted: the
+                // contiguous prefix of admit_spec records
+                let state = replay(&crash);
+                let mut admitted = 0;
+                while state.specs.contains_key(&admitted) {
+                    admitted += 1;
+                }
+
+                let recovered = Server::builder()
+                    .workers(2)
+                    .build()
+                    .recover_journal(&crash, &SynthesisCache::in_memory())
+                    .expect("recover");
+                assert_eq!(
+                    recovered.summary.jobs, admitted as u64,
+                    "seed {seed}, crash at {tag}: wrong recovery scope"
+                );
+                assert_eq!(
+                    recovered.summary.resumed,
+                    state.done.len().min(admitted) as u64,
+                    "seed {seed}, crash at {tag}: done records must merge verbatim"
+                );
+                assert_eq!(
+                    outcomes(&recovered, admitted),
+                    outcomes(&clean, admitted),
+                    "seed {seed}, crash at {tag}: recovered outcomes diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn resumed_daemon_continues_serving_after_recovered_jobs() {
+    let dir = scratch("resume-serve");
+    let jobs = batch(77);
+    let journal = dir.join("daemon.journal");
+    let journal_cfg = |resume| {
+        Some(JournalConfig {
+            path: journal.clone(),
+            resume,
+            faults: FsFaultPlan::none(),
+        })
+    };
+
+    // first daemon run, journaled and gracefully drained
+    let first = Server::builder()
+        .workers(2)
+        .journal(journal_cfg(false))
+        .build();
+    let clean = serve_once(&first, &jobs, &SynthesisCache::in_memory());
+
+    // crash: keep the header, every admission, and one done record
+    let full = std::fs::read_to_string(&journal).expect("journal text");
+    let mut kept = Vec::new();
+    let mut dones = 0;
+    for line in full.lines() {
+        let is_done = line.contains("\"done\"");
+        if is_done && dones >= 1 {
+            continue;
+        }
+        if line.contains("\"stats\"") {
+            continue;
+        }
+        if is_done {
+            dones += 1;
+        }
+        kept.push(line);
+    }
+    std::fs::write(&journal, format!("{}\n", kept.join("\n"))).expect("truncate");
+
+    // a second daemon resumes the journal, then serves one more job
+    let second = Server::builder()
+        .workers(2)
+        .journal(journal_cfg(true))
+        .build();
+    let extra = job("extra", 48, 64, 78);
+    let report = serve_once(
+        &second,
+        std::slice::from_ref(&extra),
+        &SynthesisCache::in_memory(),
+    );
+
+    assert_eq!(report.summary.jobs, 5, "4 recovered + 1 served live");
+    assert_eq!(report.summary.resumed, 1, "one done record merged verbatim");
+    assert_eq!(
+        outcomes(&report, 4),
+        outcomes(&clean, 4),
+        "recovered prefix must match the first daemon's outcomes"
+    );
+    assert_eq!(report.jobs[4].name, "extra");
+    assert!(report.jobs[4].ok);
+
+    // the journal now carries the whole history: a third recovery sees
+    // all five jobs as done
+    let third = Server::builder().workers(1).build();
+    let final_state = third
+        .recover_journal(&journal, &SynthesisCache::in_memory())
+        .expect("recover");
+    assert_eq!(final_state.summary.jobs, 5);
+    assert_eq!(final_state.summary.resumed, 5, "nothing left to re-run");
+    assert_eq!(outcomes(&final_state, 5), outcomes(&report, 5));
+}
