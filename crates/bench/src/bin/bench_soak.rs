@@ -1,0 +1,453 @@
+//! Sustained-load chaos soak for the persistent daemon (the `soak` key
+//! of `BENCH_solver.json`).
+//!
+//! Boots a real journaled `tce-serve` daemon on loopback, then replays a
+//! seeded mixed job stream against it from several retrying
+//! [`tce_serve::Client`] threads for a configurable duration while
+//! **both** fault injectors fire: the network plan resets connections at
+//! random (`--net-chaos`) and the filesystem plan degrades journal
+//! appends (`--fs-chaos`). A separate rude thread keeps submitting jobs
+//! and vanishing without reading the reports, exercising the
+//! dead-connection write path the whole time.
+//!
+//! The stream mixes the interesting job classes: warm repeats of a small
+//! spec pool, renamed duplicates of pool specs (same fingerprint, new
+//! name — must dedup), unique cold specs, and tiny-deadline jobs that
+//! report `deadline_exceeded`.
+//!
+//! Gates (exit 1 on violation):
+//! - **zero lost jobs** — every client submit returns a terminal report;
+//! - **zero double-executions** — solver misses never exceed the number
+//!   of distinct fingerprints issued;
+//! - **bounded journal growth** — journal bytes per admitted job stay
+//!   under `--max-journal-bytes-per-job`;
+//! - **bounded memory** — peak RSS stays under `--max-rss-mb`;
+//! - optional `--min-throughput` jobs/s floor.
+//!
+//! Usage: `bench_soak [--duration-s N] [--fast] [--seed N] [--clients N]
+//! [--workers N] [--net-chaos] [--fs-chaos] [--out PATH]
+//! [--max-journal-bytes-per-job N] [--max-rss-mb N] [--min-throughput X]`
+
+use serde::{Serialize, Value};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use tce_cache::{FsFaultKind, FsFaultPlan, SynthesisCache};
+use tce_ir::fixtures::two_index_fused;
+use tce_serve::{
+    percentile, write_frame, Client, ClientRetry, JobRequest, JobSpec, JournalConfig, NetFaultKind,
+    NetFaultPlan, Server, WireFrame,
+};
+
+/// Warm pool size: specs the stream keeps re-submitting.
+const POOL: usize = 6;
+
+fn job(name: &str, n: u64, v: u64, seed: u64, mem: u64) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        program: tce_ir::to_dsl(&two_index_fused(n, v)),
+        mem_limit: mem,
+        test_scale: true,
+        strategy: None,
+        seed: Some(seed),
+        budget: None,
+        telemetry: false,
+        objective: None,
+        timeout_ms: None,
+    }
+}
+
+fn pool_spec(i: usize, seed: u64) -> JobSpec {
+    let (n, v) = [(64, 48), (48, 64), (64, 64), (48, 48), (56, 48), (48, 56)][i % POOL];
+    job(&format!("pool-{i}"), n, v, seed + i as u64, 64 * 1024)
+}
+
+/// Peak-RSS sampler: reads `VmRSS` from `/proc/self/status` every 100 ms
+/// and keeps the maximum in kB. Returns 0 on platforms without procfs.
+fn sample_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+/// What one client thread observed.
+#[derive(Default)]
+struct ClientTally {
+    submitted: u64,
+    ok: u64,
+    failed: u64,
+    timeouts: u64,
+    hits: u64,
+    latencies_s: Vec<f64>,
+}
+
+/// The `"soak"` object merged into `BENCH_solver.json`.
+#[derive(Serialize)]
+struct SoakReport {
+    schema: &'static str,
+    fast: bool,
+    seed: u64,
+    duration_s: f64,
+    clients: usize,
+    workers: usize,
+    net_chaos: bool,
+    fs_chaos: bool,
+    submitted: u64,
+    delivered: u64,
+    ok: u64,
+    failed: u64,
+    timeouts: u64,
+    hit_rate: f64,
+    distinct_fingerprints: u64,
+    solver_misses: u64,
+    double_executed: u64,
+    jobs_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    daemon_jobs: u64,
+    daemon_conns_total: u64,
+    daemon_evicted: u64,
+    daemon_overloaded: u64,
+    client_reconnects: u64,
+    client_retries: u64,
+    journal_bytes: u64,
+    journal_bytes_per_job: f64,
+    max_rss_mb: f64,
+}
+
+/// Merges `report` under the `"soak"` key, preserving every other key.
+fn merge_into(path: &str, report: &SoakReport) {
+    let mut entries: Vec<(String, Value)> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::parse_value(&text) {
+            Ok(Value::Map(entries)) => entries,
+            _ => panic!("{path} is not a JSON object; refusing to overwrite"),
+        },
+        Err(_) => vec![
+            (
+                "schema".to_string(),
+                Value::Str("tce-bench/solver-eval/v1".to_string()),
+            ),
+            ("fast".to_string(), Value::Bool(report.fast)),
+        ],
+    };
+    entries.retain(|(k, _)| k != "soak");
+    entries.push(("soak".to_string(), report.to_value()));
+    let json = serde_json::to_string_pretty(&Value::Map(entries)).expect("serialize report");
+    std::fs::write(path, json).expect("write report");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |name: &str| args.iter().any(|a| a == name);
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_or = |name: &str, default: f64| -> f64 {
+        flag_value(name).map_or(default, |s| {
+            s.parse()
+                .unwrap_or_else(|_| panic!("{name} wants a number, got {s}"))
+        })
+    };
+    let fast = has("--fast");
+    let duration = Duration::from_secs_f64(parse_or("--duration-s", if fast { 5.0 } else { 30.0 }));
+    let seed = parse_or("--seed", 2004.0) as u64;
+    let clients = parse_or("--clients", 4.0) as usize;
+    let workers = parse_or("--workers", 2.0) as usize;
+    let net_chaos = has("--net-chaos");
+    let fs_chaos = has("--fs-chaos");
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let max_journal_bytes_per_job = parse_or("--max-journal-bytes-per-job", 8192.0);
+    let max_rss_mb = parse_or("--max-rss-mb", 2048.0);
+    let min_throughput = parse_or("--min-throughput", 0.0);
+
+    let scratch = std::env::temp_dir().join(format!("tce-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let journal_path = scratch.join("soak.journal");
+
+    let mut net = NetFaultPlan::none();
+    if net_chaos {
+        net = net.with_seed(seed).probabilistic(0.04, NetFaultKind::Reset);
+    }
+    let mut fs = FsFaultPlan::none();
+    if fs_chaos {
+        fs = fs.with_seed(seed).probabilistic(0.05, FsFaultKind::Eio);
+    }
+    let server = Server::builder()
+        .workers(workers)
+        .max_conns(clients + 8)
+        .idle_timeout(Some(Duration::from_secs(10)))
+        .net_faults(net)
+        .journal(Some(JournalConfig {
+            path: journal_path.clone(),
+            resume: false,
+            faults: fs,
+        }))
+        .build();
+    // capacity far above the stream's distinct-fingerprint count, so
+    // LRU eviction can never force a legitimate re-solve and void the
+    // exactly-once gate
+    let cache = SynthesisCache::with_capacity(1 << 16);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = AtomicBool::new(false);
+
+    eprintln!(
+        "bench_soak: {}s, {clients} client(s) x {workers} worker(s), net_chaos={net_chaos}, \
+         fs_chaos={fs_chaos}, seed={seed}",
+        duration.as_secs_f64()
+    );
+
+    let stop = AtomicBool::new(false);
+    let max_rss_kb = AtomicU64::new(0);
+    let cold_counter = AtomicU64::new(0);
+    let timeout_counter = AtomicU64::new(0);
+    let started = Instant::now();
+
+    let (tallies, daemon_stats, reconnects, retries, report) = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            server
+                .serve(listener, &cache, &shutdown)
+                .expect("daemon run")
+        });
+
+        // peak-RSS sampler
+        let rss = scope.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                max_rss_kb.fetch_max(sample_rss_kb(), Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+
+        // the rude thread: submit-and-vanish connections (reports are
+        // written to a dead socket; the daemon must shrug it off)
+        let rude = scope.spawn(|| {
+            let mut rank = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(mut conn) = TcpStream::connect(addr) {
+                    let spec = pool_spec(rank as usize % POOL, seed);
+                    let _ = write_frame(&mut conn, &WireFrame::Job(JobRequest { id: 1, spec }));
+                }
+                rank += 1;
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        });
+
+        let client_threads: Vec<_> = (0..clients)
+            .map(|c| {
+                let (cold_counter, timeout_counter) = (&cold_counter, &timeout_counter);
+                scope.spawn(move || {
+                    let retry = ClientRetry::with_attempts(8).with_seed(seed ^ (c as u64) << 7);
+                    let mut client = Client::new(addr.to_string(), retry);
+                    let mut tally = ClientTally::default();
+                    // splitmix-style stream picking job classes
+                    let mut state = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(c as u64 + 1);
+                    let mut step = || {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        state >> 33
+                    };
+                    while started.elapsed() < duration {
+                        let roll = step() % 100;
+                        let spec = if roll < 60 {
+                            // warm repeat
+                            pool_spec(step() as usize % POOL, seed)
+                        } else if roll < 75 {
+                            // renamed duplicate: same fingerprint, new name
+                            let mut s = pool_spec(step() as usize % POOL, seed);
+                            s.name = format!("renamed-{c}-{}", tally.submitted);
+                            s
+                        } else if roll < 90 {
+                            // unique cold spec (seed and mem both vary)
+                            let i = cold_counter.fetch_add(1, Ordering::Relaxed);
+                            job("cold", 64, 48, 100_000 + i, 64 * 1024 + 16 * i)
+                        } else {
+                            // tiny deadline: must terminate as a timeout,
+                            // on a distinct size family so its fingerprints
+                            // never collide with the normal classes
+                            let i = timeout_counter.fetch_add(1, Ordering::Relaxed);
+                            let mut s = job("deadline", 96, 80, 200_000 + i, 64 * 1024);
+                            s.timeout_ms = Some(1);
+                            s
+                        };
+                        tally.submitted += 1;
+                        let t0 = Instant::now();
+                        match client.submit(&spec) {
+                            Ok(r) => {
+                                tally.latencies_s.push(t0.elapsed().as_secs_f64());
+                                if r.ok {
+                                    tally.ok += 1;
+                                } else if r.error_kind.as_deref() == Some("deadline_exceeded") {
+                                    tally.timeouts += 1;
+                                } else {
+                                    tally.failed += 1;
+                                }
+                                if r.hit || r.joined {
+                                    tally.hits += 1;
+                                }
+                            }
+                            Err(e) => panic!("client {c}: lost job after retries: {e}"),
+                        }
+                    }
+                    (tally, client.reconnects(), client.retries())
+                })
+            })
+            .collect();
+
+        let mut tallies = Vec::new();
+        let (mut reconnects, mut retries) = (0u64, 0u64);
+        for t in client_threads {
+            let (tally, rc, rt) = t.join().expect("client thread");
+            tallies.push(tally);
+            reconnects += rc;
+            retries += rt;
+        }
+        stop.store(true, Ordering::Relaxed);
+        rude.join().expect("rude thread");
+        rss.join().expect("rss thread");
+
+        let mut closer = Client::new(addr.to_string(), ClientRetry::with_attempts(8));
+        let daemon_stats = closer.stats().expect("final stats");
+        closer.shutdown().expect("shutdown");
+        let report = handle.join().expect("daemon thread");
+        (tallies, daemon_stats, reconnects, retries, report)
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    let submitted: u64 = tallies.iter().map(|t| t.submitted).sum();
+    let ok: u64 = tallies.iter().map(|t| t.ok).sum();
+    let failed: u64 = tallies.iter().map(|t| t.failed).sum();
+    let timeouts: u64 = tallies.iter().map(|t| t.timeouts).sum();
+    let hits: u64 = tallies.iter().map(|t| t.hits).sum();
+    let delivered = ok + failed + timeouts;
+    let mut latencies: Vec<f64> = tallies.into_iter().flat_map(|t| t.latencies_s).collect();
+    latencies.sort_by(f64::total_cmp);
+
+    let distinct = POOL as u64
+        + cold_counter.load(Ordering::Relaxed)
+        + timeout_counter.load(Ordering::Relaxed);
+    let cache_stats = cache.stats();
+    // the exactly-once invariant, from the daemon's own ledger: a
+    // fingerprint whose solve *succeeded* is never freshly solved again
+    // — resends must hit the cache or join in flight. (Timed-out and
+    // failed solves are not cached, so re-running those is correct.)
+    let mut fresh_ok: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for j in &report.jobs {
+        if j.ok && !j.hit && !j.joined && !j.fingerprint.is_empty() {
+            *fresh_ok.entry(j.fingerprint.as_str()).or_default() += 1;
+        }
+    }
+    let double_executed = fresh_ok.values().filter(|&&c| c > 1).count() as u64;
+    let journal_bytes = std::fs::metadata(&journal_path).map_or(0, |m| m.len());
+    let daemon_jobs = report.summary.jobs.max(1);
+    let journal_bytes_per_job = journal_bytes as f64 / daemon_jobs as f64;
+    let rss_mb = max_rss_kb.load(Ordering::Relaxed) as f64 / 1024.0;
+
+    let soak = SoakReport {
+        schema: "tce-bench/soak/v1",
+        fast,
+        seed,
+        duration_s: wall,
+        clients,
+        workers,
+        net_chaos,
+        fs_chaos,
+        submitted,
+        delivered,
+        ok,
+        failed,
+        timeouts,
+        hit_rate: hits as f64 / submitted.max(1) as f64,
+        distinct_fingerprints: distinct,
+        solver_misses: cache_stats.misses,
+        double_executed,
+        jobs_per_s: delivered as f64 / wall.max(1e-9),
+        p50_ms: percentile(&latencies, 50.0) * 1e3,
+        p99_ms: percentile(&latencies, 99.0) * 1e3,
+        p999_ms: percentile(&latencies, 99.9) * 1e3,
+        daemon_jobs: report.summary.jobs,
+        daemon_conns_total: daemon_stats.conns_total,
+        daemon_evicted: daemon_stats.evicted,
+        daemon_overloaded: daemon_stats.overloaded,
+        client_reconnects: reconnects,
+        client_retries: retries,
+        journal_bytes,
+        journal_bytes_per_job,
+        max_rss_mb: rss_mb,
+    };
+    merge_into(&out, &soak);
+    eprintln!(
+        "bench_soak: {delivered}/{submitted} delivered in {wall:.1}s ({:.1} jobs/s), \
+         {ok} ok / {failed} failed / {timeouts} timeouts, hit rate {:.2}",
+        soak.jobs_per_s, soak.hit_rate
+    );
+    eprintln!(
+        "bench_soak: p50 {:.1}ms p99 {:.1}ms p999 {:.1}ms, {} reconnects, {} retries, \
+         {} evicted, journal {:.0} B/job, peak RSS {:.0} MB -> {out} (soak key)",
+        soak.p50_ms,
+        soak.p99_ms,
+        soak.p999_ms,
+        reconnects,
+        retries,
+        daemon_stats.evicted,
+        journal_bytes_per_job,
+        rss_mb
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // the gates
+    let mut violations = Vec::new();
+    if delivered != submitted {
+        violations.push(format!(
+            "lost jobs: {submitted} submitted, {delivered} delivered"
+        ));
+    }
+    if failed > 0 {
+        violations.push(format!("{failed} jobs failed outright"));
+    }
+    if double_executed > 0 {
+        violations.push(format!(
+            "double-execution: {double_executed} fingerprint(s) freshly solved more than once"
+        ));
+    }
+    if report.summary.jobs != report.summary.ok + report.summary.failed {
+        violations.push("daemon report has non-terminal jobs".to_string());
+    }
+    if journal_bytes_per_job > max_journal_bytes_per_job {
+        violations.push(format!(
+            "journal growth {journal_bytes_per_job:.0} B/job exceeds {max_journal_bytes_per_job:.0}"
+        ));
+    }
+    if rss_mb > max_rss_mb {
+        violations.push(format!(
+            "peak RSS {rss_mb:.0} MB exceeds {max_rss_mb:.0} MB"
+        ));
+    }
+    if min_throughput > 0.0 && soak.jobs_per_s < min_throughput {
+        violations.push(format!(
+            "throughput {:.1} jobs/s below required {min_throughput:.1}",
+            soak.jobs_per_s
+        ));
+    }
+    if violations.is_empty() {
+        eprintln!("bench_soak: all gates passed");
+    } else {
+        for v in &violations {
+            eprintln!("bench_soak: FAIL — {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -60,6 +60,14 @@
 //!                         admissions, starts, and completions
 //! --resume-journal        (serve) resume a crashed batch from --journal:
 //!                         completed jobs merge verbatim, the rest re-run
+//! --max-conns <n>         (serve) cap on concurrently open daemon
+//!                         connections; surplus connects are refused
+//!                         with `overloaded` (default: unlimited)
+//! --idle-timeout <secs>   (serve) evict daemon connections that sit
+//!                         idle between frames this long (default: never)
+//! --net-faults <spec>     (serve) seeded network fault injection on
+//!                         daemon connections, e.g.
+//!                         `seed=7,p=0.05,kind=reset,stall_ms=40`
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage error.
@@ -152,6 +160,12 @@ pub struct ServeOptions {
     pub journal: Option<String>,
     /// Resume a crashed batch or daemon from `--journal`.
     pub resume_journal: bool,
+    /// Cap on concurrently open daemon connections (`0` = unlimited).
+    pub max_conns: usize,
+    /// Idle deadline for daemon connections, in seconds.
+    pub idle_timeout: Option<f64>,
+    /// Seeded network fault plan for daemon connections.
+    pub net_faults: Option<tce_serve::NetFaultPlan>,
 }
 
 impl ServeOptions {
@@ -180,6 +194,15 @@ impl ServeOptions {
             }));
         if self.queue > 0 {
             b = b.queue_cap(self.queue);
+        }
+        if self.max_conns > 0 {
+            b = b.max_conns(self.max_conns);
+        }
+        if let Some(secs) = self.idle_timeout {
+            b = b.idle_timeout(Some(std::time::Duration::from_secs_f64(secs)));
+        }
+        if let Some(plan) = &self.net_faults {
+            b = b.net_faults(plan.clone());
         }
         b.build()
     }
@@ -576,6 +599,29 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             }
             "--journal" => cli.serve.journal = Some(value("--journal")?),
             "--resume-journal" => cli.serve.resume_journal = true,
+            "--max-conns" => {
+                cli.serve.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--max-conns needs an integer"))?;
+                if cli.serve.max_conns == 0 {
+                    return Err(CliError::usage("--max-conns must be at least 1"));
+                }
+            }
+            "--idle-timeout" => {
+                let secs: f64 = value("--idle-timeout")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--idle-timeout needs seconds"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(CliError::usage("--idle-timeout must be positive"));
+                }
+                cli.serve.idle_timeout = Some(secs);
+            }
+            "--net-faults" => {
+                cli.serve.net_faults = Some(
+                    tce_serve::NetFaultPlan::parse(&value("--net-faults")?)
+                        .map_err(|e| CliError::usage(format!("--net-faults: {e}")))?,
+                );
+            }
             other => return Err(CliError::usage(format!("unknown option `{other}`"))),
         }
     }
@@ -599,10 +645,26 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         if cli.serve.queue > 0 && cli.serve.listen.is_none() {
             return Err(CliError::usage("--queue only applies to --listen mode"));
         }
+        if cli.serve.listen.is_none() {
+            if cli.serve.max_conns > 0 {
+                return Err(CliError::usage("--max-conns only applies to --listen mode"));
+            }
+            if cli.serve.idle_timeout.is_some() {
+                return Err(CliError::usage(
+                    "--idle-timeout only applies to --listen mode",
+                ));
+            }
+            if cli.serve.net_faults.is_some() {
+                return Err(CliError::usage(
+                    "--net-faults only applies to --listen mode",
+                ));
+            }
+        }
     } else if cli.serve.any_set() {
         return Err(CliError::usage(
             "--batch/--stdin/--listen/--queue/--workers/--cache-dir/--job-timeout/\
-             --journal/--resume-journal only apply to `tce serve`",
+             --journal/--resume-journal/--max-conns/--idle-timeout/--net-faults \
+             only apply to `tce serve`",
         ));
     }
     Ok(cli)
@@ -1134,6 +1196,32 @@ mod tests {
         assert_eq!(cli.serve.listen.as_deref(), Some("127.0.0.1:7411"));
         assert_eq!(cli.serve.queue, 8);
         assert_eq!(cli.serve.modes(), 1);
+    }
+
+    #[test]
+    fn serve_overload_flags_are_daemon_only_and_parse() {
+        // daemon-only: rejected in batch/stdin modes and on other commands
+        assert!(parse_args(&args("serve --batch a.json --max-conns 4")).is_err());
+        assert!(parse_args(&args("serve --stdin --idle-timeout 5")).is_err());
+        assert!(parse_args(&args("serve --batch a.json --net-faults p=0.1")).is_err());
+        assert!(parse_args(&args("check f.tce --max-conns 4")).is_err());
+        // range and syntax validation
+        assert!(parse_args(&args("serve --listen 127.0.0.1:0 --max-conns 0")).is_err());
+        assert!(parse_args(&args("serve --listen 127.0.0.1:0 --idle-timeout 0")).is_err());
+        assert!(parse_args(&args("serve --listen 127.0.0.1:0 --idle-timeout nan")).is_err());
+        assert!(parse_args(&args("serve --listen 127.0.0.1:0 --net-faults bogus=1")).is_err());
+
+        let cli = parse_args(&args(
+            "serve --listen 127.0.0.1:0 --max-conns 64 --idle-timeout 30 \
+             --net-faults seed=7,p=0.05,kind=reset,stall_ms=40",
+        ))
+        .unwrap();
+        assert_eq!(cli.serve.max_conns, 64);
+        assert_eq!(cli.serve.idle_timeout, Some(30.0));
+        let plan = cli.serve.net_faults.as_ref().unwrap();
+        assert!(!plan.is_idle());
+        // the configured server builds without panicking
+        let _ = cli.serve.server();
     }
 
     #[test]

@@ -21,28 +21,43 @@
 //! bit-identical merged outcomes ([`journal`],
 //! [`Server::recover_journal`]).
 //!
+//! The daemon's network edge is *overload-hardened* (`DESIGN.md` §16):
+//! connection guards ([`ServerBuilder::max_conns`], idle and mid-frame
+//! read deadlines, write timeouts) evict slow-loris and slow-consumer
+//! peers without touching in-flight jobs, a seeded [`NetFaultPlan`]
+//! injects short reads/writes, resets, stalls, and accept failures into
+//! the wire path for chaos testing, and [`client::Client`] retries with
+//! seeded exponential backoff — safe because resent jobs dedup on their
+//! canonical fingerprint instead of double-solving.
+//!
 //! The free functions [`run_batch`], [`run_lines`] and friends are the
 //! pre-daemon API, kept as deprecated shims over the same engine.
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod job;
 pub mod journal;
+pub mod netfault;
 pub mod proto;
 pub mod server;
 pub mod service;
 pub mod supervise;
 
+pub use client::{Client, ClientError, ClientRetry};
 pub use job::{
     batch_digest, parse_jobs_file, percentile, spec_digest, BatchReport, BatchSummary, JobReport,
     JobSpec, JOBS_SCHEMA, REPORT_SCHEMA,
 };
 pub use journal::{replay, JournalState, JournalWriter, JOURNAL_SCHEMA};
+pub use netfault::{NetFaultInjector, NetFaultKind, NetFaultPlan};
 pub use proto::{
     read_frame, write_frame, FrameDecoder, JobRequest, ServeStats, WireFrame, MAX_FRAME_LEN,
     WIRE_SCHEMA,
 };
-pub use server::{Server, ServerBuilder, DEFAULT_QUEUE_CAP};
+pub use server::{
+    Server, ServerBuilder, DEFAULT_FRAME_TIMEOUT, DEFAULT_QUEUE_CAP, DEFAULT_WRITE_TIMEOUT,
+};
 #[allow(deprecated)]
 pub use service::{run_batch, run_batch_with, run_lines, run_lines_with};
 pub use service::{BatchOptions, JournalConfig, LEADER_RETRY_BUDGET};

@@ -59,6 +59,23 @@ pub struct ServeStats {
     pub p50_s: f64,
     /// 99th-percentile request latency so far, seconds.
     pub p99_s: f64,
+    /// Client connections currently open.
+    pub conns_open: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub conns_total: u64,
+    /// Connections refused at accept because `--max-conns` was reached.
+    pub overloaded: u64,
+    /// Connections forcibly closed by a guard: idle timeout, mid-frame
+    /// (slow-loris) timeout, or a slow-consumer write failure.
+    pub evicted: u64,
+    /// Payload bytes read from clients over the daemon's lifetime.
+    pub bytes_in: u64,
+    /// Frame bytes written to clients over the daemon's lifetime.
+    pub bytes_out: u64,
+    /// Complete frames decoded from clients over the daemon's lifetime.
+    pub frames_in: u64,
+    /// Frames written to clients over the daemon's lifetime.
+    pub frames_out: u64,
 }
 
 /// One protocol frame (see the module docs for direction and semantics).
@@ -193,19 +210,29 @@ impl WireFrame {
     }
 }
 
-/// Writes one frame: 4-byte big-endian length, then the JSON payload.
-pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> io::Result<()> {
+/// Encodes one frame to its wire bytes: 4-byte big-endian length, then
+/// the JSON payload. Useful when the caller wants to write the whole
+/// frame in one syscall (or through a fault injector) instead of
+/// streaming it.
+pub fn frame_bytes(frame: &WireFrame) -> io::Result<Vec<u8>> {
     let json = serde_json::to_string(&frame.to_value())
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
-    let bytes = json.as_bytes();
-    if bytes.len() > MAX_FRAME_LEN {
+    let payload = json.as_bytes();
+    if payload.len() > MAX_FRAME_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "frame exceeds MAX_FRAME_LEN",
         ));
     }
-    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
-    w.write_all(bytes)?;
+    let mut bytes = Vec::with_capacity(4 + payload.len());
+    bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(payload);
+    Ok(bytes)
+}
+
+/// Writes one frame: 4-byte big-endian length, then the JSON payload.
+pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> io::Result<()> {
+    w.write_all(&frame_bytes(frame)?)?;
     w.flush()
 }
 
@@ -245,9 +272,26 @@ fn decode_payload(payload: &[u8]) -> Result<Option<WireFrame>, String> {
 /// with [`FrameDecoder::next_frame`]. Bytes of an incomplete frame stay
 /// buffered across calls, so short reads can never desynchronize the
 /// length-prefixed stream.
+///
+/// The length prefix is validated *as it arrives*: a declared length
+/// beyond [`MAX_FRAME_LEN`] poisons the decoder before a single payload
+/// byte is buffered, so a hostile prefix can never drive allocation —
+/// at most the 4 header bytes are ever held for an oversized frame.
 #[derive(Default)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
+    /// The 4-byte length prefix of the frame being read.
+    header: [u8; 4],
+    header_len: usize,
+    /// Expected payload length once the header has been validated.
+    expect: usize,
+    in_payload: bool,
+    /// Payload bytes of the frame being read (never grows past
+    /// `expect`, which is itself capped at [`MAX_FRAME_LEN`]).
+    payload: Vec<u8>,
+    /// Completed payloads not yet drained by [`FrameDecoder::next_frame`].
+    ready: std::collections::VecDeque<Vec<u8>>,
+    /// A fatal framing error; all further input is discarded.
+    poisoned: Option<String>,
 }
 
 impl FrameDecoder {
@@ -256,32 +300,58 @@ impl FrameDecoder {
         FrameDecoder::default()
     }
 
-    /// Buffers freshly read bytes.
-    pub fn extend(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+    /// Buffers freshly read bytes, completing frames as their final
+    /// bytes arrive. Input after a framing error is discarded; the
+    /// error surfaces from [`FrameDecoder::next_frame`].
+    pub fn extend(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() && self.poisoned.is_none() {
+            if !self.in_payload {
+                let take = (4 - self.header_len).min(bytes.len());
+                self.header[self.header_len..self.header_len + take]
+                    .copy_from_slice(&bytes[..take]);
+                self.header_len += take;
+                bytes = &bytes[take..];
+                if self.header_len < 4 {
+                    return;
+                }
+                let len = u32::from_be_bytes(self.header) as usize;
+                if len > MAX_FRAME_LEN {
+                    self.poisoned = Some(format!("frame length {len} exceeds {MAX_FRAME_LEN}"));
+                    return;
+                }
+                self.expect = len;
+                self.in_payload = true;
+                self.payload.clear();
+            }
+            let take = (self.expect - self.payload.len()).min(bytes.len());
+            self.payload.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            if self.payload.len() == self.expect {
+                self.ready.push_back(std::mem::take(&mut self.payload));
+                self.in_payload = false;
+                self.header_len = 0;
+            }
+        }
     }
 
     /// Pops the next complete frame, `Ok(None)` if more bytes are needed.
     /// An error (oversized length, bad JSON) poisons the stream — the
     /// caller should answer [`WireFrame::ProtocolError`] and close.
+    /// Frames completed before the poisoning byte still drain first.
     pub fn next_frame(&mut self) -> Result<Option<WireFrame>, String> {
-        if self.buf.len() < 4 {
-            return Ok(None);
+        if let Some(payload) = self.ready.pop_front() {
+            return decode_payload(&payload);
         }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        if len > MAX_FRAME_LEN {
-            return Err(format!("frame length {len} exceeds {MAX_FRAME_LEN}"));
+        match &self.poisoned {
+            Some(reason) => Err(reason.clone()),
+            None => Ok(None),
         }
-        if self.buf.len() < 4 + len {
-            return Ok(None);
-        }
-        let payload: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
-        decode_payload(&payload)
     }
 
-    /// Bytes currently buffered (diagnostics).
+    /// Bytes currently buffered (diagnostics): pending header and
+    /// payload bytes plus completed frames not yet drained.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.header_len + self.payload.len() + self.ready.iter().map(Vec::len).sum::<usize>()
     }
 }
 
@@ -335,6 +405,14 @@ mod tests {
                 workers: 2,
                 p50_s: 0.2,
                 p99_s: 0.9,
+                conns_open: 1,
+                conns_total: 3,
+                overloaded: 1,
+                evicted: 2,
+                bytes_in: 4096,
+                bytes_out: 8192,
+                frames_in: 7,
+                frames_out: 9,
             }),
             WireFrame::ShuttingDown,
             WireFrame::ProtocolError {
@@ -408,5 +486,48 @@ mod tests {
             ("type".to_string(), Value::Str("stats".into())),
         ]);
         assert!(WireFrame::from_value(&v).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_any_payload_byte_is_buffered() {
+        // a hostile length prefix followed by a flood of payload bytes:
+        // the decoder must refuse at the header and buffer none of the
+        // flood, even when the attack arrives in one contiguous read
+        let mut attack = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes().to_vec();
+        attack.extend(vec![0xAAu8; 64 * 1024]);
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&attack);
+        assert!(
+            decoder.buffered() <= 4,
+            "only the header may be held, got {}",
+            decoder.buffered()
+        );
+        assert!(decoder.next_frame().unwrap_err().contains("exceeds"));
+        // the poison is sticky: later input is discarded, the error repeats
+        decoder.extend(&encode(&WireFrame::Stats));
+        assert!(decoder.buffered() <= 4);
+        assert!(decoder.next_frame().unwrap_err().contains("exceeds"));
+
+        // the same holds byte-by-byte (a slow-loris shaped drip)
+        let mut decoder = FrameDecoder::new();
+        for b in &attack[..64] {
+            decoder.extend(&[*b]);
+            assert!(decoder.buffered() <= 4);
+        }
+        assert!(decoder.next_frame().unwrap_err().contains("exceeds"));
+
+        // frames completed before the poisoning byte still drain first
+        let mut decoder = FrameDecoder::new();
+        let mut stream = encode(&WireFrame::Stats);
+        stream.extend(u32::MAX.to_be_bytes());
+        decoder.extend(&stream);
+        assert!(matches!(decoder.next_frame(), Ok(Some(WireFrame::Stats))));
+        assert!(decoder.next_frame().unwrap_err().contains("exceeds"));
+
+        // an exactly-at-cap length is a valid (if huge) declaration, not
+        // an error: the decoder waits for its payload
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&(MAX_FRAME_LEN as u32).to_be_bytes());
+        assert!(decoder.next_frame().unwrap().is_none());
     }
 }

@@ -26,6 +26,7 @@
 
 use crate::job::{percentile, BatchReport, JobReport, JobSpec, REPORT_SCHEMA};
 use crate::journal::{self, JournalWriter};
+use crate::netfault::{self, NetFaultInjector, NetFaultPlan, ReadOutcome};
 use crate::proto::{self, FrameDecoder, JobRequest, ServeStats, WireFrame};
 use crate::service::{
     process_job, summarize, BatchOptions, CacheRunner, JobRunner, JournalConfig,
@@ -35,19 +36,33 @@ use crate::supervise::SingleFlight;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::io::Read;
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 use tce_cache::SynthesisCache;
 
 /// Default bound on the daemon's admission queue.
 pub const DEFAULT_QUEUE_CAP: usize = 64;
 
-/// How often blocked daemon loops (acceptor, connection readers, idle
-/// workers) wake to re-check the shutdown/drain flags.
+/// Default mid-frame read deadline: a connection holding a frame open
+/// longer than this is a slow loris and is evicted.
+pub const DEFAULT_FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default write timeout for response frames: a consumer slower than
+/// this is disconnected so it cannot pin a worker.
+pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How often blocked daemon loops (the acceptor, idle workers) wake to
+/// re-check the shutdown/drain flags.
 const POLL: Duration = Duration::from_millis(20);
+
+/// Longest a connection reader sleeps between wakeups when no guard
+/// deadline is nearer. Idle readers do not spin: drain wakes every
+/// reader *push-style* (the acceptor shuts each read half down), so
+/// this tick is a backstop, not the drain latency.
+const READ_POLL_CAP: Duration = Duration::from_millis(500);
 
 /// Builder for a [`Server`]; start from [`Server::builder`].
 #[derive(Clone)]
@@ -57,6 +72,11 @@ pub struct ServerBuilder {
     job_timeout: Option<Duration>,
     retry_budget: u32,
     journal: Option<JournalConfig>,
+    max_conns: usize,
+    idle_timeout: Option<Duration>,
+    frame_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    net_faults: NetFaultPlan,
 }
 
 impl Default for ServerBuilder {
@@ -67,6 +87,11 @@ impl Default for ServerBuilder {
             job_timeout: None,
             retry_budget: LEADER_RETRY_BUDGET,
             journal: None,
+            max_conns: 0,
+            idle_timeout: None,
+            frame_timeout: Some(DEFAULT_FRAME_TIMEOUT),
+            write_timeout: Some(DEFAULT_WRITE_TIMEOUT),
+            net_faults: NetFaultPlan::none(),
         }
     }
 }
@@ -101,6 +126,47 @@ impl ServerBuilder {
     /// Write-ahead journal configuration; `None` disables journaling.
     pub fn journal(mut self, journal: Option<JournalConfig>) -> Self {
         self.journal = journal;
+        self
+    }
+
+    /// Maximum concurrently open client connections; beyond it a fresh
+    /// connection is answered with an `overloaded`
+    /// [`WireFrame::Rejected`] (id `0` — no job was read) and closed.
+    /// `0` (the default) means unlimited.
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.max_conns = n;
+        self
+    }
+
+    /// Evicts a connection with no wire activity for this long while
+    /// *between* frames; `None` (the default) keeps idle connections
+    /// forever.
+    pub fn idle_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Evicts a connection stuck *mid-frame* for this long — the
+    /// slow-loris guard. Defaults to [`DEFAULT_FRAME_TIMEOUT`]; `None`
+    /// disables it.
+    pub fn frame_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.frame_timeout = timeout;
+        self
+    }
+
+    /// Write timeout for response frames; a consumer slower than this
+    /// is disconnected (its queued jobs still run and journal, only
+    /// delivery stops). Defaults to [`DEFAULT_WRITE_TIMEOUT`].
+    pub fn write_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.write_timeout = timeout;
+        self
+    }
+
+    /// Seeded network fault schedule injected into the daemon's
+    /// accepts, reads, and frame writes (chaos testing; the default is
+    /// fault-free).
+    pub fn net_faults(mut self, plan: NetFaultPlan) -> Self {
+        self.net_faults = plan;
         self
     }
 
@@ -289,7 +355,23 @@ impl Server {
             base_idx: recovered.len(),
             queue_cap: self.config.queue_cap,
             workers: workers as u64,
+            max_conns: self.config.max_conns,
+            conns_open: AtomicU64::new(0),
+            conns_total: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
         };
+        let guards = ConnGuards {
+            idle_timeout: self.config.idle_timeout,
+            frame_timeout: self.config.frame_timeout,
+            write_timeout: self.config.write_timeout,
+        };
+        let net = (!self.config.net_faults.is_idle()).then(|| self.config.net_faults.injector(0));
         let live: Mutex<Vec<(usize, JobReport)>> = Mutex::new(Vec::new());
         let flights = SingleFlight::default();
 
@@ -298,6 +380,8 @@ impl Server {
             let live = &live;
             let flights = &flights;
             let opts = &opts;
+            let guards = &guards;
+            let net = &net;
             for _ in 0..workers {
                 scope
                     .spawn(move |_| worker_loop(state, writer, cache, flights, opts, runner, live));
@@ -308,8 +392,29 @@ impl Server {
                     break;
                 }
                 match listener.accept() {
-                    Ok((stream, _)) => {
-                        scope.spawn(move |_| conn_loop(stream, state, writer));
+                    Ok((mut stream, _)) => {
+                        if netfault::accept_fails(net.as_deref()) {
+                            continue; // injected accept-time failure
+                        }
+                        if state.max_conns > 0
+                            && state.conns_open.load(Ordering::Relaxed) >= state.max_conns as u64
+                        {
+                            // explicit refusal the client can see and
+                            // back off from, instead of a silent close
+                            state.overloaded.fetch_add(1, Ordering::Relaxed);
+                            let _ = proto::write_frame(
+                                &mut stream,
+                                &WireFrame::Rejected {
+                                    id: 0,
+                                    reason: "overloaded".to_string(),
+                                },
+                            );
+                            continue;
+                        }
+                        state.conns_total.fetch_add(1, Ordering::Relaxed);
+                        state.conns_open.fetch_add(1, Ordering::Relaxed);
+                        scope
+                            .spawn(move |_| conn_loop(stream, state, writer, guards, net.as_ref()));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(POLL);
@@ -321,6 +426,11 @@ impl Server {
             }
             state.draining.store(true, Ordering::Relaxed);
             state.cv.notify_all();
+            // push-style reader wakeup: shut every connection's read
+            // half down so drain latency is independent of how long
+            // idle readers sleep (their write halves stay open — queued
+            // reports still reach their clients)
+            state.wake_readers();
         })
         .expect("daemon scope");
 
@@ -413,6 +523,21 @@ struct DaemonState {
     base_idx: usize,
     queue_cap: usize,
     workers: u64,
+    /// Open-connection ceiling; `0` means unlimited.
+    max_conns: usize,
+    conns_open: AtomicU64,
+    conns_total: AtomicU64,
+    /// Connections refused at accept (`max_conns` reached).
+    overloaded: AtomicU64,
+    /// Connections closed by a guard (idle/mid-frame deadline, slow
+    /// consumer).
+    evicted: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    /// Live connections, for the push-style drain wakeup.
+    conns: Mutex<Vec<Weak<ConnWriter>>>,
 }
 
 impl DaemonState {
@@ -427,8 +552,37 @@ impl DaemonState {
             workers: self.workers,
             p50_s: percentile(&latencies, 50.0),
             p99_s: percentile(&latencies, 99.0),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            conns_total: self.conns_total.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
         }
     }
+
+    fn register_conn(&self, conn: &Arc<ConnWriter>) {
+        let mut conns = self.conns.lock();
+        conns.retain(|w| w.strong_count() > 0);
+        conns.push(Arc::downgrade(conn));
+    }
+
+    /// Wakes every connection reader by shutting its read half down;
+    /// write halves stay open so queued reports still deliver.
+    fn wake_readers(&self) {
+        for conn in self.conns.lock().iter().filter_map(Weak::upgrade) {
+            conn.wake_reader();
+        }
+    }
+}
+
+/// Per-connection guard deadlines, shared by every reader thread.
+struct ConnGuards {
+    idle_timeout: Option<Duration>,
+    frame_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
 }
 
 /// One admitted, not-yet-finished job.
@@ -445,12 +599,91 @@ struct QueuedJob {
 /// concurrently written frames from interleaving bytes.
 struct ConnWriter {
     stream: Mutex<TcpStream>,
+    /// Set on the first failed write (or a guard eviction); later sends
+    /// are dropped without blocking a worker.
+    dead: AtomicBool,
+    faults: Option<Arc<NetFaultInjector>>,
+    /// Per-connection delivery accounting.
+    bytes_out: AtomicU64,
+    frames_out: AtomicU64,
+}
+
+/// What one best-effort frame send did.
+enum SendOutcome {
+    /// The frame left this process (and was counted under the lock).
+    Sent,
+    /// The connection was already condemned; nothing was written.
+    Dead,
+    /// The write timed out — the consumer is too slow and has just been
+    /// disconnected (the caller should count an eviction).
+    SlowConsumer,
 }
 
 impl ConnWriter {
-    /// Best-effort send: a client that hung up simply stops receiving.
-    fn send(&self, frame: &WireFrame) {
-        let _ = proto::write_frame(&mut *self.stream.lock(), frame);
+    /// Best-effort send: a client that hung up simply stops receiving,
+    /// and one that stops reading (write timeout) is disconnected so it
+    /// cannot pin workers. Delivery accounting (per-connection and
+    /// daemon-wide) is updated *while the stream lock is still held*,
+    /// so a stats snapshot taken under the same lock can never miss a
+    /// frame the client has already received.
+    fn send(&self, state: &DaemonState, frame: &WireFrame) -> SendOutcome {
+        if self.dead.load(Ordering::Relaxed) {
+            return SendOutcome::Dead;
+        }
+        let Ok(bytes) = proto::frame_bytes(frame) else {
+            return SendOutcome::Dead;
+        };
+        let mut stream = self.stream.lock();
+        match netfault::write_all(self.faults.as_deref(), &mut stream, &bytes) {
+            Ok(()) => {
+                self.bytes_out
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                self.frames_out.fetch_add(1, Ordering::Relaxed);
+                state
+                    .bytes_out
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                state.frames_out.fetch_add(1, Ordering::Relaxed);
+                SendOutcome::Sent
+            }
+            Err(e) => {
+                self.dead.store(true, Ordering::Relaxed);
+                let _ = stream.shutdown(Shutdown::Both);
+                let timed_out = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                );
+                if timed_out {
+                    SendOutcome::SlowConsumer
+                } else {
+                    SendOutcome::Dead
+                }
+            }
+        }
+    }
+
+    /// Condemns the connection and shuts it down entirely (guard
+    /// eviction).
+    fn hangup(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+        let _ = self.stream.lock().shutdown(Shutdown::Both);
+    }
+
+    /// Shuts only the read half down, waking a blocked reader thread;
+    /// queued reports still deliver on the write half.
+    fn wake_reader(&self) {
+        let _ = self.stream.lock().shutdown(Shutdown::Read);
+    }
+}
+
+/// Sends through `conn` (which rolls delivered bytes/frames into the
+/// daemon-wide accounting under the stream lock) and counts
+/// slow-consumer evictions.
+fn send_tracked(state: &DaemonState, conn: &ConnWriter, frame: &WireFrame) {
+    match conn.send(state, frame) {
+        SendOutcome::Sent | SendOutcome::Dead => {}
+        SendOutcome::SlowConsumer => {
+            state.evicted.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -492,54 +725,127 @@ fn worker_loop(
             .lock()
             .push(job.enqueued.elapsed().as_secs_f64());
         state.completed.fetch_add(1, Ordering::Relaxed);
-        job.conn.send(&WireFrame::Report {
-            id: job.id,
-            report: report.clone(),
-        });
+        send_tracked(
+            state,
+            &job.conn,
+            &WireFrame::Report {
+                id: job.id,
+                report: report.clone(),
+            },
+        );
         live.lock().push((job.idx, report));
     }
 }
 
-/// Connection reader: accumulate bytes into a [`FrameDecoder`] under a
-/// read timeout (so drain is noticed promptly), admit jobs, answer
-/// stats, initiate shutdown. The write half lives on in each queued
-/// job's `Arc<ConnWriter>`, so reports still reach the client after this
-/// loop ends.
-fn conn_loop(mut reader: TcpStream, state: &DaemonState, writer: Option<&JournalWriter>) {
+/// Connection reader: accumulate bytes into a [`FrameDecoder`], admit
+/// jobs, answer stats, initiate shutdown. The read timeout is
+/// *deadline-aware*: it sleeps until the nearest guard deadline (idle
+/// or mid-frame) instead of spinning on a fixed tick, and drain wakes
+/// it push-style via [`ConnWriter::wake_reader`]. The write half lives
+/// on in each queued job's `Arc<ConnWriter>`, so reports still reach
+/// the client after this loop ends.
+fn conn_loop(
+    mut reader: TcpStream,
+    state: &DaemonState,
+    writer: Option<&JournalWriter>,
+    guards: &ConnGuards,
+    faults: Option<&Arc<NetFaultInjector>>,
+) {
+    let _ = reader.set_nodelay(true);
     let Ok(write_half) = reader.try_clone() else {
+        state.conns_open.fetch_sub(1, Ordering::Relaxed);
         return;
     };
+    if let Some(t) = guards.write_timeout {
+        let _ = write_half.set_write_timeout(Some(t));
+    }
     let conn = Arc::new(ConnWriter {
         stream: Mutex::new(write_half),
+        dead: AtomicBool::new(false),
+        faults: faults.cloned(),
+        bytes_out: AtomicU64::new(0),
+        frames_out: AtomicU64::new(0),
     });
-    if reader.set_read_timeout(Some(POLL)).is_err() {
-        return;
-    }
+    state.register_conn(&conn);
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 8192];
+    // `last_activity` advances on every delivered byte; `frame_started`
+    // marks when the current *partial* frame began (slow-loris clock)
+    let mut last_activity = Instant::now();
+    let mut frame_started: Option<Instant> = None;
     loop {
         if state.draining.load(Ordering::Relaxed) {
-            conn.send(&WireFrame::ShuttingDown);
-            return;
+            send_tracked(state, &conn, &WireFrame::ShuttingDown);
+            break;
+        }
+        // the nearest armed guard deadline, if any
+        let now = Instant::now();
+        let deadline: Option<(Instant, &str)> = match (frame_started, guards.frame_timeout) {
+            (Some(started), Some(t)) => Some((started + t, "frame_timeout")),
+            _ => guards
+                .idle_timeout
+                .filter(|_| frame_started.is_none())
+                .map(|t| (last_activity + t, "idle_timeout")),
+        };
+        if let Some((at, why)) = deadline {
+            if now >= at {
+                state.evicted.fetch_add(1, Ordering::Relaxed);
+                send_tracked(
+                    state,
+                    &conn,
+                    &WireFrame::ProtocolError {
+                        reason: why.to_string(),
+                    },
+                );
+                conn.hangup();
+                break;
+            }
+            let _ = reader.set_read_timeout(Some(
+                (at - now).min(READ_POLL_CAP).max(Duration::from_millis(1)),
+            ));
+        } else {
+            let _ = reader.set_read_timeout(Some(READ_POLL_CAP));
         }
         match reader.read(&mut buf) {
-            Ok(0) => return, // client hung up; queued jobs still finish
+            Ok(0) => {
+                // EOF: a client hangup, or the drain wakeup
+                if state.draining.load(Ordering::Relaxed) {
+                    send_tracked(state, &conn, &WireFrame::ShuttingDown);
+                }
+                break; // queued jobs still finish either way
+            }
             Ok(n) => {
+                let n = match netfault::filter_read(faults.map(|f| f.as_ref()), &reader, n) {
+                    ReadOutcome::Keep(k) => k,
+                    ReadOutcome::Reset => break,
+                };
+                last_activity = Instant::now();
+                state.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
                 decoder.extend(&buf[..n]);
+                let mut closed = false;
                 loop {
                     match decoder.next_frame() {
                         Ok(Some(frame)) => {
+                            state.frames_in.fetch_add(1, Ordering::Relaxed);
                             if !handle_frame(frame, state, writer, &conn) {
-                                return;
+                                closed = true;
+                                break;
                             }
                         }
                         Ok(None) => break,
                         Err(reason) => {
-                            conn.send(&WireFrame::ProtocolError { reason });
-                            return;
+                            send_tracked(state, &conn, &WireFrame::ProtocolError { reason });
+                            conn.hangup();
+                            closed = true;
+                            break;
                         }
                     }
                 }
+                if closed {
+                    break;
+                }
+                frame_started =
+                    (decoder.buffered() > 0).then(|| frame_started.unwrap_or(last_activity));
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -547,9 +853,10 @@ fn conn_loop(mut reader: TcpStream, state: &DaemonState, writer: Option<&Journal
             {
                 continue;
             }
-            Err(_) => return,
+            Err(_) => break,
         }
     }
+    state.conns_open.fetch_sub(1, Ordering::Relaxed);
 }
 
 /// Handles one client frame; `false` ends the connection's read loop.
@@ -565,7 +872,14 @@ fn handle_frame(
             true
         }
         WireFrame::Stats => {
-            conn.send(&WireFrame::StatsReport(state.stats()));
+            // Snapshot under this connection's write lock: any frame the
+            // client already received was counted before that lock was
+            // released, so the stats it requests next can never miss it.
+            let stats = {
+                let _sync = conn.stream.lock();
+                state.stats()
+            };
+            send_tracked(state, conn, &WireFrame::StatsReport(stats));
             true
         }
         WireFrame::Shutdown => {
@@ -573,7 +887,7 @@ fn handle_frame(
             // will notice the flag
             state.draining.store(true, Ordering::Relaxed);
             state.cv.notify_all();
-            conn.send(&WireFrame::ShuttingDown);
+            send_tracked(state, conn, &WireFrame::ShuttingDown);
             false
         }
         // server-to-client frames arriving at the server are a protocol
@@ -583,9 +897,13 @@ fn handle_frame(
         | WireFrame::StatsReport(_)
         | WireFrame::ShuttingDown
         | WireFrame::ProtocolError { .. } => {
-            conn.send(&WireFrame::ProtocolError {
-                reason: "client sent a server-side frame".to_string(),
-            });
+            send_tracked(
+                state,
+                conn,
+                &WireFrame::ProtocolError {
+                    reason: "client sent a server-side frame".to_string(),
+                },
+            );
             false
         }
     }
@@ -603,20 +921,28 @@ fn admit(
 ) {
     if state.draining.load(Ordering::Relaxed) {
         state.rejected.fetch_add(1, Ordering::Relaxed);
-        conn.send(&WireFrame::Rejected {
-            id: req.id,
-            reason: "shutting_down".to_string(),
-        });
+        send_tracked(
+            state,
+            conn,
+            &WireFrame::Rejected {
+                id: req.id,
+                reason: "shutting_down".to_string(),
+            },
+        );
         return;
     }
     let mut q = state.queue.lock();
     if q.len() >= state.queue_cap {
         drop(q);
         state.rejected.fetch_add(1, Ordering::Relaxed);
-        conn.send(&WireFrame::Rejected {
-            id: req.id,
-            reason: "queue_full".to_string(),
-        });
+        send_tracked(
+            state,
+            conn,
+            &WireFrame::Rejected {
+                id: req.id,
+                reason: "queue_full".to_string(),
+            },
+        );
         return;
     }
     let idx = state.base_idx + state.admitted.fetch_add(1, Ordering::Relaxed) as usize;
@@ -874,6 +1200,389 @@ mod tests {
             assert_eq!(report.summary.jobs, 2);
             assert_eq!(report.summary.ok, 2);
         });
+    }
+
+    #[test]
+    fn slow_loris_is_evicted_without_affecting_in_flight_jobs() {
+        // one worker, gated: the good client's job is genuinely in
+        // flight while the loris dribbles a partial frame and stalls
+        let server = Server::builder()
+            .workers(1)
+            .frame_timeout(Some(Duration::from_millis(80)))
+            .build();
+        let cache = SynthesisCache::in_memory();
+        let runner = GatedRunner {
+            open: AtomicBool::new(false),
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                server
+                    .serve_runner(listener, &cache, &shutdown, &runner)
+                    .expect("serve")
+            });
+
+            let mut client = TcpStream::connect(addr).expect("connect");
+            send(
+                &mut client,
+                &WireFrame::Job(JobRequest {
+                    id: 1,
+                    spec: job("inflight", 64, 48, 1),
+                }),
+            );
+            loop {
+                let s = stats_of(&mut client);
+                if s.admitted == 1 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+
+            // the loris: two bytes of a frame header, then silence
+            let mut loris = TcpStream::connect(addr).expect("connect loris");
+            loris.write_all(&[0x00, 0x00]).expect("dribble");
+            loris.flush().expect("flush");
+            match read_frame(&mut loris) {
+                Ok(Some(WireFrame::ProtocolError { reason })) => {
+                    assert_eq!(reason, "frame_timeout", "slow-loris eviction");
+                }
+                // the eviction may also surface as a reset mid-read
+                Ok(None) | Err(_) => {}
+                other => panic!("unexpected frame {other:?}"),
+            }
+            loop {
+                let s = stats_of(&mut client);
+                if s.evicted >= 1 && s.conns_open == 1 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+
+            // the in-flight job was untouched: open the gate, it reports
+            runner.open.store(true, Ordering::Relaxed);
+            loop {
+                match read_frame(&mut client).expect("read").expect("frame") {
+                    WireFrame::Report { id, report } => {
+                        assert_eq!(id, 1);
+                        assert!(report.ok);
+                        break;
+                    }
+                    WireFrame::StatsReport(_) => continue,
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+            let final_stats = stats_of(&mut client);
+            assert_eq!(final_stats.completed, 1);
+            assert!(final_stats.bytes_in > 0 && final_stats.bytes_out > 0);
+            assert!(final_stats.frames_in > 0 && final_stats.frames_out > 0);
+            send(&mut client, &WireFrame::Shutdown);
+            let report = handle.join().expect("serve thread");
+            assert_eq!(report.summary.ok, 1);
+        });
+    }
+
+    #[test]
+    fn stats_requested_after_a_report_always_count_that_report() {
+        // Regression: the delivery counters used to be bumped after the
+        // write syscall returned, so a client that received its report
+        // and immediately asked for stats could observe frames_out == 0
+        // (deterministically so on a single-core box). The counters now
+        // roll in under the connection's write lock and the stats
+        // snapshot is taken under that same lock.
+        let server = Server::builder().workers(1).build();
+        let cache = SynthesisCache::in_memory();
+        let runner = GatedRunner {
+            open: AtomicBool::new(true),
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                server
+                    .serve_runner(listener, &cache, &shutdown, &runner)
+                    .expect("serve")
+            });
+
+            let mut client = TcpStream::connect(addr).expect("connect");
+            send(
+                &mut client,
+                &WireFrame::Job(JobRequest {
+                    id: 1,
+                    spec: job("counted", 64, 48, 1),
+                }),
+            );
+            match read_frame(&mut client).expect("read").expect("frame") {
+                WireFrame::Report { id, report } => {
+                    assert_eq!(id, 1);
+                    assert!(report.ok);
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+            // the very next stats snapshot must include the report frame
+            let s = stats_of(&mut client);
+            assert!(
+                s.frames_out >= 1 && s.bytes_out > 0,
+                "report frame missing from delivery counters: {s:?}"
+            );
+            send(&mut client, &WireFrame::Shutdown);
+            let report = handle.join().expect("serve thread");
+            assert_eq!(report.summary.ok, 1);
+        });
+    }
+
+    #[test]
+    fn idle_connections_are_evicted_on_the_idle_deadline() {
+        let server = Server::builder()
+            .workers(1)
+            .idle_timeout(Some(Duration::from_millis(60)))
+            .build();
+        let cache = SynthesisCache::in_memory();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.serve(listener, &cache, &shutdown).expect("serve"));
+            let mut idle = TcpStream::connect(addr).expect("connect");
+            // never send a byte: the idle deadline must evict us
+            match read_frame(&mut idle) {
+                Ok(Some(WireFrame::ProtocolError { reason })) => {
+                    assert_eq!(reason, "idle_timeout");
+                }
+                Ok(None) | Err(_) => {}
+                other => panic!("unexpected frame {other:?}"),
+            }
+            // an *active* client is not idle-evicted while waiting
+            let mut client = TcpStream::connect(addr).expect("connect");
+            let stats = stats_of(&mut client);
+            assert!(stats.evicted >= 1, "idle connection was evicted");
+            shutdown.store(true, Ordering::Relaxed);
+            handle.join().expect("serve thread");
+        });
+    }
+
+    #[test]
+    fn oversized_frame_client_is_rejected_without_affecting_in_flight_jobs() {
+        let server = Server::builder().workers(1).build();
+        let cache = SynthesisCache::in_memory();
+        let runner = GatedRunner {
+            open: AtomicBool::new(false),
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                server
+                    .serve_runner(listener, &cache, &shutdown, &runner)
+                    .expect("serve")
+            });
+            let mut client = TcpStream::connect(addr).expect("connect");
+            send(
+                &mut client,
+                &WireFrame::Job(JobRequest {
+                    id: 1,
+                    spec: job("inflight", 64, 48, 1),
+                }),
+            );
+            loop {
+                let s = stats_of(&mut client);
+                if s.admitted == 1 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+
+            // hostile length prefix plus a payload flood
+            let mut attacker = TcpStream::connect(addr).expect("connect attacker");
+            attacker.write_all(&u32::MAX.to_be_bytes()).expect("header");
+            let _ = attacker.write_all(&[0xAA; 4096]);
+            match read_frame(&mut attacker) {
+                Ok(Some(WireFrame::ProtocolError { reason })) => {
+                    assert!(reason.contains("exceeds"), "{reason}");
+                }
+                Ok(None) | Err(_) => {} // reset before the error frame landed
+                other => panic!("unexpected frame {other:?}"),
+            }
+
+            runner.open.store(true, Ordering::Relaxed);
+            loop {
+                match read_frame(&mut client).expect("read").expect("frame") {
+                    WireFrame::Report { id, report } => {
+                        assert_eq!(id, 1);
+                        assert!(report.ok, "in-flight job unaffected");
+                        break;
+                    }
+                    WireFrame::StatsReport(_) => continue,
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+            send(&mut client, &WireFrame::Shutdown);
+            let report = handle.join().expect("serve thread");
+            assert_eq!(report.summary.ok, 1);
+        });
+    }
+
+    #[test]
+    fn max_conns_rejects_surplus_connections_with_overloaded() {
+        let server = Server::builder().workers(1).max_conns(1).build();
+        let cache = SynthesisCache::in_memory();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.serve(listener, &cache, &shutdown).expect("serve"));
+            let mut first = TcpStream::connect(addr).expect("connect");
+            // round-trip to guarantee the daemon holds the connection
+            let stats = stats_of(&mut first);
+            assert_eq!(stats.conns_open, 1);
+
+            let mut surplus = TcpStream::connect(addr).expect("connect surplus");
+            match read_frame(&mut surplus).expect("read").expect("frame") {
+                WireFrame::Rejected { id, reason } => {
+                    assert_eq!(id, 0, "no job was read");
+                    assert_eq!(reason, "overloaded");
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+            assert!(
+                read_frame(&mut surplus).expect("surplus closed").is_none(),
+                "the refused connection is closed"
+            );
+
+            // the admitted connection still has full service
+            let stats = stats_of(&mut first);
+            assert_eq!(stats.overloaded, 1);
+            drop(first);
+            // once the slot frees, new connections are admitted again
+            let admitted = loop {
+                let mut retry = TcpStream::connect(addr).expect("reconnect");
+                match read_frame_with_probe(&mut retry) {
+                    Probe::Admitted(stream) => break stream,
+                    Probe::Refused => std::thread::sleep(Duration::from_millis(5)),
+                }
+            };
+            let mut admitted = admitted;
+            send(&mut admitted, &WireFrame::Shutdown);
+            handle.join().expect("serve thread");
+        });
+    }
+
+    enum Probe {
+        Admitted(TcpStream),
+        Refused,
+    }
+
+    /// Distinguishes an admitted connection from an `overloaded` refusal
+    /// by probing with a stats round-trip.
+    fn read_frame_with_probe(stream: &mut TcpStream) -> Probe {
+        send(stream, &WireFrame::Stats);
+        match read_frame(stream) {
+            Ok(Some(WireFrame::StatsReport(_))) => {
+                // move the stream back out by cloning the handle
+                Probe::Admitted(stream.try_clone().expect("clone"))
+            }
+            _ => Probe::Refused,
+        }
+    }
+
+    #[test]
+    fn mid_frame_disconnect_during_response_write_still_journals_done() {
+        // satellite: a client that vanishes mid-frame while its reports
+        // are being written must not panic the daemon, must release the
+        // worker slot, and its jobs must still journal `done`
+        let dir = std::env::temp_dir().join(format!("tce-serve-rude-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("serve.journal");
+
+        let server = Server::builder()
+            .workers(1)
+            .journal(Some(JournalConfig::new(&journal_path)))
+            .build();
+        let cache = SynthesisCache::in_memory();
+        let runner = GatedRunner {
+            open: AtomicBool::new(false),
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                server
+                    .serve_runner(listener, &cache, &shutdown, &runner)
+                    .expect("serve")
+            });
+            {
+                let mut rude = TcpStream::connect(addr).expect("connect");
+                for (id, seed) in [(1u64, 1u64), (2, 2)] {
+                    send(
+                        &mut rude,
+                        &WireFrame::Job(JobRequest {
+                            id,
+                            spec: job(&format!("rude{id}"), 64, 48, seed),
+                        }),
+                    );
+                }
+                // wait until both jobs are admitted (and job 1 is held
+                // by the gated worker), then vanish mid-frame: two bytes
+                // of a third frame's header, then close
+                let mut probe = TcpStream::connect(addr).expect("probe connect");
+                loop {
+                    let s = stats_of(&mut probe);
+                    if s.admitted == 2 {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                rude.write_all(&[0x00, 0x00]).expect("partial frame");
+                rude.flush().expect("flush");
+                drop(probe);
+            } // rude dropped: both response writes hit a dead socket
+
+            runner.open.store(true, Ordering::Relaxed);
+
+            // worker slot released: a later client gets full service
+            let mut client = TcpStream::connect(addr).expect("connect");
+            send(
+                &mut client,
+                &WireFrame::Job(JobRequest {
+                    id: 3,
+                    spec: job("after", 48, 64, 3),
+                }),
+            );
+            loop {
+                match read_frame(&mut client).expect("read").expect("frame") {
+                    WireFrame::Report { id, report } => {
+                        assert_eq!(id, 3);
+                        assert!(report.ok);
+                        break;
+                    }
+                    WireFrame::StatsReport(_) => continue,
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+            send(&mut client, &WireFrame::Shutdown);
+            let report = handle.join().expect("serve thread");
+            assert_eq!(report.summary.jobs, 3, "all admitted jobs terminal");
+            assert_eq!(report.summary.ok, 3);
+
+            // `done` was journaled for the vanished client's jobs
+            let state = journal::replay(&journal_path);
+            assert!(state.serve);
+            for idx in 0..3 {
+                assert!(state.done.contains_key(&idx), "done journaled for {idx}");
+            }
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

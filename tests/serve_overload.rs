@@ -1,0 +1,151 @@
+//! Overload-hardening tests for the persistent daemon, driven through
+//! the public [`tce_serve::Client`]: a seeded network fault plan kills
+//! connections at deterministic points and the retrying client must
+//! recover without ever double-solving a job — resent jobs dedup against
+//! the synthesis cache (or join in flight) instead of re-running the
+//! solver. A mini chaos soak then hammers the daemon from several
+//! client threads under probabilistic resets and requires every
+//! submitted job to come back terminally, exactly-once per fingerprint.
+
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use tce_cache::SynthesisCache;
+use tce_ooc::ir::{fixtures::two_index_fused, to_dsl};
+use tce_serve::{Client, ClientRetry, JobSpec, NetFaultKind, NetFaultPlan, Server};
+
+fn job(name: &str, n: u64, v: u64, seed: u64) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        program: to_dsl(&two_index_fused(n, v)),
+        mem_limit: 64 * 1024,
+        test_scale: true,
+        strategy: None,
+        seed: Some(seed),
+        budget: None,
+        telemetry: false,
+        objective: None,
+        timeout_ms: None,
+    }
+}
+
+#[test]
+fn client_retries_through_a_mid_response_reset_without_double_solving() {
+    // Deterministic fault schedule on the daemon's shared injector:
+    // op 0 is the accept, op 1 the job-frame read, op 2 the report
+    // write — `fail_after(2, Reset, 1)` resets the connection exactly
+    // when the first response goes out. The client must reconnect and
+    // resend; the resend dedups against the cache, so the solver runs
+    // exactly once even though the job was submitted twice.
+    let server = Server::builder()
+        .workers(1)
+        .net_faults(NetFaultPlan::none().fail_after(2, NetFaultKind::Reset, 1))
+        .build();
+    let cache = SynthesisCache::in_memory();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let shutdown = AtomicBool::new(false);
+
+    let report = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve(listener, &cache, &shutdown).expect("serve"));
+
+        let mut client = Client::new(addr.to_string(), ClientRetry::default().with_seed(0x5eed));
+        let report = client.submit(&job("retried", 64, 48, 9)).expect("submit");
+        assert!(report.ok, "{report:?}");
+        assert!(
+            client.reconnects() >= 1,
+            "the injected reset must have forced a reconnect"
+        );
+        client.shutdown().expect("shutdown");
+        handle.join().expect("serve thread")
+    });
+
+    assert_eq!(
+        cache.stats().misses,
+        1,
+        "the resent job must dedup, not re-solve"
+    );
+    assert!(
+        report.summary.jobs <= 2,
+        "at most the original submit and one resend were admitted"
+    );
+    assert!(report.summary.ok >= 1);
+}
+
+#[test]
+fn mini_chaos_soak_is_exactly_once_under_probabilistic_resets() {
+    // Several client threads, a shared spec pool (so submissions
+    // collide on fingerprints), and a daemon whose connections are
+    // probabilistically reset. Gates mirror the full bench_soak run:
+    // zero lost jobs (every submit returns terminally ok) and zero
+    // double-executions (solver misses never exceed the distinct
+    // fingerprint count).
+    const CLIENTS: usize = 3;
+    const JOBS_PER_CLIENT: usize = 8;
+    let pool = [
+        job("p0", 64, 48, 1),
+        job("p1", 48, 64, 2),
+        job("p2", 64, 64, 3),
+        job("p3", 48, 48, 4),
+    ];
+
+    let server = Server::builder()
+        .workers(2)
+        .net_faults(
+            NetFaultPlan::none()
+                .with_seed(7)
+                .probabilistic(0.05, NetFaultKind::Reset),
+        )
+        .build();
+    let cache = SynthesisCache::in_memory();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let shutdown = AtomicBool::new(false);
+
+    let report = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve(listener, &cache, &shutdown).expect("serve"));
+
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let retry = ClientRetry::with_attempts(6).with_seed(0xc0ffee + c as u64);
+                    let mut client = Client::new(addr.to_string(), retry);
+                    let mut ok = 0usize;
+                    for j in 0..JOBS_PER_CLIENT {
+                        let spec = &pool[(c + j) % pool.len()];
+                        let report = client.submit(spec).expect("terminal report");
+                        assert!(report.ok, "{report:?}");
+                        ok += 1;
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let delivered: usize = workers.into_iter().map(|w| w.join().expect("client")).sum();
+        assert_eq!(
+            delivered,
+            CLIENTS * JOBS_PER_CLIENT,
+            "no submitted job may be lost"
+        );
+
+        let mut closer = Client::new(addr.to_string(), ClientRetry::with_attempts(6));
+        closer.shutdown().expect("shutdown");
+        handle.join().expect("serve thread")
+    });
+
+    let stats = cache.stats();
+    assert!(
+        stats.misses <= pool.len() as u64,
+        "double-execution: {} solver runs for {} distinct fingerprints",
+        stats.misses,
+        pool.len()
+    );
+    assert!(stats.misses >= 1, "something must have actually solved");
+    // every admitted job (including fault-forced resends) is terminal
+    assert_eq!(
+        report.summary.jobs,
+        report.summary.ok + report.summary.failed,
+        "all admitted jobs reach a terminal outcome"
+    );
+    assert_eq!(report.summary.failed, 0);
+}
