@@ -9,24 +9,40 @@
 //!   `Evaluator::eval_delta` + `commit`, re-running only the dependent
 //!   tape segments.
 //!
+//! A fourth path, **batched**, drives the SoA lane evaluator
+//! (`Evaluator::probe_batch`): one decode pass over the peephole-optimized
+//! batch program evaluates K candidate values of the same variable, the
+//! move DLM/CSA neighbourhood scans make. It is timed at K = 4/8/16 and
+//! reported under the `batched` key, together with the peephole pass's
+//! before/after tape statistics.
+//!
 //! One "eval" is what one solver Lagrangian evaluation costs: the
 //! objective plus every constraint's normalized violation at a point.
-//! All three paths replay the same pregenerated move sequence, and a
+//! All paths replay the same pregenerated move sequence, and a
 //! correctness pass asserts bit-identical values before any timing runs.
 //!
-//! Usage: `bench_eval [--fast] [--out PATH] [--min-speedup X]`
+//! The report is **merged** into `--out`: this benchmark owns the
+//! top-level eval keys and `batched`; keys other benches merge in
+//! (`cache`, `serve`, `soak`, …) are preserved. Each run also appends a
+//! one-line summary to `BENCH_history.jsonl` (`--history PATH`,
+//! `--no-history` to skip), building a per-commit trajectory.
+//!
+//! Usage: `bench_eval [--fast] [--out PATH] [--min-speedup X]
+//!                    [--min-batched-speedup X] [--require-batched-ge-delta]
+//!                    [--history PATH | --no-history]`
 //!
 //! `--fast` shortens the timed windows and the end-to-end synthesis runs
-//! (CI smoke); `--min-speedup X` exits non-zero if the geometric-mean
-//! delta speedup falls below `X`.
+//! (CI smoke); the `--min-*` gates exit non-zero if a geometric-mean
+//! speedup falls below the floor, and `--require-batched-ge-delta` if the
+//! batched geomean does not reach the delta geomean.
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::hint::black_box;
 use std::time::Instant;
 use tce_bench::{solver_models, synthesize, Approach, NODE_MEM, PAPER_SIZES};
 use tce_ir::fixtures::four_index_fused;
 use tce_solver::model::FEAS_TOL;
-use tce_solver::{CompiledModel, Model, VarId};
+use tce_solver::{CompiledModel, Model, TapeStats, VarId};
 
 /// Deterministic xorshift64* so the workload needs no RNG dependency and
 /// is identical run to run.
@@ -114,7 +130,7 @@ struct ModelBench {
 }
 
 /// End-to-end Table-2 DCS synthesis timing (the paper's headline).
-#[derive(Serialize)]
+#[derive(Clone, Serialize)]
 struct E2eRow {
     n: u64,
     v: u64,
@@ -129,6 +145,43 @@ struct Report {
     models: Vec<ModelBench>,
     geomean_compiled_speedup: f64,
     geomean_delta_speedup: f64,
+    table2_dcs: Vec<E2eRow>,
+}
+
+/// Per-model batched-lane measurements (the `batched` key).
+#[derive(Serialize)]
+struct BatchRow {
+    name: String,
+    k4_evals_per_sec: f64,
+    k8_evals_per_sec: f64,
+    k16_evals_per_sec: f64,
+    /// Best batched lane rate / tree rate.
+    batched_speedup: f64,
+    /// Peephole before/after statistics for this model's programs.
+    tape: TapeStats,
+}
+
+/// The `batched` object merged into `BENCH_solver.json`.
+#[derive(Serialize)]
+struct BatchedReport {
+    schema: &'static str,
+    fast: bool,
+    rows: Vec<BatchRow>,
+    /// Geomean over models of the best-K lane rate / tree rate.
+    geomean_batched_speedup: f64,
+}
+
+/// One appended line of `BENCH_history.jsonl`: the run's headline numbers
+/// keyed by commit and wall-clock time, so speedups can be tracked as a
+/// per-commit trajectory.
+#[derive(Serialize)]
+struct HistoryLine {
+    unix_secs: u64,
+    commit: Option<String>,
+    fast: bool,
+    geomean_compiled_speedup: f64,
+    geomean_delta_speedup: f64,
+    geomean_batched_speedup: f64,
     table2_dcs: Vec<E2eRow>,
 }
 
@@ -157,6 +210,114 @@ fn verify(m: &Model, c: &CompiledModel, moves: &[(usize, i64)]) {
         }
         assert_eq!(ev.is_feasible(FEAS_TOL), m.is_feasible(&xp, FEAS_TOL));
         x = xp;
+    }
+}
+
+/// Pregenerated batched scan workload: per step, one variable and 16
+/// in-domain candidate values for it (the scan shape of DLM descent).
+fn candidate_sets(m: &Model, len: usize, seed: u64) -> Vec<(usize, [i64; 16])> {
+    let mut rng = XorShift(seed | 1);
+    (0..len)
+        .map(|_| {
+            let v = rng.below(m.num_vars() as u64) as usize;
+            let (lo, hi) = m.vars()[v].domain.bounds();
+            let span = (hi - lo) as u64 + 1;
+            let mut cands = [0i64; 16];
+            for slot in cands.iter_mut() {
+                *slot = lo + rng.below(span.min(1 << 20)) as i64;
+            }
+            (v, cands)
+        })
+        .collect()
+}
+
+/// Asserts every lane of the batched evaluator matches the tree walker
+/// bit-for-bit along a prefix of the batched workload.
+fn verify_batched(m: &Model, c: &CompiledModel, sets: &[(usize, [i64; 16])]) {
+    let mut x: Vec<i64> = m.lower_corner();
+    m.clamp(&mut x);
+    let mut ev = c.evaluator(&x);
+    for &(v, ref cands) in sets.iter().take(64) {
+        ev.probe_batch(v, &cands[..]);
+        for (l, &cand) in cands.iter().enumerate() {
+            let mut xl = x.clone();
+            xl[v] = cand;
+            assert_eq!(
+                ev.batch_objective(l).to_bits(),
+                m.objective_at(&xl).to_bits(),
+                "batched objective diverged"
+            );
+            let tree_sum: f64 = m.violations(&xl).iter().sum();
+            assert_eq!(
+                ev.batch_violation_sum(l).to_bits(),
+                tree_sum.to_bits(),
+                "batched violations diverged"
+            );
+        }
+        ev.commit_batch_lane(0);
+        x[v] = cands[0];
+    }
+}
+
+/// Times batched probes at lane width `k`; returns lane evals per second
+/// (each lane reads the objective plus the violation sum, like one
+/// Lagrangian evaluation). Commits are amortized one per eight batches —
+/// the shape of a descent tick, which scans every variable's
+/// neighbourhood and commits a single winning move.
+fn timed_batched(
+    c: &CompiledModel,
+    x0: &[i64],
+    sets: &[(usize, [i64; 16])],
+    k: usize,
+    budget_secs: f64,
+) -> f64 {
+    let mut ev = c.evaluator(x0);
+    let pass = |ev: &mut tce_solver::Evaluator<'_>| {
+        let mut acc = 0.0;
+        for (i, &(v, ref cands)) in sets.iter().enumerate() {
+            ev.probe_batch(v, &cands[..k]);
+            for l in 0..k {
+                acc += ev.batch_objective(l) + ev.batch_violation_sum(l);
+            }
+            if i % 8 == 7 {
+                ev.commit_batch_lane(0);
+            }
+        }
+        acc
+    };
+    black_box(pass(&mut ev));
+    let mut evals = 0u64;
+    let mut acc = 0.0f64;
+    let t0 = Instant::now();
+    loop {
+        acc += pass(&mut ev);
+        evals += (sets.len() * k) as u64;
+        if t0.elapsed().as_secs_f64() >= budget_secs {
+            break;
+        }
+    }
+    black_box(acc);
+    evals as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn bench_batched(name: &str, m: &Model, fast: bool, tree_rate: f64) -> BatchRow {
+    let c = CompiledModel::compile(m);
+    let seq_len = if fast { 256 } else { 2_048 };
+    let budget = if fast { 0.05 } else { 0.5 };
+    let sets = candidate_sets(m, seq_len, 0xBA7C_4ED5);
+    verify_batched(m, &c, &sets);
+    let mut x0: Vec<i64> = m.lower_corner();
+    m.clamp(&mut x0);
+    let k4 = timed_batched(&c, &x0, &sets, 4, budget);
+    let k8 = timed_batched(&c, &x0, &sets, 8, budget);
+    let k16 = timed_batched(&c, &x0, &sets, 16, budget);
+    BatchRow {
+        name: name.to_string(),
+        k4_evals_per_sec: k4,
+        k8_evals_per_sec: k8,
+        k16_evals_per_sec: k16,
+        batched_speedup: k4.max(k8).max(k16) / tree_rate,
+        tape: c.tape_stats(),
     }
 }
 
@@ -232,6 +393,61 @@ fn geomean(xs: impl Iterator<Item = f64> + Clone) -> f64 {
     (xs.map(|x| x.max(1e-12).ln()).sum::<f64>() / n).exp()
 }
 
+/// Writes this benchmark's keys into the JSON map at `path`, preserving
+/// every key owned by other benches (`cache`, `serve`, `soak`, …).
+fn merge_report(path: &str, report: &Report, batched: &BatchedReport) {
+    let foreign: Vec<(String, Value)> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::parse_value(&text) {
+            Ok(Value::Map(entries)) => entries,
+            _ => panic!("{path} is not a JSON object; refusing to overwrite"),
+        },
+        Err(_) => Vec::new(),
+    };
+    let mut entries = match report.to_value() {
+        Value::Map(fields) => fields,
+        _ => unreachable!("Report serializes to a map"),
+    };
+    entries.push(("batched".to_string(), batched.to_value()));
+    let own: Vec<String> = entries.iter().map(|(k, _)| k.clone()).collect();
+    entries.extend(
+        foreign
+            .into_iter()
+            .filter(|(k, _)| !own.iter().any(|o| o == k)),
+    );
+    let json = serde_json::to_string_pretty(&Value::Map(entries)).expect("serialize report");
+    std::fs::write(path, json).expect("write report");
+}
+
+/// Appends the run's headline numbers as one JSON line to `path`.
+fn append_history(path: &str, report: &Report, batched: &BatchedReport) {
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string());
+    let line = HistoryLine {
+        unix_secs: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        commit,
+        fast: report.fast,
+        geomean_compiled_speedup: report.geomean_compiled_speedup,
+        geomean_delta_speedup: report.geomean_delta_speedup,
+        geomean_batched_speedup: batched.geomean_batched_speedup,
+        table2_dcs: report.table2_dcs.clone(),
+    };
+    let json = serde_json::to_string(&line).expect("serialize history line");
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open history file");
+    writeln!(f, "{json}").expect("append history line");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -246,6 +462,16 @@ fn main() {
         s.parse()
             .unwrap_or_else(|_| panic!("--min-speedup wants a number, got {s}"))
     });
+    let min_batched: Option<f64> = flag_value("--min-batched-speedup").map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("--min-batched-speedup wants a number, got {s}"))
+    });
+    let require_batched_ge_delta = args.iter().any(|a| a == "--require-batched-ge-delta");
+    let history = if args.iter().any(|a| a == "--no-history") {
+        None
+    } else {
+        Some(flag_value("--history").unwrap_or_else(|| "BENCH_history.jsonl".to_string()))
+    };
 
     eprintln!("bench_eval: timing evaluation paths over the solver models...");
     let models: Vec<ModelBench> = solver_models()
@@ -266,6 +492,33 @@ fn main() {
             b
         })
         .collect();
+
+    eprintln!("bench_eval: timing batched lanes (K = 4/8/16) over the solver models...");
+    let batched_rows: Vec<BatchRow> = solver_models()
+        .iter()
+        .zip(&models)
+        .map(|((name, m), mb)| {
+            let b = bench_batched(name, m, fast, mb.tree_evals_per_sec);
+            eprintln!(
+                "  {:<20} K4 {:>10.0}/s K8 {:>10.0}/s K16 {:>10.0}/s ({:.1}x tree) tape {} → {} words ({} fused)",
+                b.name,
+                b.k4_evals_per_sec,
+                b.k8_evals_per_sec,
+                b.k16_evals_per_sec,
+                b.batched_speedup,
+                b.tape.words_before,
+                b.tape.words_after,
+                b.tape.fused
+            );
+            b
+        })
+        .collect();
+    let batched = BatchedReport {
+        schema: "tce-bench/solver-eval-batched/v1",
+        fast,
+        geomean_batched_speedup: geomean(batched_rows.iter().map(|b| b.batched_speedup)),
+        rows: batched_rows,
+    };
 
     eprintln!("bench_eval: timing end-to-end DCS synthesis (Table 2)...");
     let table2_dcs: Vec<E2eRow> = PAPER_SIZES
@@ -288,20 +541,44 @@ fn main() {
         models,
         table2_dcs,
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(&out, &json).expect("write report");
+    merge_report(&out, &report, &batched);
+    if let Some(history) = &history {
+        append_history(history, &report, &batched);
+    }
     eprintln!(
-        "bench_eval: geomean speedup compiled {:.2}x, delta {:.2}x -> {out}",
-        report.geomean_compiled_speedup, report.geomean_delta_speedup
+        "bench_eval: geomean speedup compiled {:.2}x, delta {:.2}x, batched {:.2}x -> {out}",
+        report.geomean_compiled_speedup,
+        report.geomean_delta_speedup,
+        batched.geomean_batched_speedup
     );
 
+    let mut failed = false;
     if let Some(min) = min_speedup {
         if report.geomean_delta_speedup < min {
             eprintln!(
                 "bench_eval: FAIL — geomean delta speedup {:.2}x below required {min}x",
                 report.geomean_delta_speedup
             );
-            std::process::exit(1);
+            failed = true;
         }
+    }
+    if let Some(min) = min_batched {
+        if batched.geomean_batched_speedup < min {
+            eprintln!(
+                "bench_eval: FAIL — geomean batched speedup {:.2}x below required {min}x",
+                batched.geomean_batched_speedup
+            );
+            failed = true;
+        }
+    }
+    if require_batched_ge_delta && batched.geomean_batched_speedup < report.geomean_delta_speedup {
+        eprintln!(
+            "bench_eval: FAIL — batched geomean {:.2}x below delta geomean {:.2}x",
+            batched.geomean_batched_speedup, report.geomean_delta_speedup
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

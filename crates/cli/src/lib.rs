@@ -23,6 +23,8 @@
 //! --deadline <secs>       wall-clock budget for the solver phase
 //! --budget <evals>        cap on solver objective evaluations
 //! --threads <n>           portfolio worker threads (default: all cores)
+//! --scan-threads <n>      DLM neighbourhood-scan workers (default 1;
+//!                         bit-identical results at any count)
 //! --explain               print the per-restart solver report
 //! --test-scale            unconstrained disk profile, no block minima
 //! --print <what>          plan,placements,ampl,tiles,code (comma list;
@@ -113,6 +115,8 @@ pub struct Cli {
     pub budget: Option<u64>,
     /// Portfolio worker threads (`0` = all cores).
     pub threads: usize,
+    /// DLM neighbourhood-scan workers (`0`/`1` = serial scans).
+    pub scan_threads: usize,
     /// Print the per-restart solver report.
     pub explain: bool,
     /// Test-scale profile (no block minima).
@@ -473,6 +477,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         deadline: None,
         budget: None,
         threads: 0,
+        scan_threads: 0,
         explain: false,
         test_scale: false,
         print: vec![PrintWhat::Tiles, PrintWhat::Plan],
@@ -542,6 +547,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 cli.threads = value("--threads")?
                     .parse()
                     .map_err(|_| CliError::usage("--threads needs an integer"))?
+            }
+            "--scan-threads" => {
+                cli.scan_threads = value("--scan-threads")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--scan-threads needs an integer"))?
             }
             "--explain" => cli.explain = true,
             "--test-scale" => cli.test_scale = true,
@@ -688,6 +698,7 @@ fn synthesize(program: &Program, cli: &Cli) -> Result<SynthesisResult, CliError>
     config.deadline = cli.deadline.map(std::time::Duration::from_secs_f64);
     config.max_evals = cli.budget;
     config.threads = cli.threads;
+    config.scan_threads = cli.scan_threads;
     config.telemetry = cli.explain;
     let result = if cli.baseline {
         synthesize_uniform_sampling(
@@ -973,13 +984,14 @@ mod tests {
     #[test]
     fn parse_portfolio_flags() {
         let cli = parse_args(&args(
-            "synthesize f.tce --strategy portfolio --deadline 2.5 --budget 500000 --threads 4 --explain",
+            "synthesize f.tce --strategy portfolio --deadline 2.5 --budget 500000 --threads 4 --scan-threads 2 --explain",
         ))
         .unwrap();
         assert_eq!(cli.strategy, Strategy::Portfolio);
         assert_eq!(cli.deadline, Some(2.5));
         assert_eq!(cli.budget, Some(500_000));
         assert_eq!(cli.threads, 4);
+        assert_eq!(cli.scan_threads, 2);
         assert!(cli.explain);
     }
 

@@ -40,6 +40,9 @@ pub struct SynthesisConfig {
     pub max_evals: Option<u64>,
     /// Worker threads for [`Strategy::Portfolio`] (`0` = all cores).
     pub threads: usize,
+    /// Worker threads for DLM neighbourhood scans (batched variable
+    /// partitions; bit-identical at any count). `0`/`1` = serial scans.
+    pub scan_threads: usize,
     /// Collect per-restart solver telemetry into
     /// [`SynthesisResult::solver_report`].
     pub telemetry: bool,
@@ -75,6 +78,7 @@ impl SynthesisConfig {
             deadline: None,
             max_evals: None,
             threads: 0,
+            scan_threads: 0,
             telemetry: false,
             objective: ObjectiveKind::Volume,
             spatial_min_tile: 8,
@@ -121,6 +125,12 @@ impl SynthesisConfig {
         self
     }
 
+    /// Sets the DLM scan-worker thread count (`0`/`1` = serial scans).
+    pub fn scan_threads(mut self, scan_threads: usize) -> Self {
+        self.scan_threads = scan_threads;
+        self
+    }
+
     /// Enables solver telemetry collection.
     pub fn telemetry(mut self, on: bool) -> Self {
         self.telemetry = on;
@@ -150,6 +160,7 @@ impl SynthesisConfig {
         let mut opts = SolveOptions::new(self.seed)
             .strategy(self.strategy)
             .threads(self.threads)
+            .scan_threads(self.scan_threads.max(1))
             .telemetry(self.telemetry);
         if let Some(deadline) = self.deadline {
             opts = opts.deadline(deadline);

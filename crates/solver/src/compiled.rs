@@ -33,6 +33,12 @@
 //! solvers swap backends without changing a single trajectory.
 
 use crate::model::{ConstraintOp, Expr, Model, VarId};
+use crate::peephole::{
+    self, imm_f64, OP_ADD, OP_ADD2, OP_ADD2_AC, OP_ADD2_CA, OP_CEILDIV, OP_CEILDIV_AC,
+    OP_CEILDIV_CA, OP_CEILDIV_RECIP, OP_FMA, OP_MUL, OP_MUL2, OP_MUL2_AC, OP_MUL2_CA, OP_SELECT,
+    OP_SUB, OP_SUB_AC, OP_SUB_CA, OP_VAR,
+};
+use crate::telemetry::TapeStats;
 use std::collections::HashMap;
 
 /// One instruction of the flat tape. Operands are indices of earlier
@@ -129,18 +135,31 @@ pub struct CompiledModel {
     /// `delta_progs[v]` = the instructions of `var_deps[v]` as an encoded
     /// program — the single-variable-move hot path.
     delta_progs: Vec<Vec<u32>>,
+    /// `batch_progs[v]` = the instructions of `var_deps[v]` re-encoded for
+    /// lane (SoA) execution: destinations are dense *positions* into
+    /// `var_deps[v]`, operands inside the dependent set carry [`LANE_BIT`],
+    /// operands outside it are plain tape slots read from the base values.
+    batch_progs: Vec<Vec<u32>>,
+    /// Position of `objective_root` inside `var_deps[v]`, `u32::MAX` when
+    /// the objective doesn't depend on `v`.
+    batch_obj_pos: Vec<u32>,
+    /// `batch_cons_pos[v][ci]` = position of `constraint_roots[var_cons[v][ci]]`
+    /// inside `var_deps[v]`.
+    batch_cons_pos: Vec<Vec<u32>>,
+    /// What the peephole pass did across all encoded programs.
+    tape_stats: TapeStats,
 }
 
-// Opcodes of the encoded programs. Each instruction is laid out as
+// Encoded programs lay each instruction out as
 // `[opcode | operand_count << 8, dst, operands…]` in one contiguous
 // `u32` stream, so the delta hot loop walks a flat buffer instead of
-// chasing per-instruction heap operand lists.
-const OP_VAR: u32 = 0;
-const OP_ADD: u32 = 1;
-const OP_MUL: u32 = 2;
-const OP_SUB: u32 = 3;
-const OP_CEILDIV: u32 = 4;
-const OP_SELECT: u32 = 5;
+// chasing per-instruction heap operand lists. The opcode constants
+// (generic + peephole-specialized) live in [`crate::peephole`].
+
+/// Operand tag of the batched (SoA) programs: a tagged operand indexes a
+/// *position* of the dependent set (lane-varying); an untagged operand is
+/// a plain tape slot read from the base values array.
+pub(crate) const LANE_BIT: u32 = 1 << 31;
 
 /// Appends instruction `i` to an encoded program. Constants are excluded
 /// by construction (their slots are initialized once per evaluator).
@@ -228,9 +247,282 @@ fn run_prog(code: &[u32], vals: &mut [f64], x: &[i64]) {
                 v = vals[args[1 + k] as usize];
                 rest = t;
             }
+            // peephole-specialized decodes; every formula replays the
+            // generic seeded fold bit for bit (see crate::peephole)
+            OP_ADD2 => {
+                v = (0.0 + vals[tail[0] as usize]) + vals[tail[1] as usize];
+                rest = &tail[2..];
+            }
+            OP_MUL2 => {
+                v = (1.0 * vals[tail[0] as usize]) * vals[tail[1] as usize];
+                rest = &tail[2..];
+            }
+            OP_ADD2_CA => {
+                v = imm_f64(tail[0], tail[1]) + vals[tail[2] as usize];
+                rest = &tail[3..];
+            }
+            OP_ADD2_AC => {
+                v = (0.0 + vals[tail[0] as usize]) + imm_f64(tail[1], tail[2]);
+                rest = &tail[3..];
+            }
+            OP_MUL2_CA => {
+                v = imm_f64(tail[0], tail[1]) * vals[tail[2] as usize];
+                rest = &tail[3..];
+            }
+            OP_MUL2_AC => {
+                v = (1.0 * vals[tail[0] as usize]) * imm_f64(tail[1], tail[2]);
+                rest = &tail[3..];
+            }
+            OP_SUB_CA => {
+                v = imm_f64(tail[0], tail[1]) - vals[tail[2] as usize];
+                rest = &tail[3..];
+            }
+            OP_SUB_AC => {
+                v = vals[tail[0] as usize] - imm_f64(tail[1], tail[2]);
+                rest = &tail[3..];
+            }
+            OP_CEILDIV_RECIP => {
+                v = (vals[tail[0] as usize] * imm_f64(tail[1], tail[2])).ceil();
+                rest = &tail[3..];
+            }
+            OP_CEILDIV_AC => {
+                v = (vals[tail[0] as usize] / imm_f64(tail[1], tail[2])).ceil();
+                rest = &tail[3..];
+            }
+            OP_CEILDIV_CA => {
+                let d = vals[tail[2] as usize];
+                v = if d == 0.0 {
+                    0.0
+                } else {
+                    (imm_f64(tail[0], tail[1]) / d).ceil()
+                };
+                rest = &tail[3..];
+            }
+            OP_FMA => {
+                // writes BOTH destinations: later instructions (and other
+                // variables' programs) read the product from its slot
+                let m = (1.0 * vals[tail[0] as usize]) * vals[tail[1] as usize];
+                vals[*dst as usize] = m;
+                let o = vals[tail[3] as usize];
+                vals[tail[2] as usize] = if n == 0 { (0.0 + o) + m } else { (0.0 + m) + o };
+                rest = &tail[4..];
+                continue;
+            }
             _ => unreachable!("corrupt program"),
         }
         vals[*dst as usize] = v;
+    }
+}
+
+/// Reads one batched-program operand for lane `l`: tagged operands index
+/// the lane buffer (position-major, `pos * k + l`), untagged operands
+/// read the base values array.
+#[inline(always)]
+fn lane_get(lanes: &[f64], base: &[f64], k: usize, o: u32, l: usize) -> f64 {
+    if o & LANE_BIT != 0 {
+        lanes[(o & !LANE_BIT) as usize * k + l]
+    } else {
+        base[o as usize]
+    }
+}
+
+/// Executes a batched (SoA) program: one decode per instruction, `k`
+/// lanes of values per decode. Lane `l` evaluates the point `xp` with
+/// variable `probed` overridden to `cands[l]`; `base` supplies the value
+/// of every tape slot outside the dependent set (the committed — or, for
+/// stacked batches, staged — shadow). Folds replay [`run_prog`] bit for
+/// bit per lane.
+fn run_lanes(
+    code: &[u32],
+    lanes: &mut [f64],
+    k: usize,
+    base: &[f64],
+    xp: &[i64],
+    probed: usize,
+    cands: &[i64],
+) {
+    let mut rest = code;
+    while let [hdr, dst, tail @ ..] = rest {
+        let op = hdr & 0xff;
+        let n = (hdr >> 8) as usize;
+        let d = *dst as usize * k;
+        match op {
+            OP_VAR => {
+                let var = tail[0] as usize;
+                if var == probed {
+                    for l in 0..k {
+                        lanes[d + l] = cands[l] as f64;
+                    }
+                } else {
+                    let v = xp[var] as f64;
+                    lanes[d..d + k].fill(v);
+                }
+                rest = &tail[1..];
+            }
+            OP_ADD => {
+                // transposed fold: operands outer (tag check hoisted per
+                // operand), lanes inner (contiguous, vectorizable). The
+                // accumulation order per lane is unchanged: seed, then
+                // operands left to right. Tagged operands always name
+                // earlier positions, so they live below `d`.
+                let (ops, t) = tail.split_at(n);
+                let (src, acc) = lanes.split_at_mut(d);
+                let acc = &mut acc[..k];
+                acc.fill(0.0);
+                for &o in ops {
+                    if o & LANE_BIT != 0 {
+                        let s = (o & !LANE_BIT) as usize * k;
+                        for (a, &v) in acc.iter_mut().zip(&src[s..s + k]) {
+                            *a += v;
+                        }
+                    } else {
+                        let v = base[o as usize];
+                        for a in acc.iter_mut() {
+                            *a += v;
+                        }
+                    }
+                }
+                rest = t;
+            }
+            OP_MUL => {
+                let (ops, t) = tail.split_at(n);
+                let (src, acc) = lanes.split_at_mut(d);
+                let acc = &mut acc[..k];
+                acc.fill(1.0);
+                for &o in ops {
+                    if o & LANE_BIT != 0 {
+                        let s = (o & !LANE_BIT) as usize * k;
+                        for (a, &v) in acc.iter_mut().zip(&src[s..s + k]) {
+                            *a *= v;
+                        }
+                    } else {
+                        let v = base[o as usize];
+                        for a in acc.iter_mut() {
+                            *a *= v;
+                        }
+                    }
+                }
+                rest = t;
+            }
+            OP_SUB => {
+                for l in 0..k {
+                    lanes[d + l] =
+                        lane_get(lanes, base, k, tail[0], l) - lane_get(lanes, base, k, tail[1], l);
+                }
+                rest = &tail[2..];
+            }
+            OP_CEILDIV => {
+                for l in 0..k {
+                    let dv = lane_get(lanes, base, k, tail[1], l);
+                    lanes[d + l] = if dv == 0.0 {
+                        0.0
+                    } else {
+                        (lane_get(lanes, base, k, tail[0], l) / dv).ceil()
+                    };
+                }
+                rest = &tail[2..];
+            }
+            OP_SELECT => {
+                let (args, t) = tail.split_at(1 + n);
+                let var = args[0] as usize;
+                for l in 0..k {
+                    let sel = if var == probed { cands[l] } else { xp[var] };
+                    let i = (sel.max(0) as usize).min(n - 1);
+                    lanes[d + l] = lane_get(lanes, base, k, args[1 + i], l);
+                }
+                rest = t;
+            }
+            OP_ADD2 => {
+                for l in 0..k {
+                    lanes[d + l] = (0.0 + lane_get(lanes, base, k, tail[0], l))
+                        + lane_get(lanes, base, k, tail[1], l);
+                }
+                rest = &tail[2..];
+            }
+            OP_MUL2 => {
+                for l in 0..k {
+                    lanes[d + l] = (1.0 * lane_get(lanes, base, k, tail[0], l))
+                        * lane_get(lanes, base, k, tail[1], l);
+                }
+                rest = &tail[2..];
+            }
+            OP_ADD2_CA => {
+                let c = imm_f64(tail[0], tail[1]);
+                for l in 0..k {
+                    lanes[d + l] = c + lane_get(lanes, base, k, tail[2], l);
+                }
+                rest = &tail[3..];
+            }
+            OP_ADD2_AC => {
+                let c = imm_f64(tail[1], tail[2]);
+                for l in 0..k {
+                    lanes[d + l] = (0.0 + lane_get(lanes, base, k, tail[0], l)) + c;
+                }
+                rest = &tail[3..];
+            }
+            OP_MUL2_CA => {
+                let c = imm_f64(tail[0], tail[1]);
+                for l in 0..k {
+                    lanes[d + l] = c * lane_get(lanes, base, k, tail[2], l);
+                }
+                rest = &tail[3..];
+            }
+            OP_MUL2_AC => {
+                let c = imm_f64(tail[1], tail[2]);
+                for l in 0..k {
+                    lanes[d + l] = (1.0 * lane_get(lanes, base, k, tail[0], l)) * c;
+                }
+                rest = &tail[3..];
+            }
+            OP_SUB_CA => {
+                let c = imm_f64(tail[0], tail[1]);
+                for l in 0..k {
+                    lanes[d + l] = c - lane_get(lanes, base, k, tail[2], l);
+                }
+                rest = &tail[3..];
+            }
+            OP_SUB_AC => {
+                let c = imm_f64(tail[1], tail[2]);
+                for l in 0..k {
+                    lanes[d + l] = lane_get(lanes, base, k, tail[0], l) - c;
+                }
+                rest = &tail[3..];
+            }
+            OP_CEILDIV_RECIP => {
+                let r = imm_f64(tail[1], tail[2]);
+                for l in 0..k {
+                    lanes[d + l] = (lane_get(lanes, base, k, tail[0], l) * r).ceil();
+                }
+                rest = &tail[3..];
+            }
+            OP_CEILDIV_AC => {
+                let c = imm_f64(tail[1], tail[2]);
+                for l in 0..k {
+                    lanes[d + l] = (lane_get(lanes, base, k, tail[0], l) / c).ceil();
+                }
+                rest = &tail[3..];
+            }
+            OP_CEILDIV_CA => {
+                let c = imm_f64(tail[0], tail[1]);
+                for l in 0..k {
+                    let dv = lane_get(lanes, base, k, tail[2], l);
+                    lanes[d + l] = if dv == 0.0 { 0.0 } else { (c / dv).ceil() };
+                }
+                rest = &tail[3..];
+            }
+            OP_FMA => {
+                let a = tail[2] as usize * k;
+                for l in 0..k {
+                    let m = (1.0 * lane_get(lanes, base, k, tail[0], l))
+                        * lane_get(lanes, base, k, tail[1], l);
+                    lanes[d + l] = m;
+                    let o = lane_get(lanes, base, k, tail[3], l);
+                    lanes[a + l] = if n == 0 { (0.0 + o) + m } else { (0.0 + m) + o };
+                }
+                rest = &tail[4..];
+            }
+            _ => unreachable!("corrupt program"),
+        }
     }
 }
 
@@ -505,7 +797,7 @@ impl CompiledModel {
                 encode_inst(&mut full_prog, i as u32, inst);
             }
         }
-        let delta_progs = var_deps
+        let delta_progs: Vec<Vec<u32>> = var_deps
             .iter()
             .map(|dep| {
                 let mut code = Vec::new();
@@ -513,6 +805,137 @@ impl CompiledModel {
                     encode_inst(&mut code, i, &insts[i as usize]);
                 }
                 code
+            })
+            .collect();
+
+        // Batched (SoA) re-encodings of the delta programs: destinations
+        // become dense positions into the dependent set, operands inside
+        // the set are tagged with LANE_BIT, everything else stays a plain
+        // slot read against the base values. `pos_of` is set and cleared
+        // per variable so the map allocates once.
+        let mut pos_of = vec![u32::MAX; insts.len()];
+        let batch_progs: Vec<Vec<u32>> = var_deps
+            .iter()
+            .map(|dep| {
+                for (p, &i) in dep.iter().enumerate() {
+                    pos_of[i as usize] = p as u32;
+                }
+                let tag = |pos_of: &[u32], o: u32| {
+                    let p = pos_of[o as usize];
+                    if p == u32::MAX {
+                        o
+                    } else {
+                        p | LANE_BIT
+                    }
+                };
+                let mut code = Vec::new();
+                for (p, &i) in dep.iter().enumerate() {
+                    let p = p as u32;
+                    match &insts[i as usize] {
+                        Inst::Const(_) => unreachable!("consts have no dependencies"),
+                        Inst::Var(v) => {
+                            code.push(OP_VAR);
+                            code.push(p);
+                            code.push(*v);
+                        }
+                        Inst::Add(ops) => {
+                            code.push(OP_ADD | (ops.len() as u32) << 8);
+                            code.push(p);
+                            code.extend(ops.iter().map(|&o| tag(&pos_of, o)));
+                        }
+                        Inst::Mul(ops) => {
+                            code.push(OP_MUL | (ops.len() as u32) << 8);
+                            code.push(p);
+                            code.extend(ops.iter().map(|&o| tag(&pos_of, o)));
+                        }
+                        Inst::Sub(a, b) => {
+                            code.push(OP_SUB);
+                            code.push(p);
+                            code.push(tag(&pos_of, *a));
+                            code.push(tag(&pos_of, *b));
+                        }
+                        Inst::CeilDiv(a, b) => {
+                            code.push(OP_CEILDIV);
+                            code.push(p);
+                            code.push(tag(&pos_of, *a));
+                            code.push(tag(&pos_of, *b));
+                        }
+                        Inst::Select { var, opts } => {
+                            code.push(OP_SELECT | (opts.len() as u32) << 8);
+                            code.push(p);
+                            code.push(*var);
+                            code.extend(opts.iter().map(|&o| tag(&pos_of, o)));
+                        }
+                    }
+                }
+                for &i in dep {
+                    pos_of[i as usize] = u32::MAX;
+                }
+                code
+            })
+            .collect();
+
+        // Peephole pass over every encoded program. Lane-tagged operands
+        // are never constants (they live inside the dependent set) and the
+        // fusion dst-match must compare against the tagged form, hence the
+        // per-kind const_of / dst_tag.
+        let slot_const = |o: u32| match insts[o as usize] {
+            Inst::Const(c) => Some(c),
+            _ => None,
+        };
+        let lane_const = |o: u32| {
+            if o & LANE_BIT != 0 {
+                None
+            } else {
+                slot_const(o)
+            }
+        };
+        let mut tape_stats = TapeStats {
+            insts: insts.len() as u64,
+            ..TapeStats::default()
+        };
+        let mut counts = peephole::PeepholeCounts::default();
+        let mut optimize_prog = |code: &mut Vec<u32>, lane: bool| {
+            tape_stats.words_before += code.len() as u64;
+            let const_of: &dyn Fn(u32) -> Option<f64> =
+                if lane { &lane_const } else { &slot_const };
+            let (out, c) = peephole::optimize(code, const_of, if lane { LANE_BIT } else { 0 });
+            tape_stats.words_after += out.len() as u64;
+            counts.absorb(c);
+            *code = out;
+        };
+        optimize_prog(&mut full_prog, false);
+        let mut delta_progs = delta_progs;
+        for code in &mut delta_progs {
+            optimize_prog(code, false);
+        }
+        let mut batch_progs = batch_progs;
+        for code in &mut batch_progs {
+            optimize_prog(code, true);
+        }
+        tape_stats.specialized = counts.specialized;
+        tape_stats.immediates = counts.immediates;
+        tape_stats.strength_reduced = counts.strength_reduced;
+        tape_stats.fused = counts.fused;
+
+        // Lane positions of the roots the batch accessors read.
+        let batch_obj_pos: Vec<u32> = (0..num_vars)
+            .map(|v| match var_deps[v].binary_search(&objective_root) {
+                Ok(p) => p as u32,
+                Err(_) => u32::MAX,
+            })
+            .collect();
+        let batch_cons_pos: Vec<Vec<u32>> = (0..num_vars)
+            .map(|v| {
+                var_cons[v]
+                    .iter()
+                    .map(|&j| {
+                        var_deps[v]
+                            .binary_search(&constraint_roots[j as usize])
+                            .expect("constraint root is in the dep set of its variables")
+                            as u32
+                    })
+                    .collect()
             })
             .collect();
 
@@ -529,7 +952,16 @@ impl CompiledModel {
             const_inits,
             full_prog,
             delta_progs,
+            batch_progs,
+            batch_obj_pos,
+            batch_cons_pos,
+            tape_stats,
         }
+    }
+
+    /// What the peephole pass did to this model's encoded programs.
+    pub fn tape_stats(&self) -> TapeStats {
+        self.tape_stats
     }
 
     /// Number of instructions in the tape (after CSE and folding).
@@ -590,6 +1022,13 @@ impl CompiledModel {
             dirty_vars: Vec::new(),
             staged: Vec::new(),
             probe_valid: false,
+            lane_vals: Vec::new(),
+            lane_cnorm: Vec::new(),
+            batch_var: 0,
+            batch_k: 0,
+            batch_cands: Vec::new(),
+            batch_valid: false,
+            batch_stacked: false,
         };
         ev.full_eval();
         ev
@@ -635,6 +1074,23 @@ pub struct Evaluator<'c> {
     /// The staged move set of the last [`Self::probe`] (empty = none).
     staged: Vec<(usize, i64)>,
     probe_valid: bool,
+    /// Lane values of the last batch probe, position-major
+    /// (`lane_vals[pos * k + l]` = value of `var_deps[batch_var][pos]`
+    /// in lane `l`). Sized on demand, reused across batches.
+    lane_vals: Vec<f64>,
+    /// Lane violation norms, `lane_cnorm[ci * k + l]` for
+    /// `var_cons[batch_var][ci]`.
+    lane_cnorm: Vec<f64>,
+    /// Variable of the last batch probe.
+    batch_var: usize,
+    /// Lane count of the last batch probe.
+    batch_k: usize,
+    /// Candidate values of the last batch probe, one per lane.
+    batch_cands: Vec<i64>,
+    batch_valid: bool,
+    /// Whether the batch was stacked on a staged single probe
+    /// ([`Self::probe_batch_over`]) rather than the committed point.
+    batch_stacked: bool,
 }
 
 impl<'c> Evaluator<'c> {
@@ -669,6 +1125,7 @@ impl<'c> Evaluator<'c> {
         self.dirty_cons.clear();
         self.dirty_vars.clear();
         self.probe_valid = false;
+        self.batch_valid = false;
     }
 
     /// Restores the shadow invariant: undoes the previous probe's writes
@@ -759,6 +1216,7 @@ impl<'c> Evaluator<'c> {
         self.staged.clear();
         self.staged.extend_from_slice(moves);
         self.probe_valid = true;
+        self.batch_valid = false;
     }
 
     /// [`Self::probe`] for the single move `var := new_val` — the one
@@ -791,6 +1249,7 @@ impl<'c> Evaluator<'c> {
         }
         self.dirty_vars.clear();
         self.probe_valid = false;
+        self.batch_valid = false;
     }
 
     /// Objective at the committed point (a cache read).
@@ -851,6 +1310,180 @@ impl<'c> Evaluator<'c> {
     pub fn probe_is_feasible(&self, tol: f64) -> bool {
         debug_assert!(self.probe_valid, "no staged probe");
         self.cnorm_shadow.iter().all(|&n| n <= tol)
+    }
+
+    /// Runs the batched lane program of `var` over `cands` against the
+    /// shadow base, then computes per-lane violation norms.
+    fn lane_pass(&mut self, var: usize, cands: &[i64], stacked: bool) {
+        let k = cands.len();
+        let Evaluator {
+            c,
+            ref mut lane_vals,
+            ref mut lane_cnorm,
+            ref scratch,
+            ref xp,
+            ..
+        } = *self;
+        // grow-only buffers: every slot up to the live length is written
+        // below before it is ever read, so stale tails from a larger
+        // previous batch are harmless and the zero-fill would be wasted
+        let need = c.var_deps[var].len() * k;
+        if lane_vals.len() < need {
+            lane_vals.resize(need, 0.0);
+        }
+        run_lanes(
+            &c.batch_progs[var],
+            &mut lane_vals[..need],
+            k,
+            scratch,
+            xp,
+            var,
+            cands,
+        );
+        let vc = &c.var_cons[var];
+        if lane_cnorm.len() < vc.len() * k {
+            lane_cnorm.resize(vc.len() * k, 0.0);
+        }
+        for (ci, &j) in vc.iter().enumerate() {
+            let pos = c.batch_cons_pos[var][ci] as usize;
+            let meta = &c.cons[j as usize];
+            for l in 0..k {
+                lane_cnorm[ci * k + l] = meta.violation_norm(lane_vals[pos * k + l]);
+            }
+        }
+        self.batch_var = var;
+        self.batch_k = k;
+        self.batch_cands.clear();
+        self.batch_cands.extend_from_slice(cands);
+        self.batch_valid = true;
+        self.batch_stacked = stacked;
+    }
+
+    /// Stages `cands.len()` candidate values of `var` at once: one pass
+    /// over the batched lane program evaluates every lane (one decode per
+    /// instruction, K values per decode). The committed point is
+    /// untouched; read the lanes through [`Self::batch_objective`],
+    /// [`Self::batch_violation_norm`], [`Self::batch_violation_sum`] and
+    /// [`Self::batch_is_feasible`], then optionally make one lane
+    /// permanent with [`Self::commit_batch_lane`]. Any staged single
+    /// [`Self::probe`] is rolled back first.
+    pub fn probe_batch(&mut self, var: usize, cands: &[i64]) {
+        debug_assert!(!cands.is_empty(), "empty batch");
+        self.rollback();
+        self.probe_valid = false;
+        self.lane_pass(var, cands, false);
+    }
+
+    /// [`Self::probe_batch`] stacked *on top of* the currently staged
+    /// single-probe overlay: each lane evaluates the staged point (the
+    /// last [`Self::probe`]'s moves) with `var` additionally overridden to
+    /// its candidate. The staged probe stays intact — this is the pair
+    /// scan of DLM polish, where a base move of `vi` is probed once and K
+    /// candidate values of `vj` ride on it.
+    pub fn probe_batch_over(&mut self, var: usize, cands: &[i64]) {
+        debug_assert!(!cands.is_empty(), "empty batch");
+        debug_assert!(self.probe_valid, "no staged probe to stack on");
+        debug_assert!(
+            !self.dirty_vars.contains(&var),
+            "stacked batch variable collides with the staged probe"
+        );
+        self.lane_pass(var, cands, true);
+    }
+
+    /// Objective of lane `l` of the last batch probe.
+    pub fn batch_objective(&self, l: usize) -> f64 {
+        debug_assert!(self.batch_valid, "no staged batch");
+        let pos = self.c.batch_obj_pos[self.batch_var];
+        if pos == u32::MAX {
+            // objective doesn't depend on the batched variable: every
+            // lane shares the base value (committed or staged overlay)
+            self.scratch[self.c.objective_root as usize]
+        } else {
+            self.lane_vals[pos as usize * self.batch_k + l]
+        }
+    }
+
+    /// Constraint `j`'s normalized violation in lane `l`.
+    pub fn batch_violation_norm(&self, l: usize, j: usize) -> f64 {
+        debug_assert!(self.batch_valid, "no staged batch");
+        match self.c.var_cons[self.batch_var].binary_search(&(j as u32)) {
+            Ok(ci) => self.lane_cnorm[ci * self.batch_k + l],
+            Err(_) => self.cnorm_shadow[j],
+        }
+    }
+
+    /// Sum of all normalized violations in lane `l`, in constraint order
+    /// (the same fold as [`Self::probe_violation_sum`], mixing lane norms
+    /// with base norms for untouched constraints).
+    pub fn batch_violation_sum(&self, l: usize) -> f64 {
+        debug_assert!(self.batch_valid, "no staged batch");
+        // walk runs of untouched constraints between the batched
+        // variable's own — identical left-to-right fold, fewer branches
+        let vc = &self.c.var_cons[self.batch_var];
+        let mut sum = 0.0;
+        let mut prev = 0;
+        for (ci, &j) in vc.iter().enumerate() {
+            for &n in &self.cnorm_shadow[prev..j as usize] {
+                sum += n;
+            }
+            sum += self.lane_cnorm[ci * self.batch_k + l];
+            prev = j as usize + 1;
+        }
+        for &n in &self.cnorm_shadow[prev..] {
+            sum += n;
+        }
+        sum
+    }
+
+    /// Whether lane `l` satisfies every constraint within `tol`.
+    pub fn batch_is_feasible(&self, l: usize, tol: f64) -> bool {
+        debug_assert!(self.batch_valid, "no staged batch");
+        let vc = &self.c.var_cons[self.batch_var];
+        let mut ci = 0;
+        for j in 0..self.c.cons.len() {
+            let n = if ci < vc.len() && vc[ci] as usize == j {
+                let n = self.lane_cnorm[ci * self.batch_k + l];
+                ci += 1;
+                n
+            } else {
+                self.cnorm_shadow[j]
+            };
+            if n > tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Makes lane `l` of the last (non-stacked) batch probe the committed
+    /// point, reusing the already-computed lane values instead of running
+    /// another delta pass. Equivalent to
+    /// `commit(&[(batch_var, cands[l])])` bit for bit.
+    pub fn commit_batch_lane(&mut self, l: usize) {
+        assert!(self.batch_valid, "no staged batch");
+        assert!(
+            !self.batch_stacked,
+            "a stacked batch cannot be committed directly"
+        );
+        // probe_batch rolled the shadow back, so the dirty lists are empty
+        debug_assert!(self.dirty.is_empty() && self.dirty_cons.is_empty());
+        let v = self.batch_var;
+        let k = self.batch_k;
+        for (p, &i) in self.c.var_deps[v].iter().enumerate() {
+            let val = self.lane_vals[p * k + l];
+            self.values[i as usize] = val;
+            self.scratch[i as usize] = val;
+        }
+        for (ci, &j) in self.c.var_cons[v].iter().enumerate() {
+            let n = self.lane_cnorm[ci * k + l];
+            self.cnorm[j as usize] = n;
+            self.cnorm_shadow[j as usize] = n;
+        }
+        let cand = self.batch_cands[l];
+        self.x[v] = cand;
+        self.xp[v] = cand;
+        self.probe_valid = false;
+        self.batch_valid = false;
     }
 }
 

@@ -15,7 +15,7 @@ use crate::compiled::CompiledModel;
 use crate::dlm::RestartResult;
 use crate::eval::{EvalBackend, ModelEval};
 use crate::model::{Model, Solution, FEAS_TOL};
-use crate::telemetry::{Recorder, Sink, Termination};
+use crate::telemetry::{Recorder, Sink, TapeStats, Termination};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -77,13 +77,13 @@ fn lag_committed(eval: &ModelEval<'_>, lambda: &[f64], f_scale: f64) -> f64 {
     f + penalty
 }
 
-/// Lagrangian at the staged point of the last probe; same fold order as
+/// Lagrangian at lane `l` of the last batch probe; same fold order as
 /// [`lag_committed`].
-fn lag_probe(eval: &ModelEval<'_>, lambda: &[f64], f_scale: f64) -> f64 {
-    let f = eval.probe_objective() / f_scale;
+fn lag_batch(eval: &ModelEval<'_>, l: usize, lambda: &[f64], f_scale: f64) -> f64 {
+    let f = eval.batch_objective(l) / f_scale;
     let mut penalty = 0.0f64;
-    for (j, &l) in lambda.iter().enumerate() {
-        penalty += l * eval.probe_violation_norm(j);
+    for (j, &lam) in lambda.iter().enumerate() {
+        penalty += lam * eval.batch_violation_norm(l, j);
     }
     f + penalty
 }
@@ -135,6 +135,9 @@ pub(crate) struct CsaTask<'m> {
     evals: u64,
     budget: u64,
     best: Option<(Vec<i64>, f64, bool)>,
+    /// Scratch for the multiplier move's violated-constraint indices
+    /// (reused across moves; no per-move allocation).
+    violated: Vec<usize>,
     /// Whether the best point improved since the last incumbent check
     /// (used by the portfolio's pruning rule).
     improved_since_check: bool,
@@ -177,6 +180,7 @@ impl<'m> CsaTask<'m> {
             evals: 1,
             budget,
             best: None,
+            violated: Vec::new(),
             improved_since_check: true,
             done: false,
             termination: Termination::Completed,
@@ -283,23 +287,30 @@ impl<'m> CsaTask<'m> {
             if new == self.eval.point()[vi] {
                 return;
             }
-            self.eval.probe(&[(vi, new)]);
-            let cand = lag_probe(&self.eval, &self.lambda, self.f_scale);
+            // a 1-lane batch probe: same staged value as `probe`, but an
+            // accepted move commits straight from the lane instead of
+            // re-running a delta pass
+            self.eval.probe_batch(vi, &[new]);
+            let cand = lag_batch(&self.eval, 0, &self.lambda, self.f_scale);
             self.evals += 1;
             let delta = cand - self.cur;
             if delta <= 0.0 || self.rng.random::<f64>() < (-delta / self.temp).exp() {
                 self.cur = cand;
-                self.eval.commit(&[(vi, new)]);
+                self.eval.commit_batch_lane(0);
                 self.consider(sink);
             }
             // a rejected probe needs no undo: the committed point is
             // untouched
         } else {
             // multiplier move: raise λ of a random violated constraint
-            let violated: Vec<usize> = (0..self.lambda.len())
-                .filter(|&k| self.eval.violation_norm(k) > FEAS_TOL)
-                .collect();
-            if let Some(&k) = violated.get(self.rng.random_range(0..violated.len().max(1))) {
+            self.violated.clear();
+            for k in 0..self.lambda.len() {
+                if self.eval.violation_norm(k) > FEAS_TOL {
+                    self.violated.push(k);
+                }
+            }
+            let pick = self.rng.random_range(0..self.violated.len().max(1));
+            if let Some(&k) = self.violated.get(pick) {
                 // raising λ increases L at the current (violated) point;
                 // CSA accepts λ-increasing moves to drive feasibility
                 self.lambda[k] *= 1.0 + self.rng.random::<f64>();
@@ -331,6 +342,8 @@ impl<'m> CsaTask<'m> {
 pub(crate) struct CsaRun {
     pub solution: Solution,
     pub traces: Vec<crate::telemetry::RestartTrace>,
+    /// Peephole before/after tape statistics (compiled backend only).
+    pub tape: Option<TapeStats>,
 }
 
 /// Runs one annealing chain to completion, optionally recording a trace.
@@ -381,6 +394,7 @@ pub(crate) fn run_csa(
             iterations: schedule,
         },
         traces,
+        tape: compiled.as_ref().map(|c| c.tape_stats()),
     }
 }
 

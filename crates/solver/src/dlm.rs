@@ -25,9 +25,10 @@
 use crate::compiled::CompiledModel;
 use crate::eval::{EvalBackend, ModelEval};
 use crate::model::{Domain, Model, Solution, FEAS_TOL};
-use crate::telemetry::{RestartTrace, Sink, Termination};
+use crate::telemetry::{RestartTrace, Sink, TapeStats, Termination};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::ops::Range;
 use std::time::Instant;
 
 /// Options for the DLM strategy.
@@ -54,6 +55,12 @@ pub struct DlmOptions {
     /// `seed + restart index` and the best result is chosen by a total
     /// order, so sequential and parallel runs return the same point.
     pub parallel_restarts: bool,
+    /// Worker threads for each restart's *own* neighborhood scan (`1` =
+    /// serial scans). The scan partitions the variables into contiguous
+    /// chunks and reduces candidates with a total order over
+    /// `(value, variable, candidate)` position, so the trajectory is
+    /// bit-identical at any thread count.
+    pub scan_threads: usize,
 }
 
 impl DlmOptions {
@@ -68,6 +75,7 @@ impl DlmOptions {
             lambda_growth: 2.0,
             max_stalled_updates: 60,
             parallel_restarts: false,
+            scan_threads: 1,
         }
     }
 
@@ -157,15 +165,18 @@ impl Lagrangian {
         f + penalty
     }
 
-    /// `L(x', λ)` at the engine's staged (probed) point.
-    fn value_probe(&mut self, eval: &ModelEval<'_>) -> f64 {
-        self.evals += 1;
-        let f = eval.probe_objective() / self.f_scale;
+    /// `L(x_l, λ)` for lane `l` of the engine's staged batch probe.
+    /// Does not count: batched scans account for their probes in bulk
+    /// (one `evals += lanes` per batch), which keeps the counter usable
+    /// from shared references in parallel scans while preserving the
+    /// per-candidate totals of the serial path.
+    fn value_batch(&self, eval: &ModelEval<'_>, l: usize) -> f64 {
+        let f = eval.batch_objective(l) / self.f_scale;
         let penalty: f64 = self
             .lambda
             .iter()
             .enumerate()
-            .map(|(j, &l)| l * eval.probe_violation_norm(j))
+            .map(|(j, &lam)| lam * eval.batch_violation_norm(l, j))
             .sum();
         f + penalty
     }
@@ -231,6 +242,199 @@ impl RestartResult {
     }
 }
 
+/// A polish-phase candidate: one or two coordinated moves plus the
+/// objective they reach. Fixed-size so the scan never allocates.
+#[derive(Clone, Copy)]
+struct PolishMove {
+    mv: [(usize, i64); 2],
+    len: u8,
+    val: f64,
+}
+
+/// One extra scan engine (for parallel neighbourhood scans): its own
+/// evaluator plus candidate scratch, kept at the same committed point as
+/// the task's main engine by [`DlmTask::commit_everywhere`].
+struct ScanWorker<'m> {
+    eval: ModelEval<'m>,
+    moves: Vec<i64>,
+    moves2: Vec<i64>,
+}
+
+/// Partitions `0..n` into contiguous chunks and runs `scan` over each —
+/// chunk 0 inline on the caller's engine, the rest on `aux` workers via
+/// scoped threads. Parts come back in chunk order (ascending variable
+/// ranges), so a left-to-right reduce with a strict `<` reproduces the
+/// serial first-wins order at any worker count.
+fn scan_chunks<'m, R, F>(
+    n: usize,
+    eval: &mut ModelEval<'m>,
+    moves: &mut Vec<i64>,
+    moves2: &mut Vec<i64>,
+    aux: &mut [ScanWorker<'m>],
+    scan: F,
+) -> Vec<R>
+where
+    F: Fn(&mut ModelEval<'m>, &mut Vec<i64>, &mut Vec<i64>, Range<usize>) -> R + Sync,
+    R: Send,
+{
+    let t = (aux.len() + 1).min(n.max(1));
+    if t <= 1 {
+        return vec![scan(eval, moves, moves2, 0..n)];
+    }
+    let chunk = n.div_ceil(t);
+    let scan = &scan;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = aux[..t - 1]
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| {
+                let lo = (i + 1) * chunk;
+                let hi = ((i + 2) * chunk).min(n);
+                scope.spawn(move || scan(&mut w.eval, &mut w.moves, &mut w.moves2, lo..hi))
+            })
+            .collect();
+        let mut parts = Vec::with_capacity(t);
+        parts.push(scan(eval, moves, moves2, 0..chunk.min(n)));
+        for h in handles {
+            parts.push(h.join().expect("scan worker panicked"));
+        }
+        parts
+    })
+}
+
+/// Best-improvement scan of the single-variable Lagrangian neighbourhood
+/// over the variables in `range`, one batched probe per variable.
+/// Returns the winning `(var, candidate, value)` plus the number of
+/// candidates evaluated. A candidate wins iff it clears the fixed
+/// threshold `cur − 1e-12` AND strictly beats the best so far, so the
+/// winner is the first minimum in `(var, candidate)` order — an order
+/// independent of how ranges partition the scan.
+fn scan_descent_range(
+    model: &Model,
+    live: &[bool],
+    lag: &Lagrangian,
+    cur: f64,
+    eval: &mut ModelEval<'_>,
+    moves: &mut Vec<i64>,
+    range: Range<usize>,
+) -> (Option<(usize, i64, f64)>, u64) {
+    let mut best: Option<(usize, i64, f64)> = None;
+    let mut count = 0u64;
+    for vi in range {
+        if !live[vi] {
+            continue; // cannot change L(x, λ) — skip the probes
+        }
+        let old = eval.point()[vi];
+        var_moves(model.vars()[vi].domain, old, moves);
+        if moves.is_empty() {
+            continue;
+        }
+        eval.probe_batch(vi, moves);
+        count += moves.len() as u64;
+        for (l, &mv) in moves.iter().enumerate() {
+            let val = lag.value_batch(eval, l);
+            if val + 1e-12 < cur && best.is_none_or(|(_, _, b)| val < b) {
+                best = Some((vi, mv, val));
+            }
+        }
+    }
+    (best, count)
+}
+
+/// Feasible single-move scan of the polish phase over `range`; same
+/// threshold-plus-strict-minimum acceptance as the descent scan (with the
+/// polish epsilon `1e-9`).
+fn scan_polish_singles(
+    model: &Model,
+    live: &[bool],
+    cur: f64,
+    eval: &mut ModelEval<'_>,
+    moves: &mut Vec<i64>,
+    range: Range<usize>,
+) -> (Option<PolishMove>, u64) {
+    let mut best: Option<PolishMove> = None;
+    let mut count = 0u64;
+    for vi in range {
+        if !live[vi] {
+            continue;
+        }
+        let old = eval.point()[vi];
+        var_moves(model.vars()[vi].domain, old, moves);
+        if moves.is_empty() {
+            continue;
+        }
+        eval.probe_batch(vi, moves);
+        count += moves.len() as u64;
+        for (l, &mv) in moves.iter().enumerate() {
+            if !eval.batch_is_feasible(l, FEAS_TOL) {
+                continue;
+            }
+            let val = eval.batch_objective(l);
+            if val + 1e-9 < cur && best.is_none_or(|b| val < b.val) {
+                best = Some(PolishMove {
+                    mv: [(vi, mv), (0, 0)],
+                    len: 1,
+                    val,
+                });
+            }
+        }
+    }
+    (best, count)
+}
+
+/// Feasible paired-move scan of the polish phase: the first move of the
+/// pair is staged once as an ordinary probe (cost-free — only candidate
+/// lanes are counted), then each partner variable's candidates evaluate
+/// in one stacked batch over that overlay.
+fn scan_polish_pairs(
+    model: &Model,
+    live: &[bool],
+    cur: f64,
+    eval: &mut ModelEval<'_>,
+    moves: &mut Vec<i64>,
+    moves2: &mut Vec<i64>,
+    range: Range<usize>,
+) -> (Option<PolishMove>, u64) {
+    let mut best: Option<PolishMove> = None;
+    let mut count = 0u64;
+    for vi in range {
+        if !live[vi] {
+            continue;
+        }
+        let old_i = eval.point()[vi];
+        var_moves(model.vars()[vi].domain, old_i, moves);
+        for &ci in moves.iter() {
+            eval.probe(&[(vi, ci)]);
+            for (vj, &live_j) in live.iter().enumerate() {
+                if vj == vi || !live_j {
+                    continue;
+                }
+                let old_j = eval.point()[vj];
+                var_moves(model.vars()[vj].domain, old_j, moves2);
+                if moves2.is_empty() {
+                    continue;
+                }
+                eval.probe_batch_over(vj, moves2);
+                count += moves2.len() as u64;
+                for (l, &cj) in moves2.iter().enumerate() {
+                    if !eval.batch_is_feasible(l, FEAS_TOL) {
+                        continue;
+                    }
+                    let val = eval.batch_objective(l);
+                    if val + 1e-9 < cur && best.is_none_or(|b| val < b.val) {
+                        best = Some(PolishMove {
+                            mv: [(vi, ci), (vj, cj)],
+                            len: 2,
+                            val,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    (best, count)
+}
+
 enum Phase {
     Descent,
     Polish,
@@ -264,6 +468,10 @@ pub(crate) struct DlmTask<'m> {
     extra_evals: u64,
     moves: Vec<i64>,
     moves2: Vec<i64>,
+    /// Extra scan engines, one per worker thread beyond the first
+    /// ([`DlmOptions::scan_threads`]); kept at the same committed point
+    /// as `eval` by [`Self::commit_everywhere`].
+    aux: Vec<ScanWorker<'m>>,
     phase: Phase,
     polish_cur: f64,
     polish_left: u64,
@@ -302,6 +510,13 @@ impl<'m> DlmTask<'m> {
         for v in used {
             live[v.as_usize()] = true;
         }
+        let aux = (1..opts.scan_threads.max(1))
+            .map(|_| ScanWorker {
+                eval: ModelEval::new(model, compiled, &x),
+                moves: Vec::new(),
+                moves2: Vec::new(),
+            })
+            .collect();
         DlmTask {
             model,
             max_iters: opts.max_iters,
@@ -317,6 +532,7 @@ impl<'m> DlmTask<'m> {
             extra_evals: 0,
             moves: Vec::new(),
             moves2: Vec::new(),
+            aux,
             phase: Phase::Descent,
             polish_cur: 0.0,
             polish_left: 0,
@@ -366,7 +582,17 @@ impl<'m> DlmTask<'m> {
         }
     }
 
-    /// One best-improvement move over the single-variable neighbourhood.
+    /// Commits `moves` on the main engine and every scan worker, so all
+    /// engines agree on the committed point before the next scan.
+    fn commit_everywhere(&mut self, moves: &[(usize, i64)]) {
+        self.eval.commit(moves);
+        for w in &mut self.aux {
+            w.eval.commit(moves);
+        }
+    }
+
+    /// One best-improvement move over the single-variable neighbourhood,
+    /// scanned with batched probes across the task's scan workers.
     fn descent_tick<S: Sink>(&mut self, sink: &mut S) {
         if self.iters >= self.max_iters {
             self.finish_descent(Termination::IterLimit, sink);
@@ -376,24 +602,41 @@ impl<'m> DlmTask<'m> {
             self.finish_descent(Termination::EvalBudget, sink);
             return;
         }
+        let cur = self.cur;
+        let DlmTask {
+            model,
+            ref live,
+            ref lag,
+            ref mut eval,
+            ref mut moves,
+            ref mut moves2,
+            ref mut aux,
+            ..
+        } = *self;
+        let parts = scan_chunks(
+            model.num_vars(),
+            eval,
+            moves,
+            moves2,
+            aux,
+            |eval, moves, _moves2, range| {
+                scan_descent_range(model, live, lag, cur, eval, moves, range)
+            },
+        );
         let mut best_move: Option<(usize, i64, f64)> = None;
-        for vi in 0..self.model.num_vars() {
-            if !self.live[vi] {
-                continue; // cannot change L(x, λ) — skip the probes
-            }
-            let old = self.eval.point()[vi];
-            var_moves(self.model.vars()[vi].domain, old, &mut self.moves);
-            for &cand in &self.moves {
-                self.eval.probe(&[(vi, cand)]);
-                let val = self.lag.value_probe(&self.eval);
-                if val + 1e-12 < best_move.map_or(self.cur, |(_, _, b)| b) {
-                    best_move = Some((vi, cand, val));
+        let mut count = 0u64;
+        for (part, c) in parts {
+            count += c;
+            if let Some(m) = part {
+                if best_move.is_none_or(|(_, _, b)| m.2 < b) {
+                    best_move = Some(m);
                 }
             }
         }
+        self.lag.evals += count;
         match best_move {
             Some((vi, cand, val)) => {
-                self.eval.commit(&[(vi, cand)]);
+                self.commit_everywhere(&[(vi, cand)]);
                 self.cur = val;
                 self.iters += 1;
                 self.stalled = 0;
@@ -457,68 +700,66 @@ impl<'m> DlmTask<'m> {
     /// while shrinking another — the move the memory constraint makes
     /// necessary for tile sizes). Only feasible neighbours with strictly
     /// better objective are accepted, so feasibility is invariant.
+    /// Singles rank before pairs: a pair wins only by strictly beating
+    /// the best single move.
     fn polish_tick<S: Sink>(&mut self, sink: &mut S) {
         if self.polish_left == 0 {
             self.termination = Termination::IterLimit;
             self.phase = Phase::Done;
             return;
         }
-        let model = self.model;
-        let mut best_move: Option<(Vec<(usize, i64)>, f64)> = None;
         let cur = self.polish_cur;
-        // single moves
-        for vi in 0..model.num_vars() {
-            if !self.live[vi] {
-                continue;
+        let DlmTask {
+            model,
+            ref live,
+            ref mut eval,
+            ref mut moves,
+            ref mut moves2,
+            ref mut aux,
+            ..
+        } = *self;
+        let parts = scan_chunks(
+            model.num_vars(),
+            eval,
+            moves,
+            moves2,
+            aux,
+            |eval, moves, moves2, range| {
+                let (single, c1) =
+                    scan_polish_singles(model, live, cur, eval, moves, range.clone());
+                let (pair, c2) = scan_polish_pairs(model, live, cur, eval, moves, moves2, range);
+                (single, pair, c1 + c2)
+            },
+        );
+        let mut best_single: Option<PolishMove> = None;
+        let mut best_pair: Option<PolishMove> = None;
+        let mut count = 0u64;
+        for (single, pair, c) in parts {
+            count += c;
+            if let Some(m) = single {
+                if best_single.is_none_or(|b| m.val < b.val) {
+                    best_single = Some(m);
+                }
             }
-            let old = self.eval.point()[vi];
-            var_moves(model.vars()[vi].domain, old, &mut self.moves);
-            for &cand in &self.moves {
-                self.eval.probe(&[(vi, cand)]);
-                self.extra_evals += 1;
-                if self.eval.probe_is_feasible(FEAS_TOL) {
-                    let val = self.eval.probe_objective();
-                    if val + 1e-9 < best_move.as_ref().map_or(cur, |(_, b)| *b) {
-                        best_move = Some((vec![(vi, cand)], val));
-                    }
+            if let Some(m) = pair {
+                if best_pair.is_none_or(|b| m.val < b.val) {
+                    best_pair = Some(m);
                 }
             }
         }
-        // paired moves
-        for vi in 0..model.num_vars() {
-            if !self.live[vi] {
-                continue;
-            }
-            let old_i = self.eval.point()[vi];
-            var_moves(model.vars()[vi].domain, old_i, &mut self.moves);
-            for mi in 0..self.moves.len() {
-                let ci = self.moves[mi];
-                for vj in 0..model.num_vars() {
-                    if vj == vi || !self.live[vj] {
-                        continue;
-                    }
-                    let old_j = self.eval.point()[vj];
-                    var_moves(model.vars()[vj].domain, old_j, &mut self.moves2);
-                    for &cj in &self.moves2 {
-                        self.eval.probe(&[(vi, ci), (vj, cj)]);
-                        self.extra_evals += 1;
-                        if self.eval.probe_is_feasible(FEAS_TOL) {
-                            let val = self.eval.probe_objective();
-                            if val + 1e-9 < best_move.as_ref().map_or(cur, |(_, b)| *b) {
-                                best_move = Some((vec![(vi, ci), (vj, cj)], val));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        match best_move {
-            Some((delta, val)) => {
-                self.eval.commit(&delta);
-                self.polish_cur = val;
+        self.extra_evals += count;
+        let best = match (best_single, best_pair) {
+            (Some(s), Some(p)) => Some(if p.val < s.val { p } else { s }),
+            (s, p) => s.or(p),
+        };
+        match best {
+            Some(m) => {
+                let mv = m.mv;
+                self.commit_everywhere(&mv[..m.len as usize]);
+                self.polish_cur = m.val;
                 self.iters += 1;
                 self.polish_left -= 1;
-                self.note_best(val, sink);
+                self.note_best(m.val, sink);
             }
             None => self.phase = Phase::Done,
         }
@@ -570,6 +811,8 @@ pub(crate) struct DlmRun {
     pub solution: Solution,
     pub winner: usize,
     pub traces: Vec<RestartTrace>,
+    /// Peephole before/after tape statistics (compiled backend only).
+    pub tape: Option<TapeStats>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -689,6 +932,7 @@ pub(crate) fn run_dlm(
         },
         winner,
         traces,
+        tape: compiled.map(|c| c.tape_stats()),
     }
 }
 
@@ -832,6 +1076,26 @@ mod tests {
         let b = solve_dlm_impl(&m, &DlmOptions::quick(9));
         assert_eq!(a.point, b.point);
         assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn parallel_scans_match_serial() {
+        // chunked scans with a strict-minimum reduce must be bit-identical
+        // to the serial scan at any worker count
+        let m = knapsack_like();
+        let seq = solve_dlm_impl(&m, &DlmOptions::quick(5));
+        for threads in [2, 4, 7] {
+            let par = solve_dlm_impl(
+                &m,
+                &DlmOptions {
+                    scan_threads: threads,
+                    ..DlmOptions::quick(5)
+                },
+            );
+            assert_eq!(seq.point, par.point, "threads={threads}");
+            assert_eq!(seq.objective.to_bits(), par.objective.to_bits());
+            assert_eq!(seq.evals, par.evals, "threads={threads}");
+        }
     }
 
     #[test]

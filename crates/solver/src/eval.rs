@@ -45,9 +45,30 @@ pub(crate) struct TreeEval<'m> {
     x: Vec<i64>,
     /// The staged point of the last probe (committed point + moves).
     xp: Vec<i64>,
+    /// Base point of the last batch probe (committed point, or the staged
+    /// point for stacked batches).
+    batch_base: Vec<i64>,
+    /// Variable of the last batch probe.
+    batch_var: usize,
+    /// Candidate values of the last batch probe, one per lane.
+    batch_cands: Vec<i64>,
+}
+
+impl TreeEval<'_> {
+    /// The point lane `l` evaluates. The oracle allocates per read —
+    /// it exists for bit-identity, not speed.
+    fn lane_point(&self, l: usize) -> Vec<i64> {
+        let mut pt = self.batch_base.clone();
+        pt[self.batch_var] = self.batch_cands[l];
+        pt
+    }
 }
 
 /// Unified evaluation engine handed to each solver task.
+// one engine lives per solver task/scan worker for a whole solve, so
+// the inline size gap between the variants costs nothing; boxing would
+// put an indirection on every hot-path call instead
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum ModelEval<'m> {
     Tree(TreeEval<'m>),
     Compiled(Evaluator<'m>),
@@ -63,6 +84,9 @@ impl<'m> ModelEval<'m> {
                 model,
                 x: x0.to_vec(),
                 xp: x0.to_vec(),
+                batch_base: Vec::new(),
+                batch_var: 0,
+                batch_cands: Vec::new(),
             }),
         }
     }
@@ -130,6 +154,7 @@ impl<'m> ModelEval<'m> {
     }
 
     /// Objective at the staged point of the last [`Self::probe`].
+    #[allow(dead_code)] // part of the engine surface; exercised by tests
     pub(crate) fn probe_objective(&self) -> f64 {
         match self {
             ModelEval::Tree(t) => t.model.objective_at(&t.xp),
@@ -138,6 +163,7 @@ impl<'m> ModelEval<'m> {
     }
 
     /// Constraint `j`'s normalized violation at the staged point.
+    #[allow(dead_code)] // part of the engine surface; exercised by tests
     pub(crate) fn probe_violation_norm(&self, j: usize) -> f64 {
         match self {
             ModelEval::Tree(t) => t.model.constraints()[j].violation_norm(&t.xp),
@@ -146,6 +172,7 @@ impl<'m> ModelEval<'m> {
     }
 
     /// Whether the staged point is feasible within `tol`.
+    #[allow(dead_code)] // part of the engine surface; exercised by tests
     pub(crate) fn probe_is_feasible(&self, tol: f64) -> bool {
         match self {
             ModelEval::Tree(t) => t.model.is_feasible(&t.xp, tol),
@@ -162,6 +189,85 @@ impl<'m> ModelEval<'m> {
                 }
             }
             ModelEval::Compiled(ev) => ev.commit(moves),
+        }
+    }
+
+    /// Stages `cands.len()` candidate values of `var` at once against the
+    /// committed point; lanes are read through the `batch_*` accessors.
+    /// The compiled engine evaluates all lanes in one pass over the
+    /// batched (SoA) program; the oracle re-walks the trees per lane.
+    pub(crate) fn probe_batch(&mut self, var: usize, cands: &[i64]) {
+        match self {
+            ModelEval::Tree(t) => {
+                t.batch_base.clear();
+                t.batch_base.extend_from_slice(&t.x);
+                t.batch_var = var;
+                t.batch_cands.clear();
+                t.batch_cands.extend_from_slice(cands);
+            }
+            ModelEval::Compiled(ev) => ev.probe_batch(var, cands),
+        }
+    }
+
+    /// [`Self::probe_batch`] stacked on the staged overlay of the last
+    /// [`Self::probe`]: each lane evaluates the staged point with `var`
+    /// additionally set to its candidate. The staged probe stays intact.
+    pub(crate) fn probe_batch_over(&mut self, var: usize, cands: &[i64]) {
+        match self {
+            ModelEval::Tree(t) => {
+                t.batch_base.clear();
+                t.batch_base.extend_from_slice(&t.xp);
+                t.batch_var = var;
+                t.batch_cands.clear();
+                t.batch_cands.extend_from_slice(cands);
+            }
+            ModelEval::Compiled(ev) => ev.probe_batch_over(var, cands),
+        }
+    }
+
+    /// Objective of lane `l` of the last batch probe.
+    pub(crate) fn batch_objective(&self, l: usize) -> f64 {
+        match self {
+            ModelEval::Tree(t) => t.model.objective_at(&t.lane_point(l)),
+            ModelEval::Compiled(ev) => ev.batch_objective(l),
+        }
+    }
+
+    /// Constraint `j`'s normalized violation in lane `l`.
+    pub(crate) fn batch_violation_norm(&self, l: usize, j: usize) -> f64 {
+        match self {
+            ModelEval::Tree(t) => t.model.constraints()[j].violation_norm(&t.lane_point(l)),
+            ModelEval::Compiled(ev) => ev.batch_violation_norm(l, j),
+        }
+    }
+
+    /// Sum of all normalized violations in lane `l`.
+    #[allow(dead_code)] // part of the engine surface; exercised by tests
+    pub(crate) fn batch_violation_sum(&self, l: usize) -> f64 {
+        match self {
+            ModelEval::Tree(t) => t.model.violations(&t.lane_point(l)).iter().sum(),
+            ModelEval::Compiled(ev) => ev.batch_violation_sum(l),
+        }
+    }
+
+    /// Whether lane `l` is feasible within `tol`.
+    pub(crate) fn batch_is_feasible(&self, l: usize, tol: f64) -> bool {
+        match self {
+            ModelEval::Tree(t) => t.model.is_feasible(&t.lane_point(l), tol),
+            ModelEval::Compiled(ev) => ev.batch_is_feasible(l, tol),
+        }
+    }
+
+    /// Makes lane `l` of the last non-stacked batch probe the committed
+    /// point — bit-identical to `commit(&[(var, cands[l])])`, but the
+    /// compiled engine reuses the lane values instead of re-running a
+    /// delta pass.
+    pub(crate) fn commit_batch_lane(&mut self, l: usize) {
+        match self {
+            ModelEval::Tree(t) => {
+                t.x[t.batch_var] = t.batch_cands[l];
+            }
+            ModelEval::Compiled(ev) => ev.commit_batch_lane(l),
         }
     }
 }

@@ -66,6 +66,7 @@ pub mod csa;
 pub mod dlm;
 pub mod eval;
 pub mod model;
+mod peephole;
 pub mod portfolio;
 pub mod telemetry;
 
@@ -85,7 +86,7 @@ pub use dlm::solve_dlm;
 pub use dlm::DlmOptions;
 pub use eval::EvalBackend;
 pub use model::{Constraint, ConstraintOp, Domain, Expr, Model, Solution, VarId};
-pub use telemetry::{Improvement, RestartTrace, SolverReport, Termination};
+pub use telemetry::{Improvement, RestartTrace, SolverReport, TapeStats, Termination};
 
 /// A cooperative cancellation handle, polled by the solver drivers at the
 /// same segment/round boundaries where the wall-clock deadline is.
@@ -220,6 +221,12 @@ pub struct SolveOptions {
     /// canceled solve must be discarded rather than cached. Ignored by
     /// brute force.
     pub cancel: Option<CancelToken>,
+    /// Worker threads each DLM task may use for its *own* neighborhood
+    /// scan (`1` = serial scans, the default). Scans reduce with a total
+    /// order on `(variable, candidate)`, so — like [`Self::threads`] —
+    /// this changes wall-clock only, never the trajectory. Ignored by
+    /// CSA and brute force (their scans are inherently sequential).
+    pub scan_threads: usize,
 }
 
 impl SolveOptions {
@@ -239,6 +246,7 @@ impl SolveOptions {
             segment_evals: 4_096,
             eval: EvalBackend::default(),
             cancel: None,
+            scan_threads: 1,
         }
     }
 
@@ -307,6 +315,13 @@ impl SolveOptions {
         self.cancel = Some(token);
         self
     }
+
+    /// Sets the per-task scan thread count (see
+    /// [`SolveOptions::scan_threads`]; `0` is treated as `1`).
+    pub fn scan_threads(mut self, scan_threads: usize) -> Self {
+        self.scan_threads = scan_threads.max(1);
+        self
+    }
 }
 
 impl Default for SolveOptions {
@@ -354,6 +369,9 @@ impl Solver for DlmSolver {
         if let Some(budget) = opts.max_evals {
             dlm_opts.max_evals = budget;
         }
+        if opts.scan_threads > 1 {
+            dlm_opts.scan_threads = opts.scan_threads;
+        }
         let deadline = opts.deadline.map(|d| started + d);
         let run = dlm::run_dlm(
             model,
@@ -375,6 +393,7 @@ impl Solver for DlmSolver {
             total_evals: run.solution.evals,
             total_iterations: run.solution.iterations,
             winner: run.winner,
+            tape: run.tape,
             traces: run.traces,
         });
         SolveOutcome {
@@ -416,6 +435,7 @@ impl Solver for CsaSolver {
             total_evals: run.solution.evals,
             total_iterations: run.solution.iterations,
             winner: 0,
+            tape: run.tape,
             traces: run.traces,
         });
         SolveOutcome {
@@ -444,6 +464,7 @@ impl Solver for BruteForceSolver {
             total_evals: solution.evals,
             total_iterations: solution.iterations,
             winner: 0,
+            tape: None,
             traces: vec![RestartTrace {
                 label: "brute".to_string(),
                 iterations: solution.iterations,

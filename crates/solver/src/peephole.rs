@@ -1,0 +1,293 @@
+//! Tape-level peephole optimization of encoded programs.
+//!
+//! [`CompiledModel::compile`](crate::compiled::CompiledModel::compile)
+//! first emits *naive* encoded programs — one generic instruction per
+//! tape slot, operands read through the values array. [`optimize`] then
+//! rewrites each program stream in place of the interpreter's generic
+//! decode work:
+//!
+//! * **arity specialization** — two-operand `Add`/`Mul` (the dominant
+//!   shape after CSE) become fixed-layout `ADD2`/`MUL2` so the decoder
+//!   skips the operand-count split;
+//! * **fused multiply-add** — an `MUL2` immediately followed by an
+//!   `ADD2` consuming it collapses into one `FMA` decode. Both
+//!   destination slots are still written (later instructions and other
+//!   variables' delta programs read the intermediate product from its
+//!   slot), so fusion saves decode work, never values;
+//! * **immediate constants (redundant-load elision)** — a constant
+//!   operand of `ADD2`/`MUL2`/`SUB`/`CEILDIV` is embedded into the
+//!   instruction stream as two `u32` words instead of being loaded from
+//!   its values slot on every execution;
+//! * **strength reduction** — `CeilDiv` by a constant power of two
+//!   becomes a multiply by the *exact* reciprocal. `1/±2^k` is exactly
+//!   representable (when finite), so `x * 2^-k` and `x / 2^k` denote the
+//!   same real number and round to the same `f64` for every `x` —
+//!   including infinities, subnormals and signed zeros.
+//!
+//! # Bit-identity
+//!
+//! Every rewrite preserves the seeded left-to-right folds of the tree
+//! walker bit for bit: `ADD2` still computes `(0.0 + a) + b` (the
+//! leading seed normalizes `-0.0` exactly like `iter().sum()`), constant
+//! seeds are folded into embedded immediates only on the seed side, and
+//! the reciprocal rewrite is gated on the divisor being a nonzero finite
+//! power of two with a finite exact reciprocal. The differential
+//! proptests in `tests/compiled_eval.rs` cover the optimized programs on
+//! both the full-tape and the batched-lane interpreters.
+
+/// Generic opcodes produced by the naive encoder.
+pub(crate) const OP_VAR: u32 = 0;
+pub(crate) const OP_ADD: u32 = 1;
+pub(crate) const OP_MUL: u32 = 2;
+pub(crate) const OP_SUB: u32 = 3;
+pub(crate) const OP_CEILDIV: u32 = 4;
+pub(crate) const OP_SELECT: u32 = 5;
+/// Specialized opcodes introduced by [`optimize`].
+pub(crate) const OP_ADD2: u32 = 6;
+pub(crate) const OP_MUL2: u32 = 7;
+/// `[hdr, dst, c_lo, c_hi, b]` — `(0.0 + c) + vals[b]`, seed prefolded.
+pub(crate) const OP_ADD2_CA: u32 = 8;
+/// `[hdr, dst, a, c_lo, c_hi]` — `(0.0 + vals[a]) + c`.
+pub(crate) const OP_ADD2_AC: u32 = 9;
+/// `[hdr, dst, c_lo, c_hi, b]` — `(1.0 * c) * vals[b]`, seed prefolded.
+pub(crate) const OP_MUL2_CA: u32 = 10;
+/// `[hdr, dst, a, c_lo, c_hi]` — `(1.0 * vals[a]) * c`.
+pub(crate) const OP_MUL2_AC: u32 = 11;
+/// `[hdr, dst, c_lo, c_hi, b]` — `c - vals[b]`.
+pub(crate) const OP_SUB_CA: u32 = 12;
+/// `[hdr, dst, a, c_lo, c_hi]` — `vals[a] - c`.
+pub(crate) const OP_SUB_AC: u32 = 13;
+/// `[hdr, dst, a, r_lo, r_hi]` — `(vals[a] * r).ceil()` with `r` the
+/// exact reciprocal of a power-of-two divisor.
+pub(crate) const OP_CEILDIV_RECIP: u32 = 14;
+/// `[hdr, dst, a, c_lo, c_hi]` — `(vals[a] / c).ceil()`, `c != 0.0`.
+pub(crate) const OP_CEILDIV_AC: u32 = 15;
+/// `[hdr, dst, c_lo, c_hi, b]` — `ceil(c / vals[b])`, `0.0` on zero.
+pub(crate) const OP_CEILDIV_CA: u32 = 16;
+/// `[op | variant << 8, mul_dst, ma, mb, add_dst, o]` — writes
+/// `m = (1.0 * vals[ma]) * vals[mb]` to `mul_dst`, then
+/// variant 0: `(0.0 + vals[o]) + m`, variant 1: `(0.0 + m) + vals[o]`
+/// to `add_dst`.
+pub(crate) const OP_FMA: u32 = 17;
+
+/// Reassembles an `f64` from its two embedded stream words.
+#[inline(always)]
+pub(crate) fn imm_f64(lo: u32, hi: u32) -> f64 {
+    f64::from_bits(((hi as u64) << 32) | lo as u64)
+}
+
+/// Rewrite counters of one [`optimize`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct PeepholeCounts {
+    /// Two-operand `Add`/`Mul` specialized to fixed-layout decodes.
+    pub specialized: u64,
+    /// Constant operands embedded as stream immediates.
+    pub immediates: u64,
+    /// `CeilDiv` by a power of two rewritten as an exact multiply.
+    pub strength_reduced: u64,
+    /// Adjacent multiply→add pairs combined into one decode.
+    pub fused: u64,
+}
+
+impl PeepholeCounts {
+    pub(crate) fn absorb(&mut self, other: PeepholeCounts) {
+        self.specialized += other.specialized;
+        self.immediates += other.immediates;
+        self.strength_reduced += other.strength_reduced;
+        self.fused += other.fused;
+    }
+}
+
+/// One decoded instruction during rewriting (compile time only).
+struct Decoded {
+    op: u32,
+    n: u32,
+    dst: u32,
+    args: Vec<u32>,
+}
+
+/// True when `d` is a nonzero finite power of two whose reciprocal is
+/// finite and exact (so dividing by `d` equals multiplying by `1/d`).
+fn exact_recip(d: f64) -> Option<f64> {
+    const MANTISSA_MASK: u64 = (1u64 << 52) - 1;
+    if d == 0.0 || !d.is_finite() || d.to_bits() & MANTISSA_MASK != 0 {
+        return None;
+    }
+    let r = 1.0 / d;
+    (r.is_finite() && 1.0 / r == d).then_some(r)
+}
+
+/// Optimizes one encoded program. `const_of` maps a plain slot operand to
+/// its constant value (`None` for non-const slots *and* for lane-tagged
+/// operands of batched programs); `dst_tag` is the bit pattern OR-ed onto
+/// a destination when it appears as an operand (`LANE_BIT` for batched
+/// programs, `0` otherwise).
+pub(crate) fn optimize(
+    code: &[u32],
+    const_of: &dyn Fn(u32) -> Option<f64>,
+    dst_tag: u32,
+) -> (Vec<u32>, PeepholeCounts) {
+    let mut counts = PeepholeCounts::default();
+
+    // decode
+    let mut insts: Vec<Decoded> = Vec::new();
+    let mut rest = code;
+    while let [hdr, dst, tail @ ..] = rest {
+        let op = hdr & 0xff;
+        let n = hdr >> 8;
+        let arity = match op {
+            OP_VAR => 1,
+            OP_ADD | OP_MUL => n as usize,
+            OP_SUB | OP_CEILDIV => 2,
+            OP_SELECT => 1 + n as usize,
+            _ => unreachable!("optimize expects a naive program"),
+        };
+        let (args, t) = tail.split_at(arity);
+        insts.push(Decoded {
+            op,
+            n,
+            dst: *dst,
+            args: args.to_vec(),
+        });
+        rest = t;
+    }
+
+    // arity specialization: 2-operand Add/Mul get fixed-layout decodes
+    for inst in &mut insts {
+        if (inst.op == OP_ADD || inst.op == OP_MUL) && inst.n == 2 {
+            inst.op = if inst.op == OP_ADD { OP_ADD2 } else { OP_MUL2 };
+            inst.n = 0;
+            counts.specialized += 1;
+        }
+    }
+
+    // fusion: MUL2 immediately followed by an ADD2 that consumes it.
+    // Both writes are kept, so shared caches stay correct; the variant
+    // flag records which operand position the product occupied, which
+    // fixes the seeded fold order.
+    let mut i = 0;
+    while i + 1 < insts.len() {
+        let fusible = insts[i].op == OP_MUL2 && insts[i + 1].op == OP_ADD2 && {
+            let m = insts[i].dst | dst_tag;
+            let [a, b] = [insts[i + 1].args[0], insts[i + 1].args[1]];
+            (a == m) != (b == m) // exactly one operand is the product
+        };
+        if fusible {
+            let add = insts.remove(i + 1);
+            let m = insts[i].dst | dst_tag;
+            let (variant, other) = if add.args[1] == m {
+                (0u32, add.args[0]) // (0.0 + other) + m
+            } else {
+                (1u32, add.args[1]) // (0.0 + m) + other
+            };
+            let mul = &mut insts[i];
+            mul.op = OP_FMA;
+            mul.n = variant;
+            mul.args.push(add.dst);
+            mul.args.push(other);
+            counts.fused += 1;
+        }
+        i += 1;
+    }
+
+    // immediate embedding + strength reduction
+    for inst in &mut insts {
+        match inst.op {
+            OP_ADD2 | OP_MUL2 => {
+                let is_add = inst.op == OP_ADD2;
+                if let Some(c) = const_of(inst.args[0]) {
+                    // prefold the seed into the immediate: the runtime
+                    // formula `c' op b` then equals `(seed op c) op b`
+                    let folded = if is_add { 0.0 + c } else { 1.0 * c };
+                    inst.op = if is_add { OP_ADD2_CA } else { OP_MUL2_CA };
+                    inst.args[0] = folded.to_bits() as u32;
+                    inst.args.insert(1, (folded.to_bits() >> 32) as u32);
+                    counts.immediates += 1;
+                } else if let Some(c) = const_of(inst.args[1]) {
+                    inst.op = if is_add { OP_ADD2_AC } else { OP_MUL2_AC };
+                    inst.args[1] = c.to_bits() as u32;
+                    inst.args.push((c.to_bits() >> 32) as u32);
+                    counts.immediates += 1;
+                }
+            }
+            OP_SUB => {
+                if let Some(c) = const_of(inst.args[0]) {
+                    inst.op = OP_SUB_CA;
+                    inst.args[0] = c.to_bits() as u32;
+                    inst.args.insert(1, (c.to_bits() >> 32) as u32);
+                    counts.immediates += 1;
+                } else if let Some(c) = const_of(inst.args[1]) {
+                    inst.op = OP_SUB_AC;
+                    inst.args[1] = c.to_bits() as u32;
+                    inst.args.push((c.to_bits() >> 32) as u32);
+                    counts.immediates += 1;
+                }
+            }
+            OP_CEILDIV => {
+                if let Some(d) = const_of(inst.args[1]) {
+                    if let Some(r) = exact_recip(d) {
+                        inst.op = OP_CEILDIV_RECIP;
+                        inst.args[1] = r.to_bits() as u32;
+                        inst.args.push((r.to_bits() >> 32) as u32);
+                        counts.strength_reduced += 1;
+                    } else if d != 0.0 {
+                        inst.op = OP_CEILDIV_AC;
+                        inst.args[1] = d.to_bits() as u32;
+                        inst.args.push((d.to_bits() >> 32) as u32);
+                        counts.immediates += 1;
+                    }
+                    // d == 0.0: the result is 0.0 whatever the numerator;
+                    // keep the generic decode (degenerate models only)
+                } else if let Some(c) = const_of(inst.args[0]) {
+                    inst.op = OP_CEILDIV_CA;
+                    inst.args[0] = c.to_bits() as u32;
+                    inst.args.insert(1, (c.to_bits() >> 32) as u32);
+                    counts.immediates += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // re-encode
+    let mut out = Vec::with_capacity(code.len());
+    for inst in &insts {
+        out.push(inst.op | (inst.n << 8));
+        out.push(inst.dst);
+        out.extend_from_slice(&inst.args);
+    }
+    (out, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_recip_accepts_only_reciprocable_powers_of_two() {
+        assert_eq!(exact_recip(2.0), Some(0.5));
+        assert_eq!(exact_recip(0.25), Some(4.0));
+        assert_eq!(exact_recip(-8.0), Some(-0.125));
+        assert_eq!(exact_recip(1.0), Some(1.0));
+        assert_eq!(exact_recip(3.0), None);
+        assert_eq!(exact_recip(0.0), None);
+        assert_eq!(exact_recip(-0.0), None);
+        assert_eq!(exact_recip(f64::INFINITY), None);
+        assert_eq!(exact_recip(f64::NAN), None);
+        // smallest power of two with a finite reciprocal is fine...
+        assert_eq!(
+            exact_recip(f64::MIN_POSITIVE),
+            Some(1.0 / f64::MIN_POSITIVE)
+        );
+        // ...but subnormal divisors (reciprocal overflows) are rejected
+        assert_eq!(exact_recip(f64::MIN_POSITIVE / 2.0), None);
+    }
+
+    #[test]
+    fn imm_roundtrip() {
+        for v in [0.0, -0.0, 1.5, -123.456e7, f64::INFINITY] {
+            let bits = v.to_bits();
+            assert_eq!(imm_f64(bits as u32, (bits >> 32) as u32).to_bits(), bits);
+        }
+    }
+}

@@ -126,10 +126,13 @@ pub(crate) fn solve_portfolio(
     opts: &SolveOptions,
 ) -> (Solution, Option<SolverReport>) {
     let started = Instant::now();
-    let dlm_opts = opts
+    let mut dlm_opts = opts
         .dlm
         .clone()
         .unwrap_or_else(|| DlmOptions::new(opts.seed));
+    if opts.scan_threads > 1 {
+        dlm_opts.scan_threads = opts.scan_threads;
+    }
     let csa_base = opts
         .csa
         .clone()
@@ -253,6 +256,7 @@ pub(crate) fn solve_portfolio(
         total_evals,
         total_iterations: total_iters,
         winner,
+        tape: compiled.map(|c| c.tape_stats()),
         traces: slots
             .iter()
             .zip(&results)

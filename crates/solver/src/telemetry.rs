@@ -149,6 +149,27 @@ pub struct RestartTrace {
     pub termination: Termination,
 }
 
+/// Compile-time tape statistics: what the peephole pass did to the
+/// encoded programs of one [`CompiledModel`](crate::CompiledModel)
+/// (full tape + per-variable delta programs + batched lane programs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TapeStats {
+    /// Tape instructions after CSE/folding/dead-code sweep.
+    pub insts: u64,
+    /// Total encoded program words before the peephole pass.
+    pub words_before: u64,
+    /// Total encoded program words after the peephole pass.
+    pub words_after: u64,
+    /// Two-operand `Add`/`Mul` specialized to fixed-layout decodes.
+    pub specialized: u64,
+    /// Constant operands embedded as stream immediates.
+    pub immediates: u64,
+    /// `CeilDiv`-by-power-of-two rewritten as exact multiplies.
+    pub strength_reduced: u64,
+    /// Adjacent multiply→add pairs fused into one decode.
+    pub fused: u64,
+}
+
 /// Aggregate report of one solve, attached to
 /// [`SolveOutcome`](crate::SolveOutcome) when telemetry is enabled.
 #[derive(Clone, Debug, Serialize)]
@@ -165,6 +186,9 @@ pub struct SolverReport {
     pub total_iterations: u64,
     /// Index into `traces` of the winning task.
     pub winner: usize,
+    /// Peephole statistics of the compiled tape the solve ran on
+    /// (`None` for strategies that never compiled a tape).
+    pub tape: Option<TapeStats>,
     /// One trace per restart/chain, in task order.
     pub traces: Vec<RestartTrace>,
 }
@@ -193,6 +217,12 @@ impl Deserialize for SolverReport {
             total_evals: u64::from_value(field(v, "total_evals")?)?,
             total_iterations: u64::from_value(field(v, "total_iterations")?)?,
             winner: usize::from_value(field(v, "winner")?)?,
+            // lenient: reports written before the peephole pass carry no
+            // `tape` key at all
+            tape: match v.get("tape") {
+                Some(t) => Option::from_value(t)?,
+                None => None,
+            },
             traces: Vec::from_value(field(v, "traces")?)?,
         })
     }
@@ -210,6 +240,20 @@ impl fmt::Display for SolverReport {
             self.total_evals,
             self.total_iterations,
         )?;
+        if let Some(t) = &self.tape {
+            writeln!(
+                f,
+                "  tape: {} insts, {} → {} words ({} specialized, {} immediates, \
+                 {} strength-reduced, {} fused)",
+                t.insts,
+                t.words_before,
+                t.words_after,
+                t.specialized,
+                t.immediates,
+                t.strength_reduced,
+                t.fused,
+            )?;
+        }
         writeln!(
             f,
             "  {:<8} {:>9} {:>10} {:>13} {:>9} {:>9}  {:<11} improvements",
@@ -279,6 +323,15 @@ mod tests {
             total_evals: 1000,
             total_iterations: 50,
             winner: 1,
+            tape: Some(TapeStats {
+                insts: 40,
+                words_before: 300,
+                words_after: 280,
+                specialized: 12,
+                immediates: 6,
+                strength_reduced: 2,
+                fused: 3,
+            }),
             traces: vec![
                 RestartTrace {
                     label: "dlm#0".into(),
@@ -320,5 +373,40 @@ mod tests {
         assert!(s.contains("local-min"), "{s}");
         assert!(s.contains("* csa#0"), "{s}");
         assert!(s.contains("2 (9.000e8 → 2.000e8)"), "{s}");
+        assert!(s.contains("tape: 40 insts, 300 → 280 words"), "{s}");
+    }
+
+    #[test]
+    fn report_tape_stats_roundtrip_and_lenient_absence() {
+        let report = SolverReport {
+            strategy: "dlm",
+            threads: 1,
+            wall: Duration::from_millis(1),
+            total_evals: 10,
+            total_iterations: 2,
+            winner: 0,
+            tape: Some(TapeStats {
+                insts: 7,
+                words_before: 50,
+                words_after: 44,
+                specialized: 3,
+                immediates: 1,
+                strength_reduced: 1,
+                fused: 1,
+            }),
+            traces: vec![],
+        };
+        let v = report.to_value();
+        let back = SolverReport::from_value(&v).unwrap();
+        assert_eq!(back.tape, report.tape);
+
+        // a report serialized before the tape field existed still parses
+        let mut entries = match v {
+            serde::Value::Map(entries) => entries,
+            _ => unreachable!(),
+        };
+        entries.retain(|(k, _)| k != "tape");
+        let old = SolverReport::from_value(&serde::Value::Map(entries)).unwrap();
+        assert_eq!(old.tape, None);
     }
 }

@@ -175,6 +175,195 @@ proptest! {
     }
 }
 
+/// Clamps `val` into the domain of [`arb_model`]'s variable `v`.
+fn clamp_for(v: usize, val: i64) -> i64 {
+    match v {
+        0 => val.clamp(1, 16),
+        1 => val.clamp(0, 12),
+        _ => val.clamp(0, 1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every lane of a batched probe is bit-identical to the equivalent
+    /// single probe and to the tree walker, and committing a lane equals
+    /// committing the move.
+    #[test]
+    fn batched_lanes_match_single_probes_and_tree(
+        m in arb_model(),
+        x0 in arb_point(),
+        var in 0usize..3,
+        cands in proptest::collection::vec(0i64..=16, 1..10),
+        pick in 0usize..10,
+    ) {
+        let cands: Vec<i64> = cands.into_iter().map(|c| clamp_for(var, c)).collect();
+        let compiled = CompiledModel::compile(&m);
+        let mut batch = compiled.evaluator(&x0);
+        let mut single = compiled.evaluator(&x0);
+        batch.probe_batch(var, &cands);
+        for (l, &cand) in cands.iter().enumerate() {
+            let mut xl = x0.clone();
+            xl[var] = cand;
+            single.probe(&[(var, cand)]);
+            prop_assert_eq!(
+                batch.batch_objective(l).to_bits(),
+                single.probe_objective().to_bits()
+            );
+            prop_assert_eq!(
+                batch.batch_objective(l).to_bits(),
+                m.objective_at(&xl).to_bits()
+            );
+            for (j, c) in m.constraints().iter().enumerate() {
+                prop_assert_eq!(
+                    batch.batch_violation_norm(l, j).to_bits(),
+                    single.probe_violation_norm(j).to_bits()
+                );
+                prop_assert_eq!(
+                    batch.batch_violation_norm(l, j).to_bits(),
+                    c.violation_norm(&xl).to_bits()
+                );
+            }
+            let tree_sum: f64 = m.violations(&xl).iter().sum();
+            prop_assert_eq!(batch.batch_violation_sum(l).to_bits(), tree_sum.to_bits());
+            prop_assert_eq!(
+                batch.batch_is_feasible(l, FEAS_TOL),
+                m.is_feasible(&xl, FEAS_TOL)
+            );
+        }
+        // committing a lane == committing the move
+        let l = pick % cands.len();
+        batch.commit_batch_lane(l);
+        single.commit(&[(var, cands[l])]);
+        let mut xl = x0.clone();
+        xl[var] = cands[l];
+        assert_committed_matches(&m, &batch, &xl);
+        prop_assert_eq!(batch.objective().to_bits(), single.objective().to_bits());
+        prop_assert_eq!(
+            batch.violation_sum().to_bits(),
+            single.violation_sum().to_bits()
+        );
+    }
+
+    /// A batch stacked over a staged single-move probe equals explicit
+    /// two-move probes and the tree walker, lane by lane — and the staged
+    /// base probe survives the stacked batch untouched.
+    #[test]
+    fn stacked_batches_match_two_move_probes(
+        m in arb_model(),
+        x0 in arb_point(),
+        vi in 0usize..3,
+        off in 1usize..3,
+        ci in 0i64..=16,
+        cands in proptest::collection::vec(0i64..=16, 1..8),
+    ) {
+        let vj = (vi + off) % 3;
+        let ci = clamp_for(vi, ci);
+        let cands: Vec<i64> = cands.into_iter().map(|c| clamp_for(vj, c)).collect();
+        let compiled = CompiledModel::compile(&m);
+        let mut batch = compiled.evaluator(&x0);
+        let mut pair = compiled.evaluator(&x0);
+        batch.probe(&[(vi, ci)]);
+        batch.probe_batch_over(vj, &cands);
+        for (l, &cj) in cands.iter().enumerate() {
+            let mut xl = x0.clone();
+            xl[vi] = ci;
+            xl[vj] = cj;
+            pair.probe(&[(vi, ci), (vj, cj)]);
+            prop_assert_eq!(
+                batch.batch_objective(l).to_bits(),
+                pair.probe_objective().to_bits()
+            );
+            prop_assert_eq!(
+                batch.batch_objective(l).to_bits(),
+                m.objective_at(&xl).to_bits()
+            );
+            for (j, c) in m.constraints().iter().enumerate() {
+                prop_assert_eq!(
+                    batch.batch_violation_norm(l, j).to_bits(),
+                    pair.probe_violation_norm(j).to_bits()
+                );
+                prop_assert_eq!(
+                    batch.batch_violation_norm(l, j).to_bits(),
+                    c.violation_norm(&xl).to_bits()
+                );
+            }
+            prop_assert_eq!(
+                batch.batch_is_feasible(l, FEAS_TOL),
+                m.is_feasible(&xl, FEAS_TOL)
+            );
+        }
+        // the staged base probe is still readable after stacked batches
+        let mut xb = x0.clone();
+        xb[vi] = ci;
+        prop_assert_eq!(
+            batch.probe_objective().to_bits(),
+            m.objective_at(&xb).to_bits()
+        );
+    }
+
+    /// Two-move probe and commit chains match the tree oracle at every
+    /// staged and committed point.
+    #[test]
+    fn two_move_probe_and_commit_match_tree(
+        m in arb_model(),
+        x0 in arb_point(),
+        pairs in proptest::collection::vec((0usize..3, 1usize..3, 0i64..=16, 0i64..=16), 1..8),
+    ) {
+        let compiled = CompiledModel::compile(&m);
+        let mut ev = compiled.evaluator(&x0);
+        let mut x = x0.clone();
+        for (vi, off, ci, cj) in pairs {
+            let vj = (vi + off) % 3;
+            let moves = [(vi, clamp_for(vi, ci)), (vj, clamp_for(vj, cj))];
+            let mut xp = x.clone();
+            xp[vi] = moves[0].1;
+            xp[vj] = moves[1].1;
+            ev.probe(&moves);
+            prop_assert_eq!(
+                ev.probe_objective().to_bits(),
+                m.objective_at(&xp).to_bits()
+            );
+            for (j, c) in m.constraints().iter().enumerate() {
+                prop_assert_eq!(
+                    ev.probe_violation_norm(j).to_bits(),
+                    c.violation_norm(&xp).to_bits()
+                );
+            }
+            prop_assert_eq!(ev.probe_is_feasible(FEAS_TOL), m.is_feasible(&xp, FEAS_TOL));
+            ev.commit(&moves);
+            x = xp;
+            assert_committed_matches(&m, &ev, &x);
+        }
+    }
+
+    /// DLM trajectories with parallel batched scans are bit-identical
+    /// across backends and scan-thread counts: the tree oracle at 1
+    /// thread agrees with the compiled engine at 1 and 4 threads.
+    #[test]
+    fn scan_threads_identical_across_backends(m in arb_model(), seed in 0u64..8) {
+        let base = SolveOptions::new(seed)
+            .strategy(Method::Dlm)
+            .dlm(DlmOptions::quick(seed));
+        let oracle = solve(&m, &base.clone().eval_backend(EvalBackend::TreeWalk)).solution;
+        for threads in [1usize, 4] {
+            let fast = solve(
+                &m,
+                &base.clone().scan_threads(threads).eval_backend(EvalBackend::Compiled),
+            )
+            .solution;
+            prop_assert_eq!(&oracle.point, &fast.point, "threads={}", threads);
+            prop_assert_eq!(
+                oracle.objective.to_bits(),
+                fast.objective.to_bits(),
+                "threads={}", threads
+            );
+            prop_assert_eq!(oracle.evals, fast.evals, "threads={}", threads);
+        }
+    }
+}
+
 /// Brute force enumerates identically under both backends (it batches
 /// odometer increments as multi-variable delta commits).
 #[test]

@@ -72,6 +72,7 @@ fn handcrafted_outcome_round_trips() {
             total_evals: 9000,
             total_iterations: 450,
             winner: 1,
+            tape: None,
             traces: vec![RestartTrace {
                 label: "dlm#0".into(),
                 iterations: 20,
