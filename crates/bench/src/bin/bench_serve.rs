@@ -85,6 +85,7 @@ fn fixture_record(tag: u64) -> Arc<CacheRecord> {
     )
     .expect("fixture synthesis")
     .plan;
+    let plan = serde::Serialize::to_value(&plan);
     Arc::new(CacheRecord {
         schema: RECORD_SCHEMA.to_string(),
         canon_version: CANON_VERSION.to_string(),

@@ -12,8 +12,10 @@
 //!
 //! The stream mixes the interesting job classes: warm repeats of a small
 //! spec pool, renamed duplicates of pool specs (same fingerprint, new
-//! name — must dedup), unique cold specs, and tiny-deadline jobs that
-//! report `deadline_exceeded`.
+//! name — must dedup), unique cold specs, sparse contraction-network
+//! specs from a second fixed pool (the network synthesis pipeline under
+//! the same exactly-once rules), and tiny-deadline jobs that report
+//! `deadline_exceeded`.
 //!
 //! Gates (exit 1 on violation):
 //! - **zero lost jobs** — every client submit returns a terminal report;
@@ -60,6 +62,35 @@ fn job(name: &str, n: u64, v: u64, seed: u64, mem: u64) -> JobSpec {
 fn pool_spec(i: usize, seed: u64) -> JobSpec {
     let (n, v) = [(64, 48), (48, 64), (64, 64), (48, 48), (56, 48), (48, 56)][i % POOL];
     job(&format!("pool-{i}"), n, v, seed + i as u64, 64 * 1024)
+}
+
+/// Sparse pool size: contraction-network specs the stream re-submits.
+const NET_POOL: usize = 4;
+
+/// A deterministic sparse contraction-network spec. Small extents and a
+/// capped solver budget keep each fresh solve in the same cost band as
+/// the dense pool, so the sparse class stresses the network pipeline
+/// without dominating the stream's wall clock.
+fn net_pool_spec(i: usize, seed: u64) -> JobSpec {
+    let dag = tce_ir::gen_network(&tce_ir::NetworkGenConfig {
+        seed: seed ^ (0xA5A5 + i as u64),
+        nodes: 2 + i % 2,
+        min_extent: 8,
+        max_extent: 20,
+        ..tce_ir::NetworkGenConfig::default()
+    });
+    JobSpec {
+        name: format!("sparse-{i}"),
+        program: tce_ir::to_network_dsl(&dag),
+        mem_limit: 64 * 1024,
+        test_scale: true,
+        strategy: None,
+        seed: Some(seed + i as u64),
+        budget: Some(20_000),
+        telemetry: false,
+        objective: None,
+        timeout_ms: None,
+    }
 }
 
 /// Peak-RSS sampler: reads `VmRSS` from `/proc/self/status` every 100 ms
@@ -262,14 +293,18 @@ fn main() {
                     };
                     while started.elapsed() < duration {
                         let roll = step() % 100;
-                        let spec = if roll < 60 {
+                        let spec = if roll < 50 {
                             // warm repeat
                             pool_spec(step() as usize % POOL, seed)
-                        } else if roll < 75 {
+                        } else if roll < 63 {
                             // renamed duplicate: same fingerprint, new name
                             let mut s = pool_spec(step() as usize % POOL, seed);
                             s.name = format!("renamed-{c}-{}", tally.submitted);
                             s
+                        } else if roll < 75 {
+                            // sparse contraction network from the fixed
+                            // network pool (warm after the first solve)
+                            net_pool_spec(step() as usize % NET_POOL, seed)
                         } else if roll < 90 {
                             // unique cold spec (seed and mem both vary)
                             let i = cold_counter.fetch_add(1, Ordering::Relaxed);
@@ -337,6 +372,7 @@ fn main() {
     latencies.sort_by(f64::total_cmp);
 
     let distinct = POOL as u64
+        + NET_POOL as u64
         + cold_counter.load(Ordering::Relaxed)
         + timeout_counter.load(Ordering::Relaxed);
     let cache_stats = cache.stats();

@@ -1,0 +1,297 @@
+//! Sparse contraction-network synthesis benchmark (`sparse` key of
+//! `BENCH_solver.json`).
+//!
+//! Sweeps a seed matrix of generated sparse contraction networks
+//! (`tce_ir::gen_network`) through the full synthesis path —
+//! `synthesize_network` lowers each DAG to one nonlinear model with tile
+//! *and* per-intermediate placement variables and hands it to the
+//! compiled-tape solver backend — then **numerically verifies** every
+//! synthesized plan against the small-size dense reference oracle
+//! (`network_reference` via `verify_network_plan`) on seeded inputs that
+//! honor each array's declared sparsity.
+//!
+//! The run gates on the oracle: at least `--min-verified` networks
+//! (default 10) must synthesize feasibly *and* match the oracle
+//! bit-tolerance-tight, or the process exits non-zero. The report is
+//! **merged** into `--out` under the `sparse` key; every key owned by the
+//! other benches (`cache`, `serve`, `soak`, `batched`, eval keys, …) is
+//! preserved. Each run also appends a one-line summary to
+//! `BENCH_history.jsonl` (`--history PATH`, `--no-history` to skip).
+//!
+//! Usage: `bench_sparse [--fast] [--seed N] [--networks N]
+//!                      [--min-verified N] [--out PATH]
+//!                      [--history PATH | --no-history]`
+
+use serde::{Serialize, Value};
+use std::time::Instant;
+use tce_core::{seeded_network_inputs, synthesize_network, verify_network_plan, SynthesisConfig};
+use tce_ir::{gen_network, to_network_dsl, NetworkGenConfig};
+
+/// Oracle agreement tolerance: the interpreter and the oracle do the same
+/// floating-point work in different loop orders, so only rounding noise
+/// separates them.
+const ORACLE_TOL: f64 = 1e-6;
+
+/// One synthesized-and-checked network.
+#[derive(Serialize)]
+struct SparseRow {
+    seed: u64,
+    nodes: usize,
+    tensors: usize,
+    /// Total index-range product — the dense oracle's element count scale.
+    dense_elems: u64,
+    feasible: bool,
+    verified: bool,
+    /// Max |plan − oracle| over every non-input tensor (0 when infeasible).
+    max_abs_err: f64,
+    io_bytes: f64,
+    compute_bytes: f64,
+    memory_bytes: f64,
+    predicted_s: f64,
+    solver_evals: u64,
+    /// `name=memory|spill|recompute` per intermediate, solver-chosen.
+    placements: Vec<String>,
+    solve_ms: f64,
+}
+
+/// The `sparse` object merged into `BENCH_solver.json`.
+#[derive(Serialize)]
+struct SparseReport {
+    schema: &'static str,
+    fast: bool,
+    seed: u64,
+    networks: u64,
+    feasible: u64,
+    verified: u64,
+    /// How many solver-chosen placements were not the in-memory default —
+    /// evidence the placement dimension actually participates.
+    non_memory_placements: u64,
+    mean_predicted_s: f64,
+    total_solver_evals: u64,
+    rows: Vec<SparseRow>,
+}
+
+/// One appended line of `BENCH_history.jsonl` for the sparse sweep.
+#[derive(Serialize)]
+struct HistoryLine {
+    unix_secs: u64,
+    commit: Option<String>,
+    bench: &'static str,
+    fast: bool,
+    networks: u64,
+    verified: u64,
+    mean_predicted_s: f64,
+}
+
+/// Merges `report` under the `"sparse"` key, preserving every other key.
+fn merge_into(path: &str, report: &SparseReport) {
+    let mut entries: Vec<(String, Value)> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::parse_value(&text) {
+            Ok(Value::Map(entries)) => entries,
+            _ => panic!("{path} is not a JSON object; refusing to overwrite"),
+        },
+        Err(_) => vec![
+            (
+                "schema".to_string(),
+                Value::Str("tce-bench/solver-eval/v1".to_string()),
+            ),
+            ("fast".to_string(), Value::Bool(report.fast)),
+        ],
+    };
+    entries.retain(|(k, _)| k != "sparse");
+    entries.push(("sparse".to_string(), report.to_value()));
+    let json = serde_json::to_string_pretty(&Value::Map(entries)).expect("serialize report");
+    std::fs::write(path, json).expect("write report");
+}
+
+/// Appends the run's headline numbers as one JSON line to `path`.
+fn append_history(path: &str, report: &SparseReport) {
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string());
+    let line = HistoryLine {
+        unix_secs: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        commit,
+        bench: "sparse",
+        fast: report.fast,
+        networks: report.networks,
+        verified: report.verified,
+        mean_predicted_s: report.mean_predicted_s,
+    };
+    let json = serde_json::to_string(&line).expect("serialize history line");
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open history file");
+    writeln!(f, "{json}").expect("append history line");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |name: &str| args.iter().any(|a| a == name);
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_or = |name: &str, default: u64| -> u64 {
+        flag_value(name).map_or(default, |s| {
+            s.parse()
+                .unwrap_or_else(|_| panic!("{name} wants an integer, got {s}"))
+        })
+    };
+    let fast = has("--fast");
+    let base_seed = parse_or("--seed", 2004);
+    let networks = parse_or("--networks", 12) as usize;
+    let min_verified = parse_or("--min-verified", 10);
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let history = if has("--no-history") {
+        None
+    } else {
+        Some(flag_value("--history").unwrap_or_else(|| "BENCH_history.jsonl".to_string()))
+    };
+
+    // Small sizes keep the dense oracle exact and cheap; the lowered
+    // model still has the full tile × placement decision space.
+    let max_extent = if fast { 10 } else { 16 };
+    let budget = if fast { 30_000 } else { 60_000 };
+
+    eprintln!(
+        "bench_sparse: synthesizing {networks} generated networks (seed base {base_seed}) \
+         and checking each plan against the dense oracle..."
+    );
+
+    let mut rows: Vec<SparseRow> = Vec::with_capacity(networks);
+    for k in 0..networks as u64 {
+        let seed = base_seed.wrapping_add(k);
+        let dag = gen_network(&NetworkGenConfig {
+            seed,
+            nodes: 2 + (seed as usize % 3),
+            min_extent: 6,
+            max_extent,
+            ..NetworkGenConfig::default()
+        });
+        let dense_elems: u64 = dag.ranges().iter().map(|(_, n)| n).product();
+        let config = SynthesisConfig::test_scale(32 * 1024)
+            .seed(seed)
+            .budget(budget);
+
+        let t0 = Instant::now();
+        let synth = synthesize_network(&dag, &config);
+        let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let row = match synth {
+            Ok(r) => {
+                let inputs = seeded_network_inputs(&dag, seed ^ 0xABCD);
+                let (verified, max_abs_err) =
+                    match verify_network_plan(&dag, &r.plan, &inputs, ORACLE_TOL) {
+                        Ok(err) => (true, err),
+                        Err(msg) => {
+                            eprintln!("  seed {seed}: ORACLE MISMATCH: {msg}");
+                            eprintln!("{}", to_network_dsl(&dag));
+                            (false, f64::NAN)
+                        }
+                    };
+                SparseRow {
+                    seed,
+                    nodes: dag.nodes().len(),
+                    tensors: dag.tensors().len(),
+                    dense_elems,
+                    feasible: true,
+                    verified,
+                    max_abs_err,
+                    io_bytes: r.io_bytes,
+                    compute_bytes: r.compute_bytes,
+                    memory_bytes: r.memory_bytes,
+                    predicted_s: r.predicted_s,
+                    solver_evals: r.solver_evals,
+                    placements: r
+                        .plan
+                        .placements
+                        .iter()
+                        .map(|(n, p)| format!("{n}={}", p.as_str()))
+                        .collect(),
+                    solve_ms,
+                }
+            }
+            Err(e) => {
+                eprintln!("  seed {seed}: synthesis failed: {e}");
+                SparseRow {
+                    seed,
+                    nodes: dag.nodes().len(),
+                    tensors: dag.tensors().len(),
+                    dense_elems,
+                    feasible: false,
+                    verified: false,
+                    max_abs_err: 0.0,
+                    io_bytes: 0.0,
+                    compute_bytes: 0.0,
+                    memory_bytes: 0.0,
+                    predicted_s: 0.0,
+                    solver_evals: 0,
+                    placements: Vec::new(),
+                    solve_ms,
+                }
+            }
+        };
+        eprintln!(
+            "  seed {seed}: nodes {} {} err {:>9.2e} io {:>12.0}B evals {:>7} [{}] {:.0}ms",
+            row.nodes,
+            if row.verified { "verified" } else { "FAILED  " },
+            row.max_abs_err,
+            row.io_bytes,
+            row.solver_evals,
+            row.placements.join(", "),
+            row.solve_ms
+        );
+        rows.push(row);
+    }
+
+    let feasible = rows.iter().filter(|r| r.feasible).count() as u64;
+    let verified = rows.iter().filter(|r| r.verified).count() as u64;
+    let non_memory_placements = rows
+        .iter()
+        .flat_map(|r| r.placements.iter())
+        .filter(|p| !p.ends_with("=memory"))
+        .count() as u64;
+    let mean_predicted_s = if feasible > 0 {
+        rows.iter().map(|r| r.predicted_s).sum::<f64>() / feasible as f64
+    } else {
+        0.0
+    };
+    let report = SparseReport {
+        schema: "tce-bench/sparse/v1",
+        fast,
+        seed: base_seed,
+        networks: networks as u64,
+        feasible,
+        verified,
+        non_memory_placements,
+        mean_predicted_s,
+        total_solver_evals: rows.iter().map(|r| r.solver_evals).sum(),
+        rows,
+    };
+
+    merge_into(&out, &report);
+    if let Some(path) = &history {
+        append_history(path, &report);
+    }
+    eprintln!(
+        "bench_sparse: {verified}/{networks} plans oracle-verified \
+         ({non_memory_placements} non-default placements) -> `sparse` key of {out}"
+    );
+
+    if verified < min_verified {
+        eprintln!("bench_sparse: FAIL — need at least {min_verified} oracle-verified networks");
+        std::process::exit(1);
+    }
+}

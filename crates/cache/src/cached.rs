@@ -18,7 +18,11 @@
 use crate::record::{CacheRecord, RECORD_SCHEMA};
 use crate::store::SynthesisCache;
 use std::time::{Duration, Instant};
-use tce_core::{finish_dcs, prepare_dcs, SynthesisConfig, SynthesisError, SynthesisResult};
+use tce_core::{
+    finish_dcs, finish_network, prepare_dcs, prepare_network, NetworkSynthesis, PreparedNetwork,
+    SynthesisConfig, SynthesisError, SynthesisResult,
+};
+use tce_ir::network::ContractionDag;
 use tce_solver::model::FEAS_TOL;
 use tce_solver::{
     canonicalize, fingerprint_hex, solver_for, CanonicalModel, Fnv64, Model, Solution,
@@ -96,6 +100,20 @@ pub fn request_fingerprint(canon: &CanonicalModel, config: &SynthesisConfig) -> 
     h.str(CANON_VERSION);
     h.u64(canon.fingerprint);
     h.u64(config_digest(config));
+    h.finish()
+}
+
+/// The cache key for a contraction-network request. Sparsity annotations
+/// and the DAG structure are already folded in through the canonical
+/// *model* fingerprint (nnz scales appear as objective coefficients,
+/// placement selectors as extra variables), so this is
+/// [`request_fingerprint`] under a distinct salt: a network request can
+/// never collide with a single-contraction request, and dense requests
+/// keep their historical fingerprints byte-for-byte.
+pub fn network_request_fingerprint(canon: &CanonicalModel, config: &SynthesisConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.str("tce-cache/network/v1");
+    h.u64(request_fingerprint(canon, config));
     h.finish()
 }
 
@@ -247,12 +265,144 @@ pub fn run_prepared(
         iterations: solution.iterations,
         report,
         solve_wall_s: solve_wall.as_secs_f64(),
-        plan: result.plan.clone(),
+        plan: serde::Serialize::to_value(&result.plan),
     };
     // a failed disk write degrades the cache, not the synthesis
     let _ = cache.put(&fingerprint, rec);
 
     Ok(CachedSynthesis {
+        result,
+        hit: false,
+        fingerprint,
+        solve_wall,
+        saved_wall_s: 0.0,
+    })
+}
+
+/// What a cached network synthesis run reports beyond the result itself.
+#[derive(Debug)]
+pub struct CachedNetworkSynthesis {
+    /// The synthesis result (bit-identical whether hit or miss).
+    pub result: NetworkSynthesis,
+    /// Whether the solver phase was skipped.
+    pub hit: bool,
+    /// Hex request fingerprint (cache key).
+    pub fingerprint: String,
+    /// Wall time this run spent in the solver (≈0 on a hit).
+    pub solve_wall: Duration,
+    /// Solver seconds the original run spent — what the hit saved.
+    pub saved_wall_s: f64,
+}
+
+/// A network request that has been lowered and fingerprinted but not yet
+/// solved — the network analog of [`PreparedRequest`].
+#[derive(Debug)]
+pub struct PreparedNetworkRequest {
+    prepared: PreparedNetwork,
+    canon: CanonicalModel,
+    /// Hex request fingerprint (the cache key).
+    pub fingerprint: String,
+}
+
+/// Lowers and fingerprints a network request without solving it.
+pub fn prepare_network_request(
+    dag: &ContractionDag,
+    config: &SynthesisConfig,
+) -> Result<PreparedNetworkRequest, SynthesisError> {
+    let prepared = prepare_network(dag, config)?;
+    let canon = canonicalize(&prepared.net.model);
+    let fingerprint = fingerprint_hex(network_request_fingerprint(&canon, config));
+    Ok(PreparedNetworkRequest {
+        prepared,
+        canon,
+        fingerprint,
+    })
+}
+
+/// Network synthesis through the cache: identical requests solve once.
+pub fn synthesize_network_cached(
+    dag: &ContractionDag,
+    config: &SynthesisConfig,
+    cache: &SynthesisCache,
+) -> Result<CachedNetworkSynthesis, SynthesisError> {
+    run_network_prepared(prepare_network_request(dag, config)?, config, cache)
+}
+
+/// Runs a prepared network request through the cache (hit → replay,
+/// miss → solve and populate). The same hit protocol as [`run_prepared`]:
+/// stored points are revalidated against the request's own model, and
+/// canceled solves are surfaced without being cached.
+pub fn run_network_prepared(
+    request: PreparedNetworkRequest,
+    config: &SynthesisConfig,
+    cache: &SynthesisCache,
+) -> Result<CachedNetworkSynthesis, SynthesisError> {
+    let PreparedNetworkRequest {
+        prepared,
+        canon,
+        fingerprint,
+    } = request;
+
+    if let Some(rec) = cache.get(&fingerprint) {
+        match replay_outcome(&rec, &canon, &prepared.net.model) {
+            Some(outcome) => {
+                let result = finish_network(prepared, config, outcome)?;
+                cache.note_hit(rec.solve_wall_s);
+                return Ok(CachedNetworkSynthesis {
+                    result,
+                    hit: true,
+                    fingerprint,
+                    solve_wall: Duration::ZERO,
+                    saved_wall_s: rec.solve_wall_s,
+                });
+            }
+            None => cache.note_reject(),
+        }
+    } else {
+        cache.note_miss();
+    }
+
+    if let Some(token) = &config.cancel {
+        if token.is_canceled() {
+            return Err(SynthesisError::Canceled {
+                deadline_exceeded: token.deadline_expired(),
+            });
+        }
+    }
+
+    let solve_started = Instant::now();
+    let outcome = tce_solver::solve(&prepared.net.model, &config.solve_options());
+    let solve_wall = solve_started.elapsed();
+
+    if let Some(token) = &config.cancel {
+        if token.is_canceled() {
+            return Err(SynthesisError::Canceled {
+                deadline_exceeded: token.deadline_expired(),
+            });
+        }
+    }
+
+    let canonical_point = canon.to_canonical(&outcome.solution.point);
+    let solution = outcome.solution.clone();
+    let report = outcome.report.clone();
+    let result = finish_network(prepared, config, outcome)?;
+
+    let rec = CacheRecord {
+        schema: RECORD_SCHEMA.to_string(),
+        canon_version: CANON_VERSION.to_string(),
+        fingerprint: fingerprint.clone(),
+        canonical_point,
+        objective: solution.objective,
+        feasible: solution.feasible,
+        evals: solution.evals,
+        iterations: solution.iterations,
+        report,
+        solve_wall_s: solve_wall.as_secs_f64(),
+        plan: serde::Serialize::to_value(&result.plan),
+    };
+    let _ = cache.put(&fingerprint, rec);
+
+    Ok(CachedNetworkSynthesis {
         result,
         hit: false,
         fingerprint,

@@ -35,8 +35,10 @@ pub mod record;
 pub mod store;
 
 pub use cached::{
-    config_digest, prepare_request, request_fingerprint, run_prepared, synthesize_dcs_cached,
-    CachedSynthesis, PreparedRequest,
+    config_digest, network_request_fingerprint, prepare_network_request, prepare_request,
+    request_fingerprint, run_network_prepared, run_prepared, synthesize_dcs_cached,
+    synthesize_network_cached, CachedNetworkSynthesis, CachedSynthesis, PreparedNetworkRequest,
+    PreparedRequest,
 };
 pub use fsfault::{FsFaultInjector, FsFaultKind, FsFaultPlan};
 pub use map::{
@@ -159,7 +161,7 @@ mod tests {
             iterations: 1,
             report: None,
             solve_wall_s: 1.0,
-            plan: crate::test_support::tiny_plan(),
+            plan: serde::Serialize::to_value(&crate::test_support::tiny_plan()),
         };
         cache.put(&fp, bogus).expect("plant record");
 
@@ -171,6 +173,62 @@ mod tests {
         // the rejected entry was overwritten by the fresh solve
         let again = synthesize_dcs_cached(&p, &config, &cache).expect("again");
         assert!(again.hit);
+    }
+
+    #[test]
+    fn dense_fingerprint_is_pinned() {
+        // the historical cache key of the canonical dense fixture; if this
+        // moves, every warm cache in the field is silently invalidated —
+        // bump RECORD_SCHEMA/CANON_VERSION instead of letting that happen
+        let (p, config) = fixture();
+        let prepared = tce_core::prepare_dcs(&p, &config).expect("prepare");
+        let canon = canonicalize(&prepared.dcs.model);
+        let fp = fingerprint_hex(request_fingerprint(&canon, &config));
+        assert_eq!(
+            fp, "3e5c661381b5b053",
+            "dense request fingerprint changed — existing caches would all miss"
+        );
+    }
+
+    #[test]
+    fn network_second_run_hits_and_is_bit_identical() {
+        let dag = tce_ir::network::small_network();
+        let config = SynthesisConfig::test_scale(64 * 1024);
+        let cache = SynthesisCache::in_memory();
+        let cold = cached::synthesize_network_cached(&dag, &config, &cache).expect("cold");
+        assert!(!cold.hit);
+        let warm = cached::synthesize_network_cached(&dag, &config, &cache).expect("warm");
+        assert!(warm.hit, "identical network request must hit");
+        assert_eq!(warm.fingerprint, cold.fingerprint);
+        assert_eq!(warm.result.plan, cold.result.plan);
+        assert_eq!(
+            warm.result.io_bytes.to_bits(),
+            cold.result.io_bytes.to_bits()
+        );
+        assert_eq!(warm.result.solver_evals, cold.result.solver_evals);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn network_and_dense_share_one_store_without_aliasing() {
+        // both kinds of record live in the same cache; keys never collide
+        let cache = SynthesisCache::in_memory();
+        let (p, config) = fixture();
+        let dense = synthesize_dcs_cached(&p, &config, &cache).expect("dense");
+        let dag = tce_ir::network::small_network();
+        let net = cached::synthesize_network_cached(&dag, &config, &cache).expect("net");
+        assert_ne!(dense.fingerprint, net.fingerprint);
+        assert!(
+            synthesize_dcs_cached(&p, &config, &cache)
+                .expect("dense warm")
+                .hit
+        );
+        assert!(
+            cached::synthesize_network_cached(&dag, &config, &cache)
+                .expect("net warm")
+                .hit
+        );
     }
 
     #[test]

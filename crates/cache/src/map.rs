@@ -325,7 +325,7 @@ mod tests {
             iterations: tag,
             report: None,
             solve_wall_s: 0.5,
-            plan: tiny_plan(),
+            plan: serde::Serialize::to_value(&tiny_plan()),
         })
     }
 

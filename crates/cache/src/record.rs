@@ -12,7 +12,6 @@
 //! quarantined rather than trusted or deleted.
 
 use serde::{Deserialize, Serialize, Value};
-use tce_codegen::ConcretePlan;
 use tce_solver::{fingerprint_hex, Fnv64, SolverReport};
 
 /// Schema tag stored in every record; bump on breaking layout changes so
@@ -44,8 +43,12 @@ pub struct CacheRecord {
     /// Wall-clock seconds the original solve took — what a hit saves.
     pub solve_wall_s: f64,
     /// The plan generated from the original solve, for inspection and
-    /// plan-diffing without re-running codegen.
-    pub plan: ConcretePlan,
+    /// plan-diffing without re-running codegen. Stored as a serialized
+    /// value so one record layout serves every pipeline (a
+    /// `tce_codegen::ConcretePlan` for single-contraction requests, a
+    /// `tce_core::NetworkPlan` for contraction networks) — the dense
+    /// byte layout is unchanged, so pre-network records stay valid.
+    pub plan: Value,
 }
 
 fn integrity_of(record_value: &Value) -> Result<String, String> {
@@ -113,7 +116,7 @@ mod tests {
             iterations: 99,
             report: None,
             solve_wall_s: 0.125,
-            plan: crate::test_support::tiny_plan(),
+            plan: crate::test_support::tiny_plan().to_value(),
         }
     }
 

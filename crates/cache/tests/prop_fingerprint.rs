@@ -119,3 +119,71 @@ proptest! {
         prop_assert_ne!(fa, fb, "collision between {:?} and {:?}", pa, pb);
     }
 }
+
+// --- contraction networks -------------------------------------------------
+
+use tce_cache::{network_request_fingerprint, request_fingerprint};
+use tce_core::{build_network_model, SynthesisConfig};
+use tce_ir::network::{gen_network, ContractionDag, NetworkGenConfig, TensorDecl};
+use tce_ir::{Index, RangeMap};
+
+/// Renames every index and tensor of a network. Index names are assigned
+/// in *reverse* of their current sorted order, so the renamed `RangeMap`
+/// iterates in a genuinely different order and the lowered model's tile
+/// variables come out permuted — the renaming a differently-authored but
+/// equivalent network description would produce.
+fn renamed_dag(dag: &ContractionDag) -> ContractionDag {
+    let old: Vec<Index> = dag.ranges().indices().cloned().collect();
+    let rename = |i: &Index| -> Index {
+        let pos = old.iter().position(|o| o == i).expect("declared index");
+        Index::new(format!("ren{}", old.len() - 1 - pos))
+    };
+    let mut ranges = RangeMap::new();
+    for (i, n) in dag.ranges().iter() {
+        ranges.set(rename(i), n);
+    }
+    let tensors: Vec<TensorDecl> = dag
+        .tensors()
+        .iter()
+        .map(|t| TensorDecl {
+            name: format!("Ren{}", t.name),
+            dims: t.dims.iter().map(&rename).collect(),
+            kind: t.kind,
+            sparsity: t.sparsity,
+        })
+        .collect();
+    ContractionDag::new(tensors, ranges, dag.nodes().to_vec()).expect("renamed network validates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Renaming every index and tensor of a network never changes its
+    /// cache fingerprint: canonicalization operates on the lowered model,
+    /// where sparsity scales and placement selectors already live.
+    #[test]
+    fn network_fingerprint_invariant_under_renaming(seed in 0u64..512, nodes in 1usize..4) {
+        let dag = gen_network(&NetworkGenConfig { seed, nodes, ..NetworkGenConfig::default() });
+        let config = SynthesisConfig::test_scale(64 * 1024);
+        let a = canonicalize(&build_network_model(&dag, config.mem_limit).model);
+        let b = canonicalize(&build_network_model(&renamed_dag(&dag), config.mem_limit).model);
+        prop_assert_eq!(a.fingerprint, b.fingerprint, "canonical model fingerprint moved");
+        prop_assert_eq!(
+            network_request_fingerprint(&a, &config),
+            network_request_fingerprint(&b, &config)
+        );
+    }
+
+    /// The network salt keeps network request keys disjoint from the
+    /// dense request keyspace for any shared canonical model and config.
+    #[test]
+    fn network_keys_never_alias_dense_keys(seed in 0u64..512) {
+        let dag = gen_network(&NetworkGenConfig { seed, ..NetworkGenConfig::default() });
+        let config = SynthesisConfig::test_scale(64 * 1024);
+        let canon = canonicalize(&build_network_model(&dag, config.mem_limit).model);
+        prop_assert_ne!(
+            network_request_fingerprint(&canon, &config),
+            request_fingerprint(&canon, &config)
+        );
+    }
+}

@@ -8,7 +8,17 @@
 //! tce serve --batch <jobs.json> | --stdin | --listen <addr>
 //!                                           batch / streaming / daemon
 //!                                           synthesis service
+//! tce gen-network [options] [-o <file.tce>] seeded random sparse
+//!                                           contraction network in the
+//!                                           `network` DSL
 //! ```
+//!
+//! `check` and `synthesize` accept both plain contraction programs and
+//! sparse contraction networks (sources starting with `network`, as
+//! `gen-network` emits); network synthesis optimizes tile sizes and
+//! per-intermediate recompute/spill placements in one solver model, and
+//! `--verify` checks the synthesized plan against the dense reference
+//! oracle on seeded sparse inputs.
 //!
 //! Options:
 //!
@@ -70,6 +80,13 @@
 //! --net-faults <spec>     (serve) seeded network fault injection on
 //!                         daemon connections, e.g.
 //!                         `seed=7,p=0.05,kind=reset,stall_ms=40`
+//! --nodes <n>             (gen-network) contraction count (default 3)
+//! --min-extent <n>        (gen-network) smallest index extent
+//! --max-extent <n>        (gen-network) largest index extent
+//! --sparse-frac <p>       (gen-network) probability an input is sparse
+//! --min-nnz <p>           (gen-network) smallest sparse nnz fraction
+//! -o, --out <path>        (gen-network) write the network here instead
+//!                         of stdout
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage error.
@@ -137,6 +154,11 @@ pub struct Cli {
     pub resume: bool,
     /// Everything `tce serve` needs, in one place.
     pub serve: ServeOptions,
+    /// `tce gen-network` generator settings (the shared `--seed` flag
+    /// seeds the generator too).
+    pub net_gen: tce_ir::NetworkGenConfig,
+    /// `tce gen-network` output path (`-o`; default stdout).
+    pub out_path: Option<String>,
 }
 
 /// The resolved configuration of `tce serve`: exactly one input mode
@@ -223,6 +245,8 @@ pub enum Command {
     Run,
     /// Batch synthesis service over the synthesis cache.
     Serve,
+    /// Emit a seeded random sparse contraction network.
+    GenNetwork,
 }
 
 /// Printable artifacts.
@@ -450,14 +474,15 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         Some("synthesize") | Some("synth") => Command::Synthesize,
         Some("run") => Command::Run,
         Some("serve") => Command::Serve,
+        Some("gen-network") => Command::GenNetwork,
         Some(other) => return Err(CliError::usage(format!("unknown command `{other}`"))),
         None => {
             return Err(CliError::usage(
-                "usage: tce <check|synthesize|run|serve> [<file.tce>] [options]",
+                "usage: tce <check|synthesize|run|serve|gen-network> [<file.tce>] [options]",
             ))
         }
     };
-    let file = if command == Command::Serve {
+    let file = if matches!(command, Command::Serve | Command::GenNetwork) {
         String::new()
     } else {
         it.next()
@@ -488,7 +513,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         retry: None,
         resume: false,
         serve: ServeOptions::default(),
+        net_gen: tce_ir::NetworkGenConfig::default(),
+        out_path: None,
     };
+    let mut gen_flag_used: Option<&'static str> = None;
 
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -632,11 +660,69 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                         .map_err(|e| CliError::usage(format!("--net-faults: {e}")))?,
                 );
             }
+            "--nodes" => {
+                gen_flag_used = Some("--nodes");
+                cli.net_gen.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--nodes needs an integer"))?;
+                if cli.net_gen.nodes == 0 {
+                    return Err(CliError::usage("--nodes must be at least 1"));
+                }
+            }
+            "--min-extent" => {
+                gen_flag_used = Some("--min-extent");
+                cli.net_gen.min_extent = value("--min-extent")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--min-extent needs an integer"))?;
+            }
+            "--max-extent" => {
+                gen_flag_used = Some("--max-extent");
+                cli.net_gen.max_extent = value("--max-extent")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--max-extent needs an integer"))?;
+            }
+            "--sparse-frac" => {
+                gen_flag_used = Some("--sparse-frac");
+                cli.net_gen.sparse_frac = parse_prob("--sparse-frac", &value("--sparse-frac")?)?;
+            }
+            "--min-nnz" => {
+                gen_flag_used = Some("--min-nnz");
+                let p = parse_prob("--min-nnz", &value("--min-nnz")?)?;
+                if p == 0.0 {
+                    return Err(CliError::usage("--min-nnz must be positive"));
+                }
+                cli.net_gen.min_nnz = p;
+            }
+            "-o" | "--out" => {
+                gen_flag_used = Some("--out");
+                cli.out_path = Some(value("--out")?);
+            }
             other => return Err(CliError::usage(format!("unknown option `{other}`"))),
         }
     }
-    if cli.verify && !cli.full {
+    if cli.verify && cli.command == Command::Run && !cli.full {
         return Err(CliError::usage("--verify requires --full"));
+    }
+    if cli.verify && cli.command == Command::Check {
+        return Err(CliError::usage(
+            "--verify applies to `synthesize` (networks) or `run --full`",
+        ));
+    }
+    if let Some(flag) = gen_flag_used {
+        if cli.command != Command::GenNetwork {
+            return Err(CliError::usage(format!(
+                "{flag} only applies to `tce gen-network`"
+            )));
+        }
+    }
+    if cli.command == Command::GenNetwork {
+        cli.net_gen.seed = cli.seed;
+        let g = &cli.net_gen;
+        if g.min_extent < 2 || g.min_extent > g.max_extent {
+            return Err(CliError::usage(
+                "gen-network needs 2 <= --min-extent <= --max-extent",
+            ));
+        }
     }
     if cli.resume && !cli.full {
         return Err(CliError::usage("--resume requires --full"));
@@ -680,13 +766,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     Ok(cli)
 }
 
-fn load_program(path: &str) -> Result<Program, CliError> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| CliError::runtime(format!("cannot read `{path}`: {e}")))?;
-    parse_program(&src).map_err(|e| CliError::runtime(format!("{path}: {e}")))
-}
-
-fn synthesize(program: &Program, cli: &Cli) -> Result<SynthesisResult, CliError> {
+/// The [`SynthesisConfig`] a command line describes — shared by the
+/// contraction-program and contraction-network paths.
+fn config_from(cli: &Cli) -> SynthesisConfig {
     let mut config = if cli.test_scale {
         SynthesisConfig::test_scale(cli.mem)
     } else {
@@ -700,6 +782,11 @@ fn synthesize(program: &Program, cli: &Cli) -> Result<SynthesisResult, CliError>
     config.threads = cli.threads;
     config.scan_threads = cli.scan_threads;
     config.telemetry = cli.explain;
+    config
+}
+
+fn synthesize(program: &Program, cli: &Cli) -> Result<SynthesisResult, CliError> {
+    let config = config_from(cli);
     let result = if cli.baseline {
         synthesize_uniform_sampling(
             program,
@@ -763,6 +850,77 @@ fn run_serve(cli: &Cli, out: &mut String) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `tce check` / `tce synthesize` on a sparse contraction network: one
+/// solver model over tile sizes and per-intermediate placements, with
+/// `--verify` checking the plan against the dense reference oracle.
+fn run_network(cli: &Cli, src: &str, out: &mut String) -> Result<(), CliError> {
+    let dag =
+        tce_ir::parse_network(src).map_err(|e| CliError::runtime(format!("{}: {e}", cli.file)))?;
+    if cli.command == Command::Run {
+        return Err(CliError::usage(
+            "`tce run` does not execute contraction networks yet; \
+             use `tce synthesize <net.tce> --verify`",
+        ));
+    }
+    if cli.baseline {
+        return Err(CliError::usage(
+            "--baseline does not apply to contraction networks",
+        ));
+    }
+    if cli.command == Command::Check {
+        out.push_str(&tce_ir::to_network_dsl(&dag));
+        let sparse = dag
+            .tensors()
+            .iter()
+            .filter(|t| t.sparsity.nnz < 1.0)
+            .count();
+        let _ = writeln!(
+            out,
+            "ok: {} tensors ({sparse} sparse), {} contractions",
+            dag.tensors().len(),
+            dag.nodes().len()
+        );
+        return Ok(());
+    }
+
+    let config = config_from(cli);
+    let r = synthesize_network(&dag, &config)
+        .map_err(|e| CliError::runtime(format!("synthesis failed: {e}")))?;
+    let _ = writeln!(out, "{}", r.plan);
+    let _ = writeln!(
+        out,
+        "traffic: {:.3} MB | compute: {:.3} MB | buffers: {:.3} MB | \
+         predicted sequential I/O: {:.3}s | codegen: {:?}",
+        r.io_bytes / 1e6,
+        r.compute_bytes / 1e6,
+        r.memory_bytes / 1e6,
+        r.predicted_s,
+        r.codegen_time
+    );
+    if cli.explain {
+        match &r.solver_report {
+            Some(report) => {
+                let _ = writeln!(out, "=== solver report ===\n{report}");
+            }
+            None => {
+                let _ = writeln!(out, "(no solver report: pass --explain with telemetry)");
+            }
+        }
+    }
+    if cli.verify {
+        let inputs = tce_core::seeded_network_inputs(&dag, cli.seed);
+        match verify_network_plan(&dag, &r.plan, &inputs, 1e-6) {
+            Ok(err) => {
+                let _ = writeln!(out, "verification: max |plan - oracle| = {err:.3e}");
+            }
+            Err(msg) => {
+                return Err(CliError::runtime(format!("verification FAILED: {msg}")));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Executes the parsed command line; returns the full textual output.
 pub fn run_cli(cli: &Cli) -> Result<String, CliError> {
     let mut out = String::new();
@@ -770,11 +928,42 @@ pub fn run_cli(cli: &Cli) -> Result<String, CliError> {
         run_serve(cli, &mut out)?;
         return Ok(out);
     }
-    let program = load_program(&cli.file)?;
+    if cli.command == Command::GenNetwork {
+        let dag = tce_ir::gen_network(&cli.net_gen);
+        let text = tce_ir::to_network_dsl(&dag);
+        match &cli.out_path {
+            Some(path) => {
+                std::fs::write(path, &text)
+                    .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "wrote `{path}`: {} tensors, {} contractions (seed {})",
+                    dag.tensors().len(),
+                    dag.nodes().len(),
+                    cli.net_gen.seed
+                );
+            }
+            None => out.push_str(&text),
+        }
+        return Ok(out);
+    }
+    let src = std::fs::read_to_string(&cli.file)
+        .map_err(|e| CliError::runtime(format!("cannot read `{}`: {e}", cli.file)))?;
+    if tce_ir::is_network_src(&src) {
+        run_network(cli, &src, &mut out)?;
+        return Ok(out);
+    }
+    if cli.verify && cli.command == Command::Synthesize {
+        return Err(CliError::usage(
+            "synthesize --verify applies to contraction networks only",
+        ));
+    }
+    let program =
+        parse_program(&src).map_err(|e| CliError::runtime(format!("{}: {e}", cli.file)))?;
 
     match cli.command {
         // handled above, before the program load
-        Command::Serve => {}
+        Command::Serve | Command::GenNetwork => {}
         Command::Check => {
             let _ = writeln!(out, "{}", print_code(&program));
             let _ = writeln!(
@@ -1384,5 +1573,128 @@ mod tests {
         let cli = parse_args(&args("serve --batch /nonexistent/nope.json")).unwrap();
         let err = run_cli(&cli).unwrap_err();
         assert_eq!(err.kind, CliErrorKind::Runtime);
+    }
+
+    // --- contraction networks --------------------------------------------
+
+    fn write_network_fixture() -> String {
+        let dir = std::env::temp_dir().join(format!("tce-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("network.tce");
+        std::fs::write(
+            &path,
+            tce_ir::to_network_dsl(&tce_ir::network::small_network()),
+        )
+        .unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parse_gen_network_flags() {
+        let cli = parse_args(&args(
+            "gen-network --seed 7 --nodes 4 --min-extent 8 --max-extent 24 \
+             --sparse-frac 0.8 --min-nnz 0.05 -o net.tce",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::GenNetwork);
+        assert_eq!(cli.net_gen.seed, 7);
+        assert_eq!(cli.net_gen.nodes, 4);
+        assert_eq!((cli.net_gen.min_extent, cli.net_gen.max_extent), (8, 24));
+        assert_eq!(cli.net_gen.sparse_frac, 0.8);
+        assert_eq!(cli.net_gen.min_nnz, 0.05);
+        assert_eq!(cli.out_path.as_deref(), Some("net.tce"));
+    }
+
+    #[test]
+    fn gen_network_flags_are_validated() {
+        assert!(parse_args(&args("gen-network --nodes 0")).is_err());
+        assert!(parse_args(&args("gen-network --min-extent 12 --max-extent 8")).is_err());
+        assert!(parse_args(&args("gen-network --sparse-frac 1.5")).is_err());
+        assert!(parse_args(&args("gen-network --min-nnz 0")).is_err());
+        // generator flags are rejected on other commands
+        assert!(parse_args(&args("synthesize f.tce --nodes 3")).is_err());
+        assert!(parse_args(&args("check f.tce -o out.tce")).is_err());
+        // --verify outside run/synthesize is usage
+        assert!(parse_args(&args("check f.tce --verify")).is_err());
+    }
+
+    #[test]
+    fn gen_network_emits_a_parseable_deterministic_network() {
+        let cli = parse_args(&args("gen-network --seed 11 --nodes 3")).unwrap();
+        let a = run_cli(&cli).unwrap();
+        let b = run_cli(&cli).unwrap();
+        assert_eq!(a, b, "same seed must emit the same network");
+        let dag = tce_ir::parse_network(&a).expect("emitted DSL parses");
+        assert_eq!(dag.nodes().len(), 3);
+        // a different seed gives a different network
+        let other =
+            run_cli(&parse_args(&args("gen-network --seed 12 --nodes 3")).unwrap()).unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn gen_network_writes_to_a_file_and_check_round_trips() {
+        let dir = std::env::temp_dir().join(format!("tce-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.tce");
+        let cli = parse_args(&args(&format!(
+            "gen-network --seed 5 -o {}",
+            path.display()
+        )))
+        .unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("wrote "), "{out}");
+        let check = parse_args(&args(&format!("check {}", path.display()))).unwrap();
+        let out = run_cli(&check).unwrap();
+        assert!(out.starts_with("network"), "{out}");
+        assert!(out.contains("contractions"), "{out}");
+    }
+
+    #[test]
+    fn check_pretty_prints_networks() {
+        let file = write_network_fixture();
+        let cli = parse_args(&args(&format!("check {file}"))).unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("nnz 0.1 format csr"), "{out}");
+        assert!(
+            out.contains("ok: 5 tensors (1 sparse), 2 contractions"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn synthesize_verifies_networks_against_the_oracle() {
+        let file = write_network_fixture();
+        let cli = parse_args(&args(&format!(
+            "synthesize {file} --mem 48K --test-scale --verify --seed 3"
+        )))
+        .unwrap();
+        let out = run_cli(&cli).unwrap();
+        assert!(out.contains("tiles: "), "{out}");
+        assert!(out.contains("T: "), "{out}");
+        assert!(out.contains("verification: max |plan - oracle|"), "{out}");
+    }
+
+    #[test]
+    fn network_misuse_is_reported_as_usage() {
+        let file = write_network_fixture();
+        let run = parse_args(&args(&format!("run {file} --full"))).unwrap();
+        assert_eq!(run_cli(&run).unwrap_err().kind, CliErrorKind::Usage);
+        let baseline =
+            parse_args(&args(&format!("synthesize {file} --baseline --test-scale"))).unwrap();
+        assert_eq!(run_cli(&baseline).unwrap_err().kind, CliErrorKind::Usage);
+        // dense programs reject synthesize --verify
+        let dense = write_fixture();
+        let cli = parse_args(&args(&format!("synthesize {dense} --test-scale --verify"))).unwrap();
+        assert_eq!(run_cli(&cli).unwrap_err().kind, CliErrorKind::Usage);
+    }
+
+    #[test]
+    fn infeasible_network_limit_is_a_runtime_error() {
+        let file = write_network_fixture();
+        let cli = parse_args(&args(&format!("synthesize {file} --mem 8 --test-scale"))).unwrap();
+        let err = run_cli(&cli).unwrap_err();
+        assert!(err.message.contains("synthesis failed"), "{err}");
+        assert_eq!(err.exit_code(), 1);
     }
 }

@@ -20,6 +20,7 @@
 pub mod baseline;
 pub mod dcs;
 pub mod model;
+pub mod network;
 pub mod predict;
 
 pub use baseline::{synthesize_uniform_sampling, BaselineOptions};
@@ -28,12 +29,20 @@ pub use dcs::{
     SynthesisResult,
 };
 pub use model::{build_model, build_model_with, decode_point, DcsModel, ObjectiveKind};
+pub use network::{
+    build_network_model, finish_network, network_reference, prepare_network, run_network_plan,
+    seeded_network_inputs, synthesize_network, verify_network_plan, NetworkModel, NetworkPlacement,
+    NetworkPlan, NetworkSynthesis, PreparedNetwork,
+};
 pub use predict::{predict_io_time, PredictedTime};
 
 /// Commonly used items, re-exported for the facade crate.
 pub mod prelude {
     pub use crate::baseline::{synthesize_uniform_sampling, BaselineOptions};
     pub use crate::dcs::{synthesize_dcs, SynthesisConfig, SynthesisError, SynthesisResult};
+    pub use crate::network::{
+        synthesize_network, verify_network_plan, NetworkPlacement, NetworkPlan, NetworkSynthesis,
+    };
     pub use crate::predict::{predict_io_time, PredictedTime};
     pub use tce_codegen::{generate_plan, print_placements, print_plan, ConcretePlan};
     pub use tce_cost::TileAssignment;

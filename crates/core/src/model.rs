@@ -70,8 +70,13 @@ pub struct DcsModel {
 }
 
 /// Converts a symbolic cost expression into a solver expression over the
-/// tile variables.
-fn lower_cost(e: &CostExpr, ranges: &RangeMap, tile_var: &dyn Fn(&Index) -> VarId) -> Expr {
+/// tile variables. Shared with the contraction-network model builder
+/// ([`crate::network`]).
+pub(crate) fn lower_cost(
+    e: &CostExpr,
+    ranges: &RangeMap,
+    tile_var: &dyn Fn(&Index) -> VarId,
+) -> Expr {
     let terms: Vec<Expr> = e
         .terms
         .iter()

@@ -46,6 +46,7 @@
 pub mod array;
 pub mod fixtures;
 pub mod index;
+pub mod network;
 pub mod parser;
 pub mod printer;
 pub mod program;
@@ -54,6 +55,10 @@ pub mod tree;
 
 pub use array::{ArrayDecl, ArrayId, ArrayKind, ArrayRef, ELEMENT_BYTES};
 pub use index::{Index, RangeMap};
+pub use network::{
+    gen_network, is_network_src, parse_network, to_network_dsl, Contraction, ContractionDag,
+    NetworkError, NetworkGenConfig, SparseFormat, Sparsity, TensorDecl,
+};
 pub use parser::{parse_program, ParseError};
 pub use printer::{print_code, print_tree, to_dsl};
 pub use program::{Program, ProgramBuilder, ValidationError};

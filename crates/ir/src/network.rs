@@ -1,0 +1,1153 @@
+//! Sparse contraction networks: DAGs of binary tensor contractions with
+//! per-tensor sparsity annotations.
+//!
+//! The paper's abstract codes describe *one* contraction (possibly fused
+//! with its consumer). Real workloads — CCSD factorizations, tensor-network
+//! simulations, sparse ML kernels — are *networks*: many contractions whose
+//! named intermediates flow between nodes, where each tensor may be sparse.
+//! This module models exactly that layer:
+//!
+//! * [`Sparsity`] / [`SparseFormat`] — an nnz fraction plus a storage
+//!   format tag, lowered by the cost model into an I/O scale factor.
+//! * [`TensorDecl`] — a named tensor with dimension indices, storage class
+//!   ([`ArrayKind`]) and sparsity annotation.
+//! * [`Contraction`] — one `OUT[..] += LHS[..] * RHS[..]` node; the
+//!   contracted indices are implied (operand dims not in the output).
+//! * [`ContractionDag`] — declarations + ranges + nodes in program order,
+//!   with single-assignment / producer-before-consumer validation.
+//! * [`parse_network`] / [`to_network_dsl`] — a text DSL whose printed form
+//!   reparses byte-identically (same contract as the abstract-code DSL).
+//! * [`gen_network`] — a seeded random generator of valid networks, used by
+//!   `tce gen-network`, the oracle differential suite and the benches.
+//!
+//! ```
+//! use tce_ir::network::{parse_network, to_network_dsl};
+//!
+//! let src = "\
+//! network
+//! range i = 32, j = 24, k = 40
+//! input A[i, k] nnz 0.05 format csr
+//! input B[k, j]
+//! output C[i, j]
+//! C[i, j] += A[i, k] * B[k, j]
+//! ";
+//! let dag = parse_network(src).unwrap();
+//! assert_eq!(dag.nodes().len(), 1);
+//! assert_eq!(to_network_dsl(&dag), src);
+//! ```
+
+use crate::array::ArrayKind;
+use crate::index::{Index, RangeMap};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// On-disk storage format of a (possibly sparse) tensor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SparseFormat {
+    /// Dense row-major storage: every element is materialized, so I/O
+    /// volume ignores the nnz fraction.
+    Dense,
+    /// Compressed sparse rows: values + column ids + row pointers,
+    /// ~1.5 stored words per nonzero.
+    Csr,
+    /// Coordinate list: values + full coordinates, ~2 stored words per
+    /// nonzero.
+    Coo,
+}
+
+impl SparseFormat {
+    /// Short lowercase label (`dense` / `csr` / `coo`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SparseFormat::Dense => "dense",
+            SparseFormat::Csr => "csr",
+            SparseFormat::Coo => "coo",
+        }
+    }
+
+    /// Parses a format label.
+    pub fn parse(s: &str) -> Option<SparseFormat> {
+        match s {
+            "dense" => Some(SparseFormat::Dense),
+            "csr" => Some(SparseFormat::Csr),
+            "coo" => Some(SparseFormat::Coo),
+            _ => None,
+        }
+    }
+
+    /// Stored words per nonzero element, relative to one dense element.
+    pub fn words_per_nonzero(self) -> f64 {
+        match self {
+            SparseFormat::Dense => 1.0,
+            SparseFormat::Csr => 1.5,
+            SparseFormat::Coo => 2.0,
+        }
+    }
+}
+
+impl fmt::Display for SparseFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Sparsity annotation of a tensor: expected nonzero fraction plus the
+/// storage format the out-of-core streams use.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sparsity {
+    /// Expected fraction of nonzero elements, in `(0, 1]`.
+    pub nnz: f64,
+    /// Storage format of disk-resident streams of this tensor.
+    pub format: SparseFormat,
+}
+
+impl Sparsity {
+    /// Fully dense: nnz 1, dense storage.
+    pub fn dense() -> Sparsity {
+        Sparsity {
+            nnz: 1.0,
+            format: SparseFormat::Dense,
+        }
+    }
+
+    /// A sparsity annotation with the given nnz fraction and format.
+    pub fn new(nnz: f64, format: SparseFormat) -> Sparsity {
+        Sparsity { nnz, format }
+    }
+
+    /// True for the default fully-dense annotation.
+    pub fn is_dense(&self) -> bool {
+        self.format == SparseFormat::Dense && self.nnz == 1.0
+    }
+
+    /// Bytes actually moved per dense byte of this tensor. Dense storage
+    /// always moves everything; compressed formats move
+    /// `nnz · words_per_nonzero`, which deliberately *exceeds* 1 near
+    /// full density (compressed formats cost more than dense there).
+    pub fn io_scale(&self) -> f64 {
+        match self.format {
+            SparseFormat::Dense => 1.0,
+            f => self.nnz * f.words_per_nonzero(),
+        }
+    }
+}
+
+impl Default for Sparsity {
+    fn default() -> Self {
+        Sparsity::dense()
+    }
+}
+
+/// A declared tensor of a contraction network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TensorDecl {
+    /// Tensor name, unique within the network.
+    pub name: String,
+    /// Dimension indices in storage order (distinct within one tensor).
+    pub dims: Vec<Index>,
+    /// Storage class: input / intermediate / output.
+    pub kind: ArrayKind,
+    /// Sparsity annotation.
+    pub sparsity: Sparsity,
+}
+
+impl TensorDecl {
+    /// Total number of elements given the index ranges.
+    pub fn num_elements(&self, ranges: &RangeMap) -> u64 {
+        self.dims.iter().map(|d| ranges.extent(d)).product()
+    }
+}
+
+/// One contraction node `OUT[..] += LHS[..] * RHS[..]`, referring to
+/// tensors by their position in [`ContractionDag::tensors`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Contraction {
+    /// The accumulated output tensor.
+    pub out: usize,
+    /// Left operand.
+    pub lhs: usize,
+    /// Right operand.
+    pub rhs: usize,
+}
+
+/// A contraction-network failure (parse or validation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetworkError {
+    /// 1-based source line of the offending token, when known.
+    pub line: Option<usize>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl NetworkError {
+    fn new(message: impl Into<String>) -> NetworkError {
+        NetworkError {
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    fn at(line: usize, message: impl Into<String>) -> NetworkError {
+        NetworkError {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A validated DAG of contractions in program order.
+///
+/// Invariants established by [`ContractionDag::new`] (and therefore by the
+/// parser and generator):
+///
+/// * tensor names are unique; dims are distinct and all ranged;
+/// * every nnz fraction is finite and in `(0, 1]`;
+/// * outputs and intermediates are written by exactly one node, inputs by
+///   none; operands are never outputs;
+/// * operand intermediates are produced at a strictly earlier node, and
+///   every intermediate is consumed by at least one later node;
+/// * each node's output dims are a subset of its operands' dims.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContractionDag {
+    tensors: Vec<TensorDecl>,
+    ranges: RangeMap,
+    nodes: Vec<Contraction>,
+}
+
+impl ContractionDag {
+    /// Builds and validates a network.
+    pub fn new(
+        tensors: Vec<TensorDecl>,
+        ranges: RangeMap,
+        nodes: Vec<Contraction>,
+    ) -> Result<ContractionDag, NetworkError> {
+        let dag = ContractionDag {
+            tensors,
+            ranges,
+            nodes,
+        };
+        dag.validate()?;
+        Ok(dag)
+    }
+
+    fn validate(&self) -> Result<(), NetworkError> {
+        if self.nodes.is_empty() {
+            return Err(NetworkError::new(
+                "a network needs at least one contraction",
+            ));
+        }
+        for (k, t) in self.tensors.iter().enumerate() {
+            if t.name.is_empty() {
+                return Err(NetworkError::new("tensor names must be non-empty"));
+            }
+            if self.tensors[..k].iter().any(|o| o.name == t.name) {
+                return Err(NetworkError::new(format!("duplicate tensor `{}`", t.name)));
+            }
+            for (d, dim) in t.dims.iter().enumerate() {
+                if !self.ranges.contains(dim) {
+                    return Err(NetworkError::new(format!(
+                        "tensor `{}`: no range declared for index `{dim}`",
+                        t.name
+                    )));
+                }
+                if t.dims[..d].contains(dim) {
+                    return Err(NetworkError::new(format!(
+                        "tensor `{}`: repeated dimension index `{dim}`",
+                        t.name
+                    )));
+                }
+            }
+            let nnz = t.sparsity.nnz;
+            if !nnz.is_finite() || nnz <= 0.0 || nnz > 1.0 {
+                return Err(NetworkError::new(format!(
+                    "tensor `{}`: nnz must be in (0, 1], got {nnz}",
+                    t.name
+                )));
+            }
+        }
+        let mut producer: Vec<Option<usize>> = vec![None; self.tensors.len()];
+        let mut consumed: Vec<bool> = vec![false; self.tensors.len()];
+        for (c, node) in self.nodes.iter().enumerate() {
+            for id in [node.out, node.lhs, node.rhs] {
+                if id >= self.tensors.len() {
+                    return Err(NetworkError::new(format!(
+                        "node {c}: tensor id {id} out of range"
+                    )));
+                }
+            }
+            let out = &self.tensors[node.out];
+            if out.kind == ArrayKind::Input {
+                return Err(NetworkError::new(format!(
+                    "node {c}: input `{}` cannot be written",
+                    out.name
+                )));
+            }
+            if producer[node.out].is_some() {
+                return Err(NetworkError::new(format!(
+                    "tensor `{}` is written by more than one node",
+                    out.name
+                )));
+            }
+            if node.lhs == node.out || node.rhs == node.out {
+                return Err(NetworkError::new(format!(
+                    "node {c}: `{}` cannot be both output and operand",
+                    out.name
+                )));
+            }
+            for id in [node.lhs, node.rhs] {
+                let op = &self.tensors[id];
+                match op.kind {
+                    ArrayKind::Output => {
+                        return Err(NetworkError::new(format!(
+                            "node {c}: output `{}` cannot be read",
+                            op.name
+                        )))
+                    }
+                    ArrayKind::Intermediate => {
+                        if producer[id].is_none() {
+                            return Err(NetworkError::new(format!(
+                                "node {c}: intermediate `{}` is read before it is produced",
+                                op.name
+                            )));
+                        }
+                        consumed[id] = true;
+                    }
+                    ArrayKind::Input => {}
+                }
+                // every output dim must come from an operand
+            }
+            for dim in &out.dims {
+                let from_ops = self.tensors[node.lhs].dims.contains(dim)
+                    || self.tensors[node.rhs].dims.contains(dim);
+                if !from_ops {
+                    return Err(NetworkError::new(format!(
+                        "node {c}: output dim `{dim}` of `{}` appears in neither operand",
+                        out.name
+                    )));
+                }
+            }
+            producer[node.out] = Some(c);
+        }
+        for (id, t) in self.tensors.iter().enumerate() {
+            match t.kind {
+                ArrayKind::Input => {}
+                ArrayKind::Output | ArrayKind::Intermediate => {
+                    if producer[id].is_none() {
+                        return Err(NetworkError::new(format!(
+                            "{} `{}` is never produced",
+                            t.kind, t.name
+                        )));
+                    }
+                }
+            }
+            if t.kind == ArrayKind::Intermediate && !consumed[id] {
+                return Err(NetworkError::new(format!(
+                    "intermediate `{}` is never consumed",
+                    t.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Declared tensors, in declaration order.
+    pub fn tensors(&self) -> &[TensorDecl] {
+        &self.tensors
+    }
+
+    /// The tensor with the given id.
+    pub fn tensor(&self, id: usize) -> &TensorDecl {
+        &self.tensors[id]
+    }
+
+    /// Index extents.
+    pub fn ranges(&self) -> &RangeMap {
+        &self.ranges
+    }
+
+    /// Contraction nodes in program order.
+    pub fn nodes(&self) -> &[Contraction] {
+        &self.nodes
+    }
+
+    /// The id of the tensor named `name`.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.tensors.iter().position(|t| t.name == name)
+    }
+
+    /// The node that writes tensor `id`, if any.
+    pub fn producer(&self, id: usize) -> Option<usize> {
+        self.nodes.iter().position(|n| n.out == id)
+    }
+
+    /// Program-order indices of the nodes that read tensor `id`.
+    pub fn consumers(&self, id: usize) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.lhs == id || n.rhs == id)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// All loop indices of node `c` (output ∪ operand dims), sorted.
+    pub fn loop_indices(&self, c: usize) -> Vec<Index> {
+        let node = &self.nodes[c];
+        let mut out: Vec<Index> = Vec::new();
+        for id in [node.out, node.lhs, node.rhs] {
+            for dim in &self.tensors[id].dims {
+                if !out.contains(dim) {
+                    out.push(dim.clone());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The contracted (summed) indices of node `c`: operand dims that do
+    /// not appear in the output, sorted.
+    pub fn contracted_indices(&self, c: usize) -> Vec<Index> {
+        let node = &self.nodes[c];
+        let out_dims = &self.tensors[node.out].dims;
+        let mut sum: Vec<Index> = Vec::new();
+        for id in [node.lhs, node.rhs] {
+            for dim in &self.tensors[id].dims {
+                if !out_dims.contains(dim) && !sum.contains(dim) {
+                    sum.push(dim.clone());
+                }
+            }
+        }
+        sum.sort();
+        sum
+    }
+}
+
+impl fmt::Display for ContractionDag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_network_dsl(self))
+    }
+}
+
+impl serde::Serialize for ContractionDag {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(to_network_dsl(self))
+    }
+}
+
+impl serde::Deserialize for ContractionDag {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let src = String::from_value(v)?;
+        parse_network(&src).map_err(|e| serde::Error(format!("bad network DSL: {e}")))
+    }
+}
+
+/// True when `src` is written in the network DSL (its first token, after
+/// comments, is the keyword `network`) rather than the abstract-code DSL.
+pub fn is_network_src(src: &str) -> bool {
+    for line in src.lines() {
+        let line = match line.find('#') {
+            Some(k) => &line[..k],
+            None => line,
+        };
+        let line = match line.find("//") {
+            Some(k) => &line[..k],
+            None => line,
+        };
+        let mut words = line.split_whitespace();
+        if let Some(first) = words.next() {
+            return first == "network";
+        }
+    }
+    false
+}
+
+/// Prints a network in the text DSL. The output reparses to an equal
+/// [`ContractionDag`] and reprints byte-identically.
+pub fn to_network_dsl(dag: &ContractionDag) -> String {
+    let mut out = String::from("network\n");
+    if !dag.ranges.is_empty() {
+        out.push_str("range ");
+        for (k, (idx, extent)) in dag.ranges.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{idx} = {extent}"));
+        }
+        out.push('\n');
+    }
+    for t in &dag.tensors {
+        out.push_str(&format!("{} {}[", t.kind.label(), t.name));
+        for (k, dim) in t.dims.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(dim.name());
+        }
+        out.push(']');
+        if !t.sparsity.is_dense() {
+            out.push_str(&format!(" nnz {}", t.sparsity.nnz));
+            if t.sparsity.format != SparseFormat::Dense {
+                out.push_str(&format!(" format {}", t.sparsity.format.label()));
+            }
+        }
+        out.push('\n');
+    }
+    let subs = |id: usize| -> String {
+        let t = &dag.tensors[id];
+        let dims: Vec<&str> = t.dims.iter().map(|d| d.name()).collect();
+        format!("{}[{}]", t.name, dims.join(", "))
+    };
+    for node in &dag.nodes {
+        out.push_str(&format!(
+            "{} += {} * {}\n",
+            subs(node.out),
+            subs(node.lhs),
+            subs(node.rhs)
+        ));
+    }
+    out
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(String),
+    Punct(char),
+    PlusEq,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, NetworkError> {
+    let mut toks = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match line.find('#') {
+            Some(k) => &line[..k],
+            None => line,
+        };
+        let line = match line.find("//") {
+            Some(k) => &line[..k],
+            None => line,
+        };
+        let bytes: Vec<char> = line.chars().collect();
+        let mut k = 0;
+        while k < bytes.len() {
+            let c = bytes[k];
+            if c.is_whitespace() {
+                k += 1;
+            } else if c.is_alphabetic() || c == '_' {
+                let start = k;
+                while k < bytes.len() && (bytes[k].is_alphanumeric() || bytes[k] == '_') {
+                    k += 1;
+                }
+                toks.push((Tok::Ident(bytes[start..k].iter().collect()), lineno));
+            } else if c.is_ascii_digit() {
+                let start = k;
+                while k < bytes.len()
+                    && (bytes[k].is_ascii_digit()
+                        || bytes[k] == '.'
+                        || bytes[k] == 'e'
+                        || bytes[k] == 'E'
+                        || ((bytes[k] == '+' || bytes[k] == '-')
+                            && matches!(bytes[k - 1], 'e' | 'E')))
+                {
+                    k += 1;
+                }
+                toks.push((Tok::Num(bytes[start..k].iter().collect()), lineno));
+            } else if c == '+' && bytes.get(k + 1) == Some(&'=') {
+                toks.push((Tok::PlusEq, lineno));
+                k += 2;
+            } else if matches!(c, '[' | ']' | ',' | '=' | '*') {
+                toks.push((Tok::Punct(c), lineno));
+                k += 1;
+            } else {
+                return Err(NetworkError::at(
+                    lineno,
+                    format!("unexpected character `{c}`"),
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct NetParser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl NetParser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), NetworkError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(NetworkError::at(
+                line,
+                format!("expected `{c}`, got {other:?}"),
+            )),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, NetworkError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(NetworkError::at(
+                line,
+                format!("expected {what}, got {other:?}"),
+            )),
+        }
+    }
+
+    fn subscripts(&mut self) -> Result<Vec<Index>, NetworkError> {
+        self.expect_punct('[')?;
+        let mut dims = Vec::new();
+        if self.peek() == Some(&Tok::Punct(']')) {
+            self.next();
+            return Ok(dims);
+        }
+        loop {
+            dims.push(Index::new(self.ident("an index name")?));
+            match self.next() {
+                Some(Tok::Punct(',')) => continue,
+                Some(Tok::Punct(']')) => break,
+                other => {
+                    return Err(NetworkError::at(
+                        self.line(),
+                        format!("expected `,` or `]`, got {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(dims)
+    }
+
+    fn num(&mut self, what: &str) -> Result<(String, usize), NetworkError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Num(s)) => Ok((s, line)),
+            other => Err(NetworkError::at(
+                line,
+                format!("expected {what}, got {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Parses the network DSL into a validated [`ContractionDag`].
+///
+/// Grammar (comments run from `#` or `//` to end of line):
+///
+/// ```text
+/// network  := "network" item*
+/// item     := range | decl | stmt
+/// range    := "range" NAME "=" INT ("," NAME "=" INT)*
+/// decl     := ("input" | "intermediate" | "output") NAME "[" dims "]"
+///             ("nnz" FLOAT)? ("format" ("dense" | "csr" | "coo"))?
+/// stmt     := NAME "[" dims "]" "+=" NAME "[" dims "]" "*" NAME "[" dims "]"
+/// ```
+pub fn parse_network(src: &str) -> Result<ContractionDag, NetworkError> {
+    let toks = lex(src)?;
+    let mut p = NetParser { toks, pos: 0 };
+    match p.next() {
+        Some(Tok::Ident(kw)) if kw == "network" => {}
+        _ => return Err(NetworkError::new("a network must start with `network`")),
+    }
+    let mut tensors: Vec<TensorDecl> = Vec::new();
+    let mut ranges = RangeMap::new();
+    let mut nodes: Vec<Contraction> = Vec::new();
+    let find = |tensors: &[TensorDecl], name: &str, line: usize| -> Result<usize, NetworkError> {
+        tensors
+            .iter()
+            .position(|t| t.name == name)
+            .ok_or_else(|| NetworkError::at(line, format!("undeclared tensor `{name}`")))
+    };
+    while let Some(tok) = p.peek().cloned() {
+        match tok {
+            Tok::Ident(kw) if kw == "range" => {
+                p.next();
+                loop {
+                    let name = p.ident("an index name")?;
+                    p.expect_punct('=')?;
+                    let (num, line) = p.num("an integer extent")?;
+                    let extent: u64 = num
+                        .parse()
+                        .map_err(|_| NetworkError::at(line, format!("bad extent `{num}`")))?;
+                    ranges.set(Index::new(name), extent);
+                    if p.peek() == Some(&Tok::Punct(',')) {
+                        p.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Tok::Ident(kw) if kw == "input" || kw == "intermediate" || kw == "output" => {
+                p.next();
+                let kind = match kw.as_str() {
+                    "input" => ArrayKind::Input,
+                    "output" => ArrayKind::Output,
+                    _ => ArrayKind::Intermediate,
+                };
+                let name = p.ident("a tensor name")?;
+                let dims = p.subscripts()?;
+                let mut sparsity = Sparsity::dense();
+                if p.peek() == Some(&Tok::Ident("nnz".into())) {
+                    p.next();
+                    let (num, line) = p.num("an nnz fraction")?;
+                    sparsity.nnz = num
+                        .parse()
+                        .map_err(|_| NetworkError::at(line, format!("bad nnz `{num}`")))?;
+                }
+                if p.peek() == Some(&Tok::Ident("format".into())) {
+                    p.next();
+                    let line = p.line();
+                    let label = p.ident("a format label")?;
+                    sparsity.format = SparseFormat::parse(&label).ok_or_else(|| {
+                        NetworkError::at(line, format!("unknown format `{label}`"))
+                    })?;
+                }
+                tensors.push(TensorDecl {
+                    name,
+                    dims,
+                    kind,
+                    sparsity,
+                });
+            }
+            Tok::Ident(_) => {
+                // a contraction statement
+                let line = p.line();
+                let out_name = p.ident("a tensor name")?;
+                let out_dims = p.subscripts()?;
+                let line2 = p.line();
+                match p.next() {
+                    Some(Tok::PlusEq) => {}
+                    other => {
+                        return Err(NetworkError::at(
+                            line2,
+                            format!("expected `+=`, got {other:?}"),
+                        ))
+                    }
+                }
+                let lhs_name = p.ident("a tensor name")?;
+                let lhs_dims = p.subscripts()?;
+                p.expect_punct('*')?;
+                let rhs_name = p.ident("a tensor name")?;
+                let rhs_dims = p.subscripts()?;
+                let out = find(&tensors, &out_name, line)?;
+                let lhs = find(&tensors, &lhs_name, line)?;
+                let rhs = find(&tensors, &rhs_name, line)?;
+                for (id, dims, name) in [
+                    (out, &out_dims, &out_name),
+                    (lhs, &lhs_dims, &lhs_name),
+                    (rhs, &rhs_dims, &rhs_name),
+                ] {
+                    if tensors[id].dims != *dims {
+                        return Err(NetworkError::at(
+                            line,
+                            format!("subscripts of `{name}` do not match its declaration"),
+                        ));
+                    }
+                }
+                nodes.push(Contraction { out, lhs, rhs });
+            }
+            other => {
+                return Err(NetworkError::at(
+                    p.line(),
+                    format!("unexpected token {other:?}"),
+                ))
+            }
+        }
+    }
+    ContractionDag::new(tensors, ranges, nodes)
+}
+
+/// Configuration of the seeded random network generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkGenConfig {
+    /// RNG seed; identical seeds produce identical networks.
+    pub seed: u64,
+    /// Number of contraction nodes (≥ 1).
+    pub nodes: usize,
+    /// Smallest index extent.
+    pub min_extent: u64,
+    /// Largest index extent.
+    pub max_extent: u64,
+    /// Probability that a fresh input tensor is sparse.
+    pub sparse_frac: f64,
+    /// Smallest nnz fraction a sparse input may get.
+    pub min_nnz: f64,
+}
+
+impl Default for NetworkGenConfig {
+    fn default() -> Self {
+        NetworkGenConfig {
+            seed: 2004,
+            nodes: 3,
+            min_extent: 16,
+            max_extent: 48,
+            sparse_frac: 0.5,
+            min_nnz: 0.01,
+        }
+    }
+}
+
+fn round4(x: f64) -> f64 {
+    (x * 1e4).round() / 1e4
+}
+
+/// Generates a seeded random valid contraction network: a chain of
+/// rank-2 contractions (every intermediate is consumed by the next node)
+/// whose right operands occasionally reuse earlier tensors, producing
+/// multi-consumer DAG structure, with sparse annotations on a seeded
+/// subset of the inputs and estimated fill on intermediates.
+pub fn gen_network(cfg: &NetworkGenConfig) -> ContractionDag {
+    let nodes = cfg.nodes.max(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    const ALPHA: [&str; 8] = ["i", "j", "k", "l", "m", "n", "p", "q"];
+    let num_idx = (3 + nodes / 2).min(ALPHA.len());
+    let lo = cfg.min_extent.max(1);
+    let hi = cfg.max_extent.max(lo);
+    let mut ranges = RangeMap::new();
+    for name in &ALPHA[..num_idx] {
+        let extent = lo + rng.random_range(0..(hi - lo + 1) as usize) as u64;
+        ranges.set(Index::new(name), extent);
+    }
+    let alphabet: Vec<Index> = ALPHA[..num_idx].iter().map(Index::new).collect();
+
+    let mut tensors: Vec<TensorDecl> = Vec::new();
+    let mut dag_nodes: Vec<Contraction> = Vec::new();
+    let mut inputs = 0usize;
+    let mut fresh_input = |tensors: &mut Vec<TensorDecl>, rng: &mut StdRng, dims: Vec<Index>| {
+        let sparsity = if rng.random::<f64>() < cfg.sparse_frac {
+            let nnz =
+                round4(cfg.min_nnz + rng.random::<f64>() * (0.5 - cfg.min_nnz)).clamp(0.0001, 1.0);
+            let format = if rng.random::<f64>() < 0.5 {
+                SparseFormat::Csr
+            } else {
+                SparseFormat::Coo
+            };
+            Sparsity::new(nnz, format)
+        } else {
+            Sparsity::dense()
+        };
+        let id = tensors.len();
+        tensors.push(TensorDecl {
+            name: format!("A{inputs}"),
+            dims,
+            kind: ArrayKind::Input,
+            sparsity,
+        });
+        inputs += 1;
+        id
+    };
+
+    // pick three distinct indices for the first node
+    let pick_distinct = |rng: &mut StdRng, taken: &[Index], alphabet: &[Index]| -> Index {
+        loop {
+            let cand = alphabet[rng.random_range(0..alphabet.len())].clone();
+            if !taken.contains(&cand) {
+                return cand;
+            }
+        }
+    };
+
+    let mut prev: Option<usize> = None; // previous node's output tensor id
+    for t in 0..nodes {
+        let (lhs, a, c) = match prev {
+            None => {
+                let a = pick_distinct(&mut rng, &[], &alphabet);
+                let c = pick_distinct(&mut rng, std::slice::from_ref(&a), &alphabet);
+                let lhs = fresh_input(&mut tensors, &mut rng, vec![a.clone(), c.clone()]);
+                (lhs, a, c)
+            }
+            Some(p) => {
+                let dims = tensors[p].dims.clone();
+                // keep one dim, contract the other
+                let (a, c) = if rng.random::<f64>() < 0.5 {
+                    (dims[0].clone(), dims[1].clone())
+                } else {
+                    (dims[1].clone(), dims[0].clone())
+                };
+                (p, a, c)
+            }
+        };
+        let b = pick_distinct(&mut rng, &[a.clone(), c.clone()], &alphabet);
+        // right operand: reuse an earlier tensor with dims {c, b} when
+        // possible, otherwise declare a fresh input
+        let reusable: Vec<usize> = tensors
+            .iter()
+            .enumerate()
+            .filter(|(id, td)| {
+                *id != lhs
+                    && td.kind != ArrayKind::Output
+                    && td.dims.len() == 2
+                    && td.dims.contains(&c)
+                    && td.dims.contains(&b)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let rhs = if !reusable.is_empty() && rng.random::<f64>() < 0.6 {
+            reusable[rng.random_range(0..reusable.len())]
+        } else {
+            fresh_input(&mut tensors, &mut rng, vec![c.clone(), b.clone()])
+        };
+        let last = t + 1 == nodes;
+        let out = tensors.len();
+        let (nnz_l, nnz_r) = (tensors[lhs].sparsity.nnz, tensors[rhs].sparsity.nnz);
+        let sparsity = if last {
+            Sparsity::dense()
+        } else {
+            // expected fill of the product after summing over `c`
+            let fill = 1.0 - (1.0 - nnz_l * nnz_r).powi(ranges.extent(&c) as i32);
+            let fill = round4(fill).clamp(0.0001, 1.0);
+            if fill >= 0.999 {
+                Sparsity::dense()
+            } else if fill < 0.25 {
+                Sparsity::new(fill, SparseFormat::Csr)
+            } else {
+                Sparsity::new(fill, SparseFormat::Dense)
+            }
+        };
+        tensors.push(TensorDecl {
+            name: if last { "Y".into() } else { format!("T{t}") },
+            dims: vec![a, b],
+            kind: if last {
+                ArrayKind::Output
+            } else {
+                ArrayKind::Intermediate
+            },
+            sparsity,
+        });
+        dag_nodes.push(Contraction { out, lhs, rhs });
+        prev = Some(out);
+    }
+
+    ContractionDag::new(tensors, ranges, dag_nodes).expect("generated network must validate")
+}
+
+/// A small handwritten two-node network with a sparse input, used by
+/// tests and docs.
+pub fn small_network() -> ContractionDag {
+    parse_network(
+        "\
+network
+range i = 24, j = 20, k = 28, l = 16
+input A[i, k] nnz 0.1 format csr
+input B[k, j]
+input C[j, l]
+intermediate T[i, j]
+output Y[i, l]
+T[i, j] += A[i, k] * B[k, j]
+Y[i, l] += T[i, j] * C[j, l]
+",
+    )
+    .expect("small_network fixture must parse")
+}
+
+/// A three-node network whose middle intermediate has two consumers (a
+/// genuine DAG, not a chain), exercising multi-consumer placement.
+pub fn diamond_network() -> ContractionDag {
+    parse_network(
+        "\
+network
+range i = 20, j = 24, k = 16
+input A[i, j] nnz 0.2 format coo
+input B[j, k]
+input C[k, j]
+intermediate T[i, k]
+intermediate U[i, j]
+output Y[i, k]
+T[i, k] += A[i, j] * B[j, k]
+U[i, j] += T[i, k] * C[k, j]
+Y[i, k] += U[i, j] * B[j, k]
+",
+    )
+    .expect("diamond_network fixture must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_parse_roundtrip_is_byte_identical() {
+        for dag in [small_network(), diamond_network()] {
+            let printed = to_network_dsl(&dag);
+            let reparsed = parse_network(&printed).expect("printed network must reparse");
+            assert_eq!(reparsed, dag);
+            assert_eq!(to_network_dsl(&reparsed), printed);
+        }
+    }
+
+    #[test]
+    fn generator_roundtrips_and_is_deterministic() {
+        for seed in 0..20u64 {
+            let cfg = NetworkGenConfig {
+                seed,
+                nodes: 1 + (seed as usize % 5),
+                ..NetworkGenConfig::default()
+            };
+            let dag = gen_network(&cfg);
+            assert_eq!(gen_network(&cfg), dag, "seed {seed} not deterministic");
+            let printed = to_network_dsl(&dag);
+            let reparsed = parse_network(&printed).expect("generated network must reparse");
+            assert_eq!(reparsed, dag, "seed {seed} roundtrip");
+            assert_eq!(to_network_dsl(&reparsed), printed);
+        }
+    }
+
+    #[test]
+    fn generator_produces_sparse_annotations() {
+        let mut saw_sparse = false;
+        for seed in 0..10u64 {
+            let dag = gen_network(&NetworkGenConfig {
+                seed,
+                nodes: 4,
+                sparse_frac: 0.8,
+                ..NetworkGenConfig::default()
+            });
+            saw_sparse |= dag.tensors().iter().any(|t| !t.sparsity.is_dense());
+        }
+        assert!(
+            saw_sparse,
+            "no sparse tensor in 10 seeds at sparse_frac 0.8"
+        );
+    }
+
+    #[test]
+    fn io_scale_shapes() {
+        assert_eq!(Sparsity::dense().io_scale(), 1.0);
+        let csr = Sparsity::new(0.1, SparseFormat::Csr);
+        assert!((csr.io_scale() - 0.15).abs() < 1e-12);
+        let coo = Sparsity::new(0.9, SparseFormat::Coo);
+        assert!(
+            coo.io_scale() > 1.0,
+            "nearly dense COO costs more than dense"
+        );
+        // dense storage ignores nnz
+        assert_eq!(Sparsity::new(0.3, SparseFormat::Dense).io_scale(), 1.0);
+    }
+
+    #[test]
+    fn network_discriminator() {
+        assert!(is_network_src("network\nrange i = 4\n"));
+        assert!(is_network_src("# comment\n  network\n"));
+        assert!(!is_network_src("input A[i, j]\n"));
+        assert!(!is_network_src(""));
+    }
+
+    #[test]
+    fn validation_rejects_bad_networks() {
+        // unproduced intermediate read
+        let bad = "\
+network
+range i = 4, j = 4, k = 4
+input A[i, k]
+intermediate T[k, j]
+output Y[i, j]
+Y[i, j] += A[i, k] * T[k, j]
+";
+        let err = parse_network(bad).unwrap_err();
+        assert!(err.message.contains("read before"), "{err}");
+
+        // nnz out of range
+        let bad = "\
+network
+range i = 4, k = 4, j = 4
+input A[i, k] nnz 1.5
+input B[k, j]
+output Y[i, j]
+Y[i, j] += A[i, k] * B[k, j]
+";
+        let err = parse_network(bad).unwrap_err();
+        assert!(err.message.contains("nnz"), "{err}");
+
+        // writing an input
+        let bad = "\
+network
+range i = 4, k = 4, j = 4
+input A[i, k]
+input B[k, j]
+input C[i, j]
+C[i, j] += A[i, k] * B[k, j]
+";
+        let err = parse_network(bad).unwrap_err();
+        assert!(err.message.contains("cannot be written"), "{err}");
+
+        // unconsumed intermediate
+        let bad = "\
+network
+range i = 4, k = 4, j = 4
+input A[i, k]
+input B[k, j]
+intermediate T[i, j]
+output Y[i, j]
+T[i, j] += A[i, k] * B[k, j]
+Y[i, j] += A[i, k] * B[k, j]
+";
+        let err = parse_network(bad).unwrap_err();
+        assert!(err.message.contains("never consumed"), "{err}");
+
+        // output dim from neither operand
+        let bad = "\
+network
+range i = 4, k = 4, j = 4, z = 4
+input A[i, k]
+input B[k, j]
+output Y[i, z]
+Y[i, z] += A[i, k] * B[k, j]
+";
+        let err = parse_network(bad).unwrap_err();
+        assert!(err.message.contains("neither operand"), "{err}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let dag = small_network();
+        let v = serde::Serialize::to_value(&dag);
+        let back = <ContractionDag as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(back, dag);
+    }
+
+    #[test]
+    fn consumers_and_contracted_indices() {
+        let dag = diamond_network();
+        let b = dag.find("B").unwrap();
+        assert_eq!(dag.consumers(b).len(), 2);
+        let t = dag.find("T").unwrap();
+        assert_eq!(dag.producer(t), Some(0));
+        // node 0: Y dims {i,k}, operands {i,j},{j,k} → contracted {j}
+        assert_eq!(dag.contracted_indices(0), vec![Index::new("j")]);
+        let loops = dag.loop_indices(0);
+        assert_eq!(loops.len(), 3);
+    }
+}

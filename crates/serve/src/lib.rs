@@ -384,4 +384,39 @@ mod tests {
         assert_eq!(report.summary.misses, 1);
         assert_eq!(report.summary.hits, 1);
     }
+
+    #[test]
+    fn network_jobs_run_through_the_same_engine() {
+        // a mixed batch: dense programs and a contraction network, with
+        // the network job duplicated so its flight coalesces too
+        let net_dsl = tce_ir::to_network_dsl(&tce_ir::network::small_network());
+        let net = |name: &str| JobSpec {
+            name: name.to_string(),
+            program: net_dsl.clone(),
+            ..job("", 64, 48)
+        };
+        let jobs = vec![net("n0"), job("dense", 64, 48), net("n1")];
+        let cache = SynthesisCache::in_memory();
+        let report = batch(&jobs, 2, &cache);
+        assert_eq!(report.summary.ok, 3, "{:?}", report.jobs);
+        assert_eq!(report.summary.misses, 2, "one network solve, one dense");
+        assert_eq!(report.summary.hits, 1);
+        let n0 = &report.jobs[0];
+        let n1 = &report.jobs[2];
+        assert_eq!(n0.fingerprint, n1.fingerprint);
+        assert_ne!(n0.fingerprint, report.jobs[1].fingerprint);
+        assert!(n0.io_bytes > 0.0 && n0.predicted_s > 0.0);
+    }
+
+    #[test]
+    fn invalid_network_job_fails_structurally() {
+        let mut bad = job("badnet", 64, 48);
+        bad.program = "network\nrange i = 8\noutput Y[i]\n".to_string();
+        let cache = SynthesisCache::in_memory();
+        let report = batch(&[bad], 1, &cache);
+        assert_eq!(report.summary.failed, 1);
+        let j = &report.jobs[0];
+        assert_eq!(j.error_kind.as_deref(), Some("invalid_job"));
+        assert!(j.error.as_deref().unwrap_or("").contains("network"));
+    }
 }

@@ -31,7 +31,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use tce_cache::{
-    prepare_request, run_prepared, CachedSynthesis, FsFaultPlan, PreparedRequest, SynthesisCache,
+    prepare_network_request, prepare_request, run_network_prepared, run_prepared,
+    CachedNetworkSynthesis, CachedSynthesis, FsFaultPlan, PreparedRequest, SynthesisCache,
 };
 use tce_core::{SynthesisConfig, SynthesisError};
 use tce_solver::CancelToken;
@@ -138,6 +139,11 @@ pub(crate) fn process_job(
     opts: &BatchOptions,
     runner: &dyn JobRunner,
 ) -> JobReport {
+    // contraction-network jobs (DSL header `network`) run through the
+    // network pipeline under the same supervision/caching machinery
+    if tce_ir::is_network_src(&spec.program) {
+        return process_network_job(spec, cache, flights, queue_wait_s, opts);
+    }
     let started = Instant::now();
     let program = match spec.parse_program() {
         Ok(p) => p,
@@ -310,6 +316,214 @@ pub(crate) fn process_job(
                 }
             },
         }
+    }
+}
+
+/// Runs one contraction-network job to a report: the same supervision
+/// loop as [`process_job`] (single-flight on the canonical fingerprint,
+/// guarded `catch_unwind`, deadline token, bounded leader promotion),
+/// over the network prepare/solve seam instead of the dense one.
+pub(crate) fn process_network_job(
+    spec: &JobSpec,
+    cache: &SynthesisCache,
+    flights: &SingleFlight,
+    queue_wait_s: f64,
+    opts: &BatchOptions,
+) -> JobReport {
+    let started = Instant::now();
+    let dag = match tce_ir::parse_network(&spec.program) {
+        Ok(d) => d,
+        Err(e) => {
+            return JobReport::failed(
+                &spec.name,
+                "",
+                format!("invalid network: {e}"),
+                queue_wait_s,
+            )
+            .kind("invalid_job")
+        }
+    };
+    let mut config = match spec.config() {
+        Ok(c) => c,
+        Err(e) => return JobReport::failed(&spec.name, "", e, queue_wait_s).kind("invalid_job"),
+    };
+    let timeout = spec
+        .timeout_ms
+        .map(Duration::from_millis)
+        .or(opts.job_timeout);
+    let token = timeout.map(|t| CancelToken::with_deadline(started + t));
+    if let Some(t) = &token {
+        config = config.cancel_token(t.clone());
+    }
+
+    let mut request = match prepare_network_request(&dag, &config) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            return JobReport::failed(&spec.name, "", e.to_string(), queue_wait_s)
+                .kind("invalid_job")
+        }
+    };
+    let fingerprint = request.as_ref().expect("just prepared").fingerprint.clone();
+
+    let mut leader_failures = 0u32;
+    let mut joined = false;
+    loop {
+        match flights.begin(&fingerprint) {
+            Role::Leader(guard) => {
+                let req = match request.take() {
+                    Some(r) => r,
+                    None => match prepare_network_request(&dag, &config) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            guard.fail(e.to_string());
+                            return JobReport::failed(
+                                &spec.name,
+                                &fingerprint,
+                                e.to_string(),
+                                queue_wait_s,
+                            )
+                            .kind("invalid_job");
+                        }
+                    },
+                };
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    let outcome = run_network_prepared(req, &config, cache);
+                    match &outcome {
+                        Ok(_) => guard.success(),
+                        Err(e) => guard.fail(e.to_string()),
+                    }
+                    outcome
+                }));
+                return match run {
+                    Ok(Ok(done)) => network_ok_report(spec, &done, joined, queue_wait_s, started),
+                    Ok(Err(e)) => {
+                        let mut r = JobReport::failed(
+                            &spec.name,
+                            &fingerprint,
+                            e.to_string(),
+                            queue_wait_s,
+                        )
+                        .kind(kind_of(&e));
+                        r.joined = joined;
+                        r.total_s = started.elapsed().as_secs_f64();
+                        r
+                    }
+                    Err(_) => {
+                        let mut r = JobReport::failed(
+                            &spec.name,
+                            &fingerprint,
+                            "worker panicked during solve".to_string(),
+                            queue_wait_s,
+                        )
+                        .kind("panic");
+                        r.joined = joined;
+                        r.total_s = started.elapsed().as_secs_f64();
+                        r
+                    }
+                };
+            }
+            Role::Follower(flight) => match flight.wait_with(token.as_ref()) {
+                None => {
+                    return JobReport::failed(
+                        &spec.name,
+                        &fingerprint,
+                        "job deadline exceeded".to_string(),
+                        queue_wait_s,
+                    )
+                    .kind("deadline_exceeded");
+                }
+                Some(FlightEnd::Success) => {
+                    joined = true;
+                    let req = match request.take() {
+                        Some(r) => r,
+                        None => match prepare_network_request(&dag, &config) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                return JobReport::failed(
+                                    &spec.name,
+                                    &fingerprint,
+                                    e.to_string(),
+                                    queue_wait_s,
+                                )
+                                .kind("invalid_job")
+                            }
+                        },
+                    };
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        run_network_prepared(req, &config, cache)
+                    }));
+                    return match run {
+                        Ok(Ok(done)) => {
+                            network_ok_report(spec, &done, joined, queue_wait_s, started)
+                        }
+                        Ok(Err(e)) => {
+                            let mut r = JobReport::failed(
+                                &spec.name,
+                                &fingerprint,
+                                e.to_string(),
+                                queue_wait_s,
+                            )
+                            .kind(kind_of(&e));
+                            r.joined = joined;
+                            r.total_s = started.elapsed().as_secs_f64();
+                            r
+                        }
+                        Err(_) => {
+                            let mut r = JobReport::failed(
+                                &spec.name,
+                                &fingerprint,
+                                "worker panicked during replay".to_string(),
+                                queue_wait_s,
+                            )
+                            .kind("panic");
+                            r.joined = joined;
+                            r.total_s = started.elapsed().as_secs_f64();
+                            r
+                        }
+                    };
+                }
+                Some(FlightEnd::Failed(cause)) => {
+                    leader_failures += 1;
+                    if leader_failures > opts.retry_budget {
+                        return JobReport::failed(
+                            &spec.name,
+                            &fingerprint,
+                            format!(
+                                "leader failed {leader_failures} time(s), retry budget \
+                                 exhausted; last cause: {cause}"
+                            ),
+                            queue_wait_s,
+                        )
+                        .kind("leader_failed");
+                    }
+                }
+            },
+        }
+    }
+}
+
+fn network_ok_report(
+    spec: &JobSpec,
+    done: &CachedNetworkSynthesis,
+    joined: bool,
+    queue_wait_s: f64,
+    started: Instant,
+) -> JobReport {
+    JobReport {
+        name: spec.name.clone(),
+        ok: true,
+        error: None,
+        error_kind: None,
+        fingerprint: done.fingerprint.clone(),
+        hit: done.hit,
+        joined,
+        queue_wait_s,
+        solve_wall_s: done.solve_wall.as_secs_f64(),
+        saved_wall_s: done.saved_wall_s,
+        total_s: started.elapsed().as_secs_f64(),
+        io_bytes: done.result.io_bytes,
+        memory_bytes: done.result.memory_bytes,
+        predicted_s: done.result.predicted_s,
     }
 }
 

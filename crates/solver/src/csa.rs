@@ -302,10 +302,27 @@ impl<'m> CsaTask<'m> {
             // a rejected probe needs no undo: the committed point is
             // untouched
         } else {
-            // multiplier move: raise λ of a random violated constraint
+            // multiplier move: raise λ of a random violated constraint.
+            // Violations and the refreshed Lagrangian are read through a
+            // one-lane batch probe staged at the committed point itself,
+            // so multiplier updates run on the same SoA lane kernels as
+            // variable moves; lane 0 at the committed value is
+            // bit-identical to the committed evaluation (untouched
+            // constraints read the shadow norms directly, touched ones
+            // recompute from identical inputs).
+            let staged = self.model.num_vars() > 0;
+            if staged {
+                let committed = self.eval.point()[0];
+                self.eval.probe_batch(0, &[committed]);
+            }
             self.violated.clear();
             for k in 0..self.lambda.len() {
-                if self.eval.violation_norm(k) > FEAS_TOL {
+                let viol = if staged {
+                    self.eval.batch_violation_norm(0, k)
+                } else {
+                    self.eval.violation_norm(k)
+                };
+                if viol > FEAS_TOL {
                     self.violated.push(k);
                 }
             }
@@ -314,7 +331,11 @@ impl<'m> CsaTask<'m> {
                 // raising λ increases L at the current (violated) point;
                 // CSA accepts λ-increasing moves to drive feasibility
                 self.lambda[k] *= 1.0 + self.rng.random::<f64>();
-                self.cur = lag_committed(&self.eval, &self.lambda, self.f_scale);
+                self.cur = if staged {
+                    lag_batch(&self.eval, 0, &self.lambda, self.f_scale)
+                } else {
+                    lag_committed(&self.eval, &self.lambda, self.f_scale)
+                };
                 self.evals += 1;
                 if S::ENABLED {
                     let max = self.lambda.iter().fold(0.0f64, |a, &l| a.max(l.abs()));
@@ -532,6 +553,85 @@ mod tests {
         task.note_incumbent(Some(-1.0e9));
         assert!(task.is_done());
         assert_eq!(task.result().termination, Termination::PrunedByIncumbent);
+    }
+
+    #[test]
+    fn multiplier_lane_read_is_bit_identical_to_scalar() {
+        // the multiplier branch reads violations and the Lagrangian from a
+        // one-lane batch staged at the committed point; pin bit-identity
+        // against the scalar committed reads on both backends, at a point
+        // that violates some constraints and satisfies others
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 0, hi: 100 });
+        let y = m.add_var("y", Domain::Int { lo: 0, hi: 100 });
+        m.objective = Expr::Add(vec![
+            Expr::CeilDiv(Box::new(Expr::Const(900.0)), Box::new(Expr::Var(x))),
+            Expr::Mul(vec![Expr::Var(x), Expr::Var(y)]),
+        ]);
+        m.add_constraint("lo_x", Expr::Var(x), ConstraintOp::Ge, 10.0);
+        m.add_constraint("cap_y", Expr::Var(y), ConstraintOp::Le, 90.0);
+        m.add_constraint(
+            "mix",
+            Expr::Mul(vec![Expr::Const(3.0), Expr::Var(y)]),
+            ConstraintOp::Ge,
+            7.0,
+        );
+        let compiled = CompiledModel::compile(&m);
+        let point = [3i64, 1];
+        let lambda = [1.0f64, 2.5, 0.75];
+        for backend in [None, Some(&compiled)] {
+            let mut eval = ModelEval::new(&m, backend, &point);
+            let scalar: Vec<u64> = (0..lambda.len())
+                .map(|k| eval.violation_norm(k).to_bits())
+                .collect();
+            let scalar_lag = lag_committed(&eval, &lambda, 1.0).to_bits();
+            let committed = eval.point()[0];
+            eval.probe_batch(0, &[committed]);
+            for (k, &bits) in scalar.iter().enumerate() {
+                assert_eq!(
+                    eval.batch_violation_norm(0, k).to_bits(),
+                    bits,
+                    "constraint {k} (compiled: {})",
+                    backend.is_some()
+                );
+            }
+            assert_eq!(
+                lag_batch(&eval, 0, &lambda, 1.0).to_bits(),
+                scalar_lag,
+                "lagrangian (compiled: {})",
+                backend.is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn csa_multiplier_moves_keep_backends_in_lockstep() {
+        // starts violated (x = lower corner 0 breaks `5 - x ≤ 0`), so
+        // multiplier moves fire from the first level; the tree and
+        // compiled trajectories must stay bit-identical through them
+        let mut m = Model::new();
+        let x = m.add_var("x", Domain::Int { lo: 0, hi: 100 });
+        m.objective = Expr::Var(x);
+        m.add_constraint(
+            "min",
+            Expr::Sub(Box::new(Expr::Const(5.0)), Box::new(Expr::Var(x))),
+            ConstraintOp::Le,
+            0.0,
+        );
+        let opts = CsaOptions::quick(23);
+        let compiled = CompiledModel::compile(&m);
+        let mut fast = CsaTask::new(&m, &opts, u64::MAX, Some(&compiled));
+        while !fast.step(u64::MAX, &mut Noop) {}
+        let mut oracle = CsaTask::new(&m, &opts, u64::MAX, None);
+        while !oracle.step(u64::MAX, &mut Noop) {}
+        let a = fast.result();
+        let b = oracle.result();
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.evals, b.evals);
+        assert_eq!(a.iters, b.iters);
+        assert!(a.feasible, "walk should recover feasibility: {a:?}");
+        assert!(a.point[0] >= 5);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Sparse contraction-network synthesis: oracle differential suite and
+//! golden-plan snapshots.
+//!
+//! * The differential suite sweeps a seed matrix of generated networks
+//!   and checks every synthesized plan — tiles *and* solver-chosen
+//!   placements — element-wise against the small-size dense reference
+//!   oracle, on seeded inputs honoring each array's declared sparsity.
+//! * The golden suite pins the exact synthesized plan (and the network's
+//!   DSL form) for three representative networks under
+//!   `tests/golden/`. Regenerate deliberately with
+//!   `UPDATE_GOLDEN=1 cargo test --test sparse_networks`.
+
+use std::fmt::Write as _;
+use tce_ooc::core::SynthesisConfig;
+use tce_ooc::core::{seeded_network_inputs, synthesize_network, verify_network_plan};
+use tce_ooc::ir::network::{diamond_network, small_network, ContractionDag};
+use tce_ooc::ir::{gen_network, parse_network, to_network_dsl, NetworkGenConfig};
+
+/// One plan check: synthesize at test scale, run the tiled interpreter
+/// under the plan, compare every non-input tensor to the dense oracle.
+fn synthesize_and_verify(dag: &ContractionDag, mem: u64, seed: u64) -> f64 {
+    let config = SynthesisConfig::test_scale(mem).seed(seed).budget(60_000);
+    let r = synthesize_network(dag, &config).expect("feasible synthesis");
+    let inputs = seeded_network_inputs(dag, seed ^ 0x0DD5);
+    verify_network_plan(dag, &r.plan, &inputs, 1e-6).expect("plan matches the dense oracle")
+}
+
+#[test]
+fn seed_matrix_of_generated_networks_matches_the_oracle() {
+    // the acceptance matrix: >= 10 seeded random networks, mixed node
+    // counts and extents, every synthesized plan numerically verified
+    let mut verified = 0;
+    for seed in 0..12u64 {
+        let dag = gen_network(&NetworkGenConfig {
+            seed: 7000 + seed,
+            nodes: 2 + (seed as usize % 3),
+            min_extent: 6,
+            max_extent: 6 + 2 * (1 + seed % 5),
+            ..NetworkGenConfig::default()
+        });
+        let err = synthesize_and_verify(&dag, 32 * 1024, seed);
+        assert!(err < 1e-6, "seed {seed}: max error {err:e}");
+        verified += 1;
+    }
+    assert!(verified >= 10, "matrix shrank below the acceptance floor");
+}
+
+#[test]
+fn fixture_networks_match_the_oracle_under_tight_and_loose_memory() {
+    // tight limits force spill/recompute placements; loose limits keep
+    // intermediates in memory — both must agree with the oracle
+    for dag in [small_network(), diamond_network()] {
+        for mem in [16 * 1024u64, 256 * 1024] {
+            let err = synthesize_and_verify(&dag, mem, 11);
+            assert!(err < 1e-6, "mem {mem}: max error {err:e}");
+        }
+    }
+}
+
+#[test]
+fn oracle_differential_is_stable_across_input_seeds() {
+    // same plan, several input draws: the verification is not an
+    // artifact of one lucky seed
+    let dag = small_network();
+    let config = SynthesisConfig::test_scale(48 * 1024)
+        .seed(3)
+        .budget(60_000);
+    let r = synthesize_network(&dag, &config).expect("synthesis");
+    for input_seed in [1u64, 17, 404, 9999] {
+        let inputs = seeded_network_inputs(&dag, input_seed);
+        let err = verify_network_plan(&dag, &r.plan, &inputs, 1e-6)
+            .unwrap_or_else(|e| panic!("input seed {input_seed}: {e}"));
+        assert!(err < 1e-6, "input seed {input_seed}: max error {err:e}");
+    }
+}
+
+// --- golden-plan snapshots ------------------------------------------------
+
+/// The three representative networks the golden suite pins.
+fn golden_cases() -> Vec<(&'static str, ContractionDag, u64)> {
+    vec![
+        ("small_chain", small_network(), 48 * 1024),
+        ("diamond", diamond_network(), 48 * 1024),
+        (
+            "generated_3node",
+            gen_network(&NetworkGenConfig {
+                seed: 42,
+                nodes: 3,
+                min_extent: 8,
+                max_extent: 20,
+                ..NetworkGenConfig::default()
+            }),
+            32 * 1024,
+        ),
+    ]
+}
+
+/// Renders the snapshot: the network's canonical DSL form plus the
+/// synthesized plan (tiles and placements).
+fn render_snapshot(dag: &ContractionDag, mem: u64) -> String {
+    let config = SynthesisConfig::test_scale(mem).seed(2004).budget(60_000);
+    let r = synthesize_network(dag, &config).expect("feasible synthesis");
+    let mut s = String::new();
+    writeln!(s, "# network (mem_limit = {mem} bytes, test scale)").unwrap();
+    write!(s, "{}", to_network_dsl(dag)).unwrap();
+    writeln!(s, "# synthesized plan").unwrap();
+    writeln!(s, "{}", r.plan).unwrap();
+    s
+}
+
+#[test]
+fn golden_plans_are_pinned() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for (name, dag, mem) in golden_cases() {
+        let got = render_snapshot(&dag, mem);
+
+        // the DSL section must reparse to the same network (snapshot
+        // self-check, independent of the stored file)
+        let dsl: String = got
+            .lines()
+            .skip(1)
+            .take_while(|l| !l.starts_with("# synthesized plan"))
+            .fold(String::new(), |mut a, l| {
+                a.push_str(l);
+                a.push('\n');
+                a
+            });
+        let reparsed = parse_network(&dsl).expect("snapshot DSL reparses");
+        assert_eq!(to_network_dsl(&reparsed), dsl, "{name}: DSL not canonical");
+
+        let path = root.join(format!("network_{name}.txt"));
+        if update {
+            std::fs::create_dir_all(&root).expect("golden dir");
+            std::fs::write(&path, &got).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing golden snapshot {} ({e}); \
+                 run UPDATE_GOLDEN=1 cargo test --test sparse_networks",
+                path.display()
+            )
+        });
+        assert_eq!(
+            got, want,
+            "{name}: synthesized plan drifted from the golden snapshot; if the \
+             cost model changed on purpose, regenerate with UPDATE_GOLDEN=1"
+        );
+    }
+}
