@@ -216,7 +216,7 @@ fn daemon_loopback(jobs: &[JobSpec]) -> DaemonRow {
                     assert!(report.ok, "bench job failed: {:?}", report.error);
                     seen += 1;
                 }
-                WireFrame::Rejected { id, reason } => panic!("job {id} rejected: {reason}"),
+                WireFrame::Rejected { id, reason, .. } => panic!("job {id} rejected: {reason}"),
                 other => panic!("unexpected frame {other:?}"),
             }
         }

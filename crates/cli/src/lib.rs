@@ -77,6 +77,12 @@
 //!                         with `overloaded` (default: unlimited)
 //! --idle-timeout <secs>   (serve) evict daemon connections that sit
 //!                         idle between frames this long (default: never)
+//! --read-timeout <secs>   (serve) evict daemon connections stuck
+//!                         mid-frame this long — the slow-loris guard
+//!                         (default 30)
+//! --write-timeout <secs>  (serve) disconnect daemon clients that stall
+//!                         a response write this long; their queued jobs
+//!                         still run and journal (default 10)
 //! --net-faults <spec>     (serve) seeded network fault injection on
 //!                         daemon connections, e.g.
 //!                         `seed=7,p=0.05,kind=reset,stall_ms=40`
@@ -190,6 +196,10 @@ pub struct ServeOptions {
     pub max_conns: usize,
     /// Idle deadline for daemon connections, in seconds.
     pub idle_timeout: Option<f64>,
+    /// Mid-frame read deadline for daemon connections, in seconds.
+    pub read_timeout: Option<f64>,
+    /// Response-write deadline for daemon connections, in seconds.
+    pub write_timeout: Option<f64>,
     /// Seeded network fault plan for daemon connections.
     pub net_faults: Option<tce_serve::NetFaultPlan>,
 }
@@ -226,6 +236,12 @@ impl ServeOptions {
         }
         if let Some(secs) = self.idle_timeout {
             b = b.idle_timeout(Some(std::time::Duration::from_secs_f64(secs)));
+        }
+        if let Some(secs) = self.read_timeout {
+            b = b.frame_timeout(Some(std::time::Duration::from_secs_f64(secs)));
+        }
+        if let Some(secs) = self.write_timeout {
+            b = b.write_timeout(Some(std::time::Duration::from_secs_f64(secs)));
         }
         if let Some(plan) = &self.net_faults {
             b = b.net_faults(plan.clone());
@@ -654,6 +670,24 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 }
                 cli.serve.idle_timeout = Some(secs);
             }
+            "--read-timeout" => {
+                let secs: f64 = value("--read-timeout")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--read-timeout needs seconds"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(CliError::usage("--read-timeout must be positive"));
+                }
+                cli.serve.read_timeout = Some(secs);
+            }
+            "--write-timeout" => {
+                let secs: f64 = value("--write-timeout")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--write-timeout needs seconds"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(CliError::usage("--write-timeout must be positive"));
+                }
+                cli.serve.write_timeout = Some(secs);
+            }
             "--net-faults" => {
                 cli.serve.net_faults = Some(
                     tce_serve::NetFaultPlan::parse(&value("--net-faults")?)
@@ -750,6 +784,16 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     "--idle-timeout only applies to --listen mode",
                 ));
             }
+            if cli.serve.read_timeout.is_some() {
+                return Err(CliError::usage(
+                    "--read-timeout only applies to --listen mode",
+                ));
+            }
+            if cli.serve.write_timeout.is_some() {
+                return Err(CliError::usage(
+                    "--write-timeout only applies to --listen mode",
+                ));
+            }
             if cli.serve.net_faults.is_some() {
                 return Err(CliError::usage(
                     "--net-faults only applies to --listen mode",
@@ -759,8 +803,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     } else if cli.serve.any_set() {
         return Err(CliError::usage(
             "--batch/--stdin/--listen/--queue/--workers/--cache-dir/--job-timeout/\
-             --journal/--resume-journal/--max-conns/--idle-timeout/--net-faults \
-             only apply to `tce serve`",
+             --journal/--resume-journal/--max-conns/--idle-timeout/--read-timeout/\
+             --write-timeout/--net-faults only apply to `tce serve`",
         ));
     }
     Ok(cli)
@@ -1426,6 +1470,28 @@ mod tests {
     }
 
     #[test]
+    fn serve_frame_timeout_flags_are_daemon_only_and_parse() {
+        // daemon-only: rejected in batch/stdin modes and on other commands
+        assert!(parse_args(&args("serve --batch a.json --read-timeout 5")).is_err());
+        assert!(parse_args(&args("serve --stdin --write-timeout 5")).is_err());
+        assert!(parse_args(&args("run f.tce --read-timeout 5")).is_err());
+        // range and syntax validation
+        assert!(parse_args(&args("serve --listen 127.0.0.1:0 --read-timeout 0")).is_err());
+        assert!(parse_args(&args("serve --listen 127.0.0.1:0 --read-timeout nan")).is_err());
+        assert!(parse_args(&args("serve --listen 127.0.0.1:0 --write-timeout -1")).is_err());
+        assert!(parse_args(&args("serve --listen 127.0.0.1:0 --write-timeout inf")).is_err());
+
+        let cli = parse_args(&args(
+            "serve --listen 127.0.0.1:0 --read-timeout 5 --write-timeout 2.5",
+        ))
+        .unwrap();
+        assert_eq!(cli.serve.read_timeout, Some(5.0));
+        assert_eq!(cli.serve.write_timeout, Some(2.5));
+        // the configured server builds without panicking
+        let _ = cli.serve.server();
+    }
+
+    #[test]
     fn listen_mode_serves_over_tcp_and_drains() {
         use std::io::{Read as _, Write as _};
         use std::sync::atomic::{AtomicBool, Ordering};
@@ -1678,8 +1744,17 @@ mod tests {
     #[test]
     fn network_misuse_is_reported_as_usage() {
         let file = write_network_fixture();
+        // `tce run` cannot execute a network: a structured Usage error
+        // (exit 2) that points the user at the supported path
         let run = parse_args(&args(&format!("run {file} --full"))).unwrap();
-        assert_eq!(run_cli(&run).unwrap_err().kind, CliErrorKind::Usage);
+        let err = run_cli(&run).unwrap_err();
+        assert_eq!(err.kind, CliErrorKind::Usage);
+        assert_eq!(err.exit_code(), 2);
+        assert!(
+            err.message.contains("synthesize") && err.message.contains("--verify"),
+            "error should point at `synthesize --verify`: {}",
+            err.message
+        );
         let baseline =
             parse_args(&args(&format!("synthesize {file} --baseline --test-scale"))).unwrap();
         assert_eq!(run_cli(&baseline).unwrap_err().kind, CliErrorKind::Usage);

@@ -15,13 +15,24 @@
 //! after a lost response frame never double-solves. This is the
 //! client-side half of the at-most-once-execution contract; the tests
 //! in `tests/serve_overload.rs` pin it.
+//!
+//! **Cancellation** is first-class: [`Client::submit_nowait`] sends a
+//! job and returns its request id without blocking, [`Client::cancel`]
+//! revokes that id (the daemon acks with an outcome —
+//! `"queued"`/`"running"`/`"detached"`/`"unknown"`), and
+//! [`Client::submit_within`] bounds the whole wait client-side,
+//! canceling the job when the budget expires instead of abandoning it
+//! on the daemon. Responses for other in-flight ids that arrive while
+//! waiting are stashed and replayed by [`Client::await_report`].
 
 use crate::job::{JobReport, JobSpec};
-use crate::proto::{self, JobRequest, ServeStats, WireFrame};
+use crate::proto::{self, FrameDecoder, JobRequest, ServeStats, WireFrame};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::io::Read;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Retry policy for [`Client`]: the DRA `RetryPolicy` shape applied to
 /// wall-clock waits.
@@ -87,6 +98,13 @@ pub enum ClientError {
     Protocol(String),
     /// The daemon is draining; no new work will be admitted.
     Draining,
+    /// The job's deadline budget was already consumed by its queue wait
+    /// and the daemon shed it without solving; `retry_after_ms` is the
+    /// daemon's estimate of when the backlog clears.
+    DeadlineUnmeetable {
+        /// Backoff hint from the daemon, milliseconds.
+        retry_after_ms: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -96,6 +114,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Rejected(reason) => write!(f, "rejected: {reason}"),
             ClientError::Protocol(reason) => write!(f, "protocol error: {reason}"),
             ClientError::Draining => write!(f, "server is shutting down"),
+            ClientError::DeadlineUnmeetable { retry_after_ms } => match retry_after_ms {
+                Some(ms) => write!(f, "deadline unmeetable (retry after ~{ms}ms)"),
+                None => write!(f, "deadline unmeetable"),
+            },
         }
     }
 }
@@ -108,9 +130,36 @@ pub struct Client {
     retry: ClientRetry,
     rng: StdRng,
     stream: Option<TcpStream>,
+    /// Reassembles frames from raw reads, so a timed-out wait never
+    /// tears a partially received frame (the bytes stay buffered here).
+    decoder: FrameDecoder,
+    /// Terminal responses for ids other than the one being awaited,
+    /// replayed by [`Client::await_report`].
+    pending: HashMap<u64, PendingEnd>,
     next_id: u64,
     reconnects: u64,
     retries: u64,
+}
+
+/// A stashed terminal response for a not-currently-awaited id.
+enum PendingEnd {
+    Report(JobReport),
+    Rejected {
+        reason: String,
+        retry_after_ms: Option<u64>,
+    },
+}
+
+/// One step of the buffered frame reader.
+enum ReadStep {
+    Frame(WireFrame),
+    /// The server closed the connection.
+    Eof,
+    /// The caller's deadline passed before a full frame arrived.
+    TimedOut,
+    Io(String),
+    /// The decoder rejected the stream (oversized/torn frame).
+    Bad(String),
 }
 
 impl Client {
@@ -123,6 +172,8 @@ impl Client {
             retry,
             rng,
             stream: None,
+            decoder: FrameDecoder::new(),
+            pending: HashMap::new(),
             next_id: 1,
             reconnects: 0,
             retries: 0,
@@ -160,6 +211,67 @@ impl Client {
 
     fn drop_stream(&mut self) {
         self.stream = None;
+        // partial bytes from the dead connection must not prefix the
+        // next connection's frames
+        self.decoder = FrameDecoder::new();
+    }
+
+    /// Reads until one full frame is decoded, EOF, an error, or
+    /// `deadline` passes. Timed-out reads are safe: partially received
+    /// frames stay buffered in the decoder.
+    fn read_next(&mut self, deadline: Option<Instant>) -> ReadStep {
+        let mut buf = [0u8; 8192];
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => return ReadStep::Frame(frame),
+                Ok(None) => {}
+                Err(reason) => return ReadStep::Bad(reason),
+            }
+            let Some(stream) = self.stream.as_mut() else {
+                return ReadStep::Io("no connection".to_string());
+            };
+            let timeout = match deadline {
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        return ReadStep::TimedOut;
+                    }
+                    Some((at - now).min(Duration::from_millis(200)))
+                }
+                None => None,
+            };
+            if stream.set_read_timeout(timeout).is_err() {
+                return ReadStep::Io("cannot arm read timeout".to_string());
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => return ReadStep::Eof,
+                Ok(n) => self.decoder.extend(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return ReadStep::Io(format!("read: {e}")),
+            }
+        }
+    }
+
+    /// Converts a stashed terminal response into the public result.
+    fn take_pending(&mut self, id: u64) -> Option<Result<JobReport, ClientError>> {
+        self.pending.remove(&id).map(|end| match end {
+            PendingEnd::Report(report) => Ok(report),
+            PendingEnd::Rejected {
+                reason,
+                retry_after_ms,
+            } => Err(match reason.as_str() {
+                "shutting_down" => ClientError::Draining,
+                "deadline_unmeetable" => ClientError::DeadlineUnmeetable { retry_after_ms },
+                _ => ClientError::Rejected(reason),
+            }),
+        })
     }
 
     fn ensure_stream(&mut self) -> Result<&mut TcpStream, String> {
@@ -219,15 +331,15 @@ impl Client {
     /// retry / give up) arrives.
     fn await_response(&mut self, id: u64) -> Result<Response, ClientError> {
         loop {
-            let next = {
-                let stream = self.stream.as_mut().expect("awaiting on a live stream");
-                proto::read_frame(stream)
-            };
-            match next {
-                Ok(Some(WireFrame::Report { id: rid, report })) if rid == id => {
+            match self.read_next(None) {
+                ReadStep::Frame(WireFrame::Report { id: rid, report }) if rid == id => {
                     return Ok(Response::Report(report));
                 }
-                Ok(Some(WireFrame::Rejected { id: rid, reason })) if rid == id || rid == 0 => {
+                ReadStep::Frame(WireFrame::Rejected {
+                    id: rid,
+                    reason,
+                    retry_after_ms,
+                }) if rid == id || rid == 0 => {
                     // id 0 is the accept-time `overloaded` refusal: the
                     // server closes right after it, so reconnect
                     if rid == 0 {
@@ -239,23 +351,211 @@ impl Client {
                     if reason == "shutting_down" {
                         return Err(ClientError::Draining);
                     }
+                    if reason == "deadline_unmeetable" {
+                        return Err(ClientError::DeadlineUnmeetable { retry_after_ms });
+                    }
                     return Err(ClientError::Rejected(reason));
                 }
-                Ok(Some(WireFrame::ShuttingDown)) => return Err(ClientError::Draining),
-                Ok(Some(WireFrame::ProtocolError { reason })) => {
+                // responses for other in-flight ids are stashed for
+                // their own `await_report`, not dropped
+                ReadStep::Frame(WireFrame::Report { id: rid, report }) => {
+                    self.pending.insert(rid, PendingEnd::Report(report));
+                }
+                ReadStep::Frame(WireFrame::Rejected {
+                    id: rid,
+                    reason,
+                    retry_after_ms,
+                }) => {
+                    self.pending.insert(
+                        rid,
+                        PendingEnd::Rejected {
+                            reason,
+                            retry_after_ms,
+                        },
+                    );
+                }
+                ReadStep::Frame(WireFrame::ShuttingDown) => return Err(ClientError::Draining),
+                ReadStep::Frame(WireFrame::ProtocolError { reason }) => {
                     self.drop_stream();
                     return Err(ClientError::Protocol(reason));
                 }
-                // stale reports (an earlier attempt's id) and stats
-                // frames are skipped, not errors
-                Ok(Some(_)) => continue,
-                Ok(None) => {
+                // stray acks and stats frames are skipped, not errors
+                ReadStep::Frame(_) | ReadStep::TimedOut => continue,
+                ReadStep::Eof => {
                     self.drop_stream();
                     return Ok(Response::ConnLost("server closed the connection".into()));
                 }
-                Err(e) => {
+                ReadStep::Io(e) => {
                     self.drop_stream();
                     return Ok(Response::ConnLost(e));
+                }
+                ReadStep::Bad(reason) => {
+                    self.drop_stream();
+                    return Err(ClientError::Protocol(format!("bad frame: {reason}")));
+                }
+            }
+        }
+    }
+
+    /// Sends one job without waiting for its response and returns the
+    /// request id for [`Client::await_report`] / [`Client::cancel`].
+    /// Unlike [`Client::submit`] there is no retry: a transport failure
+    /// surfaces immediately (resending around a cancel would be
+    /// ambiguous).
+    pub fn submit_nowait(&mut self, spec: &JobSpec) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = WireFrame::Job(JobRequest {
+            id,
+            spec: spec.clone(),
+        });
+        let sent = {
+            let stream = self.ensure_stream().map_err(ClientError::Io)?;
+            proto::write_frame(stream, &frame)
+        };
+        if let Err(e) = sent {
+            self.drop_stream();
+            return Err(ClientError::Io(format!("send: {e}")));
+        }
+        Ok(id)
+    }
+
+    /// Cancels a previously submitted job and blocks for the daemon's
+    /// acknowledgement, returning its outcome: `"queued"` (dequeued
+    /// before any worker started it), `"running"` (the solve will stop
+    /// at its next segment boundary), `"detached"` (this job released
+    /// its interest; other waiters keep the shared solve alive), or
+    /// `"unknown"` (no such in-flight job). For the first three a
+    /// terminal — normally `canceled` — report still follows; collect
+    /// it with [`Client::await_report`].
+    pub fn cancel(&mut self, id: u64) -> Result<String, ClientError> {
+        let sent = {
+            let stream = self.ensure_stream().map_err(ClientError::Io)?;
+            proto::write_frame(stream, &WireFrame::Cancel { id })
+        };
+        if let Err(e) = sent {
+            self.drop_stream();
+            return Err(ClientError::Io(format!("send: {e}")));
+        }
+        loop {
+            match self.read_next(None) {
+                ReadStep::Frame(WireFrame::CancelAck { id: rid, outcome }) if rid == id => {
+                    return Ok(outcome);
+                }
+                ReadStep::Frame(WireFrame::Report { id: rid, report }) => {
+                    self.pending.insert(rid, PendingEnd::Report(report));
+                }
+                ReadStep::Frame(WireFrame::Rejected {
+                    id: rid,
+                    reason,
+                    retry_after_ms,
+                }) if rid != 0 => {
+                    self.pending.insert(
+                        rid,
+                        PendingEnd::Rejected {
+                            reason,
+                            retry_after_ms,
+                        },
+                    );
+                }
+                ReadStep::Frame(WireFrame::ShuttingDown) => return Err(ClientError::Draining),
+                ReadStep::Frame(WireFrame::ProtocolError { reason }) => {
+                    self.drop_stream();
+                    return Err(ClientError::Protocol(reason));
+                }
+                ReadStep::Frame(_) | ReadStep::TimedOut => continue,
+                ReadStep::Eof => {
+                    self.drop_stream();
+                    return Err(ClientError::Io("server closed the connection".into()));
+                }
+                ReadStep::Io(e) => {
+                    self.drop_stream();
+                    return Err(ClientError::Io(e));
+                }
+                ReadStep::Bad(reason) => {
+                    self.drop_stream();
+                    return Err(ClientError::Protocol(format!("bad frame: {reason}")));
+                }
+            }
+        }
+    }
+
+    /// Blocks until job `id`'s terminal response (stashed responses are
+    /// replayed first).
+    pub fn await_report(&mut self, id: u64) -> Result<JobReport, ClientError> {
+        self.wait_terminal(id, None)
+            .map(|r| r.expect("no deadline was armed"))
+    }
+
+    /// Submits a job and waits at most `budget` for its report; when
+    /// the budget expires the job is canceled on the daemon and the
+    /// (normally `canceled`) terminal report is awaited — nothing is
+    /// silently abandoned server-side.
+    pub fn submit_within(
+        &mut self,
+        spec: &JobSpec,
+        budget: Duration,
+    ) -> Result<JobReport, ClientError> {
+        let id = self.submit_nowait(spec)?;
+        match self.wait_terminal(id, Some(Instant::now() + budget))? {
+            Some(report) => Ok(report),
+            None => {
+                self.cancel(id)?;
+                self.await_report(id)
+            }
+        }
+    }
+
+    /// Waits for `id`'s terminal response; `Ok(None)` means `deadline`
+    /// passed first.
+    fn wait_terminal(
+        &mut self,
+        id: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Option<JobReport>, ClientError> {
+        loop {
+            if let Some(end) = self.take_pending(id) {
+                return end.map(Some);
+            }
+            match self.read_next(deadline) {
+                ReadStep::Frame(WireFrame::Report { id: rid, report }) => {
+                    self.pending.insert(rid, PendingEnd::Report(report));
+                }
+                ReadStep::Frame(WireFrame::Rejected {
+                    id: rid,
+                    reason,
+                    retry_after_ms,
+                }) => {
+                    if rid == 0 {
+                        self.drop_stream();
+                        return Err(ClientError::Rejected(reason));
+                    }
+                    self.pending.insert(
+                        rid,
+                        PendingEnd::Rejected {
+                            reason,
+                            retry_after_ms,
+                        },
+                    );
+                }
+                ReadStep::Frame(WireFrame::ShuttingDown) => return Err(ClientError::Draining),
+                ReadStep::Frame(WireFrame::ProtocolError { reason }) => {
+                    self.drop_stream();
+                    return Err(ClientError::Protocol(reason));
+                }
+                ReadStep::Frame(_) => {}
+                ReadStep::TimedOut => return Ok(None),
+                ReadStep::Eof => {
+                    self.drop_stream();
+                    return Err(ClientError::Io("server closed the connection".into()));
+                }
+                ReadStep::Io(e) => {
+                    self.drop_stream();
+                    return Err(ClientError::Io(e));
+                }
+                ReadStep::Bad(reason) => {
+                    self.drop_stream();
+                    return Err(ClientError::Protocol(format!("bad frame: {reason}")));
                 }
             }
         }
@@ -282,29 +582,29 @@ impl Client {
                 continue;
             }
             loop {
-                let next = {
-                    let stream = self.stream.as_mut().expect("awaiting on a live stream");
-                    proto::read_frame(stream)
-                };
-                match next {
-                    Ok(Some(WireFrame::StatsReport(stats))) => return Ok(stats),
-                    Ok(Some(WireFrame::ShuttingDown)) => return Err(ClientError::Draining),
-                    Ok(Some(WireFrame::ProtocolError { reason })) => {
+                match self.read_next(None) {
+                    ReadStep::Frame(WireFrame::StatsReport(stats)) => return Ok(stats),
+                    ReadStep::Frame(WireFrame::ShuttingDown) => return Err(ClientError::Draining),
+                    ReadStep::Frame(WireFrame::ProtocolError { reason }) => {
                         self.drop_stream();
                         return Err(ClientError::Protocol(reason));
                     }
-                    Ok(Some(WireFrame::Rejected { id: 0, .. })) => {
+                    ReadStep::Frame(WireFrame::Rejected { id: 0, .. }) => {
                         self.drop_stream();
                         last_err = "rejected: overloaded".into();
                         break;
                     }
-                    Ok(Some(_)) => continue, // in-flight reports
-                    Ok(None) => {
+                    // in-flight reports for pending ids are stashed
+                    ReadStep::Frame(WireFrame::Report { id: rid, report }) => {
+                        self.pending.insert(rid, PendingEnd::Report(report));
+                    }
+                    ReadStep::Frame(_) | ReadStep::TimedOut => continue,
+                    ReadStep::Eof => {
                         self.drop_stream();
                         last_err = "server closed the connection".into();
                         break;
                     }
-                    Err(e) => {
+                    ReadStep::Io(e) | ReadStep::Bad(e) => {
                         self.drop_stream();
                         last_err = e;
                         break;
@@ -327,17 +627,13 @@ impl Client {
             return Err(ClientError::Io(format!("send: {e}")));
         }
         loop {
-            let next = {
-                let stream = self.stream.as_mut().expect("awaiting on a live stream");
-                proto::read_frame(stream)
-            };
-            match next {
-                Ok(Some(WireFrame::ShuttingDown)) | Ok(None) => {
+            match self.read_next(None) {
+                ReadStep::Frame(WireFrame::ShuttingDown) | ReadStep::Eof => {
                     self.drop_stream();
                     return Ok(());
                 }
-                Ok(Some(_)) => continue, // drain-time reports
-                Err(e) => {
+                ReadStep::Frame(_) | ReadStep::TimedOut => continue, // drain-time reports
+                ReadStep::Io(e) | ReadStep::Bad(e) => {
                     self.drop_stream();
                     return Err(ClientError::Io(e));
                 }

@@ -314,6 +314,20 @@ impl JobReport {
         }
     }
 
+    /// The canonical report for an explicitly canceled job. One
+    /// constructor on purpose: the live cancel path and journal-replay
+    /// recovery must produce the same deterministic outcome projection
+    /// (only `queue_wait_s` may differ, and the projection excludes it).
+    pub fn canceled(name: &str, fingerprint: &str, queue_wait_s: f64) -> JobReport {
+        JobReport::failed(
+            name,
+            fingerprint,
+            "canceled by client".to_string(),
+            queue_wait_s,
+        )
+        .kind("canceled")
+    }
+
     /// Tags a failure report with its machine-readable class.
     pub fn kind(mut self, kind: &str) -> JobReport {
         self.error_kind = Some(kind.to_string());

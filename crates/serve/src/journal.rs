@@ -28,7 +28,7 @@
 use crate::job::{batch_digest, spec_digest, JobReport, JobSpec};
 use parking_lot::Mutex;
 use serde::{Deserialize, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +56,13 @@ pub struct JournalState {
     /// Reports of jobs that finished before the crash, by submission
     /// index — reused verbatim on resume.
     pub done: HashMap<usize, JobReport>,
+    /// Jobs a `cancel` line proved were canceled. On resume a canceled
+    /// job without a `done` record is *not* re-run — its canceled report
+    /// is reproduced deterministically instead ([`JobReport::canceled`]).
+    /// A `done` record, when present, wins: it means the job reached a
+    /// terminal report before the crash (the cancel lost the race with
+    /// completion, or the cancel's own report was journaled as `done`).
+    pub canceled: HashSet<usize>,
     /// Lines that failed to parse (the torn tail of a crash, or an
     /// injected fault's damage) and were skipped.
     pub skipped_lines: u64,
@@ -122,6 +129,12 @@ pub fn replay(path: &Path) -> JournalState {
                     _ => state.skipped_lines += 1,
                 }
             }
+            Some(Value::Str(ev)) if ev == "cancel" => match u64_field(&v, "job") {
+                Some(idx) => {
+                    state.canceled.insert(idx as usize);
+                }
+                None => state.skipped_lines += 1,
+            },
             // admit/start lines carry no resume obligations: a started
             // but unfinished job simply re-runs
             Some(Value::Str(_)) => {}
@@ -251,6 +264,16 @@ impl JournalWriter {
             ("job".to_string(), Value::UInt(idx as u64)),
             ("name".to_string(), Value::Str(spec.name.clone())),
             ("digest".to_string(), Value::UInt(spec_digest(spec))),
+        ]));
+    }
+
+    /// Appends a cancellation line: the job will never produce a solve,
+    /// only a `canceled` report. Written *before* the canceled report is
+    /// sent, so a crash between the two resumes to the same outcome.
+    pub fn cancel(&self, idx: usize) {
+        self.append(&Value::Map(vec![
+            ("ev".to_string(), Value::Str("cancel".to_string())),
+            ("job".to_string(), Value::UInt(idx as u64)),
         ]));
     }
 
@@ -391,6 +414,32 @@ mod tests {
         let state = replay(&path);
         assert_eq!(state.specs.len(), 2);
         assert_eq!(state.skipped_lines, 1);
+    }
+
+    #[test]
+    fn cancel_lines_replay_as_terminal_without_a_done_record() {
+        let path = temp_journal("cancel");
+        let jobs = [spec("a"), spec("b"), spec("c")];
+        let w = JournalWriter::open(&path, true, None).unwrap();
+        w.serve_header();
+        for (i, s) in jobs.iter().enumerate() {
+            w.admit_spec(i, s);
+        }
+        // job 0: canceled while queued, its canceled report journaled too
+        w.cancel(0);
+        w.done(0, &JobReport::canceled("a", "", 0.2));
+        // job 1: cancel journaled, crash before the report made it out
+        w.cancel(1);
+        drop(w);
+
+        let state = replay(&path);
+        assert_eq!(state.canceled, HashSet::from([0, 1]));
+        assert_eq!(state.done.len(), 1, "job 1's report was lost to the crash");
+        let rep = &state.done[&0];
+        assert!(!rep.ok);
+        assert_eq!(rep.error_kind.as_deref(), Some("canceled"));
+        // job 2 carries no cancel: a resume must re-run it
+        assert!(!state.canceled.contains(&2));
     }
 
     #[test]

@@ -30,8 +30,12 @@
 //! seeded exponential backoff — safe because resent jobs dedup on their
 //! canonical fingerprint instead of double-solving.
 //!
-//! The free functions [`run_batch`], [`run_lines`] and friends are the
-//! pre-daemon API, kept as deprecated shims over the same engine.
+//! Cancellation is *first-class* (`DESIGN.md` §19): clients retract jobs
+//! with a `cancel` wire frame, queued jobs are dequeued before any solve
+//! starts, running jobs trip their solve's [`CancelToken`] — but only
+//! when the *last* interested duplicate cancels ([`service::JobCancel`],
+//! [`Flight::drop_interest`]) — and `cancel` journal events replay to
+//! bit-identical canceled outcomes after a crash.
 
 #![warn(missing_docs)]
 
@@ -58,10 +62,9 @@ pub use proto::{
 pub use server::{
     Server, ServerBuilder, DEFAULT_FRAME_TIMEOUT, DEFAULT_QUEUE_CAP, DEFAULT_WRITE_TIMEOUT,
 };
-#[allow(deprecated)]
-pub use service::{run_batch, run_batch_with, run_lines, run_lines_with};
-pub use service::{BatchOptions, JournalConfig, LEADER_RETRY_BUDGET};
+pub use service::{BatchOptions, JobCancel, JournalConfig, LEADER_RETRY_BUDGET};
 pub use supervise::{Flight, FlightEnd, FlightGuard, Role, SingleFlight};
+pub use tce_solver::CancelToken;
 
 #[cfg(test)]
 mod tests {
@@ -171,22 +174,6 @@ mod tests {
         assert_eq!(out.trim_end().lines().count(), 3);
         assert!(out.contains("\"fingerprint\""));
         assert!(out.contains("\"solver_wall_saved_s\""));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_free_functions_still_run_the_engine() {
-        // PR-5 era callers keep compiling and get the same engine
-        let jobs = vec![job("shim", 64, 48)];
-        let cache = SynthesisCache::in_memory();
-        let report = run_batch(&jobs, 1, &cache);
-        assert_eq!(report.summary.ok, 1);
-        let opts = BatchOptions {
-            workers: 1,
-            ..BatchOptions::default()
-        };
-        let report = run_batch_with(&jobs, &opts, &cache).expect("shim");
-        assert_eq!(report.summary.hits, 1, "same cache, now a warm hit");
     }
 
     /// A solver stub that panics on its first `n` calls, then behaves.

@@ -10,14 +10,27 @@
 //! complete frames, so read timeouts can never desynchronize the
 //! stream.
 //!
-//! Client → server: [`WireFrame::Job`], [`WireFrame::Stats`],
-//! [`WireFrame::Shutdown`]. Server → client: [`WireFrame::Report`],
-//! [`WireFrame::Rejected`] (admission control — `queue_full` when the
-//! bounded queue is at capacity, `shutting_down` during drain),
+//! Client → server: [`WireFrame::Job`], [`WireFrame::Cancel`],
+//! [`WireFrame::Stats`], [`WireFrame::Shutdown`]. Server → client:
+//! [`WireFrame::Report`], [`WireFrame::Rejected`] (admission control —
+//! `queue_full` when the bounded queue is at capacity, `shutting_down`
+//! during drain, `deadline_unmeetable` when the queue wait has already
+//! consumed the job's deadline budget), [`WireFrame::CancelAck`],
 //! [`WireFrame::StatsReport`], [`WireFrame::ShuttingDown`], and
 //! [`WireFrame::ProtocolError`]. Reports carry the client's request
 //! `id`, so responses need no ordering guarantee — a client may pipeline
 //! many jobs and match reports by id as they arrive.
+//!
+//! Cancellation is first-class: a [`WireFrame::Cancel`] names a prior
+//! job id on the *same connection*. The server answers exactly one
+//! [`WireFrame::CancelAck`] whose `outcome` says what the cancel
+//! actually did: `"queued"` (job dequeued before any solve started),
+//! `"running"` (the solve's `CancelToken` was tripped; a `canceled`
+//! report follows), `"detached"` (a single-flight follower dropped its
+//! interest; a `canceled` report follows and the leader's solve
+//! continues only while other waiters remain), or `"unknown"` (the id
+//! was never admitted here or already reached a terminal state — the
+//! cancel lost the race with completion).
 
 use crate::job::{JobReport, JobSpec};
 use serde::{Deserialize, Serialize, Value};
@@ -68,6 +81,12 @@ pub struct ServeStats {
     /// Connections forcibly closed by a guard: idle timeout, mid-frame
     /// (slow-loris) timeout, or a slow-consumer write failure.
     pub evicted: u64,
+    /// Jobs canceled by an explicit `cancel` frame or by connection
+    /// teardown before they reached a terminal report.
+    pub canceled: u64,
+    /// Jobs shed at pickup because their queue wait had already consumed
+    /// the deadline budget (`rejected{deadline_unmeetable}`).
+    pub deadline_shed: u64,
     /// Payload bytes read from clients over the daemon's lifetime.
     pub bytes_in: u64,
     /// Frame bytes written to clients over the daemon's lifetime.
@@ -83,6 +102,12 @@ pub struct ServeStats {
 pub enum WireFrame {
     /// Client: run this job.
     Job(JobRequest),
+    /// Client: stop caring about the job with this id (see the module
+    /// docs for the cancellation contract).
+    Cancel {
+        /// Correlation id of the [`WireFrame::Job`] to cancel.
+        id: u64,
+    },
     /// Client: report current daemon telemetry.
     Stats,
     /// Client: drain and shut down.
@@ -94,12 +119,26 @@ pub enum WireFrame {
         /// The job's full report.
         report: JobReport,
     },
-    /// Server: the job with this id was refused at admission.
+    /// Server: the job with this id was refused at admission (or shed
+    /// at pickup, for `deadline_unmeetable`).
     Rejected {
         /// Correlation id from the originating [`WireFrame::Job`].
         id: u64,
-        /// Machine-readable refusal: `queue_full` or `shutting_down`.
+        /// Machine-readable refusal: `queue_full`, `shutting_down`, or
+        /// `deadline_unmeetable`.
         reason: String,
+        /// For load-shedding refusals, the server's estimate of how long
+        /// a client should back off before resubmitting, milliseconds.
+        retry_after_ms: Option<u64>,
+    },
+    /// Server: the answer to a [`WireFrame::Cancel`]; exactly one per
+    /// cancel frame.
+    CancelAck {
+        /// Correlation id from the originating [`WireFrame::Cancel`].
+        id: u64,
+        /// What the cancel did: `queued`, `running`, `detached`, or
+        /// `unknown`.
+        outcome: String,
     },
     /// Server: telemetry snapshot answering a [`WireFrame::Stats`] probe.
     StatsReport(ServeStats),
@@ -127,6 +166,10 @@ impl WireFrame {
                 fields.push(("id".to_string(), Value::UInt(req.id)));
                 fields.push(("spec".to_string(), req.spec.to_value()));
             }
+            WireFrame::Cancel { id } => {
+                tag(&mut fields, "cancel");
+                fields.push(("id".to_string(), Value::UInt(*id)));
+            }
             WireFrame::Stats => tag(&mut fields, "stats"),
             WireFrame::Shutdown => tag(&mut fields, "shutdown"),
             WireFrame::Report { id, report } => {
@@ -134,10 +177,22 @@ impl WireFrame {
                 fields.push(("id".to_string(), Value::UInt(*id)));
                 fields.push(("report".to_string(), report.to_value()));
             }
-            WireFrame::Rejected { id, reason } => {
+            WireFrame::Rejected {
+                id,
+                reason,
+                retry_after_ms,
+            } => {
                 tag(&mut fields, "rejected");
                 fields.push(("id".to_string(), Value::UInt(*id)));
                 fields.push(("reason".to_string(), Value::Str(reason.clone())));
+                if let Some(ms) = retry_after_ms {
+                    fields.push(("retry_after_ms".to_string(), Value::UInt(*ms)));
+                }
+            }
+            WireFrame::CancelAck { id, outcome } => {
+                tag(&mut fields, "cancel_ack");
+                fields.push(("id".to_string(), Value::UInt(*id)));
+                fields.push(("outcome".to_string(), Value::Str(outcome.clone())));
             }
             WireFrame::StatsReport(stats) => {
                 tag(&mut fields, "stats_report");
@@ -178,6 +233,7 @@ impl WireFrame {
                     spec: JobSpec::from_value(spec).map_err(|e| format!("bad job spec: {e}"))?,
                 }))
             }
+            Some(Value::Str(t)) if t == "cancel" => Ok(WireFrame::Cancel { id: id()? }),
             Some(Value::Str(t)) if t == "stats" => Ok(WireFrame::Stats),
             Some(Value::Str(t)) if t == "shutdown" => Ok(WireFrame::Shutdown),
             Some(Value::Str(t)) if t == "report" => {
@@ -191,6 +247,18 @@ impl WireFrame {
             Some(Value::Str(t)) if t == "rejected" => Ok(WireFrame::Rejected {
                 id: id()?,
                 reason: reason()?,
+                retry_after_ms: match v.get("retry_after_ms") {
+                    Some(Value::UInt(n)) => Some(*n),
+                    Some(Value::Int(n)) if *n >= 0 => Some(*n as u64),
+                    _ => None,
+                },
+            }),
+            Some(Value::Str(t)) if t == "cancel_ack" => Ok(WireFrame::CancelAck {
+                id: id()?,
+                outcome: match v.get("outcome") {
+                    Some(Value::Str(s)) => s.clone(),
+                    _ => return Err("cancel_ack frame is missing `outcome`".to_string()),
+                },
             }),
             Some(Value::Str(t)) if t == "stats_report" => {
                 let stats = v
@@ -387,6 +455,7 @@ mod tests {
                 id: 7,
                 spec: spec("wire"),
             }),
+            WireFrame::Cancel { id: 7 },
             WireFrame::Stats,
             WireFrame::Shutdown,
             WireFrame::Report {
@@ -396,6 +465,16 @@ mod tests {
             WireFrame::Rejected {
                 id: 11,
                 reason: "queue_full".to_string(),
+                retry_after_ms: None,
+            },
+            WireFrame::Rejected {
+                id: 12,
+                reason: "deadline_unmeetable".to_string(),
+                retry_after_ms: Some(250),
+            },
+            WireFrame::CancelAck {
+                id: 7,
+                outcome: "queued".to_string(),
             },
             WireFrame::StatsReport(ServeStats {
                 admitted: 5,
@@ -409,6 +488,8 @@ mod tests {
                 conns_total: 3,
                 overloaded: 1,
                 evicted: 2,
+                canceled: 1,
+                deadline_shed: 1,
                 bytes_in: 4096,
                 bytes_out: 8192,
                 frames_in: 7,

@@ -22,19 +22,32 @@
 //!   [`Server::recover_journal`] can rebuild and finish the jobs of a
 //!   killed daemon from the journal alone, merging already-completed
 //!   reports verbatim — the same crash-resume bit-identity contract as
-//!   batch mode.
+//!   batch mode;
+//! * **cancellation** — a [`WireFrame::Cancel`] (or a connection
+//!   teardown) cancels a prior admission by its client id: queued jobs
+//!   are dequeued before any worker can start them, running jobs have
+//!   their [`JobCancel`] handle tripped so the solver stops at its next
+//!   segment boundary, and single-flight followers merely *detach* —
+//!   the shared solve survives while any other waiter remains. Every
+//!   cancel journals a `cancel` record ahead of the canceled report, so
+//!   resume after a crash reaches the same terminal outcome;
+//! * **deadline-aware shedding** — a job whose queue wait has already
+//!   consumed its entire deadline budget is shed at worker pickup with
+//!   a `deadline_unmeetable` [`WireFrame::Rejected`] carrying a
+//!   `retry_after_ms` backoff hint, instead of being solved into a
+//!   report its deadline already invalidated.
 
 use crate::job::{percentile, BatchReport, JobReport, JobSpec, REPORT_SCHEMA};
 use crate::journal::{self, JournalWriter};
 use crate::netfault::{self, NetFaultInjector, NetFaultPlan, ReadOutcome};
 use crate::proto::{self, FrameDecoder, JobRequest, ServeStats, WireFrame};
 use crate::service::{
-    process_job, summarize, BatchOptions, CacheRunner, JobRunner, JournalConfig,
+    process_job, summarize, BatchOptions, CacheRunner, JobCancel, JobRunner, JournalConfig,
     LEADER_RETRY_BUDGET,
 };
 use crate::supervise::SingleFlight;
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::Path;
@@ -351,6 +364,8 @@ impl Server {
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            canceled: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
             latencies: Mutex::new(Vec::new()),
             base_idx: recovered.len(),
             queue_cap: self.config.queue_cap,
@@ -407,14 +422,16 @@ impl Server {
                                 &WireFrame::Rejected {
                                     id: 0,
                                     reason: "overloaded".to_string(),
+                                    retry_after_ms: None,
                                 },
                             );
                             continue;
                         }
                         state.conns_total.fetch_add(1, Ordering::Relaxed);
                         state.conns_open.fetch_add(1, Ordering::Relaxed);
-                        scope
-                            .spawn(move |_| conn_loop(stream, state, writer, guards, net.as_ref()));
+                        scope.spawn(move |_| {
+                            conn_loop(stream, state, writer, guards, net.as_ref(), live)
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(POLL);
@@ -483,7 +500,7 @@ fn recover_state(
         specs.push(spec);
     }
     let pending: Vec<usize> = (0..specs.len())
-        .filter(|idx| !state.done.contains_key(idx))
+        .filter(|idx| !state.done.contains_key(idx) && !state.canceled.contains(idx))
         .collect();
     let rerun_specs: Vec<JobSpec> = pending.iter().map(|&i| specs[i].clone()).collect();
     let rerun_opts = BatchOptions {
@@ -494,9 +511,15 @@ fn recover_state(
     let mut rerun_reports: VecDeque<JobReport> = rerun.jobs.into();
 
     let mut out = Vec::with_capacity(specs.len());
-    for idx in 0..specs.len() {
+    for (idx, spec) in specs.iter().enumerate() {
         match state.done.remove(&idx) {
             Some(report) => out.push((report, true)),
+            // a `cancel` record without a `done` is terminal: the job
+            // must never re-run; resume synthesizes the same canonical
+            // canceled report the live daemon would have sent
+            None if state.canceled.contains(&idx) => {
+                out.push((JobReport::canceled(&spec.name, "", 0.0), true))
+            }
             None => out.push((
                 rerun_reports
                     .pop_front()
@@ -518,6 +541,12 @@ struct DaemonState {
     admitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
+    /// Jobs canceled by an explicit `cancel` frame or a connection
+    /// teardown.
+    canceled: AtomicU64,
+    /// Jobs shed at worker pickup because their queue wait had already
+    /// consumed their deadline budget.
+    deadline_shed: AtomicU64,
     latencies: Mutex<Vec<f64>>,
     /// First live admission index (recovered jobs occupy `0..base_idx`).
     base_idx: usize,
@@ -548,6 +577,8 @@ impl DaemonState {
             admitted: self.admitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            canceled: self.canceled.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
             queue_depth: self.queue.lock().len() as u64,
             workers: self.workers,
             p50_s: percentile(&latencies, 50.0),
@@ -561,6 +592,18 @@ impl DaemonState {
             frames_in: self.frames_in.load(Ordering::Relaxed),
             frames_out: self.frames_out.load(Ordering::Relaxed),
         }
+    }
+
+    /// Backoff hint for a `deadline_unmeetable` shed: roughly how long
+    /// until the current backlog clears (queue waves × p50 latency),
+    /// clamped to a sane band so the hint is always actionable.
+    fn retry_after_ms(&self) -> u64 {
+        let mut latencies = self.latencies.lock().clone();
+        latencies.sort_by(f64::total_cmp);
+        let p50 = percentile(&latencies, 50.0).max(0.005);
+        let depth = self.queue.lock().len() as f64;
+        let waves = (depth / self.workers.max(1) as f64).ceil().max(1.0);
+        ((waves * p50 * 1000.0) as u64).clamp(10, 5_000)
     }
 
     fn register_conn(&self, conn: &Arc<ConnWriter>) {
@@ -592,6 +635,9 @@ struct QueuedJob {
     spec: JobSpec,
     conn: Arc<ConnWriter>,
     enqueued: Instant,
+    /// Admission-time cancel handle, shared with the connection's
+    /// cancel registry.
+    cancel: JobCancel,
 }
 
 /// The write half of one client connection, shared between its reader
@@ -606,6 +652,12 @@ struct ConnWriter {
     /// Per-connection delivery accounting.
     bytes_out: AtomicU64,
     frames_out: AtomicU64,
+    /// Cancel registry: this connection's admitted, not-yet-terminal
+    /// jobs by client id. Cancel decisions (trip + journal `cancel`)
+    /// and the worker's terminal-report decision are both taken under
+    /// this lock, so a `cancel` record and a non-canceled `done` can
+    /// never both be written for one job.
+    inflight: Mutex<HashMap<u64, (usize, JobCancel)>>,
 }
 
 /// What one best-effort frame send did.
@@ -712,11 +764,102 @@ fn worker_loop(
             }
         };
         let Some(job) = job else { return };
+        let wait = job.enqueued.elapsed();
+        let queue_wait_s = wait.as_secs_f64();
+        // deadline-aware admission: a job whose queue wait has already
+        // consumed its entire deadline budget cannot meet its deadline
+        // any more — shed it with an explicit rejection the client can
+        // back off from, instead of solving into a dead report
+        let budget = job
+            .spec
+            .timeout_ms
+            .map(Duration::from_millis)
+            .or(opts.job_timeout);
+        if job.cancel.is_canceled() || budget.is_some_and(|b| wait >= b) {
+            // terminal without ever starting: canceled while queued
+            // (popped before the cancel path could dequeue it) or shed.
+            // The decision is taken under the registry lock so a cancel
+            // frame cannot interleave with the journal write.
+            let canceled = {
+                let mut inflight = job.conn.inflight.lock();
+                if inflight
+                    .get(&job.id)
+                    .is_some_and(|(_, h)| h.same(&job.cancel))
+                {
+                    inflight.remove(&job.id);
+                }
+                job.cancel.is_canceled()
+            };
+            let report = if canceled {
+                JobReport::canceled(&job.spec.name, "", queue_wait_s)
+            } else {
+                JobReport::failed(
+                    &job.spec.name,
+                    "",
+                    "deadline budget consumed while queued".to_string(),
+                    queue_wait_s,
+                )
+                .kind("deadline_exceeded")
+            };
+            if let Some(w) = writer {
+                w.done(job.idx, &report);
+            }
+            state.completed.fetch_add(1, Ordering::Relaxed);
+            if canceled {
+                send_tracked(
+                    state,
+                    &job.conn,
+                    &WireFrame::Report {
+                        id: job.id,
+                        report: report.clone(),
+                    },
+                );
+            } else {
+                state.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                state.rejected.fetch_add(1, Ordering::Relaxed);
+                send_tracked(
+                    state,
+                    &job.conn,
+                    &WireFrame::Rejected {
+                        id: job.id,
+                        reason: "deadline_unmeetable".to_string(),
+                        retry_after_ms: Some(state.retry_after_ms()),
+                    },
+                );
+            }
+            live.lock().push((job.idx, report));
+            continue;
+        }
         if let Some(w) = writer {
             w.start(job.idx);
         }
-        let queue_wait_s = job.enqueued.elapsed().as_secs_f64();
-        let report = process_job(&job.spec, cache, flights, queue_wait_s, opts, runner);
+        let report = process_job(
+            &job.spec,
+            cache,
+            flights,
+            queue_wait_s,
+            opts,
+            runner,
+            Some(&job.cancel),
+        );
+        // deregister and take the final cancel decision under the same
+        // lock the cancel path trips handles under: once a `cancel`
+        // record is journaled, the `done` record *will* carry the
+        // canonical canceled report, no matter how the solve raced
+        let report = {
+            let mut inflight = job.conn.inflight.lock();
+            if inflight
+                .get(&job.id)
+                .is_some_and(|(_, h)| h.same(&job.cancel))
+            {
+                inflight.remove(&job.id);
+            }
+            if job.cancel.is_canceled() {
+                JobReport::canceled(&job.spec.name, "", queue_wait_s)
+            } else {
+                report
+            }
+        };
         if let Some(w) = writer {
             w.done(job.idx, &report);
         }
@@ -750,6 +893,7 @@ fn conn_loop(
     writer: Option<&JournalWriter>,
     guards: &ConnGuards,
     faults: Option<&Arc<NetFaultInjector>>,
+    live: &Mutex<Vec<(usize, JobReport)>>,
 ) {
     let _ = reader.set_nodelay(true);
     let Ok(write_half) = reader.try_clone() else {
@@ -765,6 +909,7 @@ fn conn_loop(
         faults: faults.cloned(),
         bytes_out: AtomicU64::new(0),
         frames_out: AtomicU64::new(0),
+        inflight: Mutex::new(HashMap::new()),
     });
     state.register_conn(&conn);
     let mut decoder = FrameDecoder::new();
@@ -827,7 +972,7 @@ fn conn_loop(
                     match decoder.next_frame() {
                         Ok(Some(frame)) => {
                             state.frames_in.fetch_add(1, Ordering::Relaxed);
-                            if !handle_frame(frame, state, writer, &conn) {
+                            if !handle_frame(frame, state, writer, &conn, live) {
                                 closed = true;
                                 break;
                             }
@@ -856,6 +1001,19 @@ fn conn_loop(
             Err(_) => break,
         }
     }
+    // connection teardown releases this connection's interest in every
+    // job it still has in flight: queued jobs are dequeued, running
+    // jobs cancel at the solver's next segment boundary, and shared
+    // solves survive while any *other* waiter remains (interest-based
+    // cancel). A drain-induced read close is not a teardown — queued
+    // jobs still complete and deliver on the write half.
+    let teardown = conn.dead.load(Ordering::Relaxed) || !state.draining.load(Ordering::Relaxed);
+    if teardown {
+        let ids: Vec<u64> = conn.inflight.lock().keys().copied().collect();
+        for id in ids {
+            cancel_job(id, state, writer, &conn, live);
+        }
+    }
     state.conns_open.fetch_sub(1, Ordering::Relaxed);
 }
 
@@ -865,10 +1023,23 @@ fn handle_frame(
     state: &DaemonState,
     writer: Option<&JournalWriter>,
     conn: &Arc<ConnWriter>,
+    live: &Mutex<Vec<(usize, JobReport)>>,
 ) -> bool {
     match frame {
         WireFrame::Job(req) => {
             admit(req, state, writer, conn);
+            true
+        }
+        WireFrame::Cancel { id } => {
+            let outcome = cancel_job(id, state, writer, conn, live);
+            send_tracked(
+                state,
+                conn,
+                &WireFrame::CancelAck {
+                    id,
+                    outcome: outcome.to_string(),
+                },
+            );
             true
         }
         WireFrame::Stats => {
@@ -894,6 +1065,7 @@ fn handle_frame(
         // violation
         WireFrame::Report { .. }
         | WireFrame::Rejected { .. }
+        | WireFrame::CancelAck { .. }
         | WireFrame::StatsReport(_)
         | WireFrame::ShuttingDown
         | WireFrame::ProtocolError { .. } => {
@@ -907,6 +1079,84 @@ fn handle_frame(
             false
         }
     }
+}
+
+/// Executes one cancel request against this connection's jobs and
+/// returns the ack outcome:
+///
+/// * `"queued"` — the job was dequeued before any worker touched it; a
+///   `cancel` record and the canonical canceled report are journaled
+///   and the report is sent, so the solve never starts;
+/// * `"running"` — a worker holds the job; its [`JobCancel`] tripped
+///   (the solver stops at its next segment boundary) and the canceled
+///   report follows from the worker;
+/// * `"detached"` — as `"running"`, but other waiters share the solve:
+///   this job detached while the flight itself survives;
+/// * `"unknown"` — no such in-flight job (wrong id, already terminal,
+///   or a repeat cancel of a queued job).
+fn cancel_job(
+    id: u64,
+    state: &DaemonState,
+    writer: Option<&JournalWriter>,
+    conn: &Arc<ConnWriter>,
+    live: &Mutex<Vec<(usize, JobReport)>>,
+) -> &'static str {
+    // queued: remove the job before any worker can start it
+    let queued = {
+        let mut q = state.queue.lock();
+        q.iter()
+            .position(|j| j.id == id && Arc::ptr_eq(&j.conn, conn))
+            .and_then(|pos| q.remove(pos))
+    };
+    if let Some(job) = queued {
+        // marking the handle under the registry lock keeps a concurrent
+        // worker (impossible here — the job never reached one) and
+        // repeat cancels coherent
+        let mut inflight = conn.inflight.lock();
+        job.cancel.cancel();
+        if inflight.get(&id).is_some_and(|(_, h)| h.same(&job.cancel)) {
+            inflight.remove(&id);
+        }
+        if let Some(w) = writer {
+            w.cancel(job.idx);
+        }
+        drop(inflight);
+        let report = JobReport::canceled(&job.spec.name, "", job.enqueued.elapsed().as_secs_f64());
+        if let Some(w) = writer {
+            w.done(job.idx, &report);
+        }
+        state.canceled.fetch_add(1, Ordering::Relaxed);
+        state.completed.fetch_add(1, Ordering::Relaxed);
+        send_tracked(
+            state,
+            conn,
+            &WireFrame::Report {
+                id,
+                report: report.clone(),
+            },
+        );
+        live.lock().push((job.idx, report));
+        return "queued";
+    }
+    // running (or picked up moments ago): trip the handle under the
+    // registry lock, so the `cancel` journal record and the worker's
+    // terminal-report decision cannot interleave
+    let inflight = conn.inflight.lock();
+    if let Some((idx, handle)) = inflight.get(&id).map(|(i, h)| (*i, h.clone())) {
+        let outcome = handle.cancel_outcome();
+        if outcome.is_some() {
+            if let Some(w) = writer {
+                w.cancel(idx);
+            }
+            state.canceled.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(inflight);
+        return match outcome {
+            Some(true) => "detached",
+            _ => "running",
+        };
+    }
+    "unknown"
 }
 
 /// Admission control: journal write-ahead, bounded queue, explicit
@@ -927,6 +1177,7 @@ fn admit(
             &WireFrame::Rejected {
                 id: req.id,
                 reason: "shutting_down".to_string(),
+                retry_after_ms: None,
             },
         );
         return;
@@ -941,6 +1192,7 @@ fn admit(
             &WireFrame::Rejected {
                 id: req.id,
                 reason: "queue_full".to_string(),
+                retry_after_ms: None,
             },
         );
         return;
@@ -952,12 +1204,15 @@ fn admit(
     if let Some(w) = writer {
         w.admit_spec(idx, &req.spec);
     }
+    let cancel = JobCancel::new();
+    conn.inflight.lock().insert(req.id, (idx, cancel.clone()));
     q.push_back(QueuedJob {
         idx,
         id: req.id,
         spec: req.spec,
         conn: conn.clone(),
         enqueued: Instant::now(),
+        cancel,
     });
     drop(q);
     state.cv.notify_one();
@@ -1081,7 +1336,7 @@ mod tests {
             );
             let rejected = loop {
                 match read_frame(&mut client).expect("read").expect("frame") {
-                    WireFrame::Rejected { id, reason } => break (id, reason),
+                    WireFrame::Rejected { id, reason, .. } => break (id, reason),
                     WireFrame::StatsReport(_) => continue,
                     other => panic!("unexpected frame {other:?}"),
                 }
@@ -1195,10 +1450,17 @@ mod tests {
             }
             send(&mut client, &WireFrame::Shutdown);
             let report = handle.join().expect("serve thread");
-            // the orphaned job still ran to completion and is in the
-            // final report
+            // the orphaned job is terminal either way: it completed
+            // before the teardown was noticed, or the teardown-cancel
+            // released its interest — it never simply vanishes
             assert_eq!(report.summary.jobs, 2);
-            assert_eq!(report.summary.ok, 2);
+            let orphaned = report.jobs.iter().find(|j| j.name == "orphaned").unwrap();
+            assert!(
+                orphaned.ok || orphaned.error_kind.as_deref() == Some("canceled"),
+                "orphaned job must complete or cancel: {orphaned:?}"
+            );
+            let after = report.jobs.iter().find(|j| j.name == "after").unwrap();
+            assert!(after.ok, "the live client's job is unaffected");
         });
     }
 
@@ -1446,7 +1708,7 @@ mod tests {
 
             let mut surplus = TcpStream::connect(addr).expect("connect surplus");
             match read_frame(&mut surplus).expect("read").expect("frame") {
-                WireFrame::Rejected { id, reason } => {
+                WireFrame::Rejected { id, reason, .. } => {
                     assert_eq!(id, 0, "no job was read");
                     assert_eq!(reason, "overloaded");
                 }
@@ -1573,7 +1835,17 @@ mod tests {
             send(&mut client, &WireFrame::Shutdown);
             let report = handle.join().expect("serve thread");
             assert_eq!(report.summary.jobs, 3, "all admitted jobs terminal");
-            assert_eq!(report.summary.ok, 3);
+            // the vanished client's jobs either completed (the gate
+            // opened before the teardown was noticed) or were canceled
+            // by the teardown; neither outcome loses the job
+            for rude in report.jobs.iter().filter(|j| j.name.starts_with("rude")) {
+                assert!(
+                    rude.ok || rude.error_kind.as_deref() == Some("canceled"),
+                    "rude job must complete or cancel: {rude:?}"
+                );
+            }
+            let after = report.jobs.iter().find(|j| j.name == "after").unwrap();
+            assert!(after.ok);
 
             // `done` was journaled for the vanished client's jobs
             let state = journal::replay(&journal_path);
@@ -1582,6 +1854,252 @@ mod tests {
                 assert!(state.done.contains_key(&idx), "done journaled for {idx}");
             }
         });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_dequeues_queued_jobs_and_trips_running_ones() {
+        let server = Server::builder().workers(1).queue_cap(8).build();
+        let cache = SynthesisCache::in_memory();
+        let runner = GatedRunner {
+            open: AtomicBool::new(false),
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                server
+                    .serve_runner(listener, &cache, &shutdown, &runner)
+                    .expect("serve")
+            });
+            let mut client = TcpStream::connect(addr).expect("connect");
+            send(
+                &mut client,
+                &WireFrame::Job(JobRequest {
+                    id: 1,
+                    spec: job("held", 64, 48, 1),
+                }),
+            );
+            loop {
+                let s = stats_of(&mut client);
+                if s.admitted == 1 && s.queue_depth == 0 {
+                    break; // the single worker holds job 1 at the gate
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            send(
+                &mut client,
+                &WireFrame::Job(JobRequest {
+                    id: 2,
+                    spec: job("queued", 48, 64, 2),
+                }),
+            );
+            loop {
+                let s = stats_of(&mut client);
+                if s.queue_depth == 1 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+
+            // canceling the queued job dequeues it: its canceled report
+            // precedes the ack, and the solve never starts
+            send(&mut client, &WireFrame::Cancel { id: 2 });
+            match read_frame(&mut client).expect("read").expect("frame") {
+                WireFrame::Report { id, report } => {
+                    assert_eq!(id, 2);
+                    assert!(!report.ok);
+                    assert_eq!(report.error_kind.as_deref(), Some("canceled"));
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+            match read_frame(&mut client).expect("read").expect("frame") {
+                WireFrame::CancelAck { id, outcome } => {
+                    assert_eq!((id, outcome.as_str()), (2, "queued"));
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+
+            // unknown ids are acked as such, not errors
+            send(&mut client, &WireFrame::Cancel { id: 99 });
+            match read_frame(&mut client).expect("read").expect("frame") {
+                WireFrame::CancelAck { id, outcome } => {
+                    assert_eq!((id, outcome.as_str()), (99, "unknown"));
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+
+            // canceling the running job trips its token; the canceled
+            // report follows once the gate opens
+            send(&mut client, &WireFrame::Cancel { id: 1 });
+            match read_frame(&mut client).expect("read").expect("frame") {
+                WireFrame::CancelAck { id, outcome } => {
+                    assert_eq!((id, outcome.as_str()), (1, "running"));
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+            runner.open.store(true, Ordering::Relaxed);
+            match read_frame(&mut client).expect("read").expect("frame") {
+                WireFrame::Report { id, report } => {
+                    assert_eq!(id, 1);
+                    assert_eq!(report.error_kind.as_deref(), Some("canceled"));
+                    assert_eq!(report.fingerprint, "", "canonical canceled report");
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+
+            let s = stats_of(&mut client);
+            assert_eq!(s.canceled, 2);
+            assert_eq!(s.completed, 2, "canceled jobs are terminal");
+            assert_eq!(s.deadline_shed, 0);
+
+            send(&mut client, &WireFrame::Shutdown);
+            let report = handle.join().expect("serve thread");
+            assert_eq!(report.summary.jobs, 2);
+            assert_eq!(report.summary.ok, 0);
+            assert_eq!(report.summary.failed, 2);
+        });
+    }
+
+    #[test]
+    fn queue_wait_past_the_deadline_budget_sheds_with_a_retry_hint() {
+        let server = Server::builder().workers(1).queue_cap(8).build();
+        let cache = SynthesisCache::in_memory();
+        let runner = GatedRunner {
+            open: AtomicBool::new(false),
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                server
+                    .serve_runner(listener, &cache, &shutdown, &runner)
+                    .expect("serve")
+            });
+            let mut client = TcpStream::connect(addr).expect("connect");
+            send(
+                &mut client,
+                &WireFrame::Job(JobRequest {
+                    id: 1,
+                    spec: job("held", 64, 48, 1),
+                }),
+            );
+            loop {
+                let s = stats_of(&mut client);
+                if s.admitted == 1 && s.queue_depth == 0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // a 1 ms deadline budget, guaranteed consumed while queued
+            let mut late = job("late", 48, 64, 2);
+            late.timeout_ms = Some(1);
+            send(
+                &mut client,
+                &WireFrame::Job(JobRequest { id: 2, spec: late }),
+            );
+            loop {
+                let s = stats_of(&mut client);
+                if s.queue_depth == 1 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            runner.open.store(true, Ordering::Relaxed);
+
+            let mut saw_report = false;
+            let mut saw_shed = false;
+            while !(saw_report && saw_shed) {
+                match read_frame(&mut client).expect("read").expect("frame") {
+                    WireFrame::Report { id, report } => {
+                        assert_eq!(id, 1);
+                        assert!(report.ok);
+                        saw_report = true;
+                    }
+                    WireFrame::Rejected {
+                        id,
+                        reason,
+                        retry_after_ms,
+                    } => {
+                        assert_eq!(id, 2);
+                        assert_eq!(reason, "deadline_unmeetable");
+                        assert!(retry_after_ms.is_some_and(|ms| ms >= 10), "backoff hint");
+                        saw_shed = true;
+                    }
+                    WireFrame::StatsReport(_) => continue,
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+            let s = stats_of(&mut client);
+            assert_eq!(s.deadline_shed, 1);
+            assert_eq!(s.rejected, 1);
+            assert_eq!(s.completed, 2, "a shed job is still terminal");
+
+            send(&mut client, &WireFrame::Shutdown);
+            let report = handle.join().expect("serve thread");
+            assert_eq!(report.summary.jobs, 2);
+            let late = report.jobs.iter().find(|j| j.name == "late").unwrap();
+            assert_eq!(late.error_kind.as_deref(), Some("deadline_exceeded"));
+        });
+    }
+
+    #[test]
+    fn journaled_cancels_resume_as_canceled_without_rerunning() {
+        use std::sync::atomic::AtomicUsize;
+
+        struct CountingRunner(AtomicUsize);
+        impl JobRunner for CountingRunner {
+            fn run(
+                &self,
+                request: tce_cache::PreparedRequest,
+                config: &tce_core::SynthesisConfig,
+                cache: &SynthesisCache,
+            ) -> Result<tce_cache::CachedSynthesis, tce_core::SynthesisError> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                tce_cache::run_prepared(request, config, cache)
+            }
+        }
+
+        let dir = std::env::temp_dir().join(format!("tce-serve-canres-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.journal");
+
+        // a killed daemon's journal: two admissions, job 0 canceled
+        // before its `done` could be written, job 1 untouched
+        {
+            let w = JournalWriter::open(&path, true, None).expect("open journal");
+            w.serve_header();
+            w.admit_spec(0, &job("gone", 64, 48, 1));
+            w.cancel(0);
+            w.admit_spec(1, &job("kept", 48, 64, 2));
+        }
+
+        let runner = CountingRunner(AtomicUsize::new(0));
+        let cache = SynthesisCache::in_memory();
+        let server = Server::builder().workers(1).build();
+        let report = server
+            .recover_runner(&path, &cache, &runner)
+            .expect("recover");
+
+        assert_eq!(report.summary.jobs, 2);
+        assert_eq!(
+            report.jobs[0].error_kind.as_deref(),
+            Some("canceled"),
+            "a cancel record without a done is terminal"
+        );
+        assert_eq!(report.jobs[0].fingerprint, "");
+        assert!(report.jobs[1].ok, "the untouched admission re-ran");
+        assert_eq!(
+            runner.0.load(Ordering::Relaxed),
+            1,
+            "the canceled job never reached the runner"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

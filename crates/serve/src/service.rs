@@ -24,11 +24,13 @@
 
 use crate::job::{batch_digest, BatchReport, BatchSummary, JobReport, JobSpec, REPORT_SCHEMA};
 use crate::journal::{self, JournalWriter};
-use crate::supervise::{FlightEnd, Role, SingleFlight};
+use crate::supervise::{Flight, FlightEnd, Role, SingleFlight};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tce_cache::{
     prepare_network_request, prepare_request, run_network_prepared, run_prepared,
@@ -64,8 +66,8 @@ impl JournalConfig {
     }
 }
 
-/// Knobs for one batch run. `Default` reproduces the historical
-/// [`run_batch`] behavior: core-count workers, no deadlines, no journal.
+/// Knobs for one batch run. `Default` reproduces the historical batch
+/// behavior: core-count workers, no deadlines, no journal.
 #[derive(Clone)]
 pub struct BatchOptions {
     /// Worker threads; `0` means one per available core.
@@ -115,6 +117,100 @@ impl JobRunner for CacheRunner {
     }
 }
 
+/// A cancel handle for one admitted job, created at admission and shared
+/// between the daemon's cancel registry and the worker processing the
+/// job.
+///
+/// Cancellation is *interest-based*: tripping the handle marks the job
+/// canceled (its wire report becomes the deterministic
+/// [`JobReport::canceled`]) and releases the job's interest in whatever
+/// single-flight [`Flight`] it participates in. The underlying solve is
+/// only torn down when the *last* interested job cancels — a leader's
+/// solve survives as long as any identical request still waits on it.
+#[derive(Clone, Default)]
+pub struct JobCancel {
+    inner: Arc<JobCancelInner>,
+}
+
+#[derive(Default)]
+struct JobCancelInner {
+    /// Shared cancel flag; follower wait-tokens are derived from it.
+    token: CancelToken,
+    /// Set once by the first effective [`JobCancel::cancel`].
+    tripped: AtomicBool,
+    /// The flight this job participates in, once its role is known.
+    /// Guards the trip/attach race so interest is released exactly once.
+    flight: Mutex<Option<Arc<Flight>>>,
+}
+
+impl JobCancel {
+    /// A fresh, untripped handle.
+    pub fn new() -> JobCancel {
+        JobCancel::default()
+    }
+
+    /// Requests cancellation. Returns `true` the first time (the job is
+    /// now canceled and its flight interest released), `false` on
+    /// repeats.
+    pub fn cancel(&self) -> bool {
+        self.cancel_outcome().is_some()
+    }
+
+    /// Like [`JobCancel::cancel`], but reports how the job left its
+    /// flight: `None` on a repeat (no effect), `Some(true)` when other
+    /// waiters keep the underlying solve alive (the job *detached*),
+    /// `Some(false)` when the job was unattached or held the last
+    /// interest (the solve tears down).
+    pub(crate) fn cancel_outcome(&self) -> Option<bool> {
+        let flight = {
+            let mut slot = self.inner.flight.lock();
+            if self.inner.tripped.swap(true, Ordering::SeqCst) {
+                return None;
+            }
+            self.inner.token.cancel();
+            slot.take()
+        };
+        match flight {
+            Some(f) => {
+                f.drop_interest();
+                Some(f.interest() > 0)
+            }
+            None => Some(false),
+        }
+    }
+
+    /// Identity comparison, for registry bookkeeping: two handles are
+    /// the same iff they share one admitted job.
+    pub(crate) fn same(&self, other: &JobCancel) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// True once [`JobCancel::cancel`] was called.
+    pub fn is_canceled(&self) -> bool {
+        self.inner.tripped.load(Ordering::SeqCst)
+    }
+
+    /// The shared cancel flag (no deadline); derive per-attempt deadline
+    /// tokens from it with [`CancelToken::and_deadline`].
+    fn token(&self) -> &CancelToken {
+        &self.inner.token
+    }
+
+    /// Records which flight this job participates in. If the cancel
+    /// already fired before the role was known, the interest is released
+    /// immediately instead. Re-attaching after a leader promotion simply
+    /// follows the job to its new flight (the old one has settled).
+    fn attach(&self, flight: &Arc<Flight>) {
+        let mut slot = self.inner.flight.lock();
+        if self.inner.tripped.load(Ordering::SeqCst) {
+            drop(slot);
+            flight.drop_interest();
+        } else {
+            *slot = Some(flight.clone());
+        }
+    }
+}
+
 /// Maps a synthesis error to its machine-readable report class.
 fn kind_of(err: &SynthesisError) -> &'static str {
     match err {
@@ -130,7 +226,11 @@ fn kind_of(err: &SynthesisError) -> &'static str {
 }
 
 /// Runs one job to a report. `queue_wait_s` is measured by the caller.
-/// Shared by the batch engine and the daemon's worker loop.
+/// Shared by the batch engine and the daemon's worker loop. `cancel`,
+/// when given, is the job's admission-time cancel handle: an explicit
+/// cancel detaches this job from its flight (tearing the solve down only
+/// when it held the last interest) and yields the deterministic
+/// [`JobReport::canceled`].
 pub(crate) fn process_job(
     spec: &JobSpec,
     cache: &SynthesisCache,
@@ -138,18 +238,19 @@ pub(crate) fn process_job(
     queue_wait_s: f64,
     opts: &BatchOptions,
     runner: &dyn JobRunner,
+    cancel: Option<&JobCancel>,
 ) -> JobReport {
     // contraction-network jobs (DSL header `network`) run through the
     // network pipeline under the same supervision/caching machinery
     if tce_ir::is_network_src(&spec.program) {
-        return process_network_job(spec, cache, flights, queue_wait_s, opts);
+        return process_network_job(spec, cache, flights, queue_wait_s, opts, cancel);
     }
     let started = Instant::now();
     let program = match spec.parse_program() {
         Ok(p) => p,
         Err(e) => return JobReport::failed(&spec.name, "", e, queue_wait_s).kind("invalid_job"),
     };
-    let mut config = match spec.config() {
+    let config = match spec.config() {
         Ok(c) => c,
         Err(e) => return JobReport::failed(&spec.name, "", e, queue_wait_s).kind("invalid_job"),
     };
@@ -158,10 +259,14 @@ pub(crate) fn process_job(
         .timeout_ms
         .map(Duration::from_millis)
         .or(opts.job_timeout);
-    let token = timeout.map(|t| CancelToken::with_deadline(started + t));
-    if let Some(t) = &token {
-        config = config.cancel_token(t.clone());
-    }
+    let deadline = timeout.map(|t| started + t);
+    // what a parked follower polls: its own deadline plus its cancel flag
+    let wait_token = match (cancel, deadline) {
+        (Some(c), Some(d)) => Some(c.token().and_deadline(d)),
+        (Some(c), None) => Some(c.token().clone()),
+        (None, Some(d)) => Some(CancelToken::with_deadline(d)),
+        (None, None) => None,
+    };
 
     let mut request = match prepare_request(&program, &config) {
         Ok(r) => Some(r),
@@ -198,6 +303,21 @@ pub(crate) fn process_job(
                         }
                     },
                 };
+                // a fresh solve token per leadership attempt: the flight
+                // trips it when the last interested job cancels, and the
+                // deadline (if any) trips it on expiry. The leader's own
+                // *explicit* cancel does not abort the solve directly —
+                // it only releases interest, so the solve survives while
+                // followers still want the result.
+                let solve_token = match deadline {
+                    Some(d) => CancelToken::with_deadline(d),
+                    None => CancelToken::new(),
+                };
+                guard.flight().lead_with(solve_token.clone());
+                if let Some(c) = cancel {
+                    c.attach(guard.flight());
+                }
+                let config = config.clone().cancel_token(solve_token.clone());
                 // the guard is moved into the closure: if the solve
                 // panics, unwinding drops it and the flight settles as
                 // failed — followers wake either way
@@ -209,6 +329,16 @@ pub(crate) fn process_job(
                     }
                     outcome
                 }));
+                // the client canceled: whatever the solve did (completed
+                // into the cache for remaining followers, or aborted as
+                // uncacheable), *this* job reports the canonical canceled
+                // outcome
+                if cancel.is_some_and(|c| c.is_canceled()) {
+                    let mut r = JobReport::canceled(&spec.name, "", queue_wait_s);
+                    r.joined = joined;
+                    r.total_s = started.elapsed().as_secs_f64();
+                    return r;
+                }
                 return match run {
                     Ok(Ok(done)) => ok_report(spec, &done, joined, queue_wait_s, started),
                     Ok(Err(e)) => {
@@ -237,84 +367,95 @@ pub(crate) fn process_job(
                     }
                 };
             }
-            Role::Follower(flight) => match flight.wait_with(token.as_ref()) {
-                None => {
-                    // our own deadline fired while parked
-                    return JobReport::failed(
-                        &spec.name,
-                        &fingerprint,
-                        "job deadline exceeded".to_string(),
-                        queue_wait_s,
-                    )
-                    .kind("deadline_exceeded");
+            Role::Follower(flight) => {
+                if let Some(c) = cancel {
+                    c.attach(&flight);
                 }
-                Some(FlightEnd::Success) => {
-                    joined = true;
-                    let req = match request.take() {
-                        Some(r) => r,
-                        None => match prepare_request(&program, &config) {
-                            Ok(r) => r,
-                            Err(e) => {
-                                return JobReport::failed(
+                match flight.wait_with(wait_token.as_ref()) {
+                    None => {
+                        // our own cancel or deadline fired while parked
+                        if cancel.is_some_and(|c| c.is_canceled()) {
+                            let mut r = JobReport::canceled(&spec.name, "", queue_wait_s);
+                            r.total_s = started.elapsed().as_secs_f64();
+                            return r;
+                        }
+                        return JobReport::failed(
+                            &spec.name,
+                            &fingerprint,
+                            "job deadline exceeded".to_string(),
+                            queue_wait_s,
+                        )
+                        .kind("deadline_exceeded");
+                    }
+                    Some(FlightEnd::Success) => {
+                        joined = true;
+                        let req = match request.take() {
+                            Some(r) => r,
+                            None => match prepare_request(&program, &config) {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    return JobReport::failed(
+                                        &spec.name,
+                                        &fingerprint,
+                                        e.to_string(),
+                                        queue_wait_s,
+                                    )
+                                    .kind("invalid_job")
+                                }
+                            },
+                        };
+                        // replay the leader's outcome from the cache; panics
+                        // here are as fatal to the pool as leader panics, so
+                        // they get the same containment
+                        let run =
+                            catch_unwind(AssertUnwindSafe(|| runner.run(req, &config, cache)));
+                        return match run {
+                            Ok(Ok(done)) => ok_report(spec, &done, joined, queue_wait_s, started),
+                            Ok(Err(e)) => {
+                                let mut r = JobReport::failed(
                                     &spec.name,
                                     &fingerprint,
                                     e.to_string(),
                                     queue_wait_s,
                                 )
-                                .kind("invalid_job")
+                                .kind(kind_of(&e));
+                                r.joined = joined;
+                                r.total_s = started.elapsed().as_secs_f64();
+                                r
                             }
-                        },
-                    };
-                    // replay the leader's outcome from the cache; panics
-                    // here are as fatal to the pool as leader panics, so
-                    // they get the same containment
-                    let run = catch_unwind(AssertUnwindSafe(|| runner.run(req, &config, cache)));
-                    return match run {
-                        Ok(Ok(done)) => ok_report(spec, &done, joined, queue_wait_s, started),
-                        Ok(Err(e)) => {
-                            let mut r = JobReport::failed(
-                                &spec.name,
-                                &fingerprint,
-                                e.to_string(),
-                                queue_wait_s,
-                            )
-                            .kind(kind_of(&e));
-                            r.joined = joined;
-                            r.total_s = started.elapsed().as_secs_f64();
-                            r
-                        }
-                        Err(_) => {
-                            let mut r = JobReport::failed(
-                                &spec.name,
-                                &fingerprint,
-                                "worker panicked during replay".to_string(),
-                                queue_wait_s,
-                            )
-                            .kind("panic");
-                            r.joined = joined;
-                            r.total_s = started.elapsed().as_secs_f64();
-                            r
-                        }
-                    };
-                }
-                Some(FlightEnd::Failed(cause)) => {
-                    leader_failures += 1;
-                    if leader_failures > opts.retry_budget {
-                        return JobReport::failed(
-                            &spec.name,
-                            &fingerprint,
-                            format!(
-                                "leader failed {leader_failures} time(s), retry budget \
-                                 exhausted; last cause: {cause}"
-                            ),
-                            queue_wait_s,
-                        )
-                        .kind("leader_failed");
+                            Err(_) => {
+                                let mut r = JobReport::failed(
+                                    &spec.name,
+                                    &fingerprint,
+                                    "worker panicked during replay".to_string(),
+                                    queue_wait_s,
+                                )
+                                .kind("panic");
+                                r.joined = joined;
+                                r.total_s = started.elapsed().as_secs_f64();
+                                r
+                            }
+                        };
                     }
-                    // loop: race to re-begin — first one in is promoted
-                    // to leader and retries, the rest park on its flight
+                    Some(FlightEnd::Failed(cause)) => {
+                        leader_failures += 1;
+                        if leader_failures > opts.retry_budget {
+                            return JobReport::failed(
+                                &spec.name,
+                                &fingerprint,
+                                format!(
+                                    "leader failed {leader_failures} time(s), retry budget \
+                                 exhausted; last cause: {cause}"
+                                ),
+                                queue_wait_s,
+                            )
+                            .kind("leader_failed");
+                        }
+                        // loop: race to re-begin — first one in is promoted
+                        // to leader and retries, the rest park on its flight
+                    }
                 }
-            },
+            }
         }
     }
 }
@@ -329,6 +470,7 @@ pub(crate) fn process_network_job(
     flights: &SingleFlight,
     queue_wait_s: f64,
     opts: &BatchOptions,
+    cancel: Option<&JobCancel>,
 ) -> JobReport {
     let started = Instant::now();
     let dag = match tce_ir::parse_network(&spec.program) {
@@ -343,7 +485,7 @@ pub(crate) fn process_network_job(
             .kind("invalid_job")
         }
     };
-    let mut config = match spec.config() {
+    let config = match spec.config() {
         Ok(c) => c,
         Err(e) => return JobReport::failed(&spec.name, "", e, queue_wait_s).kind("invalid_job"),
     };
@@ -351,10 +493,13 @@ pub(crate) fn process_network_job(
         .timeout_ms
         .map(Duration::from_millis)
         .or(opts.job_timeout);
-    let token = timeout.map(|t| CancelToken::with_deadline(started + t));
-    if let Some(t) = &token {
-        config = config.cancel_token(t.clone());
-    }
+    let deadline = timeout.map(|t| started + t);
+    let wait_token = match (cancel, deadline) {
+        (Some(c), Some(d)) => Some(c.token().and_deadline(d)),
+        (Some(c), None) => Some(c.token().clone()),
+        (None, Some(d)) => Some(CancelToken::with_deadline(d)),
+        (None, None) => None,
+    };
 
     let mut request = match prepare_network_request(&dag, &config) {
         Ok(r) => Some(r),
@@ -386,6 +531,15 @@ pub(crate) fn process_network_job(
                         }
                     },
                 };
+                let solve_token = match deadline {
+                    Some(d) => CancelToken::with_deadline(d),
+                    None => CancelToken::new(),
+                };
+                guard.flight().lead_with(solve_token.clone());
+                if let Some(c) = cancel {
+                    c.attach(guard.flight());
+                }
+                let config = config.clone().cancel_token(solve_token.clone());
                 let run = catch_unwind(AssertUnwindSafe(|| {
                     let outcome = run_network_prepared(req, &config, cache);
                     match &outcome {
@@ -394,6 +548,12 @@ pub(crate) fn process_network_job(
                     }
                     outcome
                 }));
+                if cancel.is_some_and(|c| c.is_canceled()) {
+                    let mut r = JobReport::canceled(&spec.name, "", queue_wait_s);
+                    r.joined = joined;
+                    r.total_s = started.elapsed().as_secs_f64();
+                    return r;
+                }
                 return match run {
                     Ok(Ok(done)) => network_ok_report(spec, &done, joined, queue_wait_s, started),
                     Ok(Err(e)) => {
@@ -422,82 +582,92 @@ pub(crate) fn process_network_job(
                     }
                 };
             }
-            Role::Follower(flight) => match flight.wait_with(token.as_ref()) {
-                None => {
-                    return JobReport::failed(
-                        &spec.name,
-                        &fingerprint,
-                        "job deadline exceeded".to_string(),
-                        queue_wait_s,
-                    )
-                    .kind("deadline_exceeded");
+            Role::Follower(flight) => {
+                if let Some(c) = cancel {
+                    c.attach(&flight);
                 }
-                Some(FlightEnd::Success) => {
-                    joined = true;
-                    let req = match request.take() {
-                        Some(r) => r,
-                        None => match prepare_network_request(&dag, &config) {
-                            Ok(r) => r,
-                            Err(e) => {
-                                return JobReport::failed(
+                match flight.wait_with(wait_token.as_ref()) {
+                    None => {
+                        if cancel.is_some_and(|c| c.is_canceled()) {
+                            let mut r = JobReport::canceled(&spec.name, "", queue_wait_s);
+                            r.total_s = started.elapsed().as_secs_f64();
+                            return r;
+                        }
+                        return JobReport::failed(
+                            &spec.name,
+                            &fingerprint,
+                            "job deadline exceeded".to_string(),
+                            queue_wait_s,
+                        )
+                        .kind("deadline_exceeded");
+                    }
+                    Some(FlightEnd::Success) => {
+                        joined = true;
+                        let req = match request.take() {
+                            Some(r) => r,
+                            None => match prepare_network_request(&dag, &config) {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    return JobReport::failed(
+                                        &spec.name,
+                                        &fingerprint,
+                                        e.to_string(),
+                                        queue_wait_s,
+                                    )
+                                    .kind("invalid_job")
+                                }
+                            },
+                        };
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            run_network_prepared(req, &config, cache)
+                        }));
+                        return match run {
+                            Ok(Ok(done)) => {
+                                network_ok_report(spec, &done, joined, queue_wait_s, started)
+                            }
+                            Ok(Err(e)) => {
+                                let mut r = JobReport::failed(
                                     &spec.name,
                                     &fingerprint,
                                     e.to_string(),
                                     queue_wait_s,
                                 )
-                                .kind("invalid_job")
+                                .kind(kind_of(&e));
+                                r.joined = joined;
+                                r.total_s = started.elapsed().as_secs_f64();
+                                r
                             }
-                        },
-                    };
-                    let run = catch_unwind(AssertUnwindSafe(|| {
-                        run_network_prepared(req, &config, cache)
-                    }));
-                    return match run {
-                        Ok(Ok(done)) => {
-                            network_ok_report(spec, &done, joined, queue_wait_s, started)
-                        }
-                        Ok(Err(e)) => {
-                            let mut r = JobReport::failed(
+                            Err(_) => {
+                                let mut r = JobReport::failed(
+                                    &spec.name,
+                                    &fingerprint,
+                                    "worker panicked during replay".to_string(),
+                                    queue_wait_s,
+                                )
+                                .kind("panic");
+                                r.joined = joined;
+                                r.total_s = started.elapsed().as_secs_f64();
+                                r
+                            }
+                        };
+                    }
+                    Some(FlightEnd::Failed(cause)) => {
+                        leader_failures += 1;
+                        if leader_failures > opts.retry_budget {
+                            return JobReport::failed(
                                 &spec.name,
                                 &fingerprint,
-                                e.to_string(),
-                                queue_wait_s,
-                            )
-                            .kind(kind_of(&e));
-                            r.joined = joined;
-                            r.total_s = started.elapsed().as_secs_f64();
-                            r
-                        }
-                        Err(_) => {
-                            let mut r = JobReport::failed(
-                                &spec.name,
-                                &fingerprint,
-                                "worker panicked during replay".to_string(),
-                                queue_wait_s,
-                            )
-                            .kind("panic");
-                            r.joined = joined;
-                            r.total_s = started.elapsed().as_secs_f64();
-                            r
-                        }
-                    };
-                }
-                Some(FlightEnd::Failed(cause)) => {
-                    leader_failures += 1;
-                    if leader_failures > opts.retry_budget {
-                        return JobReport::failed(
-                            &spec.name,
-                            &fingerprint,
-                            format!(
-                                "leader failed {leader_failures} time(s), retry budget \
+                                format!(
+                                    "leader failed {leader_failures} time(s), retry budget \
                                  exhausted; last cause: {cause}"
-                            ),
-                            queue_wait_s,
-                        )
-                        .kind("leader_failed");
+                                ),
+                                queue_wait_s,
+                            )
+                            .kind("leader_failed");
+                        }
                     }
                 }
-            },
+            }
         }
     }
 }
@@ -550,34 +720,6 @@ fn ok_report(
         memory_bytes: done.result.memory_bytes,
         predicted_s: done.result.predicted.total_s(),
     }
-}
-
-/// Runs a batch of jobs on `workers` threads over a shared cache, with
-/// default options (no deadlines, no journal).
-///
-/// `workers = 0` means one per available core. Reports come back in
-/// submission order regardless of completion order.
-#[deprecated(note = "use tce_serve::Server::builder().workers(n).build().run_batch(...)")]
-pub fn run_batch(jobs: &[JobSpec], workers: usize, cache: &SynthesisCache) -> BatchReport {
-    let opts = BatchOptions {
-        workers,
-        ..BatchOptions::default()
-    };
-    run_batch_runner(jobs, &opts, cache, &CacheRunner)
-        .expect("journal-free batches cannot fail to start")
-}
-
-/// Runs a batch under explicit [`BatchOptions`] — deadlines, supervision
-/// budget, and the write-ahead journal. Only journal setup can fail (an
-/// unwritable journal path, or a resume journal that does not match the
-/// jobs file).
-#[deprecated(note = "use tce_serve::Server::builder() and Server::run_batch instead")]
-pub fn run_batch_with(
-    jobs: &[JobSpec],
-    opts: &BatchOptions,
-    cache: &SynthesisCache,
-) -> Result<BatchReport, String> {
-    run_batch_runner(jobs, opts, cache, &CacheRunner)
 }
 
 pub(crate) fn run_batch_runner(
@@ -659,7 +801,15 @@ pub(crate) fn run_batch_runner(
                     w.start(idx);
                 }
                 let queue_wait_s = batch_started.elapsed().as_secs_f64();
-                let report = process_job(&jobs[idx], cache, &flights, queue_wait_s, opts, runner);
+                let report = process_job(
+                    &jobs[idx],
+                    cache,
+                    &flights,
+                    queue_wait_s,
+                    opts,
+                    runner,
+                    None,
+                );
                 if let Some(w) = writer {
                     w.done(idx, &report);
                 }
@@ -769,33 +919,4 @@ pub(crate) fn render_lines(report: &BatchReport) -> Result<String, String> {
     out.push_str(&summary);
     out.push('\n');
     Ok(out)
-}
-
-/// JSON-lines mode: one job object per input line; one report line per
-/// job (submission order) followed by one summary line.
-#[deprecated(note = "use tce_serve::Server::builder() and Server::run_lines instead")]
-pub fn run_lines(
-    input: &str,
-    workers: usize,
-    cache: &SynthesisCache,
-) -> Result<(BatchReport, String), String> {
-    let opts = BatchOptions {
-        workers,
-        ..BatchOptions::default()
-    };
-    let report = run_batch_runner(&parse_lines(input)?, &opts, cache, &CacheRunner)?;
-    let out = render_lines(&report)?;
-    Ok((report, out))
-}
-
-/// [`run_lines`] under explicit [`BatchOptions`].
-#[deprecated(note = "use tce_serve::Server::builder() and Server::run_lines instead")]
-pub fn run_lines_with(
-    input: &str,
-    opts: &BatchOptions,
-    cache: &SynthesisCache,
-) -> Result<(BatchReport, String), String> {
-    let report = run_batch_runner(&parse_lines(input)?, opts, cache, &CacheRunner)?;
-    let out = render_lines(&report)?;
-    Ok((report, out))
 }

@@ -25,10 +25,20 @@
 //! * waiting is cancellable: followers poll their own job's
 //!   [`CancelToken`] on a timed condvar wait, so a follower whose
 //!   deadline expires while parked reports `deadline_exceeded` instead of
-//!   inheriting the leader's fate.
+//!   inheriting the leader's fate;
+//! * every participant holds an *interest* in the flight — the leader's
+//!   own plus one per follower. Explicit cancellation releases interest
+//!   via [`Flight::drop_interest`]; when the last interest drops while
+//!   the flight is still unsettled, the leader's solve token (registered
+//!   with [`Flight::lead_with`]) trips, so the solver abandons work
+//!   nobody is waiting for at its next segment boundary. A follower that
+//!   races in after the count hits zero is healed by the ordinary
+//!   promotion path: the torn-down flight settles as failed and the
+//!   late follower re-begins as a fresh leader.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tce_solver::CancelToken;
@@ -49,6 +59,11 @@ pub enum FlightEnd {
 pub struct Flight {
     state: Mutex<Option<FlightEnd>>,
     cv: Condvar,
+    /// Waiters who still care about the outcome: the leader's own
+    /// interest plus one per follower. See the module docs.
+    interest: AtomicUsize,
+    /// The leader's solve token, tripped when the last interest drops.
+    leader_token: Mutex<Option<CancelToken>>,
 }
 
 impl Flight {
@@ -56,12 +71,47 @@ impl Flight {
         Flight {
             state: Mutex::new(None),
             cv: Condvar::new(),
+            interest: AtomicUsize::new(1),
+            leader_token: Mutex::new(None),
         }
     }
 
     fn settle(&self, end: FlightEnd) {
         *self.state.lock() = Some(end);
         self.cv.notify_all();
+    }
+
+    /// Registers the leader's solve token so [`Flight::drop_interest`]
+    /// can tear the solve down once nobody is waiting. If every interest
+    /// was already released before the leader got here, the token trips
+    /// immediately.
+    pub fn lead_with(&self, token: CancelToken) {
+        let mut slot = self.leader_token.lock();
+        if self.interest.load(Ordering::SeqCst) == 0 && self.state.lock().is_none() {
+            token.cancel();
+        }
+        *slot = Some(token);
+    }
+
+    /// One more waiter cares about this flight's outcome.
+    pub fn add_interest(&self) {
+        self.interest.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// One waiter stopped caring (its job was canceled). When the last
+    /// interest drops while the flight is still unsettled, the leader's
+    /// solve token trips so the solver abandons work nobody wants.
+    pub fn drop_interest(&self) {
+        if self.interest.fetch_sub(1, Ordering::SeqCst) == 1 && self.state.lock().is_none() {
+            if let Some(token) = self.leader_token.lock().clone() {
+                token.cancel();
+            }
+        }
+    }
+
+    /// Waiters currently registered (diagnostics and tests).
+    pub fn interest(&self) -> usize {
+        self.interest.load(Ordering::SeqCst)
     }
 
     /// Parks until the flight settles or `cancel` trips. `None` means the
@@ -101,6 +151,7 @@ impl SingleFlight {
     pub fn begin(&self, key: &str) -> Role<'_> {
         let mut flights = self.flights.lock();
         if let Some(f) = flights.get(key) {
+            f.add_interest();
             return Role::Follower(f.clone());
         }
         let flight = Arc::new(Flight::new());
@@ -125,6 +176,12 @@ pub struct FlightGuard<'a> {
 }
 
 impl FlightGuard<'_> {
+    /// The flight this guard leads (to register a solve token or attach
+    /// a cancel handle).
+    pub fn flight(&self) -> &Arc<Flight> {
+        &self.flight
+    }
+
     /// Settles the flight: the outcome is in the cache, followers replay.
     pub fn success(mut self) {
         self.settle(FlightEnd::Success);
@@ -201,6 +258,58 @@ mod tests {
                 assert_eq!(h.join().unwrap(), Some(FlightEnd::Success));
             }
         });
+    }
+
+    #[test]
+    fn last_interest_drop_trips_the_leader_token() {
+        let flights = SingleFlight::default();
+        let Role::Leader(guard) = flights.begin("k") else {
+            panic!("leader")
+        };
+        let token = CancelToken::new();
+        guard.flight().lead_with(token.clone());
+        assert_eq!(guard.flight().interest(), 1, "leader's own interest");
+
+        let Role::Follower(f) = flights.begin("k") else {
+            panic!("follower")
+        };
+        assert_eq!(f.interest(), 2);
+
+        // the leader's client cancels: a waiter remains, solve survives
+        guard.flight().drop_interest();
+        assert!(!token.is_canceled(), "a follower still wants the result");
+
+        // the last waiter cancels: the solve is torn down
+        f.drop_interest();
+        assert!(token.is_canceled(), "nobody is waiting any more");
+        drop(guard);
+    }
+
+    #[test]
+    fn interest_released_before_leadership_trips_immediately() {
+        let flights = SingleFlight::default();
+        let Role::Leader(guard) = flights.begin("k") else {
+            panic!("leader")
+        };
+        guard.flight().drop_interest();
+        let token = CancelToken::new();
+        guard.flight().lead_with(token.clone());
+        assert!(token.is_canceled(), "cancel won the race with lead_with");
+        drop(guard);
+    }
+
+    #[test]
+    fn settled_flights_ignore_interest_drops() {
+        let flights = SingleFlight::default();
+        let Role::Leader(guard) = flights.begin("k") else {
+            panic!("leader")
+        };
+        let token = CancelToken::new();
+        guard.flight().lead_with(token.clone());
+        let flight = guard.flight().clone();
+        guard.success();
+        flight.drop_interest();
+        assert!(!token.is_canceled(), "settling beat the interest drop");
     }
 
     #[test]

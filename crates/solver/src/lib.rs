@@ -139,6 +139,23 @@ impl CancelToken {
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
     }
+
+    /// A clone sharing this token's cancel flag that additionally trips
+    /// once `deadline` passes (the earlier deadline wins if this token
+    /// already carries one). Lets an embedder hand out one long-lived
+    /// cancel handle and derive per-attempt deadline tokens from it.
+    pub fn and_deadline(&self, deadline: Instant) -> CancelToken {
+        CancelToken {
+            flag: self.flag.clone(),
+            deadline: Some(self.deadline.map_or(deadline, |d| d.min(deadline))),
+        }
+    }
+
+    /// True when cancellation was requested explicitly via
+    /// [`CancelToken::cancel`] (as opposed to a deadline expiry).
+    pub fn explicitly_canceled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
 }
 
 /// Strategy selector for the unified [`solve`] entry point.

@@ -89,7 +89,7 @@ fn serve_once(server: &Server, jobs: &[JobSpec], cache: &SynthesisCache) -> Batc
         while reports < jobs.len() {
             match read_frame(&mut client).expect("read").expect("frame") {
                 WireFrame::Report { .. } => reports += 1,
-                WireFrame::Rejected { id, reason } => panic!("job {id} rejected: {reason}"),
+                WireFrame::Rejected { id, reason, .. } => panic!("job {id} rejected: {reason}"),
                 other => panic!("unexpected frame {other:?}"),
             }
         }
@@ -245,6 +245,195 @@ fn killing_the_daemon_at_every_journal_boundary_recovers_bit_identically() {
                 );
             }
         }
+    }
+}
+
+/// Runs a single-worker daemon, submits `jobs` plus a `cancel` frame for
+/// `cancel_id` in one burst, waits for every terminal report and the
+/// cancel ack, then submits `extra` (same spec as the victim, new name)
+/// to probe the cache, drains, and returns the final report plus the ack
+/// outcome.
+fn serve_once_with_cancel(
+    server: &Server,
+    jobs: &[JobSpec],
+    cancel_id: u64,
+    extra: &JobSpec,
+    cache: &SynthesisCache,
+) -> (BatchReport, String) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve(listener, cache, &shutdown).expect("serve"));
+        let mut client = TcpStream::connect(addr).expect("connect");
+        for (id, spec) in jobs.iter().enumerate() {
+            send(
+                &mut client,
+                &WireFrame::Job(JobRequest {
+                    id: id as u64,
+                    spec: spec.clone(),
+                }),
+            );
+        }
+        // the cancel frame arrives on the conn thread microseconds after
+        // the admits, while the single worker is still inside job 0: the
+        // victim is reliably still queued
+        send(&mut client, &WireFrame::Cancel { id: cancel_id });
+        let mut reports = 0;
+        let mut ack = None;
+        while reports < jobs.len() || ack.is_none() {
+            match read_frame(&mut client).expect("read").expect("frame") {
+                WireFrame::Report { .. } => reports += 1,
+                WireFrame::CancelAck { id, outcome } => {
+                    assert_eq!(id, cancel_id);
+                    ack = Some(outcome);
+                }
+                WireFrame::Rejected { id, reason, .. } => panic!("job {id} rejected: {reason}"),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        // re-submit the victim's spec under a new name: a canceled solve
+        // must never have landed in the cache
+        send(
+            &mut client,
+            &WireFrame::Job(JobRequest {
+                id: jobs.len() as u64,
+                spec: extra.clone(),
+            }),
+        );
+        match read_frame(&mut client).expect("read").expect("frame") {
+            WireFrame::Report { .. } => {}
+            WireFrame::Rejected { id, reason, .. } => panic!("job {id} rejected: {reason}"),
+            other => panic!("unexpected frame {other:?}"),
+        }
+        send(&mut client, &WireFrame::Shutdown);
+        (handle.join().expect("serve thread"), ack.expect("ack"))
+    })
+}
+
+#[test]
+fn a_cancel_at_every_journal_boundary_replays_exactly_once_and_never_caches() {
+    let dir = scratch("cancel-boundaries");
+    for seed in 0..seed_count() {
+        let jobs = batch(3100 + seed);
+        let victim = jobs.len() as u64 - 1; // "b", the only distinct spec
+        let mut again = jobs[victim as usize].clone();
+        again.name = "b-again".to_string();
+
+        // reference: the same five jobs with no cancel — what any job
+        // whose cancel record is lost to truncation must re-run into
+        let mut plain_jobs = jobs.clone();
+        plain_jobs.push(again.clone());
+        let plain = serve_once(
+            &Server::builder().workers(2).build(),
+            &plain_jobs,
+            &SynthesisCache::in_memory(),
+        );
+
+        // the journaled run with the live cancel
+        let journal = dir.join(format!("cancel-{seed}.journal"));
+        let server = Server::builder()
+            .workers(1)
+            .journal(Some(JournalConfig {
+                path: journal.clone(),
+                resume: false,
+                faults: FsFaultPlan::none(),
+            }))
+            .build();
+        let (clean, ack) =
+            serve_once_with_cancel(&server, &jobs, victim, &again, &SynthesisCache::in_memory());
+        assert_eq!(ack, "queued", "victim must be canceled before starting");
+        let canceled = &clean.jobs[victim as usize];
+        assert!(!canceled.ok);
+        assert_eq!(canceled.error_kind.as_deref(), Some("canceled"));
+        assert_eq!(
+            canceled.fingerprint, "",
+            "canceled jobs carry no fingerprint"
+        );
+        let probe = &clean.jobs[jobs.len()];
+        assert!(probe.ok, "re-submitted spec solves fresh");
+        assert!(!probe.hit, "a canceled solve must never be cached");
+        assert!(!probe.joined);
+
+        // kill at every whole-line and torn boundary; the journal now
+        // carries a cancel record among admits/starts/dones
+        let full = std::fs::read_to_string(&journal).expect("journal text");
+        let lines: Vec<&str> = full.lines().collect();
+        assert!(
+            full.contains("\"cancel\""),
+            "journal must record the cancel: {full}"
+        );
+        for k in 0..=lines.len() {
+            let mut variants = vec![(format!("k{k}"), lines[..k].join("\n"))];
+            if k < lines.len() {
+                let half = &lines[k][..lines[k].len() / 2];
+                variants.push((
+                    format!("k{k}-torn"),
+                    format!("{}\n{half}", lines[..k].join("\n")),
+                ));
+            }
+            for (tag, text) in variants {
+                let crash = dir.join(format!("crash-{seed}-{tag}.journal"));
+                std::fs::write(&crash, format!("{text}\n")).expect("write crash journal");
+
+                let state = replay(&crash);
+                let mut admitted = 0;
+                while state.specs.contains_key(&admitted) {
+                    admitted += 1;
+                }
+
+                let recovered = Server::builder()
+                    .workers(2)
+                    .build()
+                    .recover_journal(&crash, &SynthesisCache::in_memory())
+                    .expect("recover");
+                // exactly once: every admitted job reported once, in
+                // admission order, none lost, none duplicated
+                assert_eq!(
+                    recovered.summary.jobs, admitted as u64,
+                    "seed {seed}, crash at {tag}: wrong recovery scope"
+                );
+                let names: Vec<_> = recovered.jobs.iter().map(|j| j.name.as_str()).collect();
+                let want: Vec<_> = plain_jobs[..admitted]
+                    .iter()
+                    .map(|j| j.name.as_str())
+                    .collect();
+                assert_eq!(names, want, "seed {seed}, crash at {tag}");
+
+                // a durable cancel (or its done record) replays as the
+                // canonical canceled report; a cancel lost to truncation
+                // means the job legitimately re-runs like the plain batch
+                for idx in 0..admitted {
+                    let durable = state.done.contains_key(&idx) || state.canceled.contains(&idx);
+                    let expect = if durable {
+                        clean.jobs[idx].outcome_value()
+                    } else {
+                        plain.jobs[idx].outcome_value()
+                    };
+                    assert_eq!(
+                        recovered.jobs[idx].outcome_value(),
+                        expect,
+                        "seed {seed}, crash at {tag}, job {idx}: outcome diverged"
+                    );
+                }
+            }
+        }
+
+        // the intact journal resumes everything verbatim, including the
+        // canceled victim, with nothing left to re-run
+        let state = replay(&journal);
+        assert!(state.canceled.contains(&(victim as usize)));
+        let resumed = Server::builder()
+            .workers(1)
+            .build()
+            .recover_journal(&journal, &SynthesisCache::in_memory())
+            .expect("recover");
+        assert_eq!(resumed.summary.jobs, plain_jobs.len() as u64);
+        assert_eq!(resumed.summary.resumed, plain_jobs.len() as u64);
+        assert_eq!(
+            resumed.jobs[victim as usize].error_kind.as_deref(),
+            Some("canceled")
+        );
     }
 }
 
